@@ -1,0 +1,53 @@
+//! Criterion bench: LDA over the ranked top-k (the Browse-Topics modal).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use credence_bench::synth_index;
+use credence_index::Bm25Params;
+use credence_rank::{rank_corpus, Bm25Ranker};
+use credence_text::Vocabulary;
+use credence_topics::{LdaConfig, LdaModel};
+
+fn topk_docs() -> (Vec<Vec<usize>>, usize) {
+    let (corpus, index) = synth_index(300, 7);
+    let ranker = Bm25Ranker::new(&index, Bm25Params::default());
+    let ranking = rank_corpus(&ranker, &corpus.topic_query(0, 3));
+    let analyzer = index.analyzer();
+    let mut vocab = Vocabulary::new();
+    let docs = ranking
+        .top_k(10)
+        .iter()
+        .map(|&d| {
+            analyzer
+                .analyze(&index.document(d).unwrap().body)
+                .iter()
+                .map(|t| vocab.intern(t) as usize)
+                .collect()
+        })
+        .collect();
+    (docs, vocab.len())
+}
+
+fn bench_lda(c: &mut Criterion) {
+    let (docs, vocab) = topk_docs();
+    let mut group = c.benchmark_group("lda/fit_topk");
+    group.sample_size(20);
+    for &iters in &[50usize, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |b, &iters| {
+            b.iter(|| {
+                LdaModel::fit(
+                    &docs,
+                    vocab,
+                    &LdaConfig {
+                        num_topics: 3,
+                        iterations: iters,
+                        ..Default::default()
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lda);
+criterion_main!(benches);

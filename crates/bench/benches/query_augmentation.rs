@@ -1,0 +1,58 @@
+//! Criterion bench: the Figure-3 query-augmentation explanation, plus its
+//! scaling in requested explanation count `n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use credence_bench::DemoSetup;
+use credence_core::{explain_query_augmentation, QueryAugmentationConfig};
+use credence_index::DocId;
+
+fn bench_figure3(c: &mut Criterion) {
+    let setup = DemoSetup::build();
+    let ranker = setup.ranker();
+    let fake = DocId(setup.demo.fake_news as u32);
+    c.bench_function("query_augmentation/figure3", |b| {
+        b.iter(|| {
+            explain_query_augmentation(
+                &ranker,
+                setup.demo.query,
+                setup.demo.k,
+                fake,
+                &QueryAugmentationConfig {
+                    n: 7,
+                    threshold: 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        });
+    });
+}
+
+fn bench_explanation_count(c: &mut Criterion) {
+    let setup = DemoSetup::build();
+    let ranker = setup.ranker();
+    let fake = DocId(setup.demo.fake_news as u32);
+    let mut group = c.benchmark_group("query_augmentation/n");
+    for &n in &[1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                explain_query_augmentation(
+                    &ranker,
+                    setup.demo.query,
+                    setup.demo.k,
+                    fake,
+                    &QueryAugmentationConfig {
+                        n,
+                        threshold: 2,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure3, bench_explanation_count);
+criterion_main!(benches);

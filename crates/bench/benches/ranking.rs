@@ -1,0 +1,34 @@
+//! Criterion bench: index construction and top-k retrieval at three corpus
+//! scales (backs the T-SCALE table's `index` and `rank` columns).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use credence_bench::synth_index;
+use credence_index::{search_top_k, Bm25Params, InvertedIndex};
+use credence_text::Analyzer;
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    for &n in &[100usize, 300, 1000] {
+        let (corpus, _) = synth_index(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &corpus.docs, |b, docs| {
+            b.iter(|| InvertedIndex::build(docs.clone(), Analyzer::english()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search_top_k");
+    for &n in &[100usize, 300, 1000] {
+        let (corpus, index) = synth_index(n, 7);
+        let query = index.analyze_query(&corpus.topic_query(0, 3));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &index, |b, index| {
+            b.iter(|| search_top_k(index, Bm25Params::default(), &query, 10));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_build, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion bench: the Figure-2 sentence-removal explanation on the demo
+//! corpus, plus its scaling in document length (sentences).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use credence_bench::DemoSetup;
+use credence_core::{explain_sentence_removal, SentenceRemovalConfig};
+use credence_index::{Bm25Params, DocId, Document, InvertedIndex};
+use credence_rank::Bm25Ranker;
+use credence_text::Analyzer;
+
+fn bench_figure2(c: &mut Criterion) {
+    let setup = DemoSetup::build();
+    let ranker = setup.ranker();
+    let fake = DocId(setup.demo.fake_news as u32);
+    c.bench_function("sentence_removal/figure2", |b| {
+        b.iter(|| {
+            explain_sentence_removal(
+                &ranker,
+                setup.demo.query,
+                setup.demo.k,
+                fake,
+                &SentenceRemovalConfig::default(),
+            )
+            .unwrap()
+        });
+    });
+}
+
+/// A document whose relevance is spread over `s` sentences, two of which
+/// carry the query terms.
+fn long_doc_corpus(sentences: usize) -> InvertedIndex {
+    let mut body = String::from("The covid outbreak begins here. ");
+    for i in 0..sentences.saturating_sub(2) {
+        body.push_str(&format!("Filler sentence number {i} talks about daily life. "));
+    }
+    body.push_str("The covid outbreak ends here.");
+    let mut docs = vec![Document::from_body(body)];
+    for i in 0..12 {
+        docs.push(Document::from_body(format!(
+            "covid outbreak report number {i} with several extra words to pad the length of \
+             this story for realistic normalisation."
+        )));
+    }
+    InvertedIndex::build(docs, Analyzer::english())
+}
+
+fn bench_doc_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sentence_removal/doc_length");
+    for &s in &[5usize, 10, 20] {
+        let index = long_doc_corpus(s);
+        let ranker = Bm25Ranker::new(&index, Bm25Params::default());
+        group.bench_with_input(BenchmarkId::from_parameter(s), &ranker, |b, ranker| {
+            b.iter(|| {
+                explain_sentence_removal(
+                    ranker,
+                    "covid outbreak",
+                    10,
+                    DocId(0),
+                    &SentenceRemovalConfig::default(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure2, bench_doc_length);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! The experiment regenerator: reproduces every figure of the paper and the
+//! added quantitative tables (see EXPERIMENTS.md).
+//!
+//! ```sh
+//! cargo run -p credence-bench --bin experiments --release          # everything
+//! cargo run -p credence-bench --bin experiments --release -- fig2  # one artefact
+//! ```
+//!
+//! Exit code is non-zero when any figure's shape check fails, so this binary
+//! doubles as a reproduction gate.
+
+use std::process::ExitCode;
+
+use credence_bench::figures::{fig1, fig2, fig3, fig4, fig5, Check};
+use credence_bench::tables::{
+    ablation, effectiveness, feature_future_work, granularity, instances, quality,
+    ranker_agreement, saliency_comparison, scaling,
+};
+
+fn run_figure(name: &str, f: fn() -> Vec<Check>) -> bool {
+    let checks = f();
+    let mut all = true;
+    println!("\n  shape checks for {name}:");
+    for c in &checks {
+        let mark = if c.passed { "PASS" } else { "FAIL" };
+        println!("    [{mark}] {} (measured: {})", c.claim, c.measured);
+        all &= c.passed;
+    }
+    all
+}
+
+fn main() -> ExitCode {
+    let which: Vec<String> = std::env::args().skip(1).collect();
+    let all = which.is_empty() || which.iter().any(|a| a == "all");
+    let want = |name: &str| all || which.iter().any(|a| a == name);
+
+    let mut ok = true;
+    if want("fig1") {
+        ok &= run_figure("fig1", fig1);
+    }
+    if want("fig2") {
+        ok &= run_figure("fig2", fig2);
+    }
+    if want("fig3") {
+        ok &= run_figure("fig3", fig3);
+    }
+    if want("fig4") {
+        ok &= run_figure("fig4", fig4);
+    }
+    if want("fig5") {
+        ok &= run_figure("fig5", fig5);
+    }
+    if want("quality") {
+        quality();
+    }
+    if want("scaling") {
+        scaling();
+    }
+    if want("ablation") {
+        ablation();
+    }
+    if want("instances") {
+        instances();
+    }
+    if want("granularity") {
+        granularity();
+    }
+    if want("saliency") {
+        saliency_comparison();
+    }
+    if want("agreement") {
+        ranker_agreement();
+    }
+    if want("features") {
+        feature_future_work();
+    }
+    if want("effectiveness") {
+        effectiveness();
+    }
+
+    if !ok {
+        eprintln!("\nsome figure shape checks FAILED");
+        return ExitCode::FAILURE;
+    }
+    println!("\nall requested artefacts regenerated; figure shape checks passed.");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,15 @@
+//! The `credence` command-line interface.
+//!
+//! One binary driving the whole reproduction from a shell: rank a corpus,
+//! generate every explanation type, test builder edits, browse topics,
+//! inspect corpus statistics, generate synthetic corpora, and serve the
+//! REST API. Command implementations live here (returning their output as
+//! strings) so they are unit-testable; `main.rs` is a thin printer.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Args, CliError};
+pub use commands::run;

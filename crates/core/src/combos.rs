@@ -1,0 +1,400 @@
+//! Minimality-ordered combination search.
+//!
+//! Both counterfactual generators iterate candidate perturbations "first by
+//! perturbation size in increasing order, then by importance score in
+//! decreasing order" (§II-C/§II-D). Because every size-`j` combination is
+//! evaluated before any size-`j+1` combination, the first valid
+//! counterfactual found is guaranteed *minimal* — the property the paper
+//! emphasises.
+//!
+//! [`ComboSearch`] materialises each size level lazily: level `j` is only
+//! generated when the search exhausts level `j-1`, and within a level the
+//! combinations are sorted by summed candidate score (descending, ties
+//! broken lexicographically on candidate indices for determinism).
+//!
+//! A [`SearchBudget`] bounds the exploration. When `max_candidates` truncates
+//! the candidate pool, the pool keeps the top-scoring candidates — matching
+//! the paper's "aims to evaluate terms in order of their importance" — and
+//! minimality remains guaranteed *within the explored pool*.
+
+use std::cmp::Ordering;
+
+/// Limits on the combination search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchBudget {
+    /// Largest perturbation size to explore.
+    pub max_size: usize,
+    /// Keep only the top-scoring this-many candidates.
+    pub max_candidates: usize,
+    /// Stop after this many candidate evaluations.
+    pub max_evaluations: usize,
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        Self {
+            max_size: 4,
+            max_candidates: 24,
+            max_evaluations: 20_000,
+        }
+    }
+}
+
+/// How candidates are ordered within a size level — the knob the ablation
+/// experiment (T-ABLATE) turns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateOrdering {
+    /// The paper's ordering: summed importance score, descending.
+    ImportanceGuided,
+    /// Importance ascending — the adversarial ordering.
+    Reverse,
+    /// Deterministic pseudo-random ordering from a seed.
+    Shuffled(u64),
+}
+
+/// One enumerated combination: indices into the original candidate slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Combo {
+    /// Candidate indices (into the caller's candidate slice), ascending.
+    pub items: Vec<usize>,
+    /// Summed score of the members.
+    pub score: f64,
+}
+
+/// The minimality-ordered enumerator.
+#[derive(Debug)]
+pub struct ComboSearch {
+    /// (original_index, score) of the retained candidates, sorted by score
+    /// descending.
+    pool: Vec<(usize, f64)>,
+    budget: SearchBudget,
+    ordering: CandidateOrdering,
+    current_size: usize,
+    level: Vec<Combo>,
+    level_pos: usize,
+    emitted: usize,
+}
+
+impl ComboSearch {
+    /// Create a search over `scores` (one score per candidate; the candidate
+    /// is identified by its index in this slice).
+    pub fn new(scores: &[f64], budget: SearchBudget, ordering: CandidateOrdering) -> Self {
+        let mut pool: Vec<(usize, f64)> =
+            scores.iter().copied().enumerate().collect();
+        pool.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        pool.truncate(budget.max_candidates);
+        Self {
+            pool,
+            budget,
+            ordering,
+            current_size: 0,
+            level: Vec::new(),
+            level_pos: 0,
+            emitted: 0,
+        }
+    }
+
+    /// Number of combinations handed out so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// The retained candidate pool (after `max_candidates` truncation),
+    /// best first.
+    pub fn pool(&self) -> &[(usize, f64)] {
+        &self.pool
+    }
+
+    fn build_level(&mut self, size: usize) {
+        self.level.clear();
+        self.level_pos = 0;
+        let n = self.pool.len();
+        if size == 0 || size > n {
+            return;
+        }
+        // Enumerate index combinations over the pool.
+        let mut idx: Vec<usize> = (0..size).collect();
+        loop {
+            let mut items: Vec<usize> = idx.iter().map(|&i| self.pool[i].0).collect();
+            items.sort_unstable();
+            let score: f64 = idx.iter().map(|&i| self.pool[i].1).sum();
+            self.level.push(Combo { items, score });
+            // Advance the combination odometer.
+            let mut i = size;
+            loop {
+                if i == 0 {
+                    return self.finish_level();
+                }
+                i -= 1;
+                if idx[i] != i + n - size {
+                    idx[i] += 1;
+                    for j in i + 1..size {
+                        idx[j] = idx[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    fn finish_level(&mut self) {
+        match self.ordering {
+            CandidateOrdering::ImportanceGuided => {
+                self.level.sort_by(|a, b| {
+                    b.score
+                        .partial_cmp(&a.score)
+                        .unwrap_or(Ordering::Equal)
+                        .then_with(|| a.items.cmp(&b.items))
+                });
+            }
+            CandidateOrdering::Reverse => {
+                self.level.sort_by(|a, b| {
+                    a.score
+                        .partial_cmp(&b.score)
+                        .unwrap_or(Ordering::Equal)
+                        .then_with(|| a.items.cmp(&b.items))
+                });
+            }
+            CandidateOrdering::Shuffled(seed) => {
+                // Deterministic Fisher-Yates driven by a splitmix64 stream.
+                let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut next = move || {
+                    state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    let mut z = state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    z ^ (z >> 31)
+                };
+                // Sort lexicographically first so shuffling is independent of
+                // generation order.
+                self.level.sort_by(|a, b| a.items.cmp(&b.items));
+                for i in (1..self.level.len()).rev() {
+                    let j = (next() % (i as u64 + 1)) as usize;
+                    self.level.swap(i, j);
+                }
+            }
+        }
+    }
+
+    /// Items of the combination expressed in the caller's candidate indices.
+    fn take_next(&mut self) -> Option<Combo> {
+        loop {
+            if self.emitted >= self.budget.max_evaluations {
+                return None;
+            }
+            if self.level_pos < self.level.len() {
+                let combo = self.level[self.level_pos].clone();
+                self.level_pos += 1;
+                self.emitted += 1;
+                return Some(combo);
+            }
+            // Advance to the next size level.
+            if self.current_size >= self.budget.max_size.min(self.pool.len()) {
+                return None;
+            }
+            self.current_size += 1;
+            let size = self.current_size;
+            self.build_level(size);
+        }
+    }
+}
+
+impl Iterator for ComboSearch {
+    type Item = Combo;
+
+    fn next(&mut self) -> Option<Combo> {
+        self.take_next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn search(scores: &[f64]) -> ComboSearch {
+        ComboSearch::new(
+            scores,
+            SearchBudget::default(),
+            CandidateOrdering::ImportanceGuided,
+        )
+    }
+
+    #[test]
+    fn sizes_are_non_decreasing() {
+        let combos: Vec<Combo> = search(&[3.0, 1.0, 2.0]).collect();
+        let sizes: Vec<usize> = combos.iter().map(|c| c.items.len()).collect();
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]), "{sizes:?}");
+        // 3 singles + 3 pairs + 1 triple.
+        assert_eq!(combos.len(), 7);
+    }
+
+    #[test]
+    fn within_size_scores_descend() {
+        let combos: Vec<Combo> = search(&[3.0, 1.0, 2.0]).collect();
+        for size in 1..=3 {
+            let level: Vec<&Combo> =
+                combos.iter().filter(|c| c.items.len() == size).collect();
+            assert!(level.windows(2).all(|w| w[0].score >= w[1].score));
+        }
+    }
+
+    #[test]
+    fn singles_come_in_score_order() {
+        let combos: Vec<Combo> = search(&[3.0, 1.0, 2.0]).take(3).collect();
+        let firsts: Vec<usize> = combos.iter().map(|c| c.items[0]).collect();
+        assert_eq!(firsts, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn best_pair_is_top_two_candidates() {
+        let mut s = search(&[3.0, 1.0, 2.0]);
+        let first_pair = s.find(|c| c.items.len() == 2).unwrap();
+        assert_eq!(first_pair.items, vec![0, 2]);
+        assert!((first_pair.score - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_size_j_before_any_size_j_plus_1() {
+        // The minimality guarantee, stated directly.
+        let combos: Vec<Combo> = ComboSearch::new(
+            &[5.0, 4.0, 3.0, 2.0, 1.0],
+            SearchBudget {
+                max_size: 3,
+                ..SearchBudget::default()
+            },
+            CandidateOrdering::ImportanceGuided,
+        )
+        .collect();
+        let mut seen_larger = false;
+        let mut last_size = 0;
+        for c in &combos {
+            if c.items.len() > last_size {
+                last_size = c.items.len();
+                seen_larger = true;
+            } else {
+                assert_eq!(c.items.len(), last_size);
+            }
+        }
+        assert!(seen_larger);
+        // Exhaustiveness per level: C(5,1)+C(5,2)+C(5,3) = 5+10+10.
+        assert_eq!(combos.len(), 25);
+    }
+
+    #[test]
+    fn max_candidates_keeps_best() {
+        let s = ComboSearch::new(
+            &[1.0, 9.0, 5.0, 7.0],
+            SearchBudget {
+                max_candidates: 2,
+                ..SearchBudget::default()
+            },
+            CandidateOrdering::ImportanceGuided,
+        );
+        let pool: Vec<usize> = s.pool().iter().map(|&(i, _)| i).collect();
+        assert_eq!(pool, vec![1, 3]);
+    }
+
+    #[test]
+    fn max_evaluations_caps_emission() {
+        let combos: Vec<Combo> = ComboSearch::new(
+            &[1.0; 10],
+            SearchBudget {
+                max_evaluations: 7,
+                ..SearchBudget::default()
+            },
+            CandidateOrdering::ImportanceGuided,
+        )
+        .collect();
+        assert_eq!(combos.len(), 7);
+    }
+
+    #[test]
+    fn max_size_respected() {
+        let combos: Vec<Combo> = ComboSearch::new(
+            &[1.0, 2.0, 3.0],
+            SearchBudget {
+                max_size: 1,
+                ..SearchBudget::default()
+            },
+            CandidateOrdering::ImportanceGuided,
+        )
+        .collect();
+        assert_eq!(combos.len(), 3);
+        assert!(combos.iter().all(|c| c.items.len() == 1));
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let combos: Vec<Combo> = search(&[]).collect();
+        assert!(combos.is_empty());
+    }
+
+    #[test]
+    fn reverse_ordering_flips_levels() {
+        let combos: Vec<Combo> = ComboSearch::new(
+            &[3.0, 1.0, 2.0],
+            SearchBudget::default(),
+            CandidateOrdering::Reverse,
+        )
+        .take(3)
+        .collect();
+        let firsts: Vec<usize> = combos.iter().map(|c| c.items[0]).collect();
+        assert_eq!(firsts, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn shuffled_is_deterministic_and_size_major() {
+        let a: Vec<Combo> = ComboSearch::new(
+            &[3.0, 1.0, 2.0, 5.0],
+            SearchBudget::default(),
+            CandidateOrdering::Shuffled(7),
+        )
+        .collect();
+        let b: Vec<Combo> = ComboSearch::new(
+            &[3.0, 1.0, 2.0, 5.0],
+            SearchBudget::default(),
+            CandidateOrdering::Shuffled(7),
+        )
+        .collect();
+        assert_eq!(a, b);
+        let sizes: Vec<usize> = a.iter().map(|c| c.items.len()).collect();
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+        // Same seed, different orderings still cover the same set.
+        let c: Vec<Combo> = ComboSearch::new(
+            &[3.0, 1.0, 2.0, 5.0],
+            SearchBudget::default(),
+            CandidateOrdering::Shuffled(8),
+        )
+        .collect();
+        assert_eq!(a.len(), c.len());
+    }
+
+    #[test]
+    fn items_are_original_indices_even_after_truncation() {
+        let combos: Vec<Combo> = ComboSearch::new(
+            &[0.0, 10.0, 0.0, 9.0],
+            SearchBudget {
+                max_candidates: 2,
+                ..SearchBudget::default()
+            },
+            CandidateOrdering::ImportanceGuided,
+        )
+        .collect();
+        assert_eq!(combos[0].items, vec![1]);
+        assert_eq!(combos[1].items, vec![3]);
+        assert_eq!(combos[2].items, vec![1, 3]);
+    }
+
+    #[test]
+    fn combo_items_sorted_ascending() {
+        for combo in search(&[1.0, 5.0, 3.0, 4.0, 2.0]) {
+            let mut sorted = combo.items.clone();
+            sorted.sort_unstable();
+            assert_eq!(combo.items, sorted);
+        }
+    }
+}

@@ -1,0 +1,678 @@
+//! The CREDENCE engine — the Figure-1 backend behind one façade.
+//!
+//! The original system wires a Lucene index, the monoT5 ranker, the
+//! counterfactual algorithms, a Doc2Vec model, and an LDA topic module
+//! behind a FastAPI service. [`CredenceEngine`] is that service layer as a
+//! library: construct it over any black-box [`Ranker`] and call the methods
+//! that mirror the REST endpoints (`credence-server` exposes them over
+//! HTTP).
+//!
+//! The engine trains the Doc2Vec space once at construction (it is
+//! query-independent) and fits LDA per request over the currently ranked
+//! top-k documents, exactly as the Browse-Topics modal does.
+
+use credence_embed::{Doc2Vec, Doc2VecConfig};
+use credence_index::DocId;
+use credence_rank::{rank_corpus, rank_corpus_parallel, RankedList, Ranker};
+use credence_text::Vocabulary;
+use credence_topics::{summarize_topics, LdaConfig, LdaModel, TopicSummary};
+
+use crate::builder::{test_edits, test_perturbation, BuilderOutcome, Edit};
+use crate::error::ExplainError;
+use crate::explanation::InstanceExplanation;
+use crate::instance_based::{cosine_sampled, doc2vec_nearest, CosineSampledConfig};
+use crate::query_augmentation::{
+    explain_query_augmentation, QueryAugmentationConfig, QueryAugmentationResult,
+};
+use crate::query_reduction::{
+    explain_query_reduction, QueryReductionConfig, QueryReductionResult,
+};
+use crate::sentence_removal::{
+    explain_sentence_removal, SentenceRemovalConfig, SentenceRemovalResult,
+};
+
+/// Engine-level configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Doc2Vec training configuration (for the Doc2Vec-nearest explainer).
+    pub doc2vec: Doc2VecConfig,
+    /// Cosine-sampled explainer configuration.
+    pub cosine: CosineSampledConfig,
+    /// LDA configuration for topic browsing.
+    pub lda: LdaConfig,
+    /// Number of top terms reported per topic.
+    pub topic_terms: usize,
+    /// Capacity of the per-engine query→ranking cache (0 disables it).
+    pub ranking_cache: usize,
+    /// Rank the corpus with scoped threads once it has at least this many
+    /// documents (0 disables parallel ranking).
+    pub parallel_threshold: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            doc2vec: Doc2VecConfig::default(),
+            cosine: CosineSampledConfig::default(),
+            lda: LdaConfig::default(),
+            topic_terms: 8,
+            ranking_cache: 64,
+            parallel_threshold: 10_000,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A configuration with cheap training parameters, for tests and
+    /// latency-sensitive demos.
+    pub fn fast() -> Self {
+        Self {
+            doc2vec: Doc2VecConfig {
+                dim: 32,
+                epochs: 30,
+                infer_epochs: 15,
+                ..Doc2VecConfig::default()
+            },
+            lda: LdaConfig {
+                iterations: 40,
+                ..LdaConfig::default()
+            },
+            ..Self::default()
+        }
+    }
+}
+
+/// One row of a ranking response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedDoc {
+    /// The document.
+    pub doc: DocId,
+    /// 1-based rank.
+    pub rank: usize,
+    /// Model score.
+    pub score: f64,
+    /// Document name (external id).
+    pub name: String,
+    /// Document title.
+    pub title: String,
+}
+
+/// A small FIFO cache of corpus rankings keyed by query string.
+///
+/// Every explainer starts by ranking the corpus for its query; a busy
+/// server re-ranks the same query many times per user interaction
+/// (rank → explain → explain → builder …). The corpus and the model are
+/// immutable after engine construction, so cached rankings can never go
+/// stale. FIFO keeps the implementation dependency-free; the working set
+/// (the handful of queries a user is iterating on) fits easily.
+struct RankingCache {
+    capacity: usize,
+    entries: std::sync::Mutex<std::collections::VecDeque<(String, std::sync::Arc<RankedList>)>>,
+}
+
+impl RankingCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: std::sync::Mutex::new(std::collections::VecDeque::new()),
+        }
+    }
+
+    fn get_or_insert(
+        &self,
+        query: &str,
+        compute: impl FnOnce() -> RankedList,
+    ) -> std::sync::Arc<RankedList> {
+        if self.capacity == 0 {
+            return std::sync::Arc::new(compute());
+        }
+        {
+            let cache = self.entries.lock().expect("cache lock poisoned");
+            if let Some((_, ranking)) = cache.iter().find(|(q, _)| q == query) {
+                return std::sync::Arc::clone(ranking);
+            }
+        }
+        let ranking = std::sync::Arc::new(compute());
+        let mut cache = self.entries.lock().expect("cache lock poisoned");
+        if !cache.iter().any(|(q, _)| q == query) {
+            cache.push_back((query.to_string(), std::sync::Arc::clone(&ranking)));
+            while cache.len() > self.capacity {
+                cache.pop_front();
+            }
+        }
+        ranking
+    }
+
+    fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock poisoned").len()
+    }
+}
+
+/// The CREDENCE backend over a black-box ranker.
+pub struct CredenceEngine<'a> {
+    ranker: &'a dyn Ranker,
+    doc2vec: Doc2Vec,
+    config: EngineConfig,
+    cache: RankingCache,
+}
+
+impl<'a> CredenceEngine<'a> {
+    /// Build the engine: trains the corpus-level Doc2Vec space.
+    pub fn new(ranker: &'a dyn Ranker, config: EngineConfig) -> Self {
+        let index = ranker.index();
+        let analyzer = index.analyzer();
+        let sequences: Vec<Vec<usize>> = index
+            .documents()
+            .iter()
+            .map(|d| {
+                analyzer
+                    .analyze(&d.body)
+                    .iter()
+                    .filter_map(|t| index.vocabulary().id(t).map(|x| x as usize))
+                    .collect()
+            })
+            .collect();
+        let doc2vec = Doc2Vec::train(&sequences, index.vocabulary().len(), &config.doc2vec);
+        let cache = RankingCache::new(config.ranking_cache);
+        Self {
+            ranker,
+            doc2vec,
+            config,
+            cache,
+        }
+    }
+
+    /// Cached corpus ranking for `query` (computed on first use; large
+    /// corpora rank across scoped threads).
+    fn cached_ranking(&self, query: &str) -> std::sync::Arc<RankedList> {
+        self.cache.get_or_insert(query, || {
+            let n = self.ranker.index().num_docs();
+            if self.config.parallel_threshold > 0 && n >= self.config.parallel_threshold {
+                let threads = std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1);
+                rank_corpus_parallel(self.ranker, query, threads)
+            } else {
+                rank_corpus(self.ranker, query)
+            }
+        })
+    }
+
+    /// Number of rankings currently cached (diagnostics).
+    pub fn cached_queries(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The underlying ranker.
+    pub fn ranker(&self) -> &dyn Ranker {
+        self.ranker
+    }
+
+    /// The trained Doc2Vec model (exposed for diagnostics and benches).
+    pub fn doc2vec(&self) -> &Doc2Vec {
+        &self.doc2vec
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// `POST /rank` — the top-k ranking for a query.
+    pub fn rank(&self, query: &str, k: usize) -> Vec<RankedDoc> {
+        let index = self.ranker.index();
+        let ranking = self.cached_ranking(query);
+        ranking
+            .entries()
+            .iter()
+            .take(k)
+            .enumerate()
+            .map(|(i, &(doc, score))| {
+                let d = index.document(doc).expect("ranked doc exists");
+                RankedDoc {
+                    doc,
+                    rank: i + 1,
+                    score,
+                    name: d.name.clone(),
+                    title: d.title.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// The full corpus ranking (used by experiments). Served from the
+    /// engine's ranking cache.
+    pub fn full_ranking(&self, query: &str) -> RankedList {
+        (*self.cached_ranking(query)).clone()
+    }
+
+    /// `POST /explain/sentence-removal` (§II-C).
+    pub fn sentence_removal(
+        &self,
+        query: &str,
+        k: usize,
+        doc: DocId,
+        config: &SentenceRemovalConfig,
+    ) -> Result<SentenceRemovalResult, ExplainError> {
+        explain_sentence_removal(self.ranker, query, k, doc, config)
+    }
+
+    /// `POST /explain/query-augmentation` (§II-D).
+    pub fn query_augmentation(
+        &self,
+        query: &str,
+        k: usize,
+        doc: DocId,
+        config: &QueryAugmentationConfig,
+    ) -> Result<QueryAugmentationResult, ExplainError> {
+        explain_query_augmentation(self.ranker, query, k, doc, config)
+    }
+
+    /// `POST /explain/query-reduction` — the §II-D dual: minimal query-term
+    /// removals that drop the document past `k`.
+    pub fn query_reduction(
+        &self,
+        query: &str,
+        k: usize,
+        doc: DocId,
+        config: &QueryReductionConfig,
+    ) -> Result<QueryReductionResult, ExplainError> {
+        explain_query_reduction(self.ranker, query, k, doc, config)
+    }
+
+    /// `POST /explain/doc2vec-nearest` (§II-E, variant 1).
+    pub fn doc2vec_nearest(
+        &self,
+        query: &str,
+        k: usize,
+        doc: DocId,
+        n: usize,
+    ) -> Result<Vec<InstanceExplanation>, ExplainError> {
+        doc2vec_nearest(self.ranker, &self.doc2vec, query, k, doc, n)
+    }
+
+    /// `POST /explain/cosine-sampled` (§II-E, variant 2). `samples`
+    /// overrides the configured default when `Some`.
+    pub fn cosine_sampled(
+        &self,
+        query: &str,
+        k: usize,
+        doc: DocId,
+        n: usize,
+        samples: Option<usize>,
+    ) -> Result<Vec<InstanceExplanation>, ExplainError> {
+        let mut cfg = self.config.cosine;
+        if let Some(s) = samples {
+            cfg.samples = s;
+        }
+        cosine_sampled(self.ranker, query, k, doc, n, &cfg)
+    }
+
+    /// `POST /rerank` — the builder's free-form perturbation test (§III-C).
+    pub fn builder_rerank(
+        &self,
+        query: &str,
+        k: usize,
+        doc: DocId,
+        edited_body: &str,
+    ) -> Result<BuilderOutcome, ExplainError> {
+        test_perturbation(self.ranker, query, k, doc, edited_body)
+    }
+
+    /// Structured-edit variant of [`Self::builder_rerank`].
+    pub fn builder_edits(
+        &self,
+        query: &str,
+        k: usize,
+        doc: DocId,
+        edits: &[Edit],
+    ) -> Result<BuilderOutcome, ExplainError> {
+        test_edits(self.ranker, query, k, doc, edits)
+    }
+
+    /// Documents most similar to *arbitrary text* (e.g. a builder edit in
+    /// progress), via Doc2Vec inference — plausibility guidance the builder
+    /// page can offer while the user types. Returns non-relevant documents
+    /// only when `exclude_top_k_for` is set.
+    pub fn nearest_to_text(
+        &self,
+        text: &str,
+        n: usize,
+        exclude_top_k_for: Option<(&str, usize)>,
+    ) -> Vec<crate::explanation::InstanceExplanation> {
+        let index = self.ranker.index();
+        let analyzer = index.analyzer();
+        let words: Vec<usize> = analyzer
+            .analyze(text)
+            .iter()
+            .filter_map(|t| index.vocabulary().id(t).map(|x| x as usize))
+            .collect();
+        let inferred = self.doc2vec.infer(&words);
+        let (excluded, ranking): (std::collections::HashSet<DocId>, Option<RankedList>) =
+            match exclude_top_k_for {
+                None => (Default::default(), None),
+                Some((query, k)) => {
+                    let ranking = rank_corpus(self.ranker, query);
+                    (ranking.top_k(k).into_iter().collect(), Some(ranking))
+                }
+            };
+        let neighbors = credence_embed::nearest_neighbors(
+            &inferred,
+            (0..index.num_docs())
+                .map(|d| (d, self.doc2vec.doc_vector(d)))
+                .filter(|&(d, _)| !excluded.contains(&DocId(d as u32))),
+            n,
+        );
+        neighbors
+            .into_iter()
+            .map(|nb| {
+                let doc = DocId(nb.item as u32);
+                crate::explanation::InstanceExplanation {
+                    doc,
+                    similarity: nb.similarity as f64,
+                    rank: ranking.as_ref().and_then(|r| r.rank_of(doc)),
+                }
+            })
+            .collect()
+    }
+
+    /// Highlight spans + best snippet for a ranked document — the view the
+    /// ranking table renders.
+    pub fn snippet(
+        &self,
+        query: &str,
+        doc: DocId,
+        window: usize,
+    ) -> Result<(Vec<credence_index::Highlight>, Option<credence_index::Snippet>), ExplainError>
+    {
+        let index = self.ranker.index();
+        let document = index.document(doc).ok_or(ExplainError::DocNotFound(doc))?;
+        let analyzer = index.analyzer();
+        let highlights = credence_index::highlight_terms(analyzer, query, &document.body);
+        let snippet = credence_index::best_snippet(analyzer, query, &document.body, window);
+        Ok((highlights, snippet))
+    }
+
+    /// `POST /topics` — LDA over the currently ranked top-k documents (the
+    /// Browse-Topics modal).
+    pub fn topics(
+        &self,
+        query: &str,
+        k: usize,
+        num_topics: usize,
+    ) -> Result<Vec<TopicSummary>, ExplainError> {
+        if num_topics == 0 {
+            return Err(ExplainError::InvalidParameter(
+                "num_topics must be at least 1",
+            ));
+        }
+        let index = self.ranker.index();
+        if index.analyze_query(query).is_empty() {
+            return Err(ExplainError::EmptyQuery);
+        }
+        let ranking = self.cached_ranking(query);
+        let top = ranking.top_k(k);
+        if top.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Build a local vocabulary over the ranked documents only, so topic
+        // term ids match the summary resolution step.
+        let analyzer = index.analyzer();
+        let mut vocab = Vocabulary::new();
+        let docs: Vec<Vec<usize>> = top
+            .iter()
+            .map(|&d| {
+                analyzer
+                    .analyze(&index.document(d).expect("ranked doc exists").body)
+                    .iter()
+                    .map(|t| vocab.intern(t) as usize)
+                    .collect()
+            })
+            .collect();
+        let lda = LdaModel::fit(
+            &docs,
+            vocab.len(),
+            &LdaConfig {
+                num_topics,
+                ..self.config.lda.clone()
+            },
+        );
+        Ok(summarize_topics(&lda, &vocab, self.config.topic_terms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credence_index::{Bm25Params, Document, InvertedIndex};
+    use credence_rank::Bm25Ranker;
+    use credence_text::Analyzer;
+
+    fn corpus() -> Vec<Document> {
+        vec![
+            Document::new(
+                "n1",
+                "Outbreak news",
+                "covid outbreak covid outbreak dominates the news cycle this week entirely",
+            ),
+            Document::new(
+                "n2",
+                "More outbreak news",
+                "The covid outbreak arrived quietly. Officials downplayed the covid outbreak \
+                 for weeks before acting decisively.",
+            ),
+            Document::new(
+                "n3",
+                "Conspiracy corner",
+                "The covid outbreak is a cover story. A secret microchip hides in every \
+                 vaccine dose. The microchip tracks your movements constantly.",
+            ),
+            Document::new(
+                "n4",
+                "Copycat conspiracy",
+                "A secret microchip hides in every vaccine dose. The microchip tracks your \
+                 movements constantly and secretly.",
+            ),
+            Document::new(
+                "n5",
+                "Harbor drills",
+                "Outbreak drills continue at the harbor facility through the weekend shift.",
+            ),
+            Document::new("n7", "Gardens", "The garden show opens to record spring crowds."),
+            Document::new("n6", "Rowing", "The rowing club wins the spring regatta again."),
+        ]
+    }
+
+    fn with_engine<T>(f: impl FnOnce(&CredenceEngine<'_>) -> T) -> T {
+        let idx = InvertedIndex::build(corpus(), Analyzer::english());
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        let engine = CredenceEngine::new(&ranker, EngineConfig::fast());
+        f(&engine)
+    }
+
+    #[test]
+    fn rank_endpoint_returns_metadata() {
+        with_engine(|e| {
+            let rows = e.rank("covid outbreak", 3);
+            assert_eq!(rows.len(), 3);
+            assert_eq!(rows[0].rank, 1);
+            assert!(!rows[0].name.is_empty());
+            assert!(rows.windows(2).all(|w| w[0].score >= w[1].score));
+        });
+    }
+
+    #[test]
+    fn rank_with_k_larger_than_matches() {
+        with_engine(|e| {
+            let rows = e.rank("covid outbreak", 50);
+            assert_eq!(rows.len(), 4, "only matching docs are returned");
+        });
+    }
+
+    #[test]
+    fn all_four_explainers_run_through_the_engine() {
+        with_engine(|e| {
+            let k = 3;
+            let doc = DocId(2); // the conspiracy doc, rank 3
+
+            let sr = e
+                .sentence_removal(
+                    "covid outbreak",
+                    k,
+                    doc,
+                    &SentenceRemovalConfig::default(),
+                )
+                .unwrap();
+            assert!(!sr.explanations.is_empty());
+
+            let qa = e
+                .query_augmentation(
+                    "covid outbreak",
+                    k,
+                    doc,
+                    &QueryAugmentationConfig {
+                        n: 1,
+                        threshold: 1,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            assert!(!qa.explanations.is_empty());
+
+            let d2v = e.doc2vec_nearest("covid outbreak", k, doc, 1).unwrap();
+            assert_eq!(d2v.len(), 1);
+
+            let cs = e
+                .cosine_sampled("covid outbreak", k, doc, 1, Some(10))
+                .unwrap();
+            assert_eq!(cs.len(), 1);
+            assert_eq!(cs[0].doc, DocId(3), "the copycat doc");
+
+            let b = e
+                .builder_edits(
+                    "covid outbreak",
+                    k,
+                    doc,
+                    &[Edit::replace("covid", "flu"), Edit::remove("outbreak")],
+                )
+                .unwrap();
+            assert!(b.valid);
+        });
+    }
+
+    #[test]
+    fn topics_endpoint_summarises_ranked_docs() {
+        with_engine(|e| {
+            let topics = e.topics("covid outbreak", 3, 2).unwrap();
+            assert_eq!(topics.len(), 2);
+            for t in &topics {
+                assert!(!t.terms.is_empty());
+                assert!(t.terms.len() <= e.config().topic_terms);
+            }
+            // Query terms dominate the ranked set, so they appear somewhere.
+            let all: Vec<&str> = topics
+                .iter()
+                .flat_map(|t| t.terms.iter().map(|(s, _)| s.as_str()))
+                .collect();
+            assert!(all.contains(&"covid") || all.contains(&"outbreak"));
+        });
+    }
+
+    #[test]
+    fn topics_validation() {
+        with_engine(|e| {
+            assert!(e.topics("covid", 3, 0).is_err());
+            assert!(e.topics("", 3, 2).is_err());
+            assert!(e.topics("covid", 0, 2).unwrap().is_empty());
+        });
+    }
+
+    #[test]
+    fn nearest_to_text_finds_similar_documents() {
+        with_engine(|e| {
+            // Text close to the copycat conspiracy doc.
+            let out = e.nearest_to_text(
+                "secret microchip hides in every vaccine dose tracking movements",
+                2,
+                None,
+            );
+            assert_eq!(out.len(), 2);
+            let found: Vec<u32> = out.iter().map(|x| x.doc.0).collect();
+            assert!(
+                found.contains(&2) || found.contains(&3),
+                "conspiracy docs expected, got {found:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn nearest_to_text_can_exclude_the_top_k() {
+        with_engine(|e| {
+            let out = e.nearest_to_text(
+                "covid outbreak dominates the news",
+                3,
+                Some(("covid outbreak", 3)),
+            );
+            let ranking = e.full_ranking("covid outbreak");
+            let top: Vec<_> = ranking.top_k(3);
+            for inst in &out {
+                assert!(!top.contains(&inst.doc));
+            }
+        });
+    }
+
+    #[test]
+    fn snippet_endpoint_highlights_query_terms() {
+        with_engine(|e| {
+            let (highlights, snippet) = e.snippet("covid outbreak", DocId(0), 8).unwrap();
+            assert!(!highlights.is_empty());
+            let snippet = snippet.unwrap();
+            assert!(snippet.hits > 0);
+            assert!(e.snippet("covid", DocId(99), 8).is_err());
+        });
+    }
+
+    #[test]
+    fn parallel_threshold_changes_nothing_observable() {
+        let idx = InvertedIndex::build(corpus(), Analyzer::english());
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        let serial = CredenceEngine::new(&ranker, EngineConfig::fast());
+        let parallel = CredenceEngine::new(
+            &ranker,
+            EngineConfig {
+                parallel_threshold: 1,
+                ..EngineConfig::fast()
+            },
+        );
+        let a = serial.full_ranking("covid outbreak");
+        let b = parallel.full_ranking("covid outbreak");
+        assert_eq!(a.entries(), b.entries());
+    }
+
+    #[test]
+    fn ranking_cache_fills_and_serves() {
+        with_engine(|e| {
+            assert_eq!(e.cached_queries(), 0);
+            let a = e.full_ranking("covid outbreak");
+            assert_eq!(e.cached_queries(), 1);
+            let b = e.full_ranking("covid outbreak");
+            assert_eq!(e.cached_queries(), 1, "second call hits the cache");
+            assert_eq!(a.entries(), b.entries());
+            e.rank("outbreak drills", 3);
+            assert_eq!(e.cached_queries(), 2);
+        });
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let a = with_engine(|e| {
+            e.doc2vec_nearest("covid outbreak", 3, DocId(2), 2)
+                .unwrap()
+        });
+        let b = with_engine(|e| {
+            e.doc2vec_nearest("covid outbreak", 3, DocId(2), 2)
+                .unwrap()
+        });
+        assert_eq!(a, b);
+    }
+}

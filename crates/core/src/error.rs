@@ -1,0 +1,71 @@
+//! Errors surfaced by the explanation algorithms.
+
+use std::fmt;
+
+use credence_index::DocId;
+
+/// Why an explanation request could not be served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExplainError {
+    /// The document id does not exist in the corpus.
+    DocNotFound(DocId),
+    /// The query analysed to zero terms.
+    EmptyQuery,
+    /// The instance document is not ranked in the top-k, so "lowering its
+    /// rank beyond k" (or the builder's pool) is undefined. Carries its
+    /// actual rank when it is ranked at all.
+    DocNotRelevant {
+        /// The document.
+        doc: DocId,
+        /// Its rank, if it appears in the ranking at all.
+        rank: Option<usize>,
+    },
+    /// The document has no sentences to remove.
+    NoSentences(DocId),
+    /// No candidate terms exist (every document term already appears in the
+    /// query, or the document analysed to nothing).
+    NoCandidateTerms(DocId),
+    /// `k` (or a threshold) was zero or otherwise unusable.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for ExplainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExplainError::DocNotFound(d) => write!(f, "document {d} not found"),
+            ExplainError::EmptyQuery => write!(f, "query has no indexable terms"),
+            ExplainError::DocNotRelevant { doc, rank } => match rank {
+                Some(r) => write!(f, "document {doc} is ranked {r}, outside the top-k"),
+                None => write!(f, "document {doc} is not retrieved for this query"),
+            },
+            ExplainError::NoSentences(d) => write!(f, "document {d} has no sentences"),
+            ExplainError::NoCandidateTerms(d) => {
+                write!(f, "document {d} offers no candidate terms to append")
+            }
+            ExplainError::InvalidParameter(p) => write!(f, "invalid parameter: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for ExplainError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ExplainError::DocNotFound(DocId(3)).to_string().contains('3'));
+        assert!(ExplainError::EmptyQuery.to_string().contains("query"));
+        let e = ExplainError::DocNotRelevant {
+            doc: DocId(1),
+            rank: Some(14),
+        };
+        assert!(e.to_string().contains("14"));
+        let e = ExplainError::DocNotRelevant {
+            doc: DocId(1),
+            rank: None,
+        };
+        assert!(e.to_string().contains("not retrieved"));
+    }
+}

@@ -1,0 +1,92 @@
+//! The explanation result types shared across algorithms.
+
+use credence_index::DocId;
+
+/// A counterfactual *document* explanation (§II-C): a minimal set of
+/// sentences whose removal renders the document non-relevant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SentenceRemovalExplanation {
+    /// Indices (into the document's sentence list) of removed sentences.
+    pub removed: Vec<usize>,
+    /// The removed sentences' text, in document order.
+    pub removed_text: Vec<String>,
+    /// The perturbed body (remaining sentences joined in order).
+    pub perturbed_body: String,
+    /// Summed importance score of the removed sentences.
+    pub importance: f64,
+    /// The document's rank before perturbation (1-based).
+    pub old_rank: usize,
+    /// The document's rank after perturbation within the top-(k+1) pool.
+    pub new_rank: usize,
+    /// How many candidate perturbations were evaluated before this one was
+    /// accepted (cumulative, for the ablation/efficiency tables).
+    pub candidates_evaluated: usize,
+}
+
+/// A counterfactual *query* explanation (§II-D): a minimal set of document
+/// terms which, appended to the query, raise the document above a rank
+/// threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAugmentationExplanation {
+    /// The appended terms, in the surface form they carry in the document.
+    pub terms: Vec<String>,
+    /// The full augmented query (original query plus appended terms).
+    pub augmented_query: String,
+    /// Summed TF-IDF score of the appended terms (within the ranked set).
+    pub tfidf: f64,
+    /// The document's rank under the original query (1-based).
+    pub old_rank: usize,
+    /// The document's rank under the augmented query.
+    pub new_rank: usize,
+    /// Cumulative candidate evaluations when this explanation was accepted.
+    pub candidates_evaluated: usize,
+}
+
+/// An instance-based counterfactual (§II-E): an actual non-relevant corpus
+/// document similar to the instance document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceExplanation {
+    /// The counterfactual instance document.
+    pub doc: DocId,
+    /// Similarity to the instance document (cosine, in `[-1, 1]`).
+    pub similarity: f64,
+    /// The instance's rank for the original query, when it is ranked at all
+    /// (always `> k` by construction).
+    pub rank: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn types_are_plain_data() {
+        let e = SentenceRemovalExplanation {
+            removed: vec![0, 5],
+            removed_text: vec!["a".into(), "b".into()],
+            perturbed_body: "rest".into(),
+            importance: 4.0,
+            old_rank: 3,
+            new_rank: 11,
+            candidates_evaluated: 9,
+        };
+        assert_eq!(e.clone(), e);
+
+        let q = QueryAugmentationExplanation {
+            terms: vec!["5g".into()],
+            augmented_query: "covid outbreak 5g".into(),
+            tfidf: 2.7,
+            old_rank: 3,
+            new_rank: 2,
+            candidates_evaluated: 1,
+        };
+        assert_eq!(q.clone(), q);
+
+        let i = InstanceExplanation {
+            doc: DocId(11),
+            similarity: 0.75,
+            rank: None,
+        };
+        assert_eq!(i.clone(), i);
+    }
+}

@@ -1,0 +1,246 @@
+//! Occlusion saliency — the baseline explanation family CREDENCE is
+//! positioned against.
+//!
+//! The paper's related work (EXS, LIRME, DeepSHAP for retrieval) explains
+//! rankings with *saliency*: per-feature importance weights. To let the
+//! benches compare counterfactual and saliency explanations on the same
+//! footing, this module implements the standard model-agnostic occlusion
+//! estimator: the saliency of a unit (term or sentence) is the score drop
+//! the black-box ranker exhibits when that unit is removed,
+//!
+//! ```text
+//! saliency(u) = score(q, d) − score(q, d \ u)
+//! ```
+//!
+//! Unlike counterfactuals, saliency makes no statement about what suffices
+//! to change the *ranking* — the comparison table (T-SALIENCY) quantifies
+//! exactly that gap: top-saliency units are not necessarily a valid
+//! counterfactual set, and counterfactual sets are not necessarily the
+//! top-saliency units.
+
+use credence_index::DocId;
+use credence_rank::Ranker;
+use credence_text::{split_sentences, tokenize};
+
+use crate::error::ExplainError;
+
+/// Saliency granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaliencyUnit {
+    /// One weight per sentence.
+    Sentence,
+    /// One weight per distinct (normalised) term.
+    Term,
+}
+
+/// One unit's saliency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaliencyWeight {
+    /// The unit's text (sentence text, or the term).
+    pub unit: String,
+    /// Index of the unit (sentence index, or rank among distinct terms in
+    /// first-occurrence order).
+    pub index: usize,
+    /// Score drop when the unit is occluded. Positive = the unit supports
+    /// relevance.
+    pub weight: f64,
+}
+
+/// A saliency explanation: weights for every unit, sorted descending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaliencyExplanation {
+    /// The granularity used.
+    pub unit: SaliencyUnit,
+    /// Weights, most salient first (ties by unit index).
+    pub weights: Vec<SaliencyWeight>,
+    /// The document's unperturbed score.
+    pub base_score: f64,
+}
+
+/// Compute an occlusion-saliency explanation for `doc` under `query`.
+///
+/// Requires only that the document exists and the query analyses to
+/// something; the document does not need to be in the top-k (saliency is
+/// defined for any score).
+pub fn explain_saliency(
+    ranker: &dyn Ranker,
+    query: &str,
+    doc: DocId,
+    unit: SaliencyUnit,
+) -> Result<SaliencyExplanation, ExplainError> {
+    let index = ranker.index();
+    let document = index
+        .document(doc)
+        .ok_or(ExplainError::DocNotFound(doc))?
+        .clone();
+    if index.analyze_query(query).is_empty() {
+        return Err(ExplainError::EmptyQuery);
+    }
+    let base_score = ranker.score_doc(query, doc);
+
+    let mut weights = match unit {
+        SaliencyUnit::Sentence => {
+            let sentences = split_sentences(&document.body);
+            if sentences.is_empty() {
+                return Err(ExplainError::NoSentences(doc));
+            }
+            sentences
+                .iter()
+                .map(|s| {
+                    let occluded: String = sentences
+                        .iter()
+                        .filter(|x| x.index != s.index)
+                        .map(|x| x.text.as_str())
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    SaliencyWeight {
+                        unit: s.text.clone(),
+                        index: s.index,
+                        weight: base_score - ranker.score_text(query, &occluded),
+                    }
+                })
+                .collect::<Vec<_>>()
+        }
+        SaliencyUnit::Term => {
+            let tokens = tokenize(&document.body);
+            let mut distinct: Vec<String> = Vec::new();
+            for t in &tokens {
+                if !distinct.contains(&t.term) {
+                    distinct.push(t.term.clone());
+                }
+            }
+            if distinct.is_empty() {
+                return Err(ExplainError::NoCandidateTerms(doc));
+            }
+            distinct
+                .iter()
+                .enumerate()
+                .map(|(i, term)| {
+                    // Occlude: drop every occurrence of the term.
+                    let occluded: String = tokens
+                        .iter()
+                        .filter(|t| &t.term != term)
+                        .map(|t| t.raw.as_str())
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    SaliencyWeight {
+                        unit: term.clone(),
+                        index: i,
+                        weight: base_score - ranker.score_text(query, &occluded),
+                    }
+                })
+                .collect::<Vec<_>>()
+        }
+    };
+
+    weights.sort_by(|a, b| {
+        b.weight
+            .partial_cmp(&a.weight)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.index.cmp(&b.index))
+    });
+    Ok(SaliencyExplanation {
+        unit,
+        weights,
+        base_score,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credence_index::{Bm25Params, Document, InvertedIndex};
+    use credence_rank::Bm25Ranker;
+    use credence_text::Analyzer;
+
+    fn fixture() -> InvertedIndex {
+        InvertedIndex::build(
+            vec![
+                Document::from_body(
+                    "The covid outbreak worries everyone. Gardens are quiet this week. \
+                     Officials tracked the covid outbreak closely.",
+                ),
+                Document::from_body("covid outbreak news continues daily."),
+                Document::from_body("The garden fair sells tomato seedlings."),
+            ],
+            Analyzer::english(),
+        )
+    }
+
+    #[test]
+    fn sentence_saliency_ranks_query_sentences_first() {
+        let idx = fixture();
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        let exp = explain_saliency(&ranker, "covid outbreak", DocId(0), SaliencyUnit::Sentence)
+            .unwrap();
+        assert_eq!(exp.weights.len(), 3);
+        // The garden sentence must be least salient (its removal can only
+        // help the score through length normalisation).
+        let last = exp.weights.last().unwrap();
+        assert!(last.unit.contains("Gardens"));
+        // The two covid sentences carry positive weight.
+        for w in &exp.weights[..2] {
+            assert!(w.weight > 0.0, "{w:?}");
+            assert!(w.unit.contains("covid"));
+        }
+    }
+
+    #[test]
+    fn term_saliency_ranks_query_terms_first() {
+        let idx = fixture();
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        let exp =
+            explain_saliency(&ranker, "covid outbreak", DocId(0), SaliencyUnit::Term).unwrap();
+        let top2: Vec<&str> = exp.weights[..2].iter().map(|w| w.unit.as_str()).collect();
+        assert!(top2.contains(&"covid"));
+        assert!(top2.contains(&"outbreak"));
+    }
+
+    #[test]
+    fn non_query_terms_have_non_positive_weight() {
+        let idx = fixture();
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        let exp =
+            explain_saliency(&ranker, "covid outbreak", DocId(0), SaliencyUnit::Term).unwrap();
+        for w in &exp.weights {
+            if w.unit != "covid" && w.unit != "outbreak" {
+                // Removing a non-query term shortens the document, which can
+                // only raise or keep the BM25 score: weight <= 0.
+                assert!(w.weight <= 1e-12, "{w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn base_score_matches_ranker() {
+        let idx = fixture();
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        let exp = explain_saliency(&ranker, "covid outbreak", DocId(0), SaliencyUnit::Sentence)
+            .unwrap();
+        assert!((exp.base_score - ranker.score_doc("covid outbreak", DocId(0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn works_for_unranked_documents() {
+        let idx = fixture();
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        let exp = explain_saliency(&ranker, "covid outbreak", DocId(2), SaliencyUnit::Term)
+            .unwrap();
+        assert_eq!(exp.base_score, 0.0);
+        assert!(exp.weights.iter().all(|w| w.weight.abs() < 1e-12));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let idx = fixture();
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        assert!(matches!(
+            explain_saliency(&ranker, "covid", DocId(99), SaliencyUnit::Term),
+            Err(ExplainError::DocNotFound(_))
+        ));
+        assert!(matches!(
+            explain_saliency(&ranker, "", DocId(0), SaliencyUnit::Term),
+            Err(ExplainError::EmptyQuery)
+        ));
+    }
+}

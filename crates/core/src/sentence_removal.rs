@@ -1,0 +1,464 @@
+//! Counterfactual *document* explanations by sentence removal (§II-C).
+//!
+//! > "An explanation identifies a minimal subset of sentences in a given
+//! > instance document whose removal lowers the rank of the document
+//! > beyond k."
+//!
+//! The algorithm, exactly as the paper specifies:
+//!
+//! 1. Score every sentence of the instance document with an **importance**
+//!    equal to the number of sentence terms that appear in the search query.
+//! 2. Enumerate candidate sentence subsets first by perturbation size
+//!    (ascending), then by summed importance (descending) —
+//!    [`crate::combos::ComboSearch`].
+//! 3. For each candidate, materialise the perturbed document, re-rank it
+//!    against the original top-(k+1) pool (the same substitution re-ranking
+//!    the builder uses, §III-C), and accept it into the explanation set when
+//!    its new rank exceeds `k`.
+//! 4. Stop after `n` explanations or when the budget is exhausted.
+//!
+//! Size-major enumeration guarantees the first accepted explanation is
+//! minimal: "all perturbations with j removals must be evaluated before
+//! those with j+1".
+
+use credence_index::DocId;
+use credence_rank::{rank_corpus, rerank_pool, Ranker};
+use credence_text::{split_sentences, Sentence};
+
+use crate::combos::{CandidateOrdering, ComboSearch, SearchBudget};
+use crate::error::ExplainError;
+use crate::explanation::SentenceRemovalExplanation;
+
+/// Configuration for the sentence-removal explainer.
+#[derive(Debug, Clone)]
+pub struct SentenceRemovalConfig {
+    /// Maximum number of explanations to return (`n` in the paper).
+    pub n: usize,
+    /// Search limits.
+    pub budget: SearchBudget,
+    /// Candidate ordering (the ablation knob; the paper's algorithm is
+    /// [`CandidateOrdering::ImportanceGuided`]).
+    pub ordering: CandidateOrdering,
+    /// When requesting several explanations, skip candidates that are
+    /// supersets of an already-accepted explanation — each returned
+    /// explanation then carries *new* information. Off by default to match
+    /// the paper's algorithm verbatim.
+    pub skip_supersets: bool,
+}
+
+impl Default for SentenceRemovalConfig {
+    fn default() -> Self {
+        Self {
+            n: 1,
+            budget: SearchBudget::default(),
+            ordering: CandidateOrdering::ImportanceGuided,
+            skip_supersets: false,
+        }
+    }
+}
+
+/// Result of a sentence-removal explanation request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SentenceRemovalResult {
+    /// The explanations found, in discovery order.
+    pub explanations: Vec<SentenceRemovalExplanation>,
+    /// The document's sentences, as segmented.
+    pub sentences: Vec<Sentence>,
+    /// Per-sentence importance scores.
+    pub importance: Vec<f64>,
+    /// Total candidate perturbations evaluated.
+    pub candidates_evaluated: usize,
+    /// The document's original rank.
+    pub old_rank: usize,
+}
+
+/// Importance of a sentence: the number of its terms that appear in the
+/// query (both sides analysed identically, so "Covid-19," matches "covid-19"
+/// and stemmed forms agree with the index).
+fn sentence_importance(ranker: &dyn Ranker, query: &str, sentence: &str) -> f64 {
+    let analyzer = ranker.index().analyzer();
+    let query_terms: std::collections::HashSet<String> =
+        analyzer.analyze(query).into_iter().collect();
+    analyzer
+        .analyze(sentence)
+        .iter()
+        .filter(|t| query_terms.contains(t.as_str()))
+        .count() as f64
+}
+
+/// Generate counterfactual document explanations for `doc` under `query`
+/// with cutoff `k`.
+///
+/// Errors when the document does not exist, the query is empty, the document
+/// is not in the top-k (there is nothing to push out), or it has no
+/// sentences.
+pub fn explain_sentence_removal(
+    ranker: &dyn Ranker,
+    query: &str,
+    k: usize,
+    doc: DocId,
+    config: &SentenceRemovalConfig,
+) -> Result<SentenceRemovalResult, ExplainError> {
+    if k == 0 {
+        return Err(ExplainError::InvalidParameter("k must be at least 1"));
+    }
+    let index = ranker.index();
+    let document = index
+        .document(doc)
+        .ok_or(ExplainError::DocNotFound(doc))?
+        .clone();
+    if index.analyze_query(query).is_empty() {
+        return Err(ExplainError::EmptyQuery);
+    }
+
+    let ranking = rank_corpus(ranker, query);
+    let old_rank = ranking.rank_of(doc).ok_or(ExplainError::DocNotRelevant {
+        doc,
+        rank: None,
+    })?;
+    if old_rank > k {
+        return Err(ExplainError::DocNotRelevant {
+            doc,
+            rank: Some(old_rank),
+        });
+    }
+
+    let sentences = split_sentences(&document.body);
+    if sentences.is_empty() {
+        return Err(ExplainError::NoSentences(doc));
+    }
+
+    // The §III-C pool: the top-(k+1) documents of the original ranking.
+    let pool = ranking.top_k(k + 1);
+
+    let importance: Vec<f64> = sentences
+        .iter()
+        .map(|s| sentence_importance(ranker, query, &s.text))
+        .collect();
+
+    let mut budget = config.budget;
+    // Removing every sentence is allowed only when the paper's notion of a
+    // perturbed document stays meaningful; cap at #sentences.
+    budget.max_size = budget.max_size.min(sentences.len());
+
+    let mut search = ComboSearch::new(&importance, budget, config.ordering);
+    let mut explanations = Vec::new();
+
+    while explanations.len() < config.n {
+        let Some(combo) = search.next() else {
+            break;
+        };
+        let removed: std::collections::HashSet<usize> = combo.items.iter().copied().collect();
+        if config.skip_supersets
+            && explanations.iter().any(|e: &SentenceRemovalExplanation| {
+                e.removed.iter().all(|i| removed.contains(i))
+            })
+        {
+            continue;
+        }
+        let perturbed_body: String = sentences
+            .iter()
+            .filter(|s| !removed.contains(&s.index))
+            .map(|s| s.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let rows = rerank_pool(ranker, query, &pool, Some((doc, &perturbed_body)));
+        let new_rank = rows
+            .iter()
+            .find(|r| r.substituted)
+            .map(|r| r.new_rank)
+            .expect("substituted doc is in the pool");
+        if new_rank > k {
+            explanations.push(SentenceRemovalExplanation {
+                removed: combo.items.clone(),
+                removed_text: combo
+                    .items
+                    .iter()
+                    .map(|&i| sentences[i].text.clone())
+                    .collect(),
+                perturbed_body,
+                importance: combo.score,
+                old_rank,
+                new_rank,
+                candidates_evaluated: search.emitted(),
+            });
+        }
+    }
+
+    Ok(SentenceRemovalResult {
+        explanations,
+        sentences,
+        importance,
+        candidates_evaluated: search.emitted(),
+        old_rank,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credence_index::{Bm25Params, Document, InvertedIndex};
+    use credence_rank::Bm25Ranker;
+    use credence_text::Analyzer;
+
+    /// Tiny corpus where doc 0 is relevant through exactly two sentences.
+    fn fixture() -> InvertedIndex {
+        InvertedIndex::build(
+            vec![
+                Document::from_body(
+                    "The covid outbreak worries everyone. Gardens are quiet this week. \
+                     Officials tracked the covid outbreak closely.",
+                ),
+                Document::from_body(
+                    "covid outbreak updates arrive hourly for readers following the regional \
+                     evening news bulletin.",
+                ),
+                Document::from_body(
+                    "covid outbreak statistics were published early this morning by the county \
+                     health department office.",
+                ),
+                Document::from_body("The annual garden show opened downtown."),
+            ],
+            Analyzer::english(),
+        )
+    }
+
+    #[test]
+    fn finds_minimal_two_sentence_counterfactual() {
+        let idx = fixture();
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        // k = 2: doc 0 ranks in the top two (tf 2 for both terms).
+        let result = explain_sentence_removal(
+            &ranker,
+            "covid outbreak",
+            2,
+            DocId(0),
+            &SentenceRemovalConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(result.explanations.len(), 1);
+        let e = &result.explanations[0];
+        // Both covid sentences (0 and 2) must go; the garden sentence stays.
+        assert_eq!(e.removed, vec![0, 2]);
+        assert!(e.new_rank > 2);
+        assert_eq!(e.old_rank, 1);
+        assert!((e.importance - 4.0).abs() < 1e-12);
+        assert!(!e.perturbed_body.contains("covid"));
+        assert!(e.perturbed_body.contains("Gardens"));
+    }
+
+    #[test]
+    fn importance_scores_count_query_terms() {
+        let idx = fixture();
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        let result = explain_sentence_removal(
+            &ranker,
+            "covid outbreak",
+            2,
+            DocId(0),
+            &SentenceRemovalConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(result.importance, vec![2.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn single_sentence_removals_tried_first() {
+        let idx = fixture();
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        let result = explain_sentence_removal(
+            &ranker,
+            "covid outbreak",
+            2,
+            DocId(0),
+            &SentenceRemovalConfig::default(),
+        )
+        .unwrap();
+        // 3 singles all fail, then (0,2) is the top-importance pair.
+        assert_eq!(result.explanations[0].candidates_evaluated, 4);
+    }
+
+    #[test]
+    fn multiple_explanations_requested() {
+        let idx = fixture();
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        let result = explain_sentence_removal(
+            &ranker,
+            "covid outbreak",
+            2,
+            DocId(0),
+            &SentenceRemovalConfig {
+                n: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // (0,2), (0,1,2) — and any other subset containing both 0 and 2.
+        assert!(result.explanations.len() >= 2);
+        for e in &result.explanations {
+            assert!(e.removed.contains(&0) && e.removed.contains(&2));
+            assert!(e.new_rank > 2, "every accepted explanation is valid");
+        }
+        // Sizes never decrease across the discovery order.
+        let sizes: Vec<usize> = result
+            .explanations
+            .iter()
+            .map(|e| e.removed.len())
+            .collect();
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn skip_supersets_yields_distinct_explanations() {
+        let idx = fixture();
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        let result = explain_sentence_removal(
+            &ranker,
+            "covid outbreak",
+            2,
+            DocId(0),
+            &SentenceRemovalConfig {
+                n: 5,
+                skip_supersets: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Every pair of accepted explanations must be incomparable sets.
+        for (i, a) in result.explanations.iter().enumerate() {
+            for b in result.explanations.iter().skip(i + 1) {
+                let a_set: std::collections::HashSet<_> = a.removed.iter().collect();
+                let subset = b.removed.iter().all(|x| a_set.contains(x));
+                let superset = a.removed.iter().all(|x| b.removed.contains(x));
+                assert!(!subset && !superset, "{:?} vs {:?}", a.removed, b.removed);
+            }
+        }
+        // With the fixture there is exactly one incomparable minimal set.
+        assert_eq!(result.explanations.len(), 1);
+    }
+
+    #[test]
+    fn doc_outside_top_k_is_rejected() {
+        let idx = fixture();
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        let err = explain_sentence_removal(
+            &ranker,
+            "covid outbreak",
+            1,
+            DocId(2),
+            &SentenceRemovalConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ExplainError::DocNotRelevant { rank: Some(_), .. }
+        ));
+    }
+
+    #[test]
+    fn unranked_doc_is_rejected() {
+        let idx = fixture();
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        let err = explain_sentence_removal(
+            &ranker,
+            "covid outbreak",
+            2,
+            DocId(3),
+            &SentenceRemovalConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExplainError::DocNotRelevant { rank: None, .. }));
+    }
+
+    #[test]
+    fn missing_doc_and_bad_params() {
+        let idx = fixture();
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        assert!(matches!(
+            explain_sentence_removal(
+                &ranker,
+                "covid",
+                2,
+                DocId(99),
+                &SentenceRemovalConfig::default()
+            ),
+            Err(ExplainError::DocNotFound(_))
+        ));
+        assert!(matches!(
+            explain_sentence_removal(
+                &ranker,
+                "covid",
+                0,
+                DocId(0),
+                &SentenceRemovalConfig::default()
+            ),
+            Err(ExplainError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            explain_sentence_removal(
+                &ranker,
+                "zzz qqq",
+                2,
+                DocId(0),
+                &SentenceRemovalConfig::default()
+            ),
+            Err(ExplainError::EmptyQuery)
+        ));
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_partial_result() {
+        let idx = fixture();
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        let result = explain_sentence_removal(
+            &ranker,
+            "covid outbreak",
+            2,
+            DocId(0),
+            &SentenceRemovalConfig {
+                n: 1,
+                budget: SearchBudget {
+                    max_evaluations: 2,
+                    ..SearchBudget::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(result.explanations.is_empty());
+        assert_eq!(result.candidates_evaluated, 2);
+    }
+
+    #[test]
+    fn every_returned_explanation_is_a_valid_counterfactual() {
+        // Validity invariant: re-checking each explanation independently
+        // reproduces new_rank > k.
+        let idx = fixture();
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        let k = 2;
+        let result = explain_sentence_removal(
+            &ranker,
+            "covid outbreak",
+            k,
+            DocId(0),
+            &SentenceRemovalConfig {
+                n: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let ranking = rank_corpus(&ranker, "covid outbreak");
+        let pool = ranking.top_k(k + 1);
+        for e in &result.explanations {
+            let rows = rerank_pool(
+                &ranker,
+                "covid outbreak",
+                &pool,
+                Some((DocId(0), &e.perturbed_body)),
+            );
+            let rank = rows.iter().find(|r| r.substituted).unwrap().new_rank;
+            assert_eq!(rank, e.new_rank);
+            assert!(rank > k);
+        }
+    }
+}

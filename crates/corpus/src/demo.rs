@@ -1,0 +1,625 @@
+//! The "COVID-19 Articles" demonstration corpus.
+//!
+//! The paper's running example (§III) plays out on a proprietary corpus of
+//! COVID-19 articles. This module recreates a corpus with the same
+//! *load-bearing phenomena*, so every demonstration scenario reproduces:
+//!
+//! * Figure 2 — the fake-news article ranks **3/10** for `covid outbreak`;
+//!   its first and last sentences carry all of its `covid`/`outbreak`
+//!   occurrences (importance 2 each), and removing *both* — but no single
+//!   sentence — pushes it past `k = 10`.
+//! * Figure 3 — distinguishing terms (`5g`, `microchip`, `bill`, `gates`,
+//!   `tracking`) appear in no other top-10 document, so they carry top
+//!   TF-IDF among the ranked set; appending `5g` lifts the article to rank
+//!   2 and `5g microchip` to rank 1.
+//! * Figure 4 — a near-duplicate of the fake-news article, minus the
+//!   query-bearing sentences, exists in the corpus and is never retrieved
+//!   for the original query.
+//! * Figure 5 — an 11th-ranked document (a flu-outbreak story) exists for
+//!   the builder's "revealed rank k+1" row.
+//!
+//! Document text that is visible in the paper's figures (the microchip
+//! conspiracy passage) is quoted nearly verbatim; everything else is
+//! synthetic filler that fixes the document-frequency profile the scenario
+//! arithmetic needs.
+
+use credence_index::Document;
+
+/// The demo corpus plus the indices of the documents the scenarios refer to.
+#[derive(Debug, Clone)]
+pub struct DemoCorpus {
+    /// All documents; index in this vector becomes the `DocId`.
+    pub docs: Vec<Document>,
+    /// Index of the fake-news article (target rank 3).
+    pub fake_news: usize,
+    /// Index of its near-duplicate lacking the query terms (Fig. 4).
+    pub near_duplicate: usize,
+    /// Index of the flu-outbreak story (target rank 11, Fig. 5's reveal).
+    pub rank11: usize,
+    /// The running-example query.
+    pub query: &'static str,
+    /// The running-example cutoff.
+    pub k: usize,
+}
+
+/// Body of the fake-news article being explained throughout the paper.
+///
+/// Sentence 0 and the final sentence are the only ones containing `covid`
+/// and `outbreak`; each therefore has importance 2 for the demo query.
+pub const FAKE_NEWS_BODY: &str = "\
+Attention loyal followers, the covid outbreak is a cover story invented by powerful insiders. \
+5G tracking microchips are being secretly planted in each second dose of the vaccine, \
+making people's arms magnetic and allowing shadowy agencies or global elites like Bill Gates \
+to track those who are vaccinated. \
+Gates recently said that eventually we will need digital certificates to prove immunity. \
+Doctors, scientists and my next door neighbor, who does have RFID systems implanted under \
+his skin, all agree that this theory is true. \
+They have many ways to track us through our phones, through our credit cards, through other \
+kinds of things. \
+When 1500 American adults were asked in July whether the state is using the shot to \
+microchip the population, 99 percent said it was definitely real. \
+The covid outbreak should have been one of those moments that brought us together, but \
+instead it has divided the country, so share and repost to spread the news.";
+
+/// Body of the near-duplicate (Fig. 4): the same conspiracy passage without
+/// the sentences that mention the query terms.
+pub const NEAR_DUPLICATE_BODY: &str = "\
+5G tracking microchips are being secretly planted in each second dose of the vaccine, \
+making people's arms magnetic and allowing shadowy agencies or global elites like Bill Gates \
+to track those who are vaccinated. \
+Gates recently said that eventually we will need digital certificates to prove immunity. \
+Doctors, scientists and my next door neighbor, who does have RFID systems implanted under \
+his skin, all agree that this theory is true. \
+They have many ways to track us through our phones, through our credit cards, through other \
+kinds of things. \
+When 1500 American adults were asked in July whether the state is using the shot to \
+microchip the population, 99 percent said it was definitely real. \
+Share and repost to spread the news before it disappears.";
+
+/// Build the demonstration corpus.
+///
+/// Deterministic: the same documents in the same order every call.
+pub fn covid_demo_corpus() -> DemoCorpus {
+    let mut docs = Vec::new();
+    let mut push = |name: &str, title: &str, body: &str| -> usize {
+        docs.push(Document::new(name, title, body));
+        docs.len() - 1
+    };
+
+    // --- Rank 1 target: dense coverage of both query terms. -------------
+    push(
+        "news-001",
+        "Covid outbreak intensifies nationwide",
+        "The covid outbreak intensified across the country on Monday. \
+         Health officials reported record covid infections as the outbreak spread to every \
+         province overnight. Hospitals treating covid patients warned that the outbreak is \
+         straining capacity everywhere. Federal agencies released new covid guidance for \
+         schools while governors coordinated a joint covid response as the outbreak continued. \
+         Experts cautioned that the covid outbreak may not peak until next month.",
+    );
+
+    // --- Rank 2 target: strong but lighter coverage. ---------------------
+    push(
+        "news-002",
+        "City confirms covid cluster downtown",
+        "City health officials confirmed a covid cluster downtown on Friday. \
+         The outbreak began at a crowded indoor concert, investigators said. \
+         Contact notification reached covid patients within hours, and the main covid \
+         testing site reopened on Saturday to manage the outbreak.",
+    );
+
+    // --- Rank 3 target: the fake-news article. ---------------------------
+    let fake_news = push(
+        "fake-news-644529",
+        "The truth they are hiding from you",
+        FAKE_NEWS_BODY,
+    );
+
+    // --- Ranks 4-10 targets: one covid + one outbreak mention each. ------
+    push(
+        "news-003",
+        "Schools adapt during health emergency",
+        "Teachers spent the week moving lessons online as the covid emergency closed \
+         classrooms across the district. Administrators said remote schedules would continue \
+         until the outbreak subsides. Parents juggled work and childcare while counselors \
+         checked in on students. The district promised laptops for every family that needs \
+         one and free meals at pickup points across the city.",
+    );
+    push(
+        "news-004",
+        "Economic fallout widens",
+        "Economists warned on Tuesday that the covid downturn could last through the winter. \
+         Small businesses reported steep losses since the outbreak forced them to close \
+         their doors. Retail owners asked lawmakers for relief funds and rent deferrals. \
+         Analysts said consumer confidence fell for the third straight month while savings \
+         rates climbed to historic highs across the region.",
+    );
+    push(
+        "news-005",
+        "Travel restrictions extended",
+        "Airlines cancelled hundreds of flights after new covid travel rules took effect. \
+         Border agencies extended screening measures for travellers arriving from regions \
+         where the outbreak remains severe. Tour operators refunded spring bookings and \
+         cruise lines suspended departures. Industry groups estimated losses in the billions \
+         and asked for coordinated international reopening standards.",
+    );
+    push(
+        "news-006",
+        "Season suspended for local teams",
+        "The regional league suspended its season on Wednesday citing covid safety concerns. \
+         Players and coaches entered testing protocols as the outbreak touched two locker \
+         rooms. Fans were refunded for remaining home games. Team owners discussed playing \
+         in empty stadiums next month while broadcasters renegotiated schedules around the \
+         shortened calendar.",
+    );
+    push(
+        "news-007",
+        "Vaccine rollout reaches rural clinics",
+        "Rural clinics received their first covid vaccine shipments on Thursday morning. \
+         Nurses scheduled appointments for elderly residents hoping to blunt the outbreak \
+         before winter. County health departments opened drive-through sites and published \
+         eligibility timelines. Volunteers directed traffic while pharmacists drew doses in \
+         cold-chain trailers parked outside community centers.",
+    );
+    push(
+        "news-008",
+        "Mask guidance updated for transit",
+        "Transit authorities updated their covid mask guidance for buses and trains. \
+         Officials said the change reflects how the outbreak has evolved in dense urban \
+         corridors. Riders will find dispensers at major stations and signage in three \
+         languages. Drivers received fresh supplies and the agency expanded cleaning crews \
+         on night routes through downtown.",
+    );
+    push(
+        "news-009",
+        "Restaurants pivot to patio dining",
+        "Restaurant owners rebuilt sidewalks into patios as covid rules limited indoor \
+         seating. Chefs shortened menus to survive the outbreak and delivery co-ops formed \
+         to avoid app fees. The city waived permit costs through spring. Diners booked \
+         heated tents weeks in advance while suppliers retooled for takeaway packaging \
+         across the metro area.",
+    );
+
+    // --- Rank 11 target: outbreak without covid (the builder's reveal). --
+    let rank11 = push(
+        "news-010",
+        "Flu outbreak closes elementary school",
+        "An influenza outbreak closed the elementary school on Cedar Street for two days. \
+         Custodians disinfected classrooms while the nurse tracked absences. The outbreak \
+         mostly affected younger students, the principal said, and classes resume Monday.",
+    );
+
+    // --- The near-duplicate (Fig. 4): outside the ranking entirely. ------
+    let near_duplicate = push(
+        "fake-news-copy-101",
+        "They will delete this soon",
+        NEAR_DUPLICATE_BODY,
+    );
+
+    // --- Covid-without-outbreak stories (rank 12+ for the demo query). ---
+    push(
+        "news-011",
+        "Covid research consortium funded",
+        "Universities announced a covid research consortium funded by a national grant. \
+         Laboratories will share genomic data and clinical findings through an open portal. \
+         Researchers hope the collaboration shortens review cycles for treatments.",
+    );
+    push(
+        "news-012",
+        "Covid antibody study recruits volunteers",
+        "A hospital network began recruiting volunteers for a covid antibody study. \
+         Participants give blood samples quarterly and complete symptom diaries. \
+         Scientists want to understand how long immunity lasts across age groups.",
+    );
+
+    // --- 5G technology stories: fix df(5g) so its idf is moderate. -------
+    push(
+        "tech-001",
+        "Carrier lights up 5g downtown",
+        "The regional carrier switched on its 5g network downtown on Monday. Engineers said \
+         the 5g rollout will reach the suburbs by summer. Early users reported faster \
+         downloads on compatible phones.",
+    );
+    push(
+        "tech-002",
+        "5g towers approved by council vote",
+        "The planning committee approved twelve new 5g towers after a lengthy public \
+         hearing. Residents asked about property values and the committee published \
+         engineering studies on the municipal website about the 5g deployment.",
+    );
+    push(
+        "tech-003",
+        "Factory automation embraces 5g",
+        "A tractor plant wired its assembly line with private 5g radios this quarter. \
+         Managers said the 5g link lets robots coordinate welding without cables. \
+         The pilot cut downtime during retooling by a third.",
+    );
+    push(
+        "tech-004",
+        "Rural broadband pilot pairs satellites with 5g",
+        "A rural broadband pilot will pair low-orbit satellites with 5g base stations. \
+         The county won a federal grant to connect farms and schools. Installers begin \
+         surveying tower sites next week.",
+    );
+    push(
+        "tech-005",
+        "Stadium upgrades network for fans",
+        "The stadium finished a 5g upgrade before the championship weekend. Fans can \
+         stream replays from their seats and concession lines moved faster with \
+         handheld terminals connected over the new 5g network.",
+    );
+
+    // --- Tracking stories: fix df(track*) without touching the top-10. ---
+    push(
+        "tech-006",
+        "Package tracking overhauled",
+        "The postal service overhauled package tracking ahead of the holidays. Customers \
+         can now see tracking updates at every sorting hub. Couriers scan parcels with \
+         new handhelds that upload locations instantly.",
+    );
+    push(
+        "tech-007",
+        "Fitness tracking app adds sleep goals",
+        "A popular fitness tracking app added sleep goals and recovery scores. The update \
+         lets runners track training load across weeks. Reviewers praised the redesigned \
+         charts and the quieter notifications.",
+    );
+    push(
+        "tech-008",
+        "Wildlife researchers track caribou herds",
+        "Wildlife researchers fitted caribou with collars to track seasonal migration. \
+         The team will track the herd through two winters and publish movement maps for \
+         conservation planners.",
+    );
+
+    // --- Health stories without covid/outbreak. --------------------------
+    push(
+        "health-001",
+        "Clinic expands childhood vaccine hours",
+        "The downtown clinic expanded evening hours for childhood vaccine appointments. \
+         Nurses said demand rises every autumn before school forms are due. Walk-in slots \
+         open on Saturdays starting next month.",
+    );
+    push(
+        "health-002",
+        "Hospital breaks ground on new wing",
+        "The county hospital broke ground on a surgical wing expected to open in two years. \
+         Donors funded an imaging suite and the board approved hiring plans for eighty \
+         nurses and technicians.",
+    );
+    push(
+        "health-003",
+        "Nutrition program reaches seniors",
+        "A nutrition program began delivering meals to homebound seniors five days a week. \
+         Dietitians plan menus around common prescriptions and volunteers report wellness \
+         concerns back to case managers.",
+    );
+    push(
+        "health-004",
+        "Digital certificates debated for clinics",
+        "Regulators debated digital certificates for sharing medical records between \
+         clinics. Privacy advocates asked for audit trails while vendors promised \
+         encryption by default. A draft standard circulates this fall.",
+    );
+
+    // --- Flu season stories (no covid, no outbreak). ---------------------
+    push(
+        "health-005",
+        "Flu season arrives early",
+        "Pharmacists reported an early start to flu season with brisk demand for shots. \
+         Clinics added weekend hours and employers hosted on-site flu vaccination days \
+         to keep absences down.",
+    );
+    push(
+        "health-006",
+        "Flu shot myths debunked",
+        "Doctors spent the week debunking flu shot myths on local radio. The flu vaccine \
+         cannot cause the flu, physicians explained, and mild soreness fades within a day.",
+    );
+
+    // --- Gardening. -------------------------------------------------------
+    push(
+        "life-001",
+        "Community garden doubles plots",
+        "The community garden doubled its plots after a record waitlist. Volunteers built \
+         raised beds and a tool library. Newcomers get mentoring from veteran growers \
+         through the first season.",
+    );
+    push(
+        "life-002",
+        "Native plants for dry summers",
+        "Landscapers recommended native plants for yards facing watering limits. Yarrow, \
+         sage and coneflower survive dry summers and feed pollinators. Nurseries report \
+         shortages of the most popular varieties.",
+    );
+    push(
+        "life-003",
+        "Tomato growers swap seeds",
+        "Tomato growers swapped heirloom seeds at the spring fair. Growers traded advice \
+         about blight, staking and soil mixes. The club donates surplus seedlings to \
+         school gardens every year.",
+    );
+
+    // --- Sports. -----------------------------------------------------------
+    push(
+        "sport-001",
+        "Marathon route adds river crossing",
+        "Organizers unveiled a marathon route that crosses the river twice. Runners \
+         praised the flatter final mile. Registration filled within a week and a lottery \
+         will allocate the remaining bibs.",
+    );
+    push(
+        "sport-002",
+        "Rowing club wins regatta",
+        "The city rowing club won the regatta by two boat lengths. Coaches credited a \
+         winter of indoor training. The victory qualifies the crew for nationals in \
+         August.",
+    );
+    push(
+        "sport-003",
+        "Youth soccer expands scholarships",
+        "The youth soccer league expanded scholarships to cover equipment and travel. \
+         Sponsors matched donations during the spring drive and coaches volunteered \
+         extra clinics on Sundays.",
+    );
+
+    // --- Economy. ----------------------------------------------------------
+    push(
+        "econ-001",
+        "Housing starts rebound",
+        "Housing starts rebounded last quarter as lumber prices eased. Builders broke \
+         ground on townhomes near the transit line. Analysts expect permits to keep \
+         climbing through autumn.",
+    );
+    push(
+        "econ-002",
+        "Port traffic sets record",
+        "The port moved a record number of containers in May. Longshore crews added \
+         night shifts and the rail yard extended sidings to clear backlogs faster.",
+    );
+    push(
+        "econ-003",
+        "Farmers market sales climb",
+        "Farmers market sales climbed for the fifth straight year. Vendors credited \
+         loyalty programs and prepared food stalls. The market board plans a covered \
+         pavilion for winter weekends.",
+    );
+
+    // --- Civic/state fillers (fix df(state), df(council), etc.). ----------
+    push(
+        "civic-001",
+        "Council adopts budget after long debate",
+        "The council adopted the city budget after a long debate over road repairs. \
+         Libraries keep Sunday hours and the fire department gains a training tower. \
+         The vote passed seven to two.",
+    );
+    push(
+        "civic-002",
+        "State parks extend camping season",
+        "State parks will extend the camping season by three weeks this year. Rangers \
+         added shower facilities at two lakes and the state reservation site now shows \
+         live availability.",
+    );
+    push(
+        "civic-003",
+        "State budget sets aside storm funds",
+        "The state budget sets aside storm recovery funds for coastal counties. \
+         Legislators praised the bipartisan deal and the governor signed it on the \
+         capitol steps.",
+    );
+    push(
+        "civic-004",
+        "Transit authority tests electric buses",
+        "The transit authority began testing electric buses on two downtown routes. \
+         Drivers reported smooth acceleration and depot crews installed fast chargers \
+         funded by a state grant.",
+    );
+    push(
+        "weather-001",
+        "Storm brings record rainfall",
+        "A slow-moving storm brought record rainfall to the valley. Crews cleared storm \
+         drains overnight and the river crested just below flood stage by morning.",
+    );
+    push(
+        "weather-002",
+        "Heat advisory issued for weekend",
+        "Forecasters issued a heat advisory for the weekend. Cooling centers open at \
+         noon and officials urged residents to check on elderly neighbors and pets.",
+    );
+
+    DemoCorpus {
+        docs,
+        fake_news,
+        near_duplicate,
+        rank11,
+        query: "covid outbreak",
+        k: 10,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credence_index::{search_top_k, Bm25Params, DocId, InvertedIndex};
+    use credence_text::{split_sentences, Analyzer};
+
+    fn ranked(query: &str) -> (InvertedIndex, Vec<DocId>, DemoCorpus) {
+        let demo = covid_demo_corpus();
+        let idx = InvertedIndex::build(demo.docs.clone(), Analyzer::english());
+        let q = idx.analyze_query(query);
+        let hits = search_top_k(&idx, Bm25Params::default(), &q, idx.num_docs());
+        (idx, hits.iter().map(|h| h.doc).collect(), demo)
+    }
+
+    #[test]
+    fn fake_news_ranks_third_for_demo_query() {
+        let (_, order, demo) = ranked(demo_query());
+        assert_eq!(order[2], DocId(demo.fake_news as u32), "order: {order:?}");
+    }
+
+    fn demo_query() -> &'static str {
+        covid_demo_corpus().query
+    }
+
+    #[test]
+    fn rank11_is_the_flu_outbreak_story() {
+        let (_, order, demo) = ranked(demo_query());
+        assert!(order.len() >= 11, "need at least 11 matching docs");
+        assert_eq!(order[10], DocId(demo.rank11 as u32));
+    }
+
+    #[test]
+    fn near_duplicate_is_not_retrieved() {
+        let (_, order, demo) = ranked(demo_query());
+        assert!(order
+            .iter()
+            .all(|&d| d != DocId(demo.near_duplicate as u32)));
+    }
+
+    #[test]
+    fn top_two_are_the_dense_news_stories() {
+        let (idx, order, _) = ranked(demo_query());
+        let names: Vec<&str> = order[..2]
+            .iter()
+            .map(|&d| idx.document(d).unwrap().name.as_str())
+            .collect();
+        assert_eq!(names, vec!["news-001", "news-002"]);
+    }
+
+    #[test]
+    fn fake_news_query_terms_confined_to_first_and_last_sentence() {
+        let demo = covid_demo_corpus();
+        let sentences = split_sentences(FAKE_NEWS_BODY);
+        assert!(sentences.len() >= 6, "fake article should be multi-sentence");
+        let matching = Analyzer::matching();
+        for (i, s) in sentences.iter().enumerate() {
+            let terms = matching.analyze(&s.text);
+            let hits = terms
+                .iter()
+                .filter(|t| t.as_str() == "covid" || t.as_str() == "outbreak")
+                .count();
+            if i == 0 || i == sentences.len() - 1 {
+                assert_eq!(hits, 2, "sentence {i} should have importance 2");
+            } else {
+                assert_eq!(hits, 0, "sentence {i} should have importance 0");
+            }
+        }
+        let _ = demo;
+    }
+
+    #[test]
+    fn distinguishing_terms_exclusive_to_fake_news_in_top10() {
+        let (idx, order, demo) = ranked(demo_query());
+        let stem = Analyzer::english();
+        for raw in ["5g", "microchip", "bill", "gates", "rfid"] {
+            let term = stem.analyze_term(raw).unwrap();
+            let tid = idx.vocabulary().id(&term).unwrap_or_else(|| {
+                panic!("term {term} must exist in corpus vocabulary")
+            });
+            for &d in &order[..10] {
+                if d == DocId(demo.fake_news as u32) {
+                    assert!(idx.term_freq(d, tid) > 0, "{term} must be in fake news");
+                } else {
+                    assert_eq!(idx.term_freq(d, tid), 0, "{term} leaked into {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn augmented_query_5g_reaches_rank_two() {
+        let (_, order, demo) = ranked("covid outbreak 5g");
+        let pos = order
+            .iter()
+            .position(|&d| d == DocId(demo.fake_news as u32))
+            .expect("fake news must match augmented query");
+        assert_eq!(pos + 1, 2, "rank for +5g, order: {order:?}");
+    }
+
+    #[test]
+    fn augmented_query_5g_microchip_reaches_rank_one() {
+        let (_, order, demo) = ranked("covid outbreak 5g microchip");
+        assert_eq!(order[0], DocId(demo.fake_news as u32));
+    }
+
+    #[test]
+    fn removing_both_key_sentences_zeroes_the_score() {
+        let demo = covid_demo_corpus();
+        let idx = InvertedIndex::build(demo.docs.clone(), Analyzer::english());
+        let sentences = split_sentences(FAKE_NEWS_BODY);
+        let kept: Vec<String> = sentences[1..sentences.len() - 1]
+            .iter()
+            .map(|s| s.text.clone())
+            .collect();
+        let body = kept.join(" ");
+        let q = idx.analyze_query(demo.query);
+        let (terms, len) = idx.analyze_adhoc(&body);
+        let score = credence_index::score::bm25_score_adhoc(
+            Bm25Params::default(),
+            idx.stats(),
+            &q,
+            &terms,
+            len,
+        );
+        assert_eq!(score, 0.0);
+    }
+
+    #[test]
+    fn removing_one_key_sentence_keeps_it_relevant() {
+        // Dropping only the first sentence must leave the article inside the
+        // top-10 (above the rank-11 flu story), so a one-sentence perturbation
+        // is NOT a valid counterfactual — forcing the minimal pair of Fig. 2.
+        let demo = covid_demo_corpus();
+        let idx = InvertedIndex::build(demo.docs.clone(), Analyzer::english());
+        let sentences = split_sentences(FAKE_NEWS_BODY);
+        let kept: Vec<String> = sentences[1..].iter().map(|s| s.text.clone()).collect();
+        let body = kept.join(" ");
+        let q = idx.analyze_query(demo.query);
+        let (terms, len) = idx.analyze_adhoc(&body);
+        let perturbed = credence_index::score::bm25_score_adhoc(
+            Bm25Params::default(),
+            idx.stats(),
+            &q,
+            &terms,
+            len,
+        );
+        let rank11_score = credence_index::score::bm25_score_indexed(
+            Bm25Params::default(),
+            &idx,
+            &q,
+            DocId(demo.rank11 as u32),
+        );
+        assert!(
+            perturbed > rank11_score,
+            "one-sentence removal should stay relevant: {perturbed} vs {rank11_score}"
+        );
+    }
+
+    #[test]
+    fn near_duplicate_shares_conspiracy_vocabulary() {
+        let demo = covid_demo_corpus();
+        let english = Analyzer::english();
+        let fake: std::collections::HashSet<String> =
+            english.analyze(FAKE_NEWS_BODY).into_iter().collect();
+        let dup: std::collections::HashSet<String> =
+            english.analyze(NEAR_DUPLICATE_BODY).into_iter().collect();
+        let overlap = fake.intersection(&dup).count();
+        assert!(
+            overlap as f64 / dup.len() as f64 > 0.9,
+            "near-duplicate should be almost a subset"
+        );
+        assert!(!dup.contains("covid"));
+        assert!(!dup.contains("outbreak"));
+        let _ = demo;
+    }
+
+    #[test]
+    fn corpus_has_realistic_scale() {
+        let demo = covid_demo_corpus();
+        assert!(demo.docs.len() >= 40, "got {}", demo.docs.len());
+        // Names are unique.
+        let names: std::collections::HashSet<&str> =
+            demo.docs.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names.len(), demo.docs.len());
+    }
+}

@@ -1,0 +1,28 @@
+//! Corpora for the CREDENCE reproduction.
+//!
+//! The paper demonstrates on a proprietary "COVID-19 Articles" corpus we do
+//! not have. Per the substitution policy in `DESIGN.md`, [`demo`] recreates a
+//! corpus exhibiting every phenomenon the demonstration scenarios (Figures
+//! 2–5) depend on: a fake-news article ranked 3/10 for the query
+//! `covid outbreak`, whose first and last sentences carry all the query
+//! terms; distinguishing terms (*5G*, *microchip*, *bill gates*, *tracking*)
+//! exclusive to it within the top-10; a near-duplicate of it, lacking the
+//! query terms, living outside the ranking; and a rank-11 document for the
+//! builder's reveal row.
+//!
+//! [`synth`] generates parameterised topical corpora (Zipfian term choice,
+//! configurable scale) for the quantitative benchmarks, and [`loader`]
+//! reads/writes JSONL and TSV corpora so external collections can be
+//! plugged in.
+
+#![warn(missing_docs)]
+
+pub mod demo;
+pub mod loader;
+pub mod reviews;
+pub mod synth;
+
+pub use demo::{covid_demo_corpus, DemoCorpus};
+pub use reviews::{reviews_demo_corpus, ReviewsCorpus};
+pub use loader::{load_jsonl, load_tsv, save_jsonl, save_tsv, LoadError};
+pub use synth::{SynthConfig, SyntheticCorpus};

@@ -1,0 +1,296 @@
+//! Corpus loaders and writers (JSONL and TSV).
+//!
+//! External collections plug into the reproduction through two simple
+//! formats:
+//!
+//! * **JSONL** — one JSON object per line with `name`, `title`, `body`
+//!   string fields (the format Pyserini's `JsonCollection` uses, with `id`
+//!   accepted as an alias for `name` and `contents` for `body`);
+//! * **TSV** — `name<TAB>title<TAB>body`, one document per line.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use credence_index::Document;
+use credence_json::{obj, parse, to_string, Value};
+
+/// Errors raised by the loaders.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line failed to parse.
+    Malformed {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "I/O error: {e}"),
+            LoadError::Malformed { line, reason } => {
+                write!(f, "malformed corpus line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Parse one JSONL record into a document.
+fn doc_from_json(value: &Value, line: usize) -> Result<Document, LoadError> {
+    let name = value
+        .get("name")
+        .or_else(|| value.get("id"))
+        .and_then(Value::as_str)
+        .ok_or_else(|| LoadError::Malformed {
+            line,
+            reason: "missing string field 'name' (or 'id')".into(),
+        })?;
+    let body = value
+        .get("body")
+        .or_else(|| value.get("contents"))
+        .and_then(Value::as_str)
+        .ok_or_else(|| LoadError::Malformed {
+            line,
+            reason: "missing string field 'body' (or 'contents')".into(),
+        })?;
+    let title = value.get("title").and_then(Value::as_str).unwrap_or("");
+    Ok(Document::new(name, title, body))
+}
+
+/// Load a JSONL corpus from a string (one JSON object per non-empty line).
+pub fn parse_jsonl(input: &str) -> Result<Vec<Document>, LoadError> {
+    let mut docs = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = parse(line).map_err(|e| LoadError::Malformed {
+            line: line_no,
+            reason: e.to_string(),
+        })?;
+        docs.push(doc_from_json(&value, line_no)?);
+    }
+    Ok(docs)
+}
+
+/// Load a JSONL corpus from a file.
+pub fn load_jsonl(path: &Path) -> Result<Vec<Document>, LoadError> {
+    parse_jsonl(&fs::read_to_string(path)?)
+}
+
+/// Serialise documents as JSONL.
+pub fn to_jsonl(docs: &[Document]) -> String {
+    let mut out = String::new();
+    for d in docs {
+        let v = obj([
+            ("name", Value::from(d.name.as_str())),
+            ("title", Value::from(d.title.as_str())),
+            ("body", Value::from(d.body.as_str())),
+        ]);
+        out.push_str(&to_string(&v));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write documents to a JSONL file.
+pub fn save_jsonl(path: &Path, docs: &[Document]) -> Result<(), LoadError> {
+    let mut f = fs::File::create(path)?;
+    f.write_all(to_jsonl(docs).as_bytes())?;
+    Ok(())
+}
+
+/// Load a TSV corpus from a string: `name<TAB>title<TAB>body` per line.
+/// Tabs and newlines inside the body must be escaped as `\t` / `\n`.
+pub fn parse_tsv(input: &str) -> Result<Vec<Document>, LoadError> {
+    let mut docs = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        let name = parts.next().unwrap_or("");
+        let title = parts.next().ok_or_else(|| LoadError::Malformed {
+            line: line_no,
+            reason: "expected 3 tab-separated fields".into(),
+        })?;
+        let body = parts.next().ok_or_else(|| LoadError::Malformed {
+            line: line_no,
+            reason: "expected 3 tab-separated fields".into(),
+        })?;
+        docs.push(Document::new(
+            unescape_tsv(name),
+            unescape_tsv(title),
+            unescape_tsv(body),
+        ));
+    }
+    Ok(docs)
+}
+
+/// Load a TSV corpus from a file.
+pub fn load_tsv(path: &Path) -> Result<Vec<Document>, LoadError> {
+    parse_tsv(&fs::read_to_string(path)?)
+}
+
+/// Serialise documents as TSV.
+pub fn to_tsv(docs: &[Document]) -> String {
+    let mut out = String::new();
+    for d in docs {
+        out.push_str(&escape_tsv(&d.name));
+        out.push('\t');
+        out.push_str(&escape_tsv(&d.title));
+        out.push('\t');
+        out.push_str(&escape_tsv(&d.body));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write documents to a TSV file.
+pub fn save_tsv(path: &Path, docs: &[Document]) -> Result<(), LoadError> {
+    let mut f = fs::File::create(path)?;
+    f.write_all(to_tsv(docs).as_bytes())?;
+    Ok(())
+}
+
+fn escape_tsv(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('\t', "\\t")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
+}
+
+fn unescape_tsv(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('t') => out.push('\t'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_docs() -> Vec<Document> {
+        vec![
+            Document::new("d1", "First", "Body one."),
+            Document::new("d2", "With \"quotes\"", "Tab\there\nand newline."),
+            Document::new("d3", "", "Unicode café 😀."),
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let docs = sample_docs();
+        let text = to_jsonl(&docs);
+        let loaded = parse_jsonl(&text).unwrap();
+        assert_eq!(docs, loaded);
+    }
+
+    #[test]
+    fn tsv_round_trip() {
+        let docs = sample_docs();
+        let text = to_tsv(&docs);
+        let loaded = parse_tsv(&text).unwrap();
+        assert_eq!(docs, loaded);
+    }
+
+    #[test]
+    fn jsonl_accepts_pyserini_aliases() {
+        let docs =
+            parse_jsonl(r#"{"id": "doc7", "contents": "the body text"}"#).unwrap();
+        assert_eq!(docs[0].name, "doc7");
+        assert_eq!(docs[0].body, "the body text");
+        assert_eq!(docs[0].title, "");
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines() {
+        let input = "\n{\"name\":\"a\",\"body\":\"b\"}\n\n";
+        assert_eq!(parse_jsonl(input).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_reports_line_numbers() {
+        let input = "{\"name\":\"a\",\"body\":\"b\"}\nnot json\n";
+        match parse_jsonl(input) {
+            Err(LoadError::Malformed { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jsonl_missing_fields_rejected() {
+        assert!(parse_jsonl(r#"{"name":"a"}"#).is_err());
+        assert!(parse_jsonl(r#"{"body":"b"}"#).is_err());
+        assert!(parse_jsonl(r#"{"name":1,"body":"b"}"#).is_err());
+    }
+
+    #[test]
+    fn tsv_missing_fields_rejected() {
+        match parse_tsv("only-name\n") {
+            Err(LoadError::Malformed { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+        assert!(parse_tsv("name\ttitle-without-body\n").is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("credence_loader_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let docs = sample_docs();
+
+        let jsonl = dir.join("corpus.jsonl");
+        save_jsonl(&jsonl, &docs).unwrap();
+        assert_eq!(load_jsonl(&jsonl).unwrap(), docs);
+
+        let tsv = dir.join("corpus.tsv");
+        save_tsv(&tsv, &docs).unwrap();
+        assert_eq!(load_tsv(&tsv).unwrap(), docs);
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load_jsonl(Path::new("/nonexistent/nope.jsonl")).unwrap_err();
+        assert!(matches!(err, LoadError::Io(_)));
+    }
+
+    #[test]
+    fn tsv_unescape_handles_unknown_escapes() {
+        assert_eq!(unescape_tsv("a\\qb"), "a\\qb");
+        assert_eq!(unescape_tsv("trailing\\"), "trailing\\");
+    }
+}

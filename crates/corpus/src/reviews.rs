@@ -1,0 +1,226 @@
+//! A second built-in corpus: product reviews with an astroturfed entry.
+//!
+//! The paper's demo corpus is COVID-19 misinformation; explanation needs are
+//! identical in *any* ranked-retrieval domain. This corpus lets examples and
+//! tests show the pipeline on product reviews: a shopper searches
+//! `battery life` over wireless-earbud reviews, and a paid-looking review
+//! ranks highly. Its giveaway vocabulary (*promo*, *coupon*, *influencer*)
+//! is exclusive to it among the ranked set — so query-augmentation surfaces
+//! the astroturfing cues just as Figure 3 surfaced *5G*/*microchip* — and a
+//! near-duplicate shill review (same template, different product) sits
+//! outside the ranking for the instance-based explainers to find.
+
+use credence_index::Document;
+
+/// The review corpus plus the indices of the scenario documents.
+#[derive(Debug, Clone)]
+pub struct ReviewsCorpus {
+    /// All documents.
+    pub docs: Vec<Document>,
+    /// Index of the astroturfed review (ranked for the demo query).
+    pub shill: usize,
+    /// Index of its near-duplicate for a different product (not ranked).
+    pub shill_copy: usize,
+    /// The scenario query.
+    pub query: &'static str,
+    /// The scenario cutoff.
+    pub k: usize,
+}
+
+/// Build the product-reviews corpus.
+pub fn reviews_demo_corpus() -> ReviewsCorpus {
+    let mut docs = Vec::new();
+    let mut push = |name: &str, title: &str, body: &str| -> usize {
+        docs.push(Document::new(name, title, body));
+        docs.len() - 1
+    };
+
+    // Strong genuine reviews about battery life.
+    push(
+        "rev-001",
+        "Battery life is superb",
+        "The battery life on these earbuds is superb. I measured nine hours of battery \
+         per charge and the case adds four more charges. Battery life like this makes \
+         long flights easy, and the battery indicator is accurate to the minute.",
+    );
+    push(
+        "rev-002",
+        "Two weeks on one charge routine",
+        "After two weeks the battery life still impresses me. I charge the case on \
+         Sundays and the battery never dies mid-commute. For gym use the battery life \
+         is more than enough.",
+    );
+
+    // The astroturfed review: relevant terms plus giveaway vocabulary.
+    let shill = push(
+        "rev-spon-777",
+        "Best purchase ever!!!",
+        "Amazing battery life, totally life changing! Use my promo code EARBUDS20 for a \
+         coupon at checkout. As an influencer I test everything and this brand sent me \
+         their flagship for an honest unboxing. Follow my channel for giveaway news. \
+         The battery life beats every competitor, trust me.",
+    );
+
+    // Genuine mid-tier reviews (one battery mention each).
+    push(
+        "rev-003",
+        "Good sound, average battery",
+        "Sound quality is warm and detailed. The battery life is average: five hours \
+         with noise cancelling on. Comfort is excellent for small ears and the touch \
+         controls rarely misfire.",
+    );
+    push(
+        "rev-004",
+        "Solid commuter pick",
+        "These survived a rainy month of commuting. Battery life gets me through the \
+         week with top-ups. Pairing is instant with both my laptop and phone, and the \
+         mic is passable for calls.",
+    );
+    push(
+        "rev-005",
+        "Decent for the price",
+        "For the price the battery life is acceptable and the case feels sturdy. \
+         Bass is boomy out of the box but the app's equaliser fixes it quickly.",
+    );
+    push(
+        "rev-006",
+        "Honest long-term update",
+        "Six months in, battery life has degraded maybe ten percent. Still enough for \
+         a workday. The hinge on the case developed a squeak but the warranty covered it.",
+    );
+
+    // The near-duplicate shill for a different product: no battery terms.
+    let shill_copy = push(
+        "rev-spon-778",
+        "Best purchase ever!!",
+        "Amazing blender, totally life changing! Use my promo code BLEND20 for a coupon \
+         at checkout. As an influencer I test everything and this brand sent me their \
+         flagship for an honest unboxing. Follow my channel for giveaway news. The \
+         motor beats every competitor, trust me.",
+    );
+
+    // Background reviews on other aspects/products.
+    push(
+        "rev-007",
+        "Noise cancelling comparison",
+        "I compared noise cancelling across three brands on the subway. These were the \
+         quietest by a margin, though wind noise leaks on the street.",
+    );
+    push(
+        "rev-008",
+        "Comfort for small ears",
+        "The included foam tips finally fit my ears. No soreness after podcasts all \
+         afternoon. The stems are shorter than they look in photos.",
+    );
+    push(
+        "rev-009",
+        "Mediocre microphone",
+        "Call quality disappoints in any wind. Friends said I sounded underwater at the \
+         park. Fine indoors, but not for meetings on the go.",
+    );
+    push(
+        "rev-010",
+        "Great app support",
+        "The companion app gets monthly updates. Custom equaliser profiles sync across \
+         devices and the find-my-earbud chirp saved me twice.",
+    );
+    push(
+        "rev-011",
+        "Case scratches easily",
+        "The glossy case scratches if you keep keys in the same pocket. A cheap cover \
+         fixed it. Everything else feels premium.",
+    );
+    push(
+        "rev-012",
+        "Return process was smooth",
+        "My left bud crackled out of the box. The return process took four days door \
+         to door and the replacement pair has been flawless.",
+    );
+
+    ReviewsCorpus {
+        docs,
+        shill,
+        shill_copy,
+        query: "battery life",
+        k: 5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credence_index::{search_top_k, Bm25Params, DocId, InvertedIndex};
+    use credence_text::Analyzer;
+
+    fn ranked() -> (InvertedIndex, Vec<DocId>, ReviewsCorpus) {
+        let demo = reviews_demo_corpus();
+        let idx = InvertedIndex::build(demo.docs.clone(), Analyzer::english());
+        let q = idx.analyze_query(demo.query);
+        let hits = search_top_k(&idx, Bm25Params::default(), &q, idx.num_docs());
+        (idx, hits.iter().map(|h| h.doc).collect(), demo)
+    }
+
+    #[test]
+    fn shill_review_is_ranked_for_the_query() {
+        let (_, order, demo) = ranked();
+        let pos = order
+            .iter()
+            .position(|&d| d == DocId(demo.shill as u32))
+            .expect("shill review retrieved");
+        assert!(pos < demo.k, "shill in top-{}: position {pos}", demo.k);
+    }
+
+    #[test]
+    fn giveaway_terms_exclusive_to_the_shill_in_top_k() {
+        let (idx, order, demo) = ranked();
+        let english = Analyzer::english();
+        for raw in ["promo", "coupon", "influencer", "giveaway"] {
+            let term = english.analyze_term(raw).unwrap();
+            let tid = idx
+                .vocabulary()
+                .id(&term)
+                .unwrap_or_else(|| panic!("{term} must be in vocabulary"));
+            for &d in order.iter().take(demo.k) {
+                if d == DocId(demo.shill as u32) {
+                    assert!(idx.term_freq(d, tid) > 0);
+                } else {
+                    assert_eq!(idx.term_freq(d, tid), 0, "{term} leaked into {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shill_copy_is_not_relevant() {
+        // The copy shares the word "life" ("life changing"), so it may be
+        // retrieved — but never inside the top-k.
+        let (_, order, demo) = ranked();
+        match order.iter().position(|&d| d == DocId(demo.shill_copy as u32)) {
+            None => {}
+            Some(pos) => assert!(pos >= demo.k, "copy at position {pos}"),
+        }
+    }
+
+    #[test]
+    fn there_is_a_rank_k_plus_1_document() {
+        let (_, order, demo) = ranked();
+        assert!(order.len() > demo.k, "builder needs a revealed document");
+    }
+
+    #[test]
+    fn copies_share_the_shill_template_vocabulary() {
+        let demo = reviews_demo_corpus();
+        let english = Analyzer::english();
+        let a: std::collections::HashSet<String> = english
+            .analyze(&demo.docs[demo.shill].body)
+            .into_iter()
+            .collect();
+        let b: std::collections::HashSet<String> = english
+            .analyze(&demo.docs[demo.shill_copy].body)
+            .into_iter()
+            .collect();
+        let overlap = a.intersection(&b).count() as f64;
+        assert!(overlap / b.len() as f64 > 0.6, "template overlap too low");
+        assert!(!b.contains("batteri"), "copy must lack the query terms");
+    }
+}

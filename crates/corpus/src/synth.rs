@@ -1,0 +1,240 @@
+//! Parameterised synthetic corpora for the quantitative benchmarks.
+//!
+//! The scaling and ablation tables (EXPERIMENTS.md, T-SCALE/T-ABLATE) need
+//! corpora of controllable size, vocabulary, and topical structure. The
+//! generator produces documents from a configurable number of topics: each
+//! document draws most of its terms Zipf-distributed from one topic's
+//! vocabulary and the rest from a shared background vocabulary, grouped into
+//! sentences so the sentence-removal explainer has realistic units to work
+//! with. Generation is deterministic under the seed.
+
+use credence_index::Document;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the synthetic corpus generator.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Number of documents.
+    pub num_docs: usize,
+    /// Number of topics.
+    pub num_topics: usize,
+    /// Distinct terms per topic vocabulary.
+    pub topic_vocab: usize,
+    /// Distinct terms in the shared background vocabulary.
+    pub background_vocab: usize,
+    /// Words per sentence (min, max).
+    pub sentence_len: (usize, usize),
+    /// Sentences per document (min, max).
+    pub sentences_per_doc: (usize, usize),
+    /// Probability a word is drawn from the background vocabulary.
+    pub background_prob: f64,
+    /// Zipf skew exponent for within-vocabulary term choice.
+    pub zipf_exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self {
+            num_docs: 200,
+            num_topics: 8,
+            topic_vocab: 120,
+            background_vocab: 300,
+            sentence_len: (6, 14),
+            sentences_per_doc: (4, 10),
+            background_prob: 0.35,
+            zipf_exponent: 1.1,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated corpus plus its ground-truth topic labels.
+#[derive(Debug, Clone)]
+pub struct SyntheticCorpus {
+    /// The documents.
+    pub docs: Vec<Document>,
+    /// Ground-truth topic of each document.
+    pub topics: Vec<usize>,
+    /// The configuration it was generated from.
+    pub config: SynthConfig,
+}
+
+impl SyntheticCorpus {
+    /// Generate a corpus from `config`.
+    pub fn generate(config: SynthConfig) -> Self {
+        assert!(config.num_topics > 0, "need at least one topic");
+        assert!(config.topic_vocab > 0 && config.background_vocab > 0);
+        assert!(config.sentence_len.0 >= 1 && config.sentence_len.0 <= config.sentence_len.1);
+        assert!(
+            config.sentences_per_doc.0 >= 1
+                && config.sentences_per_doc.0 <= config.sentences_per_doc.1
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut docs = Vec::with_capacity(config.num_docs);
+        let mut topics = Vec::with_capacity(config.num_docs);
+
+        for i in 0..config.num_docs {
+            let topic = i % config.num_topics;
+            topics.push(topic);
+            let n_sent =
+                rng.gen_range(config.sentences_per_doc.0..=config.sentences_per_doc.1);
+            let mut body = String::new();
+            for s in 0..n_sent {
+                if s > 0 {
+                    body.push(' ');
+                }
+                let n_words = rng.gen_range(config.sentence_len.0..=config.sentence_len.1);
+                for w in 0..n_words {
+                    let word = if rng.gen_bool(config.background_prob) {
+                        let idx = zipf(&mut rng, config.background_vocab, config.zipf_exponent);
+                        format!("common{idx}")
+                    } else {
+                        let idx = zipf(&mut rng, config.topic_vocab, config.zipf_exponent);
+                        format!("topic{topic}word{idx}")
+                    };
+                    if w == 0 {
+                        // Capitalise the sentence start for the splitter.
+                        let mut c = word.chars();
+                        let first = c.next().expect("non-empty word").to_ascii_uppercase();
+                        body.push(first);
+                        body.push_str(c.as_str());
+                    } else {
+                        body.push(' ');
+                        body.push_str(&word);
+                    }
+                }
+                body.push('.');
+            }
+            docs.push(Document::new(
+                format!("synth-{i:05}"),
+                format!("Synthetic document {i} (topic {topic})"),
+                body,
+            ));
+        }
+
+        Self {
+            docs,
+            topics,
+            config,
+        }
+    }
+
+    /// A query of the `n` most frequent terms of one topic's vocabulary —
+    /// guaranteed to retrieve that topic's documents preferentially.
+    pub fn topic_query(&self, topic: usize, n: usize) -> String {
+        (0..n)
+            .map(|i| format!("topic{topic}word{i}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Draw a Zipf-distributed index in `0..n` (rank 0 most likely) by inverse
+/// transform over the truncated harmonic cdf.
+fn zipf<R: Rng>(rng: &mut R, n: usize, exponent: f64) -> usize {
+    debug_assert!(n >= 1);
+    // Truncated at n; small n keeps this cheap and exact.
+    let total: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(exponent)).sum();
+    let mut x = rng.gen_range(0.0..total);
+    for k in 1..=n {
+        x -= 1.0 / (k as f64).powf(exponent);
+        if x <= 0.0 {
+            return k - 1;
+        }
+    }
+    n - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credence_index::{search_top_k, Bm25Params, InvertedIndex};
+    use credence_text::{split_sentences, Analyzer};
+
+    fn small() -> SynthConfig {
+        SynthConfig {
+            num_docs: 60,
+            num_topics: 4,
+            topic_vocab: 40,
+            background_vocab: 80,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = SyntheticCorpus::generate(small());
+        let b = SyntheticCorpus::generate(small());
+        assert_eq!(a.docs[7].body, b.docs[7].body);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticCorpus::generate(small());
+        let b = SyntheticCorpus::generate(SynthConfig {
+            seed: 7,
+            ..small()
+        });
+        assert_ne!(a.docs[0].body, b.docs[0].body);
+    }
+
+    #[test]
+    fn respects_document_count_and_labels() {
+        let c = SyntheticCorpus::generate(small());
+        assert_eq!(c.docs.len(), 60);
+        assert_eq!(c.topics.len(), 60);
+        assert!(c.topics.iter().all(|&t| t < 4));
+    }
+
+    #[test]
+    fn documents_split_into_sentences() {
+        let c = SyntheticCorpus::generate(small());
+        for doc in &c.docs[..10] {
+            let s = split_sentences(&doc.body);
+            assert!(
+                (c.config.sentences_per_doc.0..=c.config.sentences_per_doc.1)
+                    .contains(&s.len()),
+                "{} sentences",
+                s.len()
+            );
+        }
+    }
+
+    #[test]
+    fn topic_queries_retrieve_topic_documents() {
+        let c = SyntheticCorpus::generate(small());
+        let idx = InvertedIndex::build(c.docs.clone(), Analyzer::english());
+        let q = idx.analyze_query(&c.topic_query(0, 3));
+        let hits = search_top_k(&idx, Bm25Params::default(), &q, 10);
+        assert!(!hits.is_empty());
+        let correct = hits
+            .iter()
+            .filter(|h| c.topics[h.doc.index()] == 0)
+            .count();
+        assert!(
+            correct as f64 / hits.len() as f64 >= 0.8,
+            "{correct}/{} hits on-topic",
+            hits.len()
+        );
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[zipf(&mut rng, 10, 1.1)] += 1;
+        }
+        assert!(counts[0] > counts[4]);
+        assert!(counts[4] > counts[9]);
+    }
+
+    #[test]
+    fn zipf_degenerate_n_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(zipf(&mut rng, 1, 1.1), 0);
+    }
+}

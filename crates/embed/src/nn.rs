@@ -1,0 +1,156 @@
+//! Exact nearest-neighbour search by cosine similarity.
+//!
+//! The *Doc2Vec Nearest* explainer returns "the n most similar documents"
+//! (§II-E); corpora here are laptop-scale, so exact brute-force search with a
+//! bounded heap is both simple and fast enough, and — unlike approximate
+//! indexes — cannot change who the nearest counterfactual instance is.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::vecmath::cosine;
+
+/// One neighbour: an item index and its cosine similarity to the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index of the neighbouring item among the candidates.
+    pub item: usize,
+    /// Cosine similarity to the query vector.
+    pub similarity: f32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry(Neighbor);
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by similarity; larger item index is "worse" on ties.
+        other
+            .0
+            .similarity
+            .partial_cmp(&self.0.similarity)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.0.item.cmp(&other.0.item))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Return the top-`n` candidates most cosine-similar to `query`, best first.
+///
+/// `candidates` yields `(item_index, vector)` pairs; items whose vector
+/// length differs from the query's are skipped (defensive: mixed-model
+/// vectors cannot be compared meaningfully). Ties break toward the smaller
+/// item index, so results are deterministic.
+pub fn nearest_neighbors<'a, I>(query: &[f32], candidates: I, n: usize) -> Vec<Neighbor>
+where
+    I: IntoIterator<Item = (usize, &'a [f32])>,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(n + 1);
+    for (item, vec) in candidates {
+        if vec.len() != query.len() {
+            continue;
+        }
+        let similarity = cosine(query, vec);
+        heap.push(HeapEntry(Neighbor { item, similarity }));
+        if heap.len() > n {
+            heap.pop();
+        }
+    }
+    let mut out: Vec<Neighbor> = heap.into_iter().map(|e| e.0).collect();
+    out.sort_unstable_by(|a, b| {
+        b.similarity
+            .partial_cmp(&a.similarity)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.item.cmp(&b.item))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixtures() -> Vec<Vec<f32>> {
+        vec![
+            vec![1.0, 0.0],  // 0: identical direction to query
+            vec![0.9, 0.1],  // 1: close
+            vec![0.0, 1.0],  // 2: orthogonal
+            vec![-1.0, 0.0], // 3: opposite
+        ]
+    }
+
+    #[test]
+    fn finds_most_similar_first() {
+        let vecs = fixtures();
+        let nn = nearest_neighbors(
+            &[1.0, 0.0],
+            vecs.iter().enumerate().map(|(i, v)| (i, v.as_slice())),
+            2,
+        );
+        assert_eq!(nn.len(), 2);
+        assert_eq!(nn[0].item, 0);
+        assert_eq!(nn[1].item, 1);
+        assert!(nn[0].similarity > nn[1].similarity);
+    }
+
+    #[test]
+    fn n_larger_than_candidates() {
+        let vecs = fixtures();
+        let nn = nearest_neighbors(
+            &[1.0, 0.0],
+            vecs.iter().enumerate().map(|(i, v)| (i, v.as_slice())),
+            10,
+        );
+        assert_eq!(nn.len(), 4);
+        assert_eq!(nn.last().unwrap().item, 3, "opposite vector ranks last");
+    }
+
+    #[test]
+    fn n_zero() {
+        let vecs = fixtures();
+        let nn = nearest_neighbors(
+            &[1.0, 0.0],
+            vecs.iter().enumerate().map(|(i, v)| (i, v.as_slice())),
+            0,
+        );
+        assert!(nn.is_empty());
+    }
+
+    #[test]
+    fn mismatched_dimensions_skipped() {
+        let a = vec![1.0, 0.0];
+        let b = vec![1.0, 0.0, 0.0];
+        let nn = nearest_neighbors(
+            &[1.0, 0.0],
+            vec![(0usize, a.as_slice()), (1usize, b.as_slice())],
+            5,
+        );
+        assert_eq!(nn.len(), 1);
+        assert_eq!(nn[0].item, 0);
+    }
+
+    #[test]
+    fn ties_break_by_item_index() {
+        let v = vec![1.0f32, 0.0];
+        let candidates: Vec<(usize, &[f32])> = (0..6).map(|i| (i, v.as_slice())).collect();
+        let nn = nearest_neighbors(&[1.0, 0.0], candidates, 3);
+        let items: Vec<usize> = nn.iter().map(|n| n.item).collect();
+        assert_eq!(items, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let nn = nearest_neighbors(&[1.0, 0.0], std::iter::empty(), 3);
+        assert!(nn.is_empty());
+    }
+}

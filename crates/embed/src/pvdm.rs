@@ -1,0 +1,277 @@
+//! PV-DM Doc2Vec (the "distributed memory" variant of Le & Mikolov 2014).
+//!
+//! The reproduction's default instance-based explainer uses PV-DBOW
+//! ([`crate::doc2vec`]), matching gensim's `dm=0`. PV-DM (`dm=1`) is the
+//! other published variant: the document vector is *combined with the mean
+//! of the context-word vectors* to predict the centre word, so word order
+//! information (through the window) and a word-embedding matrix are learned
+//! jointly. It is included for completeness and for the embedding-quality
+//! comparison bench; it plugs into `doc2vec_nearest`-style searches through
+//! the same `doc_vector` accessor shape.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::sampling::UnigramTable;
+use crate::vecmath::{axpy, cosine, dot, sigmoid};
+
+/// Hyper-parameters for PV-DM training.
+#[derive(Debug, Clone)]
+pub struct PvDmConfig {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Symmetric context window.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Initial learning rate (linearly decayed).
+    pub lr: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PvDmConfig {
+    fn default() -> Self {
+        Self {
+            dim: 64,
+            window: 4,
+            negatives: 5,
+            epochs: 20,
+            lr: 0.025,
+            seed: 42,
+        }
+    }
+}
+
+/// A trained PV-DM model: document vectors, word vectors, and the shared
+/// output matrix.
+#[derive(Debug, Clone)]
+pub struct PvDm {
+    dim: usize,
+    num_docs: usize,
+    vocab_size: usize,
+    doc_vecs: Vec<f32>,
+    word_vecs: Vec<f32>,
+    output: Vec<f32>,
+}
+
+impl PvDm {
+    /// Train on `docs` (word-id sequences over `0..vocab_size`).
+    pub fn train(docs: &[Vec<usize>], vocab_size: usize, config: &PvDmConfig) -> Self {
+        assert!(config.dim > 0, "embedding dimension must be positive");
+        let dim = config.dim;
+        let mut counts = vec![0u64; vocab_size];
+        let mut total_tokens = 0u64;
+        for d in docs {
+            for &w in d {
+                debug_assert!(w < vocab_size, "word id {w} out of range");
+                counts[w] += 1;
+                total_tokens += 1;
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let scale = 0.5 / dim as f32;
+        let mut doc_vecs: Vec<f32> = (0..docs.len() * dim)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
+        let mut word_vecs: Vec<f32> = (0..vocab_size * dim)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
+        let mut output = vec![0.0f32; vocab_size * dim];
+
+        if let Some(table) = UnigramTable::standard(&counts) {
+            let total_steps = (total_tokens as usize).max(1) * config.epochs.max(1);
+            let mut step = 0usize;
+            let mut hidden = vec![0.0f32; dim];
+            let mut grad = vec![0.0f32; dim];
+            for _ in 0..config.epochs {
+                for (doc_id, words) in docs.iter().enumerate() {
+                    for (pos, &center) in words.iter().enumerate() {
+                        let lr = {
+                            let frac = 1.0 - step as f32 / total_steps as f32;
+                            (config.lr * frac).max(config.lr * 1e-4)
+                        };
+                        step += 1;
+                        let lo = pos.saturating_sub(config.window);
+                        let hi = (pos + config.window + 1).min(words.len());
+                        // hidden = mean(doc vector, context word vectors).
+                        hidden.fill(0.0);
+                        let mut contributors = 1usize;
+                        axpy(1.0, &doc_vecs[doc_id * dim..(doc_id + 1) * dim], &mut hidden);
+                        for (ctx_pos, &w) in
+                            words.iter().enumerate().take(hi).skip(lo)
+                        {
+                            if ctx_pos == pos {
+                                continue;
+                            }
+                            axpy(1.0, &word_vecs[w * dim..(w + 1) * dim], &mut hidden);
+                            contributors += 1;
+                        }
+                        let inv = 1.0 / contributors as f32;
+                        for h in hidden.iter_mut() {
+                            *h *= inv;
+                        }
+                        // Negative-sampling step on the hidden vector.
+                        grad.fill(0.0);
+                        {
+                            let out = &mut output[center * dim..(center + 1) * dim];
+                            let score = sigmoid(dot(&hidden, out));
+                            let g = lr * (1.0 - score);
+                            axpy(g, out, &mut grad);
+                            axpy(g, &hidden, out);
+                        }
+                        for _ in 0..config.negatives {
+                            let neg = table.sample(&mut rng);
+                            if neg == center {
+                                continue;
+                            }
+                            let out = &mut output[neg * dim..(neg + 1) * dim];
+                            let score = sigmoid(dot(&hidden, out));
+                            let g = lr * (0.0 - score);
+                            axpy(g, out, &mut grad);
+                            axpy(g, &hidden, out);
+                        }
+                        // Distribute the hidden gradient to every input.
+                        let share = 1.0; // standard PV-DM applies full grad to each input
+                        axpy(
+                            share,
+                            &grad,
+                            &mut doc_vecs[doc_id * dim..(doc_id + 1) * dim],
+                        );
+                        for (ctx_pos, &w) in
+                            words.iter().enumerate().take(hi).skip(lo)
+                        {
+                            if ctx_pos == pos {
+                                continue;
+                            }
+                            axpy(share, &grad, &mut word_vecs[w * dim..(w + 1) * dim]);
+                        }
+                    }
+                }
+            }
+        }
+
+        Self {
+            dim,
+            num_docs: docs.len(),
+            vocab_size,
+            doc_vecs,
+            word_vecs,
+            output,
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of trained document vectors.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Vocabulary coverage.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// The trained vector of document `doc`.
+    pub fn doc_vector(&self, doc: usize) -> &[f32] {
+        &self.doc_vecs[doc * self.dim..(doc + 1) * self.dim]
+    }
+
+    /// The jointly-learned word vector of `word`.
+    pub fn word_vector(&self, word: usize) -> &[f32] {
+        &self.word_vecs[word * self.dim..(word + 1) * self.dim]
+    }
+
+    /// The output-side vector (prediction weights) of `word`.
+    pub fn output_vector(&self, word: usize) -> &[f32] {
+        &self.output[word * self.dim..(word + 1) * self.dim]
+    }
+
+    /// Cosine similarity between two trained document vectors.
+    pub fn similarity(&self, a: usize, b: usize) -> f32 {
+        cosine(self.doc_vector(a), self.doc_vector(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered_docs() -> (Vec<Vec<usize>>, usize) {
+        let mut docs = Vec::new();
+        for i in 0..30 {
+            let base = if i < 15 { 0 } else { 6 };
+            docs.push((0..30).map(|j| base + (i + j) % 6).collect());
+        }
+        (docs, 12)
+    }
+
+    fn quick() -> PvDmConfig {
+        PvDmConfig {
+            dim: 16,
+            epochs: 12,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn learns_document_clusters() {
+        let (docs, v) = clustered_docs();
+        let model = PvDm::train(&docs, v, &quick());
+        let intra = model.similarity(0, 1);
+        let inter = model.similarity(0, 20);
+        assert!(
+            intra > inter,
+            "intra-cluster {intra} should exceed inter-cluster {inter}"
+        );
+    }
+
+    #[test]
+    fn learns_word_structure_jointly() {
+        let (docs, v) = clustered_docs();
+        let model = PvDm::train(&docs, v, &quick());
+        // Words 0..6 co-occur; words 6..12 co-occur; across = unrelated.
+        let intra = cosine(model.word_vector(0), model.word_vector(1));
+        let inter = cosine(model.word_vector(0), model.word_vector(7));
+        assert!(
+            intra > inter,
+            "intra-topic word sim {intra} should exceed inter {inter}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (docs, v) = clustered_docs();
+        let a = PvDm::train(&docs, v, &quick());
+        let b = PvDm::train(&docs, v, &quick());
+        assert_eq!(a.doc_vector(3), b.doc_vector(3));
+        assert_eq!(a.word_vector(5), b.word_vector(5));
+    }
+
+    #[test]
+    fn empty_corpus_is_safe() {
+        let model = PvDm::train(&[], 4, &quick());
+        assert_eq!(model.num_docs(), 0);
+        assert_eq!(model.vocab_size(), 4);
+        assert_eq!(model.word_vector(0).len(), model.dim());
+    }
+
+    #[test]
+    fn vectors_stay_finite() {
+        let (docs, v) = clustered_docs();
+        let model = PvDm::train(&docs, v, &quick());
+        for d in 0..model.num_docs() {
+            assert!(model.doc_vector(d).iter().all(|x| x.is_finite()));
+        }
+        for w in 0..v {
+            assert!(model.word_vector(w).iter().all(|x| x.is_finite()));
+            assert!(model.output_vector(w).iter().all(|x| x.is_finite()));
+        }
+    }
+}

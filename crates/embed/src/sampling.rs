@@ -1,0 +1,133 @@
+//! Negative-sampling distribution.
+//!
+//! word2vec/doc2vec draw negative examples from the unigram distribution
+//! raised to the 3/4 power (Mikolov et al. 2013). This module implements that
+//! distribution with an alias-free cumulative table and binary search —
+//! O(log V) per draw, exact, and deterministic under a seeded RNG.
+
+use rand::Rng;
+
+/// Sampler over word ids with probability proportional to `count^power`.
+#[derive(Debug, Clone)]
+pub struct UnigramTable {
+    cumulative: Vec<f64>,
+}
+
+impl UnigramTable {
+    /// Build from per-word counts (index = word id). Words with zero count
+    /// get zero probability. `power` is conventionally `0.75`.
+    ///
+    /// Returns `None` when every count is zero.
+    pub fn new(counts: &[u64], power: f64) -> Option<Self> {
+        let mut cumulative = Vec::with_capacity(counts.len());
+        let mut acc = 0.0f64;
+        for &c in counts {
+            acc += (c as f64).powf(power);
+            cumulative.push(acc);
+        }
+        if acc <= 0.0 {
+            return None;
+        }
+        Some(Self { cumulative })
+    }
+
+    /// Standard word2vec table: `power = 0.75`.
+    pub fn standard(counts: &[u64]) -> Option<Self> {
+        Self::new(counts, 0.75)
+    }
+
+    /// Draw one word id.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty by construction");
+        let x = rng.gen_range(0.0..total);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("finite"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+        .min(self.cumulative.len() - 1)
+    }
+
+    /// Number of word ids covered (including zero-probability ones).
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when the table covers no ids.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_zero_counts_rejected() {
+        assert!(UnigramTable::standard(&[0, 0, 0]).is_none());
+        assert!(UnigramTable::standard(&[]).is_none());
+    }
+
+    #[test]
+    fn zero_count_words_never_sampled() {
+        let table = UnigramTable::standard(&[10, 0, 10]).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            assert_ne!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn frequencies_roughly_follow_powered_counts() {
+        // counts 1 vs 16 with power 0.75 -> ratio 16^0.75 = 8.
+        let table = UnigramTable::standard(&[1, 16]).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut hits = [0usize; 2];
+        let n = 100_000;
+        for _ in 0..n {
+            hits[table.sample(&mut rng)] += 1;
+        }
+        let ratio = hits[1] as f64 / hits[0] as f64;
+        assert!((ratio - 8.0).abs() < 1.0, "ratio {ratio} should be near 8");
+    }
+
+    #[test]
+    fn power_one_is_proportional() {
+        let table = UnigramTable::new(&[1, 3], 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hits = [0usize; 2];
+        for _ in 0..40_000 {
+            hits[table.sample(&mut rng)] += 1;
+        }
+        let ratio = hits[1] as f64 / hits[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio} should be near 3");
+    }
+
+    #[test]
+    fn single_word_always_sampled() {
+        let table = UnigramTable::standard(&[5]).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let table = UnigramTable::standard(&[3, 1, 4, 1, 5]).unwrap();
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| table.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| table.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,337 @@
+//! Skip-gram with negative sampling (SGNS), Mikolov et al. 2013.
+//!
+//! Word vectors feed the semantic component of the neural-ranker stand-in
+//! (`credence-rank::NeuralSimRanker`): the original CREDENCE used monoT5,
+//! whose essential observable property for the explanation algorithms is that
+//! it rewards *semantic* query–document affinity beyond exact term matches.
+//! SGNS vectors trained on the corpus give us exactly that signal.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::sampling::UnigramTable;
+use crate::vecmath::{axpy, cosine, dot, sigmoid};
+
+/// Hyper-parameters for SGNS training.
+#[derive(Debug, Clone)]
+pub struct Word2VecConfig {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Symmetric context window size.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Training epochs over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (linearly decayed to 1e-4 of itself).
+    pub lr: f32,
+    /// RNG seed; training is deterministic given the seed and corpus.
+    pub seed: u64,
+}
+
+impl Default for Word2VecConfig {
+    fn default() -> Self {
+        Self {
+            dim: 64,
+            window: 5,
+            negatives: 5,
+            epochs: 5,
+            lr: 0.025,
+            seed: 42,
+        }
+    }
+}
+
+/// A trained SGNS model: input (word) and output (context) matrices.
+#[derive(Debug, Clone)]
+pub struct Word2Vec {
+    dim: usize,
+    vocab_size: usize,
+    /// Row-major `vocab_size × dim` input embeddings.
+    input: Vec<f32>,
+    /// Row-major `vocab_size × dim` output embeddings.
+    output: Vec<f32>,
+}
+
+impl Word2Vec {
+    /// Train on `sentences`, sequences of word ids in `0..vocab_size`.
+    ///
+    /// Ids outside `0..vocab_size` are a contract violation and panic in
+    /// debug builds.
+    pub fn train(sentences: &[Vec<usize>], vocab_size: usize, config: &Word2VecConfig) -> Self {
+        assert!(config.dim > 0, "embedding dimension must be positive");
+        let mut counts = vec![0u64; vocab_size];
+        let mut total_tokens = 0u64;
+        for s in sentences {
+            for &w in s {
+                debug_assert!(w < vocab_size, "word id {w} out of range");
+                counts[w] += 1;
+                total_tokens += 1;
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut model = Self::init(vocab_size, config.dim, &mut rng);
+        let Some(table) = UnigramTable::standard(&counts) else {
+            return model; // empty corpus: random vectors
+        };
+
+        let total_steps = (total_tokens as usize).max(1) * config.epochs.max(1);
+        let mut step = 0usize;
+        let mut grad = vec![0.0f32; config.dim];
+
+        for _ in 0..config.epochs {
+            for sentence in sentences {
+                for (pos, &center) in sentence.iter().enumerate() {
+                    let lr = decayed_lr(config.lr, step, total_steps);
+                    step += 1;
+                    // Dynamic window, as in the reference implementation.
+                    let b = rng.gen_range(0..config.window.max(1));
+                    let lo = pos.saturating_sub(config.window - b);
+                    let hi = (pos + config.window - b + 1).min(sentence.len());
+                    for (ctx_pos, &context) in
+                        sentence.iter().enumerate().take(hi).skip(lo)
+                    {
+                        if ctx_pos == pos {
+                            continue;
+                        }
+                        sgns_update(
+                            &mut model.input,
+                            &mut model.output,
+                            config.dim,
+                            center,
+                            context,
+                            config.negatives,
+                            &table,
+                            lr,
+                            &mut rng,
+                            &mut grad,
+                        );
+                    }
+                }
+            }
+        }
+        model
+    }
+
+    fn init(vocab_size: usize, dim: usize, rng: &mut StdRng) -> Self {
+        let scale = 0.5 / dim as f32;
+        let input: Vec<f32> = (0..vocab_size * dim)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
+        let output = vec![0.0f32; vocab_size * dim];
+        Self {
+            dim,
+            vocab_size,
+            input,
+            output,
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of word rows.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// The input-side vector of a word.
+    pub fn vector(&self, word: usize) -> &[f32] {
+        &self.input[word * self.dim..(word + 1) * self.dim]
+    }
+
+    /// The output-side (context) vector of a word.
+    pub fn output_vector(&self, word: usize) -> &[f32] {
+        &self.output[word * self.dim..(word + 1) * self.dim]
+    }
+
+    /// Cosine similarity between two words' input vectors.
+    pub fn similarity(&self, a: usize, b: usize) -> f32 {
+        cosine(self.vector(a), self.vector(b))
+    }
+
+    /// Mean of the input vectors of `words` (zero vector when empty) —
+    /// a simple compositional text embedding.
+    pub fn mean_vector(&self, words: &[usize]) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.dim];
+        if words.is_empty() {
+            return v;
+        }
+        for &w in words {
+            axpy(1.0, self.vector(w), &mut v);
+        }
+        let inv = 1.0 / words.len() as f32;
+        for x in v.iter_mut() {
+            *x *= inv;
+        }
+        v
+    }
+}
+
+fn decayed_lr(lr0: f32, step: usize, total: usize) -> f32 {
+    let frac = 1.0 - step as f32 / total as f32;
+    (lr0 * frac).max(lr0 * 1e-4)
+}
+
+/// One SGNS gradient step for a (center, context) pair plus negatives.
+///
+/// Shared with the PV-DBOW trainer in [`crate::doc2vec`], where the "center"
+/// row lives in the document matrix instead of the word matrix.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sgns_update<R: Rng>(
+    input: &mut [f32],
+    output: &mut [f32],
+    dim: usize,
+    center_row: usize,
+    positive: usize,
+    negatives: usize,
+    table: &UnigramTable,
+    lr: f32,
+    rng: &mut R,
+    grad: &mut [f32],
+) {
+    grad.fill(0.0);
+    let center = &mut input[center_row * dim..(center_row + 1) * dim];
+    // Positive pair: label 1.
+    {
+        let out = &mut output[positive * dim..(positive + 1) * dim];
+        let score = sigmoid(dot(center, out));
+        let g = lr * (1.0 - score);
+        axpy(g, out, grad);
+        axpy(g, center, out);
+    }
+    // Negative pairs: label 0.
+    for _ in 0..negatives {
+        let neg = table.sample(rng);
+        if neg == positive {
+            continue;
+        }
+        let out = &mut output[neg * dim..(neg + 1) * dim];
+        let score = sigmoid(dot(center, out));
+        let g = lr * (0.0 - score);
+        axpy(g, out, grad);
+        axpy(g, center, out);
+    }
+    axpy(1.0, grad, center);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two "topics" of words that co-occur only within their topic. After
+    /// training, intra-topic similarity must exceed inter-topic similarity.
+    fn topical_corpus() -> (Vec<Vec<usize>>, usize) {
+        // words 0..4 = topic A, 4..8 = topic B
+        let mut sents = Vec::new();
+        for i in 0..200 {
+            let base = if i % 2 == 0 { 0 } else { 4 };
+            let s: Vec<usize> = (0..12).map(|j| base + (i + j) % 4).collect();
+            sents.push(s);
+        }
+        (sents, 8)
+    }
+
+    #[test]
+    fn learns_topical_structure() {
+        let (sents, v) = topical_corpus();
+        let cfg = Word2VecConfig {
+            dim: 16,
+            epochs: 8,
+            ..Default::default()
+        };
+        let model = Word2Vec::train(&sents, v, &cfg);
+        let intra = model.similarity(0, 1);
+        let inter = model.similarity(0, 5);
+        assert!(
+            intra > inter + 0.2,
+            "intra-topic {intra} should exceed inter-topic {inter}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (sents, v) = topical_corpus();
+        let cfg = Word2VecConfig {
+            dim: 8,
+            epochs: 2,
+            ..Default::default()
+        };
+        let m1 = Word2Vec::train(&sents, v, &cfg);
+        let m2 = Word2Vec::train(&sents, v, &cfg);
+        assert_eq!(m1.vector(3), m2.vector(3));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (sents, v) = topical_corpus();
+        let base = Word2VecConfig {
+            dim: 8,
+            epochs: 1,
+            ..Default::default()
+        };
+        let m1 = Word2Vec::train(&sents, v, &base);
+        let m2 = Word2Vec::train(
+            &sents,
+            v,
+            &Word2VecConfig {
+                seed: 7,
+                ..base.clone()
+            },
+        );
+        assert_ne!(m1.vector(0), m2.vector(0));
+    }
+
+    #[test]
+    fn empty_corpus_yields_random_model() {
+        let model = Word2Vec::train(&[], 4, &Word2VecConfig::default());
+        assert_eq!(model.vocab_size(), 4);
+        assert_eq!(model.vector(0).len(), model.dim());
+    }
+
+    #[test]
+    fn mean_vector_of_empty_is_zero() {
+        let model = Word2Vec::train(&[], 4, &Word2VecConfig::default());
+        assert!(model.mean_vector(&[]).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn mean_vector_averages() {
+        let (sents, v) = topical_corpus();
+        let model = Word2Vec::train(
+            &sents,
+            v,
+            &Word2VecConfig {
+                dim: 8,
+                epochs: 1,
+                ..Default::default()
+            },
+        );
+        let m = model.mean_vector(&[0, 1]);
+        for (i, &mi) in m.iter().enumerate() {
+            let expected = (model.vector(0)[i] + model.vector(1)[i]) / 2.0;
+            assert!((mi - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn vectors_remain_finite_after_training() {
+        let (sents, v) = topical_corpus();
+        let model = Word2Vec::train(
+            &sents,
+            v,
+            &Word2VecConfig {
+                dim: 16,
+                epochs: 5,
+                lr: 0.05,
+                ..Default::default()
+            },
+        );
+        for w in 0..v {
+            assert!(model.vector(w).iter().all(|x| x.is_finite()));
+        }
+    }
+}

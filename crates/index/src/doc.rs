@@ -1,0 +1,91 @@
+//! The document model.
+//!
+//! The paper assumes rankers assess relevance "using only the body of each
+//! document" (§II-A); titles are carried for display purposes only, matching
+//! the CREDENCE UI, and never participate in scoring.
+
+use std::fmt;
+
+/// Dense identifier of a document within a corpus.
+///
+/// Ids are assigned by insertion order when a corpus is indexed. The demo UI
+/// displays them ("Document ID = 644529"); ours are dense rather than
+/// Lucene-internal, which changes nothing observable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u32);
+
+impl DocId {
+    /// The id as a usize, for indexing into per-document arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A corpus document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// External name/identifier (e.g. a filename or collection docno).
+    pub name: String,
+    /// Display title. Not scored.
+    pub title: String,
+    /// The body text — the only field rankers see.
+    pub body: String,
+}
+
+impl Document {
+    /// Construct a document.
+    pub fn new(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        body: impl Into<String>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            title: title.into(),
+            body: body.into(),
+        }
+    }
+
+    /// A document with only a body, for tests and ad-hoc perturbations.
+    pub fn from_body(body: impl Into<String>) -> Self {
+        let body = body.into();
+        Self {
+            name: String::new(),
+            title: String::new(),
+            body,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_id_display_and_index() {
+        let id = DocId(42);
+        assert_eq!(id.to_string(), "42");
+        assert_eq!(id.index(), 42);
+    }
+
+    #[test]
+    fn doc_id_ordering_is_numeric() {
+        assert!(DocId(2) < DocId(10));
+    }
+
+    #[test]
+    fn document_constructors() {
+        let d = Document::new("d1", "Title", "Body text.");
+        assert_eq!(d.name, "d1");
+        let b = Document::from_body("Just a body.");
+        assert!(b.name.is_empty());
+        assert_eq!(b.body, "Just a body.");
+    }
+}

@@ -1,0 +1,182 @@
+//! Query-term highlighting and passage (snippet) selection.
+//!
+//! The CREDENCE UI renders documents with the query's terms visually
+//! emphasised and shows short previews in the ranking table. This module
+//! computes those views: byte-offset highlight spans for every token whose
+//! analysed form matches an analysed query term (so `Covid-19,` highlights
+//! for the query `covid-19`, and `outbreaks` for `outbreak` under a
+//! stemming analyzer), and the best fixed-width passage by query-term
+//! density for snippeting.
+
+use credence_text::{tokenize, Analyzer};
+
+/// One highlight span, in byte offsets into the original body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Highlight {
+    /// First byte of the matched token.
+    pub start: usize,
+    /// One past the last byte of the matched token.
+    pub end: usize,
+}
+
+/// Compute highlight spans for `query` over `body` under `analyzer`.
+///
+/// Spans are sorted and non-overlapping (tokens cannot overlap).
+pub fn highlight_terms(analyzer: Analyzer, query: &str, body: &str) -> Vec<Highlight> {
+    let query_terms: std::collections::HashSet<String> =
+        analyzer.analyze(query).into_iter().collect();
+    if query_terms.is_empty() {
+        return Vec::new();
+    }
+    tokenize(body)
+        .into_iter()
+        .filter(|tok| {
+            analyzer
+                .analyze_term(&tok.term)
+                .is_some_and(|t| query_terms.contains(&t))
+        })
+        .map(|tok| Highlight {
+            start: tok.start,
+            end: tok.end,
+        })
+        .collect()
+}
+
+/// A selected snippet: the passage text and its query-term hit count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snippet {
+    /// The passage text (verbatim slice of the body, trimmed).
+    pub text: String,
+    /// Byte offset of the passage start in the body.
+    pub start: usize,
+    /// Byte offset one past the passage end.
+    pub end: usize,
+    /// Number of query-term occurrences inside the passage.
+    pub hits: usize,
+}
+
+/// Select the best passage of at most `window` tokens by query-term density
+/// (ties resolve to the earliest passage). Returns the leading window when
+/// nothing matches, and `None` only for an empty body.
+pub fn best_snippet(
+    analyzer: Analyzer,
+    query: &str,
+    body: &str,
+    window: usize,
+) -> Option<Snippet> {
+    let tokens = tokenize(body);
+    if tokens.is_empty() || window == 0 {
+        return None;
+    }
+    let query_terms: std::collections::HashSet<String> =
+        analyzer.analyze(query).into_iter().collect();
+    let is_hit: Vec<bool> = tokens
+        .iter()
+        .map(|tok| {
+            analyzer
+                .analyze_term(&tok.term)
+                .is_some_and(|t| query_terms.contains(&t))
+        })
+        .collect();
+
+    // Sliding window over token positions.
+    let n = tokens.len();
+    let w = window.min(n);
+    let mut hits: usize = is_hit[..w].iter().filter(|&&h| h).count();
+    let (mut best_start, mut best_hits) = (0usize, hits);
+    for start in 1..=n - w {
+        hits -= usize::from(is_hit[start - 1]);
+        hits += usize::from(is_hit[start + w - 1]);
+        if hits > best_hits {
+            best_hits = hits;
+            best_start = start;
+        }
+    }
+    let start = tokens[best_start].start;
+    let end = tokens[best_start + w - 1].end;
+    Some(Snippet {
+        text: body[start..end].trim().to_string(),
+        start,
+        end,
+        hits: best_hits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn highlights_match_analysed_forms() {
+        let body = "The Covid-19 outbreaks worry covid researchers.";
+        let spans = highlight_terms(Analyzer::english(), "covid-19 outbreak", body);
+        let highlighted: Vec<&str> = spans.iter().map(|h| &body[h.start..h.end]).collect();
+        // "Covid-19" matches covid-19; "outbreaks" stems to outbreak;
+        // "covid" does NOT match covid-19 (different term).
+        assert_eq!(highlighted, vec!["Covid-19", "outbreaks"]);
+    }
+
+    #[test]
+    fn stemmed_matches_highlight() {
+        let body = "They were tracking the trackers all day.";
+        let spans = highlight_terms(Analyzer::english(), "tracking", body);
+        let highlighted: Vec<&str> = spans.iter().map(|h| &body[h.start..h.end]).collect();
+        // "tracking" stems to "track"; "trackers" stems to "tracker" (no match).
+        assert_eq!(highlighted, vec!["tracking"]);
+    }
+
+    #[test]
+    fn no_query_terms_no_highlights() {
+        assert!(highlight_terms(Analyzer::english(), "", "some body").is_empty());
+        assert!(highlight_terms(Analyzer::english(), "the", "the body").is_empty());
+    }
+
+    #[test]
+    fn spans_are_sorted_and_disjoint() {
+        let body = "covid covid covid outbreak covid";
+        let spans = highlight_terms(Analyzer::english(), "covid outbreak", body);
+        assert_eq!(spans.len(), 5);
+        for w in spans.windows(2) {
+            assert!(w[0].end <= w[1].start);
+        }
+    }
+
+    #[test]
+    fn snippet_finds_densest_window() {
+        let body = "Filler text opens the story here with nothing relevant at all. \
+                    Later covid outbreak covid outbreak appears densely together. \
+                    Then more filler closes the document quietly.";
+        let s = best_snippet(Analyzer::english(), "covid outbreak", body, 6).unwrap();
+        assert!(s.hits >= 4, "{s:?}");
+        assert!(s.text.contains("covid outbreak"));
+    }
+
+    #[test]
+    fn snippet_with_no_matches_returns_lead() {
+        let body = "Nothing matches here at all in this text.";
+        let s = best_snippet(Analyzer::english(), "covid", body, 5).unwrap();
+        assert_eq!(s.hits, 0);
+        assert!(s.text.starts_with("Nothing"));
+    }
+
+    #[test]
+    fn snippet_window_larger_than_body() {
+        let body = "short covid text";
+        let s = best_snippet(Analyzer::english(), "covid", body, 50).unwrap();
+        assert_eq!(s.text, "short covid text");
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn snippet_empty_body_or_window() {
+        assert!(best_snippet(Analyzer::english(), "covid", "", 5).is_none());
+        assert!(best_snippet(Analyzer::english(), "covid", "text", 0).is_none());
+    }
+
+    #[test]
+    fn snippet_offsets_slice_the_body() {
+        let body = "alpha covid beta covid gamma delta epsilon.";
+        let s = best_snippet(Analyzer::english(), "covid", body, 3).unwrap();
+        assert_eq!(body[s.start..s.end].trim(), s.text);
+    }
+}

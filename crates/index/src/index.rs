@@ -1,0 +1,351 @@
+//! The in-memory inverted index.
+//!
+//! Functionally equivalent to the slice of Lucene that CREDENCE used: term
+//! dictionary, per-term postings (document id + term frequency), per-document
+//! lengths, and the frozen [`CollectionStats`] snapshot.
+
+use std::collections::HashMap;
+
+use credence_text::{Analyzer, TermId, Vocabulary};
+
+use crate::doc::{DocId, Document};
+use crate::stats::CollectionStats;
+
+/// One posting: a document containing the term, with its term frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// The containing document.
+    pub doc: DocId,
+    /// Number of occurrences of the term in the document (post-analysis).
+    pub tf: u32,
+}
+
+/// An immutable inverted index over a corpus.
+///
+/// Build one with [`InvertedIndex::build`]; the index owns its documents.
+///
+/// ```
+/// use credence_index::{Document, InvertedIndex};
+/// use credence_text::Analyzer;
+/// let docs = vec![
+///     Document::from_body("covid outbreak in the city"),
+///     Document::from_body("the city builds a new park"),
+/// ];
+/// let idx = InvertedIndex::build(docs, Analyzer::english());
+/// assert_eq!(idx.num_docs(), 2);
+/// assert_eq!(idx.doc_freq_str("citi"), 2); // "city" stems to "citi"
+/// assert_eq!(idx.doc_freq_str("covid"), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    docs: Vec<Document>,
+    vocab: Vocabulary,
+    postings: Vec<Vec<Posting>>,
+    doc_len: Vec<u32>,
+    doc_terms: Vec<Vec<(TermId, u32)>>,
+    stats: CollectionStats,
+    analyzer: Analyzer,
+}
+
+impl InvertedIndex {
+    /// Analyse and index `docs` (bodies only, per §II-A of the paper).
+    pub fn build(docs: Vec<Document>, analyzer: Analyzer) -> Self {
+        let mut vocab = Vocabulary::new();
+        let mut postings: Vec<Vec<Posting>> = Vec::new();
+        let mut doc_len = Vec::with_capacity(docs.len());
+        let mut doc_terms = Vec::with_capacity(docs.len());
+        let mut total_terms = 0u64;
+
+        for (i, doc) in docs.iter().enumerate() {
+            let doc_id = DocId(i as u32);
+            let terms = analyzer.analyze(&doc.body);
+            total_terms += terms.len() as u64;
+            doc_len.push(terms.len() as u32);
+
+            let mut counts: HashMap<TermId, u32> = HashMap::new();
+            for term in &terms {
+                let tid = vocab.intern(term);
+                *counts.entry(tid).or_insert(0) += 1;
+            }
+            let mut term_vec: Vec<(TermId, u32)> = counts.into_iter().collect();
+            term_vec.sort_unstable_by_key(|&(t, _)| t);
+            for &(tid, tf) in &term_vec {
+                if postings.len() <= tid as usize {
+                    postings.resize_with(tid as usize + 1, Vec::new);
+                }
+                postings[tid as usize].push(Posting { doc: doc_id, tf });
+            }
+            doc_terms.push(term_vec);
+        }
+        postings.resize_with(vocab.len(), Vec::new);
+
+        let doc_freq: Vec<u32> = postings.iter().map(|p| p.len() as u32).collect();
+        let coll_freq: Vec<u64> = postings
+            .iter()
+            .map(|p| p.iter().map(|x| x.tf as u64).sum())
+            .collect();
+        let stats = CollectionStats {
+            num_docs: docs.len(),
+            total_terms,
+            doc_freq,
+            coll_freq,
+        };
+
+        Self {
+            docs,
+            vocab,
+            postings,
+            doc_len,
+            doc_terms,
+            stats,
+            analyzer,
+        }
+    }
+
+    /// Reassemble an index from persisted parts (see `persist`): documents,
+    /// dictionary, per-term postings, and per-document lengths. Derived
+    /// structures (per-document term lists, collection statistics) are
+    /// rebuilt; structural inconsistencies are reported as errors.
+    pub(crate) fn from_parts(
+        docs: Vec<Document>,
+        vocab: Vocabulary,
+        postings: Vec<Vec<Posting>>,
+        doc_len: Vec<u32>,
+        analyzer: Analyzer,
+    ) -> Result<Self, &'static str> {
+        if postings.len() != vocab.len() {
+            return Err("postings table size disagrees with dictionary");
+        }
+        if doc_len.len() != docs.len() {
+            return Err("doc length table size disagrees with documents");
+        }
+        // Invert postings into per-document term lists.
+        let mut doc_terms: Vec<Vec<(TermId, u32)>> = vec![Vec::new(); docs.len()];
+        for (tid, list) in postings.iter().enumerate() {
+            for p in list {
+                let Some(slot) = doc_terms.get_mut(p.doc.index()) else {
+                    return Err("posting references unknown document");
+                };
+                slot.push((tid as TermId, p.tf));
+            }
+        }
+        // Term ids were visited in ascending order, so each list is sorted.
+        let total_terms: u64 = doc_len.iter().map(|&l| l as u64).sum();
+        let doc_freq: Vec<u32> = postings.iter().map(|p| p.len() as u32).collect();
+        let coll_freq: Vec<u64> = postings
+            .iter()
+            .map(|p| p.iter().map(|x| x.tf as u64).sum())
+            .collect();
+        let stats = CollectionStats {
+            num_docs: docs.len(),
+            total_terms,
+            doc_freq,
+            coll_freq,
+        };
+        Ok(Self {
+            docs,
+            vocab,
+            postings,
+            doc_len,
+            doc_terms,
+            stats,
+            analyzer,
+        })
+    }
+
+    /// The analyzer documents (and queries) are processed with.
+    pub fn analyzer(&self) -> Analyzer {
+        self.analyzer
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// All documents, in `DocId` order.
+    pub fn documents(&self) -> &[Document] {
+        &self.docs
+    }
+
+    /// Fetch a document by id.
+    pub fn document(&self, id: DocId) -> Option<&Document> {
+        self.docs.get(id.index())
+    }
+
+    /// Iterate over all document ids.
+    pub fn doc_ids(&self) -> impl Iterator<Item = DocId> {
+        (0..self.docs.len() as u32).map(DocId)
+    }
+
+    /// The frozen collection statistics snapshot.
+    pub fn stats(&self) -> &CollectionStats {
+        &self.stats
+    }
+
+    /// The term dictionary.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Postings list for a term id (empty slice when unknown).
+    pub fn postings(&self, term: TermId) -> &[Posting] {
+        self.postings
+            .get(term as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Document frequency of an analysed term string.
+    pub fn doc_freq_str(&self, term: &str) -> u32 {
+        self.vocab.id(term).map_or(0, |t| self.stats.df(t))
+    }
+
+    /// Post-analysis length (term count) of a document.
+    pub fn doc_len(&self, id: DocId) -> u32 {
+        self.doc_len.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// The `(term, tf)` pairs of a document, sorted by term id.
+    pub fn doc_terms(&self, id: DocId) -> &[(TermId, u32)] {
+        self.doc_terms
+            .get(id.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Term frequency of `term` in document `id`.
+    pub fn term_freq(&self, id: DocId, term: TermId) -> u32 {
+        let terms = self.doc_terms(id);
+        terms
+            .binary_search_by_key(&term, |&(t, _)| t)
+            .map(|i| terms[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Analyse a raw query string into term ids, dropping terms absent from
+    /// the corpus vocabulary (they cannot contribute to any lexical score).
+    pub fn analyze_query(&self, query: &str) -> Vec<TermId> {
+        self.analyzer
+            .analyze(query)
+            .iter()
+            .filter_map(|t| self.vocab.id(t))
+            .collect()
+    }
+
+    /// Analyse arbitrary text into `(term_id, tf)` pairs against this index's
+    /// vocabulary (unknown terms are dropped) plus the total analysed length
+    /// *including* unknown terms — the length normalisation a real ranker
+    /// would apply.
+    pub fn analyze_adhoc(&self, text: &str) -> (Vec<(TermId, u32)>, u32) {
+        let terms = self.analyzer.analyze(text);
+        let len = terms.len() as u32;
+        let mut counts: HashMap<TermId, u32> = HashMap::new();
+        for term in &terms {
+            if let Some(tid) = self.vocab.id(term) {
+                *counts.entry(tid).or_insert(0) += 1;
+            }
+        }
+        let mut vec: Vec<(TermId, u32)> = counts.into_iter().collect();
+        vec.sort_unstable_by_key(|&(t, _)| t);
+        (vec, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_index() -> InvertedIndex {
+        InvertedIndex::build(
+            vec![
+                Document::from_body("covid outbreak spreads in the city"),
+                Document::from_body("the city council meets today"),
+                Document::from_body("covid vaccines arrive in the city"),
+            ],
+            Analyzer::english(),
+        )
+    }
+
+    #[test]
+    fn builds_and_counts() {
+        let idx = small_index();
+        assert_eq!(idx.num_docs(), 3);
+        assert_eq!(idx.doc_freq_str("covid"), 2);
+        assert_eq!(idx.doc_freq_str("citi"), 3);
+        assert_eq!(idx.doc_freq_str("nonexistent"), 0);
+    }
+
+    #[test]
+    fn postings_are_ordered_by_doc() {
+        let idx = small_index();
+        let covid = idx.vocabulary().id("covid").unwrap();
+        let p = idx.postings(covid);
+        assert_eq!(p.len(), 2);
+        assert!(p[0].doc < p[1].doc);
+        assert!(p.iter().all(|x| x.tf == 1));
+    }
+
+    #[test]
+    fn doc_lengths_exclude_stopwords() {
+        let idx = small_index();
+        // "covid outbreak spreads in the city" -> covid outbreak spread citi
+        assert_eq!(idx.doc_len(DocId(0)), 4);
+    }
+
+    #[test]
+    fn term_freq_lookup() {
+        let idx = InvertedIndex::build(
+            vec![Document::from_body("covid covid covid outbreak")],
+            Analyzer::english(),
+        );
+        let covid = idx.vocabulary().id("covid").unwrap();
+        assert_eq!(idx.term_freq(DocId(0), covid), 3);
+        let outbreak = idx.vocabulary().id("outbreak").unwrap();
+        assert_eq!(idx.term_freq(DocId(0), outbreak), 1);
+    }
+
+    #[test]
+    fn stats_snapshot_consistent() {
+        let idx = small_index();
+        let stats = idx.stats();
+        assert_eq!(stats.num_docs, 3);
+        let sum_lens: u64 = (0..3).map(|i| idx.doc_len(DocId(i)) as u64).sum();
+        assert_eq!(stats.total_terms, sum_lens);
+        // df of every term equals its postings length.
+        for (tid, _) in idx.vocabulary().iter() {
+            assert_eq!(stats.df(tid) as usize, idx.postings(tid).len());
+        }
+    }
+
+    #[test]
+    fn analyze_query_drops_unknown_terms() {
+        let idx = small_index();
+        let q = idx.analyze_query("covid zebra outbreak");
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn analyze_adhoc_reports_full_length() {
+        let idx = small_index();
+        let (terms, len) = idx.analyze_adhoc("covid zebra zebra outbreak");
+        assert_eq!(len, 4);
+        let known: u32 = terms.iter().map(|&(_, tf)| tf).sum();
+        assert_eq!(known, 2);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let idx = InvertedIndex::build(vec![], Analyzer::english());
+        assert_eq!(idx.num_docs(), 0);
+        assert_eq!(idx.stats().avg_doc_len(), 1.0);
+        assert!(idx.analyze_query("anything").is_empty());
+    }
+
+    #[test]
+    fn document_lookup() {
+        let idx = small_index();
+        assert!(idx.document(DocId(0)).is_some());
+        assert!(idx.document(DocId(99)).is_none());
+    }
+}

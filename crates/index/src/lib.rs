@@ -1,0 +1,39 @@
+//! Indexing and retrieval substrate for the CREDENCE reproduction.
+//!
+//! CREDENCE's original backend created a Lucene index through
+//! Pyserini/Anserini and used it for (a) first-stage retrieval, (b) collection
+//! statistics feeding TF-IDF candidate-term scores, and (c) BM25 score vectors
+//! for the cosine-sampled instance-based explainer. This crate rebuilds that
+//! surface from scratch:
+//!
+//! * [`doc`] — the document model ([`Document`], [`DocId`]),
+//! * [`index`] — an in-memory inverted index with postings, document lengths,
+//!   and frequency statistics,
+//! * [`stats`] — collection statistics decoupled from the index so ad-hoc
+//!   (perturbed) documents can be scored against corpus-level statistics,
+//! * [`score`] — BM25 (Lucene variant) and TF-IDF weighting,
+//! * [`search`] — exact top-k retrieval,
+//! * [`vector`] — sparse per-term score vectors + cosine similarity, the
+//!   representation behind the *Cosine Sampled* explainer (§II-E).
+
+#![warn(missing_docs)]
+
+pub mod doc;
+pub mod highlight;
+pub mod index;
+pub mod persist;
+pub mod phrase;
+pub mod score;
+pub mod search;
+pub mod stats;
+pub mod vector;
+
+pub use doc::{DocId, Document};
+pub use highlight::{best_snippet, highlight_terms, Highlight, Snippet};
+pub use index::{InvertedIndex, Posting};
+pub use persist::{load_index, read_index, save_index, write_index, PersistError};
+pub use phrase::{analyze_phrase, phrase_freq, search_phrase};
+pub use score::{bm25_idf, Bm25Params};
+pub use search::{search_top_k, SearchHit};
+pub use stats::CollectionStats;
+pub use vector::{cosine_similarity, SparseVector};

@@ -1,0 +1,18 @@
+//! A minimal JSON value model, parser, and serialiser.
+//!
+//! The original CREDENCE backend is a FastAPI REST service; its system
+//! boundary is JSON over HTTP. Rather than pulling a serde stack into an
+//! offline build, this crate implements the small slice of JSON the server
+//! and the corpus loaders need: full RFC 8259 parsing into a [`Value`] tree,
+//! and compact serialisation back out. Numbers are kept as `f64` (the
+//! JavaScript model, which is also what the original React front end saw).
+
+#![warn(missing_docs)]
+
+pub mod parse;
+pub mod value;
+pub mod write;
+
+pub use parse::{parse, ParseError};
+pub use value::{obj, Value};
+pub use write::to_string;

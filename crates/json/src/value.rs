@@ -1,0 +1,173 @@
+//! The JSON value tree.
+
+use std::collections::BTreeMap;
+
+/// A JSON value.
+///
+/// Objects use a `BTreeMap` so serialisation order is deterministic — the
+/// REST tests compare whole payloads byte-for-byte.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (the JavaScript `f64` model).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with deterministic key order.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Borrow as `&str` when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow as `f64` when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Convert to `u64` when this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Borrow as bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Borrow as array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow as object map.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Object field access: `value.get("key")`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+
+    /// True when this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Number(n)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(n: u32) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(a: Vec<Value>) -> Self {
+        Value::Array(a)
+    }
+}
+
+/// Build a JSON object from `(key, value)` pairs.
+///
+/// ```
+/// use credence_json::{obj, Value};
+/// let v = obj([("a", Value::from(1i64)), ("b", Value::from("x"))]);
+/// assert_eq!(v.get("a").unwrap().as_f64(), Some(1.0));
+/// ```
+pub fn obj<I, K>(pairs: I) -> Value
+where
+    I: IntoIterator<Item = (K, Value)>,
+    K: Into<String>,
+{
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+        assert_eq!(Value::from(3.5).as_f64(), Some(3.5));
+        assert_eq!(Value::from(7i64).as_u64(), Some(7));
+        assert_eq!(Value::from(-1i64).as_u64(), None);
+        assert_eq!(Value::from(3.5).as_u64(), None);
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::from("x").as_array(), None);
+    }
+
+    #[test]
+    fn object_get() {
+        let v = obj([("k", Value::from(1i64))]);
+        assert!(v.get("k").is_some());
+        assert!(v.get("missing").is_none());
+        assert!(Value::Null.get("k").is_none());
+    }
+}

@@ -1,0 +1,143 @@
+//! Compact JSON serialisation.
+
+use crate::value::Value;
+
+/// Serialise a value to a compact JSON string.
+///
+/// Object keys appear in `BTreeMap` order, so output is deterministic.
+/// Non-finite numbers serialise as `null` (matching JavaScript's
+/// `JSON.stringify`).
+///
+/// ```
+/// use credence_json::{to_string, parse};
+/// let v = parse(r#"{"b":1,"a":[true,null]}"#).unwrap();
+/// assert_eq!(to_string(&v), r#"{"a":[true,null],"b":1}"#);
+/// ```
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(value, &mut out);
+    out
+}
+
+fn write_value(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(*n, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 1e15 {
+        // Integral values print without a trailing ".0".
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use crate::value::obj;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(to_string(&Value::Null), "null");
+        assert_eq!(to_string(&Value::Bool(true)), "true");
+        assert_eq!(to_string(&Value::from(3i64)), "3");
+        assert_eq!(to_string(&Value::from(3.25)), "3.25");
+        assert_eq!(to_string(&Value::from("x")), r#""x""#);
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(to_string(&Value::Number(f64::NAN)), "null");
+        assert_eq!(to_string(&Value::Number(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn escapes() {
+        assert_eq!(
+            to_string(&Value::from("a\"b\\c\nd\u{0001}")),
+            r#""a\"b\\c\nd\u0001""#
+        );
+    }
+
+    #[test]
+    fn unicode_is_emitted_raw() {
+        assert_eq!(to_string(&Value::from("café 😀")), "\"café 😀\"");
+    }
+
+    #[test]
+    fn object_key_order_deterministic() {
+        let v = obj([("zebra", Value::from(1i64)), ("apple", Value::from(2i64))]);
+        assert_eq!(to_string(&v), r#"{"apple":2,"zebra":1}"#);
+    }
+
+    #[test]
+    fn round_trip() {
+        let cases = [
+            "null",
+            "true",
+            "[1,2.5,-3]",
+            r#"{"a":[{"b":"c"},null],"d":false}"#,
+            r#""escaped \" and \\ and \n""#,
+            "[]",
+            "{}",
+        ];
+        for case in cases {
+            let v = parse(case).unwrap();
+            let s = to_string(&v);
+            let v2 = parse(&s).unwrap();
+            assert_eq!(v, v2, "round trip failed for {case}");
+        }
+    }
+}

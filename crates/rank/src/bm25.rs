@@ -1,0 +1,114 @@
+//! The BM25 ranker — Anserini's first-stage retrieval model.
+
+use credence_index::score::{bm25_score_adhoc, bm25_score_indexed};
+use credence_index::{Bm25Params, DocId, InvertedIndex};
+
+use crate::ranker::Ranker;
+
+/// BM25 over an [`InvertedIndex`].
+///
+/// ```
+/// use credence_index::{Document, InvertedIndex, Bm25Params};
+/// use credence_rank::{Bm25Ranker, Ranker};
+/// use credence_text::Analyzer;
+/// let idx = InvertedIndex::build(
+///     vec![Document::from_body("covid outbreak news")],
+///     Analyzer::english(),
+/// );
+/// let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+/// assert!(ranker.score_doc("covid", credence_index::DocId(0)) > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bm25Ranker<'a> {
+    index: &'a InvertedIndex,
+    params: Bm25Params,
+}
+
+impl<'a> Bm25Ranker<'a> {
+    /// Create a BM25 ranker over `index`.
+    pub fn new(index: &'a InvertedIndex, params: Bm25Params) -> Self {
+        Self { index, params }
+    }
+
+    /// The BM25 parameters in use.
+    pub fn params(&self) -> Bm25Params {
+        self.params
+    }
+}
+
+impl Ranker for Bm25Ranker<'_> {
+    fn name(&self) -> &str {
+        "bm25"
+    }
+
+    fn index(&self) -> &InvertedIndex {
+        self.index
+    }
+
+    fn score_doc(&self, query: &str, doc: DocId) -> f64 {
+        let q = self.index.analyze_query(query);
+        bm25_score_indexed(self.params, self.index, &q, doc)
+    }
+
+    fn score_text(&self, query: &str, body: &str) -> f64 {
+        let q = self.index.analyze_query(query);
+        let (terms, len) = self.index.analyze_adhoc(body);
+        bm25_score_adhoc(self.params, self.index.stats(), &q, &terms, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credence_index::Document;
+    use credence_text::Analyzer;
+
+    fn index() -> InvertedIndex {
+        InvertedIndex::build(
+            vec![
+                Document::from_body("covid outbreak spreads across the region"),
+                Document::from_body("garden flowers bloom in spring"),
+                Document::from_body("covid cases fall as outbreak slows down"),
+            ],
+            Analyzer::english(),
+        )
+    }
+
+    #[test]
+    fn doc_and_text_scores_agree() {
+        let idx = index();
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        for d in idx.doc_ids() {
+            let body = &idx.document(d).unwrap().body;
+            let a = ranker.score_doc("covid outbreak", d);
+            let b = ranker.score_text("covid outbreak", body);
+            assert!((a - b).abs() < 1e-12, "doc {d}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn unrelated_doc_scores_zero() {
+        let idx = index();
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        assert_eq!(ranker.score_doc("covid", DocId(1)), 0.0);
+        assert!(ranker.zero_means_unmatched());
+    }
+
+    #[test]
+    fn empty_query_scores_zero() {
+        let idx = index();
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        assert_eq!(ranker.score_doc("", DocId(0)), 0.0);
+        assert_eq!(ranker.score_text("", "covid outbreak"), 0.0);
+    }
+
+    #[test]
+    fn perturbation_removing_query_terms_lowers_score() {
+        let idx = index();
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        let full = ranker.score_text("covid outbreak", "covid outbreak spreads across the region");
+        let perturbed = ranker.score_text("covid outbreak", "spreads across the region");
+        assert!(perturbed < full);
+        assert_eq!(perturbed, 0.0);
+    }
+}

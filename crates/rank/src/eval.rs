@@ -1,0 +1,262 @@
+//! Ranking-effectiveness evaluation: graded relevance judgements (qrels)
+//! and the standard IR metrics — precision@k, average precision, nDCG@k,
+//! and reciprocal rank — plus TREC-format run/qrels interchange.
+//!
+//! The reproduction uses these to sanity-check its rankers against the
+//! synthetic corpora's ground-truth topic labels (a ranker that cannot
+//! retrieve on-topic documents would make every explanation meaningless),
+//! and to let external collections with real judgements plug in.
+
+use std::collections::HashMap;
+
+use credence_index::DocId;
+
+use crate::rerank::RankedList;
+
+/// Graded relevance judgements for one query: `doc -> grade` (0 = not
+/// relevant; higher = more relevant).
+#[derive(Debug, Clone, Default)]
+pub struct Qrels {
+    grades: HashMap<DocId, u32>,
+}
+
+impl Qrels {
+    /// Build from `(doc, grade)` pairs; later duplicates overwrite.
+    pub fn from_pairs<I: IntoIterator<Item = (DocId, u32)>>(pairs: I) -> Self {
+        Self {
+            grades: pairs.into_iter().collect(),
+        }
+    }
+
+    /// The grade of a document (0 when unjudged).
+    pub fn grade(&self, doc: DocId) -> u32 {
+        self.grades.get(&doc).copied().unwrap_or(0)
+    }
+
+    /// True when the document is judged relevant (grade > 0).
+    pub fn is_relevant(&self, doc: DocId) -> bool {
+        self.grade(doc) > 0
+    }
+
+    /// Number of relevant documents.
+    pub fn num_relevant(&self) -> usize {
+        self.grades.values().filter(|&&g| g > 0).count()
+    }
+
+    /// Iterate over judged `(doc, grade)` pairs (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = (DocId, u32)> + '_ {
+        self.grades.iter().map(|(&d, &g)| (d, g))
+    }
+}
+
+/// Precision at cutoff `k`.
+pub fn precision_at_k(ranking: &RankedList, qrels: &Qrels, k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = ranking
+        .top_k(k)
+        .iter()
+        .filter(|&&d| qrels.is_relevant(d))
+        .count();
+    hits as f64 / k as f64
+}
+
+/// Average precision (binary relevance).
+pub fn average_precision(ranking: &RankedList, qrels: &Qrels) -> f64 {
+    let total_relevant = qrels.num_relevant();
+    if total_relevant == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, &(doc, _)) in ranking.entries().iter().enumerate() {
+        if qrels.is_relevant(doc) {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / total_relevant as f64
+}
+
+/// Normalised discounted cumulative gain at cutoff `k`, with the standard
+/// `(2^grade − 1) / log2(rank + 1)` gain.
+pub fn ndcg_at_k(ranking: &RankedList, qrels: &Qrels, k: usize) -> f64 {
+    let gain = |grade: u32| 2f64.powi(grade as i32) - 1.0;
+    let dcg: f64 = ranking
+        .top_k(k)
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| gain(qrels.grade(d)) / ((i + 2) as f64).log2())
+        .sum();
+    // Ideal DCG: grades sorted descending.
+    let mut grades: Vec<u32> = qrels.iter().map(|(_, g)| g).filter(|&g| g > 0).collect();
+    grades.sort_unstable_by(|a, b| b.cmp(a));
+    let idcg: f64 = grades
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, &g)| gain(g) / ((i + 2) as f64).log2())
+        .sum();
+    if idcg == 0.0 {
+        0.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// Reciprocal rank of the first relevant document (0 when none retrieved).
+pub fn reciprocal_rank(ranking: &RankedList, qrels: &Qrels) -> f64 {
+    ranking
+        .entries()
+        .iter()
+        .position(|&(d, _)| qrels.is_relevant(d))
+        .map_or(0.0, |i| 1.0 / (i + 1) as f64)
+}
+
+/// Serialise a ranking as TREC run lines:
+/// `query_id Q0 doc_name rank score tag`.
+pub fn to_trec_run(
+    ranking: &RankedList,
+    query_id: &str,
+    tag: &str,
+    doc_name: impl Fn(DocId) -> String,
+) -> String {
+    let mut out = String::new();
+    for (i, &(doc, score)) in ranking.entries().iter().enumerate() {
+        out.push_str(&format!(
+            "{query_id} Q0 {} {} {score:.6} {tag}\n",
+            doc_name(doc),
+            i + 1
+        ));
+    }
+    out
+}
+
+/// Parse TREC qrels lines (`query_id 0 doc_name grade`) for one query,
+/// resolving document names through `resolve` (unknown names are skipped).
+pub fn parse_trec_qrels(
+    input: &str,
+    query_id: &str,
+    resolve: impl Fn(&str) -> Option<DocId>,
+) -> Qrels {
+    let mut pairs = Vec::new();
+    for line in input.lines() {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 4 || fields[0] != query_id {
+            continue;
+        }
+        let Ok(grade) = fields[3].parse::<u32>() else {
+            continue;
+        };
+        if let Some(doc) = resolve(fields[2]) {
+            pairs.push((doc, grade));
+        }
+    }
+    Qrels::from_pairs(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranking(docs: &[u32]) -> RankedList {
+        RankedList::from_scores(
+            docs.iter()
+                .enumerate()
+                .map(|(i, &d)| (DocId(d), (docs.len() - i) as f64))
+                .collect(),
+        )
+    }
+
+    fn qrels(pairs: &[(u32, u32)]) -> Qrels {
+        Qrels::from_pairs(pairs.iter().map(|&(d, g)| (DocId(d), g)))
+    }
+
+    #[test]
+    fn precision_cases() {
+        let r = ranking(&[1, 2, 3, 4]);
+        let q = qrels(&[(1, 1), (3, 1)]);
+        assert_eq!(precision_at_k(&r, &q, 1), 1.0);
+        assert_eq!(precision_at_k(&r, &q, 2), 0.5);
+        assert_eq!(precision_at_k(&r, &q, 4), 0.5);
+        assert_eq!(precision_at_k(&r, &q, 0), 0.0);
+    }
+
+    #[test]
+    fn average_precision_hand_computed() {
+        // Relevant at positions 1 and 3 of [1,2,3], 2 relevant total:
+        // AP = (1/1 + 2/3) / 2 = 5/6.
+        let r = ranking(&[1, 2, 3]);
+        let q = qrels(&[(1, 1), (3, 1)]);
+        assert!((average_precision(&r, &q) - 5.0 / 6.0).abs() < 1e-12);
+        // No relevant docs at all.
+        assert_eq!(average_precision(&r, &qrels(&[])), 0.0);
+        // Relevant doc never retrieved.
+        let q2 = qrels(&[(99, 1)]);
+        assert_eq!(average_precision(&r, &q2), 0.0);
+    }
+
+    #[test]
+    fn ndcg_perfect_ranking_is_one() {
+        let r = ranking(&[1, 2, 3]);
+        let q = qrels(&[(1, 3), (2, 2), (3, 1)]);
+        assert!((ndcg_at_k(&r, &q, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_penalises_misordering() {
+        let good = ranking(&[1, 2]);
+        let bad = ranking(&[2, 1]);
+        let q = qrels(&[(1, 3), (2, 1)]);
+        assert!(ndcg_at_k(&good, &q, 2) > ndcg_at_k(&bad, &q, 2));
+        assert!(ndcg_at_k(&bad, &q, 2) > 0.0);
+    }
+
+    #[test]
+    fn ndcg_empty_qrels_is_zero() {
+        let r = ranking(&[1, 2]);
+        assert_eq!(ndcg_at_k(&r, &qrels(&[]), 2), 0.0);
+    }
+
+    #[test]
+    fn reciprocal_rank_cases() {
+        let r = ranking(&[5, 6, 7]);
+        assert_eq!(reciprocal_rank(&r, &qrels(&[(5, 1)])), 1.0);
+        assert_eq!(reciprocal_rank(&r, &qrels(&[(7, 1)])), 1.0 / 3.0);
+        assert_eq!(reciprocal_rank(&r, &qrels(&[(9, 1)])), 0.0);
+    }
+
+    #[test]
+    fn trec_run_format() {
+        let r = ranking(&[4, 2]);
+        let run = to_trec_run(&r, "q1", "credence", |d| format!("doc{}", d.0));
+        let lines: Vec<&str> = run.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("q1 Q0 doc4 1 "));
+        assert!(lines[0].ends_with(" credence"));
+        assert!(lines[1].starts_with("q1 Q0 doc2 2 "));
+    }
+
+    #[test]
+    fn trec_qrels_round_trip() {
+        let input = "\
+q1 0 doc1 2
+q1 0 doc2 0
+q2 0 doc1 1
+q1 0 doc3 bad
+q1 0 unknown 1
+malformed line
+";
+        let q = parse_trec_qrels(input, "q1", |name| {
+            name.strip_prefix("doc")
+                .and_then(|n| n.parse().ok())
+                .filter(|&n: &u32| n < 10)
+                .map(DocId)
+        });
+        assert_eq!(q.grade(DocId(1)), 2);
+        assert_eq!(q.grade(DocId(2)), 0);
+        assert!(!q.is_relevant(DocId(2)));
+        assert_eq!(q.num_relevant(), 1);
+    }
+}

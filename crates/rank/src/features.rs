@@ -1,0 +1,283 @@
+//! Feature-aware ranking — the paper's stated future work.
+//!
+//! §II-A: "we assume that R assesses rank using only the body of each
+//! document. In future work, we plan to explain ranking models that support
+//! richer sets of features (e.g., user preferences)." This module implements
+//! that richer model so the feature-level counterfactual explainer
+//! (`credence-core::feature_counterfactual`) has something real to explain:
+//!
+//! ```text
+//! score(q, d) = text_score(q, d) + Σ_i w_i · f_i(d)
+//! ```
+//!
+//! where `f_i(d) ∈ [0, 1]` are per-document features (recency, popularity,
+//! user-preference affinity, …) and `w_i ≥ 0` are model weights. The text
+//! component is any black-box [`Ranker`]; the feature component is linear so
+//! the *simulated* model family is simple, but the explainer still treats
+//! the whole thing as a black box — it only asks for scores under
+//! hypothetical feature values.
+
+use credence_index::{DocId, InvertedIndex};
+
+use crate::ranker::Ranker;
+
+/// Schema of the feature space: names, in feature-index order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureSchema {
+    names: Vec<String>,
+}
+
+impl FeatureSchema {
+    /// Create a schema from feature names.
+    pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(names: I) -> Self {
+        Self {
+            names: names.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the schema has no features.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The feature names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+/// A ranker that can score documents under *hypothetical* feature values —
+/// the contract the feature-counterfactual explainer needs.
+pub trait FeatureAwareRanker: Ranker {
+    /// The feature schema.
+    fn schema(&self) -> &FeatureSchema;
+
+    /// The actual feature vector of a document.
+    fn features(&self, doc: DocId) -> &[f64];
+
+    /// The model weight of each feature (same order as the schema).
+    fn weights(&self) -> &[f64];
+
+    /// Score `doc` as if its features were `features` (text untouched).
+    fn score_with_features(&self, query: &str, doc: DocId, features: &[f64]) -> f64;
+}
+
+/// The linear feature-augmented ranker.
+pub struct FeatureRanker<'a, R: Ranker> {
+    base: R,
+    schema: FeatureSchema,
+    weights: Vec<f64>,
+    /// Row-major `num_docs × num_features`.
+    features: Vec<f64>,
+    index: &'a InvertedIndex,
+}
+
+impl<'a, R: Ranker> FeatureRanker<'a, R> {
+    /// Build over a base text ranker, a schema, per-feature weights, and one
+    /// feature vector per document (in `DocId` order).
+    ///
+    /// Panics when dimensions disagree or feature values leave `[0, 1]`.
+    pub fn new(
+        index: &'a InvertedIndex,
+        base: R,
+        schema: FeatureSchema,
+        weights: Vec<f64>,
+        features: Vec<Vec<f64>>,
+    ) -> Self {
+        assert_eq!(weights.len(), schema.len(), "one weight per feature");
+        assert_eq!(
+            features.len(),
+            index.num_docs(),
+            "one feature vector per document"
+        );
+        let mut flat = Vec::with_capacity(features.len() * schema.len());
+        for (i, row) in features.iter().enumerate() {
+            assert_eq!(row.len(), schema.len(), "doc {i}: wrong feature count");
+            for &v in row {
+                assert!((0.0..=1.0).contains(&v), "doc {i}: feature out of [0,1]");
+                flat.push(v);
+            }
+        }
+        Self {
+            base,
+            schema,
+            weights,
+            features: flat,
+            index,
+        }
+    }
+
+    fn feature_score(&self, features: &[f64]) -> f64 {
+        self.weights
+            .iter()
+            .zip(features)
+            .map(|(w, f)| w * f)
+            .sum()
+    }
+
+    fn doc_features(&self, doc: DocId) -> &[f64] {
+        let n = self.schema.len();
+        &self.features[doc.index() * n..(doc.index() + 1) * n]
+    }
+}
+
+impl<R: Ranker> Ranker for FeatureRanker<'_, R> {
+    fn name(&self) -> &str {
+        "feature-aware"
+    }
+
+    fn index(&self) -> &InvertedIndex {
+        self.index
+    }
+
+    fn score_doc(&self, query: &str, doc: DocId) -> f64 {
+        self.base.score_doc(query, doc) + self.feature_score(self.doc_features(doc))
+    }
+
+    fn score_text(&self, query: &str, body: &str) -> f64 {
+        // Ad-hoc text has no features: the feature component is zero, which
+        // matches the builder's semantics (an edited body is evaluated as
+        // pure text). Feature hypotheticals go through
+        // `score_with_features`.
+        self.base.score_text(query, body)
+    }
+
+    fn zero_means_unmatched(&self) -> bool {
+        // A document can be ranked purely on features.
+        false
+    }
+}
+
+impl<R: Ranker> FeatureAwareRanker for FeatureRanker<'_, R> {
+    fn schema(&self) -> &FeatureSchema {
+        &self.schema
+    }
+
+    fn features(&self, doc: DocId) -> &[f64] {
+        self.doc_features(doc)
+    }
+
+    fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    fn score_with_features(&self, query: &str, doc: DocId, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.schema.len());
+        self.base.score_doc(query, doc) + self.feature_score(features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bm25::Bm25Ranker;
+    use crate::rerank::rank_corpus;
+    use credence_index::{Bm25Params, Document};
+    use credence_text::Analyzer;
+
+    fn index() -> InvertedIndex {
+        InvertedIndex::build(
+            vec![
+                Document::from_body("covid outbreak in the city today"),
+                Document::from_body("covid outbreak in the city today"),
+                Document::from_body("garden fair opens downtown"),
+            ],
+            Analyzer::english(),
+        )
+    }
+
+    fn ranker(idx: &InvertedIndex) -> FeatureRanker<'_, Bm25Ranker<'_>> {
+        FeatureRanker::new(
+            idx,
+            Bm25Ranker::new(idx, Bm25Params::default()),
+            FeatureSchema::new(["recency", "popularity"]),
+            vec![1.0, 0.5],
+            vec![
+                vec![0.1, 0.2], // doc 0: old, unpopular
+                vec![0.9, 0.8], // doc 1: fresh, popular
+                vec![1.0, 1.0], // doc 2: fresh, popular, but off-topic
+            ],
+        )
+    }
+
+    #[test]
+    fn features_break_text_ties() {
+        let idx = index();
+        let r = ranker(&idx);
+        // Docs 0 and 1 have identical text; features must rank 1 first.
+        let ranking = rank_corpus(&r, "covid outbreak");
+        assert!(ranking.rank_of(DocId(1)).unwrap() < ranking.rank_of(DocId(0)).unwrap());
+    }
+
+    #[test]
+    fn pure_feature_relevance_is_possible() {
+        let idx = index();
+        let r = ranker(&idx);
+        // The garden doc has no query terms but maximal features.
+        let score = r.score_doc("covid outbreak", DocId(2));
+        assert!((score - 1.5).abs() < 1e-12);
+        assert!(!r.zero_means_unmatched());
+    }
+
+    #[test]
+    fn score_with_features_overrides() {
+        let idx = index();
+        let r = ranker(&idx);
+        let base = r.score_doc("covid outbreak", DocId(1));
+        let zeroed = r.score_with_features("covid outbreak", DocId(1), &[0.0, 0.0]);
+        let expected_drop = 1.0 * 0.9 + 0.5 * 0.8;
+        assert!((base - zeroed - expected_drop).abs() < 1e-12);
+        let unchanged = r.score_with_features("covid outbreak", DocId(1), &[0.9, 0.8]);
+        assert!((base - unchanged).abs() < 1e-12);
+    }
+
+    #[test]
+    fn text_scoring_ignores_features() {
+        let idx = index();
+        let r = ranker(&idx);
+        let body = &idx.document(DocId(1)).unwrap().body;
+        let text_only = r.score_text("covid outbreak", body);
+        let bm25 = Bm25Ranker::new(&idx, Bm25Params::default());
+        assert!((text_only - bm25.score_doc("covid outbreak", DocId(1))).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per feature")]
+    fn dimension_mismatch_panics() {
+        let idx = index();
+        let _ = FeatureRanker::new(
+            &idx,
+            Bm25Ranker::new(&idx, Bm25Params::default()),
+            FeatureSchema::new(["recency"]),
+            vec![1.0, 2.0],
+            vec![vec![0.1]; 3],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn out_of_range_feature_panics() {
+        let idx = index();
+        let _ = FeatureRanker::new(
+            &idx,
+            Bm25Ranker::new(&idx, Bm25Params::default()),
+            FeatureSchema::new(["recency"]),
+            vec![1.0],
+            vec![vec![0.5], vec![1.5], vec![0.5]],
+        );
+    }
+
+    #[test]
+    fn schema_accessors() {
+        let schema = FeatureSchema::new(["a", "b"]);
+        assert_eq!(schema.len(), 2);
+        assert!(!schema.is_empty());
+        assert_eq!(schema.names(), &["a".to_string(), "b".to_string()]);
+        assert!(FeatureSchema::new(Vec::<String>::new()).is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! Query-likelihood language-model ranking.
+//!
+//! The second classical retrieval model in the Anserini toolkit. Documents
+//! are scored by the (log) probability of generating the query from the
+//! document's smoothed unigram language model. Two standard smoothers are
+//! provided: Dirichlet (`mu`) and Jelinek-Mercer (`lambda`).
+//!
+//! QL assigns every document a finite log-probability, including documents
+//! sharing no terms with the query; to keep the "non-relevant = not
+//! retrieved" semantics the explainers use, documents with *no* query term
+//! are reported as unmatched (score 0 with [`Ranker::zero_means_unmatched`]),
+//! and matched documents are scored by their positive log-likelihood *ratio*
+//! against the background model, which is zero exactly when the document
+//! adds no evidence over the collection.
+
+use credence_index::{CollectionStats, DocId, InvertedIndex};
+use credence_text::TermId;
+
+use crate::ranker::Ranker;
+
+/// Smoothing strategy for the document language model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QlSmoothing {
+    /// Dirichlet prior smoothing with pseudo-count `mu` (Anserini default
+    /// `mu = 1000`).
+    Dirichlet {
+        /// The prior strength.
+        mu: f64,
+    },
+    /// Jelinek-Mercer interpolation with weight `lambda` on the document
+    /// model.
+    JelinekMercer {
+        /// Weight of the document model, in `(0, 1)`.
+        lambda: f64,
+    },
+}
+
+impl Default for QlSmoothing {
+    fn default() -> Self {
+        QlSmoothing::Dirichlet { mu: 1000.0 }
+    }
+}
+
+/// Query-likelihood ranker over an [`InvertedIndex`].
+#[derive(Debug, Clone)]
+pub struct QueryLikelihoodRanker<'a> {
+    index: &'a InvertedIndex,
+    smoothing: QlSmoothing,
+}
+
+impl<'a> QueryLikelihoodRanker<'a> {
+    /// Create a QL ranker with the given smoothing.
+    pub fn new(index: &'a InvertedIndex, smoothing: QlSmoothing) -> Self {
+        Self { index, smoothing }
+    }
+
+    /// The smoothing configuration.
+    pub fn smoothing(&self) -> QlSmoothing {
+        self.smoothing
+    }
+
+    /// Log-likelihood-ratio score of one term occurrence.
+    ///
+    /// `log(p(t|d) / p(t|C))`, which is positive when the document boosts
+    /// the term above the background and 0 when `tf = 0` under Dirichlet
+    /// (the standard rank-equivalent "log(1 + ...)" formulation).
+    fn term_score(&self, stats: &CollectionStats, term: TermId, tf: u32, doc_len: u32) -> f64 {
+        let p_bg = (stats.cf(term) as f64 / (stats.total_terms.max(1)) as f64).max(1e-12);
+        match self.smoothing {
+            QlSmoothing::Dirichlet { mu } => {
+                // log( (tf + mu p_bg) / (|d| + mu) ) - log( mu p_bg / (|d| + mu) )
+                //   = log(1 + tf / (mu p_bg))   ... rank-equivalent Dirichlet.
+                (1.0 + tf as f64 / (mu * p_bg)).ln()
+            }
+            QlSmoothing::JelinekMercer { lambda } => {
+                let p_doc = if doc_len == 0 {
+                    0.0
+                } else {
+                    tf as f64 / doc_len as f64
+                };
+                (1.0 + lambda * p_doc / ((1.0 - lambda) * p_bg)).ln()
+            }
+        }
+    }
+
+    fn score_terms(&self, query: &[TermId], doc_terms: &[(TermId, u32)], doc_len: u32) -> f64 {
+        let stats = self.index.stats();
+        query
+            .iter()
+            .map(|&t| {
+                let tf = doc_terms
+                    .binary_search_by_key(&t, |&(x, _)| x)
+                    .map(|i| doc_terms[i].1)
+                    .unwrap_or(0);
+                self.term_score(stats, t, tf, doc_len)
+            })
+            .sum()
+    }
+}
+
+impl Ranker for QueryLikelihoodRanker<'_> {
+    fn name(&self) -> &str {
+        match self.smoothing {
+            QlSmoothing::Dirichlet { .. } => "ql-dirichlet",
+            QlSmoothing::JelinekMercer { .. } => "ql-jm",
+        }
+    }
+
+    fn index(&self) -> &InvertedIndex {
+        self.index
+    }
+
+    fn score_doc(&self, query: &str, doc: DocId) -> f64 {
+        let q = self.index.analyze_query(query);
+        self.score_terms(&q, self.index.doc_terms(doc), self.index.doc_len(doc))
+    }
+
+    fn score_text(&self, query: &str, body: &str) -> f64 {
+        let q = self.index.analyze_query(query);
+        let (terms, len) = self.index.analyze_adhoc(body);
+        self.score_terms(&q, &terms, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credence_index::Document;
+    use credence_text::Analyzer;
+
+    fn index() -> InvertedIndex {
+        InvertedIndex::build(
+            vec![
+                Document::from_body("covid outbreak covid response plan"),
+                Document::from_body("garden flowers bloom in quiet spring air"),
+                Document::from_body("covid statistics updated for the region today"),
+            ],
+            Analyzer::english(),
+        )
+    }
+
+    #[test]
+    fn doc_and_text_scores_agree_dirichlet() {
+        let idx = index();
+        let r = QueryLikelihoodRanker::new(&idx, QlSmoothing::default());
+        for d in idx.doc_ids() {
+            let body = &idx.document(d).unwrap().body;
+            let a = r.score_doc("covid outbreak", d);
+            let b = r.score_text("covid outbreak", body);
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn doc_and_text_scores_agree_jm() {
+        let idx = index();
+        let r = QueryLikelihoodRanker::new(&idx, QlSmoothing::JelinekMercer { lambda: 0.5 });
+        for d in idx.doc_ids() {
+            let body = &idx.document(d).unwrap().body;
+            let a = r.score_doc("covid outbreak", d);
+            let b = r.score_text("covid outbreak", body);
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unmatched_doc_scores_zero() {
+        let idx = index();
+        for smoothing in [
+            QlSmoothing::default(),
+            QlSmoothing::JelinekMercer { lambda: 0.5 },
+        ] {
+            let r = QueryLikelihoodRanker::new(&idx, smoothing);
+            assert_eq!(r.score_doc("covid", DocId(1)), 0.0, "{:?}", smoothing);
+        }
+    }
+
+    #[test]
+    fn more_evidence_scores_higher() {
+        let idx = index();
+        let r = QueryLikelihoodRanker::new(&idx, QlSmoothing::default());
+        let both = r.score_doc("covid outbreak", DocId(0));
+        let one = r.score_doc("covid outbreak", DocId(2));
+        assert!(both > one);
+    }
+
+    #[test]
+    fn score_monotone_in_tf() {
+        let idx = index();
+        let r = QueryLikelihoodRanker::new(&idx, QlSmoothing::default());
+        let s1 = r.score_text("covid", "covid filler words here");
+        let s2 = r.score_text("covid", "covid covid filler words");
+        assert!(s2 > s1);
+    }
+
+    #[test]
+    fn names_reflect_smoothing() {
+        let idx = index();
+        assert_eq!(
+            QueryLikelihoodRanker::new(&idx, QlSmoothing::default()).name(),
+            "ql-dirichlet"
+        );
+        assert_eq!(
+            QueryLikelihoodRanker::new(&idx, QlSmoothing::JelinekMercer { lambda: 0.3 }).name(),
+            "ql-jm"
+        );
+    }
+}

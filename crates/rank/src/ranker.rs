@@ -1,0 +1,45 @@
+//! The black-box ranker contract.
+
+use credence_index::{DocId, InvertedIndex};
+
+/// A black-box ranking model `M` over a fixed corpus.
+///
+/// The contract the CREDENCE algorithms rely on:
+///
+/// 1. `score_doc(q, d)` and `score_text(q, body(d))` agree for indexed
+///    documents — perturbing a document and scoring the perturbed text is
+///    meaningful (property-tested per implementation).
+/// 2. Scores are comparable across documents for one query; higher is more
+///    relevant. Nothing about score *scale* is assumed.
+/// 3. Collection statistics are frozen at index time, so scoring a perturbed
+///    document never changes any other document's score.
+///
+/// Rankers are `Send + Sync` so the REST server can share one engine across
+/// connection threads.
+pub trait Ranker: Send + Sync {
+    /// A short human-readable model name (shown in experiment tables).
+    fn name(&self) -> &str;
+
+    /// The corpus this model ranks.
+    fn index(&self) -> &InvertedIndex;
+
+    /// Relevance score of an indexed document for a raw query string.
+    fn score_doc(&self, query: &str, doc: DocId) -> f64;
+
+    /// Relevance score of arbitrary text (e.g. a perturbed document body)
+    /// for a raw query string, under the frozen corpus statistics.
+    fn score_text(&self, query: &str, body: &str) -> f64;
+
+    /// Whether a zero score means "no relevance signal at all" (lexical
+    /// models), in which case corpus ranking omits zero-scored documents.
+    /// Dense/hybrid models return `false` and rank every document.
+    fn zero_means_unmatched(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The trait itself is exercised through its implementations; shared
+    // conformance checks live in `rerank::tests` and each impl's tests.
+}

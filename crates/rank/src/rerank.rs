@@ -1,0 +1,341 @@
+//! Corpus ranking and pool re-ranking — the two operations every CREDENCE
+//! explainer is built from.
+//!
+//! * [`rank_corpus`] produces the ranking `D^M` of §II-A: the whole corpus
+//!   ordered by the black-box model, from which the UI shows the top-k.
+//! * [`rerank_pool`] implements the §III-C mechanic reused by the
+//!   sentence-removal explainer: take the top-(k+1) pool, substitute one
+//!   document's body with a perturbed version, re-rank the pool, and report
+//!   each document's movement.
+
+use std::cmp::Ordering;
+
+use credence_index::DocId;
+
+use crate::ranker::Ranker;
+
+/// A full corpus ranking for one query under one model.
+#[derive(Debug, Clone)]
+pub struct RankedList {
+    entries: Vec<(DocId, f64)>,
+}
+
+impl RankedList {
+    /// Construct from `(doc, score)` pairs (any order).
+    pub fn from_scores(mut entries: Vec<(DocId, f64)>) -> Self {
+        entries.sort_unstable_by(compare_hits);
+        Self { entries }
+    }
+
+    /// The ranked entries, best first.
+    pub fn entries(&self) -> &[(DocId, f64)] {
+        &self.entries
+    }
+
+    /// 1-based rank of `doc`, or `None` when it is not in the ranking.
+    pub fn rank_of(&self, doc: DocId) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|&(d, _)| d == doc)
+            .map(|p| p + 1)
+    }
+
+    /// Score of `doc`, if ranked.
+    pub fn score_of(&self, doc: DocId) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|&&(d, _)| d == doc)
+            .map(|&(_, s)| s)
+    }
+
+    /// The ids of the top `k` documents (fewer when the ranking is shorter).
+    pub fn top_k(&self, k: usize) -> Vec<DocId> {
+        self.entries.iter().take(k).map(|&(d, _)| d).collect()
+    }
+
+    /// Number of ranked documents.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was ranked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+fn compare_hits(a: &(DocId, f64), b: &(DocId, f64)) -> Ordering {
+    b.1.partial_cmp(&a.1)
+        .unwrap_or(Ordering::Equal)
+        .then_with(|| a.0.cmp(&b.0))
+}
+
+/// Rank the whole corpus for `query` under `ranker`.
+///
+/// Lexical models (where [`Ranker::zero_means_unmatched`] is true) omit
+/// zero-scored documents, matching retrieval semantics; dense/hybrid models
+/// rank every document.
+pub fn rank_corpus(ranker: &dyn Ranker, query: &str) -> RankedList {
+    let index = ranker.index();
+    let drop_zeros = ranker.zero_means_unmatched();
+    let entries: Vec<(DocId, f64)> = index
+        .doc_ids()
+        .map(|d| (d, ranker.score_doc(query, d)))
+        .filter(|&(_, s)| !drop_zeros || s > 0.0)
+        .collect();
+    RankedList::from_scores(entries)
+}
+
+/// Parallel variant of [`rank_corpus`]: shards the corpus across scoped
+/// threads. Produces byte-identical results to the serial path (scores are
+/// computed per document, so summation order never changes), and is worth
+/// using from roughly 10k documents upward — below that, thread setup
+/// dominates. `threads = 0` or `1` falls back to the serial path.
+pub fn rank_corpus_parallel(ranker: &dyn Ranker, query: &str, threads: usize) -> RankedList {
+    if threads <= 1 {
+        return rank_corpus(ranker, query);
+    }
+    let index = ranker.index();
+    let n = index.num_docs();
+    if n == 0 {
+        return RankedList::from_scores(Vec::new());
+    }
+    let drop_zeros = ranker.zero_means_unmatched();
+    let threads = threads.min(n);
+    let chunk = n.div_ceil(threads);
+    let mut entries: Vec<(DocId, f64)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                scope.spawn(move || {
+                    (lo..hi)
+                        .map(|i| {
+                            let d = DocId(i as u32);
+                            (d, ranker.score_doc(query, d))
+                        })
+                        .filter(|&(_, s)| !drop_zeros || s > 0.0)
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            entries.extend(handle.join().expect("scoring thread panicked"));
+        }
+    });
+    RankedList::from_scores(entries)
+}
+
+/// One row of a pool re-ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolEntry {
+    /// The document.
+    pub doc: DocId,
+    /// Its score in the re-ranked pool.
+    pub score: f64,
+    /// Its 1-based rank in the re-ranked pool.
+    pub new_rank: usize,
+    /// Its 1-based rank in the pool *before* substitution (position in the
+    /// input slice + 1).
+    pub old_rank: usize,
+    /// Whether this is the substituted (perturbed) document.
+    pub substituted: bool,
+}
+
+impl PoolEntry {
+    /// Rank movement: negative = raised (toward rank 1), positive = lowered.
+    pub fn movement(&self) -> i64 {
+        self.new_rank as i64 - self.old_rank as i64
+    }
+}
+
+/// Re-rank `pool` (given in its current rank order) after substituting
+/// `substitute = (doc, new_body)` for that document's original body.
+///
+/// This is exactly the builder's RE-RANK operation (§III-C): "the edited
+/// document is substituted for the original, then re-ranked alongside the
+/// other top k+1 documents". With `substitute = None` it recomputes the
+/// pool ranking unchanged (useful for verifying stability).
+///
+/// The returned entries are sorted by `new_rank`. A perturbed document whose
+/// score drops to zero stays in the pool (it *is* one of the k+1 documents
+/// being compared) and simply sinks to the bottom — this is how a rank of
+/// k+1 = 11 arises in Figures 2 and 5.
+pub fn rerank_pool(
+    ranker: &dyn Ranker,
+    query: &str,
+    pool: &[DocId],
+    substitute: Option<(DocId, &str)>,
+) -> Vec<PoolEntry> {
+    let mut rows: Vec<PoolEntry> = pool
+        .iter()
+        .enumerate()
+        .map(|(i, &doc)| {
+            let (score, substituted) = match substitute {
+                Some((target, body)) if target == doc => {
+                    (ranker.score_text(query, body), true)
+                }
+                _ => (ranker.score_doc(query, doc), false),
+            };
+            PoolEntry {
+                doc,
+                score,
+                new_rank: 0,
+                old_rank: i + 1,
+                substituted,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.doc.cmp(&b.doc))
+    });
+    for (i, row) in rows.iter_mut().enumerate() {
+        row.new_rank = i + 1;
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bm25::Bm25Ranker;
+    use credence_index::{Bm25Params, Document, InvertedIndex};
+    use credence_text::Analyzer;
+
+    fn index() -> InvertedIndex {
+        InvertedIndex::build(
+            vec![
+                Document::from_body("covid outbreak covid outbreak emergency"), // 0
+                Document::from_body("covid outbreak in the city today"),        // 1
+                Document::from_body("covid numbers fall in the region"),        // 2
+                Document::from_body("garden flowers bloom brightly"),           // 3
+                Document::from_body("outbreak of joy at the festival"),         // 4
+            ],
+            Analyzer::english(),
+        )
+    }
+
+    #[test]
+    fn rank_corpus_orders_and_filters() {
+        let idx = index();
+        let r = Bm25Ranker::new(&idx, Bm25Params::default());
+        let list = rank_corpus(&r, "covid outbreak");
+        assert_eq!(list.entries()[0].0, DocId(0));
+        assert!(list.rank_of(DocId(3)).is_none(), "garden doc unmatched");
+        assert_eq!(list.rank_of(DocId(0)), Some(1));
+        assert!(list.len() == 4);
+        let scores: Vec<f64> = list.entries().iter().map(|e| e.1).collect();
+        assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let idx = index();
+        let r = Bm25Ranker::new(&idx, Bm25Params::default());
+        let list = rank_corpus(&r, "covid outbreak");
+        assert_eq!(list.top_k(2).len(), 2);
+        assert_eq!(list.top_k(100).len(), list.len());
+    }
+
+    #[test]
+    fn empty_query_ranks_nothing() {
+        let idx = index();
+        let r = Bm25Ranker::new(&idx, Bm25Params::default());
+        let list = rank_corpus(&r, "");
+        assert!(list.is_empty());
+        assert_eq!(list.rank_of(DocId(0)), None);
+    }
+
+    #[test]
+    fn rerank_without_substitution_is_stable() {
+        let idx = index();
+        let r = Bm25Ranker::new(&idx, Bm25Params::default());
+        let list = rank_corpus(&r, "covid outbreak");
+        let pool = list.top_k(3);
+        let rows = rerank_pool(&r, "covid outbreak", &pool, None);
+        for row in &rows {
+            assert_eq!(row.new_rank, row.old_rank, "{row:?}");
+            assert_eq!(row.movement(), 0);
+            assert!(!row.substituted);
+        }
+    }
+
+    #[test]
+    fn substituting_gutted_body_sinks_to_bottom() {
+        let idx = index();
+        let r = Bm25Ranker::new(&idx, Bm25Params::default());
+        let list = rank_corpus(&r, "covid outbreak");
+        let pool = list.top_k(3);
+        let top = pool[0];
+        let rows = rerank_pool(&r, "covid outbreak", &pool, Some((top, "nothing relevant here")));
+        let sub = rows.iter().find(|r| r.substituted).unwrap();
+        assert_eq!(sub.doc, top);
+        assert_eq!(sub.new_rank, pool.len());
+        assert_eq!(sub.score, 0.0);
+        assert!(sub.movement() > 0, "lowered");
+        // Everyone else moved up or stayed.
+        for row in rows.iter().filter(|r| !r.substituted) {
+            assert!(row.movement() <= 0);
+        }
+    }
+
+    #[test]
+    fn rerank_is_a_permutation_of_the_pool() {
+        let idx = index();
+        let r = Bm25Ranker::new(&idx, Bm25Params::default());
+        let list = rank_corpus(&r, "covid outbreak");
+        let pool = list.top_k(4);
+        let rows = rerank_pool(&r, "covid outbreak", &pool, Some((pool[1], "covid")));
+        let mut docs: Vec<DocId> = rows.iter().map(|r| r.doc).collect();
+        docs.sort_unstable();
+        let mut expected = pool.clone();
+        expected.sort_unstable();
+        assert_eq!(docs, expected);
+        let ranks: Vec<usize> = rows.iter().map(|r| r.new_rank).collect();
+        assert_eq!(ranks, (1..=pool.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn boosting_substitution_raises_rank() {
+        let idx = index();
+        let r = Bm25Ranker::new(&idx, Bm25Params::default());
+        let list = rank_corpus(&r, "covid outbreak");
+        let pool = list.top_k(3);
+        let last = *pool.last().unwrap();
+        let rows = rerank_pool(
+            &r,
+            "covid outbreak",
+            &pool,
+            Some((last, "covid outbreak covid outbreak covid outbreak")),
+        );
+        let sub = rows.iter().find(|r| r.substituted).unwrap();
+        assert!(sub.movement() < 0, "raised: {sub:?}");
+        assert_eq!(sub.new_rank, 1);
+    }
+
+    #[test]
+    fn parallel_ranking_matches_serial() {
+        let idx = index();
+        let r = Bm25Ranker::new(&idx, Bm25Params::default());
+        for threads in [0usize, 1, 2, 3, 8, 64] {
+            let serial = rank_corpus(&r, "covid outbreak");
+            let parallel = rank_corpus_parallel(&r, "covid outbreak", threads);
+            assert_eq!(serial.entries(), parallel.entries(), "threads={threads}");
+        }
+        // Empty corpus.
+        let empty = InvertedIndex::build(vec![], Analyzer::english());
+        let re = Bm25Ranker::new(&empty, Bm25Params::default());
+        assert!(rank_corpus_parallel(&re, "covid", 4).is_empty());
+    }
+
+    #[test]
+    fn empty_pool_is_fine() {
+        let idx = index();
+        let r = Bm25Ranker::new(&idx, Bm25Params::default());
+        assert!(rerank_pool(&r, "covid", &[], None).is_empty());
+    }
+}

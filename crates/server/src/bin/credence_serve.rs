@@ -1,0 +1,91 @@
+//! The `credence-serve` binary: serve the demo corpus (or a JSONL/TSV corpus)
+//! over the CREDENCE REST API.
+//!
+//! ```text
+//! credence-serve [--addr 127.0.0.1:8091] [--corpus path.{jsonl,tsv}]
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use credence_core::EngineConfig;
+use credence_corpus::{covid_demo_corpus, load_jsonl, load_tsv};
+use credence_server::service::RankerChoice;
+use credence_server::{AppState, Server};
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:8091".to_string();
+    let mut corpus_path: Option<String> = None;
+    let mut ranker = RankerChoice::Bm25;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => return usage("--addr requires a value"),
+            },
+            "--corpus" => match args.next() {
+                Some(p) => corpus_path = Some(p),
+                None => return usage("--corpus requires a value"),
+            },
+            "--ranker" => match args.next().as_deref().and_then(RankerChoice::parse) {
+                Some(r) => ranker = r,
+                None => {
+                    return usage("--ranker must be bm25 | ql | ql-jm | rm3 | neural")
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "credence-serve — CREDENCE REST API\n\n\
+                     USAGE: credence-serve [--addr HOST:PORT] [--corpus FILE.jsonl|FILE.tsv]\n\
+                     \x20                     [--ranker bm25|ql|ql-jm|rm3|neural]\n\n\
+                     Without --corpus, serves the built-in COVID-19 Articles demo corpus."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let docs = match &corpus_path {
+        None => covid_demo_corpus().docs,
+        Some(p) => {
+            let path = Path::new(p);
+            let loaded = if p.ends_with(".tsv") {
+                load_tsv(path)
+            } else {
+                load_jsonl(path)
+            };
+            match loaded {
+                Ok(docs) => docs,
+                Err(e) => {
+                    eprintln!("failed to load corpus {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    eprintln!("indexing {} documents and training doc2vec...", docs.len());
+    let state = AppState::leak_with(docs, EngineConfig::default(), ranker);
+    let server = match Server::bind(addr.as_str(), state) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("credence-serve listening on http://{addr}");
+    eprintln!("try: curl -s http://{addr}/health");
+    if let Err(e) = server.run() {
+        eprintln!("server error: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\nrun with --help for usage");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,281 @@
+//! Minimal HTTP/1.1 message handling.
+//!
+//! Supports exactly what the CREDENCE API needs: GET/POST, header parsing,
+//! `Content-Length` bodies (capped), and `Connection: close` responses.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Maximum accepted request body, in bytes.
+pub const MAX_BODY: usize = 4 * 1024 * 1024;
+/// Maximum accepted header section, in bytes.
+pub const MAX_HEADER: usize = 64 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercase (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path (no scheme/host), percent-decoding NOT applied — the
+    /// CREDENCE routes use plain ASCII segments.
+    pub path: String,
+    /// Header map with lowercase keys.
+    pub headers: HashMap<String, String>,
+    /// The request body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The body as UTF-8, when valid.
+    pub fn body_utf8(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// HTTP-level parse failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The connection closed before a full request arrived.
+    UnexpectedEof,
+    /// The request line or a header was malformed.
+    Malformed(&'static str),
+    /// Body or header section exceeded the configured limits.
+    TooLarge,
+    /// Underlying I/O failure (message only, for logging).
+    Io(String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::UnexpectedEof => write!(f, "connection closed mid-request"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::TooLarge => write!(f, "request exceeds size limits"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Read one HTTP request from a stream.
+pub fn read_request<R: Read>(stream: R) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut header_bytes = 0usize;
+
+    let n = reader
+        .read_line(&mut line)
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    if n == 0 {
+        return Err(HttpError::UnexpectedEof);
+    }
+    header_bytes += n;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing method"))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing path"))?
+        .to_string();
+    let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+
+    let mut headers = HashMap::new();
+    loop {
+        let mut hline = String::new();
+        let n = reader
+            .read_line(&mut hline)
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(HttpError::UnexpectedEof);
+        }
+        header_bytes += n;
+        if header_bytes > MAX_HEADER {
+            return Err(HttpError::TooLarge);
+        }
+        let trimmed = hline.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        let (name, value) = trimmed
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header without colon"))?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    let content_length = headers
+        .get("content-length")
+        .map(|v| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| HttpError::Malformed("invalid content-length"))?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(HttpError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|_| HttpError::UnexpectedEof)?;
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Content type of the body.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Serialise and write the response, `Connection: close` semantics.
+    pub fn write_to<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        let reason = match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        };
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len()
+        )?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(raw.as_bytes())
+    }
+
+    #[test]
+    fn parses_get() {
+        let req = parse("GET /health HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/health");
+        assert_eq!(req.headers.get("host").map(String::as_str), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let body = r#"{"query":"covid"}"#;
+        let raw = format!(
+            "POST /rank HTTP/1.1\r\nContent-Length: {}\r\nContent-Type: application/json\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let req = parse(&raw).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body_utf8(), Some(body));
+    }
+
+    #[test]
+    fn header_names_lowercased() {
+        let req = parse("GET / HTTP/1.1\r\nX-THING: Value\r\n\r\n").unwrap();
+        assert_eq!(req.headers.get("x-thing").map(String::as_str), Some("Value"));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(matches!(parse(""), Err(HttpError::UnexpectedEof)));
+        assert!(matches!(
+            parse("GET\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / SPDY/3\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nBadHeader\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nContent-Length: pony\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(parse(&raw), Err(HttpError::TooLarge)));
+    }
+
+    #[test]
+    fn truncated_body_is_eof() {
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(matches!(parse(raw), Err(HttpError::UnexpectedEof)));
+    }
+
+    #[test]
+    fn response_serialises() {
+        let mut out = Vec::new();
+        Response::json(200, r#"{"ok":true}"#).write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-type: application/json\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.ends_with(r#"{"ok":true}"#));
+    }
+
+    #[test]
+    fn response_status_reasons() {
+        for (status, reason) in [(404, "Not Found"), (422, "Unprocessable Entity"), (599, "Unknown")] {
+            let mut out = Vec::new();
+            Response::text(status, "x").write_to(&mut out).unwrap();
+            let text = String::from_utf8(out).unwrap();
+            assert!(text.contains(reason), "{status} should say {reason}");
+        }
+    }
+}

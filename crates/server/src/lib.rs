@@ -1,0 +1,36 @@
+//! The CREDENCE REST server.
+//!
+//! The original system exposes its backend as a FastAPI/Uvicorn REST API
+//! (Figure 1). This crate reproduces that system boundary with a minimal
+//! HTTP/1.1 server built on `std::net` — no async runtime, no web
+//! framework — so the whole stack remains from-scratch Rust:
+//!
+//! * [`http`] — request parsing and response serialisation,
+//! * [`service`] — the endpoint handlers mapping JSON bodies onto
+//!   [`credence_core::CredenceEngine`] calls,
+//! * [`server`] — the TCP accept loop with one worker thread per
+//!   connection and a clean-shutdown handle.
+//!
+//! ## Endpoints (all JSON)
+//!
+//! | Method | Path                          | Body |
+//! |--------|-------------------------------|------|
+//! | GET    | `/health`                     | — |
+//! | GET    | `/corpus`                     | — |
+//! | GET    | `/doc/{id}`                   | — |
+//! | POST   | `/rank`                       | `{query, k}` |
+//! | POST   | `/explain/sentence-removal`   | `{query, k, doc, n?}` |
+//! | POST   | `/explain/query-augmentation` | `{query, k, doc, n?, threshold?}` |
+//! | POST   | `/explain/doc2vec-nearest`    | `{query, k, doc, n?}` |
+//! | POST   | `/explain/cosine-sampled`     | `{query, k, doc, n?, samples?}` |
+//! | POST   | `/topics`                     | `{query, k, num_topics?}` |
+//! | POST   | `/rerank`                     | `{query, k, doc, body}` |
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod server;
+pub mod service;
+
+pub use server::{Server, ServerHandle};
+pub use service::{AppState, handle_request};

@@ -1,0 +1,192 @@
+//! The TCP accept loop.
+//!
+//! One OS thread per connection, `Connection: close` per response — the
+//! simplest server that correctly exposes the REST surface. A
+//! [`ServerHandle`] supports clean shutdown from tests.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::http::{read_request, Response};
+use crate::service::{handle_request, AppState};
+
+/// A CREDENCE HTTP server bound to an address.
+pub struct Server {
+    listener: TcpListener,
+    state: &'static AppState,
+}
+
+/// Handle for a running server: address + shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal shutdown and join the accept thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock accept() with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Server {
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs, state: &'static AppState) -> io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            state,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Run the accept loop on a background thread, returning a handle.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let state = self.state;
+        let listener = self.listener;
+        let join = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        std::thread::spawn(move ||
+
+                            handle_connection(state, stream));
+                    }
+                    Err(_) => continue,
+                }
+            }
+        });
+        Ok(ServerHandle {
+            addr,
+            stop,
+            join: Some(join),
+        })
+    }
+
+    /// Run the accept loop on the current thread, forever.
+    pub fn run(self) -> io::Result<()> {
+        for conn in self.listener.incoming() {
+            match conn {
+                Ok(stream) => {
+                    let state = self.state;
+                    std::thread::spawn(move || handle_connection(state, stream));
+                }
+                Err(_) => continue,
+            }
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(state: &'static AppState, stream: TcpStream) {
+    let peer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let response = match read_request(peer_stream) {
+        Ok(request) => handle_request(state, &request),
+        Err(err) => Response::json(
+            400,
+            format!(r#"{{"error":"{err}"}}"#),
+        ),
+    };
+    let _ = response.write_to(&stream);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credence_core::EngineConfig;
+    use credence_index::Document;
+    use std::io::{Read, Write};
+
+    fn demo_state() -> &'static AppState {
+        AppState::leak(
+            vec![
+                Document::new("a", "A", "covid outbreak covid outbreak tonight"),
+                Document::new("b", "B", "covid outbreak closes the local school"),
+                Document::new("c", "C", "garden fair draws a record crowd"),
+            ],
+            EngineConfig::fast(),
+        )
+    }
+
+    fn roundtrip(addr: SocketAddr, raw: &str) -> String {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        conn.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_over_real_sockets() {
+        let server = Server::bind("127.0.0.1:0", demo_state()).unwrap();
+        let handle = server.spawn().unwrap();
+        let addr = handle.addr();
+
+        let health = roundtrip(addr, "GET /health HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        assert!(health.contains(r#"{"status":"ok"}"#));
+
+        let body = r#"{"query": "covid outbreak", "k": 2}"#;
+        let rank = roundtrip(
+            addr,
+            &format!(
+                "POST /rank HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            ),
+        );
+        assert!(rank.starts_with("HTTP/1.1 200 OK"), "{rank}");
+        assert!(rank.contains(r#""ranking""#));
+
+        let bad = roundtrip(addr, "BROKEN\r\n\r\n");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+
+        handle.stop();
+    }
+
+    #[test]
+    fn concurrent_requests_are_served() {
+        let server = Server::bind("127.0.0.1:0", demo_state()).unwrap();
+        let handle = server.spawn().unwrap();
+        let addr = handle.addr();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let resp = roundtrip(addr, "GET /corpus HTTP/1.1\r\nHost: t\r\n\r\n");
+                    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        handle.stop();
+    }
+}

@@ -1,0 +1,994 @@
+//! Endpoint handlers: JSON in, JSON out, engine in the middle.
+
+use credence_core::{
+    CredenceEngine, EngineConfig, ExplainError, QueryAugmentationConfig, QueryReductionConfig,
+    SentenceRemovalConfig,
+};
+use credence_index::{Bm25Params, DocId, Document, InvertedIndex};
+use credence_json::{obj, parse, to_string, Value};
+use credence_rank::{
+    Bm25Ranker, NeuralSimConfig, NeuralSimRanker, PoolEntry, QlSmoothing,
+    QueryLikelihoodRanker, Ranker, Rm3Config, Rm3Ranker,
+};
+use credence_text::Analyzer;
+
+use crate::http::{Request, Response};
+
+/// Everything a request handler needs, with `'static` lifetime so worker
+/// threads can share it. Construct via [`AppState::leak`], which builds the
+/// index and ranker once and leaks them (a deliberate one-time allocation
+/// for the lifetime of the process, exactly like the original service
+/// loading its Lucene index at startup).
+pub struct AppState {
+    engine: CredenceEngine<'static>,
+}
+
+/// Which ranking model the server explains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RankerChoice {
+    /// BM25 with Anserini defaults.
+    #[default]
+    Bm25,
+    /// Query likelihood with Dirichlet smoothing.
+    QlDirichlet,
+    /// Query likelihood with Jelinek-Mercer smoothing.
+    QlJm,
+    /// BM25 + RM3 pseudo-relevance feedback.
+    Rm3,
+    /// The neural-sim hybrid (trains embeddings at startup).
+    Neural,
+}
+
+impl RankerChoice {
+    /// Parse a CLI-style name (`bm25`, `ql`, `ql-jm`, `rm3`, `neural`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "bm25" => Some(Self::Bm25),
+            "ql" | "ql-dirichlet" => Some(Self::QlDirichlet),
+            "ql-jm" => Some(Self::QlJm),
+            "rm3" | "bm25+rm3" => Some(Self::Rm3),
+            "neural" | "neural-sim" => Some(Self::Neural),
+            _ => None,
+        }
+    }
+}
+
+impl AppState {
+    /// Build the full backend over `docs` and leak it to `'static`.
+    pub fn leak(docs: Vec<Document>, config: EngineConfig) -> &'static AppState {
+        Self::leak_with(docs, config, RankerChoice::Bm25)
+    }
+
+    /// Build the backend with an explicit ranking model.
+    pub fn leak_with(
+        docs: Vec<Document>,
+        config: EngineConfig,
+        choice: RankerChoice,
+    ) -> &'static AppState {
+        let index: &'static InvertedIndex =
+            Box::leak(Box::new(InvertedIndex::build(docs, Analyzer::english())));
+        let ranker: &'static dyn Ranker = match choice {
+            RankerChoice::Bm25 => {
+                Box::leak(Box::new(Bm25Ranker::new(index, Bm25Params::default())))
+            }
+            RankerChoice::QlDirichlet => Box::leak(Box::new(QueryLikelihoodRanker::new(
+                index,
+                QlSmoothing::default(),
+            ))),
+            RankerChoice::QlJm => Box::leak(Box::new(QueryLikelihoodRanker::new(
+                index,
+                QlSmoothing::JelinekMercer { lambda: 0.5 },
+            ))),
+            RankerChoice::Rm3 => {
+                Box::leak(Box::new(Rm3Ranker::new(index, Rm3Config::default())))
+            }
+            RankerChoice::Neural => Box::leak(Box::new(NeuralSimRanker::train(
+                index,
+                NeuralSimConfig::default(),
+            ))),
+        };
+        let engine = CredenceEngine::new(ranker, config);
+        Box::leak(Box::new(AppState { engine }))
+    }
+
+    /// The engine, for in-process use in tests and experiments.
+    pub fn engine(&self) -> &CredenceEngine<'static> {
+        &self.engine
+    }
+}
+
+fn error_response(status: u16, message: impl Into<String>) -> Response {
+    Response::json(
+        status,
+        to_string(&obj([("error", Value::from(message.into()))])),
+    )
+}
+
+fn explain_error_response(err: ExplainError) -> Response {
+    let status = match err {
+        ExplainError::DocNotFound(_) => 404,
+        _ => 422,
+    };
+    error_response(status, err.to_string())
+}
+
+/// Parse the request body as a JSON object.
+fn json_body(req: &Request) -> Result<Value, Response> {
+    let text = req
+        .body_utf8()
+        .ok_or_else(|| error_response(400, "body is not UTF-8"))?;
+    let value =
+        parse(text).map_err(|e| error_response(400, format!("invalid JSON: {e}")))?;
+    if value.as_object().is_none() {
+        return Err(error_response(400, "body must be a JSON object"));
+    }
+    Ok(value)
+}
+
+fn get_str<'v>(body: &'v Value, key: &str) -> Result<&'v str, Response> {
+    body.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| error_response(400, format!("missing string field '{key}'")))
+}
+
+fn get_usize(body: &Value, key: &str) -> Result<usize, Response> {
+    body.get(key)
+        .and_then(Value::as_u64)
+        .map(|v| v as usize)
+        .ok_or_else(|| error_response(400, format!("missing integer field '{key}'")))
+}
+
+fn get_usize_or(body: &Value, key: &str, default: usize) -> Result<usize, Response> {
+    match body.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .map(|v| v as usize)
+            .ok_or_else(|| error_response(400, format!("field '{key}' must be an integer"))),
+    }
+}
+
+fn pool_entry_json(row: &PoolEntry) -> Value {
+    obj([
+        ("doc", Value::from(row.doc.0)),
+        ("score", Value::from(row.score)),
+        ("new_rank", Value::from(row.new_rank)),
+        ("old_rank", Value::from(row.old_rank)),
+        ("movement", Value::from(row.movement() as f64)),
+        ("substituted", Value::from(row.substituted)),
+    ])
+}
+
+/// Route one request to its handler.
+pub fn handle_request(state: &AppState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/" | "/index.html") => Response {
+            status: 200,
+            content_type: "text/html; charset=utf-8",
+            body: include_str!("ui.html").as_bytes().to_vec(),
+        },
+        ("GET", "/health") => Response::json(200, to_string(&obj([("status", Value::from("ok"))]))),
+        ("GET", "/corpus") => corpus(state),
+        ("GET", path) if path.starts_with("/doc/") => doc(state, &path[5..]),
+        ("POST", "/rank") => rank(state, req),
+        ("POST", "/explain/sentence-removal") => sentence_removal(state, req),
+        ("POST", "/explain/query-augmentation") => query_augmentation(state, req),
+        ("POST", "/explain/query-reduction") => query_reduction(state, req),
+        ("POST", "/explain/doc2vec-nearest") => doc2vec_nearest(state, req),
+        ("POST", "/explain/cosine-sampled") => cosine_sampled(state, req),
+        ("POST", "/topics") => topics(state, req),
+        ("POST", "/snippet") => snippet(state, req),
+        ("POST", "/explain/nearest-to-text") => nearest_to_text(state, req),
+        ("POST", "/rerank") => rerank(state, req),
+        ("GET" | "POST", _) => error_response(404, "no such endpoint"),
+        _ => error_response(405, "method not allowed"),
+    }
+}
+
+fn corpus(state: &AppState) -> Response {
+    let index = state.engine.ranker().index();
+    let docs: Vec<Value> = index
+        .documents()
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            obj([
+                ("doc", Value::from(i)),
+                ("name", Value::from(d.name.as_str())),
+                ("title", Value::from(d.title.as_str())),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        to_string(&obj([
+            ("num_docs", Value::from(index.num_docs())),
+            ("docs", Value::Array(docs)),
+        ])),
+    )
+}
+
+fn doc(state: &AppState, id: &str) -> Response {
+    let Ok(id) = id.parse::<u32>() else {
+        return error_response(400, "document id must be an integer");
+    };
+    let index = state.engine.ranker().index();
+    match index.document(DocId(id)) {
+        None => error_response(404, format!("document {id} not found")),
+        Some(d) => Response::json(
+            200,
+            to_string(&obj([
+                ("doc", Value::from(id)),
+                ("name", Value::from(d.name.as_str())),
+                ("title", Value::from(d.title.as_str())),
+                ("body", Value::from(d.body.as_str())),
+            ])),
+        ),
+    }
+}
+
+fn rank(state: &AppState, req: &Request) -> Response {
+    let body = match json_body(req) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let (query, k) = match (get_str(&body, "query"), get_usize(&body, "k")) {
+        (Ok(q), Ok(k)) => (q, k),
+        (Err(r), _) | (_, Err(r)) => return r,
+    };
+    let rows: Vec<Value> = state
+        .engine
+        .rank(query, k)
+        .into_iter()
+        .map(|r| {
+            obj([
+                ("doc", Value::from(r.doc.0)),
+                ("rank", Value::from(r.rank)),
+                ("score", Value::from(r.score)),
+                ("name", Value::from(r.name)),
+                ("title", Value::from(r.title)),
+            ])
+        })
+        .collect();
+    Response::json(200, to_string(&obj([("ranking", Value::Array(rows))])))
+}
+
+fn sentence_removal(state: &AppState, req: &Request) -> Response {
+    let body = match json_body(req) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let (query, k, doc) = match (
+        get_str(&body, "query"),
+        get_usize(&body, "k"),
+        get_usize(&body, "doc"),
+    ) {
+        (Ok(q), Ok(k), Ok(d)) => (q, k, d),
+        (Err(r), _, _) | (_, Err(r), _) | (_, _, Err(r)) => return r,
+    };
+    let n = match get_usize_or(&body, "n", 1) {
+        Ok(n) => n,
+        Err(r) => return r,
+    };
+    let config = SentenceRemovalConfig {
+        n,
+        ..Default::default()
+    };
+    match state
+        .engine
+        .sentence_removal(query, k, DocId(doc as u32), &config)
+    {
+        Err(e) => explain_error_response(e),
+        Ok(result) => {
+            let explanations: Vec<Value> = result
+                .explanations
+                .iter()
+                .map(|e| {
+                    obj([
+                        (
+                            "removed_sentences",
+                            Value::Array(
+                                e.removed.iter().map(|&i| Value::from(i)).collect(),
+                            ),
+                        ),
+                        (
+                            "removed_text",
+                            Value::Array(
+                                e.removed_text
+                                    .iter()
+                                    .map(|t| Value::from(t.as_str()))
+                                    .collect(),
+                            ),
+                        ),
+                        ("perturbed_body", Value::from(e.perturbed_body.as_str())),
+                        ("importance", Value::from(e.importance)),
+                        ("old_rank", Value::from(e.old_rank)),
+                        ("new_rank", Value::from(e.new_rank)),
+                    ])
+                })
+                .collect();
+            Response::json(
+                200,
+                to_string(&obj([
+                    ("old_rank", Value::from(result.old_rank)),
+                    ("candidates_evaluated", Value::from(result.candidates_evaluated)),
+                    ("explanations", Value::Array(explanations)),
+                ])),
+            )
+        }
+    }
+}
+
+fn query_augmentation(state: &AppState, req: &Request) -> Response {
+    let body = match json_body(req) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let (query, k, doc) = match (
+        get_str(&body, "query"),
+        get_usize(&body, "k"),
+        get_usize(&body, "doc"),
+    ) {
+        (Ok(q), Ok(k), Ok(d)) => (q, k, d),
+        (Err(r), _, _) | (_, Err(r), _) | (_, _, Err(r)) => return r,
+    };
+    let (n, threshold) = match (
+        get_usize_or(&body, "n", 1),
+        get_usize_or(&body, "threshold", 1),
+    ) {
+        (Ok(n), Ok(t)) => (n, t),
+        (Err(r), _) | (_, Err(r)) => return r,
+    };
+    let config = QueryAugmentationConfig {
+        n,
+        threshold,
+        ..Default::default()
+    };
+    match state
+        .engine
+        .query_augmentation(query, k, DocId(doc as u32), &config)
+    {
+        Err(e) => explain_error_response(e),
+        Ok(result) => {
+            let explanations: Vec<Value> = result
+                .explanations
+                .iter()
+                .map(|e| {
+                    obj([
+                        (
+                            "terms",
+                            Value::Array(
+                                e.terms.iter().map(|t| Value::from(t.as_str())).collect(),
+                            ),
+                        ),
+                        ("augmented_query", Value::from(e.augmented_query.as_str())),
+                        ("tfidf", Value::from(e.tfidf)),
+                        ("old_rank", Value::from(e.old_rank)),
+                        ("new_rank", Value::from(e.new_rank)),
+                    ])
+                })
+                .collect();
+            Response::json(
+                200,
+                to_string(&obj([
+                    ("old_rank", Value::from(result.old_rank)),
+                    ("candidates_evaluated", Value::from(result.candidates_evaluated)),
+                    ("explanations", Value::Array(explanations)),
+                ])),
+            )
+        }
+    }
+}
+
+fn query_reduction(state: &AppState, req: &Request) -> Response {
+    let body = match json_body(req) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let (query, k, doc) = match (
+        get_str(&body, "query"),
+        get_usize(&body, "k"),
+        get_usize(&body, "doc"),
+    ) {
+        (Ok(q), Ok(k), Ok(d)) => (q, k, d),
+        (Err(r), _, _) | (_, Err(r), _) | (_, _, Err(r)) => return r,
+    };
+    let n = match get_usize_or(&body, "n", 1) {
+        Ok(n) => n,
+        Err(r) => return r,
+    };
+    let config = QueryReductionConfig {
+        n,
+        ..Default::default()
+    };
+    match state
+        .engine
+        .query_reduction(query, k, DocId(doc as u32), &config)
+    {
+        Err(e) => explain_error_response(e),
+        Ok(result) => {
+            let explanations: Vec<Value> = result
+                .explanations
+                .iter()
+                .map(|e| {
+                    obj([
+                        (
+                            "removed_terms",
+                            Value::Array(
+                                e.removed_terms
+                                    .iter()
+                                    .map(|t| Value::from(t.as_str()))
+                                    .collect(),
+                            ),
+                        ),
+                        ("reduced_query", Value::from(e.reduced_query.as_str())),
+                        ("old_rank", Value::from(e.old_rank)),
+                        (
+                            "new_rank",
+                            e.new_rank.map(Value::from).unwrap_or(Value::Null),
+                        ),
+                    ])
+                })
+                .collect();
+            Response::json(
+                200,
+                to_string(&obj([
+                    ("old_rank", Value::from(result.old_rank)),
+                    ("explanations", Value::Array(explanations)),
+                ])),
+            )
+        }
+    }
+}
+
+fn instance_json(explanations: &[credence_core::InstanceExplanation]) -> Value {
+    Value::Array(
+        explanations
+            .iter()
+            .map(|e| {
+                obj([
+                    ("doc", Value::from(e.doc.0)),
+                    ("similarity", Value::from(e.similarity)),
+                    (
+                        "rank",
+                        e.rank.map(Value::from).unwrap_or(Value::Null),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn doc2vec_nearest(state: &AppState, req: &Request) -> Response {
+    let body = match json_body(req) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let (query, k, doc) = match (
+        get_str(&body, "query"),
+        get_usize(&body, "k"),
+        get_usize(&body, "doc"),
+    ) {
+        (Ok(q), Ok(k), Ok(d)) => (q, k, d),
+        (Err(r), _, _) | (_, Err(r), _) | (_, _, Err(r)) => return r,
+    };
+    let n = match get_usize_or(&body, "n", 1) {
+        Ok(n) => n,
+        Err(r) => return r,
+    };
+    match state
+        .engine
+        .doc2vec_nearest(query, k, DocId(doc as u32), n)
+    {
+        Err(e) => explain_error_response(e),
+        Ok(out) => Response::json(
+            200,
+            to_string(&obj([("explanations", instance_json(&out))])),
+        ),
+    }
+}
+
+fn cosine_sampled(state: &AppState, req: &Request) -> Response {
+    let body = match json_body(req) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let (query, k, doc) = match (
+        get_str(&body, "query"),
+        get_usize(&body, "k"),
+        get_usize(&body, "doc"),
+    ) {
+        (Ok(q), Ok(k), Ok(d)) => (q, k, d),
+        (Err(r), _, _) | (_, Err(r), _) | (_, _, Err(r)) => return r,
+    };
+    let n = match get_usize_or(&body, "n", 1) {
+        Ok(n) => n,
+        Err(r) => return r,
+    };
+    let samples = match body.get("samples") {
+        None => None,
+        Some(v) => match v.as_u64() {
+            Some(s) => Some(s as usize),
+            None => return error_response(400, "field 'samples' must be an integer"),
+        },
+    };
+    match state
+        .engine
+        .cosine_sampled(query, k, DocId(doc as u32), n, samples)
+    {
+        Err(e) => explain_error_response(e),
+        Ok(out) => Response::json(
+            200,
+            to_string(&obj([("explanations", instance_json(&out))])),
+        ),
+    }
+}
+
+fn topics(state: &AppState, req: &Request) -> Response {
+    let body = match json_body(req) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let (query, k) = match (get_str(&body, "query"), get_usize(&body, "k")) {
+        (Ok(q), Ok(k)) => (q, k),
+        (Err(r), _) | (_, Err(r)) => return r,
+    };
+    let num_topics = match get_usize_or(&body, "num_topics", 3) {
+        Ok(n) => n,
+        Err(r) => return r,
+    };
+    match state.engine.topics(query, k, num_topics) {
+        Err(e) => explain_error_response(e),
+        Ok(topics) => {
+            let rows: Vec<Value> = topics
+                .iter()
+                .map(|t| {
+                    obj([
+                        ("topic", Value::from(t.topic)),
+                        ("weight", Value::from(t.weight)),
+                        (
+                            "terms",
+                            Value::Array(
+                                t.terms
+                                    .iter()
+                                    .map(|(term, p)| {
+                                        obj([
+                                            ("term", Value::from(term.as_str())),
+                                            ("probability", Value::from(*p)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect();
+            Response::json(200, to_string(&obj([("topics", Value::Array(rows))])))
+        }
+    }
+}
+
+fn snippet(state: &AppState, req: &Request) -> Response {
+    let body = match json_body(req) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let (query, doc) = match (get_str(&body, "query"), get_usize(&body, "doc")) {
+        (Ok(q), Ok(d)) => (q, d),
+        (Err(r), _) | (_, Err(r)) => return r,
+    };
+    let window = match get_usize_or(&body, "window", 24) {
+        Ok(w) => w,
+        Err(r) => return r,
+    };
+    match state.engine.snippet(query, DocId(doc as u32), window) {
+        Err(e) => explain_error_response(e),
+        Ok((highlights, snippet)) => {
+            let spans: Vec<Value> = highlights
+                .iter()
+                .map(|h| {
+                    obj([
+                        ("start", Value::from(h.start)),
+                        ("end", Value::from(h.end)),
+                    ])
+                })
+                .collect();
+            let snippet_json = match snippet {
+                None => Value::Null,
+                Some(s) => obj([
+                    ("text", Value::from(s.text)),
+                    ("start", Value::from(s.start)),
+                    ("end", Value::from(s.end)),
+                    ("hits", Value::from(s.hits)),
+                ]),
+            };
+            Response::json(
+                200,
+                to_string(&obj([
+                    ("highlights", Value::Array(spans)),
+                    ("snippet", snippet_json),
+                ])),
+            )
+        }
+    }
+}
+
+fn nearest_to_text(state: &AppState, req: &Request) -> Response {
+    let body = match json_body(req) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let text = match get_str(&body, "text") {
+        Ok(t) => t,
+        Err(r) => return r,
+    };
+    let n = match get_usize_or(&body, "n", 3) {
+        Ok(n) => n,
+        Err(r) => return r,
+    };
+    // Optional: exclude the top-k of a query so only non-relevant documents
+    // come back (the counterfactual framing).
+    let exclude = match (body.get("query"), body.get("k")) {
+        (Some(q), Some(k)) => match (q.as_str(), k.as_u64()) {
+            (Some(q), Some(k)) => Some((q, k as usize)),
+            _ => return error_response(400, "query must be a string and k an integer"),
+        },
+        _ => None,
+    };
+    let out = state.engine.nearest_to_text(text, n, exclude);
+    Response::json(200, to_string(&obj([("neighbors", instance_json(&out))])))
+}
+
+fn rerank(state: &AppState, req: &Request) -> Response {
+    let body = match json_body(req) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let (query, k, doc, edited) = match (
+        get_str(&body, "query"),
+        get_usize(&body, "k"),
+        get_usize(&body, "doc"),
+        get_str(&body, "body"),
+    ) {
+        (Ok(q), Ok(k), Ok(d), Ok(b)) => (q, k, d, b),
+        (Err(r), _, _, _) | (_, Err(r), _, _) | (_, _, Err(r), _) | (_, _, _, Err(r)) => {
+            return r
+        }
+    };
+    match state
+        .engine
+        .builder_rerank(query, k, DocId(doc as u32), edited)
+    {
+        Err(e) => explain_error_response(e),
+        Ok(outcome) => Response::json(
+            200,
+            to_string(&obj([
+                ("valid", Value::from(outcome.valid)),
+                ("old_rank", Value::from(outcome.old_rank)),
+                ("new_rank", Value::from(outcome.new_rank)),
+                (
+                    "revealed",
+                    outcome
+                        .revealed
+                        .map(|d| Value::from(d.0))
+                        .unwrap_or(Value::Null),
+                ),
+                (
+                    "rows",
+                    Value::Array(outcome.rows.iter().map(pool_entry_json).collect()),
+                ),
+            ])),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn demo_docs() -> Vec<Document> {
+        vec![
+            Document::new(
+                "n1",
+                "Outbreak news",
+                "covid outbreak covid outbreak dominates the news cycle this week entirely",
+            ),
+            Document::new(
+                "n2",
+                "Quiet arrival",
+                "The covid outbreak arrived quietly. Officials downplayed the covid outbreak \
+                 for weeks before acting decisively.",
+            ),
+            Document::new(
+                "n3",
+                "Conspiracy corner",
+                "The covid outbreak is a cover story. A secret microchip hides in every \
+                 vaccine dose. The microchip tracks your movements constantly.",
+            ),
+            Document::new(
+                "n4",
+                "Copycat",
+                "A secret microchip hides in every vaccine dose. The microchip tracks your \
+                 movements constantly and secretly.",
+            ),
+            Document::new(
+                "n5",
+                "Harbor drills",
+                "Outbreak drills continue at the harbor facility through the weekend shift.",
+            ),
+            Document::new("n6", "Gardens", "The garden show opens to record spring crowds."),
+        ]
+    }
+
+    fn state() -> &'static AppState {
+        static STATE: OnceLock<&'static AppState> = OnceLock::new();
+        STATE.get_or_init(|| AppState::leak(demo_docs(), EngineConfig::fast()))
+    }
+
+    fn post(path: &str, body: &str) -> Response {
+        let req = Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: Default::default(),
+            body: body.as_bytes().to_vec(),
+        };
+        handle_request(state(), &req)
+    }
+
+    fn get(path: &str) -> Response {
+        let req = Request {
+            method: "GET".into(),
+            path: path.into(),
+            headers: Default::default(),
+            body: Vec::new(),
+        };
+        handle_request(state(), &req)
+    }
+
+    fn body_json(resp: &Response) -> Value {
+        parse(std::str::from_utf8(&resp.body).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn ui_page_served_at_root() {
+        let resp = get("/");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "text/html; charset=utf-8");
+        let html = String::from_utf8(resp.body).unwrap();
+        assert!(html.contains("CREDENCE"));
+        assert!(html.contains("/explain/"), "UI drives the REST API");
+    }
+
+    #[test]
+    fn ranker_choice_parses() {
+        assert_eq!(RankerChoice::parse("bm25"), Some(RankerChoice::Bm25));
+        assert_eq!(RankerChoice::parse("ql"), Some(RankerChoice::QlDirichlet));
+        assert_eq!(RankerChoice::parse("rm3"), Some(RankerChoice::Rm3));
+        assert_eq!(RankerChoice::parse("neural"), Some(RankerChoice::Neural));
+        assert_eq!(RankerChoice::parse("zebra"), None);
+    }
+
+    #[test]
+    fn state_with_alternative_ranker_serves() {
+        let state = AppState::leak_with(
+            demo_docs(),
+            EngineConfig::fast(),
+            RankerChoice::QlDirichlet,
+        );
+        let req = Request {
+            method: "POST".into(),
+            path: "/rank".into(),
+            headers: Default::default(),
+            body: br#"{"query": "covid outbreak", "k": 3}"#.to_vec(),
+        };
+        let resp = handle_request(state, &req);
+        assert_eq!(resp.status, 200);
+        assert_eq!(state.engine().ranker().name(), "ql-dirichlet");
+    }
+
+    #[test]
+    fn health_and_404_and_405() {
+        assert_eq!(get("/health").status, 200);
+        assert_eq!(get("/nope").status, 404);
+        let req = Request {
+            method: "DELETE".into(),
+            path: "/rank".into(),
+            headers: Default::default(),
+            body: Vec::new(),
+        };
+        assert_eq!(handle_request(state(), &req).status, 405);
+    }
+
+    #[test]
+    fn corpus_and_doc_endpoints() {
+        let resp = get("/corpus");
+        assert_eq!(resp.status, 200);
+        let v = body_json(&resp);
+        assert_eq!(v.get("num_docs").unwrap().as_u64(), Some(6));
+
+        let resp = get("/doc/2");
+        assert_eq!(resp.status, 200);
+        let v = body_json(&resp);
+        assert!(v.get("body").unwrap().as_str().unwrap().contains("microchip"));
+
+        assert_eq!(get("/doc/99").status, 404);
+        assert_eq!(get("/doc/zebra").status, 400);
+    }
+
+    #[test]
+    fn rank_endpoint() {
+        let resp = post("/rank", r#"{"query": "covid outbreak", "k": 3}"#);
+        assert_eq!(resp.status, 200);
+        let v = body_json(&resp);
+        let ranking = v.get("ranking").unwrap().as_array().unwrap();
+        assert_eq!(ranking.len(), 3);
+        assert_eq!(ranking[0].get("rank").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn rank_validation_errors() {
+        assert_eq!(post("/rank", "not json").status, 400);
+        assert_eq!(post("/rank", r#"{"k": 3}"#).status, 400);
+        assert_eq!(post("/rank", r#"{"query": "covid"}"#).status, 400);
+        assert_eq!(post("/rank", r#"[1,2]"#).status, 400);
+        assert_eq!(post("/rank", r#"{"query": "covid", "k": -1}"#).status, 400);
+    }
+
+    #[test]
+    fn sentence_removal_endpoint() {
+        let resp = post(
+            "/explain/sentence-removal",
+            r#"{"query": "covid outbreak", "k": 3, "doc": 2, "n": 1}"#,
+        );
+        assert_eq!(resp.status, 200);
+        let v = body_json(&resp);
+        let explanations = v.get("explanations").unwrap().as_array().unwrap();
+        assert_eq!(explanations.len(), 1);
+        let new_rank = explanations[0].get("new_rank").unwrap().as_u64().unwrap();
+        assert!(new_rank > 3);
+    }
+
+    #[test]
+    fn sentence_removal_doc_errors() {
+        assert_eq!(
+            post(
+                "/explain/sentence-removal",
+                r#"{"query": "covid outbreak", "k": 3, "doc": 99}"#
+            )
+            .status,
+            404
+        );
+        assert_eq!(
+            post(
+                "/explain/sentence-removal",
+                r#"{"query": "covid outbreak", "k": 3, "doc": 5}"#
+            )
+            .status,
+            422,
+            "garden doc is not relevant"
+        );
+    }
+
+    #[test]
+    fn query_augmentation_endpoint() {
+        let resp = post(
+            "/explain/query-augmentation",
+            r#"{"query": "covid outbreak", "k": 3, "doc": 2, "n": 2, "threshold": 1}"#,
+        );
+        assert_eq!(resp.status, 200);
+        let v = body_json(&resp);
+        let explanations = v.get("explanations").unwrap().as_array().unwrap();
+        assert!(!explanations.is_empty());
+        for e in explanations {
+            assert!(e.get("new_rank").unwrap().as_u64().unwrap() <= 1);
+            assert!(e
+                .get("augmented_query")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .starts_with("covid outbreak"));
+        }
+    }
+
+    #[test]
+    fn query_reduction_endpoint() {
+        let resp = post(
+            "/explain/query-reduction",
+            r#"{"query": "covid outbreak", "k": 3, "doc": 2, "n": 1}"#,
+        );
+        assert_eq!(resp.status, 200);
+        let v = body_json(&resp);
+        let explanations = v.get("explanations").unwrap().as_array().unwrap();
+        for e in explanations {
+            assert!(!e
+                .get("removed_terms")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn instance_endpoints() {
+        let resp = post(
+            "/explain/doc2vec-nearest",
+            r#"{"query": "covid outbreak", "k": 3, "doc": 2, "n": 1}"#,
+        );
+        assert_eq!(resp.status, 200);
+        let v = body_json(&resp);
+        assert_eq!(
+            v.get("explanations").unwrap().as_array().unwrap().len(),
+            1
+        );
+
+        let resp = post(
+            "/explain/cosine-sampled",
+            r#"{"query": "covid outbreak", "k": 3, "doc": 2, "n": 1, "samples": 10}"#,
+        );
+        assert_eq!(resp.status, 200);
+        let v = body_json(&resp);
+        let e = &v.get("explanations").unwrap().as_array().unwrap()[0];
+        assert_eq!(e.get("doc").unwrap().as_u64(), Some(3), "the copycat");
+    }
+
+    #[test]
+    fn topics_endpoint() {
+        let resp = post("/topics", r#"{"query": "covid outbreak", "k": 3, "num_topics": 2}"#);
+        assert_eq!(resp.status, 200);
+        let v = body_json(&resp);
+        assert_eq!(v.get("topics").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn rerank_endpoint_runs_figure5() {
+        let resp = post(
+            "/rerank",
+            r#"{"query": "covid outbreak", "k": 3, "doc": 2,
+                "body": "The flu is a cover story. A secret chip hides in every dose."}"#,
+        );
+        assert_eq!(resp.status, 200);
+        let v = body_json(&resp);
+        assert_eq!(v.get("valid").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("new_rank").unwrap().as_u64(), Some(4));
+        let rows = v.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 4, "pool of k+1 documents");
+        assert!(rows.iter().any(|r| r.get("substituted").unwrap().as_bool() == Some(true)));
+    }
+
+    #[test]
+    fn snippet_endpoint() {
+        let resp = post("/snippet", r#"{"query": "covid outbreak", "doc": 2, "window": 8}"#);
+        assert_eq!(resp.status, 200);
+        let v = body_json(&resp);
+        assert!(!v.get("highlights").unwrap().as_array().unwrap().is_empty());
+        assert!(v.get("snippet").unwrap().get("hits").unwrap().as_u64().unwrap() > 0);
+        assert_eq!(post("/snippet", r#"{"query": "covid", "doc": 999}"#).status, 404);
+    }
+
+    #[test]
+    fn nearest_to_text_endpoint() {
+        let resp = post(
+            "/explain/nearest-to-text",
+            r#"{"text": "secret microchip in vaccine doses", "n": 2}"#,
+        );
+        assert_eq!(resp.status, 200);
+        let v = body_json(&resp);
+        assert_eq!(v.get("neighbors").unwrap().as_array().unwrap().len(), 2);
+
+        let resp = post(
+            "/explain/nearest-to-text",
+            r#"{"text": "covid outbreak tonight", "n": 2, "query": "covid outbreak", "k": 3}"#,
+        );
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn rerank_missing_fields() {
+        assert_eq!(
+            post("/rerank", r#"{"query": "covid", "k": 3, "doc": 2}"#).status,
+            400
+        );
+    }
+}

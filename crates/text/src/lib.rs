@@ -1,0 +1,39 @@
+//! Text-processing substrate for the CREDENCE reproduction.
+//!
+//! The original CREDENCE system delegated lexical analysis to Lucene (via
+//! Pyserini/Anserini). This crate rebuilds the parts of that stack the
+//! counterfactual algorithms rely on:
+//!
+//! * [`tokenize`] — offset-preserving word tokenisation,
+//! * [`sentence`] — sentence segmentation (the unit of perturbation for
+//!   counterfactual *document* explanations, §II-C of the paper),
+//! * [`stem`] — the classic Porter stemmer, mirroring Lucene's
+//!   `PorterStemFilter`,
+//! * [`stopwords`] — a standard English stop list,
+//! * [`vocab`] — string interning so the index and the embedding/topic models
+//!   can work with dense `u32` term ids,
+//! * [`analyze`] — a configurable pipeline composing the above, equivalent to
+//!   a Lucene `Analyzer`.
+//!
+//! Everything is deterministic and allocation-conscious; the analyzers are the
+//! innermost loop of both indexing and counterfactual search.
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod normalize;
+pub mod phrase;
+pub mod sentence;
+pub mod stem;
+pub mod stopwords;
+pub mod token;
+pub mod vocab;
+
+pub use analyze::{AnalyzeOptions, Analyzer};
+pub use normalize::normalize_term;
+pub use phrase::{find_collocations, Collocation, PhraseConfig};
+pub use sentence::{split_sentences, Sentence};
+pub use stem::porter_stem;
+pub use stopwords::{is_stopword, STOPWORDS};
+pub use token::{tokenize, Token};
+pub use vocab::{TermId, Vocabulary};

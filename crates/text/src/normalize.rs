@@ -1,0 +1,94 @@
+//! Term normalisation: case folding and punctuation trimming.
+//!
+//! Normalisation is applied to every token before it reaches the index, the
+//! rankers, or the counterfactual algorithms, so that "COVID", "Covid," and
+//! "covid" all denote the same term — the behaviour the paper's running
+//! example depends on (its sentence-importance heuristic counts query terms
+//! *appearing in* a sentence regardless of case or adjacent punctuation).
+
+/// Normalise a raw token into an index term.
+///
+/// Lowercases ASCII and Unicode alphabetics, trims leading/trailing
+/// characters that are neither alphanumeric nor intra-word punctuation, and
+/// preserves intra-word hyphens and apostrophes (so `covid-19` and `don't`
+/// survive as single terms).
+///
+/// Returns an empty string when nothing survives (e.g. the token was pure
+/// punctuation); callers treat that as "drop the token".
+///
+/// ```
+/// use credence_text::normalize_term;
+/// assert_eq!(normalize_term("COVID-19,"), "covid-19");
+/// assert_eq!(normalize_term("\"Hello!\""), "hello");
+/// assert_eq!(normalize_term("--"), "");
+/// ```
+pub fn normalize_term(raw: &str) -> String {
+    let trimmed = raw.trim_matches(|c: char| !c.is_alphanumeric());
+    let mut out = String::with_capacity(trimmed.len());
+    for ch in trimmed.chars() {
+        if ch.is_alphanumeric() || ch == '-' || ch == '\'' || ch == '_' {
+            for lower in ch.to_lowercase() {
+                out.push(lower);
+            }
+        }
+    }
+    out
+}
+
+/// Returns `true` when a normalised term is worth indexing: non-empty and
+/// containing at least one alphanumeric character.
+pub fn is_indexable(term: &str) -> bool {
+    !term.is_empty() && term.chars().any(|c| c.is_alphanumeric())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(normalize_term("Hello"), "hello");
+        assert_eq!(normalize_term("WORLD"), "world");
+    }
+
+    #[test]
+    fn strips_surrounding_punctuation() {
+        assert_eq!(normalize_term("(covid)"), "covid");
+        assert_eq!(normalize_term("outbreak."), "outbreak");
+        assert_eq!(normalize_term("'quoted'"), "quoted");
+    }
+
+    #[test]
+    fn preserves_intra_word_hyphen_and_apostrophe() {
+        assert_eq!(normalize_term("covid-19"), "covid-19");
+        assert_eq!(normalize_term("don't"), "don't");
+        assert_eq!(normalize_term("state-of-the-art"), "state-of-the-art");
+    }
+
+    #[test]
+    fn pure_punctuation_becomes_empty() {
+        assert_eq!(normalize_term("---"), "");
+        assert_eq!(normalize_term("!?"), "");
+        assert_eq!(normalize_term(""), "");
+    }
+
+    #[test]
+    fn digits_survive() {
+        assert_eq!(normalize_term("5G"), "5g");
+        assert_eq!(normalize_term("1,500"), "1500");
+    }
+
+    #[test]
+    fn unicode_case_folding() {
+        assert_eq!(normalize_term("Ärzte"), "ärzte");
+        assert_eq!(normalize_term("ÉLITE"), "élite");
+    }
+
+    #[test]
+    fn indexable_filter() {
+        assert!(is_indexable("covid"));
+        assert!(is_indexable("5g"));
+        assert!(!is_indexable(""));
+        assert!(!is_indexable("-'-"));
+    }
+}

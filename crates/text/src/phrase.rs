@@ -1,0 +1,186 @@
+//! Bigram collocation detection.
+//!
+//! The demo's Figure 3 surfaces multi-word cues like *bill gates*; this
+//! module finds such statistically-bound adjacent pairs with the phrase
+//! score of Mikolov et al. (2013):
+//!
+//! ```text
+//! score(a, b) = (count(ab) − δ) · N / (count(a) · count(b))
+//! ```
+//!
+//! where `N` is the token count and `δ` discounts rare accidents. Pairs
+//! scoring above a threshold are collocations. Used by the CLI's corpus
+//! analysis and available to any candidate generator that wants multi-word
+//! units.
+
+use std::collections::HashMap;
+
+/// A detected collocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Collocation {
+    /// First term.
+    pub a: String,
+    /// Second term.
+    pub b: String,
+    /// Number of adjacent occurrences.
+    pub count: u32,
+    /// The phrase score (higher = more strongly bound).
+    pub score: f64,
+}
+
+/// Parameters for collocation detection.
+#[derive(Debug, Clone, Copy)]
+pub struct PhraseConfig {
+    /// Minimum adjacent-pair count.
+    pub min_count: u32,
+    /// Discount `δ` applied to the pair count.
+    pub discount: f64,
+    /// Minimum phrase score to report.
+    pub threshold: f64,
+}
+
+impl Default for PhraseConfig {
+    fn default() -> Self {
+        Self {
+            min_count: 2,
+            discount: 1.0,
+            threshold: 2.0,
+        }
+    }
+}
+
+/// Detect collocations over token sequences (one per sentence/document).
+/// Pairs never span sequence boundaries. Results are sorted by score
+/// descending, ties by `(a, b)`.
+pub fn find_collocations(sequences: &[Vec<String>], config: &PhraseConfig) -> Vec<Collocation> {
+    let mut unigrams: HashMap<&str, u32> = HashMap::new();
+    let mut bigrams: HashMap<(&str, &str), u32> = HashMap::new();
+    let mut total = 0u64;
+    for seq in sequences {
+        for w in seq {
+            *unigrams.entry(w.as_str()).or_insert(0) += 1;
+            total += 1;
+        }
+        for pair in seq.windows(2) {
+            *bigrams.entry((pair[0].as_str(), pair[1].as_str())).or_insert(0) += 1;
+        }
+    }
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut out: Vec<Collocation> = bigrams
+        .into_iter()
+        .filter(|&(_, c)| c >= config.min_count)
+        .filter_map(|((a, b), count)| {
+            let ca = unigrams[a] as f64;
+            let cb = unigrams[b] as f64;
+            let score = (count as f64 - config.discount).max(0.0) * total as f64 / (ca * cb);
+            (score >= config.threshold).then(|| Collocation {
+                a: a.to_string(),
+                b: b.to_string(),
+                count,
+                score,
+            })
+        })
+        .collect();
+    out.sort_by(|x, y| {
+        y.score
+            .partial_cmp(&x.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (x.a.as_str(), x.b.as_str()).cmp(&(y.a.as_str(), y.b.as_str())))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs(texts: &[&str]) -> Vec<Vec<String>> {
+        texts
+            .iter()
+            .map(|t| t.split_whitespace().map(str::to_string).collect())
+            .collect()
+    }
+
+    #[test]
+    fn bound_pair_detected() {
+        // "bill gates" always adjacent; "the ... the" everywhere else.
+        let sequences = seqs(&[
+            "bill gates spoke today",
+            "people quoted bill gates again",
+            "bill gates funds research",
+            "research continues quietly today",
+            "people spoke quietly again",
+        ]);
+        let collocations = find_collocations(&sequences, &PhraseConfig::default());
+        assert!(!collocations.is_empty());
+        assert_eq!(collocations[0].a, "bill");
+        assert_eq!(collocations[0].b, "gates");
+        assert_eq!(collocations[0].count, 3);
+    }
+
+    #[test]
+    fn frequent_but_unbound_pairs_rejected() {
+        // "a b" occurs, but both words are everywhere: low score.
+        let sequences = seqs(&[
+            "a b c d", "a c b d", "b a d c", "c a d b", "a b d c", "d a c b",
+        ]);
+        let collocations = find_collocations(
+            &sequences,
+            &PhraseConfig {
+                threshold: 5.0,
+                ..Default::default()
+            },
+        );
+        assert!(
+            collocations.iter().all(|c| !(c.a == "a" && c.b == "b")),
+            "{collocations:?}"
+        );
+    }
+
+    #[test]
+    fn min_count_filters_singletons() {
+        let sequences = seqs(&["rare pair here", "nothing else matches at all"]);
+        let collocations = find_collocations(&sequences, &PhraseConfig::default());
+        assert!(collocations.is_empty(), "single occurrence filtered");
+    }
+
+    #[test]
+    fn pairs_do_not_span_sequences() {
+        let sequences = seqs(&["alpha", "beta", "alpha", "beta", "alpha", "beta"]);
+        let collocations = find_collocations(
+            &sequences,
+            &PhraseConfig {
+                min_count: 1,
+                threshold: 0.0,
+                ..Default::default()
+            },
+        );
+        assert!(collocations.is_empty(), "one-token sequences have no pairs");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(find_collocations(&[], &PhraseConfig::default()).is_empty());
+        assert!(find_collocations(&[vec![]], &PhraseConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn results_sorted_by_score() {
+        let sequences = seqs(&[
+            "bill gates bill gates bill gates",
+            "new york new york",
+            "some filler words here",
+        ]);
+        let collocations = find_collocations(
+            &sequences,
+            &PhraseConfig {
+                min_count: 2,
+                threshold: 0.0,
+                ..Default::default()
+            },
+        );
+        assert!(collocations.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+}

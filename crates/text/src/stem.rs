@@ -1,0 +1,391 @@
+//! The Porter stemming algorithm (Porter, 1980).
+//!
+//! Lucene's `EnglishAnalyzer` (the default in the Anserini toolchain CREDENCE
+//! builds on) applies Porter stemming before indexing. Reproducing it here
+//! keeps term statistics — and therefore TF-IDF candidate-term scores in the
+//! query-augmentation explainer — faithful to the original stack.
+//!
+//! This is a direct, well-tested implementation of the original algorithm
+//! (steps 1a–5b) operating on lowercase ASCII; non-ASCII terms are returned
+//! unchanged, as are terms of length ≤ 2.
+
+/// Stem a lowercase word with the Porter algorithm.
+///
+/// ```
+/// use credence_text::porter_stem;
+/// assert_eq!(porter_stem("caresses"), "caress");
+/// assert_eq!(porter_stem("ponies"), "poni");
+/// assert_eq!(porter_stem("relational"), "relat");
+/// assert_eq!(porter_stem("vaccination"), "vaccin");
+/// ```
+pub fn porter_stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_string();
+    }
+    let mut s = Stemmer {
+        b: word.as_bytes().to_vec(),
+    };
+    s.step1a();
+    s.step1b();
+    s.step1c();
+    s.step2();
+    s.step3();
+    s.step4();
+    s.step5a();
+    s.step5b();
+    String::from_utf8(s.b).expect("porter stemmer operates on ascii")
+}
+
+struct Stemmer {
+    b: Vec<u8>,
+}
+
+impl Stemmer {
+    fn is_consonant(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => {
+                if i == 0 {
+                    true
+                } else {
+                    !self.is_consonant(i - 1)
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// Measure of the stem ending at `end` (exclusive): the number of
+    /// vowel-consonant sequences \[C\](VC)^m\[V\].
+    fn measure(&self, end: usize) -> usize {
+        let mut m = 0;
+        let mut i = 0;
+        // Skip initial consonants.
+        while i < end && self.is_consonant(i) {
+            i += 1;
+        }
+        loop {
+            // Skip vowels.
+            while i < end && !self.is_consonant(i) {
+                i += 1;
+            }
+            if i >= end {
+                return m;
+            }
+            // Skip consonants.
+            while i < end && self.is_consonant(i) {
+                i += 1;
+            }
+            m += 1;
+        }
+    }
+
+    fn has_vowel(&self, end: usize) -> bool {
+        (0..end).any(|i| !self.is_consonant(i))
+    }
+
+    fn ends_with(&self, suffix: &str) -> bool {
+        self.b.ends_with(suffix.as_bytes())
+    }
+
+    fn double_consonant(&self, i: usize) -> bool {
+        i >= 1 && self.b[i] == self.b[i - 1] && self.is_consonant(i)
+    }
+
+    /// cvc pattern ending at `i`, where the final c is not w, x, or y.
+    fn cvc(&self, i: usize) -> bool {
+        if i < 2 || !self.is_consonant(i) || self.is_consonant(i - 1) || !self.is_consonant(i - 2)
+        {
+            return false;
+        }
+        !matches!(self.b[i], b'w' | b'x' | b'y')
+    }
+
+    fn replace_suffix(&mut self, suffix: &str, replacement: &str) {
+        let new_len = self.b.len() - suffix.len();
+        self.b.truncate(new_len);
+        self.b.extend_from_slice(replacement.as_bytes());
+    }
+
+    /// If the word ends with `suffix` and the measure of the remaining stem
+    /// is greater than `m`, replace the suffix. Returns true if the suffix
+    /// matched (whether or not replaced).
+    fn try_rule(&mut self, suffix: &str, replacement: &str, m: usize) -> bool {
+        if self.ends_with(suffix) {
+            let stem_len = self.b.len() - suffix.len();
+            if self.measure(stem_len) > m {
+                self.replace_suffix(suffix, replacement);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn step1a(&mut self) {
+        if self.ends_with("sses") {
+            self.replace_suffix("sses", "ss");
+        } else if self.ends_with("ies") {
+            self.replace_suffix("ies", "i");
+        } else if self.ends_with("ss") {
+            // unchanged
+        } else if self.ends_with("s") && self.b.len() > 1 {
+            self.b.pop();
+        }
+    }
+
+    fn step1b(&mut self) {
+        let mut cleanup = false;
+        if self.ends_with("eed") {
+            let stem_len = self.b.len() - 3;
+            if self.measure(stem_len) > 0 {
+                self.b.pop();
+            }
+        } else if self.ends_with("ed") {
+            let stem_len = self.b.len() - 2;
+            if self.has_vowel(stem_len) {
+                self.b.truncate(stem_len);
+                cleanup = true;
+            }
+        } else if self.ends_with("ing") {
+            let stem_len = self.b.len() - 3;
+            if self.has_vowel(stem_len) {
+                self.b.truncate(stem_len);
+                cleanup = true;
+            }
+        }
+        if cleanup {
+            if self.ends_with("at") || self.ends_with("bl") || self.ends_with("iz") {
+                self.b.push(b'e');
+            } else if !self.b.is_empty() && self.double_consonant(self.b.len() - 1) {
+                let last = *self.b.last().unwrap();
+                if !matches!(last, b'l' | b's' | b'z') {
+                    self.b.pop();
+                }
+            } else if self.measure(self.b.len()) == 1 && self.cvc(self.b.len() - 1) {
+                self.b.push(b'e');
+            }
+        }
+    }
+
+    fn step1c(&mut self) {
+        if self.ends_with("y") && self.has_vowel(self.b.len() - 1) {
+            let n = self.b.len();
+            self.b[n - 1] = b'i';
+        }
+    }
+
+    fn step2(&mut self) {
+        const RULES: &[(&str, &str)] = &[
+            ("ational", "ate"),
+            ("tional", "tion"),
+            ("enci", "ence"),
+            ("anci", "ance"),
+            ("izer", "ize"),
+            ("abli", "able"),
+            ("alli", "al"),
+            ("entli", "ent"),
+            ("eli", "e"),
+            ("ousli", "ous"),
+            ("ization", "ize"),
+            ("ation", "ate"),
+            ("ator", "ate"),
+            ("alism", "al"),
+            ("iveness", "ive"),
+            ("fulness", "ful"),
+            ("ousness", "ous"),
+            ("aliti", "al"),
+            ("iviti", "ive"),
+            ("biliti", "ble"),
+        ];
+        for (suffix, replacement) in RULES {
+            if self.try_rule(suffix, replacement, 0) {
+                return;
+            }
+        }
+    }
+
+    fn step3(&mut self) {
+        const RULES: &[(&str, &str)] = &[
+            ("icate", "ic"),
+            ("ative", ""),
+            ("alize", "al"),
+            ("iciti", "ic"),
+            ("ical", "ic"),
+            ("ful", ""),
+            ("ness", ""),
+        ];
+        for (suffix, replacement) in RULES {
+            if self.try_rule(suffix, replacement, 0) {
+                return;
+            }
+        }
+    }
+
+    fn step4(&mut self) {
+        const SUFFIXES: &[&str] = &[
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
+            "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+        ];
+        // "ion" requires a preceding s or t.
+        if self.ends_with("ion") {
+            let stem_len = self.b.len() - 3;
+            if stem_len > 0
+                && matches!(self.b[stem_len - 1], b's' | b't')
+                && self.measure(stem_len) > 1
+            {
+                self.b.truncate(stem_len);
+            }
+            return;
+        }
+        for suffix in SUFFIXES {
+            if self.ends_with(suffix) {
+                let stem_len = self.b.len() - suffix.len();
+                if self.measure(stem_len) > 1 {
+                    self.b.truncate(stem_len);
+                }
+                return;
+            }
+        }
+    }
+
+    fn step5a(&mut self) {
+        if self.ends_with("e") {
+            let stem_len = self.b.len() - 1;
+            let m = self.measure(stem_len);
+            if m > 1 || (m == 1 && !(stem_len > 0 && self.cvc(stem_len - 1))) {
+                self.b.pop();
+            }
+        }
+    }
+
+    fn step5b(&mut self) {
+        let n = self.b.len();
+        if n > 1 && self.b[n - 1] == b'l' && self.double_consonant(n - 1) && self.measure(n) > 1 {
+            self.b.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic vocabulary drawn from Porter's published examples.
+    #[test]
+    fn porter_reference_cases() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(porter_stem(input), expected, "stem({input})");
+        }
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(porter_stem("a"), "a");
+        assert_eq!(porter_stem("is"), "is");
+        assert_eq!(porter_stem("5g"), "5g");
+    }
+
+    #[test]
+    fn non_ascii_untouched() {
+        assert_eq!(porter_stem("café"), "café");
+        assert_eq!(porter_stem("covid-19"), "covid-19");
+    }
+
+    #[test]
+    fn domain_terms() {
+        assert_eq!(porter_stem("vaccination"), "vaccin");
+        assert_eq!(porter_stem("vaccinated"), "vaccin");
+        assert_eq!(porter_stem("vaccines"), "vaccin");
+        assert_eq!(porter_stem("tracking"), "track");
+        assert_eq!(porter_stem("outbreaks"), "outbreak");
+        assert_eq!(porter_stem("microchips"), "microchip");
+    }
+
+    #[test]
+    fn stemming_is_idempotent_on_common_words() {
+        for w in ["ranking", "documents", "queries", "explanations", "counterfactual"] {
+            let once = porter_stem(w);
+            let twice = porter_stem(&once);
+            // Porter is not idempotent in general, but these common cases are.
+            assert_eq!(porter_stem(&twice), twice);
+        }
+    }
+}

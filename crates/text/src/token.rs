@@ -1,0 +1,133 @@
+//! Offset-preserving word tokenisation.
+//!
+//! A token is a maximal run of word characters (alphanumerics plus intra-word
+//! `-`, `'`, `_`). Byte offsets into the original text are preserved so the
+//! explanation UIs (and the build-your-own counterfactual editor) can map
+//! terms back to the exact spans they came from — the paper renders removed
+//! sentences with strikethrough over the *original* document body.
+
+use crate::normalize::{is_indexable, normalize_term};
+
+/// A single token with its span in the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The normalised term (lowercased, punctuation-trimmed).
+    pub term: String,
+    /// The raw text of the token exactly as it appeared.
+    pub raw: String,
+    /// Byte offset of the first byte of the token in the source.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token in the source.
+    pub end: usize,
+    /// Zero-based position of the token in the token stream.
+    pub position: usize,
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '-' || c == '\'' || c == '_'
+}
+
+/// Tokenise `text` into normalised word tokens with byte offsets.
+///
+/// Tokens that normalise to the empty string (pure punctuation runs such as
+/// `--`) are dropped; `position` counts only surviving tokens.
+///
+/// ```
+/// use credence_text::tokenize;
+/// let toks = tokenize("COVID-19 outbreak!");
+/// assert_eq!(toks.len(), 2);
+/// assert_eq!(toks[0].term, "covid-19");
+/// assert_eq!(toks[1].term, "outbreak");
+/// assert_eq!(&"COVID-19 outbreak!"[toks[1].start..toks[1].end], "outbreak");
+/// ```
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut chars = text.char_indices().peekable();
+    let mut position = 0usize;
+    while let Some(&(start, c)) = chars.peek() {
+        if !is_word_char(c) {
+            chars.next();
+            continue;
+        }
+        let mut end = start;
+        while let Some(&(i, c)) = chars.peek() {
+            if is_word_char(c) {
+                end = i + c.len_utf8();
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        let raw = &text[start..end];
+        let term = normalize_term(raw);
+        if is_indexable(&term) {
+            tokens.push(Token {
+                term,
+                raw: raw.to_string(),
+                start,
+                end,
+                position,
+            });
+            position += 1;
+        }
+    }
+    tokens
+}
+
+/// Convenience: tokenise and return just the normalised terms.
+pub fn terms(text: &str) -> Vec<String> {
+    tokenize(text).into_iter().map(|t| t.term).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_yields_no_tokens() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n").is_empty());
+        assert!(tokenize("?!.,;:").is_empty());
+    }
+
+    #[test]
+    fn simple_sentence() {
+        let t = terms("The quick brown fox.");
+        assert_eq!(t, vec!["the", "quick", "brown", "fox"]);
+    }
+
+    #[test]
+    fn offsets_round_trip() {
+        let text = "Ärzte warn: COVID-19 spreads fast, very fast!";
+        for tok in tokenize(text) {
+            assert_eq!(&text[tok.start..tok.end], tok.raw);
+        }
+    }
+
+    #[test]
+    fn positions_are_dense_and_ordered() {
+        let toks = tokenize("one -- two --- three");
+        let pos: Vec<usize> = toks.iter().map(|t| t.position).collect();
+        assert_eq!(pos, vec![0, 1, 2]);
+        assert_eq!(toks[1].term, "two");
+    }
+
+    #[test]
+    fn hyphenated_and_numeric_terms() {
+        let t = terms("5G covid-19 1500");
+        assert_eq!(t, vec!["5g", "covid-19", "1500"]);
+    }
+
+    #[test]
+    fn pure_hyphen_runs_are_dropped() {
+        let t = terms("a --- b");
+        assert_eq!(t, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn multibyte_boundaries() {
+        let text = "naïve café — résumé";
+        let t = terms(text);
+        assert_eq!(t, vec!["naïve", "café", "résumé"]);
+    }
+}

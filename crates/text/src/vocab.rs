@@ -1,0 +1,130 @@
+//! String interning: a bidirectional map between terms and dense ids.
+//!
+//! The inverted index, the embedding models, and the LDA sampler all operate
+//! on dense `u32` term ids rather than strings; this mirrors Lucene's term
+//! dictionary and keeps the hot loops allocation-free.
+
+use std::collections::HashMap;
+
+/// Dense identifier for an interned term.
+pub type TermId = u32;
+
+/// An append-only interned vocabulary.
+///
+/// ```
+/// use credence_text::Vocabulary;
+/// let mut v = Vocabulary::new();
+/// let covid = v.intern("covid");
+/// assert_eq!(v.intern("covid"), covid);
+/// assert_eq!(v.term(covid), Some("covid"));
+/// assert_eq!(v.len(), 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    terms: Vec<String>,
+    ids: HashMap<String, TermId>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty vocabulary with capacity for `n` terms.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            terms: Vec::with_capacity(n),
+            ids: HashMap::with_capacity(n),
+        }
+    }
+
+    /// Interns `term`, returning its id. Idempotent.
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.ids.get(term) {
+            return id;
+        }
+        let id = TermId::try_from(self.terms.len()).expect("vocabulary exceeds u32 capacity");
+        self.terms.push(term.to_string());
+        self.ids.insert(term.to_string(), id);
+        id
+    }
+
+    /// Looks up the id of an already-interned term.
+    pub fn id(&self, term: &str) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// Looks up the term string for an id.
+    pub fn term(&self, id: TermId) -> Option<&str> {
+        self.terms.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterate over `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as TermId, t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("alpha");
+        let b = v.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(v.intern("alpha"), a);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut v = Vocabulary::new();
+        for (i, t) in ["a", "b", "c", "d"].iter().enumerate() {
+            assert_eq!(v.intern(t) as usize, i);
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut v = Vocabulary::new();
+        let id = v.intern("covid");
+        assert_eq!(v.term(id), Some("covid"));
+        assert_eq!(v.id("covid"), Some(id));
+        assert_eq!(v.id("missing"), None);
+        assert_eq!(v.term(999), None);
+    }
+
+    #[test]
+    fn iteration_order_matches_ids() {
+        let mut v = Vocabulary::new();
+        v.intern("x");
+        v.intern("y");
+        let collected: Vec<(TermId, String)> =
+            v.iter().map(|(i, t)| (i, t.to_string())).collect();
+        assert_eq!(collected, vec![(0, "x".to_string()), (1, "y".to_string())]);
+    }
+
+    #[test]
+    fn empty_state() {
+        let v = Vocabulary::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+}

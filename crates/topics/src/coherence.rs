@@ -1,0 +1,89 @@
+//! UMass topic coherence (Mimno et al. 2011).
+//!
+//! Coherence scores a topic's top-word list by how often word pairs co-occur
+//! in the corpus: `sum over pairs (i<j) of ln((D(wi, wj) + 1) / D(wj))`,
+//! where `D(w)` counts documents containing `w`. Closer to zero = more
+//! coherent. We use it to verify that LDA over the ranked top-k documents
+//! produces browsable, non-random term clusters.
+
+use std::collections::HashSet;
+
+/// UMass coherence of an ordered top-word list over `docs`.
+///
+/// Returns 0.0 for lists with fewer than two words. Words never occurring in
+/// `docs` contribute the maximally incoherent pair value via smoothing.
+pub fn umass_coherence(top_words: &[usize], docs: &[Vec<usize>]) -> f64 {
+    if top_words.len() < 2 {
+        return 0.0;
+    }
+    let doc_sets: Vec<HashSet<usize>> = docs
+        .iter()
+        .map(|d| d.iter().copied().collect())
+        .collect();
+    let df = |w: usize| doc_sets.iter().filter(|s| s.contains(&w)).count();
+    let co_df = |a: usize, b: usize| {
+        doc_sets
+            .iter()
+            .filter(|s| s.contains(&a) && s.contains(&b))
+            .count()
+    };
+    let mut score = 0.0;
+    for j in 1..top_words.len() {
+        let dj = df(top_words[j]);
+        if dj == 0 {
+            // Smooth a never-seen word as if it occurred once, alone:
+            // every pair contributes ln(1/1) with a penalty of ln(1/2).
+            score -= j as f64 * (2.0f64).ln();
+            continue;
+        }
+        for &wi in &top_words[..j] {
+            let co = co_df(wi, top_words[j]);
+            score += ((co as f64 + 1.0) / dj as f64).ln();
+        }
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coherent_words_beat_incoherent() {
+        // words 0,1 always co-occur; word 2 never appears with them.
+        let docs = vec![
+            vec![0, 1],
+            vec![0, 1],
+            vec![0, 1],
+            vec![2, 3],
+            vec![2, 3],
+        ];
+        let coherent = umass_coherence(&[0, 1], &docs);
+        let incoherent = umass_coherence(&[0, 2], &docs);
+        assert!(
+            coherent > incoherent,
+            "co-occurring pair {coherent} must beat disjoint pair {incoherent}"
+        );
+    }
+
+    #[test]
+    fn single_word_is_zero() {
+        let docs = vec![vec![0, 1]];
+        assert_eq!(umass_coherence(&[0], &docs), 0.0);
+        assert_eq!(umass_coherence(&[], &docs), 0.0);
+    }
+
+    #[test]
+    fn perfect_cooccurrence_near_zero() {
+        // Both words in every document: each pair contributes ln((D+1)/D) > 0.
+        let docs: Vec<Vec<usize>> = (0..10).map(|_| vec![0, 1]).collect();
+        let c = umass_coherence(&[0, 1], &docs);
+        assert!(c > 0.0 && c < 0.2, "got {c}");
+    }
+
+    #[test]
+    fn empty_corpus_is_finite() {
+        let c = umass_coherence(&[0, 1, 2], &[]);
+        assert!(c.is_finite());
+    }
+}

@@ -1,0 +1,141 @@
+//! Topic-count selection by coherence.
+//!
+//! The CREDENCE UI asks the user for a topic count; this module picks a
+//! sensible default automatically by fitting LDA across a range of `K` and
+//! choosing the count with the best mean UMass coherence of its topics'
+//! top words — the standard model-selection recipe for browsable topics.
+
+use crate::coherence::umass_coherence;
+use crate::lda::{LdaConfig, LdaModel};
+
+/// The outcome of a selection sweep.
+#[derive(Debug, Clone)]
+pub struct TopicSelection {
+    /// The chosen number of topics.
+    pub best_k: usize,
+    /// `(k, mean coherence)` for every candidate, in ascending `k`.
+    pub scores: Vec<(usize, f64)>,
+    /// The fitted model for `best_k`.
+    pub model: LdaModel,
+}
+
+/// Fit LDA for every `k` in `k_range` and return the most coherent model.
+///
+/// `top_words` controls how many words per topic enter the coherence
+/// computation (10 is conventional). Panics when the range is empty.
+pub fn select_num_topics(
+    docs: &[Vec<usize>],
+    vocab_size: usize,
+    k_range: std::ops::RangeInclusive<usize>,
+    top_words: usize,
+    base: &LdaConfig,
+) -> TopicSelection {
+    assert!(!k_range.is_empty(), "empty candidate range");
+    let mut scores = Vec::new();
+    let mut best: Option<(f64, usize, LdaModel)> = None;
+    for k in k_range {
+        let model = LdaModel::fit(
+            docs,
+            vocab_size,
+            &LdaConfig {
+                num_topics: k,
+                ..base.clone()
+            },
+        );
+        let mean_coherence = if k == 0 {
+            f64::NEG_INFINITY
+        } else {
+            (0..k)
+                .map(|t| {
+                    let words: Vec<usize> =
+                        model.top_words(t, top_words).into_iter().map(|(w, _)| w).collect();
+                    umass_coherence(&words, docs)
+                })
+                .sum::<f64>()
+                / k as f64
+        };
+        scores.push((k, mean_coherence));
+        let better = match &best {
+            None => true,
+            Some((best_score, _, _)) => mean_coherence > *best_score,
+        };
+        if better {
+            best = Some((mean_coherence, k, model));
+        }
+    }
+    let (_, best_k, model) = best.expect("non-empty range yields a model");
+    TopicSelection {
+        best_k,
+        scores,
+        model,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Corpus with exactly two word clusters.
+    fn two_cluster_docs() -> (Vec<Vec<usize>>, usize) {
+        let mut docs = Vec::new();
+        for i in 0..30 {
+            let base = if i % 2 == 0 { 0 } else { 5 };
+            docs.push((0..20).map(|j| base + (i + j) % 5).collect());
+        }
+        (docs, 10)
+    }
+
+    fn base() -> LdaConfig {
+        LdaConfig {
+            iterations: 60,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn selection_returns_scores_for_every_k() {
+        let (docs, v) = two_cluster_docs();
+        let sel = select_num_topics(&docs, v, 1..=4, 5, &base());
+        assert_eq!(sel.scores.len(), 4);
+        assert!(sel.scores.iter().any(|&(k, _)| k == sel.best_k));
+        assert_eq!(sel.model.num_topics(), sel.best_k);
+    }
+
+    #[test]
+    fn two_clusters_prefer_small_k_over_fragmentation() {
+        // With two clean clusters, very large K fragments topics and hurts
+        // coherence; the winner should be small.
+        let (docs, v) = two_cluster_docs();
+        let sel = select_num_topics(&docs, v, 1..=6, 5, &base());
+        assert!(
+            sel.best_k <= 3,
+            "expected a small topic count, got {} ({:?})",
+            sel.best_k,
+            sel.scores
+        );
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let (docs, v) = two_cluster_docs();
+        let a = select_num_topics(&docs, v, 1..=3, 5, &base());
+        let b = select_num_topics(&docs, v, 1..=3, 5, &base());
+        assert_eq!(a.best_k, b.best_k);
+        assert_eq!(a.scores, b.scores);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty candidate range")]
+    fn empty_range_panics() {
+        let (docs, v) = two_cluster_docs();
+        #[allow(clippy::reversed_empty_ranges)]
+        let _ = select_num_topics(&docs, v, 3..=1, 5, &base());
+    }
+
+    #[test]
+    fn single_candidate_range() {
+        let (docs, v) = two_cluster_docs();
+        let sel = select_num_topics(&docs, v, 2..=2, 5, &base());
+        assert_eq!(sel.best_k, 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Human-readable topic summaries.
+//!
+//! The CREDENCE builder page exposes a *BROWSE TOPICS* modal listing, for
+//! each topic, its top terms across the currently ranked documents. This
+//! module resolves the fitted model's word ids back through the vocabulary
+//! into exactly that display structure.
+
+use credence_text::Vocabulary;
+
+use crate::lda::LdaModel;
+
+/// One topic's display summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopicSummary {
+    /// Topic index.
+    pub topic: usize,
+    /// Top terms, best first, with their phi probabilities.
+    pub terms: Vec<(String, f64)>,
+    /// Share of corpus tokens assigned to this topic (sums to ~1 over topics).
+    pub weight: f64,
+}
+
+/// Summarise every topic of a fitted model with its `top_n` terms.
+///
+/// Word ids missing from `vocab` (impossible when the model was fitted on
+/// ids interned by the same vocabulary) are skipped defensively.
+pub fn summarize_topics(model: &LdaModel, vocab: &Vocabulary, top_n: usize) -> Vec<TopicSummary> {
+    let totals: Vec<f64> = (0..model.num_topics())
+        .map(|t| {
+            (0..model.vocab_size())
+                .map(|w| model.phi(t, w))
+                .sum::<f64>()
+        })
+        .collect();
+    // Approximate topic weight by document-topic mass.
+    let mut weights = vec![0.0f64; model.num_topics()];
+    for d in 0..model.num_docs() {
+        for (t, w) in weights.iter_mut().enumerate() {
+            *w += model.theta(d, t);
+        }
+    }
+    let weight_sum: f64 = weights.iter().sum::<f64>().max(f64::MIN_POSITIVE);
+
+    (0..model.num_topics())
+        .map(|t| {
+            let terms = model
+                .top_words(t, top_n)
+                .into_iter()
+                .filter_map(|(w, p)| {
+                    vocab
+                        .term(w as u32)
+                        .map(|s| (s.to_string(), p / totals[t].max(f64::MIN_POSITIVE)))
+                })
+                .collect();
+            TopicSummary {
+                topic: t,
+                terms,
+                weight: weights[t] / weight_sum,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lda::LdaConfig;
+
+    #[test]
+    fn summaries_resolve_terms() {
+        let mut vocab = Vocabulary::new();
+        let covid = vocab.intern("covid") as usize;
+        let microchip = vocab.intern("microchip") as usize;
+        let garden = vocab.intern("garden") as usize;
+        let flower = vocab.intern("flower") as usize;
+        let docs: Vec<Vec<usize>> = (0..20)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![covid, microchip, covid, microchip]
+                } else {
+                    vec![garden, flower, garden, flower]
+                }
+            })
+            .collect();
+        let model = LdaModel::fit(
+            &docs,
+            vocab.len(),
+            &LdaConfig {
+                num_topics: 2,
+                iterations: 60,
+                ..Default::default()
+            },
+        );
+        let summaries = summarize_topics(&model, &vocab, 2);
+        assert_eq!(summaries.len(), 2);
+        // Each summary's terms must come from one cluster.
+        for s in &summaries {
+            let names: Vec<&str> = s.terms.iter().map(|(t, _)| t.as_str()).collect();
+            let covid_topic = names.contains(&"covid") || names.contains(&"microchip");
+            let garden_topic = names.contains(&"garden") || names.contains(&"flower");
+            assert!(covid_topic ^ garden_topic, "mixed topic: {names:?}");
+        }
+        let total_weight: f64 = summaries.iter().map(|s| s.weight).sum();
+        assert!((total_weight - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_n_respected() {
+        let mut vocab = Vocabulary::new();
+        for w in ["a", "b", "c", "d", "e"] {
+            vocab.intern(w);
+        }
+        let docs = vec![vec![0usize, 1, 2, 3, 4]; 5];
+        let model = LdaModel::fit(
+            &docs,
+            vocab.len(),
+            &LdaConfig {
+                num_topics: 1,
+                iterations: 10,
+                ..Default::default()
+            },
+        );
+        let s = summarize_topics(&model, &vocab, 3);
+        assert_eq!(s[0].terms.len(), 3);
+    }
+}

@@ -1,0 +1,73 @@
+//! Domain generality: the same counterfactual toolkit on product reviews.
+//!
+//! A shopper searches `battery life` over earbud reviews; a paid-looking
+//! review ranks highly. Counterfactual queries surface its astroturfing
+//! vocabulary (*promo*, *coupon*, *influencer*), and the instance-based
+//! explainer finds the same shill template posted for a different product.
+//!
+//! ```sh
+//! cargo run --example astroturf_detection
+//! ```
+
+use credence_core::{CredenceEngine, EngineConfig, QueryAugmentationConfig};
+use credence_corpus::reviews_demo_corpus;
+use credence_index::{Bm25Params, DocId, InvertedIndex};
+use credence_rank::Bm25Ranker;
+use credence_text::Analyzer;
+
+fn main() {
+    let demo = reviews_demo_corpus();
+    let index = InvertedIndex::build(demo.docs.clone(), Analyzer::english());
+    let ranker = Bm25Ranker::new(&index, Bm25Params::default());
+    let engine = CredenceEngine::new(&ranker, EngineConfig::fast());
+    let shill = DocId(demo.shill as u32);
+
+    println!("### Ranking for {:?} (k = {})", demo.query, demo.k);
+    let mut shill_rank = 0;
+    for row in engine.rank(demo.query, demo.k) {
+        let marker = if row.doc == shill {
+            shill_rank = row.rank;
+            "  <-- looks sponsored"
+        } else {
+            ""
+        };
+        println!("  {}. [{}] {}{}", row.rank, row.name, row.title, marker);
+    }
+
+    println!("\n### Which queries would rank the suspicious review even higher?");
+    let qa = engine
+        .query_augmentation(
+            demo.query,
+            demo.k,
+            shill,
+            &QueryAugmentationConfig {
+                n: 5,
+                threshold: shill_rank.saturating_sub(1).max(1),
+                ..Default::default()
+            },
+        )
+        .expect("augmentations");
+    for e in &qa.explanations {
+        println!("  {:<40} -> rank {}", e.augmented_query, e.new_rank);
+    }
+    println!("  top distinguishing terms (TF-IDF within the top-{}):", demo.k);
+    for c in qa.candidates.iter().take(5) {
+        println!("    {:<12} tf-idf {:.2}", c.surface, c.tfidf);
+    }
+
+    println!("\n### Is this a template? (Doc2Vec nearest non-relevant instance)");
+    for inst in engine
+        .doc2vec_nearest(demo.query, demo.k, shill, 1)
+        .expect("instances")
+    {
+        let d = index.document(inst.doc).unwrap();
+        println!(
+            "  [{}] \"{}\" — {:.0}% similar",
+            d.name,
+            d.title,
+            inst.similarity * 100.0
+        );
+        println!("  {}", d.body);
+    }
+    println!("\nThe same promo-code template, posted for a blender. Astroturfing confirmed.");
+}

@@ -1,0 +1,95 @@
+//! A Builder-page session (§III-C, Figure 5): rank, browse topics, edit the
+//! fake-news document, re-rank, and read the movement arrows.
+//!
+//! ```sh
+//! cargo run --example builder_session
+//! ```
+
+use credence_core::{CredenceEngine, Edit, EngineConfig};
+use credence_corpus::covid_demo_corpus;
+use credence_index::{Bm25Params, DocId, InvertedIndex};
+use credence_rank::Bm25Ranker;
+use credence_text::Analyzer;
+
+fn main() {
+    let demo = covid_demo_corpus();
+    let index = InvertedIndex::build(demo.docs.clone(), Analyzer::english());
+    let ranker = Bm25Ranker::new(&index, Bm25Params::default());
+    let engine = CredenceEngine::new(&ranker, EngineConfig::fast());
+
+    let (query, k) = (demo.query, demo.k);
+    let fake = DocId(demo.fake_news as u32);
+
+    // 1. RANK.
+    println!("### RANK: {query:?}, k = {k}");
+    for row in engine.rank(query, k) {
+        println!("  {:>2}. [{}] {}", row.rank, row.name, row.title);
+    }
+
+    // 2. BROWSE TOPICS across the ranked documents.
+    println!("\n### BROWSE TOPICS (LDA over the top-{k})");
+    for topic in engine.topics(query, k, 3).expect("topics") {
+        let terms: Vec<String> = topic
+            .terms
+            .iter()
+            .take(6)
+            .map(|(t, _)| t.clone())
+            .collect();
+        println!(
+            "  topic {} (weight {:.2}): {}",
+            topic.topic,
+            topic.weight,
+            terms.join(", ")
+        );
+    }
+
+    // 3. EDIT: the Figure-5 perturbation.
+    let edits = [
+        Edit::replace("covid", "flu"),
+        Edit::replace("covid-19", "flu"),
+        Edit::replace("outbreak", "the flu"),
+    ];
+    println!("\n### EDIT document [{}]:", index.document(fake).unwrap().name);
+    println!("  replace 'covid'    -> 'flu'");
+    println!("  replace 'covid-19' -> 'flu'");
+    println!("  replace 'outbreak' -> 'the flu'");
+
+    // 4. RE-RANK.
+    let outcome = engine
+        .builder_edits(query, k, fake, &edits)
+        .expect("builder outcome");
+    println!("\n### RE-RANK (top {} pool, incl. revealed rank-{} doc)", k + 1, k + 1);
+    for row in &outcome.rows {
+        let arrow = match row.movement() {
+            m if m < 0 => "\u{2191}", // raised
+            m if m > 0 => "\u{2193}", // lowered
+            _ => "=",
+        };
+        let doc = index.document(row.doc).unwrap();
+        let mut tags = Vec::new();
+        if row.substituted {
+            tags.push("edited");
+        }
+        if Some(row.doc) == outcome.revealed {
+            tags.push("revealed (+)");
+        }
+        println!(
+            "  {:>2}. {} [{}] {} {}",
+            row.new_rank,
+            arrow,
+            doc.name,
+            doc.title,
+            if tags.is_empty() {
+                String::new()
+            } else {
+                format!("({})", tags.join(", "))
+            }
+        );
+    }
+    println!(
+        "\n  {} valid counterfactual: rank {} -> {} (k = {k})",
+        if outcome.valid { "\u{2713}" } else { "\u{2717}" },
+        outcome.old_rank,
+        outcome.new_rank
+    );
+}

@@ -1,0 +1,61 @@
+//! Index persistence workflow: build once, save, reload, explain.
+//!
+//! Mirrors how the original service loaded a prebuilt Lucene index at
+//! startup instead of re-analysing the corpus on every boot.
+//!
+//! ```sh
+//! cargo run --example persist_workflow
+//! ```
+
+use std::time::Instant;
+
+use credence_core::{CredenceEngine, EngineConfig, SentenceRemovalConfig};
+use credence_corpus::covid_demo_corpus;
+use credence_index::{load_index, save_index, Bm25Params, DocId, InvertedIndex};
+use credence_rank::Bm25Ranker;
+use credence_text::Analyzer;
+
+fn main() {
+    let demo = covid_demo_corpus();
+    let path = std::env::temp_dir().join("credence_demo.cridx");
+
+    // Build and save.
+    let t = Instant::now();
+    let index = InvertedIndex::build(demo.docs.clone(), Analyzer::english());
+    println!(
+        "built index over {} docs in {:.1} ms",
+        index.num_docs(),
+        t.elapsed().as_secs_f64() * 1e3
+    );
+    save_index(&index, &path).expect("save");
+    println!(
+        "saved to {} ({} bytes)",
+        path.display(),
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0)
+    );
+
+    // Reload and verify it behaves identically.
+    let t = Instant::now();
+    let loaded = load_index(&path).expect("load");
+    println!(
+        "reloaded in {:.1} ms ({} docs, {} terms)",
+        t.elapsed().as_secs_f64() * 1e3,
+        loaded.num_docs(),
+        loaded.vocabulary().len()
+    );
+
+    let ranker = Bm25Ranker::new(&loaded, Bm25Params::default());
+    let engine = CredenceEngine::new(&ranker, EngineConfig::fast());
+    let fake = DocId(demo.fake_news as u32);
+    let result = engine
+        .sentence_removal(demo.query, demo.k, fake, &SentenceRemovalConfig::default())
+        .expect("explanation over the reloaded index");
+    let e = &result.explanations[0];
+    println!(
+        "explanation over the reloaded index: rank {} -> {} by removing {} sentences",
+        e.old_rank,
+        e.new_rank,
+        e.removed.len()
+    );
+    std::fs::remove_file(&path).ok();
+}

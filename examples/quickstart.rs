@@ -1,0 +1,113 @@
+//! Quickstart: index a few documents, rank them, and generate one
+//! counterfactual explanation of each kind.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use credence_core::{CredenceEngine, Edit, EngineConfig, SentenceRemovalConfig};
+use credence_index::{Bm25Params, Document, InvertedIndex};
+use credence_rank::Bm25Ranker;
+use credence_text::Analyzer;
+
+fn main() {
+    // 1. A corpus. Any `Vec<Document>` works; see credence-corpus for
+    //    loaders (JSONL/TSV) and generators.
+    let docs = vec![
+        Document::new(
+            "breaking",
+            "Breaking news",
+            "covid outbreak covid outbreak dominates tonight's broadcast entirely.",
+        ),
+        Document::new(
+            "quiet",
+            "A quiet arrival",
+            "The covid outbreak arrived quietly. Officials downplayed the covid outbreak \
+             for weeks before acting decisively.",
+        ),
+        Document::new(
+            "conspiracy",
+            "What they won't tell you",
+            "The covid outbreak is a cover story. A secret microchip hides in every vaccine \
+             dose. The microchip tracks your movements constantly.",
+        ),
+        Document::new(
+            "harbor",
+            "Harbor drills",
+            "Outbreak drills continue at the harbor facility through the weekend.",
+        ),
+        Document::new("garden", "Garden fair", "The garden fair draws a record crowd."),
+    ];
+
+    // 2. Index + black-box ranker + engine.
+    let index = InvertedIndex::build(docs, Analyzer::english());
+    let ranker = Bm25Ranker::new(&index, Bm25Params::default());
+    let engine = CredenceEngine::new(&ranker, EngineConfig::fast());
+
+    // 3. Rank.
+    let query = "covid outbreak";
+    let k = 3;
+    println!("== Ranking for {query:?} (k = {k}) ==");
+    for row in engine.rank(query, k) {
+        println!("  {}. [{}] {}  (score {:.3})", row.rank, row.name, row.title, row.score);
+    }
+
+    // 4. Explain the conspiracy document (rank 3) counterfactually.
+    let doc = credence_index::DocId(2);
+
+    println!("\n== Counterfactual document (sentence removal) ==");
+    let sr = engine
+        .sentence_removal(query, k, doc, &SentenceRemovalConfig::default())
+        .expect("explainable");
+    for e in &sr.explanations {
+        println!(
+            "  removing {} sentence(s) drops it from rank {} to {}:",
+            e.removed.len(),
+            e.old_rank,
+            e.new_rank
+        );
+        for text in &e.removed_text {
+            println!("    - {text}");
+        }
+    }
+
+    println!("\n== Counterfactual query (term augmentation) ==");
+    let qa = engine
+        .query_augmentation(
+            query,
+            k,
+            doc,
+            &credence_core::QueryAugmentationConfig {
+                n: 2,
+                threshold: 1,
+                ..Default::default()
+            },
+        )
+        .expect("explainable");
+    for e in &qa.explanations {
+        println!(
+            "  {:?} -> rank {} (was {})",
+            e.augmented_query, e.new_rank, e.old_rank
+        );
+    }
+
+    println!("\n== Instance-based counterfactual (Doc2Vec nearest) ==");
+    for e in engine.doc2vec_nearest(query, k, doc, 1).expect("explainable") {
+        let name = &index.document(e.doc).unwrap().name;
+        println!("  [{}] similarity {:.2}", name, e.similarity);
+    }
+
+    println!("\n== Build-your-own counterfactual ==");
+    let outcome = engine
+        .builder_edits(
+            query,
+            k,
+            doc,
+            &[Edit::replace("covid", "flu"), Edit::replace("outbreak", "the flu")],
+        )
+        .expect("explainable");
+    println!(
+        "  replacing the query terms moves it {} -> {}; valid counterfactual: {}",
+        outcome.old_rank, outcome.new_rank, outcome.valid
+    );
+}

@@ -1,0 +1,90 @@
+//! Drive the CREDENCE REST API end to end in one process: boot the server
+//! on an ephemeral port (the Figure-1 architecture's system boundary) and
+//! issue the same HTTP calls the React front end would.
+//!
+//! ```sh
+//! cargo run --example rest_service
+//! ```
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use credence_core::EngineConfig;
+use credence_corpus::covid_demo_corpus;
+use credence_server::{AppState, Server};
+
+fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: Option<&str>) -> String {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    let raw = match body {
+        None => format!("{method} {path} HTTP/1.1\r\nHost: demo\r\n\r\n"),
+        Some(b) => format!(
+            "{method} {path} HTTP/1.1\r\nHost: demo\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{b}",
+            b.len()
+        ),
+    };
+    conn.write_all(raw.as_bytes()).unwrap();
+    let mut out = String::new();
+    conn.read_to_string(&mut out).unwrap();
+    out.split("\r\n\r\n").nth(1).unwrap_or("").to_string()
+}
+
+fn main() {
+    let demo = covid_demo_corpus();
+    println!("booting credence server over {} documents...", demo.docs.len());
+    let state = AppState::leak(demo.docs.clone(), EngineConfig::fast());
+    let handle = Server::bind("127.0.0.1:0", state)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = handle.addr();
+    println!("listening on http://{addr}\n");
+
+    println!("GET /health\n  {}\n", http(addr, "GET", "/health", None));
+
+    println!("POST /rank {{query: \"covid outbreak\", k: 3}}");
+    println!(
+        "  {}\n",
+        http(
+            addr,
+            "POST",
+            "/rank",
+            Some(r#"{"query": "covid outbreak", "k": 3}"#)
+        )
+    );
+
+    let body = format!(
+        r#"{{"query": "covid outbreak", "k": 10, "doc": {}, "n": 1}}"#,
+        demo.fake_news
+    );
+    println!("POST /explain/sentence-removal (the Figure-2 request)");
+    println!("  {}\n", http(addr, "POST", "/explain/sentence-removal", Some(&body)));
+
+    let body = format!(
+        r#"{{"query": "covid outbreak", "k": 10, "doc": {}, "n": 3, "threshold": 2}}"#,
+        demo.fake_news
+    );
+    println!("POST /explain/query-augmentation (the Figure-3 request)");
+    println!("  {}\n", http(addr, "POST", "/explain/query-augmentation", Some(&body)));
+
+    let body = format!(
+        r#"{{"query": "covid outbreak", "k": 10, "doc": {}, "n": 1}}"#,
+        demo.fake_news
+    );
+    println!("POST /explain/doc2vec-nearest (the Figure-4 request)");
+    println!("  {}\n", http(addr, "POST", "/explain/doc2vec-nearest", Some(&body)));
+
+    println!("POST /topics");
+    println!(
+        "  {}\n",
+        http(
+            addr,
+            "POST",
+            "/topics",
+            Some(r#"{"query": "covid outbreak", "k": 10, "num_topics": 3}"#)
+        )
+    );
+
+    handle.stop();
+    println!("server stopped.");
+}

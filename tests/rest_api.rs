@@ -1,0 +1,212 @@
+//! End-to-end REST test: boot the server over the demo corpus on a real TCP
+//! socket and drive the Figure 2–5 scenarios through raw HTTP, exactly as
+//! the original React front end drove the FastAPI backend.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::OnceLock;
+
+use credence_core::EngineConfig;
+use credence_corpus::covid_demo_corpus;
+use credence_json::{parse, Value};
+use credence_server::{AppState, Server, ServerHandle};
+
+struct TestServer {
+    handle: ServerHandle,
+    fake_news: usize,
+    near_duplicate: usize,
+}
+
+fn server() -> &'static TestServer {
+    static SERVER: OnceLock<TestServer> = OnceLock::new();
+    SERVER.get_or_init(|| {
+        let demo = covid_demo_corpus();
+        let state = AppState::leak(demo.docs.clone(), EngineConfig::fast());
+        let handle = Server::bind("127.0.0.1:0", state).unwrap().spawn().unwrap();
+        TestServer {
+            handle,
+            fake_news: demo.fake_news,
+            near_duplicate: demo.near_duplicate,
+        }
+    })
+}
+
+fn request(method: &str, path: &str, body: Option<&str>) -> (u16, Value) {
+    let srv = server();
+    let mut conn = TcpStream::connect(srv.handle.addr()).unwrap();
+    let raw = match body {
+        None => format!("{method} {path} HTTP/1.1\r\nHost: test\r\n\r\n"),
+        Some(b) => format!(
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{b}",
+            b.len()
+        ),
+    };
+    conn.write_all(raw.as_bytes()).unwrap();
+    let mut out = String::new();
+    conn.read_to_string(&mut out).unwrap();
+    let status: u16 = out
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let json_start = out.find("\r\n\r\n").expect("header terminator") + 4;
+    let value = parse(&out[json_start..]).expect("JSON body");
+    (status, value)
+}
+
+#[test]
+fn health_check() {
+    let (status, v) = request("GET", "/health", None);
+    assert_eq!(status, 200);
+    assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+}
+
+#[test]
+fn corpus_lists_demo_documents() {
+    let (status, v) = request("GET", "/corpus", None);
+    assert_eq!(status, 200);
+    let n = v.get("num_docs").unwrap().as_u64().unwrap();
+    assert!(n >= 40);
+}
+
+#[test]
+fn running_example_over_http() {
+    let (status, v) = request("POST", "/rank", Some(r#"{"query": "covid outbreak", "k": 10}"#));
+    assert_eq!(status, 200);
+    let ranking = v.get("ranking").unwrap().as_array().unwrap();
+    assert_eq!(ranking.len(), 10);
+    let third = &ranking[2];
+    assert_eq!(third.get("rank").unwrap().as_u64(), Some(3));
+    assert_eq!(
+        third.get("doc").unwrap().as_u64(),
+        Some(server().fake_news as u64)
+    );
+    assert_eq!(
+        third.get("name").unwrap().as_str(),
+        Some("fake-news-644529")
+    );
+}
+
+#[test]
+fn figure2_over_http() {
+    let body = format!(
+        r#"{{"query": "covid outbreak", "k": 10, "doc": {}, "n": 1}}"#,
+        server().fake_news
+    );
+    let (status, v) = request("POST", "/explain/sentence-removal", Some(&body));
+    assert_eq!(status, 200);
+    let explanations = v.get("explanations").unwrap().as_array().unwrap();
+    assert_eq!(explanations.len(), 1);
+    let e = &explanations[0];
+    assert_eq!(e.get("old_rank").unwrap().as_u64(), Some(3));
+    assert_eq!(e.get("new_rank").unwrap().as_u64(), Some(11));
+    assert_eq!(
+        e.get("removed_sentences").unwrap().as_array().unwrap().len(),
+        2
+    );
+    assert_eq!(e.get("importance").unwrap().as_f64(), Some(4.0));
+}
+
+#[test]
+fn figure3_over_http() {
+    let body = format!(
+        r#"{{"query": "covid outbreak", "k": 10, "doc": {}, "n": 7, "threshold": 2}}"#,
+        server().fake_news
+    );
+    let (status, v) = request("POST", "/explain/query-augmentation", Some(&body));
+    assert_eq!(status, 200);
+    let explanations = v.get("explanations").unwrap().as_array().unwrap();
+    assert_eq!(explanations.len(), 7);
+    for e in explanations {
+        assert!(e.get("new_rank").unwrap().as_u64().unwrap() <= 2);
+    }
+}
+
+#[test]
+fn figure4_over_http() {
+    let srv = server();
+    let body = format!(
+        r#"{{"query": "covid outbreak", "k": 10, "doc": {}, "n": 1}}"#,
+        srv.fake_news
+    );
+    let (status, v) = request("POST", "/explain/doc2vec-nearest", Some(&body));
+    assert_eq!(status, 200);
+    let e = &v.get("explanations").unwrap().as_array().unwrap()[0];
+    assert_eq!(
+        e.get("doc").unwrap().as_u64(),
+        Some(srv.near_duplicate as u64)
+    );
+    assert!(e.get("similarity").unwrap().as_f64().unwrap() > 0.4);
+    assert!(e.get("rank").unwrap().is_null(), "not retrieved originally");
+
+    let (status, v) = request(
+        "POST",
+        "/explain/cosine-sampled",
+        Some(&format!(
+            r#"{{"query": "covid outbreak", "k": 10, "doc": {}, "n": 1, "samples": 1000}}"#,
+            srv.fake_news
+        )),
+    );
+    assert_eq!(status, 200);
+    let e = &v.get("explanations").unwrap().as_array().unwrap()[0];
+    assert_eq!(
+        e.get("doc").unwrap().as_u64(),
+        Some(srv.near_duplicate as u64)
+    );
+}
+
+#[test]
+fn figure5_over_http() {
+    let srv = server();
+    // Fetch the document, apply the Figure-5 edits client-side, re-rank.
+    let (status, doc) = request("GET", &format!("/doc/{}", srv.fake_news), None);
+    assert_eq!(status, 200);
+    let original = doc.get("body").unwrap().as_str().unwrap();
+    let edited = original
+        .replace("covid-19", "flu")
+        .replace("Covid-19", "flu")
+        .replace("covid", "flu")
+        .replace("outbreak", "the flu");
+    let payload = credence_json::to_string(&credence_json::obj([
+        ("query", Value::from("covid outbreak")),
+        ("k", Value::from(10usize)),
+        ("doc", Value::from(srv.fake_news)),
+        ("body", Value::from(edited)),
+    ]));
+    let (status, v) = request("POST", "/rerank", Some(&payload));
+    assert_eq!(status, 200);
+    assert_eq!(v.get("valid").unwrap().as_bool(), Some(true));
+    assert_eq!(v.get("old_rank").unwrap().as_u64(), Some(3));
+    assert_eq!(v.get("new_rank").unwrap().as_u64(), Some(11));
+    assert_eq!(v.get("rows").unwrap().as_array().unwrap().len(), 11);
+}
+
+#[test]
+fn topics_over_http() {
+    let (status, v) = request(
+        "POST",
+        "/topics",
+        Some(r#"{"query": "covid outbreak", "k": 10, "num_topics": 3}"#),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(v.get("topics").unwrap().as_array().unwrap().len(), 3);
+}
+
+#[test]
+fn error_statuses_over_http() {
+    let (status, v) = request("POST", "/rank", Some("not json"));
+    assert_eq!(status, 400);
+    assert!(v.get("error").is_some());
+
+    let (status, _) = request(
+        "POST",
+        "/explain/sentence-removal",
+        Some(r#"{"query": "covid outbreak", "k": 10, "doc": 99999}"#),
+    );
+    assert_eq!(status, 404);
+
+    let (status, _) = request("GET", "/nonexistent", None);
+    assert_eq!(status, 404);
+}

@@ -1,0 +1,133 @@
+//! Domain-generality integration test: the full explanation pipeline over
+//! the product-reviews corpus (astroturf scenario), mirroring what
+//! `tests/demo_scenarios.rs` does for the COVID corpus.
+
+use credence_core::{
+    CredenceEngine, Edit, EngineConfig, QueryAugmentationConfig, SentenceRemovalConfig,
+};
+use credence_corpus::reviews_demo_corpus;
+use credence_index::{Bm25Params, DocId, InvertedIndex};
+use credence_rank::Bm25Ranker;
+use credence_text::Analyzer;
+
+fn with_engine<T>(
+    f: impl FnOnce(&CredenceEngine<'_>, &credence_corpus::ReviewsCorpus) -> T,
+) -> T {
+    let demo = reviews_demo_corpus();
+    let index = InvertedIndex::build(demo.docs.clone(), Analyzer::english());
+    let ranker = Bm25Ranker::new(&index, Bm25Params::default());
+    let engine = CredenceEngine::new(&ranker, EngineConfig::fast());
+    f(&engine, &demo)
+}
+
+#[test]
+fn shill_review_ranks_in_top_k() {
+    with_engine(|engine, demo| {
+        let ranking = engine.rank(demo.query, demo.k);
+        assert!(ranking
+            .iter()
+            .any(|r| r.doc == DocId(demo.shill as u32)));
+    });
+}
+
+#[test]
+fn sentence_removal_explains_the_shill() {
+    with_engine(|engine, demo| {
+        let shill = DocId(demo.shill as u32);
+        let result = engine
+            .sentence_removal(demo.query, demo.k, shill, &SentenceRemovalConfig::default())
+            .unwrap();
+        let e = &result.explanations[0];
+        assert!(e.new_rank > demo.k);
+        // The removed sentences carry the battery-life claims.
+        assert!(e
+            .removed_text
+            .iter()
+            .any(|t| t.to_lowercase().contains("battery")));
+    });
+}
+
+#[test]
+fn query_augmentation_surfaces_astroturf_vocabulary() {
+    with_engine(|engine, demo| {
+        let shill = DocId(demo.shill as u32);
+        let old_rank = engine
+            .full_ranking(demo.query)
+            .rank_of(shill)
+            .expect("ranked");
+        if old_rank == 1 {
+            return; // nothing to raise
+        }
+        let result = engine
+            .query_augmentation(
+                demo.query,
+                demo.k,
+                shill,
+                &QueryAugmentationConfig {
+                    n: 8,
+                    threshold: old_rank - 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert!(!result.explanations.is_empty());
+        // The candidate list contains the giveaway vocabulary with top-tier
+        // TF-IDF (exclusive to the shill among the ranked set).
+        let shill_terms = ["promo", "coupon", "influencer", "giveaway"];
+        let top_candidates: Vec<&str> = result
+            .candidates
+            .iter()
+            .take(15)
+            .map(|c| c.surface.as_str())
+            .collect();
+        assert!(
+            shill_terms.iter().any(|t| top_candidates.contains(t)),
+            "expected giveaway vocabulary among {top_candidates:?}"
+        );
+    });
+}
+
+#[test]
+fn instance_explainers_find_the_template_copy() {
+    with_engine(|engine, demo| {
+        let shill = DocId(demo.shill as u32);
+        let d2v = engine
+            .doc2vec_nearest(demo.query, demo.k, shill, 1)
+            .unwrap();
+        assert_eq!(d2v[0].doc, DocId(demo.shill_copy as u32), "doc2vec");
+        let cs = engine
+            .cosine_sampled(demo.query, demo.k, shill, 1, Some(1000))
+            .unwrap();
+        assert_eq!(cs[0].doc, DocId(demo.shill_copy as u32), "cosine");
+    });
+}
+
+#[test]
+fn builder_can_disarm_the_shill() {
+    with_engine(|engine, demo| {
+        let shill = DocId(demo.shill as u32);
+        let outcome = engine
+            .builder_edits(
+                demo.query,
+                demo.k,
+                shill,
+                &[Edit::remove("battery"), Edit::remove("life")],
+            )
+            .unwrap();
+        assert!(outcome.valid, "{outcome:?}");
+        assert!(outcome.new_rank > demo.k);
+    });
+}
+
+#[test]
+fn topics_over_reviews_are_browsable() {
+    with_engine(|engine, demo| {
+        let topics = engine.topics(demo.query, demo.k, 2).unwrap();
+        assert_eq!(topics.len(), 2);
+        let all: Vec<&str> = topics
+            .iter()
+            .flat_map(|t| t.terms.iter().map(|(s, _)| s.as_str()))
+            .collect();
+        assert!(all.contains(&"batteri"), "stemmed battery among {all:?}");
+    });
+}
