@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Hermetic CI for the CREDENCE reproduction.
+#
+# Everything runs with the cargo registry disabled, so a registry
+# dependency can never silently reappear in any Cargo.toml: resolution
+# itself fails the build here before a human reviews the diff.
+#
+# Usage: ./ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> smoke benches (CREDENCE_BENCH_SMOKE=1)"
+CREDENCE_BENCH_SMOKE=1 cargo bench -p credence-bench --offline
+
+echo "==> ci.sh: all green"

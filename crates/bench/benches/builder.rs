@@ -1,14 +1,18 @@
-//! Criterion bench: the Figure-5 builder operations — structured edit
+//! Bench: the Figure-5 builder operations — structured edit
 //! application and pool re-ranking.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use credence_bench::DemoSetup;
+use credence_bench::{criterion_group, criterion_main, Criterion};
 use credence_core::{apply_edits, test_edits, Edit};
 use credence_index::DocId;
 
 fn bench_apply_edits(c: &mut Criterion) {
     let setup = DemoSetup::build();
-    let body = &setup.index.document(DocId(setup.demo.fake_news as u32)).unwrap().body;
+    let body = &setup
+        .index
+        .document(DocId(setup.demo.fake_news as u32))
+        .unwrap()
+        .body;
     let edits = [
         Edit::replace("covid", "flu"),
         Edit::replace("covid-19", "flu"),
@@ -29,9 +33,7 @@ fn bench_figure5_rerank(c: &mut Criterion) {
         Edit::replace("outbreak", "the flu"),
     ];
     c.bench_function("builder/figure5_rerank", |b| {
-        b.iter(|| {
-            test_edits(&ranker, setup.demo.query, setup.demo.k, fake, &edits).unwrap()
-        });
+        b.iter(|| test_edits(&ranker, setup.demo.query, setup.demo.k, fake, &edits).unwrap());
     });
 }
 

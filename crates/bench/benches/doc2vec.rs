@@ -1,8 +1,8 @@
-//! Criterion bench: Doc2Vec (PV-DBOW) training and inference — the
+//! Bench: Doc2Vec (PV-DBOW) training and inference — the
 //! corpus-level cost behind the Doc2Vec-nearest explainer.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use credence_bench::synth_index;
+use credence_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use credence_embed::{Doc2Vec, Doc2VecConfig};
 
 fn sequences(num_docs: usize) -> (Vec<Vec<usize>>, usize) {

@@ -1,9 +1,9 @@
-//! Criterion bench: the Figure-4 instance-based explainers — cosine-sampled
+//! Bench: the Figure-4 instance-based explainers — cosine-sampled
 //! across sample sizes, and doc2vec nearest-neighbour lookup (model
 //! pre-trained, as in the running system).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use credence_bench::DemoSetup;
+use credence_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use credence_core::{cosine_sampled, doc2vec_nearest, CosineSampledConfig};
 use credence_embed::{Doc2Vec, Doc2VecConfig};
 use credence_index::DocId;

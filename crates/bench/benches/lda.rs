@@ -1,7 +1,7 @@
-//! Criterion bench: LDA over the ranked top-k (the Browse-Topics modal).
+//! Bench: LDA over the ranked top-k (the Browse-Topics modal).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use credence_bench::synth_index;
+use credence_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use credence_index::Bm25Params;
 use credence_rank::{rank_corpus, Bm25Ranker};
 use credence_text::Vocabulary;

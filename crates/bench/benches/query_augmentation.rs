@@ -1,8 +1,8 @@
-//! Criterion bench: the Figure-3 query-augmentation explanation, plus its
+//! Bench: the Figure-3 query-augmentation explanation, plus its
 //! scaling in requested explanation count `n`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use credence_bench::DemoSetup;
+use credence_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use credence_core::{explain_query_augmentation, QueryAugmentationConfig};
 use credence_index::DocId;
 

@@ -1,8 +1,8 @@
-//! Criterion bench: index construction and top-k retrieval at three corpus
+//! Bench: index construction and top-k retrieval at three corpus
 //! scales (backs the T-SCALE table's `index` and `rank` columns).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use credence_bench::synth_index;
+use credence_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use credence_index::{search_top_k, Bm25Params, InvertedIndex};
 use credence_text::Analyzer;
 

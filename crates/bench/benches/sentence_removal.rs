@@ -1,8 +1,8 @@
-//! Criterion bench: the Figure-2 sentence-removal explanation on the demo
+//! Bench: the Figure-2 sentence-removal explanation on the demo
 //! corpus, plus its scaling in document length (sentences).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use credence_bench::DemoSetup;
+use credence_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use credence_core::{explain_sentence_removal, SentenceRemovalConfig};
 use credence_index::{Bm25Params, DocId, Document, InvertedIndex};
 use credence_rank::Bm25Ranker;
@@ -31,7 +31,9 @@ fn bench_figure2(c: &mut Criterion) {
 fn long_doc_corpus(sentences: usize) -> InvertedIndex {
     let mut body = String::from("The covid outbreak begins here. ");
     for i in 0..sentences.saturating_sub(2) {
-        body.push_str(&format!("Filler sentence number {i} talks about daily life. "));
+        body.push_str(&format!(
+            "Filler sentence number {i} talks about daily life. "
+        ));
     }
     body.push_str("The covid outbreak ends here.");
     let mut docs = vec![Document::from_body(body)];

@@ -1,8 +1,8 @@
-//! Criterion bench: the extension substrates — RM3 expansion, phrase
+//! Bench: the extension substrates — RM3 expansion, phrase
 //! search, index persistence, parallel ranking crossover.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use credence_bench::synth_index;
+use credence_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use credence_index::{read_index, search_phrase, write_index, Bm25Params};
 use credence_rank::{rank_corpus, rank_corpus_parallel, Bm25Ranker, Rm3Config, Rm3Ranker};
 

@@ -132,7 +132,10 @@ pub fn fig2() -> Vec<Check> {
     println!(
         "  removed sentences {:?} (importances {:?}, sum {})",
         e.removed,
-        e.removed.iter().map(|&i| result.importance[i]).collect::<Vec<_>>(),
+        e.removed
+            .iter()
+            .map(|&i| result.importance[i])
+            .collect::<Vec<_>>(),
         e.importance
     );
     println!("  new rank: {}", e.new_rank);
@@ -142,8 +145,16 @@ pub fn fig2() -> Vec<Check> {
 
     let first_and_last = e.removed == vec![0, result.sentences.len() - 1];
     vec![
-        Check::new("old rank = 3", format!("{}", result.old_rank), result.old_rank == 3),
-        Check::new("new rank = 11 (> k = 10)", format!("{}", e.new_rank), e.new_rank == 11),
+        Check::new(
+            "old rank = 3",
+            format!("{}", result.old_rank),
+            result.old_rank == 3,
+        ),
+        Check::new(
+            "new rank = 11 (> k = 10)",
+            format!("{}", e.new_rank),
+            e.new_rank == 11,
+        ),
         Check::new(
             "minimal set = the 2 covid/outbreak sentences",
             format!("{:?}", e.removed),
@@ -184,11 +195,16 @@ pub fn fig3() -> Vec<Check> {
         )
         .expect("fig3 explanations");
     for e in &result.explanations {
-        println!("  {:<44} rank {} -> {}", e.augmented_query, e.old_rank, e.new_rank);
+        println!(
+            "  {:<44} rank {} -> {}",
+            e.augmented_query, e.old_rank, e.new_rank
+        );
     }
 
     let r5g = engine.full_ranking("covid outbreak 5g").rank_of(fake);
-    let r5gm = engine.full_ranking("covid outbreak 5g microchip").rank_of(fake);
+    let r5gm = engine
+        .full_ranking("covid outbreak 5g microchip")
+        .rank_of(fake);
     println!("  direct checks: +5g -> {r5g:?}, +5g +microchip -> {r5gm:?}");
 
     let all_terms: Vec<&str> = result
@@ -206,7 +222,11 @@ pub fn fig3() -> Vec<Check> {
             "all reach rank <= 2",
             format!(
                 "{:?}",
-                result.explanations.iter().map(|e| e.new_rank).collect::<Vec<_>>()
+                result
+                    .explanations
+                    .iter()
+                    .map(|e| e.new_rank)
+                    .collect::<Vec<_>>()
             ),
             result.explanations.iter().all(|e| e.new_rank <= 2),
         ),
@@ -223,8 +243,7 @@ pub fn fig3() -> Vec<Check> {
         Check::new(
             "distinguishing terms (5g/microchip) among augmentations",
             format!("{all_terms:?}"),
-            all_terms.contains(&"5g")
-                && all_terms.iter().any(|t| t.contains("microchip")),
+            all_terms.contains(&"5g") && all_terms.iter().any(|t| t.contains("microchip")),
         ),
     ]
 }
@@ -318,13 +337,21 @@ pub fn fig5() -> Vec<Check> {
     }
 
     vec![
-        Check::new("old rank = 3", format!("{}", outcome.old_rank), outcome.old_rank == 3),
+        Check::new(
+            "old rank = 3",
+            format!("{}", outcome.old_rank),
+            outcome.old_rank == 3,
+        ),
         Check::new(
             "new rank = 11 = k + 1",
             format!("{}", outcome.new_rank),
             outcome.new_rank == setup.demo.k + 1,
         ),
-        Check::new("green check (valid)", format!("{}", outcome.valid), outcome.valid),
+        Check::new(
+            "green check (valid)",
+            format!("{}", outcome.valid),
+            outcome.valid,
+        ),
         Check::new(
             "revealed doc = the rank-11 flu story",
             format!("{:?}", outcome.revealed),

@@ -1,0 +1,487 @@
+//! A std-only bench harness exposing the subset of the criterion API the
+//! bench files use, so the workspace benches run fully offline.
+//!
+//! Measurement model: per benchmark, warm up briefly, time one probe
+//! iteration to calibrate how many iterations fit in a sample, then record
+//! wall-clock samples with [`std::time::Instant`] and report mean / median /
+//! p95 / min / max nanoseconds per iteration. A total measurement budget
+//! caps slow benchmarks so a full `cargo bench` stays bounded.
+//!
+//! Environment knobs:
+//!
+//! - `CREDENCE_BENCH_SMOKE=1` — smoke mode: no warmup, one iteration per
+//!   sample, two samples. Used by `ci.sh` to prove every bench target still
+//!   runs without paying for statistics.
+//! - `CREDENCE_BENCH_DIR` — where `BENCH_<target>.json` is written
+//!   (default `target/credence-bench`).
+//!
+//! Results are appended to a per-target JSON trajectory file
+//! (`BENCH_<target>.json`, schema `credence-bench/1`) so successive perf
+//! PRs can diff timings without any external tooling.
+
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use credence_json::Value;
+
+/// Default samples per benchmark (criterion's `sample_size` overrides it
+/// per group).
+const DEFAULT_SAMPLE_SIZE: usize = 30;
+/// Target wall-clock per sample; the calibration probe decides how many
+/// iterations that is.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(5);
+/// Warmup budget before the calibration probe.
+const WARMUP_TIME: Duration = Duration::from_millis(60);
+/// Total measurement budget per benchmark; slow benchmarks get fewer
+/// samples (never fewer than two) instead of blowing it.
+const MEASUREMENT_BUDGET: Duration = Duration::from_secs(3);
+
+/// A benchmark identifier, mirroring criterion's: either a bare parameter
+/// (`from_parameter`) or a `function/parameter` pair (`new`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<function_name>/<parameter>`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Just the parameter, for groups whose name already carries the
+    /// function.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// One benchmark's summarised timings, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full benchmark name (`group/parameter` or the bare function name).
+    pub name: String,
+    /// Number of recorded samples.
+    pub samples: usize,
+    /// Iterations averaged inside each sample.
+    pub iters_per_sample: u64,
+    /// Mean ns/iter across samples.
+    pub mean_ns: f64,
+    /// Median ns/iter.
+    pub median_ns: f64,
+    /// 95th-percentile ns/iter.
+    pub p95_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    smoke: bool,
+    measured: Option<(Vec<f64>, u64)>,
+}
+
+impl Bencher {
+    /// Measure the closure. Criterion semantics: the closure is the whole
+    /// measured body; its return value is passed through
+    /// [`black_box`] so the work is not optimised
+    /// away.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if self.smoke {
+            let mut samples = Vec::with_capacity(2);
+            for _ in 0..2 {
+                let start = Instant::now();
+                black_box(f());
+                samples.push(start.elapsed().as_nanos() as f64);
+            }
+            self.measured = Some((samples, 1));
+            return;
+        }
+
+        // Warmup: at least one call, then spin out the budget.
+        let warm_start = Instant::now();
+        black_box(f());
+        while warm_start.elapsed() < WARMUP_TIME {
+            black_box(f());
+        }
+
+        // Calibrate: size samples off one probe iteration.
+        let probe_start = Instant::now();
+        black_box(f());
+        let probe_ns = probe_start.elapsed().as_nanos().max(1) as u64;
+        let iters = (TARGET_SAMPLE_TIME.as_nanos() as u64 / probe_ns).clamp(1, 1_000_000);
+
+        // Cap sample count so `iters × samples × probe` fits the budget.
+        let budget_samples = MEASUREMENT_BUDGET.as_nanos() as u64 / (probe_ns * iters).max(1);
+        let samples_to_take = (budget_samples as usize).clamp(2, self.sample_size);
+
+        let mut samples = Vec::with_capacity(samples_to_take);
+        for _ in 0..samples_to_take {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.measured = Some((samples, iters));
+    }
+}
+
+/// Where `BENCH_*.json` files go when `CREDENCE_BENCH_DIR` is unset:
+/// `$CARGO_TARGET_DIR/credence-bench` if set, else `target/credence-bench`
+/// under the nearest ancestor holding a `Cargo.lock` (cargo runs bench
+/// executables from the *package* directory, and the workspace target dir
+/// is where trajectory files should accumulate).
+fn default_out_dir() -> std::path::PathBuf {
+    if let Ok(target) = std::env::var("CARGO_TARGET_DIR") {
+        return std::path::Path::new(&target).join("credence-bench");
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return dir.join("target").join("credence-bench");
+        }
+        if !dir.pop() {
+            return std::path::Path::new("target").join("credence-bench");
+        }
+    }
+}
+
+/// Sorted-samples percentile with nearest-rank interpolation on the index.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn summarise(name: String, mut samples: Vec<f64>, iters_per_sample: u64) -> BenchRecord {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let mean = samples.iter().sum::<f64>() / samples.len().max(1) as f64;
+    BenchRecord {
+        name,
+        samples: samples.len(),
+        iters_per_sample,
+        mean_ns: mean,
+        median_ns: percentile(&samples, 0.5),
+        p95_ns: percentile(&samples, 0.95),
+        min_ns: samples.first().copied().unwrap_or(0.0),
+        max_ns: samples.last().copied().unwrap_or(0.0),
+    }
+}
+
+/// The harness entry point; [`criterion_main!`](crate::criterion_main)
+/// constructs one per bench target and writes the summary when all groups
+/// have run.
+pub struct Criterion {
+    target: String,
+    out_dir: std::path::PathBuf,
+    smoke: bool,
+    results: Vec<BenchRecord>,
+}
+
+impl Criterion {
+    /// A harness for one bench target, honouring `CREDENCE_BENCH_SMOKE`
+    /// and `CREDENCE_BENCH_DIR`.
+    pub fn new(target: &str) -> Self {
+        let smoke = std::env::var("CREDENCE_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+        let out_dir = std::env::var("CREDENCE_BENCH_DIR")
+            .map(Into::into)
+            .unwrap_or_else(|_| default_out_dir());
+        Self::with_options(target, smoke, out_dir)
+    }
+
+    fn with_options(target: &str, smoke: bool, out_dir: std::path::PathBuf) -> Self {
+        Self {
+            target: target.to_string(),
+            out_dir,
+            smoke,
+            results: Vec::new(),
+        }
+    }
+
+    /// Run a single benchmark at the default sample size.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.into().id, DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+
+    /// Open a named group; its benchmarks are reported as
+    /// `<group>/<id>`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    fn run(&mut self, name: String, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            sample_size,
+            smoke: self.smoke,
+            measured: None,
+        };
+        f(&mut bencher);
+        let (samples, iters) = bencher
+            .measured
+            .unwrap_or_else(|| panic!("benchmark '{name}' never called Bencher::iter"));
+        let record = summarise(name, samples, iters);
+        eprintln!(
+            "bench {:<40} median {:>12.1} ns/iter  (p95 {:>12.1}, {} samples x {} iters)",
+            record.name, record.median_ns, record.p95_ns, record.samples, record.iters_per_sample,
+        );
+        self.results.push(record);
+    }
+
+    /// Print the per-target table and write `BENCH_<target>.json`. Called
+    /// by [`criterion_main!`](crate::criterion_main) after all groups ran.
+    pub fn final_summary(&mut self) {
+        let rows: Vec<Vec<String>> = self
+            .results
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    format!("{:.4}", r.median_ns / 1e6),
+                    format!("{:.4}", r.p95_ns / 1e6),
+                    format!("{:.4}", r.mean_ns / 1e6),
+                    r.samples.to_string(),
+                    r.iters_per_sample.to_string(),
+                ]
+            })
+            .collect();
+        crate::print_table(
+            &format!(
+                "bench: {}{}",
+                self.target,
+                if self.smoke { " (smoke)" } else { "" }
+            ),
+            &[
+                "benchmark",
+                "median ms",
+                "p95 ms",
+                "mean ms",
+                "samples",
+                "iters",
+            ],
+            &rows,
+        );
+
+        match self.write_json() {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write bench JSON: {e}"),
+        }
+    }
+
+    fn write_json(&self) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(&self.out_dir)?;
+        let path = self.out_dir.join(format!("BENCH_{}.json", self.target));
+        let json = self.to_json();
+        std::fs::write(&path, credence_json::to_string(&json))?;
+        Ok(path)
+    }
+
+    fn to_json(&self) -> Value {
+        let benchmarks = self
+            .results
+            .iter()
+            .map(|r| {
+                let mut m = BTreeMap::new();
+                m.insert("name".to_string(), Value::String(r.name.clone()));
+                m.insert("samples".to_string(), Value::Number(r.samples as f64));
+                m.insert(
+                    "iters_per_sample".to_string(),
+                    Value::Number(r.iters_per_sample as f64),
+                );
+                m.insert("mean_ns".to_string(), Value::Number(r.mean_ns));
+                m.insert("median_ns".to_string(), Value::Number(r.median_ns));
+                m.insert("p95_ns".to_string(), Value::Number(r.p95_ns));
+                m.insert("min_ns".to_string(), Value::Number(r.min_ns));
+                m.insert("max_ns".to_string(), Value::Number(r.max_ns));
+                Value::Object(m)
+            })
+            .collect();
+        let mut root = BTreeMap::new();
+        root.insert(
+            "schema".to_string(),
+            Value::String("credence-bench/1".to_string()),
+        );
+        root.insert("target".to_string(), Value::String(self.target.clone()));
+        root.insert("smoke".to_string(), Value::Bool(self.smoke));
+        root.insert("benchmarks".to_string(), Value::Array(benchmarks));
+        Value::Object(root)
+    }
+}
+
+/// A named group of benchmarks sharing a `sample_size` override.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run `<group>/<id>`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.prefix, id.into().id);
+        self.criterion.run(name, self.sample_size, f);
+        self
+    }
+
+    /// Run `<group>/<id>` with an input threaded into the closure
+    /// (criterion's shape; the input is borrowed, not measured).
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.prefix, id.id);
+        self.criterion.run(name, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// End the group. Records are written eagerly, so this is shape
+    /// compatibility only; dropping the group without calling it is fine.
+    pub fn finish(self) {}
+}
+
+/// Declare a bench group function: `criterion_group!(benches, f1, f2);`
+/// expands to `pub fn benches(c: &mut Criterion)` running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declare the bench `main`: runs each group under one [`Criterion`] named
+/// after the bench target, then prints the table and writes
+/// `BENCH_<target>.json`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::new(env!("CARGO_CRATE_NAME"));
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(300).id, "300");
+        assert_eq!(BenchmarkId::new("serial", 1000).id, "serial/1000");
+        assert_eq!(BenchmarkId::from("write").id, "write");
+    }
+
+    #[test]
+    fn percentile_picks_expected_ranks() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&sorted, 0.5), 3.0);
+        assert_eq!(percentile(&sorted, 0.95), 5.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn summarise_orders_statistics() {
+        let r = summarise("t".into(), vec![5.0, 1.0, 3.0], 7);
+        assert_eq!(r.min_ns, 1.0);
+        assert_eq!(r.max_ns, 5.0);
+        assert_eq!(r.median_ns, 3.0);
+        assert_eq!(r.iters_per_sample, 7);
+        assert!((r.mean_ns - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoke_mode_measures_with_single_iterations() {
+        let out = std::env::temp_dir().join(format!("credence-bench-test-{}", std::process::id()));
+        let mut c = Criterion::with_options("harness_test", true, out.clone());
+        let mut calls = 0u32;
+        c.bench_function("counted", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert_eq!(calls, 2, "smoke mode runs exactly two samples of one iter");
+        let r = &c.results[0];
+        assert_eq!((r.samples, r.iters_per_sample), (2, 1));
+        assert_eq!(r.name, "counted");
+        assert!(r.median_ns > 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_write_trajectory_json() {
+        let out = std::env::temp_dir().join(format!("credence-bench-json-{}", std::process::id()));
+        let mut c = Criterion::with_options("harness_json", true, out.clone());
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(2);
+            g.bench_function("plain", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("param", 42), &3u64, |b, &x| {
+                b.iter(|| x * 2)
+            });
+            g.finish();
+        }
+        assert_eq!(c.results[0].name, "grp/plain");
+        assert_eq!(c.results[1].name, "grp/param/42");
+
+        let path = c.write_json().unwrap();
+        let parsed = credence_json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let Value::Object(root) = &parsed else {
+            panic!("root must be an object")
+        };
+        assert_eq!(root["schema"], Value::String("credence-bench/1".into()));
+        assert_eq!(root["target"], Value::String("harness_json".into()));
+        let Value::Array(benches) = &root["benchmarks"] else {
+            panic!("benchmarks must be an array")
+        };
+        assert_eq!(benches.len(), 2);
+        std::fs::remove_dir_all(&out).ok();
+    }
+}

@@ -1,12 +1,16 @@
 //! Shared fixtures and helpers for the experiment regenerators and the
-//! criterion benches.
+//! std-only benches.
 //!
 //! Everything the EXPERIMENTS.md tables need lives here so the
 //! `experiments` binary and the benches measure the same code paths with
-//! the same inputs.
+//! the same inputs. The [`harness`] module is the offline replacement for
+//! criterion; bench targets import its types from the crate root.
 
 pub mod figures;
+pub mod harness;
 pub mod tables;
+
+pub use harness::{BenchRecord, Bencher, BenchmarkGroup, BenchmarkId, Criterion};
 
 use std::time::{Duration, Instant};
 
@@ -84,7 +88,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         "{}",
         fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

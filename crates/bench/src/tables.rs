@@ -9,14 +9,13 @@ use std::time::Duration;
 
 use credence_core::{
     cosine_sampled, doc2vec_nearest, explain_query_augmentation, explain_sentence_removal,
-    CandidateOrdering, CosineSampledConfig, QueryAugmentationConfig,
-    SentenceRemovalConfig,
+    CandidateOrdering, CosineSampledConfig, QueryAugmentationConfig, SentenceRemovalConfig,
 };
 use credence_embed::{Doc2Vec, Doc2VecConfig};
 use credence_index::{Bm25Params, DocId, InvertedIndex};
 use credence_rank::{
-    rank_corpus, Bm25Ranker, NeuralSimConfig, NeuralSimRanker, QlSmoothing,
-    QueryLikelihoodRanker, Ranker,
+    rank_corpus, Bm25Ranker, NeuralSimConfig, NeuralSimRanker, QlSmoothing, QueryLikelihoodRanker,
+    Ranker,
 };
 use credence_topics::{LdaConfig, LdaModel};
 
@@ -55,10 +54,12 @@ pub fn quality() {
     let index = &setup.index;
     let k = setup.demo.k;
 
-    let queries = ["covid outbreak".to_string(),
+    let queries = [
+        "covid outbreak".to_string(),
         "covid vaccine".to_string(),
         "outbreak school".to_string(),
-        "5g network".to_string()];
+        "5g network".to_string(),
+    ];
 
     let bm25 = Bm25Ranker::new(index, Bm25Params::default());
     let ql = QueryLikelihoodRanker::new(index, QlSmoothing::default());
@@ -153,8 +154,15 @@ pub fn quality() {
     print_table(
         "explainer quality per ranker (demo corpus, k = 10)",
         &[
-            "ranker", "SR valid", "SR |P|", "SR evals", "SR ms", "QA valid", "QA |terms|",
-            "QA evals", "QA ms",
+            "ranker",
+            "SR valid",
+            "SR |P|",
+            "SR evals",
+            "SR ms",
+            "QA valid",
+            "QA |terms|",
+            "QA evals",
+            "QA ms",
         ],
         &rows,
     );
@@ -221,7 +229,13 @@ pub fn scaling() {
     print_table(
         "latency (ms) vs corpus size",
         &[
-            "docs", "index", "rank", "sent-rm", "query-aug", "cos-sampled", "d2v-train",
+            "docs",
+            "index",
+            "rank",
+            "sent-rm",
+            "query-aug",
+            "cos-sampled",
+            "d2v-train",
             "d2v-nn",
         ],
         &rows,
@@ -282,7 +296,10 @@ pub fn ablation() {
     let (query, k) = (setup.demo.query, setup.demo.k);
 
     let orderings: Vec<(&str, CandidateOrdering)> = vec![
-        ("importance-guided (paper)", CandidateOrdering::ImportanceGuided),
+        (
+            "importance-guided (paper)",
+            CandidateOrdering::ImportanceGuided,
+        ),
         ("reverse (adversarial)", CandidateOrdering::Reverse),
         ("shuffled seed=1", CandidateOrdering::Shuffled(1)),
         ("shuffled seed=2", CandidateOrdering::Shuffled(2)),
@@ -333,12 +350,7 @@ pub fn ablation() {
             .map(|e| e.candidates_evaluated.to_string())
             .unwrap_or_else(|| "not found".into());
 
-        rows.push(vec![
-            label.to_string(),
-            sr_evals,
-            sr_size,
-            qa_evals,
-        ]);
+        rows.push(vec![label.to_string(), sr_evals, sr_size, qa_evals]);
     }
     print_table(
         "candidates evaluated until first valid counterfactual (demo fake-news article)",
@@ -362,9 +374,8 @@ pub fn instances() {
     let model = train_doc2vec(&setup.index);
 
     let n = 5;
-    let (d2v, t_d2v) = timed(|| {
-        doc2vec_nearest(&ranker, &model, query, k, fake, n).expect("d2v instances")
-    });
+    let (d2v, t_d2v) =
+        timed(|| doc2vec_nearest(&ranker, &model, query, k, fake, n).expect("d2v instances"));
 
     let mut rows = Vec::new();
     rows.push(vec![
@@ -446,10 +457,8 @@ pub fn granularity() {
 
     let mut rows = Vec::new();
     if let Some(e) = sr.explanations.first() {
-        let total_terms: usize = credence_text::tokenize(
-            &setup.index.document(fake).unwrap().body,
-        )
-        .len();
+        let total_terms: usize =
+            credence_text::tokenize(&setup.index.document(fake).unwrap().body).len();
         let removed_tokens: usize = e
             .removed_text
             .iter()
@@ -478,7 +487,15 @@ pub fn granularity() {
     }
     print_table(
         "granularity trade-off on the demo fake-news article",
-        &["granularity", "size", "removed", "evals", "new rank", "grammatical", "ms"],
+        &[
+            "granularity",
+            "size",
+            "removed",
+            "evals",
+            "new rank",
+            "grammatical",
+            "ms",
+        ],
         &rows,
     );
     println!(
@@ -572,8 +589,11 @@ pub fn ranker_agreement() {
             ..NeuralSimConfig::default()
         },
     );
-    let models: Vec<(&str, &dyn Ranker)> =
-        vec![("bm25", &bm25), ("ql-dirichlet", &ql), ("neural-sim", &neural)];
+    let models: Vec<(&str, &dyn Ranker)> = vec![
+        ("bm25", &bm25),
+        ("ql-dirichlet", &ql),
+        ("neural-sim", &neural),
+    ];
     let queries = ["covid outbreak", "covid vaccine", "5g network"];
 
     let mut rows = Vec::new();
@@ -613,8 +633,8 @@ pub fn ranker_agreement() {
 pub fn feature_future_work() {
     use credence_core::{explain_feature_changes, FeatureCfConfig};
     use credence_rank::{FeatureRanker, FeatureSchema};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use credence_rng::rngs::StdRng;
+    use credence_rng::{Rng, SeedableRng};
 
     println!("\n=== FUTURE: feature-level counterfactuals (paper §II-A future work) ===");
     let setup = DemoSetup::build();
@@ -644,7 +664,12 @@ pub fn feature_future_work() {
     let mut rows = Vec::new();
     for &doc in top.iter().take(5) {
         match explain_feature_changes(&ranker, query, k, doc, &FeatureCfConfig::default()) {
-            Err(e) => rows.push(vec![format!("{doc}"), format!("({e})"), "-".into(), "-".into()]),
+            Err(e) => rows.push(vec![
+                format!("{doc}"),
+                format!("({e})"),
+                "-".into(),
+                "-".into(),
+            ]),
             Ok(result) => match result.explanations.first() {
                 None => rows.push(vec![
                     format!("{doc}"),

@@ -66,7 +66,10 @@ impl Args {
 
     /// First value of an option.
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.options.get(key).and_then(|v| v.first()).map(String::as_str)
+        self.options
+            .get(key)
+            .and_then(|v| v.first())
+            .map(String::as_str)
     }
 
     /// All values of a repeatable option.

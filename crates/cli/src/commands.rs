@@ -10,9 +10,9 @@ use std::path::Path;
 
 use credence_core::{
     explain_query_augmentation, explain_query_reduction, explain_saliency,
-    explain_sentence_removal, explain_term_removal, test_edits, CredenceEngine, Edit,
-    EngineConfig, QueryAugmentationConfig, QueryReductionConfig, SaliencyUnit,
-    SentenceRemovalConfig, TermRemovalConfig,
+    explain_sentence_removal, explain_term_removal, test_edits, CredenceEngine, Edit, EngineConfig,
+    QueryAugmentationConfig, QueryReductionConfig, SaliencyUnit, SentenceRemovalConfig,
+    TermRemovalConfig,
 };
 use credence_corpus::{covid_demo_corpus, load_jsonl, load_tsv, save_jsonl, save_tsv};
 use credence_corpus::{SynthConfig, SyntheticCorpus};
@@ -89,10 +89,9 @@ fn with_engine<T>(
     let choice = args.get("ranker").unwrap_or("bm25");
     let ranker: Box<dyn Ranker + '_> = match choice {
         "bm25" => Box::new(Bm25Ranker::new(&index, Bm25Params::default())),
-        "ql" | "ql-dirichlet" => Box::new(QueryLikelihoodRanker::new(
-            &index,
-            QlSmoothing::default(),
-        )),
+        "ql" | "ql-dirichlet" => {
+            Box::new(QueryLikelihoodRanker::new(&index, QlSmoothing::default()))
+        }
         "ql-jm" => Box::new(QueryLikelihoodRanker::new(
             &index,
             QlSmoothing::JelinekMercer { lambda: 0.5 },
@@ -308,7 +307,9 @@ fn builder(args: &Args) -> Result<String, CliError> {
         edits.push(Edit::remove(term.as_str()));
     }
     if edits.is_empty() {
-        return Err(CliError::new("builder needs at least one --replace or --remove"));
+        return Err(CliError::new(
+            "builder needs at least one --replace or --remove",
+        ));
     }
     with_engine(args, |engine, index| {
         let outcome = test_edits(engine.ranker(), &query, k, doc, &edits).map_err(CliError::new)?;
@@ -351,7 +352,9 @@ fn topics(args: &Args) -> Result<String, CliError> {
     let k = args.get_usize("k", 10)?;
     let num_topics = args.get_usize("topics", 3)?;
     with_engine(args, |engine, _| {
-        let topics = engine.topics(&query, k, num_topics).map_err(CliError::new)?;
+        let topics = engine
+            .topics(&query, k, num_topics)
+            .map_err(CliError::new)?;
         let mut out = String::new();
         for t in &topics {
             let terms: Vec<&str> = t.terms.iter().map(|(s, _)| s.as_str()).collect();
@@ -439,8 +442,7 @@ fn serve(args: &Args) -> Result<String, CliError> {
     let addr = args.get("addr").unwrap_or("127.0.0.1:8091").to_string();
     let docs = load_corpus(args)?;
     let state = credence_server::AppState::leak(docs, EngineConfig::default());
-    let server =
-        credence_server::Server::bind(addr.as_str(), state).map_err(CliError::new)?;
+    let server = credence_server::Server::bind(addr.as_str(), state).map_err(CliError::new)?;
     eprintln!("credence listening on http://{addr}");
     server.run().map_err(CliError::new)?;
     Ok(String::new())
@@ -612,11 +614,7 @@ mod tests {
         let dir = std::env::temp_dir().join("credence_cli_test");
         std::fs::create_dir_all(&dir).unwrap();
         let jsonl = dir.join("synth.jsonl");
-        let out = run_line(&format!(
-            "generate --docs 12 --out {}",
-            jsonl.display()
-        ))
-        .unwrap();
+        let out = run_line(&format!("generate --docs 12 --out {}", jsonl.display())).unwrap();
         assert!(out.contains("12 synthetic documents"));
         let docs = load_jsonl(&jsonl).unwrap();
         assert_eq!(docs.len(), 12);

@@ -215,7 +215,10 @@ mod tests {
                 Edit::replace("outbreak", "the flu"),
             ],
         );
-        assert_eq!(edited, "flu spreads. The flu the flu grows, covidology aside.");
+        assert_eq!(
+            edited,
+            "flu spreads. The flu the flu grows, covidology aside."
+        );
     }
 
     #[test]

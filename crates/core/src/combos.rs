@@ -79,8 +79,7 @@ impl ComboSearch {
     /// Create a search over `scores` (one score per candidate; the candidate
     /// is identified by its index in this slice).
     pub fn new(scores: &[f64], budget: SearchBudget, ordering: CandidateOrdering) -> Self {
-        let mut pool: Vec<(usize, f64)> =
-            scores.iter().copied().enumerate().collect();
+        let mut pool: Vec<(usize, f64)> = scores.iter().copied().enumerate().collect();
         pool.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
                 .unwrap_or(Ordering::Equal)
@@ -236,8 +235,7 @@ mod tests {
     fn within_size_scores_descend() {
         let combos: Vec<Combo> = search(&[3.0, 1.0, 2.0]).collect();
         for size in 1..=3 {
-            let level: Vec<&Combo> =
-                combos.iter().filter(|c| c.items.len() == size).collect();
+            let level: Vec<&Combo> = combos.iter().filter(|c| c.items.len() == size).collect();
             assert!(level.windows(2).all(|w| w[0].score >= w[1].score));
         }
     }

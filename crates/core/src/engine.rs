@@ -24,9 +24,7 @@ use crate::instance_based::{cosine_sampled, doc2vec_nearest, CosineSampledConfig
 use crate::query_augmentation::{
     explain_query_augmentation, QueryAugmentationConfig, QueryAugmentationResult,
 };
-use crate::query_reduction::{
-    explain_query_reduction, QueryReductionConfig, QueryReductionResult,
-};
+use crate::query_reduction::{explain_query_reduction, QueryReductionConfig, QueryReductionResult};
 use crate::sentence_removal::{
     explain_sentence_removal, SentenceRemovalConfig, SentenceRemovalResult,
 };
@@ -383,8 +381,13 @@ impl<'a> CredenceEngine<'a> {
         query: &str,
         doc: DocId,
         window: usize,
-    ) -> Result<(Vec<credence_index::Highlight>, Option<credence_index::Snippet>), ExplainError>
-    {
+    ) -> Result<
+        (
+            Vec<credence_index::Highlight>,
+            Option<credence_index::Snippet>,
+        ),
+        ExplainError,
+    > {
         let index = self.ranker.index();
         let document = index.document(doc).ok_or(ExplainError::DocNotFound(doc))?;
         let analyzer = index.analyzer();
@@ -478,8 +481,16 @@ mod tests {
                 "Harbor drills",
                 "Outbreak drills continue at the harbor facility through the weekend shift.",
             ),
-            Document::new("n7", "Gardens", "The garden show opens to record spring crowds."),
-            Document::new("n6", "Rowing", "The rowing club wins the spring regatta again."),
+            Document::new(
+                "n7",
+                "Gardens",
+                "The garden show opens to record spring crowds.",
+            ),
+            Document::new(
+                "n6",
+                "Rowing",
+                "The rowing club wins the spring regatta again.",
+            ),
         ]
     }
 
@@ -516,12 +527,7 @@ mod tests {
             let doc = DocId(2); // the conspiracy doc, rank 3
 
             let sr = e
-                .sentence_removal(
-                    "covid outbreak",
-                    k,
-                    doc,
-                    &SentenceRemovalConfig::default(),
-                )
+                .sentence_removal("covid outbreak", k, doc, &SentenceRemovalConfig::default())
                 .unwrap();
             assert!(!sr.explanations.is_empty());
 
@@ -665,14 +671,8 @@ mod tests {
 
     #[test]
     fn engine_is_deterministic() {
-        let a = with_engine(|e| {
-            e.doc2vec_nearest("covid outbreak", 3, DocId(2), 2)
-                .unwrap()
-        });
-        let b = with_engine(|e| {
-            e.doc2vec_nearest("covid outbreak", 3, DocId(2), 2)
-                .unwrap()
-        });
+        let a = with_engine(|e| e.doc2vec_nearest("covid outbreak", 3, DocId(2), 2).unwrap());
+        let b = with_engine(|e| e.doc2vec_nearest("covid outbreak", 3, DocId(2), 2).unwrap());
         assert_eq!(a, b);
     }
 }

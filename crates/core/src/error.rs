@@ -55,7 +55,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(ExplainError::DocNotFound(DocId(3)).to_string().contains('3'));
+        assert!(ExplainError::DocNotFound(DocId(3))
+            .to_string()
+            .contains('3'));
         assert!(ExplainError::EmptyQuery.to_string().contains("query"));
         let e = ExplainError::DocNotRelevant {
             doc: DocId(1),

@@ -127,7 +127,10 @@ pub fn explain_feature_changes<R: FeatureAwareRanker>(
     // weights, 1 for negative). Importance = score mass removed.
     let actual = ranker.features(doc).to_vec();
     let weights = ranker.weights().to_vec();
-    let targets: Vec<f64> = weights.iter().map(|&w| if w >= 0.0 { 0.0 } else { 1.0 }).collect();
+    let targets: Vec<f64> = weights
+        .iter()
+        .map(|&w| if w >= 0.0 { 0.0 } else { 1.0 })
+        .collect();
     let importance: Vec<f64> = weights
         .iter()
         .zip(&actual)
@@ -151,9 +154,7 @@ pub fn explain_feature_changes<R: FeatureAwareRanker>(
         // doc id, matching `rerank_pool`.
         let new_rank = 1 + pool_scores
             .iter()
-            .filter(|&&(d, s)| {
-                d != doc && (s > new_score || (s == new_score && d < doc))
-            })
+            .filter(|&&(d, s)| d != doc && (s > new_score || (s == new_score && d < doc)))
             .count();
         if new_rank > k {
             explanations.push(FeatureCfExplanation {
@@ -311,15 +312,20 @@ mod tests {
         let r = ranker(&idx);
         assert!(explain_feature_changes(&r, "", 2, DocId(0), &FeatureCfConfig::default()).is_err());
         assert!(
-            explain_feature_changes(&r, "covid", 0, DocId(0), &FeatureCfConfig::default())
-                .is_err()
+            explain_feature_changes(&r, "covid", 0, DocId(0), &FeatureCfConfig::default()).is_err()
         );
         assert!(matches!(
             explain_feature_changes(&r, "covid", 2, DocId(9), &FeatureCfConfig::default()),
             Err(ExplainError::DocNotFound(_))
         ));
         assert!(matches!(
-            explain_feature_changes(&r, "covid outbreak", 2, DocId(3), &FeatureCfConfig::default()),
+            explain_feature_changes(
+                &r,
+                "covid outbreak",
+                2,
+                DocId(3),
+                &FeatureCfConfig::default()
+            ),
             Err(ExplainError::DocNotRelevant { .. })
         ));
     }

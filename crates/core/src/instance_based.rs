@@ -23,9 +23,9 @@ use credence_embed::{nearest_neighbors, Doc2Vec};
 use credence_index::vector::bm25_doc_vector;
 use credence_index::{cosine_similarity, Bm25Params, DocId};
 use credence_rank::{rank_corpus, RankedList, Ranker};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use credence_rng::rngs::StdRng;
+use credence_rng::seq::SliceRandom;
+use credence_rng::SeedableRng;
 
 use crate::error::ExplainError;
 use crate::explanation::InstanceExplanation;
@@ -337,8 +337,7 @@ mod tests {
         let r = Bm25Ranker::new(&idx, Bm25Params::default());
         let model = train(&idx);
         // Doc 3 is not retrieved for the query at all.
-        let err =
-            doc2vec_nearest(&r, &model, "covid outbreak", 3, DocId(3), 1).unwrap_err();
+        let err = doc2vec_nearest(&r, &model, "covid outbreak", 3, DocId(3), 1).unwrap_err();
         assert!(matches!(err, ExplainError::DocNotRelevant { .. }));
     }
 

@@ -49,8 +49,8 @@ pub mod builder;
 pub mod combos;
 pub mod engine;
 pub mod error;
-pub mod feature_counterfactual;
 pub mod explanation;
+pub mod feature_counterfactual;
 pub mod instance_based;
 pub mod metrics;
 pub mod query_augmentation;
@@ -63,11 +63,11 @@ pub use builder::{apply_edits, test_edits, test_perturbation, BuilderOutcome, Ed
 pub use combos::{CandidateOrdering, ComboSearch, SearchBudget};
 pub use engine::{CredenceEngine, EngineConfig};
 pub use error::ExplainError;
-pub use feature_counterfactual::{
-    explain_feature_changes, FeatureCfConfig, FeatureCfExplanation, FeatureChange,
-};
 pub use explanation::{
     InstanceExplanation, QueryAugmentationExplanation, SentenceRemovalExplanation,
+};
+pub use feature_counterfactual::{
+    explain_feature_changes, FeatureCfConfig, FeatureCfExplanation, FeatureChange,
 };
 pub use instance_based::{cosine_sampled, doc2vec_nearest, CosineSampledConfig};
 pub use query_augmentation::{explain_query_augmentation, QueryAugmentationConfig};

@@ -28,7 +28,12 @@ pub fn verify_sentence_removal(
 ) -> bool {
     let ranking = rank_corpus(ranker, query);
     let pool = ranking.top_k(k + 1);
-    let rows = rerank_pool(ranker, query, &pool, Some((doc, &explanation.perturbed_body)));
+    let rows = rerank_pool(
+        ranker,
+        query,
+        &pool,
+        Some((doc, &explanation.perturbed_body)),
+    );
     rows.iter()
         .find(|r| r.substituted)
         .map(|r| r.new_rank > k)
@@ -205,8 +210,20 @@ mod tests {
         )
         .unwrap();
         let e = &result.explanations[0];
-        assert!(verify_sentence_removal(&ranker, "covid outbreak", 2, DocId(0), e));
-        assert!(certify_minimality(&ranker, "covid outbreak", 2, DocId(0), e));
+        assert!(verify_sentence_removal(
+            &ranker,
+            "covid outbreak",
+            2,
+            DocId(0),
+            e
+        ));
+        assert!(certify_minimality(
+            &ranker,
+            "covid outbreak",
+            2,
+            DocId(0),
+            e
+        ));
         assert!((sentence_sparsity(e, result.sentences.len()) - 2.0 / 3.0).abs() < 1e-12);
     }
 
@@ -236,21 +253,11 @@ mod tests {
 
     #[test]
     fn kendall_tau_extremes() {
-        let a = RankedList::from_scores(vec![
-            (DocId(0), 3.0),
-            (DocId(1), 2.0),
-            (DocId(2), 1.0),
-        ]);
-        let same = RankedList::from_scores(vec![
-            (DocId(0), 30.0),
-            (DocId(1), 20.0),
-            (DocId(2), 10.0),
-        ]);
-        let reversed = RankedList::from_scores(vec![
-            (DocId(0), 1.0),
-            (DocId(1), 2.0),
-            (DocId(2), 3.0),
-        ]);
+        let a = RankedList::from_scores(vec![(DocId(0), 3.0), (DocId(1), 2.0), (DocId(2), 1.0)]);
+        let same =
+            RankedList::from_scores(vec![(DocId(0), 30.0), (DocId(1), 20.0), (DocId(2), 10.0)]);
+        let reversed =
+            RankedList::from_scores(vec![(DocId(0), 1.0), (DocId(1), 2.0), (DocId(2), 3.0)]);
         assert_eq!(kendall_tau(&a, &same), Some(1.0));
         assert_eq!(kendall_tau(&a, &reversed), Some(-1.0));
         let empty = RankedList::from_scores(vec![]);

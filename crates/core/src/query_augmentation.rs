@@ -125,11 +125,7 @@ fn collect_candidates(
             let tfidf = tf_idf(tf, set_df, top_k.len());
             let surface = surfaces[&analyzed]
                 .iter()
-                .max_by(|a, b| {
-                    (a.1 .0)
-                        .cmp(&b.1 .0)
-                        .then_with(|| b.1 .1.cmp(&a.1 .1))
-                })
+                .max_by(|a, b| (a.1 .0).cmp(&b.1 .0).then_with(|| b.1 .1.cmp(&a.1 .1)))
                 .map(|(s, _)| s.clone())
                 .unwrap_or_else(|| analyzed.clone());
             CandidateTerm {

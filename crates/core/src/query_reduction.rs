@@ -173,8 +173,7 @@ pub fn explain_query_reduction(
             Some(r) => r > k,
         };
         if valid {
-            let mut removed_terms: Vec<String> =
-                removed.into_iter().map(str::to_string).collect();
+            let mut removed_terms: Vec<String> = removed.into_iter().map(str::to_string).collect();
             removed_terms.sort();
             explanations.push(QueryReductionExplanation {
                 removed_terms,
@@ -278,14 +277,9 @@ mod tests {
     fn single_term_queries_rejected() {
         let idx = fixture();
         let r = Bm25Ranker::new(&idx, Bm25Params::default());
-        let err = explain_query_reduction(
-            &r,
-            "covid",
-            4,
-            DocId(0),
-            &QueryReductionConfig::default(),
-        )
-        .unwrap_err();
+        let err =
+            explain_query_reduction(&r, "covid", 4, DocId(0), &QueryReductionConfig::default())
+                .unwrap_err();
         assert!(matches!(err, ExplainError::InvalidParameter(_)));
     }
 

@@ -171,8 +171,8 @@ mod tests {
     fn sentence_saliency_ranks_query_sentences_first() {
         let idx = fixture();
         let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
-        let exp = explain_saliency(&ranker, "covid outbreak", DocId(0), SaliencyUnit::Sentence)
-            .unwrap();
+        let exp =
+            explain_saliency(&ranker, "covid outbreak", DocId(0), SaliencyUnit::Sentence).unwrap();
         assert_eq!(exp.weights.len(), 3);
         // The garden sentence must be least salient (its removal can only
         // help the score through length normalisation).
@@ -215,8 +215,8 @@ mod tests {
     fn base_score_matches_ranker() {
         let idx = fixture();
         let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
-        let exp = explain_saliency(&ranker, "covid outbreak", DocId(0), SaliencyUnit::Sentence)
-            .unwrap();
+        let exp =
+            explain_saliency(&ranker, "covid outbreak", DocId(0), SaliencyUnit::Sentence).unwrap();
         assert!((exp.base_score - ranker.score_doc("covid outbreak", DocId(0))).abs() < 1e-12);
     }
 
@@ -224,8 +224,8 @@ mod tests {
     fn works_for_unranked_documents() {
         let idx = fixture();
         let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
-        let exp = explain_saliency(&ranker, "covid outbreak", DocId(2), SaliencyUnit::Term)
-            .unwrap();
+        let exp =
+            explain_saliency(&ranker, "covid outbreak", DocId(2), SaliencyUnit::Term).unwrap();
         assert_eq!(exp.base_score, 0.0);
         assert!(exp.weights.iter().all(|w| w.weight.abs() < 1e-12));
     }

@@ -112,10 +112,9 @@ pub fn explain_sentence_removal(
     }
 
     let ranking = rank_corpus(ranker, query);
-    let old_rank = ranking.rank_of(doc).ok_or(ExplainError::DocNotRelevant {
-        doc,
-        rank: None,
-    })?;
+    let old_rank = ranking
+        .rank_of(doc)
+        .ok_or(ExplainError::DocNotRelevant { doc, rank: None })?;
     if old_rank > k {
         return Err(ExplainError::DocNotRelevant {
             doc,
@@ -150,9 +149,9 @@ pub fn explain_sentence_removal(
         };
         let removed: std::collections::HashSet<usize> = combo.items.iter().copied().collect();
         if config.skip_supersets
-            && explanations.iter().any(|e: &SentenceRemovalExplanation| {
-                e.removed.iter().all(|i| removed.contains(i))
-            })
+            && explanations
+                .iter()
+                .any(|e: &SentenceRemovalExplanation| e.removed.iter().all(|i| removed.contains(i)))
         {
             continue;
         }
@@ -367,7 +366,10 @@ mod tests {
             &SentenceRemovalConfig::default(),
         )
         .unwrap_err();
-        assert!(matches!(err, ExplainError::DocNotRelevant { rank: None, .. }));
+        assert!(matches!(
+            err,
+            ExplainError::DocNotRelevant { rank: None, .. }
+        ));
     }
 
     #[test]

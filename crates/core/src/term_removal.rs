@@ -291,7 +291,10 @@ mod tests {
             &TermRemovalConfig::default(),
         )
         .unwrap();
-        let top2: Vec<&str> = result.candidates[..2].iter().map(|c| c.0.as_str()).collect();
+        let top2: Vec<&str> = result.candidates[..2]
+            .iter()
+            .map(|c| c.0.as_str())
+            .collect();
         assert!(top2.contains(&"covid"));
         assert!(top2.contains(&"outbreak"));
         assert_eq!(result.candidates[0].1, 2.0, "tf within the document");

@@ -490,7 +490,10 @@ mod tests {
     fn fake_news_query_terms_confined_to_first_and_last_sentence() {
         let demo = covid_demo_corpus();
         let sentences = split_sentences(FAKE_NEWS_BODY);
-        assert!(sentences.len() >= 6, "fake article should be multi-sentence");
+        assert!(
+            sentences.len() >= 6,
+            "fake article should be multi-sentence"
+        );
         let matching = Analyzer::matching();
         for (i, s) in sentences.iter().enumerate() {
             let terms = matching.analyze(&s.text);
@@ -513,9 +516,10 @@ mod tests {
         let stem = Analyzer::english();
         for raw in ["5g", "microchip", "bill", "gates", "rfid"] {
             let term = stem.analyze_term(raw).unwrap();
-            let tid = idx.vocabulary().id(&term).unwrap_or_else(|| {
-                panic!("term {term} must exist in corpus vocabulary")
-            });
+            let tid = idx
+                .vocabulary()
+                .id(&term)
+                .unwrap_or_else(|| panic!("term {term} must exist in corpus vocabulary"));
             for &d in &order[..10] {
                 if d == DocId(demo.fake_news as u32) {
                     assert!(idx.term_freq(d, tid) > 0, "{term} must be in fake news");

@@ -23,6 +23,6 @@ pub mod reviews;
 pub mod synth;
 
 pub use demo::{covid_demo_corpus, DemoCorpus};
-pub use reviews::{reviews_demo_corpus, ReviewsCorpus};
 pub use loader::{load_jsonl, load_tsv, save_jsonl, save_tsv, LoadError};
+pub use reviews::{reviews_demo_corpus, ReviewsCorpus};
 pub use synth::{SynthConfig, SyntheticCorpus};

@@ -229,8 +229,7 @@ mod tests {
 
     #[test]
     fn jsonl_accepts_pyserini_aliases() {
-        let docs =
-            parse_jsonl(r#"{"id": "doc7", "contents": "the body text"}"#).unwrap();
+        let docs = parse_jsonl(r#"{"id": "doc7", "contents": "the body text"}"#).unwrap();
         assert_eq!(docs[0].name, "doc7");
         assert_eq!(docs[0].body, "the body text");
         assert_eq!(docs[0].title, "");

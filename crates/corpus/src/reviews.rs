@@ -195,7 +195,10 @@ mod tests {
         // The copy shares the word "life" ("life changing"), so it may be
         // retrieved — but never inside the top-k.
         let (_, order, demo) = ranked();
-        match order.iter().position(|&d| d == DocId(demo.shill_copy as u32)) {
+        match order
+            .iter()
+            .position(|&d| d == DocId(demo.shill_copy as u32))
+        {
             None => {}
             Some(pos) => assert!(pos >= demo.k, "copy at position {pos}"),
         }

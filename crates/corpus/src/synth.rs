@@ -9,8 +9,8 @@
 //! with. Generation is deterministic under the seed.
 
 use credence_index::Document;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use credence_rng::rngs::StdRng;
+use credence_rng::{Rng, SeedableRng};
 
 /// Configuration for the synthetic corpus generator.
 #[derive(Debug, Clone)]
@@ -79,8 +79,7 @@ impl SyntheticCorpus {
         for i in 0..config.num_docs {
             let topic = i % config.num_topics;
             topics.push(topic);
-            let n_sent =
-                rng.gen_range(config.sentences_per_doc.0..=config.sentences_per_doc.1);
+            let n_sent = rng.gen_range(config.sentences_per_doc.0..=config.sentences_per_doc.1);
             let mut body = String::new();
             for s in 0..n_sent {
                 if s > 0 {
@@ -174,10 +173,7 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = SyntheticCorpus::generate(small());
-        let b = SyntheticCorpus::generate(SynthConfig {
-            seed: 7,
-            ..small()
-        });
+        let b = SyntheticCorpus::generate(SynthConfig { seed: 7, ..small() });
         assert_ne!(a.docs[0].body, b.docs[0].body);
     }
 
@@ -195,8 +191,7 @@ mod tests {
         for doc in &c.docs[..10] {
             let s = split_sentences(&doc.body);
             assert!(
-                (c.config.sentences_per_doc.0..=c.config.sentences_per_doc.1)
-                    .contains(&s.len()),
+                (c.config.sentences_per_doc.0..=c.config.sentences_per_doc.1).contains(&s.len()),
                 "{} sentences",
                 s.len()
             );
@@ -210,10 +205,7 @@ mod tests {
         let q = idx.analyze_query(&c.topic_query(0, 3));
         let hits = search_top_k(&idx, Bm25Params::default(), &q, 10);
         assert!(!hits.is_empty());
-        let correct = hits
-            .iter()
-            .filter(|h| c.topics[h.doc.index()] == 0)
-            .count();
+        let correct = hits.iter().filter(|h| c.topics[h.doc.index()] == 0).count();
         assert!(
             correct as f64 / hits.len() as f64 >= 0.8,
             "{correct}/{} hits on-topic",

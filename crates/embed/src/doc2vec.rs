@@ -8,8 +8,8 @@
 //! builder perturbation) by freezing the word-output matrix and training only
 //! a fresh document vector, exactly as gensim's `infer_vector` does.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use credence_rng::rngs::StdRng;
+use credence_rng::{Rng, SeedableRng};
 
 use crate::sampling::UnigramTable;
 use crate::vecmath::cosine;
@@ -149,7 +149,9 @@ impl Doc2Vec {
     pub fn infer(&self, words: &[usize]) -> Vec<f32> {
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x9e37_79b9);
         let scale = 0.5 / self.dim as f32;
-        let mut vec_buf: Vec<f32> = (0..self.dim).map(|_| rng.gen_range(-scale..scale)).collect();
+        let mut vec_buf: Vec<f32> = (0..self.dim)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
         let Some(table) = &self.table else {
             return vec_buf;
         };

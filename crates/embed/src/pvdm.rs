@@ -9,8 +9,8 @@
 //! comparison bench; it plugs into `doc2vec_nearest`-style searches through
 //! the same `doc_vector` accessor shape.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use credence_rng::rngs::StdRng;
+use credence_rng::{Rng, SeedableRng};
 
 use crate::sampling::UnigramTable;
 use crate::vecmath::{axpy, cosine, dot, sigmoid};
@@ -99,10 +99,12 @@ impl PvDm {
                         // hidden = mean(doc vector, context word vectors).
                         hidden.fill(0.0);
                         let mut contributors = 1usize;
-                        axpy(1.0, &doc_vecs[doc_id * dim..(doc_id + 1) * dim], &mut hidden);
-                        for (ctx_pos, &w) in
-                            words.iter().enumerate().take(hi).skip(lo)
-                        {
+                        axpy(
+                            1.0,
+                            &doc_vecs[doc_id * dim..(doc_id + 1) * dim],
+                            &mut hidden,
+                        );
+                        for (ctx_pos, &w) in words.iter().enumerate().take(hi).skip(lo) {
                             if ctx_pos == pos {
                                 continue;
                             }
@@ -140,9 +142,7 @@ impl PvDm {
                             &grad,
                             &mut doc_vecs[doc_id * dim..(doc_id + 1) * dim],
                         );
-                        for (ctx_pos, &w) in
-                            words.iter().enumerate().take(hi).skip(lo)
-                        {
+                        for (ctx_pos, &w) in words.iter().enumerate().take(hi).skip(lo) {
                             if ctx_pos == pos {
                                 continue;
                             }

@@ -2,15 +2,16 @@
 //!
 //! word2vec/doc2vec draw negative examples from the unigram distribution
 //! raised to the 3/4 power (Mikolov et al. 2013). This module implements that
-//! distribution with an alias-free cumulative table and binary search —
-//! O(log V) per draw, exact, and deterministic under a seeded RNG.
+//! distribution on top of `credence-rng`'s cumulative table — binary-search
+//! draws, O(log V), exact, and deterministic under a seeded RNG.
 
-use rand::Rng;
+use credence_rng::weighted::CumulativeTable;
+use credence_rng::RngCore;
 
 /// Sampler over word ids with probability proportional to `count^power`.
 #[derive(Debug, Clone)]
 pub struct UnigramTable {
-    cumulative: Vec<f64>,
+    table: CumulativeTable,
 }
 
 impl UnigramTable {
@@ -19,16 +20,8 @@ impl UnigramTable {
     ///
     /// Returns `None` when every count is zero.
     pub fn new(counts: &[u64], power: f64) -> Option<Self> {
-        let mut cumulative = Vec::with_capacity(counts.len());
-        let mut acc = 0.0f64;
-        for &c in counts {
-            acc += (c as f64).powf(power);
-            cumulative.push(acc);
-        }
-        if acc <= 0.0 {
-            return None;
-        }
-        Some(Self { cumulative })
+        let table = CumulativeTable::new(counts.iter().map(|&c| (c as f64).powf(power)))?;
+        Some(Self { table })
     }
 
     /// Standard word2vec table: `power = 0.75`.
@@ -37,35 +30,26 @@ impl UnigramTable {
     }
 
     /// Draw one word id.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
-        let total = *self.cumulative.last().expect("non-empty by construction");
-        let x = rng.gen_range(0.0..total);
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&x).expect("finite"))
-        {
-            Ok(i) => i + 1,
-            Err(i) => i,
-        }
-        .min(self.cumulative.len() - 1)
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> usize {
+        self.table.sample(rng)
     }
 
     /// Number of word ids covered (including zero-probability ones).
     pub fn len(&self) -> usize {
-        self.cumulative.len()
+        self.table.len()
     }
 
     /// True when the table covers no ids.
     pub fn is_empty(&self) -> bool {
-        self.cumulative.is_empty()
+        self.table.is_empty()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use credence_rng::rngs::StdRng;
+    use credence_rng::SeedableRng;
 
     #[test]
     fn all_zero_counts_rejected() {

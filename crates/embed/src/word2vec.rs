@@ -6,8 +6,8 @@
 //! it rewards *semantic* query–document affinity beyond exact term matches.
 //! SGNS vectors trained on the corpus give us exactly that signal.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use credence_rng::rngs::StdRng;
+use credence_rng::{Rng, SeedableRng};
 
 use crate::sampling::UnigramTable;
 use crate::vecmath::{axpy, cosine, dot, sigmoid};
@@ -89,9 +89,7 @@ impl Word2Vec {
                     let b = rng.gen_range(0..config.window.max(1));
                     let lo = pos.saturating_sub(config.window - b);
                     let hi = (pos + config.window - b + 1).min(sentence.len());
-                    for (ctx_pos, &context) in
-                        sentence.iter().enumerate().take(hi).skip(lo)
-                    {
+                    for (ctx_pos, &context) in sentence.iter().enumerate().take(hi).skip(lo) {
                         if ctx_pos == pos {
                             continue;
                         }

@@ -41,11 +41,7 @@ pub struct Document {
 
 impl Document {
     /// Construct a document.
-    pub fn new(
-        name: impl Into<String>,
-        title: impl Into<String>,
-        body: impl Into<String>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, title: impl Into<String>, body: impl Into<String>) -> Self {
         Self {
             name: name.into(),
             title: title.into(),

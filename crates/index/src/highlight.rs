@@ -58,12 +58,7 @@ pub struct Snippet {
 /// Select the best passage of at most `window` tokens by query-term density
 /// (ties resolve to the earliest passage). Returns the leading window when
 /// nothing matches, and `None` only for an empty body.
-pub fn best_snippet(
-    analyzer: Analyzer,
-    query: &str,
-    body: &str,
-    window: usize,
-) -> Option<Snippet> {
+pub fn best_snippet(analyzer: Analyzer, query: &str, body: &str, window: usize) -> Option<Snippet> {
     let tokens = tokenize(body);
     if tokens.is_empty() || window == 0 {
         return None;

@@ -173,10 +173,8 @@ mod tests {
 
     #[test]
     fn phrase_longer_than_document() {
-        let idx = InvertedIndex::build(
-            vec![Document::from_body("short text")],
-            Analyzer::english(),
-        );
+        let idx =
+            InvertedIndex::build(vec![Document::from_body("short text")], Analyzer::english());
         let terms = analyze_phrase(&idx, "short text").unwrap();
         assert_eq!(phrase_freq(&idx, DocId(0), &terms), 1);
         let long = analyze_phrase(&idx, "short text short text");

@@ -168,9 +168,7 @@ mod tests {
     #[test]
     fn heap_truncation_keeps_best_under_ties() {
         let idx = InvertedIndex::build(
-            (0..10)
-                .map(|_| Document::from_body("alpha beta"))
-                .collect(),
+            (0..10).map(|_| Document::from_body("alpha beta")).collect(),
             Analyzer::english(),
         );
         let q = idx.analyze_query("alpha");

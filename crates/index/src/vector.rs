@@ -48,11 +48,7 @@ impl SparseVector {
 
     /// Euclidean norm.
     pub fn norm(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|&(_, w)| w * w)
-            .sum::<f64>()
-            .sqrt()
+        self.entries.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt()
     }
 
     /// Dot product with another sparse vector (merge join).
@@ -106,12 +102,7 @@ pub fn bm25_adhoc_vector(
 ) -> SparseVector {
     let pairs = doc_terms
         .iter()
-        .map(|&(t, tf)| {
-            (
-                t,
-                bm25_term_weight(params, index.stats(), t, tf, doc_len),
-            )
-        })
+        .map(|&(t, tf)| (t, bm25_term_weight(params, index.stats(), t, tf, doc_len)))
         .collect();
     SparseVector::from_pairs(pairs)
 }

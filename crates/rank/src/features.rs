@@ -113,11 +113,7 @@ impl<'a, R: Ranker> FeatureRanker<'a, R> {
     }
 
     fn feature_score(&self, features: &[f64]) -> f64 {
-        self.weights
-            .iter()
-            .zip(features)
-            .map(|(w, f)| w * f)
-            .sum()
+        self.weights.iter().zip(features).map(|(w, f)| w * f).sum()
     }
 
     fn doc_features(&self, doc: DocId) -> &[f64] {

@@ -24,8 +24,8 @@ pub mod features;
 pub mod neural;
 pub mod ql;
 pub mod ranker;
-pub mod rm3;
 pub mod rerank;
+pub mod rm3;
 
 pub use bm25::Bm25Ranker;
 pub use eval::{average_precision, ndcg_at_k, precision_at_k, Qrels};
@@ -33,5 +33,5 @@ pub use features::{FeatureAwareRanker, FeatureRanker, FeatureSchema};
 pub use neural::{NeuralSimConfig, NeuralSimRanker};
 pub use ql::{QlSmoothing, QueryLikelihoodRanker};
 pub use ranker::Ranker;
-pub use rm3::{Rm3Config, Rm3Ranker};
 pub use rerank::{rank_corpus, rank_corpus_parallel, rerank_pool, PoolEntry, RankedList};
+pub use rm3::{Rm3Config, Rm3Ranker};

@@ -173,9 +173,7 @@ pub fn rerank_pool(
         .enumerate()
         .map(|(i, &doc)| {
             let (score, substituted) = match substitute {
-                Some((target, body)) if target == doc => {
-                    (ranker.score_text(query, body), true)
-                }
+                Some((target, body)) if target == doc => (ranker.score_text(query, body), true),
                 _ => (ranker.score_doc(query, doc), false),
             };
             PoolEntry {
@@ -271,7 +269,12 @@ mod tests {
         let list = rank_corpus(&r, "covid outbreak");
         let pool = list.top_k(3);
         let top = pool[0];
-        let rows = rerank_pool(&r, "covid outbreak", &pool, Some((top, "nothing relevant here")));
+        let rows = rerank_pool(
+            &r,
+            "covid outbreak",
+            &pool,
+            Some((top, "nothing relevant here")),
+        );
         let sub = rows.iter().find(|r| r.substituted).unwrap();
         assert_eq!(sub.doc, top);
         assert_eq!(sub.new_rank, pool.len());

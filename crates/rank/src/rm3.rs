@@ -62,7 +62,10 @@ pub struct Rm3Ranker<'a> {
 impl<'a> Rm3Ranker<'a> {
     /// Create an RM3 ranker over `index`.
     pub fn new(index: &'a InvertedIndex, config: Rm3Config) -> Self {
-        assert!((0.0..=1.0).contains(&config.alpha), "alpha must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&config.alpha),
+            "alpha must be in [0,1]"
+        );
         assert!(config.fb_docs > 0 && config.fb_terms > 0);
         Self { index, config }
     }
@@ -123,8 +126,7 @@ impl<'a> Rm3Ranker<'a> {
         }
         if fb_mass > 0.0 {
             for &(t, w) in &fb {
-                *combined.entry(t).or_insert(0.0) +=
-                    (1.0 - self.config.alpha) * (w / fb_mass);
+                *combined.entry(t).or_insert(0.0) += (1.0 - self.config.alpha) * (w / fb_mass);
             }
         }
         let mut terms: Vec<(TermId, f64)> = combined.into_iter().collect();
@@ -167,7 +169,11 @@ impl Ranker for Rm3Ranker<'_> {
 
     fn score_doc(&self, query: &str, doc: DocId) -> f64 {
         let expanded = self.expand(query);
-        self.score_expanded_counts(&expanded, self.index.doc_terms(doc), self.index.doc_len(doc))
+        self.score_expanded_counts(
+            &expanded,
+            self.index.doc_terms(doc),
+            self.index.doc_len(doc),
+        )
     }
 
     fn score_text(&self, query: &str, body: &str) -> f64 {
@@ -222,10 +228,7 @@ mod tests {
         // Weights are normalised-ish and descending.
         let total: f64 = expanded.terms.iter().map(|&(_, w)| w).sum();
         assert!((total - 1.0).abs() < 1e-9, "mass {total}");
-        assert!(expanded
-            .terms
-            .windows(2)
-            .all(|w| w[0].1 >= w[1].1));
+        assert!(expanded.terms.windows(2).all(|w| w[0].1 >= w[1].1));
     }
 
     #[test]

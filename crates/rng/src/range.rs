@@ -1,0 +1,156 @@
+//! Uniform sampling over standard range types, backing
+//! [`crate::Rng::gen_range`].
+//!
+//! Integer ranges use Lemire's unbiased bounded draw; float ranges use the
+//! `lo + u·(hi−lo)` affine map of a 53-bit (f64) / 24-bit (f32) uniform in
+//! `[0, 1)`, matching what the former `rand` dependency did in practice.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::{Rng, RngCore};
+
+/// A range that a uniform value of type `T` can be drawn from.
+///
+/// Implemented for `Range` and `RangeInclusive` over the integer types the
+/// codebase uses, and `Range` over `f32`/`f64`. Empty ranges panic, like
+/// `rand::Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Draw one uniform value from `self`.
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty => $as_u64:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                // Width as u64 of the unsigned distance; fits because the
+                // widest supported type is 64-bit.
+                let width = (self.end as $as_u64).wrapping_sub(self.start as $as_u64) as u64;
+                let off = rng.gen_below(width);
+                ((self.start as $as_u64).wrapping_add(off as $as_u64)) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let width = (end as $as_u64).wrapping_sub(start as $as_u64) as u64;
+                if width == u64::MAX {
+                    // Full-domain inclusive range: every bit pattern valid.
+                    return rng.next_u64() as $t;
+                }
+                let off = rng.gen_below(width + 1);
+                ((start as $as_u64).wrapping_add(off as $as_u64)) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(
+    u8 => u64,
+    u16 => u64,
+    u32 => u64,
+    u64 => u64,
+    usize => u64,
+    i8 => i64,
+    i16 => i64,
+    i32 => i64,
+    i64 => i64,
+    isize => i64,
+);
+
+macro_rules! impl_float_range {
+    ($($t:ty => $unit:ident),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                assert!(
+                    self.start.is_finite() && self.end.is_finite(),
+                    "gen_range: non-finite bound"
+                );
+                let u = rng.$unit();
+                let x = self.start + u * (self.end - self.start);
+                // Guard the open upper bound against rounding in the affine
+                // map (can only trigger for extreme ranges).
+                if x >= self.end {
+                    <$t>::midpoint(self.start, self.end)
+                } else {
+                    x
+                }
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32 => gen_f32, f64 => gen_f64);
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn int_range_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let z = rng.gen_range(0u32..1);
+            assert_eq!(z, 0);
+        }
+    }
+
+    #[test]
+    fn inclusive_range_reaches_both_ends() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..=3)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..=3 should appear");
+    }
+
+    #[test]
+    fn float_range_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-2.5f64..7.5);
+            assert!((-2.5..7.5).contains(&x));
+            let y = rng.gen_range(-0.125f32..0.125);
+            assert!((-0.125..0.125).contains(&y));
+        }
+    }
+
+    #[test]
+    fn negative_int_ranges() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-100i32..-50);
+            assert!((-100..-50).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let _ = rng.gen_range(5usize..5);
+    }
+
+    #[test]
+    fn int_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut hits = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            hits[rng.gen_range(0usize..10)] += 1;
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            let dev = (h as f64 - (n / 10) as f64).abs() / (n / 10) as f64;
+            assert!(dev < 0.05, "bucket {i}: {h}");
+        }
+    }
+}

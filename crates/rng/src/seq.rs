@@ -1,0 +1,110 @@
+//! Slice utilities: shuffling and choosing, mirroring `rand::seq`.
+
+use crate::{Rng, RngCore};
+
+/// Random operations on slices, in the shape of `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place: a uniform draw over all `len!`
+    /// permutations, deterministic under the generator's seed.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly chosen element, or `None` when empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        // Durstenfeld's variant: swap each suffix head with a uniform pick
+        // from the remaining prefix (inclusive of itself).
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_below(i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.gen_below(self.len() as u64) as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut v: Vec<u32> = (0..200).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..200).collect::<Vec<u32>>());
+        assert_ne!(v, (0..200).collect::<Vec<u32>>(), "should actually move");
+    }
+
+    #[test]
+    fn shuffle_deterministic_under_seed() {
+        let shuffled = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut v: Vec<u32> = (0..50).collect();
+            v.shuffle(&mut rng);
+            v
+        };
+        assert_eq!(shuffled(9), shuffled(9));
+        assert_ne!(shuffled(9), shuffled(10));
+    }
+
+    #[test]
+    fn shuffle_visits_all_positions() {
+        // Element 0 should land roughly uniformly across indices.
+        let mut rng = StdRng::seed_from_u64(22);
+        let n = 10usize;
+        let trials = 20_000;
+        let mut pos_counts = vec![0usize; n];
+        for _ in 0..trials {
+            let mut v: Vec<usize> = (0..n).collect();
+            v.shuffle(&mut rng);
+            let p = v.iter().position(|&x| x == 0).unwrap();
+            pos_counts[p] += 1;
+        }
+        let expected = trials / n;
+        for (i, &c) in pos_counts.iter().enumerate() {
+            let dev = (c as f64 - expected as f64).abs() / expected as f64;
+            assert!(dev < 0.1, "position {i}: {c} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn trivial_shuffles_are_noops() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut empty: [u8; 0] = [];
+        empty.shuffle(&mut rng);
+        let mut one = [7u8];
+        one.shuffle(&mut rng);
+        assert_eq!(one, [7]);
+    }
+
+    #[test]
+    fn choose_covers_and_respects_empty() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let items = [1u8, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[(*items.choose(&mut rng).unwrap() - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,169 @@
+//! Weighted / categorical sampling.
+//!
+//! Two entry points:
+//!
+//! * [`sample_weighted`] — one-shot draw proportional to a weight slice
+//!   (linear scan; right for distributions that change every draw, like
+//!   LDA's collapsed Gibbs conditional).
+//! * [`CumulativeTable`] — precomputed cumulative sums with binary-search
+//!   draws (O(log n); right for fixed distributions sampled many times,
+//!   like word2vec's unigram^0.75 negative-sampling table).
+
+use crate::{Rng, RngCore};
+
+/// Draw an index with probability proportional to `weights[i]`.
+///
+/// Negative, NaN, and infinite weights are treated as zero. Returns `None`
+/// when the total mass is zero (including the empty slice).
+pub fn sample_weighted<G: RngCore + ?Sized>(rng: &mut G, weights: &[f64]) -> Option<usize> {
+    let total: f64 = weights
+        .iter()
+        .copied()
+        .filter(|w| w.is_finite() && *w > 0.0)
+        .sum();
+    if !(total > 0.0) || !total.is_finite() {
+        return None;
+    }
+    let mut x = rng.gen_range(0.0..total);
+    let mut last_positive = None;
+    for (i, &w) in weights.iter().enumerate() {
+        if w.is_finite() && w > 0.0 {
+            last_positive = Some(i);
+            x -= w;
+            if x < 0.0 {
+                return Some(i);
+            }
+        }
+    }
+    // Floating-point slack can leave a sliver of mass unconsumed; assign it
+    // to the last positive-weight index.
+    last_positive
+}
+
+/// Draw an index from a *cumulative* weight slice (non-decreasing, as built
+/// by LDA's conditional accumulation). Returns the first index `i` with
+/// `cumulative[i] > x` for a uniform `x` in `[0, total)`.
+pub fn sample_cumulative<G: RngCore + ?Sized>(rng: &mut G, cumulative: &[f64]) -> Option<usize> {
+    let &total = cumulative.last()?;
+    if !(total > 0.0) || !total.is_finite() {
+        return None;
+    }
+    let x = rng.gen_range(0.0..total);
+    Some(
+        cumulative
+            .partition_point(|&c| c <= x)
+            .min(cumulative.len() - 1),
+    )
+}
+
+/// A fixed categorical distribution: cumulative sums + binary search.
+#[derive(Debug, Clone)]
+pub struct CumulativeTable {
+    cumulative: Vec<f64>,
+}
+
+impl CumulativeTable {
+    /// Build from non-negative weights. Returns `None` when the total mass
+    /// is zero or non-finite.
+    pub fn new(weights: impl IntoIterator<Item = f64>) -> Option<Self> {
+        let mut cumulative = Vec::new();
+        let mut acc = 0.0f64;
+        for w in weights {
+            if w.is_finite() && w > 0.0 {
+                acc += w;
+            }
+            cumulative.push(acc);
+        }
+        if acc > 0.0 && acc.is_finite() {
+            Some(Self { cumulative })
+        } else {
+            None
+        }
+    }
+
+    /// Draw one index, in O(log n).
+    pub fn sample<G: RngCore + ?Sized>(&self, rng: &mut G) -> usize {
+        let total = *self.cumulative.last().expect("non-empty by construction");
+        let x = rng.gen_range(0.0..total);
+        // partition_point finds the first strictly-greater cumulative sum,
+        // which skips zero-weight entries (their cumulative equals the
+        // previous entry's).
+        self.cumulative
+            .partition_point(|&c| c <= x)
+            .min(self.cumulative.len() - 1)
+    }
+
+    /// Number of categories (including zero-weight ones).
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when the table covers no categories.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn table_rejects_degenerate_weights() {
+        assert!(CumulativeTable::new([]).is_none());
+        assert!(CumulativeTable::new([0.0, 0.0]).is_none());
+        assert!(CumulativeTable::new([f64::NAN]).is_none());
+        assert!(CumulativeTable::new([f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn table_never_draws_zero_weight() {
+        let table = CumulativeTable::new([2.0, 0.0, 2.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..5000 {
+            assert_ne!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn table_matches_proportions() {
+        let table = CumulativeTable::new([1.0, 4.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut hits = [0usize; 2];
+        for _ in 0..50_000 {
+            hits[table.sample(&mut rng)] += 1;
+        }
+        let ratio = hits[1] as f64 / hits[0] as f64;
+        assert!((ratio - 4.0).abs() < 0.4, "ratio {ratio} should be near 4");
+    }
+
+    #[test]
+    fn cumulative_draw_agrees_with_table() {
+        let weights = [0.5, 1.5, 3.0];
+        let cumulative: Vec<f64> = weights
+            .iter()
+            .scan(0.0, |acc, &w| {
+                *acc += w;
+                Some(*acc)
+            })
+            .collect();
+        let mut a = StdRng::seed_from_u64(33);
+        let mut b = StdRng::seed_from_u64(33);
+        let table = CumulativeTable::new(weights).unwrap();
+        for _ in 0..1000 {
+            assert_eq!(
+                sample_cumulative(&mut a, &cumulative),
+                Some(table.sample(&mut b))
+            );
+        }
+    }
+
+    #[test]
+    fn sample_cumulative_handles_empty() {
+        let mut rng = StdRng::seed_from_u64(34);
+        assert_eq!(sample_cumulative(&mut rng, &[]), None);
+        assert_eq!(sample_cumulative(&mut rng, &[0.0]), None);
+    }
+}

@@ -31,9 +31,7 @@ fn main() -> ExitCode {
             },
             "--ranker" => match args.next().as_deref().and_then(RankerChoice::parse) {
                 Some(r) => ranker = r,
-                None => {
-                    return usage("--ranker must be bm25 | ql | ql-jm | rm3 | neural")
-                }
+                None => return usage("--ranker must be bm25 | ql | ql-jm | rm3 | neural"),
             },
             "--help" | "-h" => {
                 println!(

@@ -81,7 +81,9 @@ pub fn read_request<R: Read>(stream: R) -> Result<Request, HttpError> {
         .next()
         .ok_or(HttpError::Malformed("missing path"))?
         .to_string();
-    let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing version"))?;
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed("unsupported HTTP version"));
     }
@@ -219,16 +221,16 @@ mod tests {
     #[test]
     fn header_names_lowercased() {
         let req = parse("GET / HTTP/1.1\r\nX-THING: Value\r\n\r\n").unwrap();
-        assert_eq!(req.headers.get("x-thing").map(String::as_str), Some("Value"));
+        assert_eq!(
+            req.headers.get("x-thing").map(String::as_str),
+            Some("Value")
+        );
     }
 
     #[test]
     fn rejects_malformed() {
         assert!(matches!(parse(""), Err(HttpError::UnexpectedEof)));
-        assert!(matches!(
-            parse("GET\r\n\r\n"),
-            Err(HttpError::Malformed(_))
-        ));
+        assert!(matches!(parse("GET\r\n\r\n"), Err(HttpError::Malformed(_))));
         assert!(matches!(
             parse("GET / SPDY/3\r\n\r\n"),
             Err(HttpError::Malformed(_))
@@ -261,7 +263,9 @@ mod tests {
     #[test]
     fn response_serialises() {
         let mut out = Vec::new();
-        Response::json(200, r#"{"ok":true}"#).write_to(&mut out).unwrap();
+        Response::json(200, r#"{"ok":true}"#)
+            .write_to(&mut out)
+            .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("content-type: application/json\r\n"));
@@ -271,7 +275,11 @@ mod tests {
 
     #[test]
     fn response_status_reasons() {
-        for (status, reason) in [(404, "Not Found"), (422, "Unprocessable Entity"), (599, "Unknown")] {
+        for (status, reason) in [
+            (404, "Not Found"),
+            (422, "Unprocessable Entity"),
+            (599, "Unknown"),
+        ] {
             let mut out = Vec::new();
             Response::text(status, "x").write_to(&mut out).unwrap();
             let text = String::from_utf8(out).unwrap();

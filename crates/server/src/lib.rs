@@ -33,4 +33,4 @@ pub mod server;
 pub mod service;
 
 pub use server::{Server, ServerHandle};
-pub use service::{AppState, handle_request};
+pub use service::{handle_request, AppState};

@@ -71,9 +71,7 @@ impl Server {
                 }
                 match conn {
                     Ok(stream) => {
-                        std::thread::spawn(move ||
-
-                            handle_connection(state, stream));
+                        std::thread::spawn(move || handle_connection(state, stream));
                     }
                     Err(_) => continue,
                 }
@@ -108,10 +106,7 @@ fn handle_connection(state: &'static AppState, stream: TcpStream) {
     };
     let response = match read_request(peer_stream) {
         Ok(request) => handle_request(state, &request),
-        Err(err) => Response::json(
-            400,
-            format!(r#"{{"error":"{err}"}}"#),
-        ),
+        Err(err) => Response::json(400, format!(r#"{{"error":"{err}"}}"#)),
     };
     let _ = response.write_to(&stream);
     let _ = stream.shutdown(std::net::Shutdown::Both);

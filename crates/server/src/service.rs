@@ -7,8 +7,8 @@ use credence_core::{
 use credence_index::{Bm25Params, DocId, Document, InvertedIndex};
 use credence_json::{obj, parse, to_string, Value};
 use credence_rank::{
-    Bm25Ranker, NeuralSimConfig, NeuralSimRanker, PoolEntry, QlSmoothing,
-    QueryLikelihoodRanker, Ranker, Rm3Config, Rm3Ranker,
+    Bm25Ranker, NeuralSimConfig, NeuralSimRanker, PoolEntry, QlSmoothing, QueryLikelihoodRanker,
+    Ranker, Rm3Config, Rm3Ranker,
 };
 use credence_text::Analyzer;
 
@@ -79,9 +79,7 @@ impl AppState {
                 index,
                 QlSmoothing::JelinekMercer { lambda: 0.5 },
             ))),
-            RankerChoice::Rm3 => {
-                Box::leak(Box::new(Rm3Ranker::new(index, Rm3Config::default())))
-            }
+            RankerChoice::Rm3 => Box::leak(Box::new(Rm3Ranker::new(index, Rm3Config::default()))),
             RankerChoice::Neural => Box::leak(Box::new(NeuralSimRanker::train(
                 index,
                 NeuralSimConfig::default(),
@@ -117,8 +115,7 @@ fn json_body(req: &Request) -> Result<Value, Response> {
     let text = req
         .body_utf8()
         .ok_or_else(|| error_response(400, "body is not UTF-8"))?;
-    let value =
-        parse(text).map_err(|e| error_response(400, format!("invalid JSON: {e}")))?;
+    let value = parse(text).map_err(|e| error_response(400, format!("invalid JSON: {e}")))?;
     if value.as_object().is_none() {
         return Err(error_response(400, "body must be a JSON object"));
     }
@@ -287,9 +284,7 @@ fn sentence_removal(state: &AppState, req: &Request) -> Response {
                     obj([
                         (
                             "removed_sentences",
-                            Value::Array(
-                                e.removed.iter().map(|&i| Value::from(i)).collect(),
-                            ),
+                            Value::Array(e.removed.iter().map(|&i| Value::from(i)).collect()),
                         ),
                         (
                             "removed_text",
@@ -311,7 +306,10 @@ fn sentence_removal(state: &AppState, req: &Request) -> Response {
                 200,
                 to_string(&obj([
                     ("old_rank", Value::from(result.old_rank)),
-                    ("candidates_evaluated", Value::from(result.candidates_evaluated)),
+                    (
+                        "candidates_evaluated",
+                        Value::from(result.candidates_evaluated),
+                    ),
                     ("explanations", Value::Array(explanations)),
                 ])),
             )
@@ -357,9 +355,7 @@ fn query_augmentation(state: &AppState, req: &Request) -> Response {
                     obj([
                         (
                             "terms",
-                            Value::Array(
-                                e.terms.iter().map(|t| Value::from(t.as_str())).collect(),
-                            ),
+                            Value::Array(e.terms.iter().map(|t| Value::from(t.as_str())).collect()),
                         ),
                         ("augmented_query", Value::from(e.augmented_query.as_str())),
                         ("tfidf", Value::from(e.tfidf)),
@@ -372,7 +368,10 @@ fn query_augmentation(state: &AppState, req: &Request) -> Response {
                 200,
                 to_string(&obj([
                     ("old_rank", Value::from(result.old_rank)),
-                    ("candidates_evaluated", Value::from(result.candidates_evaluated)),
+                    (
+                        "candidates_evaluated",
+                        Value::from(result.candidates_evaluated),
+                    ),
                     ("explanations", Value::Array(explanations)),
                 ])),
             )
@@ -449,10 +448,7 @@ fn instance_json(explanations: &[credence_core::InstanceExplanation]) -> Value {
                 obj([
                     ("doc", Value::from(e.doc.0)),
                     ("similarity", Value::from(e.similarity)),
-                    (
-                        "rank",
-                        e.rank.map(Value::from).unwrap_or(Value::Null),
-                    ),
+                    ("rank", e.rank.map(Value::from).unwrap_or(Value::Null)),
                 ])
             })
             .collect(),
@@ -476,10 +472,7 @@ fn doc2vec_nearest(state: &AppState, req: &Request) -> Response {
         Ok(n) => n,
         Err(r) => return r,
     };
-    match state
-        .engine
-        .doc2vec_nearest(query, k, DocId(doc as u32), n)
-    {
+    match state.engine.doc2vec_nearest(query, k, DocId(doc as u32), n) {
         Err(e) => explain_error_response(e),
         Ok(out) => Response::json(
             200,
@@ -586,12 +579,7 @@ fn snippet(state: &AppState, req: &Request) -> Response {
         Ok((highlights, snippet)) => {
             let spans: Vec<Value> = highlights
                 .iter()
-                .map(|h| {
-                    obj([
-                        ("start", Value::from(h.start)),
-                        ("end", Value::from(h.end)),
-                    ])
-                })
+                .map(|h| obj([("start", Value::from(h.start)), ("end", Value::from(h.end))]))
                 .collect();
             let snippet_json = match snippet {
                 None => Value::Null,
@@ -651,9 +639,7 @@ fn rerank(state: &AppState, req: &Request) -> Response {
         get_str(&body, "body"),
     ) {
         (Ok(q), Ok(k), Ok(d), Ok(b)) => (q, k, d, b),
-        (Err(r), _, _, _) | (_, Err(r), _, _) | (_, _, Err(r), _) | (_, _, _, Err(r)) => {
-            return r
-        }
+        (Err(r), _, _, _) | (_, Err(r), _, _) | (_, _, Err(r), _) | (_, _, _, Err(r)) => return r,
     };
     match state
         .engine
@@ -717,7 +703,11 @@ mod tests {
                 "Harbor drills",
                 "Outbreak drills continue at the harbor facility through the weekend shift.",
             ),
-            Document::new("n6", "Gardens", "The garden show opens to record spring crowds."),
+            Document::new(
+                "n6",
+                "Gardens",
+                "The garden show opens to record spring crowds.",
+            ),
         ]
     }
 
@@ -771,11 +761,8 @@ mod tests {
 
     #[test]
     fn state_with_alternative_ranker_serves() {
-        let state = AppState::leak_with(
-            demo_docs(),
-            EngineConfig::fast(),
-            RankerChoice::QlDirichlet,
-        );
+        let state =
+            AppState::leak_with(demo_docs(), EngineConfig::fast(), RankerChoice::QlDirichlet);
         let req = Request {
             method: "POST".into(),
             path: "/rank".into(),
@@ -810,7 +797,12 @@ mod tests {
         let resp = get("/doc/2");
         assert_eq!(resp.status, 200);
         let v = body_json(&resp);
-        assert!(v.get("body").unwrap().as_str().unwrap().contains("microchip"));
+        assert!(v
+            .get("body")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("microchip"));
 
         assert_eq!(get("/doc/99").status, 404);
         assert_eq!(get("/doc/zebra").status, 400);
@@ -918,10 +910,7 @@ mod tests {
         );
         assert_eq!(resp.status, 200);
         let v = body_json(&resp);
-        assert_eq!(
-            v.get("explanations").unwrap().as_array().unwrap().len(),
-            1
-        );
+        assert_eq!(v.get("explanations").unwrap().as_array().unwrap().len(), 1);
 
         let resp = post(
             "/explain/cosine-sampled",
@@ -935,7 +924,10 @@ mod tests {
 
     #[test]
     fn topics_endpoint() {
-        let resp = post("/topics", r#"{"query": "covid outbreak", "k": 3, "num_topics": 2}"#);
+        let resp = post(
+            "/topics",
+            r#"{"query": "covid outbreak", "k": 3, "num_topics": 2}"#,
+        );
         assert_eq!(resp.status, 200);
         let v = body_json(&resp);
         assert_eq!(v.get("topics").unwrap().as_array().unwrap().len(), 2);
@@ -954,17 +946,33 @@ mod tests {
         assert_eq!(v.get("new_rank").unwrap().as_u64(), Some(4));
         let rows = v.get("rows").unwrap().as_array().unwrap();
         assert_eq!(rows.len(), 4, "pool of k+1 documents");
-        assert!(rows.iter().any(|r| r.get("substituted").unwrap().as_bool() == Some(true)));
+        assert!(rows
+            .iter()
+            .any(|r| r.get("substituted").unwrap().as_bool() == Some(true)));
     }
 
     #[test]
     fn snippet_endpoint() {
-        let resp = post("/snippet", r#"{"query": "covid outbreak", "doc": 2, "window": 8}"#);
+        let resp = post(
+            "/snippet",
+            r#"{"query": "covid outbreak", "doc": 2, "window": 8}"#,
+        );
         assert_eq!(resp.status, 200);
         let v = body_json(&resp);
         assert!(!v.get("highlights").unwrap().as_array().unwrap().is_empty());
-        assert!(v.get("snippet").unwrap().get("hits").unwrap().as_u64().unwrap() > 0);
-        assert_eq!(post("/snippet", r#"{"query": "covid", "doc": 999}"#).status, 404);
+        assert!(
+            v.get("snippet")
+                .unwrap()
+                .get("hits")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                > 0
+        );
+        assert_eq!(
+            post("/snippet", r#"{"query": "covid", "doc": 999}"#).status,
+            404
+        );
     }
 
     #[test]

@@ -77,7 +77,10 @@ impl Analyzer {
 
     /// Analyse `text` into terms.
     pub fn analyze(&self, text: &str) -> Vec<String> {
-        self.analyze_tokens(text).into_iter().map(|t| t.term).collect()
+        self.analyze_tokens(text)
+            .into_iter()
+            .map(|t| t.term)
+            .collect()
     }
 
     /// Analyse `text` keeping token offsets. The `term` field of each token

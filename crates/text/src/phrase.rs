@@ -62,7 +62,9 @@ pub fn find_collocations(sequences: &[Vec<String>], config: &PhraseConfig) -> Ve
             total += 1;
         }
         for pair in seq.windows(2) {
-            *bigrams.entry((pair[0].as_str(), pair[1].as_str())).or_insert(0) += 1;
+            *bigrams
+                .entry((pair[0].as_str(), pair[1].as_str()))
+                .or_insert(0) += 1;
         }
     }
     if total == 0 {

@@ -198,10 +198,7 @@ mod tests {
     fn basic_split() {
         let s = split_sentences("First sentence. Second sentence! Third?");
         let texts: Vec<&str> = s.iter().map(|s| s.text.as_str()).collect();
-        assert_eq!(
-            texts,
-            vec!["First sentence.", "Second sentence!", "Third?"]
-        );
+        assert_eq!(texts, vec!["First sentence.", "Second sentence!", "Third?"]);
     }
 
     #[test]

@@ -94,8 +94,7 @@ impl Stemmer {
 
     /// cvc pattern ending at `i`, where the final c is not w, x, or y.
     fn cvc(&self, i: usize) -> bool {
-        if i < 2 || !self.is_consonant(i) || self.is_consonant(i - 1) || !self.is_consonant(i - 2)
-        {
+        if i < 2 || !self.is_consonant(i) || self.is_consonant(i - 1) || !self.is_consonant(i - 2) {
             return false;
         }
         !matches!(self.b[i], b'w' | b'x' | b'y')
@@ -224,8 +223,8 @@ impl Stemmer {
 
     fn step4(&mut self) {
         const SUFFIXES: &[&str] = &[
-            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
-            "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou",
+            "ism", "ate", "iti", "ous", "ive", "ize",
         ];
         // "ion" requires a preceding s or t.
         if self.ends_with("ion") {
@@ -381,7 +380,13 @@ mod tests {
 
     #[test]
     fn stemming_is_idempotent_on_common_words() {
-        for w in ["ranking", "documents", "queries", "explanations", "counterfactual"] {
+        for w in [
+            "ranking",
+            "documents",
+            "queries",
+            "explanations",
+            "counterfactual",
+        ] {
             let once = porter_stem(w);
             let twice = porter_stem(&once);
             // Porter is not idempotent in general, but these common cases are.

@@ -116,8 +116,7 @@ mod tests {
         let mut v = Vocabulary::new();
         v.intern("x");
         v.intern("y");
-        let collected: Vec<(TermId, String)> =
-            v.iter().map(|(i, t)| (i, t.to_string())).collect();
+        let collected: Vec<(TermId, String)> = v.iter().map(|(i, t)| (i, t.to_string())).collect();
         assert_eq!(collected, vec![(0, "x".to_string()), (1, "y".to_string())]);
     }
 

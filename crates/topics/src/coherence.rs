@@ -16,10 +16,7 @@ pub fn umass_coherence(top_words: &[usize], docs: &[Vec<usize>]) -> f64 {
     if top_words.len() < 2 {
         return 0.0;
     }
-    let doc_sets: Vec<HashSet<usize>> = docs
-        .iter()
-        .map(|d| d.iter().copied().collect())
-        .collect();
+    let doc_sets: Vec<HashSet<usize>> = docs.iter().map(|d| d.iter().copied().collect()).collect();
     let df = |w: usize| doc_sets.iter().filter(|s| s.contains(&w)).count();
     let co_df = |a: usize, b: usize| {
         doc_sets
@@ -51,13 +48,7 @@ mod tests {
     #[test]
     fn coherent_words_beat_incoherent() {
         // words 0,1 always co-occur; word 2 never appears with them.
-        let docs = vec![
-            vec![0, 1],
-            vec![0, 1],
-            vec![0, 1],
-            vec![2, 3],
-            vec![2, 3],
-        ];
+        let docs = vec![vec![0, 1], vec![0, 1], vec![0, 1], vec![2, 3], vec![2, 3]];
         let coherent = umass_coherence(&[0, 1], &docs);
         let incoherent = umass_coherence(&[0, 2], &docs);
         assert!(

@@ -12,8 +12,8 @@
 //! Deterministic under a seed; count invariants are asserted in tests and
 //! exposed for property testing.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use credence_rng::rngs::StdRng;
+use credence_rng::{Rng, SeedableRng};
 
 /// Hyper-parameters for LDA.
 #[derive(Debug, Clone)]
@@ -96,7 +96,8 @@ impl LdaModel {
                     doc_topic[d * k + old] -= 1;
                     topic_total[old] -= 1;
 
-                    // Collapsed conditional.
+                    // Collapsed conditional, accumulated in place so the
+                    // categorical draw is one binary search over `probs`.
                     let mut acc = 0.0;
                     for (t, p) in probs.iter_mut().enumerate() {
                         let val = (doc_topic[d * k + t] as f64 + config.alpha)
@@ -105,8 +106,8 @@ impl LdaModel {
                         acc += val;
                         *p = acc;
                     }
-                    let x = rng.gen_range(0.0..acc);
-                    let new = probs.partition_point(|&c| c <= x).min(k - 1);
+                    let new = credence_rng::weighted::sample_cumulative(&mut rng, &probs)
+                        .expect("positive mass: alpha/beta priors are positive");
 
                     assignments[d][i] = new;
                     topic_word[new * vocab_size + w] += 1;

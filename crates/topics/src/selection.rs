@@ -47,8 +47,11 @@ pub fn select_num_topics(
         } else {
             (0..k)
                 .map(|t| {
-                    let words: Vec<usize> =
-                        model.top_words(t, top_words).into_iter().map(|(w, _)| w).collect();
+                    let words: Vec<usize> = model
+                        .top_words(t, top_words)
+                        .into_iter()
+                        .map(|(w, _)| w)
+                        .collect();
                     umass_coherence(&words, docs)
                 })
                 .sum::<f64>()

@@ -50,7 +50,10 @@ fn main() {
     for e in &qa.explanations {
         println!("  {:<40} -> rank {}", e.augmented_query, e.new_rank);
     }
-    println!("  top distinguishing terms (TF-IDF within the top-{}):", demo.k);
+    println!(
+        "  top distinguishing terms (TF-IDF within the top-{}):",
+        demo.k
+    );
     for c in qa.candidates.iter().take(5) {
         println!("    {:<12} tf-idf {:.2}", c.surface, c.tfidf);
     }

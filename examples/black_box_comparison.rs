@@ -13,8 +13,8 @@ use credence_core::{explain_sentence_removal, SentenceRemovalConfig};
 use credence_corpus::covid_demo_corpus;
 use credence_index::{Bm25Params, DocId, InvertedIndex};
 use credence_rank::{
-    rank_corpus, Bm25Ranker, NeuralSimConfig, NeuralSimRanker, QlSmoothing,
-    QueryLikelihoodRanker, Ranker, Rm3Config, Rm3Ranker,
+    rank_corpus, Bm25Ranker, NeuralSimConfig, NeuralSimRanker, QlSmoothing, QueryLikelihoodRanker,
+    Ranker, Rm3Config, Rm3Ranker,
 };
 use credence_text::Analyzer;
 
@@ -47,11 +47,7 @@ fn main() {
             &SentenceRemovalConfig::default(),
         )
         .expect("explainable");
-        print!(
-            "{:<12} rank {:>2}/{k}  ",
-            model.name(),
-            rank
-        );
+        print!("{:<12} rank {:>2}/{k}  ", model.name(), rank);
         match result.explanations.first() {
             None => println!("no counterfactual within budget"),
             Some(e) => println!(

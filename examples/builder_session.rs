@@ -29,12 +29,7 @@ fn main() {
     // 2. BROWSE TOPICS across the ranked documents.
     println!("\n### BROWSE TOPICS (LDA over the top-{k})");
     for topic in engine.topics(query, k, 3).expect("topics") {
-        let terms: Vec<String> = topic
-            .terms
-            .iter()
-            .take(6)
-            .map(|(t, _)| t.clone())
-            .collect();
+        let terms: Vec<String> = topic.terms.iter().take(6).map(|(t, _)| t.clone()).collect();
         println!(
             "  topic {} (weight {:.2}): {}",
             topic.topic,
@@ -49,7 +44,10 @@ fn main() {
         Edit::replace("covid-19", "flu"),
         Edit::replace("outbreak", "the flu"),
     ];
-    println!("\n### EDIT document [{}]:", index.document(fake).unwrap().name);
+    println!(
+        "\n### EDIT document [{}]:",
+        index.document(fake).unwrap().name
+    );
     println!("  replace 'covid'    -> 'flu'");
     println!("  replace 'covid-19' -> 'flu'");
     println!("  replace 'outbreak' -> 'the flu'");
@@ -58,7 +56,11 @@ fn main() {
     let outcome = engine
         .builder_edits(query, k, fake, &edits)
         .expect("builder outcome");
-    println!("\n### RE-RANK (top {} pool, incl. revealed rank-{} doc)", k + 1, k + 1);
+    println!(
+        "\n### RE-RANK (top {} pool, incl. revealed rank-{} doc)",
+        k + 1,
+        k + 1
+    );
     for row in &outcome.rows {
         let arrow = match row.movement() {
             m if m < 0 => "\u{2191}", // raised
@@ -88,7 +90,11 @@ fn main() {
     }
     println!(
         "\n  {} valid counterfactual: rank {} -> {} (k = {k})",
-        if outcome.valid { "\u{2713}" } else { "\u{2717}" },
+        if outcome.valid {
+            "\u{2713}"
+        } else {
+            "\u{2717}"
+        },
         outcome.old_rank,
         outcome.new_rank
     );

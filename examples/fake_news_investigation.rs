@@ -6,9 +6,7 @@
 //! cargo run --example fake_news_investigation
 //! ```
 
-use credence_core::{
-    CredenceEngine, EngineConfig, QueryAugmentationConfig, SentenceRemovalConfig,
-};
+use credence_core::{CredenceEngine, EngineConfig, QueryAugmentationConfig, SentenceRemovalConfig};
 use credence_corpus::covid_demo_corpus;
 use credence_index::{Bm25Params, DocId, InvertedIndex};
 use credence_rank::Bm25Ranker;
@@ -18,7 +16,10 @@ fn main() {
     let demo = covid_demo_corpus();
     let index = InvertedIndex::build(demo.docs.clone(), Analyzer::english());
     let ranker = Bm25Ranker::new(&index, Bm25Params::default());
-    println!("indexed {} documents; training doc2vec...", index.num_docs());
+    println!(
+        "indexed {} documents; training doc2vec...",
+        index.num_docs()
+    );
     let engine = CredenceEngine::new(&ranker, EngineConfig::default());
 
     let (query, k) = (demo.query, demo.k);
@@ -27,7 +28,11 @@ fn main() {
     // -- The premise: the article ranks 3/10. -----------------------------
     println!("\n### Ranking for {query:?}, k = {k}");
     for row in engine.rank(query, k) {
-        let marker = if row.doc == fake { "  <-- fake news" } else { "" };
+        let marker = if row.doc == fake {
+            "  <-- fake news"
+        } else {
+            ""
+        };
         println!("  {:>2}. [{}] {}{}", row.rank, row.name, row.title, marker);
     }
 
@@ -71,7 +76,12 @@ fn main() {
         )
         .expect("augmentable");
     for e in &qa.explanations {
-        println!("  {:<42} rank {} -> {}", format!("{:?}", e.augmented_query), e.old_rank, e.new_rank);
+        println!(
+            "  {:<42} rank {} -> {}",
+            format!("{:?}", e.augmented_query),
+            e.old_rank,
+            e.new_rank
+        );
     }
     println!("  top candidate terms by TF-IDF within the top-{k}:");
     for c in qa.candidates.iter().take(5) {

@@ -44,9 +44,7 @@ fn main() {
     // including ones absent from the original top-10.
     let reformulated = "covid outbreak 5g microchip tracking";
     println!("\n### Reformulated search: {reformulated:?}");
-    let original_top: Vec<DocId> = engine
-        .full_ranking(demo.query)
-        .top_k(demo.k);
+    let original_top: Vec<DocId> = engine.full_ranking(demo.query).top_k(demo.k);
     for row in engine.rank(reformulated, 5) {
         let newly_surfaced = !original_top.contains(&row.doc);
         println!(
@@ -54,7 +52,11 @@ fn main() {
             row.rank,
             row.name,
             row.title,
-            if newly_surfaced { "  <-- not in the original top-10" } else { "" }
+            if newly_surfaced {
+                "  <-- not in the original top-10"
+            } else {
+                ""
+            }
         );
     }
 

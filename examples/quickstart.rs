@@ -36,7 +36,11 @@ fn main() {
             "Harbor drills",
             "Outbreak drills continue at the harbor facility through the weekend.",
         ),
-        Document::new("garden", "Garden fair", "The garden fair draws a record crowd."),
+        Document::new(
+            "garden",
+            "Garden fair",
+            "The garden fair draws a record crowd.",
+        ),
     ];
 
     // 2. Index + black-box ranker + engine.
@@ -49,7 +53,10 @@ fn main() {
     let k = 3;
     println!("== Ranking for {query:?} (k = {k}) ==");
     for row in engine.rank(query, k) {
-        println!("  {}. [{}] {}  (score {:.3})", row.rank, row.name, row.title, row.score);
+        println!(
+            "  {}. [{}] {}  (score {:.3})",
+            row.rank, row.name, row.title, row.score
+        );
     }
 
     // 4. Explain the conspiracy document (rank 3) counterfactually.
@@ -92,7 +99,10 @@ fn main() {
     }
 
     println!("\n== Instance-based counterfactual (Doc2Vec nearest) ==");
-    for e in engine.doc2vec_nearest(query, k, doc, 1).expect("explainable") {
+    for e in engine
+        .doc2vec_nearest(query, k, doc, 1)
+        .expect("explainable")
+    {
         let name = &index.document(e.doc).unwrap().name;
         println!("  [{}] similarity {:.2}", name, e.similarity);
     }
@@ -103,7 +113,10 @@ fn main() {
             query,
             k,
             doc,
-            &[Edit::replace("covid", "flu"), Edit::replace("outbreak", "the flu")],
+            &[
+                Edit::replace("covid", "flu"),
+                Edit::replace("outbreak", "the flu"),
+            ],
         )
         .expect("explainable");
     println!(

@@ -31,12 +31,12 @@ fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: Option<&str>
 
 fn main() {
     let demo = covid_demo_corpus();
-    println!("booting credence server over {} documents...", demo.docs.len());
+    println!(
+        "booting credence server over {} documents...",
+        demo.docs.len()
+    );
     let state = AppState::leak(demo.docs.clone(), EngineConfig::fast());
-    let handle = Server::bind("127.0.0.1:0", state)
-        .unwrap()
-        .spawn()
-        .unwrap();
+    let handle = Server::bind("127.0.0.1:0", state).unwrap().spawn().unwrap();
     let addr = handle.addr();
     println!("listening on http://{addr}\n");
 
@@ -58,21 +58,30 @@ fn main() {
         demo.fake_news
     );
     println!("POST /explain/sentence-removal (the Figure-2 request)");
-    println!("  {}\n", http(addr, "POST", "/explain/sentence-removal", Some(&body)));
+    println!(
+        "  {}\n",
+        http(addr, "POST", "/explain/sentence-removal", Some(&body))
+    );
 
     let body = format!(
         r#"{{"query": "covid outbreak", "k": 10, "doc": {}, "n": 3, "threshold": 2}}"#,
         demo.fake_news
     );
     println!("POST /explain/query-augmentation (the Figure-3 request)");
-    println!("  {}\n", http(addr, "POST", "/explain/query-augmentation", Some(&body)));
+    println!(
+        "  {}\n",
+        http(addr, "POST", "/explain/query-augmentation", Some(&body))
+    );
 
     let body = format!(
         r#"{{"query": "covid outbreak", "k": 10, "doc": {}, "n": 1}}"#,
         demo.fake_news
     );
     println!("POST /explain/doc2vec-nearest (the Figure-4 request)");
-    println!("  {}\n", http(addr, "POST", "/explain/doc2vec-nearest", Some(&body)));
+    println!(
+        "  {}\n",
+        http(addr, "POST", "/explain/doc2vec-nearest", Some(&body))
+    );
 
     println!("POST /topics");
     println!(

@@ -4,6 +4,9 @@
 //! integration tests under `tests/` and the runnable binaries under
 //! `examples/` can exercise the whole system through one dependency.
 
+#[cfg(any(test, feature = "testkit"))]
+pub mod prop;
+
 pub use credence_core as core;
 pub use credence_corpus as corpus;
 pub use credence_embed as embed;

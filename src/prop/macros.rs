@@ -1,0 +1,144 @@
+//! The `prop!` test-definition macro and its assertion companions.
+//!
+//! These mirror the proptest macros the suite was originally written
+//! against, so ported properties read the same:
+//!
+//! ```
+//! use credence_repro::prop::gens;
+//!
+//! credence_repro::prop! {
+//!     config(cases = 64);
+//!     fn sum_is_commutative(a in gens::u32_range(0..1000), b in gens::u32_range(0..1000)) {
+//!         credence_repro::prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! # fn main() {}
+//! ```
+
+/// Define a `#[test]` that checks a property over generated inputs.
+///
+/// Grammar: optional doc attributes, an optional
+/// `config(field = value, …);` line overriding [`Config`](crate::prop::Config)
+/// fields, then `fn name(binding in generator, …) { body }` with 1–4
+/// bindings. Inside the body the bindings are *references* to the generated
+/// values; use `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!` to fail
+/// (shrinkably) and `prop_assume!` to discard a case.
+#[macro_export]
+macro_rules! prop {
+    (
+        $(#[$meta:meta])*
+        $(config($($cfg_field:ident = $cfg_value:expr),* $(,)?);)?
+        fn $name:ident($($arg:ident in $gen:expr),+ $(,)?) $body:block
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            #[allow(unused_mut)]
+            let mut __config = $crate::prop::Config::default();
+            $($(__config.$cfg_field = $cfg_value;)*)?
+            let __gens = ($($gen,)+);
+            $crate::prop::run_named(
+                stringify!($name),
+                __config,
+                &__gens,
+                |__case| {
+                    let ($(ref $arg,)+) = *__case;
+                    let __run = || -> $crate::prop::TestResult {
+                        $body
+                        $crate::prop::TestResult::Pass
+                    };
+                    __run()
+                },
+            );
+        }
+    };
+}
+
+/// Fail the surrounding property (shrinkably) when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return $crate::prop::TestResult::fail(format!(
+                "{} (at {}:{})",
+                format_args!($($fmt)+),
+                file!(),
+                line!(),
+            ));
+        }
+    };
+}
+
+/// Fail the surrounding property when the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Fail the surrounding property when the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discard the current case (it counts toward the discard budget, not the
+/// case budget) when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return $crate::prop::TestResult::Discard;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prop::gens;
+
+    crate::prop! {
+        /// The macro wires doc attributes, config overrides, multiple
+        /// bindings, assume, and all three assertion forms.
+        config(cases = 64);
+        fn macro_smoke(
+            xs in gens::vec_of(gens::u32_range(0..50), 0..10),
+            flag in gens::bool_any(),
+        ) {
+            crate::prop_assume!(xs.len() != 9);
+            let doubled: Vec<u32> = xs.iter().map(|x| x * 2).collect();
+            crate::prop_assert_eq!(doubled.len(), xs.len());
+            for (&d, &x) in doubled.iter().zip(xs.iter()) {
+                crate::prop_assert!(d == 2 * x, "doubling mismatch: {d} vs {x}");
+            }
+            if *flag {
+                crate::prop_assert_ne!(1u8, 2u8);
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! `credence-prop`: a zero-dependency property-testing harness.
+//!
+//! A quickcheck-lite replacement for the `proptest` registry dependency the
+//! hermetic workspace removed. It provides:
+//!
+//! * [`Gen<T>`] — composable value generators with attached shrinkers
+//!   (`Vec`, `String`, numeric, tuples, choice),
+//! * seeded, reproducible case generation (the seed is derived from the
+//!   property name, overridable per-property or via `CREDENCE_PROP_SEED`),
+//! * counterexample shrinking with a bounded step budget,
+//! * the [`prop!`](crate::prop!) macro plus `prop_assert!`-style assertion
+//!   macros mirroring the proptest idiom the test suite was written in.
+//!
+//! The module is compiled only for this workspace's own tests (`testkit`
+//! feature, enabled through the root crate's self-dev-dependency) — release
+//! builds never carry it.
+//!
+//! ```
+//! use credence_repro::prop::gens;
+//!
+//! credence_repro::prop! {
+//!     fn reversing_twice_is_identity(v in gens::vec_of(gens::u32_any(), 0..32)) {
+//!         let mut w = v.clone();
+//!         w.reverse();
+//!         w.reverse();
+//!         credence_repro::prop_assert_eq!(&w, v);
+//!     }
+//! }
+//! # fn main() {}
+//! ```
+
+mod gen;
+mod macros;
+mod runner;
+
+pub use gen::{gens, Gen};
+pub use runner::{check, run_named, Config, Failure, GenSet, TestResult};

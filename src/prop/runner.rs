@@ -1,0 +1,335 @@
+//! The property runner: seeded case generation, discard accounting,
+//! counterexample shrinking, and failure reporting.
+
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use credence_rng::rngs::StdRng;
+use credence_rng::SeedableRng;
+
+use super::Gen;
+
+/// Outcome of evaluating a property on one generated case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestResult {
+    /// The property held.
+    Pass,
+    /// The case was rejected by `prop_assume!`; it doesn't count toward
+    /// the case budget.
+    Discard,
+    /// The property failed with a message.
+    Fail(String),
+}
+
+impl TestResult {
+    /// A failure annotated with the assertion site.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestResult::Fail(msg.into())
+    }
+}
+
+/// Runner configuration. Every field has a sensible default; the `prop!`
+/// macro lets individual properties override them with
+/// `config(cases = 64);`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases that must pass (discards excluded).
+    pub cases: u32,
+    /// Explicit seed. Defaults to a hash of the property name, so every
+    /// property explores a distinct but pinned stream. The
+    /// `CREDENCE_PROP_SEED` environment variable overrides both.
+    pub seed: Option<u64>,
+    /// Upper bound on accepted shrink steps (each step re-tests a handful
+    /// of candidates).
+    pub max_shrink_steps: u32,
+    /// Give up when discards exceed `cases × max_discard_factor`.
+    pub max_discard_factor: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            seed: None,
+            max_shrink_steps: 4096,
+            max_discard_factor: 16,
+        }
+    }
+}
+
+/// A failing property run: the original and shrunk counterexamples.
+#[derive(Debug, Clone)]
+pub struct Failure<V> {
+    /// The first failing case as generated.
+    pub original: V,
+    /// The smallest failing case shrinking reached.
+    pub minimal: V,
+    /// Failure message of the minimal case.
+    pub message: String,
+    /// 0-based index of the failing case.
+    pub case: u32,
+    /// The seed that reproduces the run.
+    pub seed: u64,
+    /// Accepted shrink steps.
+    pub shrink_steps: u32,
+}
+
+/// A set of generators feeding one property — tuples of [`Gen`]s up to
+/// arity 4, generating tuples of values and shrinking one coordinate at a
+/// time.
+pub trait GenSet {
+    /// The tuple of values the property receives.
+    type Value: Clone + Debug;
+
+    /// Draw one case.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Simpler candidate cases.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value>;
+}
+
+macro_rules! impl_genset {
+    ($(($($g:ident : $t:ident @ $idx:tt),+))*) => {$(
+        impl<$($t: Clone + Debug + 'static),+> GenSet for ($(Gen<$t>,)+) {
+            type Value = ($($t,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                // Tuple fields are drawn left to right.
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out: Vec<Self::Value> = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+impl_genset!(
+    (a: A @ 0)
+    (a: A @ 0, b: B @ 1)
+    (a: A @ 0, b: B @ 1, c: C @ 2)
+    (a: A @ 0, b: B @ 1, c: C @ 2, d: D @ 3)
+);
+
+/// FNV-1a, used to derive a per-property default seed from its name.
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Serialises panic-hook swapping across concurrently failing properties.
+static HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+/// Evaluate the property, converting panics into failures so assertion
+/// macros and `unwrap` both count as counterexamples.
+fn eval<V>(prop: &impl Fn(&V) -> TestResult, value: &V) -> TestResult {
+    match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("panic with non-string payload");
+            TestResult::Fail(format!("panicked: {msg}"))
+        }
+    }
+}
+
+/// Run a property and return its failure, if any, instead of panicking —
+/// the non-panicking core that [`run_named`] wraps and that the harness's
+/// own shrinking tests call directly.
+pub fn check<G, F>(name: &str, config: &Config, gens: &G, prop: F) -> Option<Failure<G::Value>>
+where
+    G: GenSet,
+    F: Fn(&G::Value) -> TestResult,
+{
+    let seed = std::env::var("CREDENCE_PROP_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .or(config.seed)
+        .unwrap_or_else(|| fnv1a(name));
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut passed = 0u32;
+    let mut discarded = 0u64;
+    let discard_budget = config.cases as u64 * config.max_discard_factor as u64;
+
+    while passed < config.cases {
+        let value = gens.generate(&mut rng);
+        match eval(&prop, &value) {
+            TestResult::Pass => passed += 1,
+            TestResult::Discard => {
+                discarded += 1;
+                if discarded > discard_budget {
+                    panic!(
+                        "property '{name}': too many discards \
+                         ({discarded} rejected before {passed}/{} cases passed) — \
+                         loosen the generator or the prop_assume! conditions",
+                        config.cases
+                    );
+                }
+            }
+            TestResult::Fail(first_message) => {
+                // Shrink quietly: expected panics inside candidate
+                // evaluation shouldn't spam captured test output.
+                let _guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+                let saved_hook = std::panic::take_hook();
+                std::panic::set_hook(Box::new(|_| {}));
+
+                let mut minimal = value.clone();
+                let mut message = first_message;
+                let mut steps = 0u32;
+                'descend: while steps < config.max_shrink_steps {
+                    for cand in gens.shrink(&minimal) {
+                        if let TestResult::Fail(m) = eval(&prop, &cand) {
+                            minimal = cand;
+                            message = m;
+                            steps += 1;
+                            continue 'descend;
+                        }
+                    }
+                    break;
+                }
+
+                std::panic::set_hook(saved_hook);
+                return Some(Failure {
+                    original: value,
+                    minimal,
+                    message,
+                    case: passed,
+                    seed,
+                    shrink_steps: steps,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Run a property, panicking with a shrink report on failure. This is what
+/// the [`prop!`](crate::prop!) macro expands to.
+pub fn run_named<G, F>(name: &str, config: Config, gens: &G, prop: F)
+where
+    G: GenSet,
+    F: Fn(&G::Value) -> TestResult,
+{
+    if let Some(failure) = check(name, &config, gens, prop) {
+        panic!(
+            "property '{name}' failed at case {case} (seed {seed}):\n  \
+             minimal counterexample: {minimal:?}\n  \
+             {message}\n  \
+             (original: {original:?}; {steps} shrink steps; \
+             rerun with CREDENCE_PROP_SEED={seed})",
+            case = failure.case,
+            seed = failure.seed,
+            minimal = failure.minimal,
+            message = failure.message,
+            original = failure.original,
+            steps = failure.shrink_steps,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::gens;
+    use super::*;
+
+    #[test]
+    fn passing_property_returns_none() {
+        let gens = (gens::u32_range(0..100),);
+        assert!(check("always_true", &Config::default(), &gens, |_| {
+            TestResult::Pass
+        })
+        .is_none());
+    }
+
+    #[test]
+    fn discards_do_not_consume_cases() {
+        let gens = (gens::u32_range(0..100),);
+        let result = check("half_discarded", &Config::default(), &gens, |&(x,)| {
+            if x % 2 == 0 {
+                TestResult::Discard
+            } else {
+                TestResult::Pass
+            }
+        });
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_boundary() {
+        // "x < 50" fails exactly on 50..1000; the decrement shrink must
+        // walk greedy descent to the precise boundary value.
+        let gens = (gens::u32_range(0..1000),);
+        let failure = check("all_below_fifty", &Config::default(), &gens, |&(x,)| {
+            if x < 50 {
+                TestResult::Pass
+            } else {
+                TestResult::fail(format!("{x} >= 50"))
+            }
+        })
+        .expect("property must fail");
+        assert_eq!(failure.minimal, (50,), "shrinking must reach the boundary");
+    }
+
+    #[test]
+    fn vec_counterexample_shrinks_to_minimal_length() {
+        // "has no element >= 10" — minimal counterexample is the single
+        // offending element, itself shrunk to exactly 10.
+        let gens = (gens::vec_of(gens::u32_range(0..20), 0..12),);
+        let failure = check(
+            "no_large_elements",
+            &Config::default(),
+            &gens,
+            |(v,): &(Vec<u32>,)| {
+                if v.iter().all(|&x| x < 10) {
+                    TestResult::Pass
+                } else {
+                    TestResult::fail("contains a large element")
+                }
+            },
+        )
+        .expect("property must fail");
+        assert_eq!(failure.minimal, (vec![10],));
+    }
+
+    #[test]
+    fn panics_are_counterexamples_too() {
+        let gens = (gens::u32_range(0..100),);
+        let failure = check("panics_at_seven_plus", &Config::default(), &gens, |&(x,)| {
+            assert!(x < 7, "boom at {x}");
+            TestResult::Pass
+        })
+        .expect("must fail");
+        assert_eq!(failure.minimal, (7,));
+        assert!(failure.message.contains("boom"));
+    }
+
+    #[test]
+    fn seed_pins_the_failure() {
+        let cfg = Config {
+            seed: Some(12345),
+            ..Config::default()
+        };
+        let gens = (gens::u64_any(),);
+        let f1 = check("pinned", &cfg, &gens, |_| TestResult::fail("always"));
+        let f2 = check("pinned", &cfg, &gens, |_| TestResult::fail("always"));
+        assert_eq!(f1.unwrap().original, f2.unwrap().original);
+    }
+}

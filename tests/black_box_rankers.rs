@@ -10,8 +10,8 @@ use credence_core::{
 use credence_corpus::covid_demo_corpus;
 use credence_index::{Bm25Params, DocId, InvertedIndex};
 use credence_rank::{
-    rank_corpus, Bm25Ranker, NeuralSimConfig, NeuralSimRanker, QlSmoothing,
-    QueryLikelihoodRanker, Ranker, Rm3Config, Rm3Ranker,
+    rank_corpus, Bm25Ranker, NeuralSimConfig, NeuralSimRanker, QlSmoothing, QueryLikelihoodRanker,
+    Ranker, Rm3Config, Rm3Ranker,
 };
 use credence_text::Analyzer;
 
@@ -52,7 +52,11 @@ fn exercise_ranker(ranker: &dyn Ranker, fake_news: DocId) {
     )
     .unwrap_or_else(|e| panic!("{}: sentence removal failed: {e}", ranker.name()));
     for e in &sr.explanations {
-        assert!(e.new_rank > k, "{}: invalid explanation {e:?}", ranker.name());
+        assert!(
+            e.new_rank > k,
+            "{}: invalid explanation {e:?}",
+            ranker.name()
+        );
     }
 
     // Query augmentation (only meaningful when not already rank 1).
@@ -90,7 +94,11 @@ fn exercise_ranker(ranker: &dyn Ranker, fake_news: DocId) {
     )
     .unwrap_or_else(|e| panic!("{}: cosine sampled failed: {e}", ranker.name()));
     for e in &cs {
-        assert!(!top.contains(&e.doc), "{}: {e:?} is relevant", ranker.name());
+        assert!(
+            !top.contains(&e.doc),
+            "{}: {e:?} is relevant",
+            ranker.name()
+        );
         assert_ne!(e.doc, fake_news);
     }
 

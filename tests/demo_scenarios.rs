@@ -108,10 +108,7 @@ fn figure3_query_augmentation() {
             all_terms.iter().any(|t| t.contains("microchip")),
             "microchip among {all_terms:?}"
         );
-        assert!(
-            all_terms.contains(&"5g"),
-            "5g among {all_terms:?}"
-        );
+        assert!(all_terms.contains(&"5g"), "5g among {all_terms:?}");
 
         // The two headline augmentations of the figure, checked directly.
         let r5g = engine.full_ranking("covid outbreak 5g").rank_of(doc);

@@ -3,7 +3,9 @@
 //! feature counterfactuals, index persistence, and PV-DM — all exercised on
 //! the demo corpus end to end.
 
-use credence_core::metrics::{certify_minimality, jaccard_at_k, kendall_tau, verify_sentence_removal};
+use credence_core::metrics::{
+    certify_minimality, jaccard_at_k, kendall_tau, verify_sentence_removal,
+};
 use credence_core::{
     explain_feature_changes, explain_saliency, explain_sentence_removal, explain_term_removal,
     FeatureCfConfig, SaliencyUnit, SentenceRemovalConfig, TermRemovalConfig,
@@ -25,9 +27,14 @@ fn term_removal_on_the_fake_news_article() {
     let (index, demo) = setup();
     let ranker = Bm25Ranker::new(&index, Bm25Params::default());
     let fake = DocId(demo.fake_news as u32);
-    let result =
-        explain_term_removal(&ranker, demo.query, demo.k, fake, &TermRemovalConfig::default())
-            .unwrap();
+    let result = explain_term_removal(
+        &ranker,
+        demo.query,
+        demo.k,
+        fake,
+        &TermRemovalConfig::default(),
+    )
+    .unwrap();
     let e = &result.explanations[0];
     assert!(e.new_rank > demo.k);
     // Term removal needs at most the two query terms.
@@ -65,7 +72,9 @@ fn fig2_explanation_passes_metric_checks() {
     )
     .unwrap();
     let e = &result.explanations[0];
-    assert!(verify_sentence_removal(&ranker, demo.query, demo.k, fake, e));
+    assert!(verify_sentence_removal(
+        &ranker, demo.query, demo.k, fake, e
+    ));
     assert!(certify_minimality(&ranker, demo.query, demo.k, fake, e));
 }
 
@@ -113,9 +122,14 @@ fn feature_counterfactuals_on_the_demo_corpus() {
     let rank = ranking.rank_of(fake).unwrap();
     assert!(rank <= demo.k, "boosted features keep it in the top-k");
 
-    let result =
-        explain_feature_changes(&ranker, demo.query, demo.k, fake, &FeatureCfConfig::default())
-            .unwrap();
+    let result = explain_feature_changes(
+        &ranker,
+        demo.query,
+        demo.k,
+        fake,
+        &FeatureCfConfig::default(),
+    )
+    .unwrap();
     if let Some(e) = result.explanations.first() {
         assert!(e.new_rank > demo.k);
         assert!(!e.changes.is_empty());
@@ -135,7 +149,11 @@ fn persisted_demo_index_supports_the_full_pipeline() {
     let ranker = Bm25Ranker::new(&loaded, Bm25Params::default());
     let fake = DocId(demo.fake_news as u32);
     let ranking = rank_corpus(&ranker, demo.query);
-    assert_eq!(ranking.rank_of(fake), Some(3), "rank 3 survives persistence");
+    assert_eq!(
+        ranking.rank_of(fake),
+        Some(3),
+        "rank 3 survives persistence"
+    );
 
     let result = explain_sentence_removal(
         &ranker,
@@ -196,7 +214,10 @@ fn saliency_is_consistent_across_granularities() {
     let fake = DocId(demo.fake_news as u32);
     let by_term = explain_saliency(&ranker, demo.query, fake, SaliencyUnit::Term).unwrap();
     // The top term saliencies are exactly the query terms.
-    let top2: Vec<&str> = by_term.weights[..2].iter().map(|w| w.unit.as_str()).collect();
+    let top2: Vec<&str> = by_term.weights[..2]
+        .iter()
+        .map(|w| w.unit.as_str())
+        .collect();
     assert!(top2.contains(&"covid"));
     assert!(top2.contains(&"outbreak"));
 }

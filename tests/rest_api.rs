@@ -73,7 +73,11 @@ fn corpus_lists_demo_documents() {
 
 #[test]
 fn running_example_over_http() {
-    let (status, v) = request("POST", "/rank", Some(r#"{"query": "covid outbreak", "k": 10}"#));
+    let (status, v) = request(
+        "POST",
+        "/rank",
+        Some(r#"{"query": "covid outbreak", "k": 10}"#),
+    );
     assert_eq!(status, 200);
     let ranking = v.get("ranking").unwrap().as_array().unwrap();
     assert_eq!(ranking.len(), 10);
@@ -103,7 +107,11 @@ fn figure2_over_http() {
     assert_eq!(e.get("old_rank").unwrap().as_u64(), Some(3));
     assert_eq!(e.get("new_rank").unwrap().as_u64(), Some(11));
     assert_eq!(
-        e.get("removed_sentences").unwrap().as_array().unwrap().len(),
+        e.get("removed_sentences")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .len(),
         2
     );
     assert_eq!(e.get("importance").unwrap().as_f64(), Some(4.0));

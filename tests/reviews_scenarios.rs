@@ -10,9 +10,7 @@ use credence_index::{Bm25Params, DocId, InvertedIndex};
 use credence_rank::Bm25Ranker;
 use credence_text::Analyzer;
 
-fn with_engine<T>(
-    f: impl FnOnce(&CredenceEngine<'_>, &credence_corpus::ReviewsCorpus) -> T,
-) -> T {
+fn with_engine<T>(f: impl FnOnce(&CredenceEngine<'_>, &credence_corpus::ReviewsCorpus) -> T) -> T {
     let demo = reviews_demo_corpus();
     let index = InvertedIndex::build(demo.docs.clone(), Analyzer::english());
     let ranker = Bm25Ranker::new(&index, Bm25Params::default());
@@ -24,9 +22,7 @@ fn with_engine<T>(
 fn shill_review_ranks_in_top_k() {
     with_engine(|engine, demo| {
         let ranking = engine.rank(demo.query, demo.k);
-        assert!(ranking
-            .iter()
-            .any(|r| r.doc == DocId(demo.shill as u32)));
+        assert!(ranking.iter().any(|r| r.doc == DocId(demo.shill as u32)));
     });
 }
 
