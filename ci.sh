@@ -24,4 +24,7 @@ cargo test -q --offline --workspace
 echo "==> smoke benches (CREDENCE_BENCH_SMOKE=1)"
 CREDENCE_BENCH_SMOKE=1 cargo bench -p credence-bench --offline
 
+echo "==> bench_check (throughput regression gate vs BENCH_baseline.json)"
+cargo run -q -p credence-bench --bin bench_check --offline
+
 echo "==> ci.sh: all green"

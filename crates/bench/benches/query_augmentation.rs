@@ -1,10 +1,13 @@
 //! Bench: the Figure-3 query-augmentation explanation, plus its
 //! scaling in requested explanation count `n`.
 
-use credence_bench::DemoSetup;
-use credence_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use credence_core::{explain_query_augmentation, QueryAugmentationConfig};
-use credence_index::DocId;
+use credence_bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use credence_bench::{synth_index, DemoSetup};
+use credence_core::{
+    explain_query_augmentation, EvalOptions, QueryAugmentationConfig, SearchBudget,
+};
+use credence_index::{Bm25Params, DocId};
+use credence_rank::{rank_corpus, Bm25Ranker};
 
 fn bench_figure3(c: &mut Criterion) {
     let setup = DemoSetup::build();
@@ -54,5 +57,51 @@ fn bench_explanation_count(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_figure3, bench_explanation_count);
+/// Candidate-evaluation throughput on a 1200-document synthetic corpus:
+/// the exact path re-ranks the whole corpus per candidate augmentation,
+/// the incremental path touches only the appended terms' posting lists.
+fn bench_throughput(c: &mut Criterion) {
+    let (corpus, index) = synth_index(1200, 7);
+    let ranker = Bm25Ranker::new(&index, Bm25Params::default());
+    let query = corpus.topic_query(0, 4);
+    let ranking = rank_corpus(&ranker, &query);
+    // A document that is ranked but well below the threshold, so raising
+    // it takes real search work.
+    let doc = ranking.entries()[40].0;
+    let config = |eval: EvalOptions| QueryAugmentationConfig {
+        n: 8,
+        threshold: 2,
+        budget: SearchBudget {
+            max_size: 2,
+            max_candidates: 24,
+            max_evaluations: 4_000,
+        },
+        eval,
+        ..QueryAugmentationConfig::default()
+    };
+    let evals =
+        explain_query_augmentation(&ranker, &query, 10, doc, &config(EvalOptions::default()))
+            .unwrap()
+            .candidates_evaluated as u64;
+
+    let mut group = c.benchmark_group("query_augmentation/throughput");
+    group.throughput(Throughput::Elements(evals));
+    for (name, eval) in [
+        ("exact_serial", EvalOptions::exact_serial()),
+        ("incremental_parallel", EvalOptions::default()),
+    ] {
+        let config = config(eval);
+        group.bench_function(name, |b| {
+            b.iter(|| explain_query_augmentation(&ranker, &query, 10, doc, &config).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_figure3,
+    bench_explanation_count,
+    bench_throughput
+);
 criterion_main!(benches);

@@ -2,8 +2,8 @@
 //! corpus, plus its scaling in document length (sentences).
 
 use credence_bench::DemoSetup;
-use credence_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use credence_core::{explain_sentence_removal, SentenceRemovalConfig};
+use credence_bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use credence_core::{explain_sentence_removal, EvalOptions, SearchBudget, SentenceRemovalConfig};
 use credence_index::{Bm25Params, DocId, Document, InvertedIndex};
 use credence_rank::Bm25Ranker;
 use credence_text::Analyzer;
@@ -66,5 +66,76 @@ fn bench_doc_length(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_figure2, bench_doc_length);
+/// A long document that still ranks inside the cutoff: every fourth
+/// sentence carries the query terms, so its BM25 score survives the
+/// length normalisation and the search must remove several sentences
+/// to push it out.
+fn throughput_corpus(sentences: usize) -> InvertedIndex {
+    let mut body = String::new();
+    for i in 0..sentences {
+        if i % 4 == 0 {
+            body.push_str(&format!(
+                "The covid outbreak update number {i} arrives today. "
+            ));
+        } else {
+            body.push_str(&format!(
+                "Filler sentence number {i} talks about daily life. "
+            ));
+        }
+    }
+    let mut docs = vec![Document::from_body(body)];
+    for i in 0..12 {
+        docs.push(Document::from_body(format!(
+            "covid outbreak report number {i} with several extra words to pad the length of \
+             this story for realistic normalisation."
+        )));
+    }
+    InvertedIndex::build(docs, Analyzer::english())
+}
+
+/// Candidate-evaluation throughput: the exact-serial reference path versus
+/// the incremental (delta-scoring) parallel engine on a long document,
+/// with a budget that forces the search deep into multi-sentence combos.
+fn bench_throughput(c: &mut Criterion) {
+    let index = throughput_corpus(48);
+    let ranker = Bm25Ranker::new(&index, Bm25Params::default());
+    let config = |eval: EvalOptions| SentenceRemovalConfig {
+        n: 16,
+        budget: SearchBudget {
+            max_size: 3,
+            max_candidates: 48,
+            max_evaluations: 6_000,
+        },
+        eval,
+        ..SentenceRemovalConfig::default()
+    };
+    // Both paths evaluate identical candidate sets (the engine is
+    // bit-deterministic), so one warmup run fixes the denominator.
+    let evals = explain_sentence_removal(
+        &ranker,
+        "covid outbreak",
+        10,
+        DocId(0),
+        &config(EvalOptions::default()),
+    )
+    .unwrap()
+    .candidates_evaluated as u64;
+
+    let mut group = c.benchmark_group("sentence_removal/throughput");
+    group.throughput(Throughput::Elements(evals));
+    for (name, eval) in [
+        ("exact_serial", EvalOptions::exact_serial()),
+        ("incremental_parallel", EvalOptions::default()),
+    ] {
+        let config = config(eval);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                explain_sentence_removal(&ranker, "covid outbreak", 10, DocId(0), &config).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure2, bench_doc_length, bench_throughput);
 criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Bench: term-removal explanations (delete document terms until it
+//! falls below the cutoff), including candidate-evaluation throughput of
+//! the exact-serial path versus the pool scorer.
+
+use credence_bench::{criterion_group, criterion_main, Criterion, Throughput};
+use credence_bench::{synth_index, DemoSetup};
+use credence_core::{explain_term_removal, EvalOptions, SearchBudget, TermRemovalConfig};
+use credence_index::{Bm25Params, DocId};
+use credence_rank::{rank_corpus, Bm25Ranker};
+
+fn bench_demo(c: &mut Criterion) {
+    let setup = DemoSetup::build();
+    let ranker = setup.ranker();
+    let fake = DocId(setup.demo.fake_news as u32);
+    c.bench_function("term_removal/demo", |b| {
+        b.iter(|| {
+            explain_term_removal(
+                &ranker,
+                setup.demo.query,
+                setup.demo.k,
+                fake,
+                &TermRemovalConfig::default(),
+            )
+        });
+    });
+}
+
+/// Candidate-evaluation throughput on a synthetic corpus: the exact path
+/// re-ranks the candidate pool for every perturbed document, the pool
+/// scorer re-scores only the perturbed document against frozen pool
+/// scores.
+fn bench_throughput(c: &mut Criterion) {
+    let (corpus, index) = synth_index(1200, 13);
+    let ranker = Bm25Ranker::new(&index, Bm25Params::default());
+    let query = corpus.topic_query(0, 4);
+    let ranking = rank_corpus(&ranker, &query);
+    let doc = ranking.entries()[0].0;
+    let config = |eval: EvalOptions| TermRemovalConfig {
+        n: 8,
+        budget: SearchBudget {
+            max_size: 3,
+            max_candidates: 24,
+            max_evaluations: 4_000,
+        },
+        eval,
+        ..TermRemovalConfig::default()
+    };
+    let evals = explain_term_removal(&ranker, &query, 10, doc, &config(EvalOptions::default()))
+        .unwrap()
+        .candidates_evaluated as u64;
+
+    let mut group = c.benchmark_group("term_removal/throughput");
+    group.throughput(Throughput::Elements(evals));
+    for (name, eval) in [
+        ("exact_serial", EvalOptions::exact_serial()),
+        ("incremental_parallel", EvalOptions::default()),
+    ] {
+        let config = config(eval);
+        group.bench_function(name, |b| {
+            b.iter(|| explain_term_removal(&ranker, &query, 10, doc, &config).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_demo, bench_throughput);
+criterion_main!(benches);

@@ -72,6 +72,15 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// Work performed per iteration, for throughput reporting (criterion's
+/// shape, reduced to what the explainer benches need).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The iteration processes this many elements (for the counterfactual
+    /// benches: candidates evaluated), so records also report elements/sec.
+    Elements(u64),
+}
+
 /// One benchmark's summarised timings, in nanoseconds per iteration.
 #[derive(Debug, Clone)]
 pub struct BenchRecord {
@@ -91,6 +100,19 @@ pub struct BenchRecord {
     pub min_ns: f64,
     /// Slowest sample.
     pub max_ns: f64,
+    /// Elements processed per iteration (0 when no throughput was declared).
+    pub elements_per_iter: u64,
+}
+
+impl BenchRecord {
+    /// Median throughput in elements (candidate evaluations) per second,
+    /// when the benchmark declared [`Throughput::Elements`].
+    pub fn elements_per_sec(&self) -> Option<f64> {
+        if self.elements_per_iter == 0 || self.median_ns <= 0.0 {
+            return None;
+        }
+        Some(self.elements_per_iter as f64 * 1e9 / self.median_ns)
+    }
 }
 
 /// The timing loop handed to each benchmark closure.
@@ -175,7 +197,12 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-fn summarise(name: String, mut samples: Vec<f64>, iters_per_sample: u64) -> BenchRecord {
+fn summarise(
+    name: String,
+    mut samples: Vec<f64>,
+    iters_per_sample: u64,
+    elements_per_iter: u64,
+) -> BenchRecord {
     samples.sort_by(|a, b| a.total_cmp(b));
     let mean = samples.iter().sum::<f64>() / samples.len().max(1) as f64;
     BenchRecord {
@@ -187,6 +214,7 @@ fn summarise(name: String, mut samples: Vec<f64>, iters_per_sample: u64) -> Benc
         p95_ns: percentile(&samples, 0.95),
         min_ns: samples.first().copied().unwrap_or(0.0),
         max_ns: samples.last().copied().unwrap_or(0.0),
+        elements_per_iter,
     }
 }
 
@@ -226,7 +254,7 @@ impl Criterion {
         id: impl Into<BenchmarkId>,
         f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
-        self.run(id.into().id, DEFAULT_SAMPLE_SIZE, f);
+        self.run(id.into().id, DEFAULT_SAMPLE_SIZE, 0, f);
         self
     }
 
@@ -237,10 +265,17 @@ impl Criterion {
             criterion: self,
             prefix: name.into(),
             sample_size: DEFAULT_SAMPLE_SIZE,
+            elements: 0,
         }
     }
 
-    fn run(&mut self, name: String, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    fn run(
+        &mut self,
+        name: String,
+        sample_size: usize,
+        elements: u64,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
         let mut bencher = Bencher {
             sample_size,
             smoke: self.smoke,
@@ -250,10 +285,19 @@ impl Criterion {
         let (samples, iters) = bencher
             .measured
             .unwrap_or_else(|| panic!("benchmark '{name}' never called Bencher::iter"));
-        let record = summarise(name, samples, iters);
+        let record = summarise(name, samples, iters, elements);
+        let throughput = record
+            .elements_per_sec()
+            .map(|eps| format!("  {eps:>12.0} evals/s"))
+            .unwrap_or_default();
         eprintln!(
-            "bench {:<40} median {:>12.1} ns/iter  (p95 {:>12.1}, {} samples x {} iters)",
-            record.name, record.median_ns, record.p95_ns, record.samples, record.iters_per_sample,
+            "bench {:<40} median {:>12.1} ns/iter  (p95 {:>12.1}, {} samples x {} iters){}",
+            record.name,
+            record.median_ns,
+            record.p95_ns,
+            record.samples,
+            record.iters_per_sample,
+            throughput,
         );
         self.results.push(record);
     }
@@ -272,6 +316,9 @@ impl Criterion {
                     format!("{:.4}", r.mean_ns / 1e6),
                     r.samples.to_string(),
                     r.iters_per_sample.to_string(),
+                    r.elements_per_sec()
+                        .map(|eps| format!("{eps:.0}"))
+                        .unwrap_or_else(|| "-".to_string()),
                 ]
             })
             .collect();
@@ -288,6 +335,7 @@ impl Criterion {
                 "mean ms",
                 "samples",
                 "iters",
+                "evals/s",
             ],
             &rows,
         );
@@ -323,6 +371,13 @@ impl Criterion {
                 m.insert("p95_ns".to_string(), Value::Number(r.p95_ns));
                 m.insert("min_ns".to_string(), Value::Number(r.min_ns));
                 m.insert("max_ns".to_string(), Value::Number(r.max_ns));
+                if let Some(eps) = r.elements_per_sec() {
+                    m.insert(
+                        "elements_per_iter".to_string(),
+                        Value::Number(r.elements_per_iter as f64),
+                    );
+                    m.insert("elements_per_sec".to_string(), Value::Number(eps));
+                }
                 Value::Object(m)
             })
             .collect();
@@ -343,6 +398,7 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     prefix: String,
     sample_size: usize,
+    elements: u64,
 }
 
 impl BenchmarkGroup<'_> {
@@ -353,6 +409,15 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declare the work performed per iteration by subsequent benchmarks in
+    /// this group, so their records report elements (evaluations) per
+    /// second.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        let Throughput::Elements(n) = t;
+        self.elements = n;
+        self
+    }
+
     /// Run `<group>/<id>`.
     pub fn bench_function(
         &mut self,
@@ -360,7 +425,7 @@ impl BenchmarkGroup<'_> {
         f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
         let name = format!("{}/{}", self.prefix, id.into().id);
-        self.criterion.run(name, self.sample_size, f);
+        self.criterion.run(name, self.sample_size, self.elements, f);
         self
     }
 
@@ -373,7 +438,8 @@ impl BenchmarkGroup<'_> {
         mut f: impl FnMut(&mut Bencher, &I),
     ) -> &mut Self {
         let name = format!("{}/{}", self.prefix, id.id);
-        self.criterion.run(name, self.sample_size, |b| f(b, input));
+        self.criterion
+            .run(name, self.sample_size, self.elements, |b| f(b, input));
         self
     }
 
@@ -429,12 +495,33 @@ mod tests {
 
     #[test]
     fn summarise_orders_statistics() {
-        let r = summarise("t".into(), vec![5.0, 1.0, 3.0], 7);
+        let r = summarise("t".into(), vec![5.0, 1.0, 3.0], 7, 0);
         assert_eq!(r.min_ns, 1.0);
         assert_eq!(r.max_ns, 5.0);
         assert_eq!(r.median_ns, 3.0);
         assert_eq!(r.iters_per_sample, 7);
         assert!((r.mean_ns - 3.0).abs() < 1e-12);
+        assert_eq!(r.elements_per_sec(), None);
+    }
+
+    #[test]
+    fn throughput_reports_elements_per_second() {
+        // median 2e6 ns per iter, 1000 elements per iter => 5e5 elements/s.
+        let r = summarise("t".into(), vec![2e6, 2e6], 1, 1000);
+        let eps = r.elements_per_sec().expect("throughput set");
+        assert!((eps - 5e5).abs() < 1e-3);
+
+        let out = std::env::temp_dir().join(format!("credence-bench-tp-{}", std::process::id()));
+        let mut c = Criterion::with_options("harness_tp", true, out.clone());
+        {
+            let mut g = c.benchmark_group("tp");
+            g.sample_size(2).throughput(Throughput::Elements(64));
+            g.bench_function("work", |b| b.iter(|| 1 + 1));
+            g.finish();
+        }
+        assert_eq!(c.results[0].elements_per_iter, 64);
+        assert!(c.results[0].elements_per_sec().unwrap() > 0.0);
+        std::fs::remove_dir_all(&out).ok();
     }
 
     #[test]

@@ -10,7 +10,7 @@ pub mod figures;
 pub mod harness;
 pub mod tables;
 
-pub use harness::{BenchRecord, Bencher, BenchmarkGroup, BenchmarkId, Criterion};
+pub use harness::{BenchRecord, Bencher, BenchmarkGroup, BenchmarkId, Criterion, Throughput};
 
 use std::time::{Duration, Instant};
 

@@ -14,7 +14,7 @@
 //! `outbreak` with `the flu` — or as a free-form replacement body.
 
 use credence_index::DocId;
-use credence_rank::{rank_corpus, rerank_pool, PoolEntry, Ranker};
+use credence_rank::{rank_corpus, rerank_pool, PoolEntry, RankedList, Ranker};
 use credence_text::tokenize;
 
 use crate::error::ExplainError;
@@ -141,6 +141,20 @@ pub fn test_perturbation(
     doc: DocId,
     edited_body: &str,
 ) -> Result<BuilderOutcome, ExplainError> {
+    let ranking = rank_corpus(ranker, query);
+    test_perturbation_ranked(ranker, query, k, doc, edited_body, &ranking)
+}
+
+/// [`test_perturbation`] against a pre-computed base ranking for `query`
+/// (for example the engine's ranking cache), avoiding the full-corpus pass.
+pub fn test_perturbation_ranked(
+    ranker: &dyn Ranker,
+    query: &str,
+    k: usize,
+    doc: DocId,
+    edited_body: &str,
+    ranking: &RankedList,
+) -> Result<BuilderOutcome, ExplainError> {
     if k == 0 {
         return Err(ExplainError::InvalidParameter("k must be at least 1"));
     }
@@ -151,7 +165,6 @@ pub fn test_perturbation(
     if index.analyze_query(query).is_empty() {
         return Err(ExplainError::EmptyQuery);
     }
-    let ranking = rank_corpus(ranker, query);
     let old_rank = ranking
         .rank_of(doc)
         .ok_or(ExplainError::DocNotRelevant { doc, rank: None })?;
@@ -187,6 +200,19 @@ pub fn test_edits(
     doc: DocId,
     edits: &[Edit],
 ) -> Result<BuilderOutcome, ExplainError> {
+    let ranking = rank_corpus(ranker, query);
+    test_edits_ranked(ranker, query, k, doc, edits, &ranking)
+}
+
+/// [`test_edits`] against a pre-computed base ranking for `query`.
+pub fn test_edits_ranked(
+    ranker: &dyn Ranker,
+    query: &str,
+    k: usize,
+    doc: DocId,
+    edits: &[Edit],
+    ranking: &RankedList,
+) -> Result<BuilderOutcome, ExplainError> {
     let body = ranker
         .index()
         .document(doc)
@@ -194,7 +220,7 @@ pub fn test_edits(
         .body
         .clone();
     let edited = apply_edits(&body, edits);
-    test_perturbation(ranker, query, k, doc, &edited)
+    test_perturbation_ranked(ranker, query, k, doc, &edited, ranking)
 }
 
 #[cfg(test)]

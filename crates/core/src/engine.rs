@@ -17,17 +17,21 @@ use credence_rank::{rank_corpus, rank_corpus_parallel, RankedList, Ranker};
 use credence_text::Vocabulary;
 use credence_topics::{summarize_topics, LdaConfig, LdaModel, TopicSummary};
 
-use crate::builder::{test_edits, test_perturbation, BuilderOutcome, Edit};
+use crate::builder::{test_edits_ranked, test_perturbation_ranked, BuilderOutcome, Edit};
 use crate::error::ExplainError;
+use crate::evaluator::EvalOptions;
 use crate::explanation::InstanceExplanation;
 use crate::instance_based::{cosine_sampled, doc2vec_nearest, CosineSampledConfig};
 use crate::query_augmentation::{
-    explain_query_augmentation, QueryAugmentationConfig, QueryAugmentationResult,
+    explain_query_augmentation_ranked, QueryAugmentationConfig, QueryAugmentationResult,
 };
-use crate::query_reduction::{explain_query_reduction, QueryReductionConfig, QueryReductionResult};
+use crate::query_reduction::{
+    explain_query_reduction_ranked, QueryReductionConfig, QueryReductionResult,
+};
 use crate::sentence_removal::{
-    explain_sentence_removal, SentenceRemovalConfig, SentenceRemovalResult,
+    explain_sentence_removal_ranked, SentenceRemovalConfig, SentenceRemovalResult,
 };
+use crate::term_removal::{explain_term_removal_ranked, TermRemovalConfig, TermRemovalResult};
 
 /// Engine-level configuration.
 #[derive(Debug, Clone)]
@@ -45,6 +49,10 @@ pub struct EngineConfig {
     /// Rank the corpus with scoped threads once it has at least this many
     /// documents (0 disables parallel ranking).
     pub parallel_threshold: usize,
+    /// Default candidate-evaluation knobs for the counterfactual search
+    /// loops. A request config carrying non-default [`EvalOptions`] wins
+    /// over this engine default.
+    pub eval: EvalOptions,
 }
 
 impl Default for EngineConfig {
@@ -56,6 +64,7 @@ impl Default for EngineConfig {
             topic_terms: 8,
             ranking_cache: 64,
             parallel_threshold: 10_000,
+            eval: EvalOptions::default(),
         }
     }
 }
@@ -201,6 +210,16 @@ impl<'a> CredenceEngine<'a> {
         self.cache.len()
     }
 
+    /// The evaluation options to use for a request: an explicitly customised
+    /// request config wins; a default-valued one inherits the engine's.
+    fn effective_eval(&self, requested: EvalOptions) -> EvalOptions {
+        if requested == EvalOptions::default() {
+            self.config.eval
+        } else {
+            requested
+        }
+    }
+
     /// The underlying ranker.
     pub fn ranker(&self) -> &dyn Ranker {
         self.ranker
@@ -252,7 +271,10 @@ impl<'a> CredenceEngine<'a> {
         doc: DocId,
         config: &SentenceRemovalConfig,
     ) -> Result<SentenceRemovalResult, ExplainError> {
-        explain_sentence_removal(self.ranker, query, k, doc, config)
+        let ranking = self.cached_ranking(query);
+        let mut config = config.clone();
+        config.eval = self.effective_eval(config.eval);
+        explain_sentence_removal_ranked(self.ranker, query, k, doc, &config, &ranking)
     }
 
     /// `POST /explain/query-augmentation` (§II-D).
@@ -263,7 +285,10 @@ impl<'a> CredenceEngine<'a> {
         doc: DocId,
         config: &QueryAugmentationConfig,
     ) -> Result<QueryAugmentationResult, ExplainError> {
-        explain_query_augmentation(self.ranker, query, k, doc, config)
+        let ranking = self.cached_ranking(query);
+        let mut config = config.clone();
+        config.eval = self.effective_eval(config.eval);
+        explain_query_augmentation_ranked(self.ranker, query, k, doc, &config, &ranking)
     }
 
     /// `POST /explain/query-reduction` — the §II-D dual: minimal query-term
@@ -275,7 +300,25 @@ impl<'a> CredenceEngine<'a> {
         doc: DocId,
         config: &QueryReductionConfig,
     ) -> Result<QueryReductionResult, ExplainError> {
-        explain_query_reduction(self.ranker, query, k, doc, config)
+        let ranking = self.cached_ranking(query);
+        let mut config = config.clone();
+        config.eval = self.effective_eval(config.eval);
+        explain_query_reduction_ranked(self.ranker, query, k, doc, &config, &ranking)
+    }
+
+    /// `POST /explain/term-removal` — the term-granularity ablation of
+    /// §II-C's sentence removal.
+    pub fn term_removal(
+        &self,
+        query: &str,
+        k: usize,
+        doc: DocId,
+        config: &TermRemovalConfig,
+    ) -> Result<TermRemovalResult, ExplainError> {
+        let ranking = self.cached_ranking(query);
+        let mut config = config.clone();
+        config.eval = self.effective_eval(config.eval);
+        explain_term_removal_ranked(self.ranker, query, k, doc, &config, &ranking)
     }
 
     /// `POST /explain/doc2vec-nearest` (§II-E, variant 1).
@@ -314,7 +357,8 @@ impl<'a> CredenceEngine<'a> {
         doc: DocId,
         edited_body: &str,
     ) -> Result<BuilderOutcome, ExplainError> {
-        test_perturbation(self.ranker, query, k, doc, edited_body)
+        let ranking = self.cached_ranking(query);
+        test_perturbation_ranked(self.ranker, query, k, doc, edited_body, &ranking)
     }
 
     /// Structured-edit variant of [`Self::builder_rerank`].
@@ -325,7 +369,8 @@ impl<'a> CredenceEngine<'a> {
         doc: DocId,
         edits: &[Edit],
     ) -> Result<BuilderOutcome, ExplainError> {
-        test_edits(self.ranker, query, k, doc, edits)
+        let ranking = self.cached_ranking(query);
+        test_edits_ranked(self.ranker, query, k, doc, edits, &ranking)
     }
 
     /// Documents most similar to *arbitrary text* (e.g. a builder edit in
@@ -346,14 +391,16 @@ impl<'a> CredenceEngine<'a> {
             .filter_map(|t| index.vocabulary().id(t).map(|x| x as usize))
             .collect();
         let inferred = self.doc2vec.infer(&words);
-        let (excluded, ranking): (std::collections::HashSet<DocId>, Option<RankedList>) =
-            match exclude_top_k_for {
-                None => (Default::default(), None),
-                Some((query, k)) => {
-                    let ranking = rank_corpus(self.ranker, query);
-                    (ranking.top_k(k).into_iter().collect(), Some(ranking))
-                }
-            };
+        let (excluded, ranking): (
+            std::collections::HashSet<DocId>,
+            Option<std::sync::Arc<RankedList>>,
+        ) = match exclude_top_k_for {
+            None => (Default::default(), None),
+            Some((query, k)) => {
+                let ranking = self.cached_ranking(query);
+                (ranking.top_k(k).into_iter().collect(), Some(ranking))
+            }
+        };
         let neighbors = credence_embed::nearest_neighbors(
             &inferred,
             (0..index.num_docs())

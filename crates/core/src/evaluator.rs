@@ -1,0 +1,220 @@
+//! The shared candidate-evaluation driver for the counterfactual searches.
+//!
+//! Every generative explainer is the same loop: pull candidates from a
+//! [`ComboSearch`], evaluate each (a pure scoring computation), and commit
+//! the verdicts *in enumeration order* so the size-major minimality
+//! guarantee — and the exact output, including `candidates_evaluated`
+//! counters — is preserved. [`drive_search`] factors that loop out and adds
+//! level-parallel evaluation: candidates are pulled in deterministic
+//! batches, evaluated concurrently with the ordered scoped-thread map
+//! ([`credence_rank::par_map`]), and committed strictly sequentially.
+//!
+//! # Determinism
+//!
+//! Evaluation is required to be pure (no shared mutable state), so a
+//! candidate's verdict never depends on which thread computed it or on what
+//! was computed alongside it. The commit callback runs on the caller's
+//! thread in exactly the order `ComboSearch` emitted the candidates, and
+//! the search stops at the first commit that requests it. Batching may
+//! *evaluate* a few candidates beyond the stopping point speculatively;
+//! their results are discarded uncommitted, so the observable output —
+//! accepted explanations, their order, and the committed-candidate counts —
+//! is byte-identical to the serial loop for every thread count.
+
+use std::ops::ControlFlow;
+
+use credence_rank::par_map;
+
+use crate::combos::{Combo, ComboSearch};
+
+/// Knobs for the candidate-evaluation engine, carried by every explainer
+/// config (and surfaced through `EngineConfig` / the server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Worker threads for candidate evaluation. `0` means one per available
+    /// CPU; `1` disables parallelism (the serial reference path).
+    pub threads: usize,
+    /// Minimum batch size worth fanning out to threads; smaller batches are
+    /// evaluated inline. Keeps small searches free of thread overhead.
+    pub parallel_threshold: usize,
+    /// Disable the incremental (delta / posting-list) scorers and evaluate
+    /// every candidate with the exact full scorer. The output is identical
+    /// either way (the incremental paths are bit-exact); this knob exists so
+    /// tests and benches can run the reference path on demand.
+    pub force_exact: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            parallel_threshold: 64,
+            force_exact: false,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// The serial reference configuration: one thread, exact scoring.
+    pub fn exact_serial() -> Self {
+        Self {
+            threads: 1,
+            parallel_threshold: usize::MAX,
+            force_exact: true,
+        }
+    }
+
+    /// The number of worker threads after resolving `0` = auto.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// Largest speculative batch: bounds wasted evaluations past an early
+/// acceptance while amortising thread setup on long searches.
+const MAX_BATCH: usize = 512;
+
+/// Run the candidate loop: evaluate combos from `search` (possibly in
+/// parallel) and commit verdicts sequentially in enumeration order.
+///
+/// `evaluate` must be pure; `commit` receives the combo, its verdict, and
+/// the 1-based count of candidates committed so far (the serial loop's
+/// `search.emitted()` at that point), and returns [`ControlFlow::Break`] to
+/// stop the search.
+pub(crate) fn drive_search<R: Send>(
+    search: &mut ComboSearch,
+    options: &EvalOptions,
+    evaluate: impl Fn(&Combo) -> R + Sync,
+    mut commit: impl FnMut(Combo, R, usize) -> ControlFlow<()>,
+) {
+    let threads = options.resolved_threads();
+    let mut committed = 0usize;
+
+    if threads <= 1 {
+        // The serial reference loop: no batching, no speculation.
+        while let Some(combo) = search.next() {
+            let verdict = evaluate(&combo);
+            committed += 1;
+            if commit(combo, verdict, committed).is_break() {
+                return;
+            }
+        }
+        return;
+    }
+
+    // Ramp the batch size up from a couple of rounds per thread so an early
+    // acceptance wastes little speculative work, while long searches settle
+    // into large, well-amortised batches.
+    let mut batch_size = (threads * 2).min(MAX_BATCH);
+    let mut batch: Vec<Combo> = Vec::with_capacity(batch_size);
+    loop {
+        batch.clear();
+        while batch.len() < batch_size {
+            let Some(combo) = search.next() else { break };
+            batch.push(combo);
+        }
+        if batch.is_empty() {
+            return;
+        }
+        let verdicts = if batch.len() >= options.parallel_threshold {
+            par_map(&batch, threads, &evaluate)
+        } else {
+            batch.iter().map(&evaluate).collect()
+        };
+        for (combo, verdict) in batch.drain(..).zip(verdicts) {
+            committed += 1;
+            if commit(combo, verdict, committed).is_break() {
+                return;
+            }
+        }
+        batch_size = (batch_size * 2).min(MAX_BATCH);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combos::{CandidateOrdering, SearchBudget};
+
+    fn collect_with(
+        options: &EvalOptions,
+        stop_at: Option<usize>,
+    ) -> (Vec<Vec<usize>>, Vec<usize>) {
+        let scores = [5.0, 4.0, 3.0, 2.0, 1.0];
+        let mut search = ComboSearch::new(
+            &scores,
+            SearchBudget::default(),
+            CandidateOrdering::ImportanceGuided,
+        );
+        let mut combos = Vec::new();
+        let mut counts = Vec::new();
+        drive_search(
+            &mut search,
+            options,
+            |combo| combo.items.iter().sum::<usize>(),
+            |combo, verdict, committed| {
+                assert_eq!(verdict, combo.items.iter().sum::<usize>());
+                combos.push(combo.items);
+                counts.push(committed);
+                if stop_at == Some(committed) {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        );
+        (combos, counts)
+    }
+
+    #[test]
+    fn parallel_commits_match_serial_order() {
+        let serial = collect_with(&EvalOptions::exact_serial(), None);
+        for threads in [0, 2, 3, 8] {
+            let parallel = collect_with(
+                &EvalOptions {
+                    threads,
+                    parallel_threshold: 1,
+                    force_exact: false,
+                },
+                None,
+            );
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn early_stop_commits_identically() {
+        for stop in [1, 3, 7] {
+            let serial = collect_with(&EvalOptions::exact_serial(), Some(stop));
+            let parallel = collect_with(
+                &EvalOptions {
+                    threads: 4,
+                    parallel_threshold: 1,
+                    force_exact: false,
+                },
+                Some(stop),
+            );
+            assert_eq!(parallel, serial, "stop={stop}");
+            assert_eq!(serial.1.last(), Some(&stop));
+        }
+    }
+
+    #[test]
+    fn committed_counts_are_sequential() {
+        let (_, counts) = collect_with(
+            &EvalOptions {
+                threads: 2,
+                parallel_threshold: 1,
+                force_exact: false,
+            },
+            None,
+        );
+        assert_eq!(counts, (1..=counts.len()).collect::<Vec<_>>());
+    }
+}

@@ -49,6 +49,7 @@ pub mod builder;
 pub mod combos;
 pub mod engine;
 pub mod error;
+pub mod evaluator;
 pub mod explanation;
 pub mod feature_counterfactual;
 pub mod instance_based;
@@ -59,10 +60,14 @@ pub mod saliency;
 pub mod sentence_removal;
 pub mod term_removal;
 
-pub use builder::{apply_edits, test_edits, test_perturbation, BuilderOutcome, Edit};
+pub use builder::{
+    apply_edits, test_edits, test_edits_ranked, test_perturbation, test_perturbation_ranked,
+    BuilderOutcome, Edit,
+};
 pub use combos::{CandidateOrdering, ComboSearch, SearchBudget};
 pub use engine::{CredenceEngine, EngineConfig};
 pub use error::ExplainError;
+pub use evaluator::EvalOptions;
 pub use explanation::{
     InstanceExplanation, QueryAugmentationExplanation, SentenceRemovalExplanation,
 };
@@ -70,10 +75,17 @@ pub use feature_counterfactual::{
     explain_feature_changes, FeatureCfConfig, FeatureCfExplanation, FeatureChange,
 };
 pub use instance_based::{cosine_sampled, doc2vec_nearest, CosineSampledConfig};
-pub use query_augmentation::{explain_query_augmentation, QueryAugmentationConfig};
+pub use query_augmentation::{
+    explain_query_augmentation, explain_query_augmentation_ranked, QueryAugmentationConfig,
+};
 pub use query_reduction::{
-    explain_query_reduction, QueryReductionConfig, QueryReductionExplanation,
+    explain_query_reduction, explain_query_reduction_ranked, QueryReductionConfig,
+    QueryReductionExplanation,
 };
 pub use saliency::{explain_saliency, SaliencyExplanation, SaliencyUnit};
-pub use sentence_removal::{explain_sentence_removal, SentenceRemovalConfig};
-pub use term_removal::{explain_term_removal, TermRemovalConfig, TermRemovalExplanation};
+pub use sentence_removal::{
+    explain_sentence_removal, explain_sentence_removal_ranked, SentenceRemovalConfig,
+};
+pub use term_removal::{
+    explain_term_removal, explain_term_removal_ranked, TermRemovalConfig, TermRemovalExplanation,
+};

@@ -17,13 +17,15 @@
 //! 5. Stop after `n` explanations or budget exhaustion.
 
 use std::collections::{HashMap, HashSet};
+use std::ops::ControlFlow;
 
 use credence_index::score::tf_idf;
 use credence_index::DocId;
-use credence_rank::{rank_corpus, Ranker};
+use credence_rank::{rank_corpus, AugmentedScorer, RankedList, Ranker};
 
 use crate::combos::{CandidateOrdering, ComboSearch, SearchBudget};
 use crate::error::ExplainError;
+use crate::evaluator::{drive_search, EvalOptions};
 use crate::explanation::QueryAugmentationExplanation;
 
 /// Configuration for the query-augmentation explainer.
@@ -38,6 +40,8 @@ pub struct QueryAugmentationConfig {
     pub budget: SearchBudget,
     /// Candidate ordering (ablation knob; the paper uses TF-IDF-guided).
     pub ordering: CandidateOrdering,
+    /// Candidate-evaluation engine knobs (threads, incremental scoring).
+    pub eval: EvalOptions,
 }
 
 impl Default for QueryAugmentationConfig {
@@ -47,6 +51,7 @@ impl Default for QueryAugmentationConfig {
             threshold: 1,
             budget: SearchBudget::default(),
             ordering: CandidateOrdering::ImportanceGuided,
+            eval: EvalOptions::default(),
         }
     }
 }
@@ -159,6 +164,21 @@ pub fn explain_query_augmentation(
     doc: DocId,
     config: &QueryAugmentationConfig,
 ) -> Result<QueryAugmentationResult, ExplainError> {
+    let ranking = rank_corpus(ranker, query);
+    explain_query_augmentation_ranked(ranker, query, k, doc, config, &ranking)
+}
+
+/// [`explain_query_augmentation`] against a pre-computed base ranking for
+/// `query` (for example the engine's ranking cache), avoiding the initial
+/// full-corpus pass.
+pub fn explain_query_augmentation_ranked(
+    ranker: &dyn Ranker,
+    query: &str,
+    k: usize,
+    doc: DocId,
+    config: &QueryAugmentationConfig,
+    ranking: &RankedList,
+) -> Result<QueryAugmentationResult, ExplainError> {
     if k == 0 {
         return Err(ExplainError::InvalidParameter("k must be at least 1"));
     }
@@ -175,7 +195,6 @@ pub fn explain_query_augmentation(
         return Err(ExplainError::EmptyQuery);
     }
 
-    let ranking = rank_corpus(ranker, query);
     let old_rank = ranking
         .rank_of(doc)
         .ok_or(ExplainError::DocNotRelevant { doc, rank: None })?;
@@ -191,40 +210,68 @@ pub fn explain_query_augmentation(
         return Err(ExplainError::NoCandidateTerms(doc));
     }
 
+    let surfaces: Vec<&str> = candidates.iter().map(|c| c.surface.as_str()).collect();
+    // The incremental ranker only re-scores documents in the appended terms'
+    // posting lists; when a precondition fails (non-decomposable model, a
+    // surface that re-analyses oddly) every candidate re-ranks the corpus.
+    let scorer = if config.eval.force_exact {
+        None
+    } else {
+        AugmentedScorer::new(ranker, ranking, &surfaces)
+    };
+    let rank_exact = |combo_items: &[usize]| -> Option<usize> {
+        let appended: Vec<&str> = combo_items.iter().map(|&i| surfaces[i]).collect();
+        let augmented_query = format!("{} {}", query, appended.join(" "));
+        rank_corpus(ranker, &augmented_query).rank_of(doc)
+    };
+
     let scores: Vec<f64> = candidates.iter().map(|c| c.tfidf).collect();
     let mut search = ComboSearch::new(&scores, config.budget, config.ordering);
     let mut explanations = Vec::new();
+    let mut total_committed = 0usize;
 
-    while explanations.len() < config.n {
-        let Some(combo) = search.next() else {
-            break;
-        };
-        let terms: Vec<String> = combo
-            .items
-            .iter()
-            .map(|&i| candidates[i].surface.clone())
-            .collect();
-        let augmented_query = format!("{} {}", query, terms.join(" "));
-        let new_ranking = rank_corpus(ranker, &augmented_query);
-        let Some(new_rank) = new_ranking.rank_of(doc) else {
-            continue;
-        };
-        if new_rank <= config.threshold {
-            explanations.push(QueryAugmentationExplanation {
-                terms,
-                augmented_query,
-                tfidf: combo.score,
-                old_rank,
-                new_rank,
-                candidates_evaluated: search.emitted(),
-            });
-        }
+    if config.n > 0 {
+        drive_search(
+            &mut search,
+            &config.eval,
+            |combo| match &scorer {
+                Some(s) => s.rank_with(&combo.items, doc),
+                None => rank_exact(&combo.items),
+            },
+            |combo, new_rank, committed| {
+                total_committed = committed;
+                let Some(new_rank) = new_rank else {
+                    return ControlFlow::Continue(());
+                };
+                if new_rank <= config.threshold {
+                    let terms: Vec<String> = combo
+                        .items
+                        .iter()
+                        .map(|&i| candidates[i].surface.clone())
+                        .collect();
+                    let augmented_query = format!("{} {}", query, terms.join(" "));
+                    explanations.push(QueryAugmentationExplanation {
+                        terms,
+                        augmented_query,
+                        tfidf: combo.score,
+                        old_rank,
+                        new_rank,
+                        candidates_evaluated: committed,
+                    });
+                }
+                if explanations.len() < config.n {
+                    ControlFlow::Continue(())
+                } else {
+                    ControlFlow::Break(())
+                }
+            },
+        );
     }
 
     Ok(QueryAugmentationResult {
         explanations,
         candidates,
-        candidates_evaluated: search.emitted(),
+        candidates_evaluated: total_committed,
         old_rank,
     })
 }

@@ -21,12 +21,14 @@
 //! query term is excluded — an empty query has no ranking to speak of.
 
 use std::collections::HashSet;
+use std::ops::ControlFlow;
 
 use credence_index::DocId;
-use credence_rank::{rank_corpus, Ranker};
+use credence_rank::{rank_corpus, RankedList, Ranker, SubsetScorer};
 
 use crate::combos::{CandidateOrdering, ComboSearch, SearchBudget};
 use crate::error::ExplainError;
+use crate::evaluator::{drive_search, EvalOptions};
 
 /// Configuration for the query-reduction explainer.
 #[derive(Debug, Clone)]
@@ -37,6 +39,8 @@ pub struct QueryReductionConfig {
     pub budget: SearchBudget,
     /// Candidate ordering.
     pub ordering: CandidateOrdering,
+    /// Candidate-evaluation engine knobs (threads, incremental scoring).
+    pub eval: EvalOptions,
 }
 
 impl Default for QueryReductionConfig {
@@ -45,6 +49,7 @@ impl Default for QueryReductionConfig {
             n: 1,
             budget: SearchBudget::default(),
             ordering: CandidateOrdering::ImportanceGuided,
+            eval: EvalOptions::default(),
         }
     }
 }
@@ -89,6 +94,21 @@ pub fn explain_query_reduction(
     doc: DocId,
     config: &QueryReductionConfig,
 ) -> Result<QueryReductionResult, ExplainError> {
+    let ranking = rank_corpus(ranker, query);
+    explain_query_reduction_ranked(ranker, query, k, doc, config, &ranking)
+}
+
+/// [`explain_query_reduction`] against a pre-computed base ranking for
+/// `query` (for example the engine's ranking cache), avoiding the initial
+/// full-corpus pass.
+pub fn explain_query_reduction_ranked(
+    ranker: &dyn Ranker,
+    query: &str,
+    k: usize,
+    doc: DocId,
+    config: &QueryReductionConfig,
+    ranking: &RankedList,
+) -> Result<QueryReductionResult, ExplainError> {
     if k == 0 {
         return Err(ExplainError::InvalidParameter("k must be at least 1"));
     }
@@ -118,7 +138,6 @@ pub fn explain_query_reduction(
         ));
     }
 
-    let ranking = rank_corpus(ranker, query);
     let old_rank = ranking
         .rank_of(doc)
         .ok_or(ExplainError::DocNotRelevant { doc, rank: None })?;
@@ -144,52 +163,90 @@ pub fn explain_query_reduction(
         c
     };
 
+    // Map each candidate (importance order) back to its query-order surface
+    // position so the incremental scorer can rank kept-term subsets.
+    let query_surfaces: Vec<&str> = surfaces.iter().map(|(_, s)| s.as_str()).collect();
+    let kept_positions = |combo_items: &[usize]| -> Vec<usize> {
+        let removed: HashSet<&str> = combo_items
+            .iter()
+            .map(|&i| candidates[i].0.as_str())
+            .collect();
+        (0..query_surfaces.len())
+            .filter(|&qi| !removed.contains(query_surfaces[qi]))
+            .collect()
+    };
+    // The incremental ranker scores only documents in the kept terms'
+    // posting lists; models without drop-zero semantics fall back to a full
+    // corpus re-rank per candidate.
+    let scorer = if config.eval.force_exact {
+        None
+    } else {
+        SubsetScorer::new(ranker, &query_surfaces)
+    };
+    let rank_exact = |kept: &[usize]| -> Option<usize> {
+        let reduced: Vec<&str> = kept.iter().map(|&qi| query_surfaces[qi]).collect();
+        rank_corpus(ranker, &reduced.join(" ")).rank_of(doc)
+    };
+
     let scores: Vec<f64> = candidates.iter().map(|c| c.1).collect();
     let mut budget = config.budget;
     // Never remove every term.
     budget.max_size = budget.max_size.min(candidates.len() - 1);
     let mut search = ComboSearch::new(&scores, budget, config.ordering);
     let mut explanations = Vec::new();
+    let mut total_committed = 0usize;
 
-    while explanations.len() < config.n {
-        let Some(combo) = search.next() else {
-            break;
-        };
-        let removed: HashSet<&str> = combo
-            .items
-            .iter()
-            .map(|&i| candidates[i].0.as_str())
-            .collect();
-        let reduced_query: String = surfaces
-            .iter()
-            .map(|(_, s)| s.as_str())
-            .filter(|s| !removed.contains(s))
-            .collect::<Vec<_>>()
-            .join(" ");
-        let new_ranking = rank_corpus(ranker, &reduced_query);
-        let new_rank = new_ranking.rank_of(doc);
-        let valid = match new_rank {
-            None => true,
-            Some(r) => r > k,
-        };
-        if valid {
-            let mut removed_terms: Vec<String> = removed.into_iter().map(str::to_string).collect();
-            removed_terms.sort();
-            explanations.push(QueryReductionExplanation {
-                removed_terms,
-                reduced_query,
-                importance: combo.score,
-                old_rank,
-                new_rank,
-                candidates_evaluated: search.emitted(),
-            });
-        }
+    if config.n > 0 {
+        drive_search(
+            &mut search,
+            &config.eval,
+            |combo| {
+                let kept = kept_positions(&combo.items);
+                match &scorer {
+                    Some(s) => s.rank_with(&kept, doc),
+                    None => rank_exact(&kept),
+                }
+            },
+            |combo, new_rank, committed| {
+                total_committed = committed;
+                let valid = match new_rank {
+                    None => true,
+                    Some(r) => r > k,
+                };
+                if valid {
+                    let mut removed_terms: Vec<String> = combo
+                        .items
+                        .iter()
+                        .map(|&i| candidates[i].0.clone())
+                        .collect();
+                    removed_terms.sort();
+                    let reduced_query = kept_positions(&combo.items)
+                        .into_iter()
+                        .map(|qi| query_surfaces[qi])
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    explanations.push(QueryReductionExplanation {
+                        removed_terms,
+                        reduced_query,
+                        importance: combo.score,
+                        old_rank,
+                        new_rank,
+                        candidates_evaluated: committed,
+                    });
+                }
+                if explanations.len() < config.n {
+                    ControlFlow::Continue(())
+                } else {
+                    ControlFlow::Break(())
+                }
+            },
+        );
     }
 
     Ok(QueryReductionResult {
         explanations,
         candidates,
-        candidates_evaluated: search.emitted(),
+        candidates_evaluated: total_committed,
         old_rank,
     })
 }

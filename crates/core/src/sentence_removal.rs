@@ -21,12 +21,15 @@
 //! minimal: "all perturbations with j removals must be evaluated before
 //! those with j+1".
 
+use std::ops::ControlFlow;
+
 use credence_index::DocId;
-use credence_rank::{rank_corpus, rerank_pool, Ranker};
+use credence_rank::{rank_corpus, DeltaScorer, PoolScorer, RankedList, Ranker};
 use credence_text::{split_sentences, Sentence};
 
 use crate::combos::{CandidateOrdering, ComboSearch, SearchBudget};
 use crate::error::ExplainError;
+use crate::evaluator::{drive_search, EvalOptions};
 use crate::explanation::SentenceRemovalExplanation;
 
 /// Configuration for the sentence-removal explainer.
@@ -44,6 +47,8 @@ pub struct SentenceRemovalConfig {
     /// explanation then carries *new* information. Off by default to match
     /// the paper's algorithm verbatim.
     pub skip_supersets: bool,
+    /// Candidate-evaluation engine knobs (threads, batching, exact mode).
+    pub eval: EvalOptions,
 }
 
 impl Default for SentenceRemovalConfig {
@@ -53,6 +58,7 @@ impl Default for SentenceRemovalConfig {
             budget: SearchBudget::default(),
             ordering: CandidateOrdering::ImportanceGuided,
             skip_supersets: false,
+            eval: EvalOptions::default(),
         }
     }
 }
@@ -99,6 +105,20 @@ pub fn explain_sentence_removal(
     doc: DocId,
     config: &SentenceRemovalConfig,
 ) -> Result<SentenceRemovalResult, ExplainError> {
+    let ranking = rank_corpus(ranker, query);
+    explain_sentence_removal_ranked(ranker, query, k, doc, config, &ranking)
+}
+
+/// [`explain_sentence_removal`] against a precomputed corpus ranking for
+/// `query` (e.g. the engine's cached ranking).
+pub fn explain_sentence_removal_ranked(
+    ranker: &dyn Ranker,
+    query: &str,
+    k: usize,
+    doc: DocId,
+    config: &SentenceRemovalConfig,
+    ranking: &RankedList,
+) -> Result<SentenceRemovalResult, ExplainError> {
     if k == 0 {
         return Err(ExplainError::InvalidParameter("k must be at least 1"));
     }
@@ -111,7 +131,6 @@ pub fn explain_sentence_removal(
         return Err(ExplainError::EmptyQuery);
     }
 
-    let ranking = rank_corpus(ranker, query);
     let old_rank = ranking
         .rank_of(doc)
         .ok_or(ExplainError::DocNotRelevant { doc, rank: None })?;
@@ -143,52 +162,86 @@ pub fn explain_sentence_removal(
     let mut search = ComboSearch::new(&importance, budget, config.ordering);
     let mut explanations = Vec::new();
 
-    while explanations.len() < config.n {
-        let Some(combo) = search.next() else {
-            break;
-        };
-        let removed: std::collections::HashSet<usize> = combo.items.iter().copied().collect();
-        if config.skip_supersets
-            && explanations
-                .iter()
-                .any(|e: &SentenceRemovalExplanation| e.removed.iter().all(|i| removed.contains(i)))
-        {
-            continue;
-        }
-        let perturbed_body: String = sentences
+    // Incremental evaluation: sentence tf profiles are analysed once, the
+    // fixed pool scores once; each candidate then costs O(removed × |query|)
+    // (plus an O(k) rank scan) instead of a full re-tokenise and re-rank.
+    let texts: Vec<&str> = sentences.iter().map(|s| s.text.as_str()).collect();
+    let delta = if config.eval.force_exact {
+        None
+    } else {
+        DeltaScorer::new(ranker, query, &texts)
+    };
+    let pool_scorer = PoolScorer::new(ranker, query, &pool, doc);
+    let perturbed_body_without = |removed: &std::collections::HashSet<usize>| -> String {
+        sentences
             .iter()
             .filter(|s| !removed.contains(&s.index))
             .map(|s| s.text.as_str())
             .collect::<Vec<_>>()
-            .join(" ");
-        let rows = rerank_pool(ranker, query, &pool, Some((doc, &perturbed_body)));
-        let new_rank = rows
-            .iter()
-            .find(|r| r.substituted)
-            .map(|r| r.new_rank)
-            .expect("substituted doc is in the pool");
-        if new_rank > k {
-            explanations.push(SentenceRemovalExplanation {
-                removed: combo.items.clone(),
-                removed_text: combo
-                    .items
-                    .iter()
-                    .map(|&i| sentences[i].text.clone())
-                    .collect(),
-                perturbed_body,
-                importance: combo.score,
-                old_rank,
-                new_rank,
-                candidates_evaluated: search.emitted(),
-            });
-        }
+            .join(" ")
+    };
+
+    let mut total_committed = 0usize;
+    if config.n == 0 {
+        return Ok(SentenceRemovalResult {
+            explanations,
+            sentences,
+            importance,
+            candidates_evaluated: 0,
+            old_rank,
+        });
     }
+    drive_search(
+        &mut search,
+        &config.eval,
+        |combo| {
+            let score = match &delta {
+                Some(d) => d.score_without(&combo.items),
+                None => {
+                    let removed = combo.items.iter().copied().collect();
+                    ranker.score_text(query, &perturbed_body_without(&removed))
+                }
+            };
+            pool_scorer.rank_for(score)
+        },
+        |combo, new_rank, committed| {
+            total_committed = committed;
+            let removed: std::collections::HashSet<usize> = combo.items.iter().copied().collect();
+            if config.skip_supersets
+                && explanations.iter().any(|e: &SentenceRemovalExplanation| {
+                    e.removed.iter().all(|i| removed.contains(i))
+                })
+            {
+                return ControlFlow::Continue(());
+            }
+            if new_rank > k {
+                explanations.push(SentenceRemovalExplanation {
+                    removed: combo.items.clone(),
+                    removed_text: combo
+                        .items
+                        .iter()
+                        .map(|&i| sentences[i].text.clone())
+                        .collect(),
+                    perturbed_body: perturbed_body_without(&removed),
+                    importance: combo.score,
+                    old_rank,
+                    new_rank,
+                    candidates_evaluated: committed,
+                });
+            }
+            if explanations.len() < config.n {
+                ControlFlow::Continue(())
+            } else {
+                ControlFlow::Break(())
+            }
+        },
+    );
 
     Ok(SentenceRemovalResult {
         explanations,
         sentences,
         importance,
-        candidates_evaluated: search.emitted(),
+        candidates_evaluated: total_committed,
         old_rank,
     })
 }
@@ -197,7 +250,7 @@ pub fn explain_sentence_removal(
 mod tests {
     use super::*;
     use credence_index::{Bm25Params, Document, InvertedIndex};
-    use credence_rank::Bm25Ranker;
+    use credence_rank::{rerank_pool, Bm25Ranker};
     use credence_text::Analyzer;
 
     /// Tiny corpus where doc 0 is relevant through exactly two sentences.

@@ -14,13 +14,15 @@
 //! term removes *all* of its occurrences.
 
 use std::collections::HashSet;
+use std::ops::ControlFlow;
 
 use credence_index::DocId;
-use credence_rank::{rank_corpus, rerank_pool, Ranker};
+use credence_rank::{rank_corpus, rerank_pool, PoolScorer, RankedList, Ranker};
 use credence_text::tokenize;
 
 use crate::combos::{CandidateOrdering, ComboSearch, SearchBudget};
 use crate::error::ExplainError;
+use crate::evaluator::{drive_search, EvalOptions};
 
 /// Configuration for the term-removal explainer.
 #[derive(Debug, Clone)]
@@ -31,6 +33,8 @@ pub struct TermRemovalConfig {
     pub budget: SearchBudget,
     /// Candidate ordering.
     pub ordering: CandidateOrdering,
+    /// Candidate-evaluation engine knobs (threads, incremental scoring).
+    pub eval: EvalOptions,
 }
 
 impl Default for TermRemovalConfig {
@@ -39,6 +43,7 @@ impl Default for TermRemovalConfig {
             n: 1,
             budget: SearchBudget::default(),
             ordering: CandidateOrdering::ImportanceGuided,
+            eval: EvalOptions::default(),
         }
     }
 }
@@ -111,6 +116,21 @@ pub fn explain_term_removal(
     doc: DocId,
     config: &TermRemovalConfig,
 ) -> Result<TermRemovalResult, ExplainError> {
+    let ranking = rank_corpus(ranker, query);
+    explain_term_removal_ranked(ranker, query, k, doc, config, &ranking)
+}
+
+/// [`explain_term_removal`] against a pre-computed base ranking for `query`
+/// (for example the engine's ranking cache), avoiding the initial
+/// full-corpus pass.
+pub fn explain_term_removal_ranked(
+    ranker: &dyn Ranker,
+    query: &str,
+    k: usize,
+    doc: DocId,
+    config: &TermRemovalConfig,
+    ranking: &RankedList,
+) -> Result<TermRemovalResult, ExplainError> {
     if k == 0 {
         return Err(ExplainError::InvalidParameter("k must be at least 1"));
     }
@@ -122,7 +142,6 @@ pub fn explain_term_removal(
     if index.analyze_query(query).is_empty() {
         return Err(ExplainError::EmptyQuery);
     }
-    let ranking = rank_corpus(ranker, query);
     let old_rank = ranking
         .rank_of(doc)
         .ok_or(ExplainError::DocNotRelevant { doc, rank: None })?;
@@ -167,44 +186,74 @@ pub fn explain_term_removal(
         return Err(ExplainError::NoCandidateTerms(doc));
     }
 
+    // Term removal rewrites the body by string surgery, so each candidate
+    // must be re-scored as text; the pool scorer still removes the per-
+    // candidate re-scoring of the other k pool documents.
+    let pool_scorer = if config.eval.force_exact {
+        None
+    } else {
+        Some(PoolScorer::new(ranker, query, &pool, doc))
+    };
+
     let scores: Vec<f64> = candidates.iter().map(|c| c.1).collect();
     let mut search = ComboSearch::new(&scores, config.budget, config.ordering);
     let mut explanations = Vec::new();
+    let mut total_committed = 0usize;
 
-    while explanations.len() < config.n {
-        let Some(combo) = search.next() else {
-            break;
-        };
-        let terms: HashSet<String> = combo
-            .items
-            .iter()
-            .map(|&i| candidates[i].0.clone())
-            .collect();
-        let perturbed = remove_terms(&document.body, &terms);
-        let rows = rerank_pool(ranker, query, &pool, Some((doc, &perturbed)));
-        let new_rank = rows
-            .iter()
-            .find(|r| r.substituted)
-            .map(|r| r.new_rank)
-            .expect("substituted doc in pool");
-        if new_rank > k {
-            let mut removed: Vec<String> = terms.into_iter().collect();
-            removed.sort();
-            explanations.push(TermRemovalExplanation {
-                removed_terms: removed,
-                perturbed_body: perturbed,
-                importance: combo.score,
-                old_rank,
-                new_rank,
-                candidates_evaluated: search.emitted(),
-            });
-        }
+    if config.n > 0 {
+        drive_search(
+            &mut search,
+            &config.eval,
+            |combo| {
+                let terms: HashSet<String> = combo
+                    .items
+                    .iter()
+                    .map(|&i| candidates[i].0.clone())
+                    .collect();
+                let perturbed = remove_terms(&document.body, &terms);
+                let new_rank = match &pool_scorer {
+                    Some(scorer) => scorer.rank_for(ranker.score_text(query, &perturbed)),
+                    None => {
+                        let rows = rerank_pool(ranker, query, &pool, Some((doc, &perturbed)));
+                        rows.iter()
+                            .find(|r| r.substituted)
+                            .map(|r| r.new_rank)
+                            .expect("substituted doc in pool")
+                    }
+                };
+                (new_rank, perturbed)
+            },
+            |combo, (new_rank, perturbed), committed| {
+                total_committed = committed;
+                if new_rank > k {
+                    let mut removed: Vec<String> = combo
+                        .items
+                        .iter()
+                        .map(|&i| candidates[i].0.clone())
+                        .collect();
+                    removed.sort();
+                    explanations.push(TermRemovalExplanation {
+                        removed_terms: removed,
+                        perturbed_body: perturbed,
+                        importance: combo.score,
+                        old_rank,
+                        new_rank,
+                        candidates_evaluated: committed,
+                    });
+                }
+                if explanations.len() < config.n {
+                    ControlFlow::Continue(())
+                } else {
+                    ControlFlow::Break(())
+                }
+            },
+        );
     }
 
     Ok(TermRemovalResult {
         explanations,
         candidates,
-        candidates_evaluated: search.emitted(),
+        candidates_evaluated: total_committed,
         old_rank,
     })
 }

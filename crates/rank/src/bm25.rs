@@ -1,7 +1,8 @@
 //! The BM25 ranker — Anserini's first-stage retrieval model.
 
-use credence_index::score::{bm25_score_adhoc, bm25_score_indexed};
+use credence_index::score::{bm25_score_adhoc, bm25_score_indexed, bm25_term_weight};
 use credence_index::{Bm25Params, DocId, InvertedIndex};
+use credence_text::TermId;
 
 use crate::ranker::Ranker;
 
@@ -54,6 +55,21 @@ impl Ranker for Bm25Ranker<'_> {
         let q = self.index.analyze_query(query);
         let (terms, len) = self.index.analyze_adhoc(body);
         bm25_score_adhoc(self.params, self.index.stats(), &q, &terms, len)
+    }
+
+    fn supports_term_weights(&self) -> bool {
+        true
+    }
+
+    fn term_weight(&self, term: TermId, tf: u32, doc_len: u32) -> Option<f64> {
+        // The same weight function both full scorers fold over.
+        Some(bm25_term_weight(
+            self.params,
+            self.index.stats(),
+            term,
+            tf,
+            doc_len,
+        ))
     }
 }
 

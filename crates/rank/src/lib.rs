@@ -21,6 +21,7 @@
 pub mod bm25;
 pub mod eval;
 pub mod features;
+pub mod incremental;
 pub mod neural;
 pub mod ql;
 pub mod ranker;
@@ -30,6 +31,7 @@ pub mod rm3;
 pub use bm25::Bm25Ranker;
 pub use eval::{average_precision, ndcg_at_k, precision_at_k, Qrels};
 pub use features::{FeatureAwareRanker, FeatureRanker, FeatureSchema};
+pub use incremental::{par_map, AugmentedScorer, DeltaScorer, PoolScorer, SubsetScorer};
 pub use neural::{NeuralSimConfig, NeuralSimRanker};
 pub use ql::{QlSmoothing, QueryLikelihoodRanker};
 pub use ranker::Ranker;

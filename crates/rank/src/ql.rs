@@ -120,6 +120,14 @@ impl Ranker for QueryLikelihoodRanker<'_> {
         let (terms, len) = self.index.analyze_adhoc(body);
         self.score_terms(&q, &terms, len)
     }
+
+    fn supports_term_weights(&self) -> bool {
+        true
+    }
+
+    fn term_weight(&self, term: TermId, tf: u32, doc_len: u32) -> Option<f64> {
+        Some(self.term_score(self.index.stats(), term, tf, doc_len))
+    }
 }
 
 #[cfg(test)]

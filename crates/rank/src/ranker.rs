@@ -1,6 +1,7 @@
 //! The black-box ranker contract.
 
 use credence_index::{DocId, InvertedIndex};
+use credence_text::TermId;
 
 /// A black-box ranking model `M` over a fixed corpus.
 ///
@@ -35,6 +36,35 @@ pub trait Ranker: Send + Sync {
     /// Dense/hybrid models return `false` and rank every document.
     fn zero_means_unmatched(&self) -> bool {
         true
+    }
+
+    /// Whether this model's score decomposes into a left-fold sum of
+    /// per-query-term weights, exposed through [`Ranker::term_weight`].
+    ///
+    /// When `true`, the incremental candidate evaluators
+    /// ([`crate::incremental`]) may reconstruct `score_text` / `score_doc`
+    /// as `analyze_query(q).iter().map(|t| term_weight(t, tf, len)).sum()`
+    /// — the same `f64` left fold from `0.0` the full scorer performs, over
+    /// the same integer inputs, so the reconstruction is bit-identical.
+    /// Models whose score is not term-decomposable (dense, feedback-expanded)
+    /// keep the default `false` and the evaluators fall back to exact
+    /// re-scoring.
+    fn supports_term_weights(&self) -> bool {
+        false
+    }
+
+    /// Weight one query-term occurrence count contributes to the score of a
+    /// document with `tf` occurrences of `term` and analysed length
+    /// `doc_len`, under the frozen collection statistics.
+    ///
+    /// Must satisfy, whenever [`Ranker::supports_term_weights`] is `true`:
+    /// summing `term_weight` over `analyze_query(q)` in query order (with
+    /// tf/len taken from the same analysis the full scorer uses) reproduces
+    /// `score_doc` / `score_text` exactly. Returns `None` when the model is
+    /// not term-decomposable.
+    fn term_weight(&self, term: TermId, tf: u32, doc_len: u32) -> Option<f64> {
+        let _ = (term, tf, doc_len);
+        None
     }
 }
 

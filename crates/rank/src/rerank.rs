@@ -15,16 +15,26 @@ use credence_index::DocId;
 use crate::ranker::Ranker;
 
 /// A full corpus ranking for one query under one model.
+///
+/// Rank and score lookups are O(1): construction builds a doc-id→position
+/// map alongside the sorted entries, because the counterfactual search
+/// loops call [`RankedList::rank_of`] once per evaluated candidate.
 #[derive(Debug, Clone)]
 pub struct RankedList {
     entries: Vec<(DocId, f64)>,
+    positions: std::collections::HashMap<DocId, usize>,
 }
 
 impl RankedList {
     /// Construct from `(doc, score)` pairs (any order).
     pub fn from_scores(mut entries: Vec<(DocId, f64)>) -> Self {
         entries.sort_unstable_by(compare_hits);
-        Self { entries }
+        let positions = entries
+            .iter()
+            .enumerate()
+            .map(|(i, &(d, _))| (d, i))
+            .collect();
+        Self { entries, positions }
     }
 
     /// The ranked entries, best first.
@@ -34,18 +44,12 @@ impl RankedList {
 
     /// 1-based rank of `doc`, or `None` when it is not in the ranking.
     pub fn rank_of(&self, doc: DocId) -> Option<usize> {
-        self.entries
-            .iter()
-            .position(|&(d, _)| d == doc)
-            .map(|p| p + 1)
+        self.positions.get(&doc).map(|&p| p + 1)
     }
 
     /// Score of `doc`, if ranked.
     pub fn score_of(&self, doc: DocId) -> Option<f64> {
-        self.entries
-            .iter()
-            .find(|&&(d, _)| d == doc)
-            .map(|&(_, s)| s)
+        self.positions.get(&doc).map(|&p| self.entries[p].1)
     }
 
     /// The ids of the top `k` documents (fewer when the ranking is shorter).

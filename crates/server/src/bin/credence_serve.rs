@@ -8,7 +8,7 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use credence_core::EngineConfig;
+use credence_core::{EngineConfig, EvalOptions};
 use credence_corpus::{covid_demo_corpus, load_jsonl, load_tsv};
 use credence_server::service::RankerChoice;
 use credence_server::{AppState, Server};
@@ -17,6 +17,7 @@ fn main() -> ExitCode {
     let mut addr = "127.0.0.1:8091".to_string();
     let mut corpus_path: Option<String> = None;
     let mut ranker = RankerChoice::Bm25;
+    let mut eval = EvalOptions::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -33,11 +34,27 @@ fn main() -> ExitCode {
                 Some(r) => ranker = r,
                 None => return usage("--ranker must be bm25 | ql | ql-jm | rm3 | neural"),
             },
+            "--eval-threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(t) => eval.threads = t,
+                None => return usage("--eval-threads requires an integer (0 = auto)"),
+            },
+            "--eval-parallel-threshold" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(t) => eval.parallel_threshold = t,
+                None => return usage("--eval-parallel-threshold requires an integer"),
+            },
+            "--eval-exact" => eval.force_exact = true,
             "--help" | "-h" => {
                 println!(
                     "credence-serve — CREDENCE REST API\n\n\
                      USAGE: credence-serve [--addr HOST:PORT] [--corpus FILE.jsonl|FILE.tsv]\n\
-                     \x20                     [--ranker bm25|ql|ql-jm|rm3|neural]\n\n\
+                     \x20                     [--ranker bm25|ql|ql-jm|rm3|neural]\n\
+                     \x20                     [--eval-threads N] [--eval-parallel-threshold N]\n\
+                     \x20                     [--eval-exact]\n\n\
+                     --eval-threads: worker threads for counterfactual candidate\n\
+                     \x20  evaluation (0 = one per CPU, 1 = serial).\n\
+                     --eval-parallel-threshold: smallest candidate batch fanned out\n\
+                     \x20  to threads.\n\
+                     --eval-exact: disable the incremental scorers (reference path).\n\n\
                      Without --corpus, serves the built-in COVID-19 Articles demo corpus."
                 );
                 return ExitCode::SUCCESS;
@@ -66,7 +83,11 @@ fn main() -> ExitCode {
     };
 
     eprintln!("indexing {} documents and training doc2vec...", docs.len());
-    let state = AppState::leak_with(docs, EngineConfig::default(), ranker);
+    let config = EngineConfig {
+        eval,
+        ..EngineConfig::default()
+    };
+    let state = AppState::leak_with(docs, config, ranker);
     let server = match Server::bind(addr.as_str(), state) {
         Ok(s) => s,
         Err(e) => {

@@ -1,8 +1,8 @@
 //! Endpoint handlers: JSON in, JSON out, engine in the middle.
 
 use credence_core::{
-    CredenceEngine, EngineConfig, ExplainError, QueryAugmentationConfig, QueryReductionConfig,
-    SentenceRemovalConfig,
+    CredenceEngine, EngineConfig, EvalOptions, ExplainError, QueryAugmentationConfig,
+    QueryReductionConfig, SentenceRemovalConfig,
 };
 use credence_index::{Bm25Params, DocId, Document, InvertedIndex};
 use credence_json::{obj, parse, to_string, Value};
@@ -145,6 +145,25 @@ fn get_usize_or(body: &Value, key: &str, default: usize) -> Result<usize, Respon
     }
 }
 
+/// Optional per-request candidate-evaluation knobs: `eval_threads` (0 =
+/// auto, 1 = serial) and `eval_parallel_threshold`. When neither is present
+/// the default is returned and the engine-level configuration applies.
+fn get_eval_options(body: &Value) -> Result<EvalOptions, Response> {
+    let mut eval = EvalOptions::default();
+    if let Some(v) = body.get("eval_threads") {
+        eval.threads = v
+            .as_u64()
+            .map(|v| v as usize)
+            .ok_or_else(|| error_response(400, "field 'eval_threads' must be an integer"))?;
+    }
+    if let Some(v) = body.get("eval_parallel_threshold") {
+        eval.parallel_threshold = v.as_u64().map(|v| v as usize).ok_or_else(|| {
+            error_response(400, "field 'eval_parallel_threshold' must be an integer")
+        })?;
+    }
+    Ok(eval)
+}
+
 fn pool_entry_json(row: &PoolEntry) -> Value {
     obj([
         ("doc", Value::from(row.doc.0)),
@@ -267,8 +286,13 @@ fn sentence_removal(state: &AppState, req: &Request) -> Response {
         Ok(n) => n,
         Err(r) => return r,
     };
+    let eval = match get_eval_options(&body) {
+        Ok(e) => e,
+        Err(r) => return r,
+    };
     let config = SentenceRemovalConfig {
         n,
+        eval,
         ..Default::default()
     };
     match state
@@ -337,9 +361,14 @@ fn query_augmentation(state: &AppState, req: &Request) -> Response {
         (Ok(n), Ok(t)) => (n, t),
         (Err(r), _) | (_, Err(r)) => return r,
     };
+    let eval = match get_eval_options(&body) {
+        Ok(e) => e,
+        Err(r) => return r,
+    };
     let config = QueryAugmentationConfig {
         n,
         threshold,
+        eval,
         ..Default::default()
     };
     match state
@@ -396,8 +425,13 @@ fn query_reduction(state: &AppState, req: &Request) -> Response {
         Ok(n) => n,
         Err(r) => return r,
     };
+    let eval = match get_eval_options(&body) {
+        Ok(e) => e,
+        Err(r) => return r,
+    };
     let config = QueryReductionConfig {
         n,
+        eval,
         ..Default::default()
     };
     match state
@@ -839,6 +873,29 @@ mod tests {
         assert_eq!(explanations.len(), 1);
         let new_rank = explanations[0].get("new_rank").unwrap().as_u64().unwrap();
         assert!(new_rank > 3);
+    }
+
+    #[test]
+    fn eval_knobs_change_nothing_but_validate() {
+        // The evaluation engine is bit-deterministic: a request that forces
+        // the threaded path must produce a byte-identical payload.
+        let plain = post(
+            "/explain/sentence-removal",
+            r#"{"query": "covid outbreak", "k": 3, "doc": 2, "n": 1}"#,
+        );
+        let tuned = post(
+            "/explain/sentence-removal",
+            r#"{"query": "covid outbreak", "k": 3, "doc": 2, "n": 1,
+                "eval_threads": 3, "eval_parallel_threshold": 1}"#,
+        );
+        assert_eq!(tuned.status, 200);
+        assert_eq!(plain.body, tuned.body);
+
+        let bad = post(
+            "/explain/sentence-removal",
+            r#"{"query": "covid outbreak", "k": 3, "doc": 2, "eval_threads": "many"}"#,
+        );
+        assert_eq!(bad.status, 400);
     }
 
     #[test]

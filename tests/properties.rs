@@ -713,3 +713,108 @@ prop! {
         let _ = credence_json::parse(&s);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Candidate-evaluation engine parity: the incremental scorers and the
+// multi-threaded level evaluation must be bit-for-bit identical to the
+// exact serial reference path on every explainer. `parallel_threshold: 1`
+// forces the threaded path even on the small generated corpora, and the
+// results derive `PartialEq` over their `f64` scores, so equality here is
+// exact float equality, not tolerance.
+// ---------------------------------------------------------------------------
+
+/// A forced-parallel, incremental configuration for the parity properties.
+fn parity_eval(threads: usize) -> credence_core::EvalOptions {
+    credence_core::EvalOptions {
+        threads,
+        parallel_threshold: 1,
+        force_exact: false,
+    }
+}
+
+prop! {
+    /// Sentence removal: parallel + delta scoring equals exact serial.
+    config(cases = 24);
+    fn sentence_removal_engine_parity(
+        docs in arb_corpus(),
+        n in gens::usize_range(1..4),
+        threads in gens::usize_range(2..5),
+    ) {
+        use credence_core::{explain_sentence_removal, EvalOptions, SentenceRemovalConfig};
+        let idx = InvertedIndex::build(docs.clone(), Analyzer::english());
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        let ranking = rank_corpus(&ranker, "covid outbreak");
+        prop_assume!(!ranking.is_empty());
+        let doc = ranking.entries()[0].0;
+        let k = 1.max(ranking.len() / 2);
+        let mk = |eval| SentenceRemovalConfig { n: *n, eval, ..Default::default() };
+        let serial = explain_sentence_removal(&ranker, "covid outbreak", k, doc, &mk(EvalOptions::exact_serial()));
+        let engine = explain_sentence_removal(&ranker, "covid outbreak", k, doc, &mk(parity_eval(*threads)));
+        prop_assert_eq!(serial, engine);
+    }
+}
+
+prop! {
+    /// Query augmentation: parallel + posting-list scoring equals exact serial.
+    config(cases = 24);
+    fn query_augmentation_engine_parity(
+        docs in arb_corpus(),
+        n in gens::usize_range(1..4),
+        threads in gens::usize_range(2..5),
+    ) {
+        use credence_core::{explain_query_augmentation, EvalOptions, QueryAugmentationConfig};
+        let idx = InvertedIndex::build(docs.clone(), Analyzer::english());
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        let ranking = rank_corpus(&ranker, "covid outbreak");
+        prop_assume!(ranking.len() >= 2);
+        // The last-ranked document: ranked, and strictly below threshold 1.
+        let doc = ranking.entries()[ranking.len() - 1].0;
+        let mk = |eval| QueryAugmentationConfig { n: *n, threshold: 1, eval, ..Default::default() };
+        let serial = explain_query_augmentation(&ranker, "covid outbreak", 1, doc, &mk(EvalOptions::exact_serial()));
+        let engine = explain_query_augmentation(&ranker, "covid outbreak", 1, doc, &mk(parity_eval(*threads)));
+        prop_assert_eq!(serial, engine);
+    }
+}
+
+prop! {
+    /// Query reduction: parallel + subset scoring equals exact serial.
+    config(cases = 24);
+    fn query_reduction_engine_parity(
+        docs in arb_corpus(),
+        n in gens::usize_range(1..4),
+        threads in gens::usize_range(2..5),
+    ) {
+        use credence_core::{explain_query_reduction, EvalOptions, QueryReductionConfig};
+        let idx = InvertedIndex::build(docs.clone(), Analyzer::english());
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        let query = "covid outbreak vaccine";
+        let ranking = rank_corpus(&ranker, query);
+        prop_assume!(!ranking.is_empty());
+        let doc = ranking.entries()[0].0;
+        let mk = |eval| QueryReductionConfig { n: *n, eval, ..Default::default() };
+        let serial = explain_query_reduction(&ranker, query, 1, doc, &mk(EvalOptions::exact_serial()));
+        let engine = explain_query_reduction(&ranker, query, 1, doc, &mk(parity_eval(*threads)));
+        prop_assert_eq!(serial, engine);
+    }
+}
+
+prop! {
+    /// Term removal: parallel + pool scoring equals exact serial.
+    config(cases = 24);
+    fn term_removal_engine_parity(
+        docs in arb_corpus(),
+        n in gens::usize_range(1..4),
+        threads in gens::usize_range(2..5),
+    ) {
+        use credence_core::{explain_term_removal, EvalOptions, TermRemovalConfig};
+        let idx = InvertedIndex::build(docs.clone(), Analyzer::english());
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        let ranking = rank_corpus(&ranker, "covid outbreak");
+        prop_assume!(!ranking.is_empty());
+        let doc = ranking.entries()[0].0;
+        let mk = |eval| TermRemovalConfig { n: *n, eval, ..Default::default() };
+        let serial = explain_term_removal(&ranker, "covid outbreak", 1, doc, &mk(EvalOptions::exact_serial()));
+        let engine = explain_term_removal(&ranker, "covid outbreak", 1, doc, &mk(parity_eval(*threads)));
+        prop_assert_eq!(serial, engine);
+    }
+}
