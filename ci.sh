@@ -21,6 +21,9 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "==> credence-serve smoke (REST /api/v1 + /metrics + deadline budget)"
+./scripts/serve_smoke.sh
+
 echo "==> smoke benches (CREDENCE_BENCH_SMOKE=1)"
 CREDENCE_BENCH_SMOKE=1 cargo bench -p credence-bench --offline
 

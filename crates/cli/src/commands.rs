@@ -10,9 +10,9 @@ use std::path::Path;
 
 use credence_core::{
     explain_query_augmentation, explain_query_reduction, explain_saliency,
-    explain_sentence_removal, explain_term_removal, test_edits, CredenceEngine, Edit, EngineConfig,
-    QueryAugmentationConfig, QueryReductionConfig, SaliencyUnit, SentenceRemovalConfig,
-    TermRemovalConfig,
+    explain_sentence_removal, explain_term_removal, test_edits, Budget, CredenceEngine, Edit,
+    EngineConfig, QueryAugmentationConfig, QueryReductionConfig, SaliencyUnit,
+    SentenceRemovalConfig, TermRemovalConfig,
 };
 use credence_corpus::{covid_demo_corpus, load_jsonl, load_tsv, save_jsonl, save_tsv};
 use credence_corpus::{SynthConfig, SyntheticCorpus};
@@ -36,6 +36,10 @@ COMMANDS
             every command accepts --ranker bm25|ql|ql-jm|rm3|neural (default bm25)
   explain   --type T --query Q --k K --doc ID         generate explanations
             [--n N] [--threshold T] [--samples S] [--corpus F]
+            [--deadline-ms MS] [--max-evals N]  budget the counterfactual
+            search: stop at the next batch boundary once the wall-clock
+            deadline or the evaluation cap is hit and report the partial
+            best-so-far result
             types: sentence-removal | query-augmentation | query-reduction |
                    doc2vec-nearest | cosine-sampled | term-removal | saliency
   builder   --query Q --k K --doc ID                  test your own edits
@@ -114,6 +118,29 @@ fn doc_id(args: &Args) -> Result<DocId, CliError> {
     Ok(DocId(args.require_usize("doc")? as u32))
 }
 
+/// Build the request-lifecycle budget from `--deadline-ms` / `--max-evals`.
+/// The deadline starts ticking here, so indexing time counts against it —
+/// matching what a server-side caller experiences.
+fn lifecycle_budget(args: &Args) -> Result<Budget, CliError> {
+    let mut budget = Budget::unlimited();
+    if args.get("deadline-ms").is_some() {
+        budget = budget.with_deadline_ms(args.require_usize("deadline-ms")? as u64);
+    }
+    if args.get("max-evals").is_some() {
+        budget = budget.with_max_evals(args.require_usize("max-evals")?);
+    }
+    Ok(budget)
+}
+
+/// One status line for budget-limited searches, blank when complete.
+fn status_line(status: credence_core::SearchStatus, candidates_evaluated: usize) -> String {
+    if status.is_partial() {
+        format!("search stopped early ({status}) after {candidates_evaluated} evaluation(s); showing best-so-far\n")
+    } else {
+        String::new()
+    }
+}
+
 fn rank(args: &Args) -> Result<String, CliError> {
     let query = args.require("query")?.to_string();
     let k = args.get_usize("k", 10)?;
@@ -144,6 +171,7 @@ fn explain(args: &Args) -> Result<String, CliError> {
     let n = args.get_usize("n", 1)?;
     let threshold = args.get_usize("threshold", 1)?;
     let samples = args.get_usize("samples", 100)?;
+    let lifecycle = lifecycle_budget(args)?;
 
     with_engine(args, |engine, index| {
         let mut out = String::new();
@@ -157,11 +185,13 @@ fn explain(args: &Args) -> Result<String, CliError> {
                     doc,
                     &SentenceRemovalConfig {
                         n,
+                        lifecycle: lifecycle.clone(),
                         ..Default::default()
                     },
                 )
                 .map_err(CliError::new)?;
                 writeln!(out, "document ranks {} of top-{k}", result.old_rank).unwrap();
+                out.push_str(&status_line(result.status, result.candidates_evaluated));
                 for (i, e) in result.explanations.iter().enumerate() {
                     writeln!(
                         out,
@@ -188,11 +218,13 @@ fn explain(args: &Args) -> Result<String, CliError> {
                     &QueryAugmentationConfig {
                         n,
                         threshold,
+                        lifecycle: lifecycle.clone(),
                         ..Default::default()
                     },
                 )
                 .map_err(CliError::new)?;
                 writeln!(out, "document ranks {} of top-{k}", result.old_rank).unwrap();
+                out.push_str(&status_line(result.status, result.candidates_evaluated));
                 for e in &result.explanations {
                     writeln!(out, "  {:?} -> rank {}", e.augmented_query, e.new_rank).unwrap();
                 }
@@ -236,10 +268,12 @@ fn explain(args: &Args) -> Result<String, CliError> {
                     doc,
                     &QueryReductionConfig {
                         n,
+                        lifecycle: lifecycle.clone(),
                         ..Default::default()
                     },
                 )
                 .map_err(CliError::new)?;
+                out.push_str(&status_line(result.status, result.candidates_evaluated));
                 for e in &result.explanations {
                     writeln!(
                         out,
@@ -260,10 +294,12 @@ fn explain(args: &Args) -> Result<String, CliError> {
                     doc,
                     &TermRemovalConfig {
                         n,
+                        lifecycle: lifecycle.clone(),
                         ..Default::default()
                     },
                 )
                 .map_err(CliError::new)?;
+                out.push_str(&status_line(result.status, result.candidates_evaluated));
                 for e in &result.explanations {
                     writeln!(
                         out,
@@ -552,6 +588,68 @@ mod tests {
             let out = run(&args).unwrap_or_else(|e| panic!("{kind}: {e}"));
             assert!(!out.is_empty(), "{kind} produced no output");
         }
+    }
+
+    #[test]
+    fn budget_flags_cap_the_search() {
+        let demo = covid_demo_corpus();
+        let args = Args::parse(
+            [
+                "explain",
+                "--type",
+                "sentence-removal",
+                "--query",
+                "covid outbreak",
+                "--k",
+                "10",
+                "--doc",
+                &demo.fake_news.to_string(),
+                "--n",
+                "5",
+                "--max-evals",
+                "1",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("stopped early (exhausted)"), "{out}");
+        assert!(out.contains("after 1 evaluation"), "{out}");
+    }
+
+    #[test]
+    fn expired_deadline_reports_a_partial_result() {
+        let demo = covid_demo_corpus();
+        let args = Args::parse(
+            [
+                "explain",
+                "--type",
+                "term-removal",
+                "--query",
+                "covid outbreak",
+                "--k",
+                "10",
+                "--doc",
+                &demo.fake_news.to_string(),
+                "--deadline-ms",
+                "0",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("stopped early (deadline)"), "{out}");
+    }
+
+    #[test]
+    fn budget_flags_validate() {
+        let err = run_line(
+            "explain --type sentence-removal --query covid --k 3 --doc 0 --max-evals pony",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--max-evals"), "{err}");
     }
 
     #[test]

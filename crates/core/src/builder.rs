@@ -17,6 +17,7 @@ use credence_index::DocId;
 use credence_rank::{rank_corpus, rerank_pool, PoolEntry, RankedList, Ranker};
 use credence_text::tokenize;
 
+use crate::budget::{Budget, SearchStatus};
 use crate::error::ExplainError;
 
 /// One structured edit to a document body.
@@ -192,6 +193,30 @@ pub fn test_perturbation_ranked(
     })
 }
 
+/// [`test_perturbation_ranked`] under a request [`Budget`].
+///
+/// The builder evaluates exactly one perturbation, so there is no partial
+/// result to return: an already-expired deadline or a raised cancel flag
+/// fails fast with [`ExplainError::DeadlineExceeded`] /
+/// [`ExplainError::Cancelled`] before the pool is re-scored. An eval cap is
+/// ignored — the single evaluation is the request.
+pub fn test_perturbation_budgeted_ranked(
+    ranker: &dyn Ranker,
+    query: &str,
+    k: usize,
+    doc: DocId,
+    edited_body: &str,
+    ranking: &RankedList,
+    budget: &Budget,
+) -> Result<BuilderOutcome, ExplainError> {
+    match budget.stop_reason(0) {
+        Some(SearchStatus::Cancelled) => return Err(ExplainError::Cancelled),
+        Some(SearchStatus::Deadline) => return Err(ExplainError::DeadlineExceeded),
+        _ => {}
+    }
+    test_perturbation_ranked(ranker, query, k, doc, edited_body, ranking)
+}
+
 /// Apply structured [`Edit`]s to `doc` and test the result.
 pub fn test_edits(
     ranker: &dyn Ranker,
@@ -327,6 +352,62 @@ mod tests {
         let outcome =
             test_perturbation(&r, "covid outbreak", 2, DocId(1), "irrelevant now").unwrap();
         assert_eq!(outcome.revealed, Some(expected));
+    }
+
+    #[test]
+    fn budgeted_builder_fails_fast_on_expired_budget() {
+        let idx = fixture();
+        let r = Bm25Ranker::new(&idx, Bm25Params::default());
+        let ranking = rank_corpus(&r, "covid outbreak");
+
+        let expired = Budget {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+            ..Budget::default()
+        };
+        let err = test_perturbation_budgeted_ranked(
+            &r,
+            "covid outbreak",
+            2,
+            DocId(1),
+            "gone",
+            &ranking,
+            &expired,
+        )
+        .unwrap_err();
+        assert_eq!(err, ExplainError::DeadlineExceeded);
+
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let cancelled = Budget::unlimited().with_cancel(flag);
+        let err = test_perturbation_budgeted_ranked(
+            &r,
+            "covid outbreak",
+            2,
+            DocId(1),
+            "gone",
+            &ranking,
+            &cancelled,
+        )
+        .unwrap_err();
+        assert_eq!(err, ExplainError::Cancelled);
+
+        // A live budget (even a zero eval cap — the single evaluation is the
+        // request) behaves exactly like the unbudgeted path.
+        let generous = Budget::unlimited()
+            .with_deadline_ms(60_000)
+            .with_max_evals(0);
+        let budgeted = test_perturbation_budgeted_ranked(
+            &r,
+            "covid outbreak",
+            2,
+            DocId(1),
+            "gone",
+            &ranking,
+            &generous,
+        )
+        .unwrap();
+        let plain = test_perturbation(&r, "covid outbreak", 2, DocId(1), "gone").unwrap();
+        assert_eq!(budgeted.rows, plain.rows);
+        assert_eq!(budgeted.valid, plain.valid);
     }
 
     #[test]

@@ -17,7 +17,11 @@ use credence_rank::{rank_corpus, rank_corpus_parallel, RankedList, Ranker};
 use credence_text::Vocabulary;
 use credence_topics::{summarize_topics, LdaConfig, LdaModel, TopicSummary};
 
-use crate::builder::{test_edits_ranked, test_perturbation_ranked, BuilderOutcome, Edit};
+use crate::budget::Budget;
+use crate::builder::{
+    test_edits_ranked, test_perturbation_budgeted_ranked, test_perturbation_ranked, BuilderOutcome,
+    Edit,
+};
 use crate::error::ExplainError;
 use crate::evaluator::EvalOptions;
 use crate::explanation::InstanceExplanation;
@@ -359,6 +363,20 @@ impl<'a> CredenceEngine<'a> {
     ) -> Result<BuilderOutcome, ExplainError> {
         let ranking = self.cached_ranking(query);
         test_perturbation_ranked(self.ranker, query, k, doc, edited_body, &ranking)
+    }
+
+    /// [`Self::builder_rerank`] under a request [`Budget`]: fails fast with
+    /// `deadline_exceeded` / `cancelled` when the budget is already spent.
+    pub fn builder_rerank_budgeted(
+        &self,
+        query: &str,
+        k: usize,
+        doc: DocId,
+        edited_body: &str,
+        budget: &Budget,
+    ) -> Result<BuilderOutcome, ExplainError> {
+        let ranking = self.cached_ranking(query);
+        test_perturbation_budgeted_ranked(self.ranker, query, k, doc, edited_body, &ranking, budget)
     }
 
     /// Structured-edit variant of [`Self::builder_rerank`].

@@ -27,6 +27,29 @@ pub enum ExplainError {
     NoCandidateTerms(DocId),
     /// `k` (or a threshold) was zero or otherwise unusable.
     InvalidParameter(&'static str),
+    /// The request's wall-clock deadline expired before any work could be
+    /// done (mid-search expiry returns a partial result instead).
+    DeadlineExceeded,
+    /// The request's cooperative cancel flag was raised before any work
+    /// could be done (mid-search cancellation returns a partial result).
+    Cancelled,
+}
+
+impl ExplainError {
+    /// The stable machine-readable error code, shared by the REST error
+    /// envelope and the CLI. These strings are API: clients match on them.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ExplainError::DocNotFound(_) => "doc_not_found",
+            ExplainError::EmptyQuery => "empty_query",
+            ExplainError::DocNotRelevant { .. } => "doc_not_relevant",
+            ExplainError::NoSentences(_) => "no_sentences",
+            ExplainError::NoCandidateTerms(_) => "no_candidate_terms",
+            ExplainError::InvalidParameter(_) => "invalid_parameter",
+            ExplainError::DeadlineExceeded => "deadline_exceeded",
+            ExplainError::Cancelled => "cancelled",
+        }
+    }
 }
 
 impl fmt::Display for ExplainError {
@@ -43,6 +66,10 @@ impl fmt::Display for ExplainError {
                 write!(f, "document {d} offers no candidate terms to append")
             }
             ExplainError::InvalidParameter(p) => write!(f, "invalid parameter: {p}"),
+            ExplainError::DeadlineExceeded => {
+                write!(f, "deadline expired before the request could start")
+            }
+            ExplainError::Cancelled => write!(f, "request was cancelled"),
         }
     }
 }
@@ -69,5 +96,27 @@ mod tests {
             rank: None,
         };
         assert!(e.to_string().contains("not retrieved"));
+    }
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(ExplainError::DocNotFound(DocId(0)).code(), "doc_not_found");
+        assert_eq!(ExplainError::EmptyQuery.code(), "empty_query");
+        let e = ExplainError::DocNotRelevant {
+            doc: DocId(0),
+            rank: None,
+        };
+        assert_eq!(e.code(), "doc_not_relevant");
+        assert_eq!(ExplainError::NoSentences(DocId(0)).code(), "no_sentences");
+        assert_eq!(
+            ExplainError::NoCandidateTerms(DocId(0)).code(),
+            "no_candidate_terms"
+        );
+        assert_eq!(
+            ExplainError::InvalidParameter("k").code(),
+            "invalid_parameter"
+        );
+        assert_eq!(ExplainError::DeadlineExceeded.code(), "deadline_exceeded");
+        assert_eq!(ExplainError::Cancelled.code(), "cancelled");
     }
 }

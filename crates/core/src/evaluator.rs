@@ -23,8 +23,9 @@
 
 use std::ops::ControlFlow;
 
-use credence_rank::par_map;
+use credence_rank::{par_map, par_map_until};
 
+use crate::budget::{Budget, SearchStatus};
 use crate::combos::{Combo, ComboSearch};
 
 /// Knobs for the candidate-evaluation engine, carried by every explainer
@@ -81,31 +82,45 @@ impl EvalOptions {
 const MAX_BATCH: usize = 512;
 
 /// Run the candidate loop: evaluate combos from `search` (possibly in
-/// parallel) and commit verdicts sequentially in enumeration order.
+/// parallel) and commit verdicts sequentially in enumeration order, bounded
+/// by `budget`.
 ///
 /// `evaluate` must be pure; `commit` receives the combo, its verdict, and
 /// the 1-based count of candidates committed so far (the serial loop's
 /// `search.emitted()` at that point), and returns [`ControlFlow::Break`] to
 /// stop the search.
+///
+/// The budget is consulted before every candidate on the serial path and at
+/// every batch boundary (plus between items inside a parallel batch, via
+/// [`par_map_until`]) otherwise. The return value says how the loop ended:
+/// [`SearchStatus::Complete`] when the enumeration drained or a commit broke
+/// out, and the tripped limit otherwise. With [`Budget::unlimited`] the
+/// commits — order, verdicts, and counts — are byte-identical to the
+/// pre-budget driver for every thread count.
 pub(crate) fn drive_search<R: Send>(
     search: &mut ComboSearch,
     options: &EvalOptions,
+    budget: &Budget,
     evaluate: impl Fn(&Combo) -> R + Sync,
     mut commit: impl FnMut(Combo, R, usize) -> ControlFlow<()>,
-) {
+) -> SearchStatus {
     let threads = options.resolved_threads();
     let mut committed = 0usize;
 
     if threads <= 1 {
         // The serial reference loop: no batching, no speculation.
-        while let Some(combo) = search.next() {
+        loop {
+            if let Some(stop) = budget.stop_reason(committed) {
+                return stop;
+            }
+            let Some(combo) = search.next() else { break };
             let verdict = evaluate(&combo);
             committed += 1;
             if commit(combo, verdict, committed).is_break() {
-                return;
+                return SearchStatus::Complete;
             }
         }
-        return;
+        return SearchStatus::Complete;
     }
 
     // Ramp the batch size up from a couple of rounds per thread so an early
@@ -114,23 +129,55 @@ pub(crate) fn drive_search<R: Send>(
     let mut batch_size = (threads * 2).min(MAX_BATCH);
     let mut batch: Vec<Combo> = Vec::with_capacity(batch_size);
     loop {
+        if let Some(stop) = budget.stop_reason(committed) {
+            return stop;
+        }
         batch.clear();
-        while batch.len() < batch_size {
+        // Never pull speculative candidates past the eval cap, so an
+        // `Exhausted` stop commits exactly `max_evals` on every thread count.
+        let this_batch = batch_size.min(budget.remaining_evals(committed));
+        while batch.len() < this_batch {
             let Some(combo) = search.next() else { break };
             batch.push(combo);
         }
         if batch.is_empty() {
-            return;
+            // Enumeration drained: the top-of-loop check already returned
+            // if a budget limit had tripped, so this end is the natural one.
+            return SearchStatus::Complete;
         }
-        let verdicts = if batch.len() >= options.parallel_threshold {
-            par_map(&batch, threads, &evaluate)
+        if budget.deadline.is_some() || budget.cancel.is_some() {
+            // Interruptible evaluation: workers poll the deadline/cancel
+            // state between candidates and drop the suffix of their chunk.
+            let eval_threads = if batch.len() >= options.parallel_threshold {
+                threads
+            } else {
+                1
+            };
+            let verdicts = par_map_until(&batch, eval_threads, &evaluate, || budget.interrupted());
+            for (combo, verdict) in batch.drain(..).zip(verdicts) {
+                let Some(verdict) = verdict else {
+                    // The budget tripped mid-batch; everything before this
+                    // point was committed, which keeps the prefix clean.
+                    return budget
+                        .stop_reason(committed)
+                        .unwrap_or(SearchStatus::Deadline);
+                };
+                committed += 1;
+                if commit(combo, verdict, committed).is_break() {
+                    return SearchStatus::Complete;
+                }
+            }
         } else {
-            batch.iter().map(&evaluate).collect()
-        };
-        for (combo, verdict) in batch.drain(..).zip(verdicts) {
-            committed += 1;
-            if commit(combo, verdict, committed).is_break() {
-                return;
+            let verdicts = if batch.len() >= options.parallel_threshold {
+                par_map(&batch, threads, &evaluate)
+            } else {
+                batch.iter().map(&evaluate).collect()
+            };
+            for (combo, verdict) in batch.drain(..).zip(verdicts) {
+                committed += 1;
+                if commit(combo, verdict, committed).is_break() {
+                    return SearchStatus::Complete;
+                }
             }
         }
         batch_size = (batch_size * 2).min(MAX_BATCH);
@@ -142,10 +189,11 @@ mod tests {
     use super::*;
     use crate::combos::{CandidateOrdering, SearchBudget};
 
-    fn collect_with(
+    fn collect_budgeted(
         options: &EvalOptions,
+        budget: &Budget,
         stop_at: Option<usize>,
-    ) -> (Vec<Vec<usize>>, Vec<usize>) {
+    ) -> (Vec<Vec<usize>>, Vec<usize>, SearchStatus) {
         let scores = [5.0, 4.0, 3.0, 2.0, 1.0];
         let mut search = ComboSearch::new(
             &scores,
@@ -154,9 +202,10 @@ mod tests {
         );
         let mut combos = Vec::new();
         let mut counts = Vec::new();
-        drive_search(
+        let status = drive_search(
             &mut search,
             options,
+            budget,
             |combo| combo.items.iter().sum::<usize>(),
             |combo, verdict, committed| {
                 assert_eq!(verdict, combo.items.iter().sum::<usize>());
@@ -169,6 +218,15 @@ mod tests {
                 }
             },
         );
+        (combos, counts, status)
+    }
+
+    fn collect_with(
+        options: &EvalOptions,
+        stop_at: Option<usize>,
+    ) -> (Vec<Vec<usize>>, Vec<usize>) {
+        let (combos, counts, status) = collect_budgeted(options, &Budget::unlimited(), stop_at);
+        assert_eq!(status, SearchStatus::Complete);
         (combos, counts)
     }
 
@@ -203,6 +261,93 @@ mod tests {
             assert_eq!(parallel, serial, "stop={stop}");
             assert_eq!(serial.1.last(), Some(&stop));
         }
+    }
+
+    #[test]
+    fn max_evals_commits_exact_prefix_on_every_thread_count() {
+        let (all, _) = collect_with(&EvalOptions::exact_serial(), None);
+        for cap in [0, 1, 3, all.len(), all.len() + 10] {
+            let budget = Budget::unlimited().with_max_evals(cap);
+            for threads in [1, 2, 4] {
+                let options = EvalOptions {
+                    threads,
+                    parallel_threshold: 1,
+                    force_exact: false,
+                };
+                let (combos, counts, status) = collect_budgeted(&options, &budget, None);
+                let expect = cap.min(all.len());
+                assert_eq!(combos, all[..expect], "cap={cap} threads={threads}");
+                assert_eq!(counts.len(), expect);
+                let expect_status = if cap <= all.len() {
+                    SearchStatus::Exhausted
+                } else {
+                    SearchStatus::Complete
+                };
+                assert_eq!(status, expect_status, "cap={cap} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_stops_before_any_commit() {
+        let budget = Budget {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+            ..Budget::default()
+        };
+        for threads in [1, 4] {
+            let options = EvalOptions {
+                threads,
+                parallel_threshold: 1,
+                force_exact: false,
+            };
+            let (combos, _, status) = collect_budgeted(&options, &budget, None);
+            assert!(combos.is_empty(), "threads={threads}");
+            assert_eq!(status, SearchStatus::Deadline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn raised_cancel_flag_reports_cancelled() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let flag = Arc::new(AtomicBool::new(true));
+        let budget = Budget::unlimited().with_cancel(flag);
+        for threads in [1, 4] {
+            let options = EvalOptions {
+                threads,
+                parallel_threshold: 1,
+                force_exact: false,
+            };
+            let (combos, _, status) = collect_budgeted(&options, &budget, None);
+            assert!(combos.is_empty(), "threads={threads}");
+            assert_eq!(status, SearchStatus::Cancelled, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn generous_budget_changes_nothing() {
+        let unlimited = collect_with(&EvalOptions::exact_serial(), None);
+        let budget = Budget::unlimited()
+            .with_deadline_ms(600_000)
+            .with_max_evals(1_000_000);
+        for threads in [1, 4] {
+            let options = EvalOptions {
+                threads,
+                parallel_threshold: 1,
+                force_exact: false,
+            };
+            let (combos, counts, status) = collect_budgeted(&options, &budget, None);
+            assert_eq!((combos, counts), unlimited, "threads={threads}");
+            assert_eq!(status, SearchStatus::Complete, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn break_during_budgeted_run_is_complete() {
+        let budget = Budget::unlimited().with_max_evals(1_000);
+        let (combos, _, status) = collect_budgeted(&EvalOptions::exact_serial(), &budget, Some(2));
+        assert_eq!(combos.len(), 2);
+        assert_eq!(status, SearchStatus::Complete);
     }
 
     #[test]

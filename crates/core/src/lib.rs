@@ -45,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod builder;
 pub mod combos;
 pub mod engine;
@@ -60,9 +61,10 @@ pub mod saliency;
 pub mod sentence_removal;
 pub mod term_removal;
 
+pub use budget::{Budget, SearchStatus};
 pub use builder::{
-    apply_edits, test_edits, test_edits_ranked, test_perturbation, test_perturbation_ranked,
-    BuilderOutcome, Edit,
+    apply_edits, test_edits, test_edits_ranked, test_perturbation,
+    test_perturbation_budgeted_ranked, test_perturbation_ranked, BuilderOutcome, Edit,
 };
 pub use combos::{CandidateOrdering, ComboSearch, SearchBudget};
 pub use engine::{CredenceEngine, EngineConfig};

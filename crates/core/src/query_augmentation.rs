@@ -23,6 +23,7 @@ use credence_index::score::tf_idf;
 use credence_index::DocId;
 use credence_rank::{rank_corpus, AugmentedScorer, RankedList, Ranker};
 
+use crate::budget::{Budget, SearchStatus};
 use crate::combos::{CandidateOrdering, ComboSearch, SearchBudget};
 use crate::error::ExplainError;
 use crate::evaluator::{drive_search, EvalOptions};
@@ -42,6 +43,8 @@ pub struct QueryAugmentationConfig {
     pub ordering: CandidateOrdering,
     /// Candidate-evaluation engine knobs (threads, incremental scoring).
     pub eval: EvalOptions,
+    /// Request-lifecycle bounds (deadline / eval cap / cancel flag).
+    pub lifecycle: Budget,
 }
 
 impl Default for QueryAugmentationConfig {
@@ -52,6 +55,7 @@ impl Default for QueryAugmentationConfig {
             budget: SearchBudget::default(),
             ordering: CandidateOrdering::ImportanceGuided,
             eval: EvalOptions::default(),
+            lifecycle: Budget::unlimited(),
         }
     }
 }
@@ -82,6 +86,9 @@ pub struct QueryAugmentationResult {
     pub candidates_evaluated: usize,
     /// The document's rank under the original query.
     pub old_rank: usize,
+    /// How the search ended; anything but [`SearchStatus::Complete`] marks
+    /// the result as the best-so-far prefix of a budget-limited run.
+    pub status: SearchStatus,
 }
 
 /// Collect candidate terms from the instance document: analysed terms absent
@@ -230,10 +237,12 @@ pub fn explain_query_augmentation_ranked(
     let mut explanations = Vec::new();
     let mut total_committed = 0usize;
 
+    let mut status = SearchStatus::Complete;
     if config.n > 0 {
-        drive_search(
+        status = drive_search(
             &mut search,
             &config.eval,
+            &config.lifecycle,
             |combo| match &scorer {
                 Some(s) => s.rank_with(&combo.items, doc),
                 None => rank_exact(&combo.items),
@@ -273,6 +282,7 @@ pub fn explain_query_augmentation_ranked(
         candidates,
         candidates_evaluated: total_committed,
         old_rank,
+        status,
     })
 }
 

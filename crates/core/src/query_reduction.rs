@@ -26,6 +26,7 @@ use std::ops::ControlFlow;
 use credence_index::DocId;
 use credence_rank::{rank_corpus, RankedList, Ranker, SubsetScorer};
 
+use crate::budget::{Budget, SearchStatus};
 use crate::combos::{CandidateOrdering, ComboSearch, SearchBudget};
 use crate::error::ExplainError;
 use crate::evaluator::{drive_search, EvalOptions};
@@ -41,6 +42,8 @@ pub struct QueryReductionConfig {
     pub ordering: CandidateOrdering,
     /// Candidate-evaluation engine knobs (threads, incremental scoring).
     pub eval: EvalOptions,
+    /// Request-lifecycle bounds (deadline / eval cap / cancel flag).
+    pub lifecycle: Budget,
 }
 
 impl Default for QueryReductionConfig {
@@ -50,6 +53,7 @@ impl Default for QueryReductionConfig {
             budget: SearchBudget::default(),
             ordering: CandidateOrdering::ImportanceGuided,
             eval: EvalOptions::default(),
+            lifecycle: Budget::unlimited(),
         }
     }
 }
@@ -83,6 +87,9 @@ pub struct QueryReductionResult {
     pub candidates_evaluated: usize,
     /// Rank under the original query.
     pub old_rank: usize,
+    /// How the search ended; anything but [`SearchStatus::Complete`] marks
+    /// the result as the best-so-far prefix of a budget-limited run.
+    pub status: SearchStatus,
 }
 
 /// Generate query-reduction counterfactuals for `doc` under `query` with
@@ -196,10 +203,12 @@ pub fn explain_query_reduction_ranked(
     let mut explanations = Vec::new();
     let mut total_committed = 0usize;
 
+    let mut status = SearchStatus::Complete;
     if config.n > 0 {
-        drive_search(
+        status = drive_search(
             &mut search,
             &config.eval,
+            &config.lifecycle,
             |combo| {
                 let kept = kept_positions(&combo.items);
                 match &scorer {
@@ -248,6 +257,7 @@ pub fn explain_query_reduction_ranked(
         candidates,
         candidates_evaluated: total_committed,
         old_rank,
+        status,
     })
 }
 

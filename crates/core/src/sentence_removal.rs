@@ -27,6 +27,7 @@ use credence_index::DocId;
 use credence_rank::{rank_corpus, DeltaScorer, PoolScorer, RankedList, Ranker};
 use credence_text::{split_sentences, Sentence};
 
+use crate::budget::{Budget, SearchStatus};
 use crate::combos::{CandidateOrdering, ComboSearch, SearchBudget};
 use crate::error::ExplainError;
 use crate::evaluator::{drive_search, EvalOptions};
@@ -49,6 +50,9 @@ pub struct SentenceRemovalConfig {
     pub skip_supersets: bool,
     /// Candidate-evaluation engine knobs (threads, batching, exact mode).
     pub eval: EvalOptions,
+    /// Request-lifecycle bounds (deadline / eval cap / cancel flag). The
+    /// default is [`Budget::unlimited`], which changes nothing.
+    pub lifecycle: Budget,
 }
 
 impl Default for SentenceRemovalConfig {
@@ -59,6 +63,7 @@ impl Default for SentenceRemovalConfig {
             ordering: CandidateOrdering::ImportanceGuided,
             skip_supersets: false,
             eval: EvalOptions::default(),
+            lifecycle: Budget::unlimited(),
         }
     }
 }
@@ -76,6 +81,9 @@ pub struct SentenceRemovalResult {
     pub candidates_evaluated: usize,
     /// The document's original rank.
     pub old_rank: usize,
+    /// How the search ended; anything but [`SearchStatus::Complete`] marks
+    /// the result as the best-so-far prefix of a budget-limited run.
+    pub status: SearchStatus,
 }
 
 /// Importance of a sentence: the number of its terms that appear in the
@@ -189,11 +197,13 @@ pub fn explain_sentence_removal_ranked(
             importance,
             candidates_evaluated: 0,
             old_rank,
+            status: SearchStatus::Complete,
         });
     }
-    drive_search(
+    let status = drive_search(
         &mut search,
         &config.eval,
+        &config.lifecycle,
         |combo| {
             let score = match &delta {
                 Some(d) => d.score_without(&combo.items),
@@ -243,6 +253,7 @@ pub fn explain_sentence_removal_ranked(
         importance,
         candidates_evaluated: total_committed,
         old_rank,
+        status,
     })
 }
 

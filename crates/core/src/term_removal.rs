@@ -20,6 +20,7 @@ use credence_index::DocId;
 use credence_rank::{rank_corpus, rerank_pool, PoolScorer, RankedList, Ranker};
 use credence_text::tokenize;
 
+use crate::budget::{Budget, SearchStatus};
 use crate::combos::{CandidateOrdering, ComboSearch, SearchBudget};
 use crate::error::ExplainError;
 use crate::evaluator::{drive_search, EvalOptions};
@@ -35,6 +36,8 @@ pub struct TermRemovalConfig {
     pub ordering: CandidateOrdering,
     /// Candidate-evaluation engine knobs (threads, incremental scoring).
     pub eval: EvalOptions,
+    /// Request-lifecycle bounds (deadline / eval cap / cancel flag).
+    pub lifecycle: Budget,
 }
 
 impl Default for TermRemovalConfig {
@@ -44,6 +47,7 @@ impl Default for TermRemovalConfig {
             budget: SearchBudget::default(),
             ordering: CandidateOrdering::ImportanceGuided,
             eval: EvalOptions::default(),
+            lifecycle: Budget::unlimited(),
         }
     }
 }
@@ -76,6 +80,9 @@ pub struct TermRemovalResult {
     pub candidates_evaluated: usize,
     /// Original rank of the document.
     pub old_rank: usize,
+    /// How the search ended; anything but [`SearchStatus::Complete`] marks
+    /// the result as the best-so-far prefix of a budget-limited run.
+    pub status: SearchStatus,
 }
 
 /// Remove every occurrence of the given surface terms (matched on the
@@ -200,10 +207,12 @@ pub fn explain_term_removal_ranked(
     let mut explanations = Vec::new();
     let mut total_committed = 0usize;
 
+    let mut status = SearchStatus::Complete;
     if config.n > 0 {
-        drive_search(
+        status = drive_search(
             &mut search,
             &config.eval,
+            &config.lifecycle,
             |combo| {
                 let terms: HashSet<String> = combo
                     .items
@@ -255,6 +264,7 @@ pub fn explain_term_removal_ranked(
         candidates,
         candidates_evaluated: total_committed,
         old_rank,
+        status,
     })
 }
 

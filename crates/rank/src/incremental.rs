@@ -77,6 +77,58 @@ pub fn par_map<T: Sync, R: Send>(
     out
 }
 
+/// [`par_map`] with a cooperative stop: workers poll `should_stop` between
+/// items and yield `None` for everything after it first reads `true`.
+///
+/// This is the budget hook for the replay loops — a deadline or cancel
+/// flag raised mid-batch stops every worker within one candidate instead
+/// of waiting for the whole speculative batch to drain. Results keep input
+/// order, and every `Some` verdict is identical to what the serial map
+/// would have produced; only the *suffix* of a chunk can be dropped, so a
+/// caller committing in order still sees a clean prefix.
+pub fn par_map_until<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+    should_stop: impl Fn() -> bool + Sync,
+) -> Vec<Option<R>> {
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        let mut out = Vec::with_capacity(n);
+        let mut stopped = false;
+        for item in items {
+            stopped = stopped || should_stop();
+            out.push(if stopped { None } else { Some(f(item)) });
+        }
+        return out;
+    }
+    let threads = threads.min(n);
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let should_stop = &should_stop;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move || {
+                    let mut results = Vec::with_capacity(part.len());
+                    let mut stopped = false;
+                    for item in part {
+                        stopped = stopped || should_stop();
+                        results.push(if stopped { None } else { Some(f(item)) });
+                    }
+                    results
+                })
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("evaluation thread panicked"));
+        }
+    });
+    out
+}
+
 /// Precomputed scores of a top-(k+1) pool with one substitutable target.
 ///
 /// [`rerank_pool`](crate::rerank::rerank_pool) re-scores every pool document
@@ -564,6 +616,61 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn par_map_until_never_stopped_matches_par_map() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 4, 8] {
+            let full = par_map(&items, threads, |&x| x * 3);
+            let until = par_map_until(&items, threads, |&x| x * 3, || false);
+            assert_eq!(until.len(), full.len());
+            for (a, b) in until.iter().zip(&full) {
+                assert_eq!(a.as_ref(), Some(b), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_until_stop_drops_suffixes_only() {
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1, 3, 8] {
+            let seen = AtomicUsize::new(0);
+            let stop = AtomicBool::new(false);
+            let out = par_map_until(
+                &items,
+                threads,
+                |&x| {
+                    if seen.fetch_add(1, Ordering::Relaxed) >= 5 {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    x + 1
+                },
+                || stop.load(Ordering::Relaxed),
+            );
+            assert_eq!(out.len(), items.len());
+            // Within each worker's contiguous chunk, Nones form a suffix,
+            // and every Some verdict matches the serial map.
+            let chunk = items.len().div_ceil(threads.min(items.len()));
+            for (c, part) in out.chunks(chunk).enumerate() {
+                let first_none = part.iter().position(Option::is_none);
+                if let Some(cut) = first_none {
+                    assert!(
+                        part[cut..].iter().all(Option::is_none),
+                        "threads={threads} chunk={c}"
+                    );
+                }
+            }
+            for (i, verdict) in out.iter().enumerate() {
+                if let Some(v) = verdict {
+                    assert_eq!(*v, items[i] + 1);
+                }
+            }
+            // The stop flag was raised, so at least one evaluation was skipped
+            // on every thread count (5 < 64 and the flag latches).
+            assert!(out.iter().any(Option::is_none), "threads={threads}");
         }
     }
 

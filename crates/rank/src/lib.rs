@@ -31,7 +31,9 @@ pub mod rm3;
 pub use bm25::Bm25Ranker;
 pub use eval::{average_precision, ndcg_at_k, precision_at_k, Qrels};
 pub use features::{FeatureAwareRanker, FeatureRanker, FeatureSchema};
-pub use incremental::{par_map, AugmentedScorer, DeltaScorer, PoolScorer, SubsetScorer};
+pub use incremental::{
+    par_map, par_map_until, AugmentedScorer, DeltaScorer, PoolScorer, SubsetScorer,
+};
 pub use neural::{NeuralSimConfig, NeuralSimRanker};
 pub use ql::{QlSmoothing, QueryLikelihoodRanker};
 pub use ranker::Ranker;

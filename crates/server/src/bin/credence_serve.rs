@@ -88,6 +88,7 @@ fn main() -> ExitCode {
         ..EngineConfig::default()
     };
     let state = AppState::leak_with(docs, config, ranker);
+    state.enable_request_logging();
     let server = match Server::bind(addr.as_str(), state) {
         Ok(s) => s,
         Err(e) => {
@@ -96,7 +97,7 @@ fn main() -> ExitCode {
         }
     };
     eprintln!("credence-serve listening on http://{addr}");
-    eprintln!("try: curl -s http://{addr}/health");
+    eprintln!("try: curl -s http://{addr}/api/v1/health");
     if let Err(e) = server.run() {
         eprintln!("server error: {e}");
         return ExitCode::FAILURE;

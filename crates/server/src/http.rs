@@ -140,6 +140,8 @@ pub struct Response {
     pub status: u16,
     /// Content type of the body.
     pub content_type: &'static str,
+    /// Extra response headers (name, value), written after `content-type`.
+    pub headers: Vec<(&'static str, String)>,
     /// Response body bytes.
     pub body: Vec<u8>,
 }
@@ -150,6 +152,7 @@ impl Response {
         Self {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
     }
@@ -159,8 +162,33 @@ impl Response {
         Self {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
+    }
+
+    /// An HTML page.
+    pub fn html(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            content_type: "text/html; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Attach an extra response header (builder style).
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    /// The value of an extra header, when set (exact, lowercase names).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Serialise and write the response, `Connection: close` semantics.
@@ -177,10 +205,15 @@ impl Response {
         };
         write!(
             w,
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
-            self.status,
-            reason,
-            self.content_type,
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\n",
+            self.status, reason, self.content_type
+        )?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(
+            w,
+            "content-length: {}\r\nconnection: close\r\n\r\n",
             self.body.len()
         )?;
         w.write_all(&self.body)?;
@@ -271,6 +304,28 @@ mod tests {
         assert!(text.contains("content-type: application/json\r\n"));
         assert!(text.contains("content-length: 11\r\n"));
         assert!(text.ends_with(r#"{"ok":true}"#));
+    }
+
+    #[test]
+    fn extra_headers_serialised_before_content_length() {
+        let mut out = Vec::new();
+        Response::json(200, "{}")
+            .with_header("deprecation", "true")
+            .with_header("link", "</api/v1/rank>; rel=\"successor-version\"")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("deprecation: true\r\n"));
+        assert!(text.contains("link: </api/v1/rank>; rel=\"successor-version\"\r\n"));
+        let headers = text.split("\r\n\r\n").next().unwrap();
+        assert!(headers.contains("deprecation"));
+    }
+
+    #[test]
+    fn header_lookup_finds_set_headers() {
+        let resp = Response::json(200, "{}").with_header("deprecation", "true");
+        assert_eq!(resp.header("deprecation"), Some("true"));
+        assert_eq!(resp.header("link"), None);
     }
 
     #[test]

@@ -6,31 +6,57 @@
 //! framework — so the whole stack remains from-scratch Rust:
 //!
 //! * [`http`] — request parsing and response serialisation,
-//! * [`service`] — the endpoint handlers mapping JSON bodies onto
-//!   [`credence_core::CredenceEngine`] calls,
+//! * [`requests`] — typed per-endpoint request structs parsed from JSON
+//!   in one place (all invalid fields reported at once, unknown fields
+//!   rejected),
+//! * [`service`] — the endpoint handlers mapping the typed requests onto
+//!   [`credence_core::CredenceEngine`] calls through a single route
+//!   table,
+//! * [`metrics`] — the zero-dependency observability registry served at
+//!   `GET /metrics` in Prometheus text format,
 //! * [`server`] — the TCP accept loop with one worker thread per
 //!   connection and a clean-shutdown handle.
 //!
 //! ## Endpoints (all JSON)
 //!
-//! | Method | Path                          | Body |
-//! |--------|-------------------------------|------|
-//! | GET    | `/health`                     | — |
-//! | GET    | `/corpus`                     | — |
-//! | GET    | `/doc/{id}`                   | — |
-//! | POST   | `/rank`                       | `{query, k}` |
-//! | POST   | `/explain/sentence-removal`   | `{query, k, doc, n?}` |
-//! | POST   | `/explain/query-augmentation` | `{query, k, doc, n?, threshold?}` |
-//! | POST   | `/explain/doc2vec-nearest`    | `{query, k, doc, n?}` |
-//! | POST   | `/explain/cosine-sampled`     | `{query, k, doc, n?, samples?}` |
-//! | POST   | `/topics`                     | `{query, k, num_topics?}` |
-//! | POST   | `/rerank`                     | `{query, k, doc, body}` |
+//! Canonical paths live under `/api/v1`; every API route also answers at
+//! its historical unversioned path as a deprecated alias carrying a
+//! `Deprecation: true` header and a `Link` to the successor. The search
+//! endpoints accept the shared lifecycle/search knobs `deadline_ms?`,
+//! `max_evals?`, `max_size?`, `max_candidates?`, `eval_threads?`,
+//! `eval_parallel_threshold?`, `eval_exact?` and report `status`
+//! (`complete` | `exhausted` | `deadline` | `cancelled`) plus
+//! `candidates_evaluated` alongside their explanations.
+//!
+//! | Method | Path                                 | Body |
+//! |--------|--------------------------------------|------|
+//! | GET    | `/api/v1/health`                     | — |
+//! | GET    | `/metrics`                           | — (Prometheus text) |
+//! | GET    | `/api/v1/corpus`                     | — |
+//! | GET    | `/api/v1/doc/{id}`                   | — |
+//! | POST   | `/api/v1/rank`                       | `{query, k}` |
+//! | POST   | `/api/v1/explain/sentence-removal`   | `{query, k, doc, n?, …knobs}` |
+//! | POST   | `/api/v1/explain/query-augmentation` | `{query, k, doc, n?, threshold?, …knobs}` |
+//! | POST   | `/api/v1/explain/query-reduction`    | `{query, k, doc, n?, …knobs}` |
+//! | POST   | `/api/v1/explain/term-removal`       | `{query, k, doc, n?, …knobs}` |
+//! | POST   | `/api/v1/explain/doc2vec-nearest`    | `{query, k, doc, n?}` |
+//! | POST   | `/api/v1/explain/cosine-sampled`     | `{query, k, doc, n?, samples?}` |
+//! | POST   | `/api/v1/explain/nearest-to-text`    | `{text, n?, query?, k?}` |
+//! | POST   | `/api/v1/topics`                     | `{query, k, num_topics?}` |
+//! | POST   | `/api/v1/snippet`                    | `{query, doc, window?}` |
+//! | POST   | `/api/v1/rerank`                     | `{query, k, doc, body, deadline_ms?}` |
+//!
+//! Errors use one envelope, `{"error": {"code", "message", ...}}`, with
+//! the stable codes from [`credence_core::ExplainError::code`].
 
 #![warn(missing_docs)]
 
 pub mod http;
+pub mod metrics;
+pub mod requests;
 pub mod server;
 pub mod service;
 
+pub use metrics::Metrics;
 pub use server::{Server, ServerHandle};
-pub use service::{handle_request, AppState};
+pub use service::{handle_request, AppState, RankerChoice, API_PREFIX};

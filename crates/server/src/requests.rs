@@ -1,0 +1,727 @@
+//! Typed request parsing for the REST surface.
+//!
+//! Every `POST` endpoint has a request struct (`SentenceRemovalRequest`,
+//! `RankRequest`, …) with a `parse` constructor that reads the JSON body in
+//! one place. Parsing is *total*: every invalid field is recorded (not just
+//! the first), unknown fields are rejected by name, and the caller receives
+//! either the fully-validated struct or the complete list of
+//! [`FieldError`]s to fold into one `invalid_field` error envelope.
+//!
+//! The shared search controls (`eval_*`, `deadline_ms`, `max_evals`,
+//! `max_size`, `max_candidates`) parse into [`SearchControls`]; the
+//! deadline starts ticking at parse time, i.e. from request arrival.
+
+use credence_core::{Budget, EvalOptions, SearchBudget};
+use credence_json::Value;
+
+/// One invalid request field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldError {
+    /// The offending field name.
+    pub field: String,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+impl FieldError {
+    fn new(field: &str, message: impl Into<String>) -> Self {
+        Self {
+            field: field.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+/// Accumulating field reader over a JSON object body.
+///
+/// Getter methods record an error and return a placeholder on failure, so a
+/// handler can read every field before deciding; [`FieldParser::finish`]
+/// adds unknown-field errors and returns the verdict.
+pub struct FieldParser<'v> {
+    body: &'v Value,
+    errors: Vec<FieldError>,
+}
+
+impl<'v> FieldParser<'v> {
+    /// A parser over `body`, which must be a JSON object (callers validate
+    /// that before constructing one).
+    pub fn new(body: &'v Value) -> Self {
+        Self {
+            body,
+            errors: Vec::new(),
+        }
+    }
+
+    /// A required string field.
+    pub fn require_str(&mut self, key: &str) -> String {
+        match self.body.get(key) {
+            Some(v) => match v.as_str() {
+                Some(s) => s.to_string(),
+                None => {
+                    self.errors.push(FieldError::new(key, "must be a string"));
+                    String::new()
+                }
+            },
+            None => {
+                self.errors
+                    .push(FieldError::new(key, "missing required string field"));
+                String::new()
+            }
+        }
+    }
+
+    /// A required non-negative integer field.
+    pub fn require_usize(&mut self, key: &str) -> usize {
+        match self.body.get(key) {
+            Some(v) => match v.as_u64() {
+                Some(n) => n as usize,
+                None => {
+                    self.errors
+                        .push(FieldError::new(key, "must be a non-negative integer"));
+                    0
+                }
+            },
+            None => {
+                self.errors
+                    .push(FieldError::new(key, "missing required integer field"));
+                0
+            }
+        }
+    }
+
+    /// An optional non-negative integer field with a default.
+    pub fn optional_usize(&mut self, key: &str, default: usize) -> usize {
+        match self.body.get(key) {
+            None => default,
+            Some(v) => match v.as_u64() {
+                Some(n) => n as usize,
+                None => {
+                    self.errors
+                        .push(FieldError::new(key, "must be a non-negative integer"));
+                    default
+                }
+            },
+        }
+    }
+
+    /// An optional non-negative integer field with no default.
+    pub fn optional_u64(&mut self, key: &str) -> Option<u64> {
+        match self.body.get(key) {
+            None => None,
+            Some(v) => match v.as_u64() {
+                Some(n) => Some(n),
+                None => {
+                    self.errors
+                        .push(FieldError::new(key, "must be a non-negative integer"));
+                    None
+                }
+            },
+        }
+    }
+
+    /// An optional boolean field with a default.
+    pub fn optional_bool(&mut self, key: &str, default: bool) -> bool {
+        match self.body.get(key) {
+            None => default,
+            Some(v) => match v.as_bool() {
+                Some(b) => b,
+                None => {
+                    self.errors.push(FieldError::new(key, "must be a boolean"));
+                    default
+                }
+            },
+        }
+    }
+
+    /// An optional string field.
+    pub fn optional_str(&mut self, key: &str) -> Option<String> {
+        match self.body.get(key) {
+            None => None,
+            Some(v) => match v.as_str() {
+                Some(s) => Some(s.to_string()),
+                None => {
+                    self.errors.push(FieldError::new(key, "must be a string"));
+                    None
+                }
+            },
+        }
+    }
+
+    /// Whether the body carries `key` at all (for both-or-neither checks).
+    pub fn has(&self, key: &str) -> bool {
+        self.body.get(key).is_some()
+    }
+
+    /// Record an error against `field` from handler-level validation.
+    pub fn reject(&mut self, field: &str, message: impl Into<String>) {
+        self.errors.push(FieldError::new(field, message));
+    }
+
+    /// Reject fields outside `known` and return all accumulated errors
+    /// (empty = the request is valid). Unknown fields report in key order —
+    /// the body is a `BTreeMap`, so the order is deterministic.
+    pub fn finish(mut self, known: &[&str]) -> Vec<FieldError> {
+        if let Some(object) = self.body.as_object() {
+            for key in object.keys() {
+                if !known.contains(&key.as_str()) {
+                    self.errors
+                        .push(FieldError::new(key, "unknown field (check for typos)"));
+                }
+            }
+        }
+        self.errors
+    }
+}
+
+/// The search-control fields shared by the four explainer endpoints.
+pub const SEARCH_CONTROL_FIELDS: &[&str] = &[
+    "eval_threads",
+    "eval_parallel_threshold",
+    "eval_exact",
+    "deadline_ms",
+    "max_evals",
+    "max_size",
+    "max_candidates",
+];
+
+/// Parsed search controls: evaluation-engine knobs, enumeration limits,
+/// and the request-lifecycle [`Budget`].
+#[derive(Debug, Clone, Default)]
+pub struct SearchControls {
+    /// Candidate-evaluation knobs (`eval_threads`,
+    /// `eval_parallel_threshold`, `eval_exact`).
+    pub eval: EvalOptions,
+    /// Candidate-enumeration limits (`max_size`, `max_candidates`), applied
+    /// over the explainer defaults.
+    pub search: SearchBudget,
+    /// The request budget (`deadline_ms`, `max_evals`); unlimited when
+    /// neither field is present.
+    pub lifecycle: Budget,
+}
+
+impl SearchControls {
+    /// Read the shared control fields off `p` (absent fields keep their
+    /// defaults).
+    pub fn parse(p: &mut FieldParser<'_>) -> Self {
+        let mut eval = EvalOptions::default();
+        if let Some(threads) = p.optional_u64("eval_threads") {
+            eval.threads = threads as usize;
+        }
+        if let Some(threshold) = p.optional_u64("eval_parallel_threshold") {
+            eval.parallel_threshold = threshold as usize;
+        }
+        eval.force_exact = p.optional_bool("eval_exact", eval.force_exact);
+
+        let mut search = SearchBudget::default();
+        if let Some(size) = p.optional_u64("max_size") {
+            search.max_size = size as usize;
+        }
+        if let Some(candidates) = p.optional_u64("max_candidates") {
+            search.max_candidates = candidates as usize;
+        }
+
+        let mut lifecycle = Budget::unlimited();
+        if let Some(ms) = p.optional_u64("deadline_ms") {
+            lifecycle = lifecycle.with_deadline_ms(ms);
+        }
+        if let Some(evals) = p.optional_u64("max_evals") {
+            lifecycle = lifecycle.with_max_evals(evals as usize);
+        }
+
+        Self {
+            eval,
+            search,
+            lifecycle,
+        }
+    }
+}
+
+macro_rules! known {
+    ($($field:literal),* $(,)?) => {
+        {
+            const OWN: &[&str] = &[$($field),*];
+            let mut all = OWN.to_vec();
+            all.extend_from_slice(SEARCH_CONTROL_FIELDS);
+            all
+        }
+    };
+}
+
+/// `POST /api/v1/rank`.
+#[derive(Debug, Clone)]
+pub struct RankRequest {
+    /// The query.
+    pub query: String,
+    /// Ranking depth.
+    pub k: usize,
+}
+
+impl RankRequest {
+    /// Parse and fully validate the request body.
+    pub fn parse(body: &Value) -> Result<Self, Vec<FieldError>> {
+        let mut p = FieldParser::new(body);
+        let out = Self {
+            query: p.require_str("query"),
+            k: p.require_usize("k"),
+        };
+        let errors = p.finish(&["query", "k"]);
+        if errors.is_empty() {
+            Ok(out)
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+/// `POST /api/v1/explain/sentence-removal`.
+#[derive(Debug, Clone)]
+pub struct SentenceRemovalRequest {
+    /// The query.
+    pub query: String,
+    /// Ranking depth (the document must drop past `k`).
+    pub k: usize,
+    /// The instance document id.
+    pub doc: usize,
+    /// Maximum explanations to return.
+    pub n: usize,
+    /// Shared search controls.
+    pub controls: SearchControls,
+}
+
+impl SentenceRemovalRequest {
+    /// Parse and fully validate the request body.
+    pub fn parse(body: &Value) -> Result<Self, Vec<FieldError>> {
+        let mut p = FieldParser::new(body);
+        let out = Self {
+            query: p.require_str("query"),
+            k: p.require_usize("k"),
+            doc: p.require_usize("doc"),
+            n: p.optional_usize("n", 1),
+            controls: SearchControls::parse(&mut p),
+        };
+        let errors = p.finish(&known!["query", "k", "doc", "n"]);
+        if errors.is_empty() {
+            Ok(out)
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+/// `POST /api/v1/explain/query-augmentation`.
+#[derive(Debug, Clone)]
+pub struct QueryAugmentationRequest {
+    /// The query.
+    pub query: String,
+    /// Ranking depth.
+    pub k: usize,
+    /// The instance document id.
+    pub doc: usize,
+    /// Maximum explanations to return.
+    pub n: usize,
+    /// Rank the document must reach (`new_rank <= threshold`).
+    pub threshold: usize,
+    /// Shared search controls.
+    pub controls: SearchControls,
+}
+
+impl QueryAugmentationRequest {
+    /// Parse and fully validate the request body.
+    pub fn parse(body: &Value) -> Result<Self, Vec<FieldError>> {
+        let mut p = FieldParser::new(body);
+        let out = Self {
+            query: p.require_str("query"),
+            k: p.require_usize("k"),
+            doc: p.require_usize("doc"),
+            n: p.optional_usize("n", 1),
+            threshold: p.optional_usize("threshold", 1),
+            controls: SearchControls::parse(&mut p),
+        };
+        let errors = p.finish(&known!["query", "k", "doc", "n", "threshold"]);
+        if errors.is_empty() {
+            Ok(out)
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+/// `POST /api/v1/explain/query-reduction`.
+#[derive(Debug, Clone)]
+pub struct QueryReductionRequest {
+    /// The query.
+    pub query: String,
+    /// Ranking depth.
+    pub k: usize,
+    /// The instance document id.
+    pub doc: usize,
+    /// Maximum explanations to return.
+    pub n: usize,
+    /// Shared search controls.
+    pub controls: SearchControls,
+}
+
+impl QueryReductionRequest {
+    /// Parse and fully validate the request body.
+    pub fn parse(body: &Value) -> Result<Self, Vec<FieldError>> {
+        let mut p = FieldParser::new(body);
+        let out = Self {
+            query: p.require_str("query"),
+            k: p.require_usize("k"),
+            doc: p.require_usize("doc"),
+            n: p.optional_usize("n", 1),
+            controls: SearchControls::parse(&mut p),
+        };
+        let errors = p.finish(&known!["query", "k", "doc", "n"]);
+        if errors.is_empty() {
+            Ok(out)
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+/// `POST /api/v1/explain/term-removal`.
+#[derive(Debug, Clone)]
+pub struct TermRemovalRequest {
+    /// The query.
+    pub query: String,
+    /// Ranking depth.
+    pub k: usize,
+    /// The instance document id.
+    pub doc: usize,
+    /// Maximum explanations to return.
+    pub n: usize,
+    /// Shared search controls.
+    pub controls: SearchControls,
+}
+
+impl TermRemovalRequest {
+    /// Parse and fully validate the request body.
+    pub fn parse(body: &Value) -> Result<Self, Vec<FieldError>> {
+        let mut p = FieldParser::new(body);
+        let out = Self {
+            query: p.require_str("query"),
+            k: p.require_usize("k"),
+            doc: p.require_usize("doc"),
+            n: p.optional_usize("n", 1),
+            controls: SearchControls::parse(&mut p),
+        };
+        let errors = p.finish(&known!["query", "k", "doc", "n"]);
+        if errors.is_empty() {
+            Ok(out)
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+/// `POST /api/v1/explain/doc2vec-nearest`.
+#[derive(Debug, Clone)]
+pub struct Doc2VecNearestRequest {
+    /// The query.
+    pub query: String,
+    /// Ranking depth.
+    pub k: usize,
+    /// The instance document id.
+    pub doc: usize,
+    /// Neighbours to return.
+    pub n: usize,
+}
+
+impl Doc2VecNearestRequest {
+    /// Parse and fully validate the request body.
+    pub fn parse(body: &Value) -> Result<Self, Vec<FieldError>> {
+        let mut p = FieldParser::new(body);
+        let out = Self {
+            query: p.require_str("query"),
+            k: p.require_usize("k"),
+            doc: p.require_usize("doc"),
+            n: p.optional_usize("n", 1),
+        };
+        let errors = p.finish(&["query", "k", "doc", "n"]);
+        if errors.is_empty() {
+            Ok(out)
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+/// `POST /api/v1/explain/cosine-sampled`.
+#[derive(Debug, Clone)]
+pub struct CosineSampledRequest {
+    /// The query.
+    pub query: String,
+    /// Ranking depth.
+    pub k: usize,
+    /// The instance document id.
+    pub doc: usize,
+    /// Neighbours to return.
+    pub n: usize,
+    /// Score-vector sample override.
+    pub samples: Option<usize>,
+}
+
+impl CosineSampledRequest {
+    /// Parse and fully validate the request body.
+    pub fn parse(body: &Value) -> Result<Self, Vec<FieldError>> {
+        let mut p = FieldParser::new(body);
+        let out = Self {
+            query: p.require_str("query"),
+            k: p.require_usize("k"),
+            doc: p.require_usize("doc"),
+            n: p.optional_usize("n", 1),
+            samples: p.optional_u64("samples").map(|s| s as usize),
+        };
+        let errors = p.finish(&["query", "k", "doc", "n", "samples"]);
+        if errors.is_empty() {
+            Ok(out)
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+/// `POST /api/v1/topics`.
+#[derive(Debug, Clone)]
+pub struct TopicsRequest {
+    /// The query.
+    pub query: String,
+    /// Ranking depth (LDA fits over the top-k).
+    pub k: usize,
+    /// Topics to fit.
+    pub num_topics: usize,
+}
+
+impl TopicsRequest {
+    /// Parse and fully validate the request body.
+    pub fn parse(body: &Value) -> Result<Self, Vec<FieldError>> {
+        let mut p = FieldParser::new(body);
+        let out = Self {
+            query: p.require_str("query"),
+            k: p.require_usize("k"),
+            num_topics: p.optional_usize("num_topics", 3),
+        };
+        let errors = p.finish(&["query", "k", "num_topics"]);
+        if errors.is_empty() {
+            Ok(out)
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+/// `POST /api/v1/snippet`.
+#[derive(Debug, Clone)]
+pub struct SnippetRequest {
+    /// The query whose terms are highlighted.
+    pub query: String,
+    /// The document id.
+    pub doc: usize,
+    /// Snippet window, in tokens.
+    pub window: usize,
+}
+
+impl SnippetRequest {
+    /// Parse and fully validate the request body.
+    pub fn parse(body: &Value) -> Result<Self, Vec<FieldError>> {
+        let mut p = FieldParser::new(body);
+        let out = Self {
+            query: p.require_str("query"),
+            doc: p.require_usize("doc"),
+            window: p.optional_usize("window", 24),
+        };
+        let errors = p.finish(&["query", "doc", "window"]);
+        if errors.is_empty() {
+            Ok(out)
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+/// `POST /api/v1/explain/nearest-to-text`.
+#[derive(Debug, Clone)]
+pub struct NearestToTextRequest {
+    /// Free text to embed.
+    pub text: String,
+    /// Neighbours to return.
+    pub n: usize,
+    /// Exclude the top-k for this query (both-or-neither with `k`).
+    pub exclude: Option<(String, usize)>,
+}
+
+impl NearestToTextRequest {
+    /// Parse and fully validate the request body.
+    pub fn parse(body: &Value) -> Result<Self, Vec<FieldError>> {
+        let mut p = FieldParser::new(body);
+        let text = p.require_str("text");
+        let n = p.optional_usize("n", 3);
+        let exclude = match (p.has("query"), p.has("k")) {
+            (false, false) => None,
+            (true, true) => {
+                let query = p.require_str("query");
+                let k = p.require_usize("k");
+                Some((query, k))
+            }
+            (true, false) => {
+                p.reject("k", "required whenever 'query' is present");
+                None
+            }
+            (false, true) => {
+                p.reject("query", "required whenever 'k' is present");
+                None
+            }
+        };
+        let out = Self { text, n, exclude };
+        let errors = p.finish(&["text", "n", "query", "k"]);
+        if errors.is_empty() {
+            Ok(out)
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+/// `POST /api/v1/rerank` (the builder's free-form perturbation test).
+#[derive(Debug, Clone)]
+pub struct RerankRequest {
+    /// The query.
+    pub query: String,
+    /// Ranking depth.
+    pub k: usize,
+    /// The instance document id.
+    pub doc: usize,
+    /// The edited body to re-rank.
+    pub body: String,
+    /// Request budget (`deadline_ms`; the builder runs exactly one
+    /// evaluation, so `max_evals` does not apply here).
+    pub lifecycle: Budget,
+}
+
+impl RerankRequest {
+    /// Parse and fully validate the request body.
+    pub fn parse(body: &Value) -> Result<Self, Vec<FieldError>> {
+        let mut p = FieldParser::new(body);
+        let mut lifecycle = Budget::unlimited();
+        if let Some(ms) = p.optional_u64("deadline_ms") {
+            lifecycle = lifecycle.with_deadline_ms(ms);
+        }
+        let out = Self {
+            query: p.require_str("query"),
+            k: p.require_usize("k"),
+            doc: p.require_usize("doc"),
+            body: p.require_str("body"),
+            lifecycle,
+        };
+        let errors = p.finish(&["query", "k", "doc", "body", "deadline_ms"]);
+        if errors.is_empty() {
+            Ok(out)
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use credence_json::parse;
+
+    fn value(text: &str) -> Value {
+        parse(text).unwrap()
+    }
+
+    #[test]
+    fn valid_rank_request_parses() {
+        let req = RankRequest::parse(&value(r#"{"query": "covid", "k": 3}"#)).unwrap();
+        assert_eq!(req.query, "covid");
+        assert_eq!(req.k, 3);
+    }
+
+    #[test]
+    fn all_invalid_fields_reported_at_once() {
+        let errs = RankRequest::parse(&value(r#"{"query": 7, "k": "three"}"#)).unwrap_err();
+        assert_eq!(errs.len(), 2);
+        let fields: Vec<&str> = errs.iter().map(|e| e.field.as_str()).collect();
+        assert!(fields.contains(&"query"));
+        assert!(fields.contains(&"k"));
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_by_name() {
+        let errs =
+            RankRequest::parse(&value(r#"{"query": "q", "k": 3, "kk": 1, "zz": 2}"#)).unwrap_err();
+        assert_eq!(errs.len(), 2);
+        assert_eq!(errs[0].field, "kk");
+        assert_eq!(errs[1].field, "zz");
+        assert!(errs[0].message.contains("unknown"));
+    }
+
+    #[test]
+    fn missing_and_unknown_errors_combine() {
+        let errs =
+            SentenceRemovalRequest::parse(&value(r#"{"query": "q", "bogus": 1}"#)).unwrap_err();
+        let fields: Vec<&str> = errs.iter().map(|e| e.field.as_str()).collect();
+        assert!(fields.contains(&"k"));
+        assert!(fields.contains(&"doc"));
+        assert!(fields.contains(&"bogus"));
+    }
+
+    #[test]
+    fn search_controls_parse_all_knobs() {
+        let req = SentenceRemovalRequest::parse(&value(
+            r#"{"query": "q", "k": 3, "doc": 2, "n": 2,
+                "eval_threads": 4, "eval_parallel_threshold": 8, "eval_exact": true,
+                "deadline_ms": 60000, "max_evals": 50, "max_size": 3, "max_candidates": 12}"#,
+        ))
+        .unwrap();
+        assert_eq!(req.controls.eval.threads, 4);
+        assert_eq!(req.controls.eval.parallel_threshold, 8);
+        assert!(req.controls.eval.force_exact);
+        assert_eq!(req.controls.search.max_size, 3);
+        assert_eq!(req.controls.search.max_candidates, 12);
+        assert_eq!(req.controls.lifecycle.max_evals, Some(50));
+        assert!(req.controls.lifecycle.deadline.is_some());
+    }
+
+    #[test]
+    fn absent_controls_mean_unlimited_budget_and_defaults() {
+        let req =
+            SentenceRemovalRequest::parse(&value(r#"{"query": "q", "k": 3, "doc": 2}"#)).unwrap();
+        assert!(req.controls.lifecycle.is_unlimited());
+        assert_eq!(req.controls.eval, EvalOptions::default());
+        assert_eq!(req.n, 1);
+    }
+
+    #[test]
+    fn negative_integers_are_invalid() {
+        let errs = RankRequest::parse(&value(r#"{"query": "q", "k": -1}"#)).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].field, "k");
+    }
+
+    #[test]
+    fn nearest_to_text_requires_query_and_k_together() {
+        let ok = NearestToTextRequest::parse(&value(r#"{"text": "t", "n": 2}"#)).unwrap();
+        assert!(ok.exclude.is_none());
+        let ok = NearestToTextRequest::parse(&value(r#"{"text": "t", "query": "covid", "k": 3}"#))
+            .unwrap();
+        assert_eq!(ok.exclude, Some(("covid".to_string(), 3)));
+        let errs =
+            NearestToTextRequest::parse(&value(r#"{"text": "t", "query": "covid"}"#)).unwrap_err();
+        assert_eq!(errs[0].field, "k");
+    }
+
+    #[test]
+    fn rerank_accepts_a_deadline() {
+        let req = RerankRequest::parse(&value(
+            r#"{"query": "q", "k": 3, "doc": 2, "body": "edited", "deadline_ms": 0}"#,
+        ))
+        .unwrap();
+        assert!(req.lifecycle.deadline.is_some());
+        let errs = RerankRequest::parse(&value(r#"{"query": "q", "k": 3, "doc": 2}"#)).unwrap_err();
+        assert_eq!(errs[0].field, "body");
+    }
+}

@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crate::http::{read_request, Response};
+use crate::http::read_request;
 use crate::service::{handle_request, AppState};
 
 /// A CREDENCE HTTP server bound to an address.
@@ -106,7 +106,7 @@ fn handle_connection(state: &'static AppState, stream: TcpStream) {
     };
     let response = match read_request(peer_stream) {
         Ok(request) => handle_request(state, &request),
-        Err(err) => Response::json(400, format!(r#"{{"error":"{err}"}}"#)),
+        Err(err) => crate::service::error_envelope(400, "bad_request", err.to_string()),
     };
     let _ = response.write_to(&stream);
     let _ = stream.shutdown(std::net::Shutdown::Both);

@@ -1,8 +1,22 @@
 //! Endpoint handlers: JSON in, JSON out, engine in the middle.
+//!
+//! Routing is table-driven: every endpoint registers once in [`ROUTES`]
+//! with its canonical `/api/v1/...` path, and the dispatcher also serves
+//! each API route at its historical unversioned path as a **deprecated
+//! alias** that answers with a `Deprecation: true` header and a `Link` to
+//! the successor. Request bodies parse through the typed structs in
+//! [`crate::requests`] (all invalid fields reported at once, unknown
+//! fields rejected), errors serialise through one envelope —
+//! `{"error": {"code", "message", ...}}` with the stable codes from
+//! [`ExplainError::code`] — and every request is counted and timed in the
+//! [`Metrics`] registry exposed at `GET /metrics`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
 
 use credence_core::{
-    CredenceEngine, EngineConfig, EvalOptions, ExplainError, QueryAugmentationConfig,
-    QueryReductionConfig, SentenceRemovalConfig,
+    CredenceEngine, EngineConfig, ExplainError, QueryAugmentationConfig, QueryReductionConfig,
+    SentenceRemovalConfig, TermRemovalConfig,
 };
 use credence_index::{Bm25Params, DocId, Document, InvertedIndex};
 use credence_json::{obj, parse, to_string, Value};
@@ -13,6 +27,15 @@ use credence_rank::{
 use credence_text::Analyzer;
 
 use crate::http::{Request, Response};
+use crate::metrics::Metrics;
+use crate::requests::{
+    CosineSampledRequest, Doc2VecNearestRequest, FieldError, NearestToTextRequest,
+    QueryAugmentationRequest, QueryReductionRequest, RankRequest, RerankRequest,
+    SentenceRemovalRequest, SnippetRequest, TermRemovalRequest, TopicsRequest,
+};
+
+/// The API version prefix canonical routes live under.
+pub const API_PREFIX: &str = "/api/v1";
 
 /// Everything a request handler needs, with `'static` lifetime so worker
 /// threads can share it. Construct via [`AppState::leak`], which builds the
@@ -21,6 +44,8 @@ use crate::http::{Request, Response};
 /// loading its Lucene index at startup).
 pub struct AppState {
     engine: CredenceEngine<'static>,
+    metrics: Metrics,
+    log_requests: AtomicBool,
 }
 
 /// Which ranking model the server explains.
@@ -86,82 +111,281 @@ impl AppState {
             ))),
         };
         let engine = CredenceEngine::new(ranker, config);
-        Box::leak(Box::new(AppState { engine }))
+        Box::leak(Box::new(AppState {
+            engine,
+            metrics: Metrics::new(ENDPOINT_LABELS),
+            log_requests: AtomicBool::new(false),
+        }))
     }
 
     /// The engine, for in-process use in tests and experiments.
     pub fn engine(&self) -> &CredenceEngine<'static> {
         &self.engine
     }
+
+    /// The observability registry (served at `GET /metrics`).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Emit one structured log line per request to stderr (off by default
+    /// so in-process tests stay quiet; `credence-serve` turns it on).
+    pub fn enable_request_logging(&self) {
+        self.log_requests.store(true, Ordering::Relaxed);
+    }
 }
 
-fn error_response(status: u16, message: impl Into<String>) -> Response {
+/// Endpoint labels for the metrics registry — one per route plus the
+/// `"other"` catch-all (unmatched paths, bad methods).
+const ENDPOINT_LABELS: &[&str] = &[
+    "ui",
+    "health",
+    "metrics",
+    "corpus",
+    "doc",
+    "rank",
+    "sentence_removal",
+    "query_augmentation",
+    "query_reduction",
+    "term_removal",
+    "doc2vec_nearest",
+    "cosine_sampled",
+    "nearest_to_text",
+    "topics",
+    "snippet",
+    "rerank",
+    "other",
+];
+
+/// One row of the route table.
+struct Route {
+    method: &'static str,
+    /// Unversioned path (the canonical form prepends [`API_PREFIX`]).
+    path: &'static str,
+    /// Match `path` as a prefix, passing the remainder to the handler.
+    prefix: bool,
+    /// API routes are canonical under `/api/v1`; their unversioned form is
+    /// a deprecated alias. Infrastructure routes (UI, `/metrics`) are
+    /// canonical unversioned.
+    versioned: bool,
+    /// Metrics label.
+    endpoint: &'static str,
+    handler: fn(&AppState, &Request, &str) -> Response,
+}
+
+/// The single route table: every handler registers exactly once and is
+/// reachable both under [`API_PREFIX`] and at its unversioned alias.
+const ROUTES: &[Route] = &[
+    Route {
+        method: "GET",
+        path: "/",
+        prefix: false,
+        versioned: false,
+        endpoint: "ui",
+        handler: ui,
+    },
+    Route {
+        method: "GET",
+        path: "/index.html",
+        prefix: false,
+        versioned: false,
+        endpoint: "ui",
+        handler: ui,
+    },
+    Route {
+        method: "GET",
+        path: "/health",
+        prefix: false,
+        versioned: true,
+        endpoint: "health",
+        handler: health,
+    },
+    Route {
+        method: "GET",
+        path: "/metrics",
+        prefix: false,
+        versioned: false,
+        endpoint: "metrics",
+        handler: metrics_text,
+    },
+    Route {
+        method: "GET",
+        path: "/corpus",
+        prefix: false,
+        versioned: true,
+        endpoint: "corpus",
+        handler: corpus,
+    },
+    Route {
+        method: "GET",
+        path: "/doc/",
+        prefix: true,
+        versioned: true,
+        endpoint: "doc",
+        handler: doc,
+    },
+    Route {
+        method: "POST",
+        path: "/rank",
+        prefix: false,
+        versioned: true,
+        endpoint: "rank",
+        handler: rank,
+    },
+    Route {
+        method: "POST",
+        path: "/explain/sentence-removal",
+        prefix: false,
+        versioned: true,
+        endpoint: "sentence_removal",
+        handler: sentence_removal,
+    },
+    Route {
+        method: "POST",
+        path: "/explain/query-augmentation",
+        prefix: false,
+        versioned: true,
+        endpoint: "query_augmentation",
+        handler: query_augmentation,
+    },
+    Route {
+        method: "POST",
+        path: "/explain/query-reduction",
+        prefix: false,
+        versioned: true,
+        endpoint: "query_reduction",
+        handler: query_reduction,
+    },
+    Route {
+        method: "POST",
+        path: "/explain/term-removal",
+        prefix: false,
+        versioned: true,
+        endpoint: "term_removal",
+        handler: term_removal,
+    },
+    Route {
+        method: "POST",
+        path: "/explain/doc2vec-nearest",
+        prefix: false,
+        versioned: true,
+        endpoint: "doc2vec_nearest",
+        handler: doc2vec_nearest,
+    },
+    Route {
+        method: "POST",
+        path: "/explain/cosine-sampled",
+        prefix: false,
+        versioned: true,
+        endpoint: "cosine_sampled",
+        handler: cosine_sampled,
+    },
+    Route {
+        method: "POST",
+        path: "/explain/nearest-to-text",
+        prefix: false,
+        versioned: true,
+        endpoint: "nearest_to_text",
+        handler: nearest_to_text,
+    },
+    Route {
+        method: "POST",
+        path: "/topics",
+        prefix: false,
+        versioned: true,
+        endpoint: "topics",
+        handler: topics,
+    },
+    Route {
+        method: "POST",
+        path: "/snippet",
+        prefix: false,
+        versioned: true,
+        endpoint: "snippet",
+        handler: snippet,
+    },
+    Route {
+        method: "POST",
+        path: "/rerank",
+        prefix: false,
+        versioned: true,
+        endpoint: "rerank",
+        handler: rerank,
+    },
+];
+
+/// Build the unified error envelope:
+/// `{"error": {"code": "...", "message": "..."}}`.
+pub(crate) fn error_envelope(status: u16, code: &str, message: impl Into<String>) -> Response {
     Response::json(
         status,
-        to_string(&obj([("error", Value::from(message.into()))])),
+        to_string(&obj([(
+            "error",
+            obj([
+                ("code", Value::from(code)),
+                ("message", Value::from(message.into())),
+            ]),
+        )])),
     )
 }
 
+/// The envelope for field-validation failures: code `invalid_field`, the
+/// first offending field in `field`, and every failure in `details`.
+fn invalid_fields_response(errors: Vec<FieldError>) -> Response {
+    debug_assert!(!errors.is_empty());
+    let message = errors
+        .iter()
+        .map(|e| format!("'{}' {}", e.field, e.message))
+        .collect::<Vec<_>>()
+        .join("; ");
+    let details: Vec<Value> = errors
+        .iter()
+        .map(|e| {
+            obj([
+                ("field", Value::from(e.field.as_str())),
+                ("message", Value::from(e.message.as_str())),
+            ])
+        })
+        .collect();
+    Response::json(
+        400,
+        to_string(&obj([(
+            "error",
+            obj([
+                ("code", Value::from("invalid_field")),
+                ("message", Value::from(message)),
+                ("field", Value::from(errors[0].field.as_str())),
+                ("details", Value::Array(details)),
+            ]),
+        )])),
+    )
+}
+
+/// Map an [`ExplainError`] to its envelope — the single place the REST
+/// status and stable code for every core error are decided.
 fn explain_error_response(err: ExplainError) -> Response {
     let status = match err {
         ExplainError::DocNotFound(_) => 404,
         _ => 422,
     };
-    error_response(status, err.to_string())
+    error_envelope(status, err.code(), err.to_string())
 }
 
 /// Parse the request body as a JSON object.
 fn json_body(req: &Request) -> Result<Value, Response> {
     let text = req
         .body_utf8()
-        .ok_or_else(|| error_response(400, "body is not UTF-8"))?;
-    let value = parse(text).map_err(|e| error_response(400, format!("invalid JSON: {e}")))?;
+        .ok_or_else(|| error_envelope(400, "invalid_json", "body is not UTF-8"))?;
+    let value = parse(text)
+        .map_err(|e| error_envelope(400, "invalid_json", format!("invalid JSON: {e}")))?;
     if value.as_object().is_none() {
-        return Err(error_response(400, "body must be a JSON object"));
+        return Err(error_envelope(
+            400,
+            "invalid_request",
+            "body must be a JSON object",
+        ));
     }
     Ok(value)
-}
-
-fn get_str<'v>(body: &'v Value, key: &str) -> Result<&'v str, Response> {
-    body.get(key)
-        .and_then(Value::as_str)
-        .ok_or_else(|| error_response(400, format!("missing string field '{key}'")))
-}
-
-fn get_usize(body: &Value, key: &str) -> Result<usize, Response> {
-    body.get(key)
-        .and_then(Value::as_u64)
-        .map(|v| v as usize)
-        .ok_or_else(|| error_response(400, format!("missing integer field '{key}'")))
-}
-
-fn get_usize_or(body: &Value, key: &str, default: usize) -> Result<usize, Response> {
-    match body.get(key) {
-        None => Ok(default),
-        Some(v) => v
-            .as_u64()
-            .map(|v| v as usize)
-            .ok_or_else(|| error_response(400, format!("field '{key}' must be an integer"))),
-    }
-}
-
-/// Optional per-request candidate-evaluation knobs: `eval_threads` (0 =
-/// auto, 1 = serial) and `eval_parallel_threshold`. When neither is present
-/// the default is returned and the engine-level configuration applies.
-fn get_eval_options(body: &Value) -> Result<EvalOptions, Response> {
-    let mut eval = EvalOptions::default();
-    if let Some(v) = body.get("eval_threads") {
-        eval.threads = v
-            .as_u64()
-            .map(|v| v as usize)
-            .ok_or_else(|| error_response(400, "field 'eval_threads' must be an integer"))?;
-    }
-    if let Some(v) = body.get("eval_parallel_threshold") {
-        eval.parallel_threshold = v.as_u64().map(|v| v as usize).ok_or_else(|| {
-            error_response(400, "field 'eval_parallel_threshold' must be an integer")
-        })?;
-    }
-    Ok(eval)
 }
 
 fn pool_entry_json(row: &PoolEntry) -> Value {
@@ -175,33 +399,94 @@ fn pool_entry_json(row: &PoolEntry) -> Value {
     ])
 }
 
-/// Route one request to its handler.
-pub fn handle_request(state: &AppState, req: &Request) -> Response {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/" | "/index.html") => Response {
-            status: 200,
-            content_type: "text/html; charset=utf-8",
-            body: include_str!("ui.html").as_bytes().to_vec(),
-        },
-        ("GET", "/health") => Response::json(200, to_string(&obj([("status", Value::from("ok"))]))),
-        ("GET", "/corpus") => corpus(state),
-        ("GET", path) if path.starts_with("/doc/") => doc(state, &path[5..]),
-        ("POST", "/rank") => rank(state, req),
-        ("POST", "/explain/sentence-removal") => sentence_removal(state, req),
-        ("POST", "/explain/query-augmentation") => query_augmentation(state, req),
-        ("POST", "/explain/query-reduction") => query_reduction(state, req),
-        ("POST", "/explain/doc2vec-nearest") => doc2vec_nearest(state, req),
-        ("POST", "/explain/cosine-sampled") => cosine_sampled(state, req),
-        ("POST", "/topics") => topics(state, req),
-        ("POST", "/snippet") => snippet(state, req),
-        ("POST", "/explain/nearest-to-text") => nearest_to_text(state, req),
-        ("POST", "/rerank") => rerank(state, req),
-        ("GET" | "POST", _) => error_response(404, "no such endpoint"),
-        _ => error_response(405, "method not allowed"),
+/// Strip the version prefix: `/api/v1/rank` → (`/rank`, true).
+fn strip_version(path: &str) -> (&str, bool) {
+    match path.strip_prefix(API_PREFIX) {
+        Some("") => ("/", true),
+        Some(rest) if rest.starts_with('/') => (rest, true),
+        _ => (path, false),
     }
 }
 
-fn corpus(state: &AppState) -> Response {
+/// Route one request through the table. Returns the endpoint label (for
+/// metrics) alongside the response.
+fn dispatch(state: &AppState, req: &Request) -> (&'static str, Response) {
+    let (path, versioned) = strip_version(&req.path);
+    let mut path_matched = false;
+    for route in ROUTES {
+        let tail = if route.prefix {
+            path.strip_prefix(route.path)
+        } else if path == route.path {
+            Some("")
+        } else {
+            None
+        };
+        let Some(tail) = tail else { continue };
+        path_matched = true;
+        if route.method != req.method {
+            continue;
+        }
+        let mut resp = (route.handler)(state, req, tail);
+        if route.versioned && !versioned {
+            resp = resp.with_header("deprecation", "true").with_header(
+                "link",
+                format!("<{API_PREFIX}{}>; rel=\"successor-version\"", req.path),
+            );
+        }
+        return (route.endpoint, resp);
+    }
+    if path_matched {
+        (
+            "other",
+            error_envelope(405, "method_not_allowed", "method not allowed"),
+        )
+    } else {
+        (
+            "other",
+            error_envelope(404, "not_found", "no such endpoint"),
+        )
+    }
+}
+
+/// Route one request to its handler, recording metrics and (when enabled)
+/// one structured log line carrying the request id.
+pub fn handle_request(state: &AppState, req: &Request) -> Response {
+    let request_id = state.metrics.next_request_id();
+    let start = Instant::now();
+    let (endpoint, resp) = dispatch(state, req);
+    let duration_us = start.elapsed().as_micros() as u64;
+    state
+        .metrics
+        .record_request(endpoint, resp.status, duration_us);
+    if state.log_requests.load(Ordering::Relaxed) {
+        eprintln!(
+            "{}",
+            to_string(&obj([
+                ("request_id", Value::from(request_id as usize)),
+                ("method", Value::from(req.method.as_str())),
+                ("path", Value::from(req.path.as_str())),
+                ("endpoint", Value::from(endpoint)),
+                ("status", Value::from(resp.status as usize)),
+                ("duration_us", Value::from(duration_us as usize)),
+            ]))
+        );
+    }
+    resp
+}
+
+fn ui(_state: &AppState, _req: &Request, _tail: &str) -> Response {
+    Response::html(200, include_str!("ui.html").as_bytes().to_vec())
+}
+
+fn health(_state: &AppState, _req: &Request, _tail: &str) -> Response {
+    Response::json(200, to_string(&obj([("status", Value::from("ok"))])))
+}
+
+fn metrics_text(state: &AppState, _req: &Request, _tail: &str) -> Response {
+    Response::text(200, state.metrics.render())
+}
+
+fn corpus(state: &AppState, _req: &Request, _tail: &str) -> Response {
     let index = state.engine.ranker().index();
     let docs: Vec<Value> = index
         .documents()
@@ -224,13 +509,13 @@ fn corpus(state: &AppState) -> Response {
     )
 }
 
-fn doc(state: &AppState, id: &str) -> Response {
+fn doc(state: &AppState, _req: &Request, id: &str) -> Response {
     let Ok(id) = id.parse::<u32>() else {
-        return error_response(400, "document id must be an integer");
+        return error_envelope(400, "invalid_field", "document id must be an integer");
     };
     let index = state.engine.ranker().index();
     match index.document(DocId(id)) {
-        None => error_response(404, format!("document {id} not found")),
+        None => error_envelope(404, "doc_not_found", format!("document {id} not found")),
         Some(d) => Response::json(
             200,
             to_string(&obj([
@@ -243,18 +528,18 @@ fn doc(state: &AppState, id: &str) -> Response {
     }
 }
 
-fn rank(state: &AppState, req: &Request) -> Response {
+fn rank(state: &AppState, req: &Request, _tail: &str) -> Response {
     let body = match json_body(req) {
         Ok(v) => v,
         Err(r) => return r,
     };
-    let (query, k) = match (get_str(&body, "query"), get_usize(&body, "k")) {
-        (Ok(q), Ok(k)) => (q, k),
-        (Err(r), _) | (_, Err(r)) => return r,
+    let parsed = match RankRequest::parse(&body) {
+        Ok(p) => p,
+        Err(errors) => return invalid_fields_response(errors),
     };
     let rows: Vec<Value> = state
         .engine
-        .rank(query, k)
+        .rank(&parsed.query, parsed.k)
         .into_iter()
         .map(|r| {
             obj([
@@ -269,38 +554,34 @@ fn rank(state: &AppState, req: &Request) -> Response {
     Response::json(200, to_string(&obj([("ranking", Value::Array(rows))])))
 }
 
-fn sentence_removal(state: &AppState, req: &Request) -> Response {
+fn sentence_removal(state: &AppState, req: &Request, _tail: &str) -> Response {
     let body = match json_body(req) {
         Ok(v) => v,
         Err(r) => return r,
     };
-    let (query, k, doc) = match (
-        get_str(&body, "query"),
-        get_usize(&body, "k"),
-        get_usize(&body, "doc"),
-    ) {
-        (Ok(q), Ok(k), Ok(d)) => (q, k, d),
-        (Err(r), _, _) | (_, Err(r), _) | (_, _, Err(r)) => return r,
-    };
-    let n = match get_usize_or(&body, "n", 1) {
-        Ok(n) => n,
-        Err(r) => return r,
-    };
-    let eval = match get_eval_options(&body) {
-        Ok(e) => e,
-        Err(r) => return r,
+    let parsed = match SentenceRemovalRequest::parse(&body) {
+        Ok(p) => p,
+        Err(errors) => return invalid_fields_response(errors),
     };
     let config = SentenceRemovalConfig {
-        n,
-        eval,
+        n: parsed.n,
+        budget: parsed.controls.search,
+        eval: parsed.controls.eval,
+        lifecycle: parsed.controls.lifecycle.clone(),
         ..Default::default()
     };
+    let started = Instant::now();
     match state
         .engine
-        .sentence_removal(query, k, DocId(doc as u32), &config)
+        .sentence_removal(&parsed.query, parsed.k, DocId(parsed.doc as u32), &config)
     {
         Err(e) => explain_error_response(e),
         Ok(result) => {
+            state.metrics.record_search(
+                result.status.as_str(),
+                result.candidates_evaluated as u64,
+                started.elapsed().as_micros() as u64,
+            );
             let explanations: Vec<Value> = result
                 .explanations
                 .iter()
@@ -329,6 +610,7 @@ fn sentence_removal(state: &AppState, req: &Request) -> Response {
             Response::json(
                 200,
                 to_string(&obj([
+                    ("status", Value::from(result.status.as_str())),
                     ("old_rank", Value::from(result.old_rank)),
                     (
                         "candidates_evaluated",
@@ -341,42 +623,37 @@ fn sentence_removal(state: &AppState, req: &Request) -> Response {
     }
 }
 
-fn query_augmentation(state: &AppState, req: &Request) -> Response {
+fn query_augmentation(state: &AppState, req: &Request, _tail: &str) -> Response {
     let body = match json_body(req) {
         Ok(v) => v,
         Err(r) => return r,
     };
-    let (query, k, doc) = match (
-        get_str(&body, "query"),
-        get_usize(&body, "k"),
-        get_usize(&body, "doc"),
-    ) {
-        (Ok(q), Ok(k), Ok(d)) => (q, k, d),
-        (Err(r), _, _) | (_, Err(r), _) | (_, _, Err(r)) => return r,
-    };
-    let (n, threshold) = match (
-        get_usize_or(&body, "n", 1),
-        get_usize_or(&body, "threshold", 1),
-    ) {
-        (Ok(n), Ok(t)) => (n, t),
-        (Err(r), _) | (_, Err(r)) => return r,
-    };
-    let eval = match get_eval_options(&body) {
-        Ok(e) => e,
-        Err(r) => return r,
+    let parsed = match QueryAugmentationRequest::parse(&body) {
+        Ok(p) => p,
+        Err(errors) => return invalid_fields_response(errors),
     };
     let config = QueryAugmentationConfig {
-        n,
-        threshold,
-        eval,
+        n: parsed.n,
+        threshold: parsed.threshold,
+        budget: parsed.controls.search,
+        eval: parsed.controls.eval,
+        lifecycle: parsed.controls.lifecycle.clone(),
         ..Default::default()
     };
-    match state
-        .engine
-        .query_augmentation(query, k, DocId(doc as u32), &config)
-    {
+    let started = Instant::now();
+    match state.engine.query_augmentation(
+        &parsed.query,
+        parsed.k,
+        DocId(parsed.doc as u32),
+        &config,
+    ) {
         Err(e) => explain_error_response(e),
         Ok(result) => {
+            state.metrics.record_search(
+                result.status.as_str(),
+                result.candidates_evaluated as u64,
+                started.elapsed().as_micros() as u64,
+            );
             let explanations: Vec<Value> = result
                 .explanations
                 .iter()
@@ -396,6 +673,7 @@ fn query_augmentation(state: &AppState, req: &Request) -> Response {
             Response::json(
                 200,
                 to_string(&obj([
+                    ("status", Value::from(result.status.as_str())),
                     ("old_rank", Value::from(result.old_rank)),
                     (
                         "candidates_evaluated",
@@ -408,38 +686,34 @@ fn query_augmentation(state: &AppState, req: &Request) -> Response {
     }
 }
 
-fn query_reduction(state: &AppState, req: &Request) -> Response {
+fn query_reduction(state: &AppState, req: &Request, _tail: &str) -> Response {
     let body = match json_body(req) {
         Ok(v) => v,
         Err(r) => return r,
     };
-    let (query, k, doc) = match (
-        get_str(&body, "query"),
-        get_usize(&body, "k"),
-        get_usize(&body, "doc"),
-    ) {
-        (Ok(q), Ok(k), Ok(d)) => (q, k, d),
-        (Err(r), _, _) | (_, Err(r), _) | (_, _, Err(r)) => return r,
-    };
-    let n = match get_usize_or(&body, "n", 1) {
-        Ok(n) => n,
-        Err(r) => return r,
-    };
-    let eval = match get_eval_options(&body) {
-        Ok(e) => e,
-        Err(r) => return r,
+    let parsed = match QueryReductionRequest::parse(&body) {
+        Ok(p) => p,
+        Err(errors) => return invalid_fields_response(errors),
     };
     let config = QueryReductionConfig {
-        n,
-        eval,
+        n: parsed.n,
+        budget: parsed.controls.search,
+        eval: parsed.controls.eval,
+        lifecycle: parsed.controls.lifecycle.clone(),
         ..Default::default()
     };
+    let started = Instant::now();
     match state
         .engine
-        .query_reduction(query, k, DocId(doc as u32), &config)
+        .query_reduction(&parsed.query, parsed.k, DocId(parsed.doc as u32), &config)
     {
         Err(e) => explain_error_response(e),
         Ok(result) => {
+            state.metrics.record_search(
+                result.status.as_str(),
+                result.candidates_evaluated as u64,
+                started.elapsed().as_micros() as u64,
+            );
             let explanations: Vec<Value> = result
                 .explanations
                 .iter()
@@ -466,7 +740,77 @@ fn query_reduction(state: &AppState, req: &Request) -> Response {
             Response::json(
                 200,
                 to_string(&obj([
+                    ("status", Value::from(result.status.as_str())),
                     ("old_rank", Value::from(result.old_rank)),
+                    (
+                        "candidates_evaluated",
+                        Value::from(result.candidates_evaluated),
+                    ),
+                    ("explanations", Value::Array(explanations)),
+                ])),
+            )
+        }
+    }
+}
+
+fn term_removal(state: &AppState, req: &Request, _tail: &str) -> Response {
+    let body = match json_body(req) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let parsed = match TermRemovalRequest::parse(&body) {
+        Ok(p) => p,
+        Err(errors) => return invalid_fields_response(errors),
+    };
+    let config = TermRemovalConfig {
+        n: parsed.n,
+        budget: parsed.controls.search,
+        eval: parsed.controls.eval,
+        lifecycle: parsed.controls.lifecycle.clone(),
+        ..Default::default()
+    };
+    let started = Instant::now();
+    match state
+        .engine
+        .term_removal(&parsed.query, parsed.k, DocId(parsed.doc as u32), &config)
+    {
+        Err(e) => explain_error_response(e),
+        Ok(result) => {
+            state.metrics.record_search(
+                result.status.as_str(),
+                result.candidates_evaluated as u64,
+                started.elapsed().as_micros() as u64,
+            );
+            let explanations: Vec<Value> = result
+                .explanations
+                .iter()
+                .map(|e| {
+                    obj([
+                        (
+                            "removed_terms",
+                            Value::Array(
+                                e.removed_terms
+                                    .iter()
+                                    .map(|t| Value::from(t.as_str()))
+                                    .collect(),
+                            ),
+                        ),
+                        ("perturbed_body", Value::from(e.perturbed_body.as_str())),
+                        ("importance", Value::from(e.importance)),
+                        ("old_rank", Value::from(e.old_rank)),
+                        ("new_rank", Value::from(e.new_rank)),
+                    ])
+                })
+                .collect();
+            Response::json(
+                200,
+                to_string(&obj([
+                    ("status", Value::from(result.status.as_str())),
+                    ("old_rank", Value::from(result.old_rank)),
+                    (
+                        "candidates_evaluated",
+                        Value::from(result.candidates_evaluated),
+                    ),
                     ("explanations", Value::Array(explanations)),
                 ])),
             )
@@ -489,59 +833,18 @@ fn instance_json(explanations: &[credence_core::InstanceExplanation]) -> Value {
     )
 }
 
-fn doc2vec_nearest(state: &AppState, req: &Request) -> Response {
+fn doc2vec_nearest(state: &AppState, req: &Request, _tail: &str) -> Response {
     let body = match json_body(req) {
         Ok(v) => v,
         Err(r) => return r,
     };
-    let (query, k, doc) = match (
-        get_str(&body, "query"),
-        get_usize(&body, "k"),
-        get_usize(&body, "doc"),
-    ) {
-        (Ok(q), Ok(k), Ok(d)) => (q, k, d),
-        (Err(r), _, _) | (_, Err(r), _) | (_, _, Err(r)) => return r,
-    };
-    let n = match get_usize_or(&body, "n", 1) {
-        Ok(n) => n,
-        Err(r) => return r,
-    };
-    match state.engine.doc2vec_nearest(query, k, DocId(doc as u32), n) {
-        Err(e) => explain_error_response(e),
-        Ok(out) => Response::json(
-            200,
-            to_string(&obj([("explanations", instance_json(&out))])),
-        ),
-    }
-}
-
-fn cosine_sampled(state: &AppState, req: &Request) -> Response {
-    let body = match json_body(req) {
-        Ok(v) => v,
-        Err(r) => return r,
-    };
-    let (query, k, doc) = match (
-        get_str(&body, "query"),
-        get_usize(&body, "k"),
-        get_usize(&body, "doc"),
-    ) {
-        (Ok(q), Ok(k), Ok(d)) => (q, k, d),
-        (Err(r), _, _) | (_, Err(r), _) | (_, _, Err(r)) => return r,
-    };
-    let n = match get_usize_or(&body, "n", 1) {
-        Ok(n) => n,
-        Err(r) => return r,
-    };
-    let samples = match body.get("samples") {
-        None => None,
-        Some(v) => match v.as_u64() {
-            Some(s) => Some(s as usize),
-            None => return error_response(400, "field 'samples' must be an integer"),
-        },
+    let parsed = match Doc2VecNearestRequest::parse(&body) {
+        Ok(p) => p,
+        Err(errors) => return invalid_fields_response(errors),
     };
     match state
         .engine
-        .cosine_sampled(query, k, DocId(doc as u32), n, samples)
+        .doc2vec_nearest(&parsed.query, parsed.k, DocId(parsed.doc as u32), parsed.n)
     {
         Err(e) => explain_error_response(e),
         Ok(out) => Response::json(
@@ -551,20 +854,43 @@ fn cosine_sampled(state: &AppState, req: &Request) -> Response {
     }
 }
 
-fn topics(state: &AppState, req: &Request) -> Response {
+fn cosine_sampled(state: &AppState, req: &Request, _tail: &str) -> Response {
     let body = match json_body(req) {
         Ok(v) => v,
         Err(r) => return r,
     };
-    let (query, k) = match (get_str(&body, "query"), get_usize(&body, "k")) {
-        (Ok(q), Ok(k)) => (q, k),
-        (Err(r), _) | (_, Err(r)) => return r,
+    let parsed = match CosineSampledRequest::parse(&body) {
+        Ok(p) => p,
+        Err(errors) => return invalid_fields_response(errors),
     };
-    let num_topics = match get_usize_or(&body, "num_topics", 3) {
-        Ok(n) => n,
+    match state.engine.cosine_sampled(
+        &parsed.query,
+        parsed.k,
+        DocId(parsed.doc as u32),
+        parsed.n,
+        parsed.samples,
+    ) {
+        Err(e) => explain_error_response(e),
+        Ok(out) => Response::json(
+            200,
+            to_string(&obj([("explanations", instance_json(&out))])),
+        ),
+    }
+}
+
+fn topics(state: &AppState, req: &Request, _tail: &str) -> Response {
+    let body = match json_body(req) {
+        Ok(v) => v,
         Err(r) => return r,
     };
-    match state.engine.topics(query, k, num_topics) {
+    let parsed = match TopicsRequest::parse(&body) {
+        Ok(p) => p,
+        Err(errors) => return invalid_fields_response(errors),
+    };
+    match state
+        .engine
+        .topics(&parsed.query, parsed.k, parsed.num_topics)
+    {
         Err(e) => explain_error_response(e),
         Ok(topics) => {
             let rows: Vec<Value> = topics
@@ -595,20 +921,19 @@ fn topics(state: &AppState, req: &Request) -> Response {
     }
 }
 
-fn snippet(state: &AppState, req: &Request) -> Response {
+fn snippet(state: &AppState, req: &Request, _tail: &str) -> Response {
     let body = match json_body(req) {
         Ok(v) => v,
         Err(r) => return r,
     };
-    let (query, doc) = match (get_str(&body, "query"), get_usize(&body, "doc")) {
-        (Ok(q), Ok(d)) => (q, d),
-        (Err(r), _) | (_, Err(r)) => return r,
+    let parsed = match SnippetRequest::parse(&body) {
+        Ok(p) => p,
+        Err(errors) => return invalid_fields_response(errors),
     };
-    let window = match get_usize_or(&body, "window", 24) {
-        Ok(w) => w,
-        Err(r) => return r,
-    };
-    match state.engine.snippet(query, DocId(doc as u32), window) {
+    match state
+        .engine
+        .snippet(&parsed.query, DocId(parsed.doc as u32), parsed.window)
+    {
         Err(e) => explain_error_response(e),
         Ok((highlights, snippet)) => {
             let spans: Vec<Value> = highlights
@@ -635,50 +960,38 @@ fn snippet(state: &AppState, req: &Request) -> Response {
     }
 }
 
-fn nearest_to_text(state: &AppState, req: &Request) -> Response {
+fn nearest_to_text(state: &AppState, req: &Request, _tail: &str) -> Response {
     let body = match json_body(req) {
         Ok(v) => v,
         Err(r) => return r,
     };
-    let text = match get_str(&body, "text") {
-        Ok(t) => t,
-        Err(r) => return r,
+    let parsed = match NearestToTextRequest::parse(&body) {
+        Ok(p) => p,
+        Err(errors) => return invalid_fields_response(errors),
     };
-    let n = match get_usize_or(&body, "n", 3) {
-        Ok(n) => n,
-        Err(r) => return r,
-    };
-    // Optional: exclude the top-k of a query so only non-relevant documents
-    // come back (the counterfactual framing).
-    let exclude = match (body.get("query"), body.get("k")) {
-        (Some(q), Some(k)) => match (q.as_str(), k.as_u64()) {
-            (Some(q), Some(k)) => Some((q, k as usize)),
-            _ => return error_response(400, "query must be a string and k an integer"),
-        },
-        _ => None,
-    };
-    let out = state.engine.nearest_to_text(text, n, exclude);
+    let exclude = parsed.exclude.as_ref().map(|(q, k)| (q.as_str(), *k));
+    let out = state
+        .engine
+        .nearest_to_text(&parsed.text, parsed.n, exclude);
     Response::json(200, to_string(&obj([("neighbors", instance_json(&out))])))
 }
 
-fn rerank(state: &AppState, req: &Request) -> Response {
+fn rerank(state: &AppState, req: &Request, _tail: &str) -> Response {
     let body = match json_body(req) {
         Ok(v) => v,
         Err(r) => return r,
     };
-    let (query, k, doc, edited) = match (
-        get_str(&body, "query"),
-        get_usize(&body, "k"),
-        get_usize(&body, "doc"),
-        get_str(&body, "body"),
-    ) {
-        (Ok(q), Ok(k), Ok(d), Ok(b)) => (q, k, d, b),
-        (Err(r), _, _, _) | (_, Err(r), _, _) | (_, _, Err(r), _) | (_, _, _, Err(r)) => return r,
+    let parsed = match RerankRequest::parse(&body) {
+        Ok(p) => p,
+        Err(errors) => return invalid_fields_response(errors),
     };
-    match state
-        .engine
-        .builder_rerank(query, k, DocId(doc as u32), edited)
-    {
+    match state.engine.builder_rerank_budgeted(
+        &parsed.query,
+        parsed.k,
+        DocId(parsed.doc as u32),
+        &parsed.body,
+        &parsed.lifecycle,
+    ) {
         Err(e) => explain_error_response(e),
         Ok(outcome) => Response::json(
             200,
@@ -774,14 +1087,25 @@ mod tests {
         parse(std::str::from_utf8(&resp.body).unwrap()).unwrap()
     }
 
+    /// The error envelope's code, when the body is an envelope.
+    fn error_code(resp: &Response) -> Option<String> {
+        body_json(resp)
+            .get("error")?
+            .get("code")?
+            .as_str()
+            .map(String::from)
+    }
+
     #[test]
     fn ui_page_served_at_root() {
         let resp = get("/");
         assert_eq!(resp.status, 200);
         assert_eq!(resp.content_type, "text/html; charset=utf-8");
+        assert_eq!(resp.header("deprecation"), None, "the UI is not an alias");
         let html = String::from_utf8(resp.body).unwrap();
         assert!(html.contains("CREDENCE"));
         assert!(html.contains("/explain/"), "UI drives the REST API");
+        assert!(html.contains(API_PREFIX), "UI calls the versioned API");
     }
 
     #[test]
@@ -799,7 +1123,7 @@ mod tests {
             AppState::leak_with(demo_docs(), EngineConfig::fast(), RankerChoice::QlDirichlet);
         let req = Request {
             method: "POST".into(),
-            path: "/rank".into(),
+            path: "/api/v1/rank".into(),
             headers: Default::default(),
             body: br#"{"query": "covid outbreak", "k": 3}"#.to_vec(),
         };
@@ -811,14 +1135,49 @@ mod tests {
     #[test]
     fn health_and_404_and_405() {
         assert_eq!(get("/health").status, 200);
-        assert_eq!(get("/nope").status, 404);
+        assert_eq!(get("/api/v1/health").status, 200);
+        let missing = get("/nope");
+        assert_eq!(missing.status, 404);
+        assert_eq!(error_code(&missing).as_deref(), Some("not_found"));
         let req = Request {
             method: "DELETE".into(),
             path: "/rank".into(),
             headers: Default::default(),
             body: Vec::new(),
         };
-        assert_eq!(handle_request(state(), &req).status, 405);
+        let resp = handle_request(state(), &req);
+        assert_eq!(resp.status, 405);
+        assert_eq!(error_code(&resp).as_deref(), Some("method_not_allowed"));
+    }
+
+    #[test]
+    fn unversioned_paths_are_deprecated_aliases() {
+        let alias = post("/rank", r#"{"query": "covid outbreak", "k": 3}"#);
+        assert_eq!(alias.status, 200);
+        assert_eq!(alias.header("deprecation"), Some("true"));
+        assert_eq!(
+            alias.header("link"),
+            Some("</api/v1/rank>; rel=\"successor-version\"")
+        );
+
+        let canonical = post("/api/v1/rank", r#"{"query": "covid outbreak", "k": 3}"#);
+        assert_eq!(canonical.status, 200);
+        assert_eq!(canonical.header("deprecation"), None);
+        assert_eq!(
+            alias.body, canonical.body,
+            "aliases serve identical payloads"
+        );
+    }
+
+    #[test]
+    fn alias_link_points_at_the_full_path() {
+        let resp = get("/doc/2");
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.header("link"),
+            Some("</api/v1/doc/2>; rel=\"successor-version\"")
+        );
+        assert_eq!(get("/api/v1/doc/2").header("deprecation"), None);
     }
 
     #[test]
@@ -828,7 +1187,7 @@ mod tests {
         let v = body_json(&resp);
         assert_eq!(v.get("num_docs").unwrap().as_u64(), Some(6));
 
-        let resp = get("/doc/2");
+        let resp = get("/api/v1/doc/2");
         assert_eq!(resp.status, 200);
         let v = body_json(&resp);
         assert!(v
@@ -838,13 +1197,15 @@ mod tests {
             .unwrap()
             .contains("microchip"));
 
-        assert_eq!(get("/doc/99").status, 404);
+        let missing = get("/doc/99");
+        assert_eq!(missing.status, 404);
+        assert_eq!(error_code(&missing).as_deref(), Some("doc_not_found"));
         assert_eq!(get("/doc/zebra").status, 400);
     }
 
     #[test]
     fn rank_endpoint() {
-        let resp = post("/rank", r#"{"query": "covid outbreak", "k": 3}"#);
+        let resp = post("/api/v1/rank", r#"{"query": "covid outbreak", "k": 3}"#);
         assert_eq!(resp.status, 200);
         let v = body_json(&resp);
         let ranking = v.get("ranking").unwrap().as_array().unwrap();
@@ -862,6 +1223,39 @@ mod tests {
     }
 
     #[test]
+    fn invalid_fields_all_reported_in_the_envelope() {
+        let resp = post("/api/v1/rank", r#"{"query": 7, "k": "three", "zz": 1}"#);
+        assert_eq!(resp.status, 400);
+        let v = body_json(&resp);
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("code").unwrap().as_str(), Some("invalid_field"));
+        assert!(err.get("field").unwrap().as_str().is_some());
+        let details = err.get("details").unwrap().as_array().unwrap();
+        assert_eq!(details.len(), 3, "query, k, and the unknown field");
+        let fields: Vec<&str> = details
+            .iter()
+            .map(|d| d.get("field").unwrap().as_str().unwrap())
+            .collect();
+        assert!(fields.contains(&"query"));
+        assert!(fields.contains(&"k"));
+        assert!(fields.contains(&"zz"));
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let resp = post(
+            "/api/v1/explain/sentence-removal",
+            r#"{"query": "covid outbreak", "k": 3, "doc": 2, "deadlin_ms": 5}"#,
+        );
+        assert_eq!(resp.status, 400);
+        let v = body_json(&resp);
+        assert_eq!(
+            v.get("error").unwrap().get("field").unwrap().as_str(),
+            Some("deadlin_ms")
+        );
+    }
+
+    #[test]
     fn sentence_removal_endpoint() {
         let resp = post(
             "/explain/sentence-removal",
@@ -869,6 +1263,7 @@ mod tests {
         );
         assert_eq!(resp.status, 200);
         let v = body_json(&resp);
+        assert_eq!(v.get("status").unwrap().as_str(), Some("complete"));
         let explanations = v.get("explanations").unwrap().as_array().unwrap();
         assert_eq!(explanations.len(), 1);
         let new_rank = explanations[0].get("new_rank").unwrap().as_u64().unwrap();
@@ -899,24 +1294,115 @@ mod tests {
     }
 
     #[test]
+    fn generous_budget_payload_matches_unbudgeted() {
+        let plain = post(
+            "/api/v1/explain/sentence-removal",
+            r#"{"query": "covid outbreak", "k": 3, "doc": 2, "n": 1}"#,
+        );
+        let budgeted = post(
+            "/api/v1/explain/sentence-removal",
+            r#"{"query": "covid outbreak", "k": 3, "doc": 2, "n": 1,
+                "deadline_ms": 600000, "max_evals": 1000000}"#,
+        );
+        assert_eq!(budgeted.status, 200);
+        assert_eq!(plain.body, budgeted.body);
+    }
+
+    #[test]
+    fn expired_deadline_returns_well_formed_partial_result() {
+        let resp = post(
+            "/api/v1/explain/sentence-removal",
+            r#"{"query": "covid outbreak", "k": 3, "doc": 2, "n": 1, "deadline_ms": 0}"#,
+        );
+        assert_eq!(resp.status, 200, "a tripped budget is not an error");
+        let v = body_json(&resp);
+        assert_eq!(v.get("status").unwrap().as_str(), Some("deadline"));
+        assert_eq!(v.get("candidates_evaluated").unwrap().as_u64(), Some(0));
+        assert!(v
+            .get("explanations")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+        assert!(v.get("old_rank").unwrap().as_u64().is_some());
+        assert!(state().metrics().deadline_hits() > 0);
+    }
+
+    #[test]
+    fn max_evals_cap_returns_exhausted_prefix() {
+        let capped = post(
+            "/api/v1/explain/sentence-removal",
+            r#"{"query": "covid outbreak", "k": 3, "doc": 2, "n": 5, "max_evals": 1}"#,
+        );
+        assert_eq!(capped.status, 200);
+        let v = body_json(&capped);
+        assert_eq!(v.get("status").unwrap().as_str(), Some("exhausted"));
+        assert_eq!(v.get("candidates_evaluated").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn metrics_endpoint_exposes_the_registry() {
+        // Generate at least one request beforehand so counters are nonzero.
+        let _ = post("/api/v1/rank", r#"{"query": "covid outbreak", "k": 3}"#);
+        let resp = get("/metrics");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "text/plain; charset=utf-8");
+        assert_eq!(resp.header("deprecation"), None, "/metrics is canonical");
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("credence_requests_total{endpoint=\"rank\",status=\"200\"}"));
+        assert!(text.contains("credence_request_duration_seconds_bucket"));
+        assert!(text.contains("credence_request_duration_quantile_seconds{quantile=\"0.99\"}"));
+        assert!(text.contains("credence_deadline_hits_total"));
+        assert!(text.contains("credence_candidate_evals_total"));
+        assert!(text.contains("credence_searches_total{status=\"complete\"}"));
+    }
+
+    #[test]
     fn sentence_removal_doc_errors() {
-        assert_eq!(
-            post(
-                "/explain/sentence-removal",
-                r#"{"query": "covid outbreak", "k": 3, "doc": 99}"#
-            )
-            .status,
-            404
+        let missing = post(
+            "/explain/sentence-removal",
+            r#"{"query": "covid outbreak", "k": 3, "doc": 99}"#,
         );
-        assert_eq!(
-            post(
-                "/explain/sentence-removal",
-                r#"{"query": "covid outbreak", "k": 3, "doc": 5}"#
-            )
-            .status,
-            422,
-            "garden doc is not relevant"
+        assert_eq!(missing.status, 404);
+        assert_eq!(error_code(&missing).as_deref(), Some("doc_not_found"));
+        let irrelevant = post(
+            "/explain/sentence-removal",
+            r#"{"query": "covid outbreak", "k": 3, "doc": 5}"#,
         );
+        assert_eq!(irrelevant.status, 422, "garden doc is not relevant");
+        assert_eq!(error_code(&irrelevant).as_deref(), Some("doc_not_relevant"));
+    }
+
+    #[test]
+    fn error_envelope_on_every_endpoint() {
+        // Every POST endpoint answers field errors with the envelope.
+        let cases = [
+            ("/api/v1/rank", r#"{"k": 3}"#),
+            ("/api/v1/explain/sentence-removal", r#"{"k": 3}"#),
+            ("/api/v1/explain/query-augmentation", r#"{"k": 3}"#),
+            ("/api/v1/explain/query-reduction", r#"{"k": 3}"#),
+            ("/api/v1/explain/term-removal", r#"{"k": 3}"#),
+            ("/api/v1/explain/doc2vec-nearest", r#"{"k": 3}"#),
+            ("/api/v1/explain/cosine-sampled", r#"{"k": 3}"#),
+            ("/api/v1/explain/nearest-to-text", r#"{"n": 3}"#),
+            ("/api/v1/topics", r#"{"k": 3}"#),
+            ("/api/v1/snippet", r#"{"doc": 1}"#),
+            ("/api/v1/rerank", r#"{"query": "covid", "k": 3, "doc": 2}"#),
+        ];
+        for (path, body) in cases {
+            let resp = post(path, body);
+            assert_eq!(resp.status, 400, "{path}");
+            let v = body_json(&resp);
+            let err = v
+                .get("error")
+                .unwrap_or_else(|| panic!("{path}: no envelope"));
+            assert_eq!(
+                err.get("code").unwrap().as_str(),
+                Some("invalid_field"),
+                "{path}"
+            );
+            assert!(err.get("message").unwrap().as_str().is_some(), "{path}");
+        }
     }
 
     #[test]
@@ -927,6 +1413,7 @@ mod tests {
         );
         assert_eq!(resp.status, 200);
         let v = body_json(&resp);
+        assert_eq!(v.get("status").unwrap().as_str(), Some("complete"));
         let explanations = v.get("explanations").unwrap().as_array().unwrap();
         assert!(!explanations.is_empty());
         for e in explanations {
@@ -948,6 +1435,8 @@ mod tests {
         );
         assert_eq!(resp.status, 200);
         let v = body_json(&resp);
+        assert_eq!(v.get("status").unwrap().as_str(), Some("complete"));
+        assert!(v.get("candidates_evaluated").unwrap().as_u64().is_some());
         let explanations = v.get("explanations").unwrap().as_array().unwrap();
         for e in explanations {
             assert!(!e
@@ -957,6 +1446,27 @@ mod tests {
                 .unwrap()
                 .is_empty());
         }
+    }
+
+    #[test]
+    fn term_removal_endpoint() {
+        let resp = post(
+            "/api/v1/explain/term-removal",
+            r#"{"query": "covid outbreak", "k": 3, "doc": 2, "n": 1}"#,
+        );
+        assert_eq!(resp.status, 200);
+        let v = body_json(&resp);
+        assert_eq!(v.get("status").unwrap().as_str(), Some("complete"));
+        let explanations = v.get("explanations").unwrap().as_array().unwrap();
+        assert!(!explanations.is_empty());
+        let e = &explanations[0];
+        assert!(!e
+            .get("removed_terms")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+        assert!(e.get("new_rank").unwrap().as_u64().unwrap() > 3);
     }
 
     #[test]
@@ -1006,6 +1516,17 @@ mod tests {
         assert!(rows
             .iter()
             .any(|r| r.get("substituted").unwrap().as_bool() == Some(true)));
+    }
+
+    #[test]
+    fn rerank_with_expired_deadline_fails_fast() {
+        let resp = post(
+            "/api/v1/rerank",
+            r#"{"query": "covid outbreak", "k": 3, "doc": 2,
+                "body": "The flu is a cover story.", "deadline_ms": 0}"#,
+        );
+        assert_eq!(resp.status, 422, "the builder has no partial result");
+        assert_eq!(error_code(&resp).as_deref(), Some("deadline_exceeded"));
     }
 
     #[test]

@@ -40,15 +40,18 @@ fn main() {
     let addr = handle.addr();
     println!("listening on http://{addr}\n");
 
-    println!("GET /health\n  {}\n", http(addr, "GET", "/health", None));
+    println!(
+        "GET /api/v1/health\n  {}\n",
+        http(addr, "GET", "/api/v1/health", None)
+    );
 
-    println!("POST /rank {{query: \"covid outbreak\", k: 3}}");
+    println!("POST /api/v1/rank {{query: \"covid outbreak\", k: 3}}");
     println!(
         "  {}\n",
         http(
             addr,
             "POST",
-            "/rank",
+            "/api/v1/rank",
             Some(r#"{"query": "covid outbreak", "k": 3}"#)
         )
     );
@@ -57,42 +60,74 @@ fn main() {
         r#"{{"query": "covid outbreak", "k": 10, "doc": {}, "n": 1}}"#,
         demo.fake_news
     );
-    println!("POST /explain/sentence-removal (the Figure-2 request)");
+    println!("POST /api/v1/explain/sentence-removal (the Figure-2 request)");
     println!(
         "  {}\n",
-        http(addr, "POST", "/explain/sentence-removal", Some(&body))
+        http(
+            addr,
+            "POST",
+            "/api/v1/explain/sentence-removal",
+            Some(&body)
+        )
     );
 
     let body = format!(
         r#"{{"query": "covid outbreak", "k": 10, "doc": {}, "n": 3, "threshold": 2}}"#,
         demo.fake_news
     );
-    println!("POST /explain/query-augmentation (the Figure-3 request)");
+    println!("POST /api/v1/explain/query-augmentation (the Figure-3 request)");
     println!(
         "  {}\n",
-        http(addr, "POST", "/explain/query-augmentation", Some(&body))
+        http(
+            addr,
+            "POST",
+            "/api/v1/explain/query-augmentation",
+            Some(&body)
+        )
     );
 
     let body = format!(
         r#"{{"query": "covid outbreak", "k": 10, "doc": {}, "n": 1}}"#,
         demo.fake_news
     );
-    println!("POST /explain/doc2vec-nearest (the Figure-4 request)");
+    println!("POST /api/v1/explain/doc2vec-nearest (the Figure-4 request)");
     println!(
         "  {}\n",
-        http(addr, "POST", "/explain/doc2vec-nearest", Some(&body))
+        http(addr, "POST", "/api/v1/explain/doc2vec-nearest", Some(&body))
     );
 
-    println!("POST /topics");
+    println!("POST /api/v1/topics");
     println!(
         "  {}\n",
         http(
             addr,
             "POST",
-            "/topics",
+            "/api/v1/topics",
             Some(r#"{"query": "covid outbreak", "k": 10, "num_topics": 3}"#)
         )
     );
+
+    let body = format!(
+        r#"{{"query": "covid outbreak", "k": 10, "doc": {}, "n": 1, "deadline_ms": 0}}"#,
+        demo.fake_news
+    );
+    println!("POST /api/v1/explain/sentence-removal with deadline_ms: 0 (partial result)");
+    println!(
+        "  {}\n",
+        http(
+            addr,
+            "POST",
+            "/api/v1/explain/sentence-removal",
+            Some(&body)
+        )
+    );
+
+    println!("GET /metrics (first lines)");
+    let metrics = http(addr, "GET", "/metrics", None);
+    for line in metrics.lines().take(8) {
+        println!("  {line}");
+    }
+    println!();
 
     handle.stop();
     println!("server stopped.");

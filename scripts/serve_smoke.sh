@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for credence-serve: boots the release binary on a
+# local port, drives the versioned REST surface with curl, and asserts the
+# request-lifecycle budget actually caps a live search.
+#
+# The demo corpus is too small to exercise a wall-clock deadline (its worst
+# document finishes in ~16 ms), so the script writes a synthetic corpus with
+# one 48-sentence document; an exact-serial sentence-removal search over it
+# takes seconds uncapped, which a 250 ms deadline cuts short mid-search.
+#
+# Usage: ./scripts/serve_smoke.sh   (expects target/release/credence-serve)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/credence-serve
+ADDR=127.0.0.1:18642
+BASE="http://$ADDR"
+WORK=target/serve-smoke
+DEADLINE_MS=250
+
+[ -x "$BIN" ] || {
+    echo "serve_smoke: $BIN missing; run cargo build --release first" >&2
+    exit 1
+}
+
+mkdir -p "$WORK"
+
+# --- synthetic corpus: one long query-relevant doc plus padding ------------
+{
+    body=""
+    for i in $(seq 0 47); do
+        if [ $((i % 4)) -eq 0 ]; then
+            body+="The covid outbreak update number $i arrives today. "
+        else
+            body+="Filler sentence number $i talks about daily life. "
+        fi
+    done
+    printf '{"name":"long-doc","title":"Long covid doc","body":"%s"}\n' "$body"
+    for i in $(seq 1 12); do
+        printf '{"name":"pad-%s","title":"Report %s","body":"covid outbreak report number %s with several extra words to pad the length of this story for realistic normalisation."}\n' \
+            "$i" "$i" "$i"
+    done
+} >"$WORK/corpus.jsonl"
+
+"$BIN" --addr "$ADDR" --corpus "$WORK/corpus.jsonl" >"$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 80); do
+    curl -sf "$BASE/api/v1/health" >/dev/null 2>&1 && break
+    kill -0 "$SERVE_PID" 2>/dev/null || {
+        echo "serve_smoke: server died during startup:" >&2
+        cat "$WORK/serve.log" >&2
+        exit 1
+    }
+    sleep 0.25
+done
+curl -sf "$BASE/api/v1/health" >/dev/null || {
+    echo "serve_smoke: /api/v1/health never came up" >&2
+    exit 1
+}
+
+fail() {
+    echo "serve_smoke: $1" >&2
+    echo "--- response ---" >&2
+    echo "$2" >&2
+    exit 1
+}
+
+# --- /api/v1/rank ----------------------------------------------------------
+RANK=$(curl -sf "$BASE/api/v1/rank" -d '{"query": "covid outbreak", "k": 5}')
+echo "$RANK" | grep -q '"ranking"' || fail "/api/v1/rank missing ranking" "$RANK"
+echo "$RANK" | grep -q '"long-doc"' || fail "/api/v1/rank missing long-doc" "$RANK"
+echo "serve_smoke: /api/v1/rank ok"
+
+# --- deadline-capped search ------------------------------------------------
+# Exact serial evaluation of the 48-sentence doc runs for seconds uncapped;
+# the deadline must cut it off and hand back a well-formed partial result
+# within 2x the requested budget (the serial path checks the clock before
+# every candidate, so the overshoot is one evaluation).
+REQ=$(printf '{"query": "covid outbreak", "k": 5, "doc": 0, "n": 999, "max_size": 3, "max_candidates": 48, "eval_exact": true, "eval_threads": 1, "deadline_ms": %s}' "$DEADLINE_MS")
+START_NS=$(date +%s%N)
+PARTIAL=$(curl -sf "$BASE/api/v1/explain/sentence-removal" -d "$REQ")
+ELAPSED_MS=$((($(date +%s%N) - START_NS) / 1000000))
+
+echo "$PARTIAL" | grep -q '"status":"deadline"' ||
+    fail "expected status \"deadline\"" "$PARTIAL"
+EVALS=$(echo "$PARTIAL" | sed -n 's/.*"candidates_evaluated":\([0-9]*\).*/\1/p')
+[ -n "$EVALS" ] && [ "$EVALS" -gt 0 ] ||
+    fail "expected a nonzero candidates_evaluated" "$PARTIAL"
+[ "$ELAPSED_MS" -le $((DEADLINE_MS * 2)) ] ||
+    fail "deadline-capped request took ${ELAPSED_MS}ms (> 2x ${DEADLINE_MS}ms budget)" "$PARTIAL"
+echo "serve_smoke: deadline budget tripped after $EVALS evals in ${ELAPSED_MS}ms (budget ${DEADLINE_MS}ms)"
+
+# --- /metrics --------------------------------------------------------------
+METRICS=$(curl -sf "$BASE/metrics")
+echo "$METRICS" | grep -q '^# TYPE credence_requests_total counter' ||
+    fail "/metrics missing credence_requests_total TYPE line" "$METRICS"
+echo "$METRICS" | grep -q 'credence_requests_total{endpoint="rank",status="200"}' ||
+    fail "/metrics missing rank request counter" "$METRICS"
+HITS=$(echo "$METRICS" | sed -n 's/^credence_deadline_hits_total \([0-9]*\)$/\1/p')
+[ -n "$HITS" ] && [ "$HITS" -ge 1 ] ||
+    fail "expected credence_deadline_hits_total >= 1" "$METRICS"
+echo "serve_smoke: /metrics ok (deadline hits: $HITS)"
+
+echo "serve_smoke: all green"

@@ -755,6 +755,55 @@ prop! {
 }
 
 prop! {
+    /// Budget-limited search is prefix-consistent: capping the evaluation
+    /// count returns exactly the uncapped run's best-so-far — the
+    /// explanations discovered within the first `candidates_evaluated`
+    /// evaluations, in the same order — never a different search path.
+    config(cases = 24);
+    fn budgeted_search_is_a_prefix_of_the_full_search(
+        docs in arb_corpus(),
+        cap_seed in gens::usize_range(1..64),
+    ) {
+        use credence_core::{explain_sentence_removal, Budget, SearchStatus, SentenceRemovalConfig};
+        let idx = InvertedIndex::build(docs.clone(), Analyzer::english());
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        let ranking = rank_corpus(&ranker, "covid outbreak");
+        prop_assume!(!ranking.is_empty());
+        let doc = ranking.entries()[0].0;
+        let k = 1.max(ranking.len() / 2);
+        let mk = |lifecycle| SentenceRemovalConfig { n: 8, lifecycle, ..Default::default() };
+
+        let full = explain_sentence_removal(&ranker, "covid outbreak", k, doc, &mk(Budget::unlimited()));
+        prop_assume!(full.is_ok());
+        let full = full.unwrap();
+        prop_assert_eq!(full.status, SearchStatus::Complete);
+
+        let cap = 1 + (*cap_seed % (full.candidates_evaluated + 1));
+        let capped = explain_sentence_removal(
+            &ranker, "covid outbreak", k, doc, &mk(Budget::unlimited().with_max_evals(cap)),
+        ).unwrap();
+
+        // The cap is a hard ceiling, honoured at batch granularity.
+        prop_assert!(capped.candidates_evaluated <= cap);
+        prop_assert!(capped.candidates_evaluated <= full.candidates_evaluated);
+        if capped.status == SearchStatus::Complete {
+            prop_assert_eq!(&capped, &full);
+        } else {
+            prop_assert_eq!(capped.status, SearchStatus::Exhausted);
+            // Same best-so-far as the full run truncated at the capped
+            // run's evaluation count: exact equality, element by element.
+            let prefix: Vec<_> = full
+                .explanations
+                .iter()
+                .filter(|e| e.candidates_evaluated <= capped.candidates_evaluated)
+                .cloned()
+                .collect();
+            prop_assert_eq!(capped.explanations, prefix);
+        }
+    }
+}
+
+prop! {
     /// Query augmentation: parallel + posting-list scoring equals exact serial.
     config(cases = 24);
     fn query_augmentation_engine_parity(

@@ -31,7 +31,8 @@ fn server() -> &'static TestServer {
     })
 }
 
-fn request(method: &str, path: &str, body: Option<&str>) -> (u16, Value) {
+/// One raw HTTP round trip: status, header section, body text.
+fn raw_request(method: &str, path: &str, body: Option<&str>) -> (u16, String, String) {
     let srv = server();
     let mut conn = TcpStream::connect(srv.handle.addr()).unwrap();
     let raw = match body {
@@ -51,21 +52,29 @@ fn request(method: &str, path: &str, body: Option<&str>) -> (u16, Value) {
         .expect("status code")
         .parse()
         .expect("numeric status");
-    let json_start = out.find("\r\n\r\n").expect("header terminator") + 4;
-    let value = parse(&out[json_start..]).expect("JSON body");
-    (status, value)
+    let body_start = out.find("\r\n\r\n").expect("header terminator") + 4;
+    (
+        status,
+        out[..body_start].to_string(),
+        out[body_start..].to_string(),
+    )
+}
+
+fn request(method: &str, path: &str, body: Option<&str>) -> (u16, Value) {
+    let (status, _, body) = raw_request(method, path, body);
+    (status, parse(&body).expect("JSON body"))
 }
 
 #[test]
 fn health_check() {
-    let (status, v) = request("GET", "/health", None);
+    let (status, v) = request("GET", "/api/v1/health", None);
     assert_eq!(status, 200);
     assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
 }
 
 #[test]
 fn corpus_lists_demo_documents() {
-    let (status, v) = request("GET", "/corpus", None);
+    let (status, v) = request("GET", "/api/v1/corpus", None);
     assert_eq!(status, 200);
     let n = v.get("num_docs").unwrap().as_u64().unwrap();
     assert!(n >= 40);
@@ -75,7 +84,7 @@ fn corpus_lists_demo_documents() {
 fn running_example_over_http() {
     let (status, v) = request(
         "POST",
-        "/rank",
+        "/api/v1/rank",
         Some(r#"{"query": "covid outbreak", "k": 10}"#),
     );
     assert_eq!(status, 200);
@@ -99,7 +108,7 @@ fn figure2_over_http() {
         r#"{{"query": "covid outbreak", "k": 10, "doc": {}, "n": 1}}"#,
         server().fake_news
     );
-    let (status, v) = request("POST", "/explain/sentence-removal", Some(&body));
+    let (status, v) = request("POST", "/api/v1/explain/sentence-removal", Some(&body));
     assert_eq!(status, 200);
     let explanations = v.get("explanations").unwrap().as_array().unwrap();
     assert_eq!(explanations.len(), 1);
@@ -123,7 +132,7 @@ fn figure3_over_http() {
         r#"{{"query": "covid outbreak", "k": 10, "doc": {}, "n": 7, "threshold": 2}}"#,
         server().fake_news
     );
-    let (status, v) = request("POST", "/explain/query-augmentation", Some(&body));
+    let (status, v) = request("POST", "/api/v1/explain/query-augmentation", Some(&body));
     assert_eq!(status, 200);
     let explanations = v.get("explanations").unwrap().as_array().unwrap();
     assert_eq!(explanations.len(), 7);
@@ -139,7 +148,7 @@ fn figure4_over_http() {
         r#"{{"query": "covid outbreak", "k": 10, "doc": {}, "n": 1}}"#,
         srv.fake_news
     );
-    let (status, v) = request("POST", "/explain/doc2vec-nearest", Some(&body));
+    let (status, v) = request("POST", "/api/v1/explain/doc2vec-nearest", Some(&body));
     assert_eq!(status, 200);
     let e = &v.get("explanations").unwrap().as_array().unwrap()[0];
     assert_eq!(
@@ -151,7 +160,7 @@ fn figure4_over_http() {
 
     let (status, v) = request(
         "POST",
-        "/explain/cosine-sampled",
+        "/api/v1/explain/cosine-sampled",
         Some(&format!(
             r#"{{"query": "covid outbreak", "k": 10, "doc": {}, "n": 1, "samples": 1000}}"#,
             srv.fake_news
@@ -169,7 +178,7 @@ fn figure4_over_http() {
 fn figure5_over_http() {
     let srv = server();
     // Fetch the document, apply the Figure-5 edits client-side, re-rank.
-    let (status, doc) = request("GET", &format!("/doc/{}", srv.fake_news), None);
+    let (status, doc) = request("GET", &format!("/api/v1/doc/{}", srv.fake_news), None);
     assert_eq!(status, 200);
     let original = doc.get("body").unwrap().as_str().unwrap();
     let edited = original
@@ -183,7 +192,7 @@ fn figure5_over_http() {
         ("doc", Value::from(srv.fake_news)),
         ("body", Value::from(edited)),
     ]));
-    let (status, v) = request("POST", "/rerank", Some(&payload));
+    let (status, v) = request("POST", "/api/v1/rerank", Some(&payload));
     assert_eq!(status, 200);
     assert_eq!(v.get("valid").unwrap().as_bool(), Some(true));
     assert_eq!(v.get("old_rank").unwrap().as_u64(), Some(3));
@@ -195,7 +204,7 @@ fn figure5_over_http() {
 fn topics_over_http() {
     let (status, v) = request(
         "POST",
-        "/topics",
+        "/api/v1/topics",
         Some(r#"{"query": "covid outbreak", "k": 10, "num_topics": 3}"#),
     );
     assert_eq!(status, 200);
@@ -206,15 +215,89 @@ fn topics_over_http() {
 fn error_statuses_over_http() {
     let (status, v) = request("POST", "/rank", Some("not json"));
     assert_eq!(status, 400);
-    assert!(v.get("error").is_some());
+    let err = v.get("error").expect("error envelope");
+    assert_eq!(err.get("code").unwrap().as_str(), Some("invalid_json"));
+    assert!(err.get("message").unwrap().as_str().is_some());
 
-    let (status, _) = request(
+    let (status, v) = request(
         "POST",
         "/explain/sentence-removal",
         Some(r#"{"query": "covid outbreak", "k": 10, "doc": 99999}"#),
     );
     assert_eq!(status, 404);
+    assert_eq!(
+        v.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("doc_not_found")
+    );
 
     let (status, _) = request("GET", "/nonexistent", None);
     assert_eq!(status, 404);
+}
+
+#[test]
+fn unversioned_alias_answers_with_deprecation_header() {
+    let (status, headers, alias_body) = raw_request(
+        "POST",
+        "/rank",
+        Some(r#"{"query": "covid outbreak", "k": 3}"#),
+    );
+    assert_eq!(status, 200);
+    assert!(headers.contains("deprecation: true"), "{headers}");
+    assert!(
+        headers.contains("link: </api/v1/rank>; rel=\"successor-version\""),
+        "{headers}"
+    );
+    let (status, headers, canonical_body) = raw_request(
+        "POST",
+        "/api/v1/rank",
+        Some(r#"{"query": "covid outbreak", "k": 3}"#),
+    );
+    assert_eq!(status, 200);
+    assert!(!headers.contains("deprecation"), "{headers}");
+    assert_eq!(alias_body, canonical_body);
+}
+
+#[test]
+fn deadline_capped_search_returns_partial_result_over_http() {
+    let body = format!(
+        r#"{{"query": "covid outbreak", "k": 10, "doc": {}, "n": 1, "deadline_ms": 0}}"#,
+        server().fake_news
+    );
+    let (status, v) = request("POST", "/api/v1/explain/sentence-removal", Some(&body));
+    assert_eq!(
+        status, 200,
+        "a tripped budget is a partial result, not an error"
+    );
+    assert_eq!(v.get("status").unwrap().as_str(), Some("deadline"));
+    assert!(v.get("candidates_evaluated").unwrap().as_u64().is_some());
+    assert!(v.get("explanations").unwrap().as_array().is_some());
+
+    // The hit shows up in the metrics registry.
+    let (status, _, text) = raw_request("GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let hits: u64 = text
+        .lines()
+        .find(|l| l.starts_with("credence_deadline_hits_total"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|n| n.parse().ok())
+        .expect("deadline-hit counter present");
+    assert!(hits >= 1, "{hits}");
+}
+
+#[test]
+fn metrics_exposition_over_http() {
+    // Generate traffic first so the rank counter is nonzero.
+    let (status, _) = request(
+        "POST",
+        "/api/v1/rank",
+        Some(r#"{"query": "covid outbreak", "k": 3}"#),
+    );
+    assert_eq!(status, 200);
+    let (status, headers, text) = raw_request("GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert!(headers.contains("content-type: text/plain"), "{headers}");
+    assert!(text.contains("# TYPE credence_requests_total counter"));
+    assert!(text.contains("credence_requests_total{endpoint=\"rank\",status=\"200\"}"));
+    assert!(text.contains("credence_request_duration_seconds_bucket"));
+    assert!(text.contains("credence_request_duration_quantile_seconds{quantile=\"0.95\"}"));
 }
