@@ -2,8 +2,10 @@
 //! scales (backs the T-SCALE table's `index` and `rank` columns).
 
 use credence_bench::synth_index;
-use credence_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use credence_index::{search_top_k, Bm25Params, InvertedIndex};
+use credence_bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use credence_index::{
+    search_top_k, search_top_k_with, Bm25Params, InvertedIndex, SearchStrategy, TopKOptions,
+};
 use credence_text::Analyzer;
 
 fn bench_index_build(c: &mut Criterion) {
@@ -30,5 +32,51 @@ fn bench_search(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_index_build, bench_search);
+/// Docs-ranked-per-second of the three retrieval paths on a selective
+/// query (one topical term plus two ubiquitous background terms — the
+/// shape where MaxScore pruning pays off). Elements per iteration is the
+/// exhaustive path's `docs_scored`, identical across variants, so the
+/// throughput ratios are exactly the wall-clock ratios.
+fn bench_ranking_throughput(c: &mut Criterion) {
+    let (corpus, index) = synth_index(1600, 11);
+    let query = index.analyze_query(&format!("{} common0 common1", corpus.topic_query(0, 1)));
+    let params = Bm25Params::default();
+    let opts = |strategy| TopKOptions {
+        strategy,
+        ..TopKOptions::default()
+    };
+    let (_, ex_stats) = search_top_k_with(&index, params, &query, 10, &opts(SearchStrategy::Auto));
+    let (_, reference) = search_top_k_with(
+        &index,
+        params,
+        &query,
+        10,
+        &opts(SearchStrategy::Exhaustive),
+    );
+    assert!(
+        ex_stats.docs_pruned > 0 || ex_stats.shards_used > 0,
+        "fixture query must exercise a non-exhaustive path, got {ex_stats:?}"
+    );
+
+    let mut group = c.benchmark_group("ranking/throughput");
+    group.throughput(Throughput::Elements(reference.docs_scored));
+    for (name, strategy) in [
+        ("exhaustive", SearchStrategy::Exhaustive),
+        ("pruned", SearchStrategy::Pruned),
+        ("sharded", SearchStrategy::Sharded),
+    ] {
+        let opts = opts(strategy);
+        group.bench_function(name, |b| {
+            b.iter(|| search_top_k_with(&index, params, &query, 10, &opts));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_index_build,
+    bench_search,
+    bench_ranking_throughput
+);
 criterion_main!(benches);

@@ -138,6 +138,33 @@ fn write_baseline(path: &std::path::Path, current: &BTreeMap<String, f64>) -> st
     std::fs::write(path, to_string(&Value::Object(root)))
 }
 
+/// Relative gates: `(fast, slow, min_ratio)` — the `fast` benchmark's
+/// throughput must be at least `min_ratio` times the `slow` one's in the
+/// *current* records. Unlike the baseline comparison these are absolute
+/// claims about the code (e.g. "pruning beats the exhaustive scan"), so
+/// they hold on any machine and cannot be washed out by a slow host.
+const RATIO_GATES: &[(&str, &str, f64)] = &[(
+    "ranking/throughput/pruned",
+    "ranking/throughput/exhaustive",
+    3.0,
+)];
+
+/// Ratio verdicts: `(fast, slow, required, actual, ok)`. Gates whose
+/// records are missing fail (`actual = None`) — the suite must have run.
+fn check_ratios(current: &BTreeMap<String, f64>) -> Vec<(String, String, f64, Option<f64>, bool)> {
+    RATIO_GATES
+        .iter()
+        .map(|&(fast, slow, min_ratio)| {
+            let actual = match (current.get(fast), current.get(slow)) {
+                (Some(&f), Some(&s)) if s > 0.0 => Some(f / s),
+                _ => None,
+            };
+            let ok = actual.is_some_and(|r| r >= min_ratio);
+            (fast.to_string(), slow.to_string(), min_ratio, actual, ok)
+        })
+        .collect()
+}
+
 /// One gate verdict: `(name, baseline_eps, current_eps, ok)`. A missing
 /// current record fails — either the bench suite did not run or a bench
 /// was renamed without `bench_check update`.
@@ -217,18 +244,33 @@ fn main() -> ExitCode {
         }
         failed |= !ok;
     }
+    let ratios = check_ratios(&current);
+    for (fast, slow, required, actual, ok) in &ratios {
+        let status = if *ok { "ok" } else { "FAILED" };
+        match actual {
+            Some(r) => {
+                eprintln!("bench_check: {status:<9} {fast} >= {required}x {slow}  (actual {r:.2}x)")
+            }
+            None => eprintln!(
+                "bench_check: {status:<9} {fast} >= {required}x {slow}  (records MISSING)"
+            ),
+        }
+        failed |= !ok;
+    }
     if failed {
         eprintln!(
-            "bench_check: throughput regressed more than {factor}x against {} — \
-             investigate, or run `cargo run -p credence-bench --bin bench_check update` \
+            "bench_check: throughput regressed more than {factor}x against {} \
+             (or a relative gate failed) — investigate, or run \
+             `cargo run -p credence-bench --bin bench_check update` \
              after an intentional change",
             baseline_path.display()
         );
         return ExitCode::FAILURE;
     }
     eprintln!(
-        "bench_check: {} throughput benchmarks within {factor}x of baseline",
-        verdicts.len()
+        "bench_check: {} throughput benchmarks within {factor}x of baseline, {} ratio gates ok",
+        verdicts.len(),
+        ratios.len()
     );
     ExitCode::SUCCESS
 }
@@ -262,6 +304,18 @@ mod tests {
         assert_eq!(verdicts.len(), 1);
         assert!(!verdicts[0].3);
         assert_eq!(verdicts[0].2, None);
+    }
+
+    #[test]
+    fn ratio_gates_require_the_margin() {
+        let gate = RATIO_GATES[0];
+        let pass = map(&[(gate.0, 4000.0), (gate.1, 1000.0)]);
+        assert!(check_ratios(&pass).iter().all(|v| v.4), "4x must pass");
+        let fail = map(&[(gate.0, 2000.0), (gate.1, 1000.0)]);
+        assert!(!check_ratios(&fail)[0].4, "2x must fail a 3x gate");
+        let missing = map(&[(gate.1, 1000.0)]);
+        let v = &check_ratios(&missing)[0];
+        assert!(!v.4 && v.3.is_none(), "missing records must fail");
     }
 
     #[test]

@@ -11,8 +11,8 @@ use std::path::Path;
 use credence_core::{
     explain_query_augmentation, explain_query_reduction, explain_saliency,
     explain_sentence_removal, explain_term_removal, test_edits, Budget, CredenceEngine, Edit,
-    EngineConfig, QueryAugmentationConfig, QueryReductionConfig, SaliencyUnit,
-    SentenceRemovalConfig, TermRemovalConfig,
+    EngineConfig, QueryAugmentationConfig, QueryReductionConfig, SaliencyUnit, SearchStrategy,
+    SentenceRemovalConfig, TermRemovalConfig, TopKOptions,
 };
 use credence_corpus::{covid_demo_corpus, load_jsonl, load_tsv, save_jsonl, save_tsv};
 use credence_corpus::{SynthConfig, SyntheticCorpus};
@@ -33,6 +33,7 @@ USAGE: credence <command> [options]
 
 COMMANDS
   rank      --query Q --k K [--corpus F]              rank the corpus
+            [--search-strategy auto|exhaustive|pruned|sharded] [--search-shards N]
             every command accepts --ranker bm25|ql|ql-jm|rm3|neural (default bm25)
   explain   --type T --query Q --k K --doc ID         generate explanations
             [--n N] [--threshold T] [--samples S] [--corpus F]
@@ -144,10 +145,19 @@ fn status_line(status: credence_core::SearchStatus, candidates_evaluated: usize)
 fn rank(args: &Args) -> Result<String, CliError> {
     let query = args.require("query")?.to_string();
     let k = args.get_usize("k", 10)?;
+    let mut retrieval = TopKOptions::default();
+    if let Some(s) = args.get("search-strategy") {
+        retrieval.strategy = SearchStrategy::parse(s).ok_or_else(|| {
+            CliError::new(format!(
+                "--search-strategy must be auto | exhaustive | pruned | sharded, got {s:?}"
+            ))
+        })?;
+    }
+    retrieval.shards = args.get_usize("search-shards", retrieval.shards)?;
     with_engine(args, |engine, _| {
         let mut out = String::new();
         writeln!(out, "ranking for {query:?} (k = {k})").unwrap();
-        for row in engine.rank(&query, k) {
+        for row in engine.rank_with_options(&query, k, &retrieval) {
             writeln!(
                 out,
                 "{:>3}. doc {:>4}  {:<24} {:<40} score {:.3}",
@@ -517,6 +527,19 @@ mod tests {
         let out = run_line("rank --query covid --k 3").unwrap();
         assert!(out.contains("ranking for"));
         assert!(out.lines().count() >= 4, "{out}");
+    }
+
+    #[test]
+    fn rank_search_strategy_flag() {
+        let base = run_line("rank --query covid --k 3").unwrap();
+        for strategy in ["exhaustive", "pruned", "sharded", "auto"] {
+            let out = run_line(&format!(
+                "rank --query covid --k 3 --search-strategy {strategy} --search-shards 2"
+            ))
+            .unwrap();
+            assert_eq!(out, base, "{strategy} output differs");
+        }
+        assert!(run_line("rank --query covid --k 3 --search-strategy fastest").is_err());
     }
 
     #[test]

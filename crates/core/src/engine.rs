@@ -12,8 +12,8 @@
 //! top-k documents, exactly as the Browse-Topics modal does.
 
 use credence_embed::{Doc2Vec, Doc2VecConfig};
-use credence_index::DocId;
-use credence_rank::{rank_corpus, rank_corpus_parallel, RankedList, Ranker};
+use credence_index::{DocId, TopKOptions};
+use credence_rank::{rank_corpus_with, RankedList, Ranker};
 use credence_text::Vocabulary;
 use credence_topics::{summarize_topics, LdaConfig, LdaModel, TopicSummary};
 
@@ -51,8 +51,12 @@ pub struct EngineConfig {
     /// Capacity of the per-engine query→ranking cache (0 disables it).
     pub ranking_cache: usize,
     /// Rank the corpus with scoped threads once it has at least this many
-    /// documents (0 disables parallel ranking).
+    /// documents (0 disables parallel ranking). Only consulted for rankers
+    /// without a pruned top-k path (the exhaustive fallback).
     pub parallel_threshold: usize,
+    /// Top-k retrieval knobs (strategy, shard count, density threshold)
+    /// handed to rankers that expose the pruned engine.
+    pub retrieval: TopKOptions,
     /// Default candidate-evaluation knobs for the counterfactual search
     /// loops. A request config carrying non-default [`EvalOptions`] wins
     /// over this engine default.
@@ -68,6 +72,7 @@ impl Default for EngineConfig {
             topic_terms: 8,
             ranking_cache: 64,
             parallel_threshold: 10_000,
+            retrieval: TopKOptions::default(),
             eval: EvalOptions::default(),
         }
     }
@@ -108,24 +113,142 @@ pub struct RankedDoc {
     pub title: String,
 }
 
-/// A small FIFO cache of corpus rankings keyed by query string.
+/// Counters accumulated by the engine's retrieval path, snapshotted for
+/// the server's `/metrics` endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetrievalStats {
+    /// Documents actually scored by the top-k engine.
+    pub docs_scored: u64,
+    /// Posting entries skipped by MaxScore pruning (an upper bound on the
+    /// unique documents never scored).
+    pub docs_pruned: u64,
+    /// Shards spawned by the parallel fallback (0 for serial strategies).
+    pub shards_used: u64,
+    /// Ranking-cache lookups served without recomputation.
+    pub cache_hits: u64,
+    /// Ranking-cache lookups that had to rank the corpus.
+    pub cache_misses: u64,
+}
+
+/// Sentinel for "no node" in the LRU's intrusive links.
+const NIL: usize = usize::MAX;
+
+struct LruNode {
+    query: String,
+    ranking: std::sync::Arc<RankedList>,
+    prev: usize,
+    next: usize,
+}
+
+/// The mutable interior of [`RankingCache`]: a hash map from query to node
+/// slot plus a doubly-linked recency list threaded through a slab of
+/// nodes. `get` and `insert` are both O(1) — no linear scans, unlike the
+/// FIFO deque this replaces.
+#[derive(Default)]
+struct LruState {
+    map: std::collections::HashMap<String, usize>,
+    nodes: Vec<LruNode>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl LruState {
+    fn new() -> Self {
+        Self {
+            head: NIL,
+            tail: NIL,
+            ..Self::default()
+        }
+    }
+
+    fn detach(&mut self, i: usize) {
+        let (prev, next) = (self.nodes[i].prev, self.nodes[i].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = i;
+        } else {
+            self.tail = i;
+        }
+        self.head = i;
+    }
+
+    fn get(&mut self, query: &str) -> Option<std::sync::Arc<RankedList>> {
+        let &i = self.map.get(query)?;
+        if self.head != i {
+            self.detach(i);
+            self.push_front(i);
+        }
+        Some(std::sync::Arc::clone(&self.nodes[i].ranking))
+    }
+
+    fn insert(&mut self, query: &str, ranking: std::sync::Arc<RankedList>, capacity: usize) {
+        if self.map.contains_key(query) {
+            return; // a racing thread inserted first; keep its entry
+        }
+        if self.map.len() >= capacity {
+            let lru = self.tail;
+            self.detach(lru);
+            let evicted = std::mem::take(&mut self.nodes[lru].query);
+            self.map.remove(&evicted);
+            self.free.push(lru);
+        }
+        let node = LruNode {
+            query: query.to_string(),
+            ranking,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot] = node;
+                slot
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        self.push_front(i);
+        self.map.insert(query.to_string(), i);
+    }
+}
+
+/// An O(1) LRU cache of corpus rankings keyed by query string.
 ///
 /// Every explainer starts by ranking the corpus for its query; a busy
 /// server re-ranks the same query many times per user interaction
 /// (rank → explain → explain → builder …). The corpus and the model are
 /// immutable after engine construction, so cached rankings can never go
-/// stale. FIFO keeps the implementation dependency-free; the working set
-/// (the handful of queries a user is iterating on) fits easily.
+/// stale. Hits and misses are counted for the `/metrics` endpoint.
 struct RankingCache {
     capacity: usize,
-    entries: std::sync::Mutex<std::collections::VecDeque<(String, std::sync::Arc<RankedList>)>>,
+    state: std::sync::Mutex<LruState>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
 }
 
 impl RankingCache {
     fn new(capacity: usize) -> Self {
         Self {
             capacity,
-            entries: std::sync::Mutex::new(std::collections::VecDeque::new()),
+            state: std::sync::Mutex::new(LruState::new()),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -134,29 +257,36 @@ impl RankingCache {
         query: &str,
         compute: impl FnOnce() -> RankedList,
     ) -> std::sync::Arc<RankedList> {
+        use std::sync::atomic::Ordering::Relaxed;
         if self.capacity == 0 {
+            self.misses.fetch_add(1, Relaxed);
             return std::sync::Arc::new(compute());
         }
         {
-            let cache = self.entries.lock().expect("cache lock poisoned");
-            if let Some((_, ranking)) = cache.iter().find(|(q, _)| q == query) {
-                return std::sync::Arc::clone(ranking);
+            let mut state = self.state.lock().expect("cache lock poisoned");
+            if let Some(ranking) = state.get(query) {
+                self.hits.fetch_add(1, Relaxed);
+                return ranking;
             }
         }
+        self.misses.fetch_add(1, Relaxed);
         let ranking = std::sync::Arc::new(compute());
-        let mut cache = self.entries.lock().expect("cache lock poisoned");
-        if !cache.iter().any(|(q, _)| q == query) {
-            cache.push_back((query.to_string(), std::sync::Arc::clone(&ranking)));
-            while cache.len() > self.capacity {
-                cache.pop_front();
-            }
-        }
+        let mut state = self.state.lock().expect("cache lock poisoned");
+        state.insert(query, std::sync::Arc::clone(&ranking), self.capacity);
         ranking
     }
 
     fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock poisoned").len()
+        self.state.lock().expect("cache lock poisoned").map.len()
     }
+}
+
+/// Engine-level retrieval counters (all monotonically increasing).
+#[derive(Default)]
+struct RetrievalCounters {
+    docs_scored: std::sync::atomic::AtomicU64,
+    docs_pruned: std::sync::atomic::AtomicU64,
+    shards_used: std::sync::atomic::AtomicU64,
 }
 
 /// The CREDENCE backend over a black-box ranker.
@@ -165,6 +295,7 @@ pub struct CredenceEngine<'a> {
     doc2vec: Doc2Vec,
     config: EngineConfig,
     cache: RankingCache,
+    counters: RetrievalCounters,
 }
 
 impl<'a> CredenceEngine<'a> {
@@ -190,28 +321,62 @@ impl<'a> CredenceEngine<'a> {
             doc2vec,
             config,
             cache,
+            counters: RetrievalCounters::default(),
         }
     }
 
-    /// Cached corpus ranking for `query` (computed on first use; large
-    /// corpora rank across scoped threads).
+    /// Cached corpus ranking for `query` using the engine's configured
+    /// retrieval knobs.
     fn cached_ranking(&self, query: &str) -> std::sync::Arc<RankedList> {
+        self.cached_ranking_with(query, &self.config.retrieval)
+    }
+
+    /// Cached corpus ranking for `query` with per-request retrieval knobs.
+    ///
+    /// The cache is keyed by query alone: every strategy produces
+    /// bit-identical rankings, so a cached entry satisfies any `opts` (the
+    /// knobs only steer *how* a miss is computed).
+    fn cached_ranking_with(&self, query: &str, opts: &TopKOptions) -> std::sync::Arc<RankedList> {
+        use std::sync::atomic::Ordering::Relaxed;
         self.cache.get_or_insert(query, || {
             let n = self.ranker.index().num_docs();
-            if self.config.parallel_threshold > 0 && n >= self.config.parallel_threshold {
-                let threads = std::thread::available_parallelism()
-                    .map(|p| p.get())
-                    .unwrap_or(1);
-                rank_corpus_parallel(self.ranker, query, threads)
-            } else {
-                rank_corpus(self.ranker, query)
-            }
+            let fallback_threads =
+                if self.config.parallel_threshold > 0 && n >= self.config.parallel_threshold {
+                    std::thread::available_parallelism()
+                        .map(|p| p.get())
+                        .unwrap_or(1)
+                } else {
+                    1
+                };
+            let (list, stats) = rank_corpus_with(self.ranker, query, opts, fallback_threads);
+            self.counters
+                .docs_scored
+                .fetch_add(stats.docs_scored, Relaxed);
+            self.counters
+                .docs_pruned
+                .fetch_add(stats.docs_pruned, Relaxed);
+            self.counters
+                .shards_used
+                .fetch_add(stats.shards_used, Relaxed);
+            list
         })
     }
 
     /// Number of rankings currently cached (diagnostics).
     pub fn cached_queries(&self) -> usize {
         self.cache.len()
+    }
+
+    /// A snapshot of the engine's retrieval and cache counters.
+    pub fn retrieval_stats(&self) -> RetrievalStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        RetrievalStats {
+            docs_scored: self.counters.docs_scored.load(Relaxed),
+            docs_pruned: self.counters.docs_pruned.load(Relaxed),
+            shards_used: self.counters.shards_used.load(Relaxed),
+            cache_hits: self.cache.hits.load(Relaxed),
+            cache_misses: self.cache.misses.load(Relaxed),
+        }
     }
 
     /// The evaluation options to use for a request: an explicitly customised
@@ -241,8 +406,15 @@ impl<'a> CredenceEngine<'a> {
 
     /// `POST /rank` — the top-k ranking for a query.
     pub fn rank(&self, query: &str, k: usize) -> Vec<RankedDoc> {
+        let opts = self.config.retrieval;
+        self.rank_with_options(query, k, &opts)
+    }
+
+    /// [`Self::rank`] with per-request retrieval knobs (the REST layer's
+    /// `search_strategy` / `search_shards` overrides).
+    pub fn rank_with_options(&self, query: &str, k: usize, opts: &TopKOptions) -> Vec<RankedDoc> {
         let index = self.ranker.index();
-        let ranking = self.cached_ranking(query);
+        let ranking = self.cached_ranking_with(query, opts);
         ranking
             .entries()
             .iter()
@@ -731,6 +903,78 @@ mod tests {
             assert_eq!(a.entries(), b.entries());
             e.rank("outbreak drills", 3);
             assert_eq!(e.cached_queries(), 2);
+        });
+    }
+
+    #[test]
+    fn ranking_cache_evicts_least_recently_used() {
+        let idx = InvertedIndex::build(corpus(), Analyzer::english());
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        let engine = CredenceEngine::new(
+            &ranker,
+            EngineConfig {
+                ranking_cache: 2,
+                ..EngineConfig::fast()
+            },
+        );
+        engine.full_ranking("covid");
+        engine.full_ranking("outbreak");
+        engine.full_ranking("covid"); // touch: covid becomes most recent
+        engine.full_ranking("spring"); // evicts "outbreak", not "covid"
+        assert_eq!(engine.cached_queries(), 2);
+        let before = engine.retrieval_stats();
+        engine.full_ranking("covid");
+        let after = engine.retrieval_stats();
+        assert_eq!(after.cache_hits, before.cache_hits + 1, "covid survived");
+        engine.full_ranking("outbreak");
+        assert_eq!(
+            engine.retrieval_stats().cache_misses,
+            after.cache_misses + 1,
+            "outbreak was evicted"
+        );
+    }
+
+    #[test]
+    fn retrieval_stats_accumulate() {
+        with_engine(|e| {
+            assert_eq!(e.retrieval_stats(), RetrievalStats::default());
+            e.rank("covid outbreak", 3);
+            let s = e.retrieval_stats();
+            assert!(s.docs_scored > 0, "ranking scored documents");
+            assert_eq!(s.cache_misses, 1);
+            assert_eq!(s.cache_hits, 0);
+            e.rank("covid outbreak", 3);
+            let s = e.retrieval_stats();
+            assert_eq!(s.cache_hits, 1, "second rank hits the cache");
+            assert_eq!(s.cache_misses, 1, "no recomputation on a hit");
+        });
+    }
+
+    #[test]
+    fn rank_with_options_matches_default_rank() {
+        use credence_index::SearchStrategy;
+        with_engine(|e| {
+            let base = e.rank("covid outbreak", 4);
+            for strategy in [
+                SearchStrategy::Exhaustive,
+                SearchStrategy::Pruned,
+                SearchStrategy::Sharded,
+            ] {
+                let opts = TopKOptions {
+                    strategy,
+                    ..TopKOptions::default()
+                };
+                // Fresh engine per strategy so the cache cannot mask the path.
+                let idx = InvertedIndex::build(corpus(), Analyzer::english());
+                let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+                let engine = CredenceEngine::new(&ranker, EngineConfig::fast());
+                let rows = engine.rank_with_options("covid outbreak", 4, &opts);
+                assert_eq!(rows.len(), base.len(), "{strategy:?}");
+                for (a, b) in rows.iter().zip(&base) {
+                    assert_eq!(a.doc, b.doc, "{strategy:?}");
+                    assert_eq!(a.score.to_bits(), b.score.to_bits(), "{strategy:?}");
+                }
+            }
         });
     }
 

@@ -67,7 +67,8 @@ pub use builder::{
     test_perturbation_budgeted_ranked, test_perturbation_ranked, BuilderOutcome, Edit,
 };
 pub use combos::{CandidateOrdering, ComboSearch, SearchBudget};
-pub use engine::{CredenceEngine, EngineConfig};
+pub use credence_index::{SearchStrategy, TopKOptions};
+pub use engine::{CredenceEngine, EngineConfig, RetrievalStats};
 pub use error::ExplainError;
 pub use evaluator::EvalOptions;
 pub use explanation::{

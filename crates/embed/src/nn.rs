@@ -8,7 +8,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::vecmath::cosine;
+use crate::vecmath::{dot, norm};
 
 /// One neighbour: an item index and its cosine similarity to the query.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,12 +55,27 @@ where
     if n == 0 {
         return Vec::new();
     }
+    // Normalise the query once up front: cosine(q, v) = dot(q̂, v) / ‖v‖,
+    // so each candidate costs one dot product and one norm instead of a
+    // full cosine (which re-derives the query norm every time).
+    let query_norm = norm(query);
+    let mut q_unit = query.to_vec();
+    if query_norm > 0.0 {
+        for x in &mut q_unit {
+            *x /= query_norm;
+        }
+    }
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(n + 1);
     for (item, vec) in candidates {
         if vec.len() != query.len() {
             continue;
         }
-        let similarity = cosine(query, vec);
+        let item_norm = norm(vec);
+        let similarity = if query_norm == 0.0 || item_norm == 0.0 {
+            0.0
+        } else {
+            (dot(&q_unit, vec) / item_norm).clamp(-1.0, 1.0)
+        };
         heap.push(HeapEntry(Neighbor { item, similarity }));
         if heap.len() > n {
             heap.pop();
@@ -152,5 +167,58 @@ mod tests {
     fn empty_candidates() {
         let nn = nearest_neighbors(&[1.0, 0.0], std::iter::empty(), 3);
         assert!(nn.is_empty());
+    }
+
+    #[test]
+    fn zero_vectors_have_zero_similarity() {
+        let z = vec![0.0f32, 0.0];
+        let v = vec![1.0f32, 0.0];
+        let nn = nearest_neighbors(&v, vec![(0usize, z.as_slice())], 1);
+        assert_eq!(nn[0].similarity, 0.0);
+        let nn = nearest_neighbors(&z, vec![(0usize, v.as_slice())], 1);
+        assert_eq!(nn[0].similarity, 0.0, "all-zero query");
+    }
+
+    #[test]
+    fn order_matches_full_cosine_reference() {
+        use crate::vecmath::cosine;
+        // A deterministic spread of candidate directions, checked against
+        // the reference ordering computed with the unoptimised full cosine.
+        // The mixer makes vectors generic: no two candidates are scalar
+        // multiples, so every cosine gap is far above float noise and the
+        // order is formula-independent (asserted below).
+        fn mixed(i: u64) -> f32 {
+            (i.wrapping_mul(2654435761).wrapping_add(104729) % 2003) as f32 / 1001.5 - 1.0
+        }
+        let vecs: Vec<Vec<f32>> = (0..16u64)
+            .map(|i| (0..8u64).map(|j| mixed(i * 8 + j)).collect())
+            .collect();
+        let query: Vec<f32> = (0..8u64).map(|j| mixed(1000 + j)).collect();
+        let nn = nearest_neighbors(
+            &query,
+            vecs.iter().enumerate().map(|(i, v)| (i, v.as_slice())),
+            vecs.len(),
+        );
+        let mut reference: Vec<(usize, f32)> = vecs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i, cosine(&query, v)))
+            .collect();
+        reference.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        for w in reference.windows(2) {
+            assert!(
+                w[0].1 - w[1].1 > 1e-4,
+                "fixture cosines must be well separated, got {} vs {}",
+                w[0].1,
+                w[1].1
+            );
+        }
+        let got: Vec<usize> = nn.iter().map(|n| n.item).collect();
+        let want: Vec<usize> = reference.iter().map(|&(i, _)| i).collect();
+        assert_eq!(got, want, "pre-normalised search must preserve the order");
     }
 }

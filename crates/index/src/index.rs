@@ -20,6 +20,70 @@ pub struct Posting {
     pub tf: u32,
 }
 
+/// Per-term pruning statistics, frozen alongside the postings list.
+///
+/// BM25's term weight is weakly monotone increasing in `tf` and weakly
+/// monotone decreasing in document length, so the weight any posting of the
+/// term can contribute is bounded by evaluating the weight at
+/// (`max_tf`, `min_doc_len`). The statistics are parameter-free: the actual
+/// `f64` upper bound is formed at query time for whatever [`Bm25Params`] the
+/// caller uses (see [`crate::score::bm25_term_upper_bound`]).
+///
+/// [`Bm25Params`]: crate::score::Bm25Params
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TermBound {
+    /// Largest term frequency across the postings list.
+    pub max_tf: u32,
+    /// Smallest analysed document length across the postings list.
+    pub min_doc_len: u32,
+    /// Smallest length norm (`doc_len / avgdl`) across the postings list.
+    pub min_norm_len: f64,
+}
+
+impl TermBound {
+    /// The bound of an empty postings list (upper bound is zero).
+    pub const EMPTY: TermBound = TermBound {
+        max_tf: 0,
+        min_doc_len: 0,
+        min_norm_len: 0.0,
+    };
+}
+
+/// Derive per-term [`TermBound`]s and per-document length norms from the
+/// postings and length tables. Shared by [`InvertedIndex::build`] and the
+/// persistence reload path so both construct identical pruning metadata.
+fn derive_bounds(
+    postings: &[Vec<Posting>],
+    doc_len: &[u32],
+    stats: &CollectionStats,
+) -> (Vec<TermBound>, Vec<f64>) {
+    let avgdl = stats.avg_doc_len();
+    let norm_len: Vec<f64> = doc_len.iter().map(|&l| l as f64 / avgdl).collect();
+    let bounds = postings
+        .iter()
+        .map(|list| {
+            let mut bound = TermBound::EMPTY;
+            for (i, p) in list.iter().enumerate() {
+                let dl = doc_len.get(p.doc.index()).copied().unwrap_or(0);
+                let nl = norm_len.get(p.doc.index()).copied().unwrap_or(0.0);
+                if i == 0 {
+                    bound = TermBound {
+                        max_tf: p.tf,
+                        min_doc_len: dl,
+                        min_norm_len: nl,
+                    };
+                } else {
+                    bound.max_tf = bound.max_tf.max(p.tf);
+                    bound.min_doc_len = bound.min_doc_len.min(dl);
+                    bound.min_norm_len = bound.min_norm_len.min(nl);
+                }
+            }
+            bound
+        })
+        .collect();
+    (bounds, norm_len)
+}
+
 /// An immutable inverted index over a corpus.
 ///
 /// Build one with [`InvertedIndex::build`]; the index owns its documents.
@@ -44,6 +108,8 @@ pub struct InvertedIndex {
     doc_len: Vec<u32>,
     doc_terms: Vec<Vec<(TermId, u32)>>,
     stats: CollectionStats,
+    bounds: Vec<TermBound>,
+    norm_len: Vec<f64>,
     analyzer: Analyzer,
 }
 
@@ -90,6 +156,7 @@ impl InvertedIndex {
             doc_freq,
             coll_freq,
         };
+        let (bounds, norm_len) = derive_bounds(&postings, &doc_len, &stats);
 
         Self {
             docs,
@@ -98,6 +165,8 @@ impl InvertedIndex {
             doc_len,
             doc_terms,
             stats,
+            bounds,
+            norm_len,
             analyzer,
         }
     }
@@ -142,6 +211,7 @@ impl InvertedIndex {
             doc_freq,
             coll_freq,
         };
+        let (bounds, norm_len) = derive_bounds(&postings, &doc_len, &stats);
         Ok(Self {
             docs,
             vocab,
@@ -149,6 +219,8 @@ impl InvertedIndex {
             doc_len,
             doc_terms,
             stats,
+            bounds,
+            norm_len,
             analyzer,
         })
     }
@@ -199,6 +271,20 @@ impl InvertedIndex {
     /// Document frequency of an analysed term string.
     pub fn doc_freq_str(&self, term: &str) -> u32 {
         self.vocab.id(term).map_or(0, |t| self.stats.df(t))
+    }
+
+    /// Pruning statistics for a term's postings list ([`TermBound::EMPTY`]
+    /// when the term is unknown or unindexed).
+    pub fn term_bound(&self, term: TermId) -> TermBound {
+        self.bounds
+            .get(term as usize)
+            .copied()
+            .unwrap_or(TermBound::EMPTY)
+    }
+
+    /// Precomputed length norm (`doc_len / avg_doc_len`) of a document.
+    pub fn norm_len(&self, id: DocId) -> f64 {
+        self.norm_len.get(id.index()).copied().unwrap_or(0.0)
     }
 
     /// Post-analysis length (term count) of a document.
@@ -332,6 +418,33 @@ mod tests {
         assert_eq!(len, 4);
         let known: u32 = terms.iter().map(|&(_, tf)| tf).sum();
         assert_eq!(known, 2);
+    }
+
+    #[test]
+    fn term_bounds_track_postings_extremes() {
+        let idx = InvertedIndex::build(
+            vec![
+                Document::from_body("covid covid covid outbreak response teams"),
+                Document::from_body("covid outbreak"),
+            ],
+            Analyzer::english(),
+        );
+        let covid = idx.vocabulary().id("covid").unwrap();
+        let b = idx.term_bound(covid);
+        assert_eq!(b.max_tf, 3);
+        assert_eq!(b.min_doc_len, 2);
+        assert!((b.min_norm_len - 2.0 / idx.stats().avg_doc_len()).abs() < 1e-15);
+        assert_eq!(idx.term_bound(9999), TermBound::EMPTY);
+    }
+
+    #[test]
+    fn norm_len_matches_stats() {
+        let idx = small_index();
+        for d in idx.doc_ids() {
+            let expected = idx.doc_len(d) as f64 / idx.stats().avg_doc_len();
+            assert_eq!(idx.norm_len(d), expected);
+        }
+        assert_eq!(idx.norm_len(DocId(99)), 0.0);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   (perturbed) documents can be scored against corpus-level statistics,
 //! * [`score`] — BM25 (Lucene variant) and TF-IDF weighting,
 //! * [`search`] — exact top-k retrieval,
+//! * [`topk`] — the pruned (MaxScore-style) / sharded top-k engine behind
+//!   [`search`], bit-identical to the exhaustive scan,
 //! * [`vector`] — sparse per-term score vectors + cosine similarity, the
 //!   representation behind the *Cosine Sampled* explainer (§II-E).
 
@@ -26,14 +28,19 @@ pub mod phrase;
 pub mod score;
 pub mod search;
 pub mod stats;
+pub mod topk;
 pub mod vector;
 
 pub use doc::{DocId, Document};
 pub use highlight::{best_snippet, highlight_terms, Highlight, Snippet};
-pub use index::{InvertedIndex, Posting};
+pub use index::{InvertedIndex, Posting, TermBound};
 pub use persist::{load_index, read_index, save_index, write_index, PersistError};
 pub use phrase::{analyze_phrase, phrase_freq, search_phrase};
-pub use score::{bm25_idf, Bm25Params};
-pub use search::{search_top_k, SearchHit};
+pub use score::{bm25_idf, bm25_term_upper_bound, Bm25Params};
+pub use search::{search_top_k, sort_hits, SearchHit};
 pub use stats::CollectionStats;
+pub use topk::{
+    search_top_k_exhaustive, search_top_k_with, search_weighted_top_k_with, SearchStrategy,
+    TopKOptions, TopKStats,
+};
 pub use vector::{cosine_similarity, SparseVector};

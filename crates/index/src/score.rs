@@ -8,7 +8,7 @@
 use credence_text::TermId;
 
 use crate::doc::DocId;
-use crate::index::InvertedIndex;
+use crate::index::{InvertedIndex, TermBound};
 use crate::stats::CollectionStats;
 
 /// BM25 free parameters.
@@ -61,6 +61,30 @@ pub fn bm25_term_weight(
     let idf = bm25_idf(stats.num_docs, stats.df(term));
     let tf = tf as f64;
     let norm = params.k1 * (1.0 - params.b + params.b * doc_len as f64 / stats.avg_doc_len());
+    idf * tf * (params.k1 + 1.0) / (tf + norm)
+}
+
+/// Upper bound on [`bm25_term_weight`] over every posting of a term, from
+/// the statistics frozen at index-build time.
+///
+/// The BM25 weight is weakly monotone increasing in `tf` and weakly monotone
+/// decreasing in document length (for `k1 > 0`, `0 <= b <= 1`), and each
+/// IEEE-754 operation in the formula is correctly rounded and therefore
+/// weakly monotone, so evaluating at (`max_tf`, `min_norm_len`) dominates the
+/// weight of any actual posting to within a few ulps of rounding slack
+/// (absorbed by the caller's bound inflation; see `topk`).
+pub fn bm25_term_upper_bound(
+    params: Bm25Params,
+    stats: &CollectionStats,
+    term: TermId,
+    bound: TermBound,
+) -> f64 {
+    if bound.max_tf == 0 {
+        return 0.0;
+    }
+    let idf = bm25_idf(stats.num_docs, stats.df(term));
+    let tf = bound.max_tf as f64;
+    let norm = params.k1 * (1.0 - params.b + params.b * bound.min_norm_len);
     idf * tf * (params.k1 + 1.0) / (tf + norm)
 }
 
@@ -242,6 +266,32 @@ mod tests {
         let s1 = bm25_score_indexed(p, &idx, &q1, DocId(0));
         let s2 = bm25_score_indexed(p, &idx, &q2, DocId(0));
         assert!((s2 - 2.0 * s1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn term_upper_bound_dominates_every_posting() {
+        let idx = InvertedIndex::build(
+            vec![
+                Document::from_body("covid covid covid outbreak response teams in the city"),
+                Document::from_body("covid outbreak"),
+                Document::from_body("city council meeting agenda covers the outbreak response"),
+                Document::from_body("garden flowers bloom"),
+            ],
+            Analyzer::english(),
+        );
+        for p in [Bm25Params::default(), Bm25Params::robertson()] {
+            for (tid, _) in idx.vocabulary().iter() {
+                let ub = bm25_term_upper_bound(p, idx.stats(), tid, idx.term_bound(tid));
+                for posting in idx.postings(tid) {
+                    let w =
+                        bm25_term_weight(p, idx.stats(), tid, posting.tf, idx.doc_len(posting.doc));
+                    assert!(
+                        w <= ub * (1.0 + 1e-9),
+                        "posting weight {w} exceeds bound {ub}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,19 +1,19 @@
 //! Exact top-k retrieval over the inverted index.
 //!
-//! Document-at-a-time scoring with a bounded min-heap; ties broken by
-//! ascending `DocId` so results are fully deterministic (the counterfactual
-//! algorithms compare ranks before/after perturbation and need stable
-//! tie-breaks).
+//! Ties broken by ascending `DocId` so results are fully deterministic (the
+//! counterfactual algorithms compare ranks before/after perturbation and
+//! need stable tie-breaks). The traversal itself lives in [`crate::topk`]:
+//! [`search_top_k`] routes through the pruned term-at-a-time engine, whose
+//! results are bit-identical to the historical exhaustive scan.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-use std::collections::HashMap;
 
 use credence_text::TermId;
 
 use crate::doc::DocId;
 use crate::index::InvertedIndex;
-use crate::score::{bm25_score_indexed, Bm25Params};
+use crate::score::Bm25Params;
+use crate::topk::{search_top_k_with, TopKOptions};
 
 /// One search result.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,31 +22,6 @@ pub struct SearchHit {
     pub doc: DocId,
     /// Its score under the retrieval model.
     pub score: f64,
-}
-
-/// Heap entry ordered so the *worst* hit is at the top (min-heap by score,
-/// with larger DocId considered worse on ties).
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct HeapEntry(SearchHit);
-
-impl Eq for HeapEntry {}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse score ordering: lowest score = greatest = popped first.
-        other
-            .0
-            .score
-            .partial_cmp(&self.0.score)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| self.0.doc.cmp(&other.0.doc))
-    }
-}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// Rank the corpus for `query` (a bag of analysed term ids) under BM25 and
@@ -58,32 +33,7 @@ pub fn search_top_k(
     query: &[TermId],
     k: usize,
 ) -> Vec<SearchHit> {
-    if k == 0 || query.is_empty() {
-        return Vec::new();
-    }
-    // Gather candidates: any document containing at least one query term.
-    let mut candidates: HashMap<DocId, ()> = HashMap::new();
-    for &t in query {
-        for p in index.postings(t) {
-            candidates.insert(p.doc, ());
-        }
-    }
-    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
-    let mut docs: Vec<DocId> = candidates.into_keys().collect();
-    docs.sort_unstable();
-    for doc in docs {
-        let score = bm25_score_indexed(params, index, query, doc);
-        if score <= 0.0 {
-            continue;
-        }
-        heap.push(HeapEntry(SearchHit { doc, score }));
-        if heap.len() > k {
-            heap.pop();
-        }
-    }
-    let mut hits: Vec<SearchHit> = heap.into_iter().map(|e| e.0).collect();
-    sort_hits(&mut hits);
-    hits
+    search_top_k_with(index, params, query, k, &TopKOptions::default()).0
 }
 
 /// Sort hits best-first: descending score, ascending doc id on ties.

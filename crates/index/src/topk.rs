@@ -1,0 +1,697 @@
+//! Pruned exact top-k retrieval.
+//!
+//! A MaxScore-style term-at-a-time engine plus a sharded parallel fallback,
+//! both **bit-identical** to the exhaustive scan in [`crate::search`]:
+//!
+//! * Every candidate that survives is scored with the *same* float fold the
+//!   exhaustive path uses ([`bm25_score_indexed`] for plain queries, the
+//!   slice-order weighted fold for expanded queries), so scores agree to the
+//!   last bit.
+//! * Top-k selection is over a strict total order (descending score,
+//!   ascending [`DocId`]; doc ids are unique), so the selected set and its
+//!   sorted order are insertion-order independent.
+//! * Pruning bounds therefore only need to be *sound*, never exact: a term's
+//!   contribution is bounded via [`bm25_term_upper_bound`] over the
+//!   [`TermBound`] statistics frozen at build time, suffix sums are inflated
+//!   by [`BOUND_SLACK`] to absorb float-summation non-associativity, and a
+//!   list is skipped only when its inflated bound is *strictly* below the
+//!   current threshold — a candidate tying the k-th score could still win
+//!   its tie-break on doc id, so ties are never pruned.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use credence_text::TermId;
+
+use crate::doc::DocId;
+use crate::index::InvertedIndex;
+use crate::score::{bm25_score_indexed, bm25_term_upper_bound, bm25_term_weight, Bm25Params};
+use crate::search::{sort_hits, SearchHit};
+
+/// Multiplicative slack applied to summed upper bounds.
+///
+/// Exact scores are left folds in query order; bounds are folds in
+/// upper-bound order. Both are within `(n-1)·eps` relative error of the real
+/// sum, so inflating the bound by `1e-9 >> 2·n·eps` (for any realistic query
+/// length `n`) guarantees `inflated_bound >= exact_score` in floats.
+const BOUND_SLACK: f64 = 1.0 + 1e-9;
+
+/// How top-k retrieval traverses the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchStrategy {
+    /// Choose between `Pruned` and `Sharded` with the cost heuristic.
+    #[default]
+    Auto,
+    /// Reference path: gather candidates, score every one serially.
+    Exhaustive,
+    /// MaxScore-style term-at-a-time pruning.
+    Pruned,
+    /// Scored in parallel over doc-id range shards, deterministically merged.
+    Sharded,
+}
+
+impl SearchStrategy {
+    /// Parse a knob value (`auto` | `exhaustive` | `pruned` | `sharded`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(Self::Auto),
+            "exhaustive" => Some(Self::Exhaustive),
+            "pruned" => Some(Self::Pruned),
+            "sharded" => Some(Self::Sharded),
+            _ => None,
+        }
+    }
+
+    /// The canonical knob spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::Auto => "auto",
+            Self::Exhaustive => "exhaustive",
+            Self::Pruned => "pruned",
+            Self::Sharded => "sharded",
+        }
+    }
+}
+
+/// Knobs for [`search_top_k_with`], mirroring the `eval_*` options pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopKOptions {
+    /// Traversal strategy.
+    pub strategy: SearchStrategy,
+    /// Shard count for the sharded path; `0` means one per available core.
+    pub shards: usize,
+    /// Candidate-postings volume at which a query counts as *dense* — below
+    /// this, `Auto` always prunes (parallelism cannot pay for itself).
+    pub dense_postings: usize,
+}
+
+impl Default for TopKOptions {
+    fn default() -> Self {
+        Self {
+            strategy: SearchStrategy::Auto,
+            shards: 0,
+            dense_postings: 8192,
+        }
+    }
+}
+
+/// Counters describing how a retrieval was executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopKStats {
+    /// Documents actually scored with the exact fold.
+    pub docs_scored: u64,
+    /// Posting entries skipped by pruning. An upper bound on pruned *unique*
+    /// documents: a document is counted once per skipped list it appears in.
+    pub docs_pruned: u64,
+    /// Shards used by the parallel path (`0` for serial paths).
+    pub shards_used: u64,
+    /// Which path ran (`"pruned"`, `"exhaustive"`, `"sharded"`, `"empty"`).
+    pub strategy: &'static str,
+}
+
+impl TopKStats {
+    fn new(strategy: &'static str) -> Self {
+        Self {
+            docs_scored: 0,
+            docs_pruned: 0,
+            shards_used: 0,
+            strategy,
+        }
+    }
+}
+
+/// Min-heap entry: the *worst* hit under (score desc, doc asc) pops first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry(SearchHit);
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .0
+            .score
+            .partial_cmp(&self.0.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.0.doc.cmp(&other.0.doc))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Bounded top-k collector over the strict (score desc, doc asc) order.
+struct TopKHeap {
+    heap: BinaryHeap<HeapEntry>,
+    k: usize,
+}
+
+impl TopKHeap {
+    fn new(k: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(k + 1),
+            k,
+        }
+    }
+
+    /// Offer a scored hit; returns nothing, keeps the best `k`.
+    fn offer(&mut self, hit: SearchHit) {
+        self.heap.push(HeapEntry(hit));
+        if self.heap.len() > self.k {
+            self.heap.pop();
+        }
+    }
+
+    /// The current k-th best score, if the heap is full.
+    fn threshold(&self) -> Option<f64> {
+        if self.heap.len() == self.k {
+            self.heap.peek().map(|e| e.0.score)
+        } else {
+            None
+        }
+    }
+
+    fn into_sorted(self) -> Vec<SearchHit> {
+        let mut hits: Vec<SearchHit> = self.heap.into_iter().map(|e| e.0).collect();
+        sort_hits(&mut hits);
+        hits
+    }
+}
+
+/// Rank the corpus for a bag of analysed query term ids and return the top
+/// `k` hits, best first, with execution counters. Bit-identical to the
+/// exhaustive reference regardless of the strategy chosen.
+pub fn search_top_k_with(
+    index: &InvertedIndex,
+    params: Bm25Params,
+    query: &[TermId],
+    k: usize,
+    opts: &TopKOptions,
+) -> (Vec<SearchHit>, TopKStats) {
+    if k == 0 || query.is_empty() {
+        return (Vec::new(), TopKStats::new("empty"));
+    }
+    let uniq = unique_weighted(query.iter().map(|&t| (t, 1.0)), index);
+    let exact = |doc: DocId| bm25_score_indexed(params, index, query, doc);
+    dispatch(index, params, &uniq, k, &exact, opts)
+}
+
+/// Weighted-query variant for expanded (RM3-style) queries: exact scores are
+/// the slice-order fold `sum(w * bm25_term_weight(t, tf, doc_len))`, matching
+/// `Rm3Ranker`'s scoring bit for bit. Weights must be non-negative for the
+/// pruned path; any negative weight forces the (still exact) exhaustive path.
+pub fn search_weighted_top_k_with(
+    index: &InvertedIndex,
+    params: Bm25Params,
+    terms: &[(TermId, f64)],
+    k: usize,
+    opts: &TopKOptions,
+) -> (Vec<SearchHit>, TopKStats) {
+    if k == 0 || terms.is_empty() {
+        return (Vec::new(), TopKStats::new("empty"));
+    }
+    let uniq = unique_weighted(terms.iter().copied(), index);
+    let stats = index.stats();
+    let exact = |doc: DocId| {
+        let doc_len = index.doc_len(doc);
+        terms
+            .iter()
+            .map(|&(t, w)| w * bm25_term_weight(params, stats, t, index.term_freq(doc, t), doc_len))
+            .sum()
+    };
+    if terms.iter().any(|&(_, w)| w < 0.0) {
+        return exhaustive_core(index, &uniq, k, &exact);
+    }
+    dispatch(index, params, &uniq, k, &exact, opts)
+}
+
+/// The exhaustive reference scan (candidate gather + score everything),
+/// exposed for parity tests and the `exhaustive` strategy knob.
+pub fn search_top_k_exhaustive(
+    index: &InvertedIndex,
+    params: Bm25Params,
+    query: &[TermId],
+    k: usize,
+) -> (Vec<SearchHit>, TopKStats) {
+    if k == 0 || query.is_empty() {
+        return (Vec::new(), TopKStats::new("empty"));
+    }
+    let uniq = unique_weighted(query.iter().map(|&t| (t, 1.0)), index);
+    let exact = |doc: DocId| bm25_score_indexed(params, index, query, doc);
+    exhaustive_core(index, &uniq, k, &exact)
+}
+
+/// Collapse a term sequence into unique `(term, summed weight)` pairs sorted
+/// by term id, dropping terms with empty postings (they cannot match).
+fn unique_weighted(
+    terms: impl Iterator<Item = (TermId, f64)>,
+    index: &InvertedIndex,
+) -> Vec<(TermId, f64)> {
+    let mut v: Vec<(TermId, f64)> = terms
+        .filter(|&(t, _)| !index.postings(t).is_empty())
+        .collect();
+    v.sort_unstable_by_key(|&(t, _)| t);
+    v.dedup_by(|a, b| {
+        if a.0 == b.0 {
+            b.1 += a.1;
+            true
+        } else {
+            false
+        }
+    });
+    v
+}
+
+/// Per-unique-term bound contributions `(term, weight * upper_bound)`,
+/// sorted by contribution descending (term id ascending on ties, for
+/// determinism). `None` when any contribution is non-finite — degenerate
+/// BM25 parameters — in which case callers fall back to the exhaustive path.
+fn contributions(
+    index: &InvertedIndex,
+    params: Bm25Params,
+    uniq: &[(TermId, f64)],
+) -> Option<Vec<(TermId, f64)>> {
+    let mut out = Vec::with_capacity(uniq.len());
+    for &(t, w) in uniq {
+        let ub = w * bm25_term_upper_bound(params, index.stats(), t, index.term_bound(t));
+        if !ub.is_finite() {
+            return None;
+        }
+        out.push((t, ub));
+    }
+    out.sort_unstable_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    Some(out)
+}
+
+/// Route a prepared query to a concrete path per the options.
+fn dispatch<F: Fn(DocId) -> f64 + Sync>(
+    index: &InvertedIndex,
+    params: Bm25Params,
+    uniq: &[(TermId, f64)],
+    k: usize,
+    exact: &F,
+    opts: &TopKOptions,
+) -> (Vec<SearchHit>, TopKStats) {
+    match opts.strategy {
+        SearchStrategy::Exhaustive => exhaustive_core(index, uniq, k, exact),
+        SearchStrategy::Sharded => sharded_core(index, uniq, k, exact, opts.shards),
+        SearchStrategy::Pruned => match contributions(index, params, uniq) {
+            Some(contribs) => pruned_core(index, &contribs, k, exact),
+            None => exhaustive_core(index, uniq, k, exact),
+        },
+        SearchStrategy::Auto => {
+            let Some(contribs) = contributions(index, params, uniq) else {
+                return exhaustive_core(index, uniq, k, exact);
+            };
+            let total: usize = uniq.iter().map(|&(t, _)| index.postings(t).len()).sum();
+            if total >= opts.dense_postings && !pruning_favourable(index, &contribs) {
+                sharded_core(index, uniq, k, exact, opts.shards)
+            } else {
+                pruned_core(index, &contribs, k, exact)
+            }
+        }
+    }
+}
+
+/// Cost heuristic for `Auto` on dense queries: pruning pays off when most of
+/// the candidate postings sit in lists whose *combined* (suffix) bound is
+/// below the strongest single term's — those are the lists MaxScore can skip
+/// once the heap fills with documents from the strong list. With balanced
+/// bounds across long lists nothing is skippable and sharding wins.
+fn pruning_favourable(index: &InvertedIndex, contribs: &[(TermId, f64)]) -> bool {
+    let Some(&(_, best)) = contribs.first() else {
+        return true;
+    };
+    let mut suffix = 0.0;
+    let mut prunable = 0usize;
+    let mut total = 0usize;
+    for (i, &(t, c)) in contribs.iter().enumerate().rev() {
+        suffix += c;
+        let len = index.postings(t).len();
+        total += len;
+        if i > 0 && suffix < best {
+            prunable += len;
+        }
+    }
+    2 * prunable >= total
+}
+
+/// Score every candidate (union of postings) serially. Candidates are
+/// collected by sort+dedup on a plain `Vec` — no hashing on the hot path.
+fn exhaustive_core<F: Fn(DocId) -> f64>(
+    index: &InvertedIndex,
+    uniq: &[(TermId, f64)],
+    k: usize,
+    exact: &F,
+) -> (Vec<SearchHit>, TopKStats) {
+    let mut stats = TopKStats::new("exhaustive");
+    let total: usize = uniq.iter().map(|&(t, _)| index.postings(t).len()).sum();
+    let mut candidates: Vec<DocId> = Vec::with_capacity(total);
+    for &(t, _) in uniq {
+        candidates.extend(index.postings(t).iter().map(|p| p.doc));
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    let mut top = TopKHeap::new(k);
+    for doc in candidates {
+        let score = exact(doc);
+        stats.docs_scored += 1;
+        if score > 0.0 {
+            top.offer(SearchHit { doc, score });
+        }
+    }
+    (top.into_sorted(), stats)
+}
+
+/// MaxScore-style term-at-a-time search. `contribs` must be sorted by bound
+/// contribution descending. Exact parity with the exhaustive scan follows
+/// from (a) identical exact scoring of every surviving candidate, (b) the
+/// strict total order making top-k selection insertion-order independent,
+/// and (c) pruning only on `inflated_bound < threshold` — strictly below —
+/// so no document that could enter (or tie into) the top-k is ever skipped.
+fn pruned_core<F: Fn(DocId) -> f64>(
+    index: &InvertedIndex,
+    contribs: &[(TermId, f64)],
+    k: usize,
+    exact: &F,
+) -> (Vec<SearchHit>, TopKStats) {
+    let mut stats = TopKStats::new("pruned");
+    let n = contribs.len();
+    // Inflated suffix bounds: suffix[i] >= exact score of any document whose
+    // query terms all come from lists i.., in float arithmetic.
+    let mut suffix = vec![0.0f64; n + 1];
+    for i in (0..n).rev() {
+        suffix[i] = (suffix[i + 1] + contribs[i].1) * BOUND_SLACK;
+    }
+    let words = index.num_docs().div_ceil(64);
+    let mut seen = vec![0u64; words];
+    let mut top = TopKHeap::new(k);
+    for (i, &(t, _)) in contribs.iter().enumerate() {
+        let bound = suffix[i];
+        let postings = index.postings(t);
+        // A document first seen in list i (or later) scores at most
+        // suffix[i]; once that is strictly below the threshold, no unseen
+        // document anywhere in lists i.. can enter the top-k or tie into it.
+        if top.threshold().is_some_and(|th| bound < th) {
+            stats.docs_pruned += contribs[i..]
+                .iter()
+                .map(|&(t, _)| index.postings(t).len() as u64)
+                .sum::<u64>();
+            break;
+        }
+        for (pi, p) in postings.iter().enumerate() {
+            if top.threshold().is_some_and(|th| bound < th) {
+                // The threshold rose mid-list; the rest of this list and all
+                // later lists are bounded by suffix[i] too.
+                stats.docs_pruned += (postings.len() - pi) as u64;
+                stats.docs_pruned += contribs[i + 1..]
+                    .iter()
+                    .map(|&(t, _)| index.postings(t).len() as u64)
+                    .sum::<u64>();
+                return (top.into_sorted(), stats);
+            }
+            let word = p.doc.index() / 64;
+            let bit = 1u64 << (p.doc.index() % 64);
+            if seen[word] & bit != 0 {
+                continue;
+            }
+            seen[word] |= bit;
+            let score = exact(p.doc);
+            stats.docs_scored += 1;
+            if score > 0.0 {
+                top.offer(SearchHit { doc: p.doc, score });
+            }
+        }
+    }
+    (top.into_sorted(), stats)
+}
+
+/// Parallel fallback for dense queries: contiguous doc-id range shards
+/// scored exactly on scoped threads, local top-k per shard, deterministic
+/// merge (concatenate, sort by the total order, truncate). Exact because
+/// the global top-k is contained in the union of per-shard top-ks.
+fn sharded_core<F: Fn(DocId) -> f64 + Sync>(
+    index: &InvertedIndex,
+    uniq: &[(TermId, f64)],
+    k: usize,
+    exact: &F,
+    shards: usize,
+) -> (Vec<SearchHit>, TopKStats) {
+    let n = index.num_docs();
+    let mut stats = TopKStats::new("sharded");
+    if n == 0 {
+        return (Vec::new(), stats);
+    }
+    let requested = if shards == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        shards
+    };
+    let shards = requested.clamp(1, n);
+    let chunk = n.div_ceil(shards);
+    let ranges: Vec<(u32, u32)> = (0..shards)
+        .map(|i| ((i * chunk) as u32, ((i + 1) * chunk).min(n) as u32))
+        .filter(|&(lo, hi)| lo < hi)
+        .collect();
+    stats.shards_used = ranges.len() as u64;
+    let shard_results: Vec<(Vec<SearchHit>, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                s.spawn(move || {
+                    let mut candidates: Vec<DocId> = Vec::new();
+                    for &(t, _) in uniq {
+                        let list = index.postings(t);
+                        let a = list.partition_point(|p| p.doc.0 < lo);
+                        let b = list.partition_point(|p| p.doc.0 < hi);
+                        candidates.extend(list[a..b].iter().map(|p| p.doc));
+                    }
+                    candidates.sort_unstable();
+                    candidates.dedup();
+                    let scored = candidates.len() as u64;
+                    let mut top = TopKHeap::new(k);
+                    for doc in candidates {
+                        let score = exact(doc);
+                        if score > 0.0 {
+                            top.offer(SearchHit { doc, score });
+                        }
+                    }
+                    (top.into_sorted(), scored)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut hits: Vec<SearchHit> = Vec::with_capacity(shard_results.len() * k.min(n));
+    for (shard_hits, scored) in shard_results {
+        stats.docs_scored += scored;
+        hits.extend(shard_hits);
+    }
+    sort_hits(&mut hits);
+    hits.truncate(k);
+    (hits, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::Document;
+    use credence_text::Analyzer;
+
+    fn corpus(n: usize) -> InvertedIndex {
+        let bodies = [
+            "covid outbreak covid emergency in the city",
+            "covid numbers rising across the region",
+            "garden flowers bloom in spring",
+            "outbreak of joy in the city park",
+            "the city council meets to discuss the outbreak",
+            "vaccine shipments arrive covid covid",
+        ];
+        InvertedIndex::build(
+            (0..n)
+                .map(|i| Document::from_body(bodies[i % bodies.len()]))
+                .collect(),
+            Analyzer::english(),
+        )
+    }
+
+    fn assert_bit_identical(a: &[SearchHit], b: &[SearchHit]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.doc, y.doc);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn all_strategies_agree_bit_for_bit() {
+        let idx = corpus(40);
+        let params = Bm25Params::default();
+        for query in [
+            "covid outbreak",
+            "covid covid city",
+            "garden",
+            "outbreak city covid vaccine",
+        ] {
+            let q = idx.analyze_query(query);
+            for k in [1, 2, 5, 40, 100] {
+                let (reference, _) = search_top_k_exhaustive(&idx, params, &q, k);
+                for strategy in [
+                    SearchStrategy::Auto,
+                    SearchStrategy::Pruned,
+                    SearchStrategy::Sharded,
+                ] {
+                    let opts = TopKOptions {
+                        strategy,
+                        shards: 3,
+                        ..TopKOptions::default()
+                    };
+                    let (hits, _) = search_top_k_with(&idx, params, &q, k, &opts);
+                    assert_bit_identical(&hits, &reference);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_skips_postings_on_selective_queries() {
+        // One rare high-idf term plus a ubiquitous one: once the heap fills
+        // from the rare list, the common list's bound falls below threshold.
+        let mut bodies: Vec<Document> = (0..200)
+            .map(|_| Document::from_body("common filler words here"))
+            .collect();
+        bodies.push(Document::from_body("rare common filler"));
+        bodies.push(Document::from_body("rare rare common"));
+        let idx = InvertedIndex::build(bodies, Analyzer::english());
+        let q = idx.analyze_query("rare common");
+        let params = Bm25Params::default();
+        let opts = TopKOptions {
+            strategy: SearchStrategy::Pruned,
+            ..TopKOptions::default()
+        };
+        let (hits, stats) = search_top_k_with(&idx, params, &q, 2, &opts);
+        let (reference, ex_stats) = search_top_k_exhaustive(&idx, params, &q, 2);
+        assert_bit_identical(&hits, &reference);
+        assert!(stats.docs_pruned > 0, "expected pruning, got {stats:?}");
+        assert!(stats.docs_scored < ex_stats.docs_scored);
+    }
+
+    #[test]
+    fn weighted_search_matches_weighted_brute_force() {
+        let idx = corpus(25);
+        let params = Bm25Params::default();
+        let covid = idx.vocabulary().id("covid").unwrap();
+        let citi = idx.vocabulary().id("citi").unwrap();
+        let outbreak = idx.vocabulary().id("outbreak").unwrap();
+        let terms = vec![(covid, 0.6), (outbreak, 0.3), (citi, 0.1)];
+        let brute = |doc: DocId| -> f64 {
+            let dl = idx.doc_len(doc);
+            terms
+                .iter()
+                .map(|&(t, w)| {
+                    w * bm25_term_weight(params, idx.stats(), t, idx.term_freq(doc, t), dl)
+                })
+                .sum()
+        };
+        let mut reference: Vec<SearchHit> = idx
+            .doc_ids()
+            .map(|d| SearchHit {
+                doc: d,
+                score: brute(d),
+            })
+            .filter(|h| h.score > 0.0)
+            .collect();
+        sort_hits(&mut reference);
+        reference.truncate(5);
+        for strategy in [
+            SearchStrategy::Auto,
+            SearchStrategy::Exhaustive,
+            SearchStrategy::Pruned,
+            SearchStrategy::Sharded,
+        ] {
+            let opts = TopKOptions {
+                strategy,
+                shards: 2,
+                ..TopKOptions::default()
+            };
+            let (hits, _) = search_weighted_top_k_with(&idx, params, &terms, 5, &opts);
+            assert_bit_identical(&hits, &reference);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_and_k_zero() {
+        let idx = corpus(6);
+        let params = Bm25Params::default();
+        let q = idx.analyze_query("covid");
+        let opts = TopKOptions::default();
+        assert!(search_top_k_with(&idx, params, &q, 0, &opts).0.is_empty());
+        assert!(search_top_k_with(&idx, params, &[], 5, &opts).0.is_empty());
+        assert!(search_weighted_top_k_with(&idx, params, &[], 5, &opts)
+            .0
+            .is_empty());
+        let empty = InvertedIndex::build(vec![], Analyzer::english());
+        assert!(search_top_k_with(&empty, params, &[7], 5, &opts)
+            .0
+            .is_empty());
+    }
+
+    #[test]
+    fn sharded_counts_shards() {
+        let idx = corpus(30);
+        let q = idx.analyze_query("covid outbreak city");
+        let opts = TopKOptions {
+            strategy: SearchStrategy::Sharded,
+            shards: 4,
+            ..TopKOptions::default()
+        };
+        let (_, stats) = search_top_k_with(&idx, Bm25Params::default(), &q, 3, &opts);
+        assert_eq!(stats.strategy, "sharded");
+        assert_eq!(stats.shards_used, 4);
+        assert_eq!(stats.docs_pruned, 0);
+    }
+
+    #[test]
+    fn strategy_parsing_round_trips() {
+        for s in [
+            SearchStrategy::Auto,
+            SearchStrategy::Exhaustive,
+            SearchStrategy::Pruned,
+            SearchStrategy::Sharded,
+        ] {
+            assert_eq!(SearchStrategy::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(
+            SearchStrategy::parse("PRUNED"),
+            Some(SearchStrategy::Pruned)
+        );
+        assert_eq!(SearchStrategy::parse("nope"), None);
+    }
+
+    #[test]
+    fn negative_weights_fall_back_to_exhaustive() {
+        let idx = corpus(12);
+        let params = Bm25Params::default();
+        let covid = idx.vocabulary().id("covid").unwrap();
+        let citi = idx.vocabulary().id("citi").unwrap();
+        let terms = vec![(covid, 1.0), (citi, -0.5)];
+        let (_, stats) = search_weighted_top_k_with(
+            &idx,
+            params,
+            &terms,
+            3,
+            &TopKOptions {
+                strategy: SearchStrategy::Pruned,
+                ..TopKOptions::default()
+            },
+        );
+        assert_eq!(stats.strategy, "exhaustive");
+    }
+}

@@ -1,7 +1,9 @@
 //! The BM25 ranker — Anserini's first-stage retrieval model.
 
 use credence_index::score::{bm25_score_adhoc, bm25_score_indexed, bm25_term_weight};
-use credence_index::{Bm25Params, DocId, InvertedIndex};
+use credence_index::{
+    search_top_k_with, Bm25Params, DocId, InvertedIndex, SearchHit, TopKOptions, TopKStats,
+};
 use credence_text::TermId;
 
 use crate::ranker::Ranker;
@@ -70,6 +72,19 @@ impl Ranker for Bm25Ranker<'_> {
             tf,
             doc_len,
         ))
+    }
+
+    fn retrieve_top_k(
+        &self,
+        query: &str,
+        k: usize,
+        opts: &TopKOptions,
+    ) -> Option<(Vec<SearchHit>, TopKStats)> {
+        // The engine's exact scorer is `bm25_score_indexed` over the analysed
+        // query — the same fold `score_doc` performs — so the hits are
+        // bit-identical to the exhaustive per-document scan.
+        let q = self.index.analyze_query(query);
+        Some(search_top_k_with(self.index, self.params, &q, k, opts))
     }
 }
 

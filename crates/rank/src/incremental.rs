@@ -39,9 +39,7 @@
 //! re-analyses to something other than its term), constructors return
 //! `None` and callers fall back to the exact path.
 
-use std::collections::HashMap;
-
-use credence_index::DocId;
+use credence_index::{DocId, InvertedIndex};
 use credence_text::TermId;
 
 use crate::ranker::Ranker;
@@ -248,6 +246,33 @@ impl<'a> DeltaScorer<'a> {
     }
 }
 
+/// Union of the terms' posting lists as `(doc, per-position tf)` rows,
+/// sorted by doc id — the term-at-a-time merge the pruned retrieval engine
+/// uses, with no hashing on the hot path. Duplicate terms fill every one of
+/// their positions.
+fn posting_union(index: &InvertedIndex, terms: &[TermId]) -> Vec<(DocId, Vec<u32>)> {
+    let total: usize = terms.iter().map(|&t| index.postings(t).len()).sum();
+    let mut triples: Vec<(DocId, u32, u32)> = Vec::with_capacity(total);
+    for (j, &term) in terms.iter().enumerate() {
+        for p in index.postings(term) {
+            triples.push((p.doc, j as u32, p.tf));
+        }
+    }
+    triples.sort_unstable_by_key(|&(d, j, _)| (d, j));
+    let mut rows: Vec<(DocId, Vec<u32>)> = Vec::new();
+    for (d, j, tf) in triples {
+        match rows.last_mut() {
+            Some(last) if last.0 == d => last.1[j as usize] = tf,
+            _ => {
+                let mut tfs = vec![0u32; terms.len()];
+                tfs[j as usize] = tf;
+                rows.push((d, tfs));
+            }
+        }
+    }
+    rows
+}
+
 /// Incremental ranker for queries augmented with document terms.
 ///
 /// Precondition (checked at construction): every candidate surface analyses
@@ -302,14 +327,13 @@ impl<'a> AugmentedScorer<'a> {
         // Documents whose score changes: the union of the appended terms'
         // posting lists, with tf aligned per appended position so the score
         // fold visits terms in query order.
-        let mut touched: HashMap<DocId, Vec<u32>> = HashMap::new();
-        for (j, &term) in terms.iter().enumerate() {
-            for posting in index.postings(term) {
-                touched
-                    .entry(posting.doc)
-                    .or_insert_with(|| vec![0; terms.len()])[j] = posting.tf;
-            }
-        }
+        let touched = posting_union(index, &terms);
+        let touched_row = |doc: DocId| {
+            touched
+                .binary_search_by_key(&doc, |r| r.0)
+                .ok()
+                .map(|i| touched[i].1.as_slice())
+        };
         let augmented_score = |doc: DocId, tfs: &[u32]| {
             let mut score = self.base.score_of(doc).unwrap_or(0.0);
             let doc_len = index.doc_len(doc);
@@ -322,7 +346,7 @@ impl<'a> AugmentedScorer<'a> {
             score
         };
 
-        let target_score = match touched.get(&target) {
+        let target_score = match touched_row(target) {
             Some(tfs) => augmented_score(target, tfs),
             // Untouched: every appended weight is exactly 0.0.
             None => match self.base.score_of(target) {
@@ -344,9 +368,9 @@ impl<'a> AugmentedScorer<'a> {
             .base
             .entries()
             .iter()
-            .filter(|&&(d, s)| d != target && !touched.contains_key(&d) && beats(d, s))
+            .filter(|&&(d, s)| d != target && touched_row(d).is_none() && beats(d, s))
             .count();
-        for (&d, tfs) in &touched {
+        for &(d, ref tfs) in &touched {
             if d == target {
                 continue;
             }
@@ -404,14 +428,7 @@ impl<'a> SubsetScorer<'a> {
         let index = self.ranker.index();
         let terms: Vec<TermId> = kept.iter().map(|&i| self.surface_ids[i]).collect();
 
-        let mut touched: HashMap<DocId, Vec<u32>> = HashMap::new();
-        for (j, &term) in terms.iter().enumerate() {
-            for posting in index.postings(term) {
-                touched
-                    .entry(posting.doc)
-                    .or_insert_with(|| vec![0; terms.len()])[j] = posting.tf;
-            }
-        }
+        let touched = posting_union(index, &terms);
         let score_of = |doc: DocId, tfs: &[u32]| {
             let doc_len = index.doc_len(doc);
             let mut score = 0.0;
@@ -424,16 +441,16 @@ impl<'a> SubsetScorer<'a> {
             score
         };
 
-        let target_score = match touched.get(&target) {
-            Some(tfs) => score_of(target, tfs),
-            None => return None,
+        let target_score = match touched.binary_search_by_key(&target, |r| r.0) {
+            Ok(i) => score_of(target, &touched[i].1),
+            Err(_) => return None,
         };
         if target_score <= 0.0 {
             return None;
         }
         let better = touched
             .iter()
-            .filter(|&(&d, tfs)| {
+            .filter(|&&(d, ref tfs)| {
                 if d == target {
                     return false;
                 }

@@ -1,6 +1,6 @@
 //! The black-box ranker contract.
 
-use credence_index::{DocId, InvertedIndex};
+use credence_index::{DocId, InvertedIndex, SearchHit, TopKOptions, TopKStats};
 use credence_text::TermId;
 
 /// A black-box ranking model `M` over a fixed corpus.
@@ -64,6 +64,26 @@ pub trait Ranker: Send + Sync {
     /// not term-decomposable.
     fn term_weight(&self, term: TermId, tf: u32, doc_len: u32) -> Option<f64> {
         let _ = (term, tf, doc_len);
+        None
+    }
+
+    /// Retrieve the top `k` documents for `query` straight from the index
+    /// via the pruned top-k engine, when the model supports it.
+    ///
+    /// Contract: when `Some`, the hit list must be bit-identical — as
+    /// `(doc, score)` pairs under the (descending score, ascending doc)
+    /// total order — to scoring every document with [`Ranker::score_doc`]
+    /// and keeping the `k` best with positive score. With `k >= num_docs`
+    /// the hits therefore reproduce the model's full corpus ranking.
+    /// Models without an index-driven scorer keep the default `None` and
+    /// callers fall back to the exhaustive per-document scan.
+    fn retrieve_top_k(
+        &self,
+        query: &str,
+        k: usize,
+        opts: &TopKOptions,
+    ) -> Option<(Vec<SearchHit>, TopKStats)> {
+        let _ = (query, k, opts);
         None
     }
 }

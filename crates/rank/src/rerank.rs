@@ -10,7 +10,7 @@
 
 use std::cmp::Ordering;
 
-use credence_index::DocId;
+use credence_index::{DocId, TopKOptions, TopKStats};
 
 use crate::ranker::Ranker;
 
@@ -88,6 +88,37 @@ pub fn rank_corpus(ranker: &dyn Ranker, query: &str) -> RankedList {
         .filter(|&(_, s)| !drop_zeros || s > 0.0)
         .collect();
     RankedList::from_scores(entries)
+}
+
+/// Rank the whole corpus for `query`, routing through the pruned top-k
+/// engine when the model supports index-driven retrieval
+/// ([`Ranker::retrieve_top_k`] with `k = num_docs`) and reporting execution
+/// counters. Models without the hook fall back to the exhaustive
+/// per-document scan — parallel over `fallback_threads` scoped threads when
+/// `> 1`. Entries are bit-identical to [`rank_corpus`] either way.
+pub fn rank_corpus_with(
+    ranker: &dyn Ranker,
+    query: &str,
+    opts: &TopKOptions,
+    fallback_threads: usize,
+) -> (RankedList, TopKStats) {
+    let n = ranker.index().num_docs();
+    if let Some((hits, stats)) = ranker.retrieve_top_k(query, n, opts) {
+        let entries: Vec<(DocId, f64)> = hits.into_iter().map(|h| (h.doc, h.score)).collect();
+        return (RankedList::from_scores(entries), stats);
+    }
+    let list = rank_corpus_parallel(ranker, query, fallback_threads);
+    let stats = TopKStats {
+        docs_scored: n as u64,
+        docs_pruned: 0,
+        shards_used: if fallback_threads > 1 {
+            fallback_threads.min(n.max(1)) as u64
+        } else {
+            0
+        },
+        strategy: "fallback",
+    };
+    (list, stats)
 }
 
 /// Parallel variant of [`rank_corpus`]: shards the corpus across scoped
@@ -337,6 +368,44 @@ mod tests {
         let empty = InvertedIndex::build(vec![], Analyzer::english());
         let re = Bm25Ranker::new(&empty, Bm25Params::default());
         assert!(rank_corpus_parallel(&re, "covid", 4).is_empty());
+    }
+
+    #[test]
+    fn rank_corpus_with_is_bit_identical_for_every_strategy() {
+        use crate::ql::{QlSmoothing, QueryLikelihoodRanker};
+        use crate::rm3::{Rm3Config, Rm3Ranker};
+        use credence_index::SearchStrategy;
+
+        let idx = index();
+        let bm25 = Bm25Ranker::new(&idx, Bm25Params::default());
+        let rm3 = Rm3Ranker::new(&idx, Rm3Config::default());
+        let ql = QueryLikelihoodRanker::new(&idx, QlSmoothing::default());
+        let rankers: [&dyn Ranker; 3] = [&bm25, &rm3, &ql];
+        for ranker in rankers {
+            let reference = rank_corpus(ranker, "covid outbreak");
+            for strategy in [
+                SearchStrategy::Auto,
+                SearchStrategy::Exhaustive,
+                SearchStrategy::Pruned,
+                SearchStrategy::Sharded,
+            ] {
+                let opts = TopKOptions {
+                    strategy,
+                    shards: 2,
+                    ..TopKOptions::default()
+                };
+                let (list, stats) = rank_corpus_with(ranker, "covid outbreak", &opts, 2);
+                assert_eq!(list.entries().len(), reference.entries().len());
+                for (a, b) in list.entries().iter().zip(reference.entries()) {
+                    assert_eq!(a.0, b.0, "{} {strategy:?}", ranker.name());
+                    assert_eq!(a.1.to_bits(), b.1.to_bits(), "{}", ranker.name());
+                }
+                // QL has no index-driven retrieval hook and must fall back.
+                if ranker.name().starts_with("ql") {
+                    assert_eq!(stats.strategy, "fallback");
+                }
+            }
+        }
     }
 
     #[test]

@@ -14,8 +14,11 @@
 
 use std::collections::HashMap;
 
-use credence_index::score::{bm25_score_indexed, bm25_term_weight};
-use credence_index::{Bm25Params, DocId, InvertedIndex};
+use credence_index::score::bm25_term_weight;
+use credence_index::{
+    search_top_k_with, search_weighted_top_k_with, Bm25Params, DocId, InvertedIndex, SearchHit,
+    TopKOptions, TopKStats,
+};
 use credence_text::TermId;
 
 use crate::ranker::Ranker;
@@ -84,19 +87,16 @@ impl<'a> Rm3Ranker<'a> {
             *original.entry(t).or_insert(0.0) += 1.0 / q.len() as f64;
         }
 
-        // First pass: BM25 over the corpus, take top fb_docs.
-        let mut scored: Vec<(DocId, f64)> = self
-            .index
-            .doc_ids()
-            .map(|d| (d, bm25_score_indexed(self.config.bm25, self.index, &q, d)))
-            .filter(|&(_, s)| s > 0.0)
-            .collect();
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
-        });
-        scored.truncate(self.config.fb_docs);
+        // First pass: pruned BM25 top-k — bit-identical to scoring the whole
+        // corpus, sorting (score desc, doc asc) and truncating to fb_docs.
+        let (hits, _) = search_top_k_with(
+            self.index,
+            self.config.bm25,
+            &q,
+            self.config.fb_docs,
+            &TopKOptions::default(),
+        );
+        let scored: Vec<(DocId, f64)> = hits.into_iter().map(|h| (h.doc, h.score)).collect();
 
         // Relevance model: P(t|R) ∝ Σ_d P(t|d) · score(d).
         let mut feedback: HashMap<TermId, f64> = HashMap::new();
@@ -180,6 +180,26 @@ impl Ranker for Rm3Ranker<'_> {
         let expanded = self.expand(query);
         let (terms, len) = self.index.analyze_adhoc(body);
         self.score_expanded_counts(&expanded, &terms, len)
+    }
+
+    fn retrieve_top_k(
+        &self,
+        query: &str,
+        k: usize,
+        opts: &TopKOptions,
+    ) -> Option<(Vec<SearchHit>, TopKStats)> {
+        // Expand once (score_doc re-expands per document — the dominant cost
+        // of ranking a corpus under RM3) and hand the weighted query to the
+        // pruned engine, whose exact scorer folds `w * bm25_term_weight` in
+        // the same slice order as `score_expanded_counts`: bit-identical.
+        let expanded = self.expand(query);
+        Some(search_weighted_top_k_with(
+            self.index,
+            self.config.bm25,
+            &expanded.terms,
+            k,
+            opts,
+        ))
     }
 }
 

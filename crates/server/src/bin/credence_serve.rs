@@ -8,7 +8,7 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use credence_core::{EngineConfig, EvalOptions};
+use credence_core::{EngineConfig, EvalOptions, SearchStrategy, TopKOptions};
 use credence_corpus::{covid_demo_corpus, load_jsonl, load_tsv};
 use credence_server::service::RankerChoice;
 use credence_server::{AppState, Server};
@@ -18,6 +18,7 @@ fn main() -> ExitCode {
     let mut corpus_path: Option<String> = None;
     let mut ranker = RankerChoice::Bm25;
     let mut eval = EvalOptions::default();
+    let mut retrieval = TopKOptions::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -43,18 +44,39 @@ fn main() -> ExitCode {
                 None => return usage("--eval-parallel-threshold requires an integer"),
             },
             "--eval-exact" => eval.force_exact = true,
+            "--search-strategy" => match args.next().as_deref().and_then(SearchStrategy::parse) {
+                Some(s) => retrieval.strategy = s,
+                None => {
+                    return usage("--search-strategy must be auto | exhaustive | pruned | sharded")
+                }
+            },
+            "--search-shards" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => retrieval.shards = s,
+                None => return usage("--search-shards requires an integer (0 = auto)"),
+            },
+            "--search-dense-postings" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(d) => retrieval.dense_postings = d,
+                None => return usage("--search-dense-postings requires an integer"),
+            },
             "--help" | "-h" => {
                 println!(
                     "credence-serve — CREDENCE REST API\n\n\
                      USAGE: credence-serve [--addr HOST:PORT] [--corpus FILE.jsonl|FILE.tsv]\n\
                      \x20                     [--ranker bm25|ql|ql-jm|rm3|neural]\n\
                      \x20                     [--eval-threads N] [--eval-parallel-threshold N]\n\
-                     \x20                     [--eval-exact]\n\n\
+                     \x20                     [--eval-exact]\n\
+                     \x20                     [--search-strategy auto|exhaustive|pruned|sharded]\n\
+                     \x20                     [--search-shards N] [--search-dense-postings N]\n\n\
                      --eval-threads: worker threads for counterfactual candidate\n\
                      \x20  evaluation (0 = one per CPU, 1 = serial).\n\
                      --eval-parallel-threshold: smallest candidate batch fanned out\n\
                      \x20  to threads.\n\
-                     --eval-exact: disable the incremental scorers (reference path).\n\n\
+                     --eval-exact: disable the incremental scorers (reference path).\n\
+                     --search-strategy: top-k retrieval path (default auto: MaxScore\n\
+                     \x20  pruning, or sharded parallel scan for dense queries).\n\
+                     --search-shards: shard count for the sharded path (0 = one per CPU).\n\
+                     --search-dense-postings: candidate-postings volume at which a\n\
+                     \x20  query counts as dense.\n\n\
                      Without --corpus, serves the built-in COVID-19 Articles demo corpus."
                 );
                 return ExitCode::SUCCESS;
@@ -85,6 +107,7 @@ fn main() -> ExitCode {
     eprintln!("indexing {} documents and training doc2vec...", docs.len());
     let config = EngineConfig {
         eval,
+        retrieval,
         ..EngineConfig::default()
     };
     let state = AppState::leak_with(docs, config, ranker);

@@ -21,9 +21,23 @@
 //! * `credence_candidate_evals_total` and
 //!   `credence_search_seconds_total` — candidate evaluations committed and
 //!   wall-clock spent inside explainer searches; their rate ratio is the
-//!   evaluation throughput.
+//!   evaluation throughput;
+//! * `credence_retrieval_docs_scored_total`,
+//!   `credence_retrieval_docs_pruned_total`,
+//!   `credence_retrieval_shards_used_total` — the pruned top-k engine's
+//!   work counters (pruned/scored is the fraction of postings MaxScore
+//!   skipped);
+//! * `credence_ranking_cache_hits_total` /
+//!   `credence_ranking_cache_misses_total` — the engine's query→ranking
+//!   LRU cache effectiveness.
+//!
+//! The retrieval family lives in the engine's own atomics (retrieval
+//! happens outside the HTTP layer); [`Metrics::record_retrieval`] copies
+//! the latest [`RetrievalStats`] snapshot in before each render.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use credence_core::RetrievalStats;
 
 /// HTTP status codes tracked with their own counter; anything else lands in
 /// the trailing `"other"` bucket.
@@ -105,6 +119,11 @@ pub struct Metrics {
     deadline_hits: AtomicU64,
     evals_total: AtomicU64,
     search_us_total: AtomicU64,
+    retrieval_docs_scored: AtomicU64,
+    retrieval_docs_pruned: AtomicU64,
+    retrieval_shards_used: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
     next_id: AtomicU64,
 }
 
@@ -123,6 +142,11 @@ impl Metrics {
             deadline_hits: AtomicU64::new(0),
             evals_total: AtomicU64::new(0),
             search_us_total: AtomicU64::new(0),
+            retrieval_docs_scored: AtomicU64::new(0),
+            retrieval_docs_pruned: AtomicU64::new(0),
+            retrieval_shards_used: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
             next_id: AtomicU64::new(1),
         }
     }
@@ -166,6 +190,21 @@ impl Metrics {
     /// Total wall-clock deadline hits (for tests and diagnostics).
     pub fn deadline_hits(&self) -> u64 {
         self.deadline_hits.load(Ordering::Relaxed)
+    }
+
+    /// Copy the engine's cumulative retrieval counters into the registry.
+    /// The values are absolute totals, so this *stores* rather than adds —
+    /// calling it repeatedly with the same snapshot is idempotent.
+    pub fn record_retrieval(&self, stats: RetrievalStats) {
+        self.retrieval_docs_scored
+            .store(stats.docs_scored, Ordering::Relaxed);
+        self.retrieval_docs_pruned
+            .store(stats.docs_pruned, Ordering::Relaxed);
+        self.retrieval_shards_used
+            .store(stats.shards_used, Ordering::Relaxed);
+        self.cache_hits.store(stats.cache_hits, Ordering::Relaxed);
+        self.cache_misses
+            .store(stats.cache_misses, Ordering::Relaxed);
     }
 
     /// Render the registry in the Prometheus text exposition format.
@@ -259,6 +298,38 @@ impl Metrics {
             self.search_us_total.load(Ordering::Relaxed) as f64 / 1e6
         ));
 
+        for (name, help, counter) in [
+            (
+                "credence_retrieval_docs_scored_total",
+                "Documents scored by the top-k retrieval engine.",
+                &self.retrieval_docs_scored,
+            ),
+            (
+                "credence_retrieval_docs_pruned_total",
+                "Posting entries skipped by MaxScore pruning.",
+                &self.retrieval_docs_pruned,
+            ),
+            (
+                "credence_retrieval_shards_used_total",
+                "Shards spawned by parallel sharded retrieval.",
+                &self.retrieval_shards_used,
+            ),
+            (
+                "credence_ranking_cache_hits_total",
+                "Query ranking-cache lookups served from cache.",
+                &self.cache_hits,
+            ),
+            (
+                "credence_ranking_cache_misses_total",
+                "Query ranking-cache lookups that ranked the corpus.",
+                &self.cache_misses,
+            ),
+        ] {
+            out.push_str(&format!("# HELP {name} {help}\n"));
+            out.push_str(&format!("# TYPE {name} counter\n"));
+            out.push_str(&format!("{name} {}\n", counter.load(Ordering::Relaxed)));
+        }
+
         out
     }
 }
@@ -346,5 +417,27 @@ mod tests {
         assert!(text.contains("credence_request_duration_seconds_count 0"));
         assert!(text.contains("credence_deadline_hits_total 0"));
         assert!(text.contains("quantile=\"0.5\"} 0\n"));
+        assert!(text.contains("credence_retrieval_docs_scored_total 0"));
+        assert!(text.contains("credence_ranking_cache_hits_total 0"));
+    }
+
+    #[test]
+    fn retrieval_snapshot_stores_absolute_totals() {
+        let m = Metrics::new(LABELS);
+        let stats = RetrievalStats {
+            docs_scored: 100,
+            docs_pruned: 40,
+            shards_used: 8,
+            cache_hits: 5,
+            cache_misses: 2,
+        };
+        m.record_retrieval(stats);
+        m.record_retrieval(stats); // idempotent: stores, not adds
+        let text = m.render();
+        assert!(text.contains("credence_retrieval_docs_scored_total 100"));
+        assert!(text.contains("credence_retrieval_docs_pruned_total 40"));
+        assert!(text.contains("credence_retrieval_shards_used_total 8"));
+        assert!(text.contains("credence_ranking_cache_hits_total 5"));
+        assert!(text.contains("credence_ranking_cache_misses_total 2"));
     }
 }

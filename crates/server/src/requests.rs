@@ -11,7 +11,7 @@
 //! `max_size`, `max_candidates`) parse into [`SearchControls`]; the
 //! deadline starts ticking at parse time, i.e. from request arrival.
 
-use credence_core::{Budget, EvalOptions, SearchBudget};
+use credence_core::{Budget, EvalOptions, SearchBudget, SearchStrategy};
 use credence_json::Value;
 
 /// One invalid request field.
@@ -254,17 +254,38 @@ pub struct RankRequest {
     pub query: String,
     /// Ranking depth.
     pub k: usize,
+    /// Per-request retrieval strategy override
+    /// (`auto` | `exhaustive` | `pruned` | `sharded`).
+    pub search_strategy: Option<SearchStrategy>,
+    /// Per-request shard-count override for the sharded path (0 = one per
+    /// available core).
+    pub search_shards: Option<usize>,
 }
 
 impl RankRequest {
     /// Parse and fully validate the request body.
     pub fn parse(body: &Value) -> Result<Self, Vec<FieldError>> {
         let mut p = FieldParser::new(body);
+        let search_strategy = match p.optional_str("search_strategy") {
+            None => None,
+            Some(s) => match SearchStrategy::parse(&s) {
+                Some(strategy) => Some(strategy),
+                None => {
+                    p.reject(
+                        "search_strategy",
+                        "must be one of: auto, exhaustive, pruned, sharded",
+                    );
+                    None
+                }
+            },
+        };
         let out = Self {
             query: p.require_str("query"),
             k: p.require_usize("k"),
+            search_strategy,
+            search_shards: p.optional_u64("search_shards").map(|s| s as usize),
         };
-        let errors = p.finish(&["query", "k"]);
+        let errors = p.finish(&["query", "k", "search_strategy", "search_shards"]);
         if errors.is_empty() {
             Ok(out)
         } else {
@@ -638,6 +659,24 @@ mod tests {
         let req = RankRequest::parse(&value(r#"{"query": "covid", "k": 3}"#)).unwrap();
         assert_eq!(req.query, "covid");
         assert_eq!(req.k, 3);
+    }
+
+    #[test]
+    fn rank_request_parses_retrieval_overrides() {
+        let req = RankRequest::parse(&value(
+            r#"{"query": "q", "k": 3, "search_strategy": "pruned", "search_shards": 4}"#,
+        ))
+        .unwrap();
+        assert_eq!(req.search_strategy, Some(SearchStrategy::Pruned));
+        assert_eq!(req.search_shards, Some(4));
+        let plain = RankRequest::parse(&value(r#"{"query": "q", "k": 3}"#)).unwrap();
+        assert_eq!(plain.search_strategy, None);
+        assert_eq!(plain.search_shards, None);
+        let errs = RankRequest::parse(&value(
+            r#"{"query": "q", "k": 3, "search_strategy": "fastest"}"#,
+        ))
+        .unwrap_err();
+        assert_eq!(errs[0].field, "search_strategy");
     }
 
     #[test]

@@ -483,6 +483,11 @@ fn health(_state: &AppState, _req: &Request, _tail: &str) -> Response {
 }
 
 fn metrics_text(state: &AppState, _req: &Request, _tail: &str) -> Response {
+    // Pull the engine's cumulative retrieval/cache counters into the
+    // registry so every scrape sees the latest totals.
+    state
+        .metrics
+        .record_retrieval(state.engine.retrieval_stats());
     Response::text(200, state.metrics.render())
 }
 
@@ -537,9 +542,16 @@ fn rank(state: &AppState, req: &Request, _tail: &str) -> Response {
         Ok(p) => p,
         Err(errors) => return invalid_fields_response(errors),
     };
+    let mut opts = state.engine.config().retrieval;
+    if let Some(strategy) = parsed.search_strategy {
+        opts.strategy = strategy;
+    }
+    if let Some(shards) = parsed.search_shards {
+        opts.shards = shards;
+    }
     let rows: Vec<Value> = state
         .engine
-        .rank(&parsed.query, parsed.k)
+        .rank_with_options(&parsed.query, parsed.k, &opts)
         .into_iter()
         .map(|r| {
             obj([
@@ -1355,6 +1367,69 @@ mod tests {
         assert!(text.contains("credence_deadline_hits_total"));
         assert!(text.contains("credence_candidate_evals_total"));
         assert!(text.contains("credence_searches_total{status=\"complete\"}"));
+        assert!(text.contains("credence_retrieval_docs_scored_total"));
+        assert!(text.contains("credence_retrieval_docs_pruned_total"));
+        assert!(text.contains("credence_retrieval_shards_used_total"));
+        assert!(text.contains("credence_ranking_cache_hits_total"));
+        assert!(text.contains("credence_ranking_cache_misses_total"));
+    }
+
+    #[test]
+    fn metrics_reflect_retrieval_after_a_ranked_query() {
+        // A fresh state so other tests' cached rankings don't interfere.
+        let state = AppState::leak(demo_docs(), EngineConfig::fast());
+        let req = Request {
+            method: "POST".into(),
+            path: "/api/v1/rank".into(),
+            headers: Default::default(),
+            body: br#"{"query": "covid outbreak", "k": 3}"#.to_vec(),
+        };
+        assert_eq!(handle_request(state, &req).status, 200);
+        let scrape = Request {
+            method: "GET".into(),
+            path: "/metrics".into(),
+            headers: Default::default(),
+            body: Vec::new(),
+        };
+        let text = String::from_utf8(handle_request(state, &scrape).body).unwrap();
+        assert!(
+            text.contains("credence_ranking_cache_misses_total 1"),
+            "one ranking computed:\n{text}"
+        );
+        assert!(
+            !text.contains("credence_retrieval_docs_scored_total 0"),
+            "the rank request scored documents:\n{text}"
+        );
+    }
+
+    #[test]
+    fn rank_accepts_strategy_overrides() {
+        let base = post("/api/v1/rank", r#"{"query": "covid outbreak", "k": 3}"#);
+        let v = body_json(&base);
+        let expected = v.get("ranking").unwrap().as_array().unwrap().to_vec();
+        for strategy in ["exhaustive", "pruned", "sharded", "auto"] {
+            let resp = post(
+                "/api/v1/rank",
+                &format!(
+                    r#"{{"query": "covid outbreak", "k": 3, "search_strategy": "{strategy}", "search_shards": 2}}"#
+                ),
+            );
+            assert_eq!(resp.status, 200, "{strategy}");
+            let v = body_json(&resp);
+            let ranking = v.get("ranking").unwrap().as_array().unwrap();
+            assert_eq!(ranking.len(), expected.len(), "{strategy}");
+            for (a, b) in ranking.iter().zip(&expected) {
+                assert_eq!(
+                    a.get("doc").unwrap().as_u64(),
+                    b.get("doc").unwrap().as_u64()
+                );
+            }
+        }
+        let bad = post(
+            "/api/v1/rank",
+            r#"{"query": "covid", "k": 3, "search_strategy": "fastest"}"#,
+        );
+        assert_eq!(bad.status, 400);
     }
 
     #[test]

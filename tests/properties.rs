@@ -847,6 +847,98 @@ prop! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Pruned top-k retrieval parity: MaxScore pruning and the sharded parallel
+// fallback must return *bit-identical* `(doc, score)` lists to the
+// exhaustive scan — scores compared via `to_bits`, not tolerance — across
+// random corpora, queries with duplicate and absent terms, and every k
+// regime (k = 0, partial, k ≥ corpus, ties from duplicate documents).
+// ---------------------------------------------------------------------------
+
+/// Queries over the corpus vocabulary plus a term that never occurs;
+/// repeated draws produce duplicate terms.
+fn arb_query() -> Gen<String> {
+    let word = gens::one_of(vec![
+        gens::just("covid"),
+        gens::just("outbreak"),
+        gens::just("vaccine"),
+        gens::just("garden"),
+        gens::just("tracking"),
+        gens::just("economy"),
+        gens::just("absentterm"),
+    ]);
+    gens::vec_of(word, 1..7).map(|ws| ws.join(" "))
+}
+
+prop! {
+    /// Every pruned/sharded strategy and shard count returns the exhaustive
+    /// scan's exact hits.
+    config(cases = 64);
+    fn pruned_topk_is_bit_identical_to_exhaustive(
+        docs in arb_corpus(),
+        query in arb_query(),
+        k in gens::usize_range(0..13),
+    ) {
+        use credence_index::{
+            search_top_k_exhaustive, search_top_k_with, SearchStrategy, TopKOptions,
+        };
+        let idx = InvertedIndex::build(docs.clone(), Analyzer::english());
+        let q = idx.analyze_query(query);
+        let (reference, _) = search_top_k_exhaustive(&idx, Bm25Params::default(), &q, *k);
+        let ref_bits: Vec<(u32, u64)> =
+            reference.iter().map(|h| (h.doc.0, h.score.to_bits())).collect();
+        for strategy in [SearchStrategy::Auto, SearchStrategy::Pruned, SearchStrategy::Sharded] {
+            for shards in [0usize, 1, 3] {
+                let opts = TopKOptions { strategy, shards, ..TopKOptions::default() };
+                let (hits, _) = search_top_k_with(&idx, Bm25Params::default(), &q, *k, &opts);
+                let bits: Vec<(u32, u64)> =
+                    hits.iter().map(|h| (h.doc.0, h.score.to_bits())).collect();
+                prop_assert_eq!(&bits, &ref_bits, "strategy {strategy:?}, shards {shards}");
+            }
+        }
+    }
+}
+
+prop! {
+    /// The engine-facing path: `rank_corpus_with` equals `rank_corpus`
+    /// bit-for-bit for the hooked rankers (BM25, and RM3's weighted-query
+    /// retrieval) under every strategy.
+    config(cases = 32);
+    fn rank_corpus_with_matches_reference(docs in arb_corpus(), query in arb_query()) {
+        use credence_index::{SearchStrategy, TopKOptions};
+        use credence_rank::{rank_corpus_with, Rm3Config, Rm3Ranker};
+        let idx = InvertedIndex::build(docs.clone(), Analyzer::english());
+        let bm25 = Bm25Ranker::new(&idx, Bm25Params::default());
+        let rm3 = Rm3Ranker::new(
+            &idx,
+            Rm3Config { fb_docs: 3, fb_terms: 4, ..Default::default() },
+        );
+        let rankers: [&dyn Ranker; 2] = [&bm25, &rm3];
+        for ranker in rankers {
+            let reference = rank_corpus(ranker, query);
+            for strategy in [
+                SearchStrategy::Auto,
+                SearchStrategy::Exhaustive,
+                SearchStrategy::Pruned,
+                SearchStrategy::Sharded,
+            ] {
+                let opts = TopKOptions { strategy, ..TopKOptions::default() };
+                let (list, _) = rank_corpus_with(ranker, query, &opts, 2);
+                prop_assert_eq!(
+                    list.entries().len(),
+                    reference.entries().len(),
+                    "{} under {strategy:?}",
+                    ranker.name()
+                );
+                for (a, b) in list.entries().iter().zip(reference.entries()) {
+                    prop_assert_eq!(a.0, b.0, "{} under {strategy:?}", ranker.name());
+                    prop_assert_eq!(a.1.to_bits(), b.1.to_bits(), "{} under {strategy:?}", ranker.name());
+                }
+            }
+        }
+    }
+}
+
 prop! {
     /// Term removal: parallel + pool scoring equals exact serial.
     config(cases = 24);
