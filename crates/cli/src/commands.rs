@@ -37,10 +37,11 @@ COMMANDS
             every command accepts --ranker bm25|ql|ql-jm|rm3|neural (default bm25)
   explain   --type T --query Q --k K --doc ID         generate explanations
             [--n N] [--threshold T] [--samples S] [--corpus F]
-            [--deadline-ms MS] [--max-evals N]  budget the counterfactual
-            search: stop at the next batch boundary once the wall-clock
-            deadline or the evaluation cap is hit and report the partial
-            best-so-far result
+            [--deadline-ms MS] [--max-evals N] [--cancel-after-ms MS]
+            budget the counterfactual search: stop at the next batch
+            boundary once the wall-clock deadline, the evaluation cap, or
+            the cancel timer is hit and report the partial best-so-far
+            result
             types: sentence-removal | query-augmentation | query-reduction |
                    doc2vec-nearest | cosine-sampled | term-removal | saliency
   builder   --query Q --k K --doc ID                  test your own edits
@@ -119,9 +120,10 @@ fn doc_id(args: &Args) -> Result<DocId, CliError> {
     Ok(DocId(args.require_usize("doc")? as u32))
 }
 
-/// Build the request-lifecycle budget from `--deadline-ms` / `--max-evals`.
-/// The deadline starts ticking here, so indexing time counts against it —
-/// matching what a server-side caller experiences.
+/// Build the request-lifecycle budget from `--deadline-ms` / `--max-evals`
+/// / `--cancel-after-ms`. The deadline starts ticking here, so indexing
+/// time counts against it — matching what a server-side caller
+/// experiences.
 fn lifecycle_budget(args: &Args) -> Result<Budget, CliError> {
     let mut budget = Budget::unlimited();
     if args.get("deadline-ms").is_some() {
@@ -129,6 +131,21 @@ fn lifecycle_budget(args: &Args) -> Result<Budget, CliError> {
     }
     if args.get("max-evals").is_some() {
         budget = budget.with_max_evals(args.require_usize("max-evals")?);
+    }
+    if args.get("cancel-after-ms").is_some() {
+        // Exercise the cooperative cancel path (the same flag DELETE
+        // /api/v1/jobs raises on the server) from the CLI. With 0 the flag
+        // is raised inline — deterministic, no timer race.
+        let ms = args.require_usize("cancel-after-ms")? as u64;
+        let flag = budget.ensure_cancel();
+        if ms == 0 {
+            flag.store(true, std::sync::atomic::Ordering::Relaxed);
+        } else {
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                flag.store(true, std::sync::atomic::Ordering::Relaxed);
+            });
+        }
     }
     Ok(budget)
 }
@@ -667,12 +684,42 @@ mod tests {
     }
 
     #[test]
+    fn pre_raised_cancel_flag_reports_a_cancelled_partial_result() {
+        let demo = covid_demo_corpus();
+        let args = Args::parse(
+            [
+                "explain",
+                "--type",
+                "term-removal",
+                "--query",
+                "covid outbreak",
+                "--k",
+                "10",
+                "--doc",
+                &demo.fake_news.to_string(),
+                "--cancel-after-ms",
+                "0",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("stopped early (cancelled)"), "{out}");
+    }
+
+    #[test]
     fn budget_flags_validate() {
         let err = run_line(
             "explain --type sentence-removal --query covid --k 3 --doc 0 --max-evals pony",
         )
         .unwrap_err();
         assert!(err.to_string().contains("--max-evals"), "{err}");
+        let err = run_line(
+            "explain --type sentence-removal --query covid --k 3 --doc 0 --cancel-after-ms soon",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--cancel-after-ms"), "{err}");
     }
 
     #[test]

@@ -109,6 +109,22 @@ impl Budget {
         self
     }
 
+    /// The budget's cancel flag, installing a fresh (unraised) one if none
+    /// is attached yet. Owners that adopt a request after parsing — e.g. an
+    /// async job queue that must be able to abort any submission — call
+    /// this to obtain a handle that is guaranteed to be observed by the
+    /// search, whether or not the original caller supplied a flag.
+    pub fn ensure_cancel(&mut self) -> Arc<AtomicBool> {
+        match &self.cancel {
+            Some(flag) => Arc::clone(flag),
+            None => {
+                let flag = Arc::new(AtomicBool::new(false));
+                self.cancel = Some(Arc::clone(&flag));
+                flag
+            }
+        }
+    }
+
     /// Whether every check is a no-op (no limit of any kind is set).
     pub fn is_unlimited(&self) -> bool {
         self.deadline.is_none() && self.max_evals.is_none() && self.cancel.is_none()
@@ -215,6 +231,24 @@ mod tests {
         assert_eq!(budget.stop_reason(0), Some(SearchStatus::Deadline));
         flag.store(true, Ordering::Relaxed);
         assert_eq!(budget.stop_reason(0), Some(SearchStatus::Cancelled));
+    }
+
+    #[test]
+    fn ensure_cancel_installs_and_reuses_one_flag() {
+        let mut budget = Budget::unlimited();
+        assert!(budget.cancel.is_none());
+        let flag = budget.ensure_cancel();
+        assert!(!budget.is_unlimited(), "a flag is now attached");
+        assert!(!budget.interrupted(), "installed unraised");
+        let again = budget.ensure_cancel();
+        assert!(Arc::ptr_eq(&flag, &again), "second call shares the flag");
+        flag.store(true, Ordering::Relaxed);
+        assert_eq!(budget.stop_reason(0), Some(SearchStatus::Cancelled));
+
+        // A pre-attached flag is reused, never replaced.
+        let caller = Arc::new(AtomicBool::new(false));
+        let mut budget = Budget::unlimited().with_cancel(Arc::clone(&caller));
+        assert!(Arc::ptr_eq(&budget.ensure_cancel(), &caller));
     }
 
     #[test]

@@ -10,8 +10,9 @@ use std::process::ExitCode;
 
 use credence_core::{EngineConfig, EvalOptions, SearchStrategy, TopKOptions};
 use credence_corpus::{covid_demo_corpus, load_jsonl, load_tsv};
+use credence_server::server::ServerOptions;
 use credence_server::service::RankerChoice;
-use credence_server::{AppState, Server};
+use credence_server::{AppState, JobsConfig, Server};
 
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:8091".to_string();
@@ -19,6 +20,8 @@ fn main() -> ExitCode {
     let mut ranker = RankerChoice::Bm25;
     let mut eval = EvalOptions::default();
     let mut retrieval = TopKOptions::default();
+    let mut jobs = JobsConfig::default();
+    let mut options = ServerOptions::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -58,6 +61,22 @@ fn main() -> ExitCode {
                 Some(d) => retrieval.dense_postings = d,
                 None => return usage("--search-dense-postings requires an integer"),
             },
+            "--job-workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(w) if w >= 1 => jobs.workers = w,
+                _ => return usage("--job-workers requires an integer >= 1"),
+            },
+            "--job-queue-depth" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(d) if d >= 1 => jobs.queue_depth = d,
+                _ => return usage("--job-queue-depth requires an integer >= 1"),
+            },
+            "--job-result-ttl-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(ttl) => jobs.result_ttl_ms = ttl,
+                None => return usage("--job-result-ttl-ms requires an integer"),
+            },
+            "--max-connections" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(m) if m >= 1 => options.max_connections = m,
+                _ => return usage("--max-connections requires an integer >= 1"),
+            },
             "--help" | "-h" => {
                 println!(
                     "credence-serve — CREDENCE REST API\n\n\
@@ -66,7 +85,9 @@ fn main() -> ExitCode {
                      \x20                     [--eval-threads N] [--eval-parallel-threshold N]\n\
                      \x20                     [--eval-exact]\n\
                      \x20                     [--search-strategy auto|exhaustive|pruned|sharded]\n\
-                     \x20                     [--search-shards N] [--search-dense-postings N]\n\n\
+                     \x20                     [--search-shards N] [--search-dense-postings N]\n\
+                     \x20                     [--job-workers N] [--job-queue-depth N]\n\
+                     \x20                     [--job-result-ttl-ms MS] [--max-connections N]\n\n\
                      --eval-threads: worker threads for counterfactual candidate\n\
                      \x20  evaluation (0 = one per CPU, 1 = serial).\n\
                      --eval-parallel-threshold: smallest candidate batch fanned out\n\
@@ -76,7 +97,15 @@ fn main() -> ExitCode {
                      \x20  pruning, or sharded parallel scan for dense queries).\n\
                      --search-shards: shard count for the sharded path (0 = one per CPU).\n\
                      --search-dense-postings: candidate-postings volume at which a\n\
-                     \x20  query counts as dense.\n\n\
+                     \x20  query counts as dense.\n\
+                     --job-workers: worker threads executing async explanation jobs\n\
+                     \x20  (POST /api/v1/jobs; default 2).\n\
+                     --job-queue-depth: waiting jobs accepted before submissions are\n\
+                     \x20  rejected with 429 (default 64).\n\
+                     --job-result-ttl-ms: how long finished job results stay\n\
+                     \x20  retrievable (default 300000).\n\
+                     --max-connections: concurrent connection threads before new\n\
+                     \x20  sockets are refused with 503 (default 1024).\n\n\
                      Without --corpus, serves the built-in COVID-19 Articles demo corpus."
                 );
                 return ExitCode::SUCCESS;
@@ -110,9 +139,9 @@ fn main() -> ExitCode {
         retrieval,
         ..EngineConfig::default()
     };
-    let state = AppState::leak_with(docs, config, ranker);
+    let state = AppState::leak_jobs(docs, config, ranker, jobs);
     state.enable_request_logging();
-    let server = match Server::bind(addr.as_str(), state) {
+    let server = match Server::bind_with(addr.as_str(), state, options) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("failed to bind {addr}: {e}");

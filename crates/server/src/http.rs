@@ -195,12 +195,16 @@ impl Response {
     pub fn write_to<W: Write>(&self, mut w: W) -> std::io::Result<()> {
         let reason = match self.status {
             200 => "OK",
+            202 => "Accepted",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            410 => "Gone",
             413 => "Payload Too Large",
             422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Unknown",
         };
         write!(

@@ -15,7 +15,11 @@
 //! * [`metrics`] — the zero-dependency observability registry served at
 //!   `GET /metrics` in Prometheus text format,
 //! * [`server`] — the TCP accept loop with one worker thread per
-//!   connection and a clean-shutdown handle.
+//!   connection (bounded by `--max-connections`) and a clean-shutdown
+//!   handle,
+//! * [`jobs`] — the async explanation job subsystem: a bounded submission
+//!   queue, a fixed worker pool executing searches through the same
+//!   handlers as the synchronous endpoints, and a TTL'd result store.
 //!
 //! ## Endpoints (all JSON)
 //!
@@ -45,6 +49,9 @@
 //! | POST   | `/api/v1/topics`                     | `{query, k, num_topics?}` |
 //! | POST   | `/api/v1/snippet`                    | `{query, doc, window?}` |
 //! | POST   | `/api/v1/rerank`                     | `{query, k, doc, body, deadline_ms?}` |
+//! | POST   | `/api/v1/jobs`                       | `{endpoint, request}` → `202 {job_id, status}` (or `429` + `Retry-After`) |
+//! | GET    | `/api/v1/jobs/{id}`                  | — (`status`: `queued…expired`; `result` once terminal; `410` after TTL) |
+//! | DELETE | `/api/v1/jobs/{id}`                  | — (queued → `cancelled`; running → budget cancel flag raised) |
 //!
 //! Errors use one envelope, `{"error": {"code", "message", ...}}`, with
 //! the stable codes from [`credence_core::ExplainError::code`].
@@ -52,11 +59,13 @@
 #![warn(missing_docs)]
 
 pub mod http;
+pub mod jobs;
 pub mod metrics;
 pub mod requests;
 pub mod server;
 pub mod service;
 
+pub use jobs::{JobRunner, JobState, JobsConfig};
 pub use metrics::Metrics;
-pub use server::{Server, ServerHandle};
+pub use server::{Server, ServerHandle, ServerOptions};
 pub use service::{handle_request, AppState, RankerChoice, API_PREFIX};

@@ -29,7 +29,14 @@
 //!   skipped);
 //! * `credence_ranking_cache_hits_total` /
 //!   `credence_ranking_cache_misses_total` — the engine's query→ranking
-//!   LRU cache effectiveness.
+//!   LRU cache effectiveness;
+//! * `credence_jobs_queue_depth` (gauge), `credence_jobs_total{state}`,
+//!   `credence_jobs_rejected_total`, and the
+//!   `credence_jobs_queue_wait_seconds` / `credence_jobs_execution_seconds`
+//!   histograms — the async explanation job subsystem (see
+//!   [`jobs`](crate::jobs)): how deep the submission queue is, how jobs
+//!   progress through their lifecycle, and how admission latency compares
+//!   to execution cost.
 //!
 //! The retrieval family lives in the engine's own atomics (retrieval
 //! happens outside the HTTP layer); [`Metrics::record_retrieval`] copies
@@ -41,7 +48,7 @@ use credence_core::RetrievalStats;
 
 /// HTTP status codes tracked with their own counter; anything else lands in
 /// the trailing `"other"` bucket.
-const STATUSES: [u16; 7] = [200, 400, 404, 405, 413, 422, 500];
+const STATUSES: [u16; 11] = [200, 202, 400, 404, 405, 410, 413, 422, 429, 500, 503];
 
 /// Histogram bucket upper bounds, in microseconds (rendered as seconds).
 const BUCKETS_US: [u64; 14] = [
@@ -52,6 +59,19 @@ const BUCKETS_US: [u64; 14] = [
 /// Search outcome labels, in [`SearchStatus`](credence_core::SearchStatus)
 /// order.
 const SEARCH_STATUSES: [&str; 4] = ["complete", "exhausted", "deadline", "cancelled"];
+
+/// Job lifecycle labels, in `JobState` order. Counters count *entries into*
+/// each state, so one job increments several labels as it progresses.
+const JOB_STATES: [&str; 8] = [
+    "queued",
+    "running",
+    "complete",
+    "exhausted",
+    "deadline",
+    "cancelled",
+    "failed",
+    "expired",
+];
 
 /// A fixed-bucket latency histogram (microsecond samples).
 struct Histogram {
@@ -107,6 +127,32 @@ impl Histogram {
     }
 }
 
+/// Render one histogram family (buckets, sum, count) onto `out`, returning
+/// the per-bucket snapshot for quantile estimation.
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    histogram: &Histogram,
+) -> [u64; BUCKETS_US.len() + 1] {
+    let (counts, sum_us) = histogram.snapshot();
+    let total: u64 = counts.iter().sum();
+    out.push_str(&format!("# HELP {name} {help}\n"));
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let mut cumulative = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        cumulative += c;
+        let le = match BUCKETS_US.get(i) {
+            Some(&bound) => format!("{}", bound as f64 / 1e6),
+            None => "+Inf".to_string(),
+        };
+        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+    }
+    out.push_str(&format!("{name}_sum {}\n", sum_us as f64 / 1e6));
+    out.push_str(&format!("{name}_count {total}\n"));
+    counts
+}
+
 /// The service-wide metrics registry. Construct once per [`AppState`]
 /// (crate::AppState) with the route table's endpoint labels.
 pub struct Metrics {
@@ -124,6 +170,11 @@ pub struct Metrics {
     retrieval_shards_used: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    jobs_queue_depth: AtomicU64,
+    jobs_states: [AtomicU64; JOB_STATES.len()],
+    jobs_rejected: AtomicU64,
+    jobs_queue_wait: Histogram,
+    jobs_execution: Histogram,
     next_id: AtomicU64,
 }
 
@@ -147,6 +198,11 @@ impl Metrics {
             retrieval_shards_used: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            jobs_queue_depth: AtomicU64::new(0),
+            jobs_states: std::array::from_fn(|_| AtomicU64::new(0)),
+            jobs_rejected: AtomicU64::new(0),
+            jobs_queue_wait: Histogram::new(),
+            jobs_execution: Histogram::new(),
             next_id: AtomicU64::new(1),
         }
     }
@@ -192,6 +248,45 @@ impl Metrics {
         self.deadline_hits.load(Ordering::Relaxed)
     }
 
+    /// Count one job entering the named lifecycle state.
+    pub fn record_job_state(&self, state: &str) {
+        if let Some(i) = JOB_STATES.iter().position(|&n| n == state) {
+            self.jobs_states[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count one job submission rejected at admission (full queue or
+    /// shutdown).
+    pub fn record_job_rejected(&self) {
+        self.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record how long a job waited in the queue before a worker claimed
+    /// it.
+    pub fn record_job_queue_wait(&self, us: u64) {
+        self.jobs_queue_wait.observe(us);
+    }
+
+    /// Record how long a job's search ran on its worker.
+    pub fn record_job_execution(&self, us: u64) {
+        self.jobs_execution.observe(us);
+    }
+
+    /// Publish the current submission-queue length.
+    pub fn set_jobs_queue_depth(&self, depth: u64) {
+        self.jobs_queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// How many jobs have entered the named state (for tests and
+    /// diagnostics).
+    pub fn jobs_in_state(&self, state: &str) -> u64 {
+        JOB_STATES
+            .iter()
+            .position(|&n| n == state)
+            .map(|i| self.jobs_states[i].load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
     /// Copy the engine's cumulative retrieval counters into the registry.
     /// The values are absolute totals, so this *stores* rather than adds —
     /// calling it repeatedly with the same snapshot is idempotent.
@@ -232,28 +327,12 @@ impl Metrics {
             }
         }
 
-        let (counts, sum_us) = self.latency.snapshot();
-        let total: u64 = counts.iter().sum();
-        out.push_str("# HELP credence_request_duration_seconds Request latency.\n");
-        out.push_str("# TYPE credence_request_duration_seconds histogram\n");
-        let mut cumulative = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            cumulative += c;
-            let le = match BUCKETS_US.get(i) {
-                Some(&bound) => format!("{}", bound as f64 / 1e6),
-                None => "+Inf".to_string(),
-            };
-            out.push_str(&format!(
-                "credence_request_duration_seconds_bucket{{le=\"{le}\"}} {cumulative}\n"
-            ));
-        }
-        out.push_str(&format!(
-            "credence_request_duration_seconds_sum {}\n",
-            sum_us as f64 / 1e6
-        ));
-        out.push_str(&format!(
-            "credence_request_duration_seconds_count {total}\n"
-        ));
+        let counts = render_histogram(
+            &mut out,
+            "credence_request_duration_seconds",
+            "Request latency.",
+            &self.latency,
+        );
 
         out.push_str(
             "# HELP credence_request_duration_quantile_seconds Bucket-resolution latency quantiles.\n",
@@ -265,6 +344,46 @@ impl Metrics {
                 Histogram::quantile(&counts, q)
             ));
         }
+
+        out.push_str("# HELP credence_jobs_queue_depth Explanation jobs waiting for a worker.\n");
+        out.push_str("# TYPE credence_jobs_queue_depth gauge\n");
+        out.push_str(&format!(
+            "credence_jobs_queue_depth {}\n",
+            self.jobs_queue_depth.load(Ordering::Relaxed)
+        ));
+
+        out.push_str(
+            "# HELP credence_jobs_total Explanation jobs entering each lifecycle state.\n",
+        );
+        out.push_str("# TYPE credence_jobs_total counter\n");
+        for (i, name) in JOB_STATES.iter().enumerate() {
+            out.push_str(&format!(
+                "credence_jobs_total{{state=\"{name}\"}} {}\n",
+                self.jobs_states[i].load(Ordering::Relaxed)
+            ));
+        }
+
+        out.push_str(
+            "# HELP credence_jobs_rejected_total Job submissions rejected at admission.\n",
+        );
+        out.push_str("# TYPE credence_jobs_rejected_total counter\n");
+        out.push_str(&format!(
+            "credence_jobs_rejected_total {}\n",
+            self.jobs_rejected.load(Ordering::Relaxed)
+        ));
+
+        render_histogram(
+            &mut out,
+            "credence_jobs_queue_wait_seconds",
+            "Time jobs spent queued before a worker claimed them.",
+            &self.jobs_queue_wait,
+        );
+        render_histogram(
+            &mut out,
+            "credence_jobs_execution_seconds",
+            "Time job searches spent executing on a worker.",
+            &self.jobs_execution,
+        );
 
         out.push_str("# HELP credence_searches_total Counterfactual searches, by outcome.\n");
         out.push_str("# TYPE credence_searches_total counter\n");
@@ -419,6 +538,50 @@ mod tests {
         assert!(text.contains("quantile=\"0.5\"} 0\n"));
         assert!(text.contains("credence_retrieval_docs_scored_total 0"));
         assert!(text.contains("credence_ranking_cache_hits_total 0"));
+    }
+
+    #[test]
+    fn job_metrics_render_every_family() {
+        let m = Metrics::new(LABELS);
+        m.record_job_state("queued");
+        m.record_job_state("running");
+        m.record_job_state("complete");
+        m.record_job_state("nonsense"); // unknown labels are ignored
+        m.record_job_rejected();
+        m.record_job_queue_wait(90);
+        m.record_job_execution(90_000);
+        m.set_jobs_queue_depth(3);
+        assert_eq!(m.jobs_in_state("queued"), 1);
+        assert_eq!(m.jobs_in_state("complete"), 1);
+        assert_eq!(m.jobs_in_state("nonsense"), 0);
+        let text = m.render();
+        assert!(text.contains("credence_jobs_queue_depth 3"));
+        assert!(text.contains("credence_jobs_total{state=\"queued\"} 1"));
+        assert!(text.contains("credence_jobs_total{state=\"running\"} 1"));
+        assert!(text.contains("credence_jobs_total{state=\"expired\"} 0"));
+        assert!(text.contains("credence_jobs_rejected_total 1"));
+        assert!(text.contains("credence_jobs_queue_wait_seconds_bucket{le=\"0.0001\"} 1"));
+        assert!(text.contains("credence_jobs_queue_wait_seconds_count 1"));
+        assert!(text.contains("credence_jobs_execution_seconds_bucket{le=\"0.1\"} 1"));
+        assert!(text.contains("credence_jobs_execution_seconds_count 1"));
+    }
+
+    #[test]
+    fn job_status_codes_get_their_own_request_buckets() {
+        let m = Metrics::new(LABELS);
+        m.record_request("rank", 202, 10);
+        m.record_request("rank", 410, 10);
+        m.record_request("rank", 429, 10);
+        m.record_request("rank", 503, 10);
+        let text = m.render();
+        for status in ["202", "410", "429", "503"] {
+            assert!(
+                text.contains(&format!(
+                    "credence_requests_total{{endpoint=\"rank\",status=\"{status}\"}} 1"
+                )),
+                "missing status {status}"
+            );
+        }
     }
 
     #[test]

@@ -645,6 +645,119 @@ impl RerankRequest {
     }
 }
 
+/// An explanation request admitted into the async job queue: one of the
+/// four counterfactual explainers, wrapping the exact request struct the
+/// synchronous endpoint parses. Executing a `JobRequest` therefore goes
+/// through the same handler and produces the same payload bit-for-bit.
+#[derive(Debug, Clone)]
+pub enum JobRequest {
+    /// An `explain/sentence-removal` search.
+    SentenceRemoval(SentenceRemovalRequest),
+    /// An `explain/query-augmentation` search.
+    QueryAugmentation(QueryAugmentationRequest),
+    /// An `explain/query-reduction` search.
+    QueryReduction(QueryReductionRequest),
+    /// An `explain/term-removal` search.
+    TermRemoval(TermRemovalRequest),
+}
+
+impl JobRequest {
+    /// The endpoint names accepted in a job submission's `endpoint` field.
+    pub const ENDPOINTS: [&'static str; 4] = [
+        "sentence-removal",
+        "query-augmentation",
+        "query-reduction",
+        "term-removal",
+    ];
+
+    /// The endpoint name this job targets.
+    pub fn endpoint(&self) -> &'static str {
+        match self {
+            JobRequest::SentenceRemoval(_) => "sentence-removal",
+            JobRequest::QueryAugmentation(_) => "query-augmentation",
+            JobRequest::QueryReduction(_) => "query-reduction",
+            JobRequest::TermRemoval(_) => "term-removal",
+        }
+    }
+
+    /// The request's lifecycle [`Budget`], for the job queue to install its
+    /// cancel flag into.
+    pub fn lifecycle_mut(&mut self) -> &mut Budget {
+        match self {
+            JobRequest::SentenceRemoval(r) => &mut r.controls.lifecycle,
+            JobRequest::QueryAugmentation(r) => &mut r.controls.lifecycle,
+            JobRequest::QueryReduction(r) => &mut r.controls.lifecycle,
+            JobRequest::TermRemoval(r) => &mut r.controls.lifecycle,
+        }
+    }
+}
+
+/// `POST /api/v1/jobs`: an `{endpoint, request}` envelope whose `request`
+/// object is parsed by the named endpoint's own request struct.
+#[derive(Debug, Clone)]
+pub struct JobSubmitRequest {
+    /// The parsed explanation request to enqueue.
+    pub request: JobRequest,
+}
+
+impl JobSubmitRequest {
+    /// Parse and fully validate the submission envelope. Inner request
+    /// errors are reported with a `request.`-prefixed field path.
+    pub fn parse(body: &Value) -> Result<Self, Vec<FieldError>> {
+        let mut p = FieldParser::new(body);
+        let endpoint = p.require_str("endpoint");
+        let known = JobRequest::ENDPOINTS.contains(&endpoint.as_str());
+        if body.get("endpoint").and_then(Value::as_str).is_some() && !known {
+            p.reject(
+                "endpoint",
+                format!("must be one of: {}", JobRequest::ENDPOINTS.join(", ")),
+            );
+        }
+        let inner = match body.get("request") {
+            Some(v) if v.as_object().is_some() => Some(v),
+            Some(_) => {
+                p.reject("request", "must be a JSON object");
+                None
+            }
+            None => {
+                p.reject("request", "missing required object field");
+                None
+            }
+        };
+        let request = match (known, inner) {
+            (true, Some(inner)) => {
+                let parsed = match endpoint.as_str() {
+                    "sentence-removal" => {
+                        SentenceRemovalRequest::parse(inner).map(JobRequest::SentenceRemoval)
+                    }
+                    "query-augmentation" => {
+                        QueryAugmentationRequest::parse(inner).map(JobRequest::QueryAugmentation)
+                    }
+                    "query-reduction" => {
+                        QueryReductionRequest::parse(inner).map(JobRequest::QueryReduction)
+                    }
+                    _ => TermRemovalRequest::parse(inner).map(JobRequest::TermRemoval),
+                };
+                match parsed {
+                    Ok(request) => Some(request),
+                    Err(errors) => {
+                        for e in errors {
+                            p.reject(&format!("request.{}", e.field), e.message);
+                        }
+                        None
+                    }
+                }
+            }
+            _ => None,
+        };
+        let errors = p.finish(&["endpoint", "request"]);
+        match (request, errors.is_empty()) {
+            (Some(request), true) => Ok(Self { request }),
+            (_, _) => Err(errors),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

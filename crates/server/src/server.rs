@@ -1,22 +1,45 @@
 //! The TCP accept loop.
 //!
 //! One OS thread per connection, `Connection: close` per response — the
-//! simplest server that correctly exposes the REST surface. A
-//! [`ServerHandle`] supports clean shutdown from tests.
+//! simplest server that correctly exposes the REST surface. The number of
+//! concurrent connection threads is bounded ([`ServerOptions::max_connections`],
+//! `--max-connections` on `credence-serve`): when every slot is busy the
+//! accept loop answers `503` with the standard error envelope immediately
+//! instead of spawning, so saturation degrades loudly rather than
+//! accumulating unbounded threads. A [`ServerHandle`] supports clean
+//! shutdown from tests, draining the async job subsystem before joining.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crate::http::read_request;
 use crate::service::{handle_request, AppState};
+
+/// Accept-loop tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Maximum concurrent connection-handler threads. Sockets accepted
+    /// beyond this are answered `503` + `Retry-After` without spawning.
+    pub max_connections: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        Self {
+            max_connections: 1024,
+        }
+    }
+}
 
 /// A CREDENCE HTTP server bound to an address.
 pub struct Server {
     listener: TcpListener,
     state: &'static AppState,
+    options: ServerOptions,
 }
 
 /// Handle for a running server: address + shutdown.
@@ -24,6 +47,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     join: Option<JoinHandle<()>>,
+    state: &'static AppState,
 }
 
 impl ServerHandle {
@@ -32,23 +56,53 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Signal shutdown and join the accept thread.
+    /// Shut down cleanly: drain the job subsystem (new submissions are
+    /// rejected, queued jobs cancel, running jobs finish under their own
+    /// budgets), stop the accept loop, and join everything with a bounded
+    /// wait so a wedged accept thread cannot hang the caller.
     pub fn stop(mut self) {
+        // Stop admitting jobs first, while the accept loop still answers:
+        // in-flight submissions observe `shutting_down` instead of racing
+        // a closed socket.
+        self.state.jobs().begin_shutdown(self.state.metrics());
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock accept() with a dummy connection.
-        let _ = TcpStream::connect(self.addr);
+        // Unblock accept() with a dummy connection; the accept thread may
+        // already be gone, so a refused/timed-out connect is fine.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
         if let Some(join) = self.join.take() {
-            let _ = join.join();
+            // Bounded join: poll for completion rather than blocking
+            // forever on a thread that never observed the stop flag.
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while !join.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            if join.is_finished() {
+                let _ = join.join();
+            }
         }
+        // Workers exit once the drained queue is empty; joining them last
+        // guarantees every in-flight job stored its result.
+        self.state.jobs().join_workers();
     }
 }
 
 impl Server {
-    /// Bind to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) with
+    /// default options.
     pub fn bind(addr: impl ToSocketAddrs, state: &'static AppState) -> io::Result<Self> {
+        Self::bind_with(addr, state, ServerOptions::default())
+    }
+
+    /// Bind with explicit accept-loop options.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        state: &'static AppState,
+        options: ServerOptions,
+    ) -> io::Result<Self> {
         Ok(Self {
             listener: TcpListener::bind(addr)?,
             state,
+            options,
         })
     }
 
@@ -64,38 +118,69 @@ impl Server {
         let stop_flag = Arc::clone(&stop);
         let state = self.state;
         let listener = self.listener;
+        let options = self.options;
         let join = std::thread::spawn(move || {
-            for conn in listener.incoming() {
-                if stop_flag.load(Ordering::SeqCst) {
-                    break;
-                }
-                match conn {
-                    Ok(stream) => {
-                        std::thread::spawn(move || handle_connection(state, stream));
-                    }
-                    Err(_) => continue,
-                }
-            }
+            accept_loop(listener, state, Some(stop_flag), &options);
         });
         Ok(ServerHandle {
             addr,
             stop,
             join: Some(join),
+            state,
         })
     }
 
     /// Run the accept loop on the current thread, forever.
     pub fn run(self) -> io::Result<()> {
-        for conn in self.listener.incoming() {
-            match conn {
-                Ok(stream) => {
-                    let state = self.state;
-                    std::thread::spawn(move || handle_connection(state, stream));
-                }
-                Err(_) => continue,
+        accept_loop(self.listener, self.state, None, &self.options);
+        Ok(())
+    }
+}
+
+/// Decrements the active-connection count when a handler thread exits,
+/// even if the handler panics.
+struct SlotGuard(Arc<AtomicUsize>);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    state: &'static AppState,
+    stop: Option<Arc<AtomicBool>>,
+    options: &ServerOptions,
+) {
+    let active = Arc::new(AtomicUsize::new(0));
+    for conn in listener.incoming() {
+        if let Some(stop) = &stop {
+            if stop.load(Ordering::SeqCst) {
+                break;
             }
         }
-        Ok(())
+        let Ok(stream) = conn else { continue };
+        if active.fetch_add(1, Ordering::SeqCst) >= options.max_connections {
+            active.fetch_sub(1, Ordering::SeqCst);
+            // Refuse at the door: never block the accept loop on a
+            // saturated pool, and never read the request body.
+            let resp = crate::service::error_envelope(
+                503,
+                "overloaded",
+                "all connection slots are busy; retry later",
+            )
+            .with_header("retry-after", "1");
+            let _ = resp.write_to(&stream);
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            state.metrics().record_request("other", 503, 0);
+            continue;
+        }
+        let guard = SlotGuard(Arc::clone(&active));
+        std::thread::spawn(move || {
+            let _guard = guard;
+            handle_connection(state, stream);
+        });
     }
 }
 
@@ -183,5 +268,71 @@ mod tests {
             t.join().unwrap();
         }
         handle.stop();
+    }
+
+    #[test]
+    fn saturated_connection_slots_answer_503() {
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            demo_state(),
+            ServerOptions { max_connections: 1 },
+        )
+        .unwrap();
+        let handle = server.spawn().unwrap();
+        let addr = handle.addr();
+
+        // Occupy the single slot: a connection that sends only a partial
+        // request keeps its handler blocked in read_request.
+        let mut holder = TcpStream::connect(addr).unwrap();
+        holder.write_all(b"POST /rank HTTP/1.1\r\n").unwrap();
+        // Give the accept loop time to hand the holder to its thread.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let refused = loop {
+            let resp = roundtrip(addr, "GET /health HTTP/1.1\r\nHost: t\r\n\r\n");
+            if resp.starts_with("HTTP/1.1 503") {
+                break resp;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "slot never saturated; last response: {resp}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert!(refused.contains("overloaded"), "{refused}");
+        assert!(
+            refused.to_ascii_lowercase().contains("retry-after"),
+            "{refused}"
+        );
+
+        // Release the slot; service resumes.
+        holder.write_all(b"\r\n\r\n").unwrap();
+        drop(holder);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let resp = roundtrip(addr, "GET /health HTTP/1.1\r\nHost: t\r\n\r\n");
+            if resp.starts_with("HTTP/1.1 200") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "slot never freed: {resp}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        handle.stop();
+    }
+
+    #[test]
+    fn stop_is_bounded_and_repeat_safe() {
+        // Stopping twice in a row (fresh states) must return promptly even
+        // though the dummy wake-up connection may race the accept thread.
+        for _ in 0..2 {
+            let server = Server::bind("127.0.0.1:0", demo_state()).unwrap();
+            let handle = server.spawn().unwrap();
+            let started = Instant::now();
+            handle.stop();
+            assert!(
+                started.elapsed() < Duration::from_secs(10),
+                "stop took {:?}",
+                started.elapsed()
+            );
+        }
     }
 }

@@ -27,11 +27,12 @@ use credence_rank::{
 use credence_text::Analyzer;
 
 use crate::http::{Request, Response};
+use crate::jobs::{CancelOutcome, JobRunner, JobView, JobsConfig, SubmitOutcome};
 use crate::metrics::Metrics;
 use crate::requests::{
-    CosineSampledRequest, Doc2VecNearestRequest, FieldError, NearestToTextRequest,
-    QueryAugmentationRequest, QueryReductionRequest, RankRequest, RerankRequest,
-    SentenceRemovalRequest, SnippetRequest, TermRemovalRequest, TopicsRequest,
+    CosineSampledRequest, Doc2VecNearestRequest, FieldError, JobRequest, JobSubmitRequest,
+    NearestToTextRequest, QueryAugmentationRequest, QueryReductionRequest, RankRequest,
+    RerankRequest, SentenceRemovalRequest, SnippetRequest, TermRemovalRequest, TopicsRequest,
 };
 
 /// The API version prefix canonical routes live under.
@@ -45,6 +46,7 @@ pub const API_PREFIX: &str = "/api/v1";
 pub struct AppState {
     engine: CredenceEngine<'static>,
     metrics: Metrics,
+    jobs: JobRunner,
     log_requests: AtomicBool,
 }
 
@@ -90,6 +92,17 @@ impl AppState {
         config: EngineConfig,
         choice: RankerChoice,
     ) -> &'static AppState {
+        Self::leak_jobs(docs, config, choice, JobsConfig::default())
+    }
+
+    /// Build the backend with explicit ranking model and job-subsystem
+    /// sizing, and start the job worker pool.
+    pub fn leak_jobs(
+        docs: Vec<Document>,
+        config: EngineConfig,
+        choice: RankerChoice,
+        jobs: JobsConfig,
+    ) -> &'static AppState {
         let index: &'static InvertedIndex =
             Box::leak(Box::new(InvertedIndex::build(docs, Analyzer::english())));
         let ranker: &'static dyn Ranker = match choice {
@@ -111,11 +124,14 @@ impl AppState {
             ))),
         };
         let engine = CredenceEngine::new(ranker, config);
-        Box::leak(Box::new(AppState {
+        let state: &'static AppState = Box::leak(Box::new(AppState {
             engine,
             metrics: Metrics::new(ENDPOINT_LABELS),
+            jobs: JobRunner::new(jobs),
             log_requests: AtomicBool::new(false),
-        }))
+        }));
+        state.jobs.start(state);
+        state
     }
 
     /// The engine, for in-process use in tests and experiments.
@@ -126,6 +142,11 @@ impl AppState {
     /// The observability registry (served at `GET /metrics`).
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The async explanation job subsystem.
+    pub fn jobs(&self) -> &JobRunner {
+        &self.jobs
     }
 
     /// Emit one structured log line per request to stderr (off by default
@@ -154,6 +175,7 @@ const ENDPOINT_LABELS: &[&str] = &[
     "topics",
     "snippet",
     "rerank",
+    "jobs",
     "other",
 ];
 
@@ -311,6 +333,30 @@ const ROUTES: &[Route] = &[
         versioned: true,
         endpoint: "rerank",
         handler: rerank,
+    },
+    Route {
+        method: "POST",
+        path: "/jobs",
+        prefix: false,
+        versioned: true,
+        endpoint: "jobs",
+        handler: jobs_submit,
+    },
+    Route {
+        method: "GET",
+        path: "/jobs/",
+        prefix: true,
+        versioned: true,
+        endpoint: "jobs",
+        handler: jobs_get,
+    },
+    Route {
+        method: "DELETE",
+        path: "/jobs/",
+        prefix: true,
+        versioned: true,
+        endpoint: "jobs",
+        handler: jobs_cancel,
     },
 ];
 
@@ -575,6 +621,13 @@ fn sentence_removal(state: &AppState, req: &Request, _tail: &str) -> Response {
         Ok(p) => p,
         Err(errors) => return invalid_fields_response(errors),
     };
+    run_sentence_removal(state, &parsed)
+}
+
+/// Execute a parsed sentence-removal request. Shared verbatim by the
+/// synchronous endpoint and the job workers, so both produce the same
+/// payload for the same request.
+pub(crate) fn run_sentence_removal(state: &AppState, parsed: &SentenceRemovalRequest) -> Response {
     let config = SentenceRemovalConfig {
         n: parsed.n,
         budget: parsed.controls.search,
@@ -644,6 +697,14 @@ fn query_augmentation(state: &AppState, req: &Request, _tail: &str) -> Response 
         Ok(p) => p,
         Err(errors) => return invalid_fields_response(errors),
     };
+    run_query_augmentation(state, &parsed)
+}
+
+/// Execute a parsed query-augmentation request (shared with job workers).
+pub(crate) fn run_query_augmentation(
+    state: &AppState,
+    parsed: &QueryAugmentationRequest,
+) -> Response {
     let config = QueryAugmentationConfig {
         n: parsed.n,
         threshold: parsed.threshold,
@@ -707,6 +768,11 @@ fn query_reduction(state: &AppState, req: &Request, _tail: &str) -> Response {
         Ok(p) => p,
         Err(errors) => return invalid_fields_response(errors),
     };
+    run_query_reduction(state, &parsed)
+}
+
+/// Execute a parsed query-reduction request (shared with job workers).
+pub(crate) fn run_query_reduction(state: &AppState, parsed: &QueryReductionRequest) -> Response {
     let config = QueryReductionConfig {
         n: parsed.n,
         budget: parsed.controls.search,
@@ -774,6 +840,11 @@ fn term_removal(state: &AppState, req: &Request, _tail: &str) -> Response {
         Ok(p) => p,
         Err(errors) => return invalid_fields_response(errors),
     };
+    run_term_removal(state, &parsed)
+}
+
+/// Execute a parsed term-removal request (shared with job workers).
+pub(crate) fn run_term_removal(state: &AppState, parsed: &TermRemovalRequest) -> Response {
     let config = TermRemovalConfig {
         n: parsed.n,
         budget: parsed.controls.search,
@@ -1022,6 +1093,139 @@ fn rerank(state: &AppState, req: &Request, _tail: &str) -> Response {
                     "rows",
                     Value::Array(outcome.rows.iter().map(pool_entry_json).collect()),
                 ),
+            ])),
+        ),
+    }
+}
+
+/// Execute an admitted job request through the same `run_*` path the
+/// synchronous endpoint uses — the single point that guarantees job
+/// payloads are bit-identical to synchronous responses.
+pub(crate) fn execute_job(state: &AppState, request: &JobRequest) -> Response {
+    match request {
+        JobRequest::SentenceRemoval(r) => run_sentence_removal(state, r),
+        JobRequest::QueryAugmentation(r) => run_query_augmentation(state, r),
+        JobRequest::QueryReduction(r) => run_query_reduction(state, r),
+        JobRequest::TermRemoval(r) => run_term_removal(state, r),
+    }
+}
+
+/// `POST /api/v1/jobs` — admit an explanation request into the queue.
+fn jobs_submit(state: &AppState, req: &Request, _tail: &str) -> Response {
+    let body = match json_body(req) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let parsed = match JobSubmitRequest::parse(&body) {
+        Ok(p) => p,
+        Err(errors) => return invalid_fields_response(errors),
+    };
+    match state.jobs.submit(parsed.request, &state.metrics) {
+        SubmitOutcome::Accepted(id) => Response::json(
+            202,
+            to_string(&obj([
+                ("job_id", Value::from(format!("job-{id}"))),
+                ("status", Value::from("queued")),
+            ])),
+        ),
+        SubmitOutcome::QueueFull => error_envelope(
+            429,
+            "queue_full",
+            format!(
+                "job queue is full ({} waiting); retry later",
+                state.jobs.config().queue_depth
+            ),
+        )
+        .with_header("retry-after", "1"),
+        SubmitOutcome::ShuttingDown => error_envelope(
+            503,
+            "shutting_down",
+            "server is draining; no new jobs accepted",
+        )
+        .with_header("retry-after", "1"),
+    }
+}
+
+/// Parse a `job-<n>` wire id into the runner's numeric id.
+fn parse_job_id(tail: &str) -> Option<u64> {
+    tail.strip_prefix("job-")?.parse().ok()
+}
+
+/// Render one job snapshot: `410` + an embedded `job_expired` error for
+/// expired jobs, `200` with the stored result (if any) otherwise.
+fn job_response(view: &JobView) -> Response {
+    let id = Value::from(format!("job-{}", view.id));
+    if view.state == crate::jobs::JobState::Expired {
+        return Response::json(
+            410,
+            to_string(&obj([
+                ("job_id", id),
+                ("status", Value::from("expired")),
+                ("endpoint", Value::from(view.endpoint)),
+                (
+                    "error",
+                    obj([
+                        ("code", Value::from("job_expired")),
+                        (
+                            "message",
+                            Value::from("the result aged out of the store and was discarded"),
+                        ),
+                    ]),
+                ),
+            ])),
+        );
+    }
+    let mut fields: Vec<(&str, Value)> = vec![
+        ("job_id", id),
+        ("status", Value::from(view.state.as_str())),
+        ("endpoint", Value::from(view.endpoint)),
+    ];
+    if let Some((status, payload)) = &view.result {
+        fields.push(("result", payload.clone()));
+        fields.push(("result_status", Value::from(*status as usize)));
+    }
+    Response::json(200, to_string(&obj(fields)))
+}
+
+/// `GET /api/v1/jobs/{id}` — poll one job.
+fn jobs_get(state: &AppState, _req: &Request, tail: &str) -> Response {
+    let Some(id) = parse_job_id(tail) else {
+        return error_envelope(400, "invalid_field", "job id must look like job-<n>");
+    };
+    match state.jobs.get(id, &state.metrics) {
+        None => error_envelope(404, "job_not_found", format!("no such job: job-{id}")),
+        Some(view) => job_response(&view),
+    }
+}
+
+/// `DELETE /api/v1/jobs/{id}` — cancel one job.
+fn jobs_cancel(state: &AppState, _req: &Request, tail: &str) -> Response {
+    let Some(id) = parse_job_id(tail) else {
+        return error_envelope(400, "invalid_field", "job id must look like job-<n>");
+    };
+    let wire_id = Value::from(format!("job-{id}"));
+    match state.jobs.cancel(id, &state.metrics) {
+        None => error_envelope(404, "job_not_found", format!("no such job: job-{id}")),
+        Some(CancelOutcome::Cancelled) => Response::json(
+            200,
+            to_string(&obj([
+                ("job_id", wire_id),
+                ("status", Value::from("cancelled")),
+            ])),
+        ),
+        Some(CancelOutcome::CancelRequested) => Response::json(
+            202,
+            to_string(&obj([
+                ("job_id", wire_id),
+                ("status", Value::from("running")),
+                ("cancel_requested", Value::from(true)),
+            ])),
+        ),
+        Some(CancelOutcome::AlreadyTerminal(state)) => Response::json(
+            200,
+            to_string(&obj([
+                ("job_id", wire_id),
+                ("status", Value::from(state.as_str())),
             ])),
         ),
     }
@@ -1478,6 +1682,85 @@ mod tests {
             );
             assert!(err.get("message").unwrap().as_str().is_some(), "{path}");
         }
+    }
+
+    #[test]
+    fn job_endpoints_submit_poll_and_report() {
+        let resp = post(
+            "/api/v1/jobs",
+            r#"{"endpoint": "sentence-removal",
+                "request": {"query": "covid outbreak", "k": 3, "doc": 2, "n": 1}}"#,
+        );
+        assert_eq!(resp.status, 202);
+        let v = body_json(&resp);
+        assert_eq!(v.get("status").unwrap().as_str(), Some("queued"));
+        let job_id = v.get("job_id").unwrap().as_str().unwrap().to_string();
+        assert!(job_id.starts_with("job-"));
+
+        let numeric: u64 = job_id.strip_prefix("job-").unwrap().parse().unwrap();
+        assert_eq!(
+            state()
+                .jobs()
+                .wait_terminal(numeric, std::time::Duration::from_secs(30)),
+            Some(crate::jobs::JobState::Complete)
+        );
+        let polled = get(&format!("/api/v1/jobs/{job_id}"));
+        assert_eq!(polled.status, 200);
+        let v = body_json(&polled);
+        assert_eq!(v.get("status").unwrap().as_str(), Some("complete"));
+        assert_eq!(
+            v.get("endpoint").unwrap().as_str(),
+            Some("sentence-removal")
+        );
+        assert_eq!(v.get("result_status").unwrap().as_u64(), Some(200));
+        // The stored result is the synchronous endpoint's payload.
+        let sync = post(
+            "/api/v1/explain/sentence-removal",
+            r#"{"query": "covid outbreak", "k": 3, "doc": 2, "n": 1}"#,
+        );
+        assert_eq!(*v.get("result").unwrap(), body_json(&sync));
+    }
+
+    #[test]
+    fn job_submission_validates_the_envelope() {
+        let bad = post("/api/v1/jobs", r#"{"endpoint": "saliency", "request": {}}"#);
+        assert_eq!(bad.status, 400);
+        assert_eq!(error_code(&bad).as_deref(), Some("invalid_field"));
+
+        let no_request = post("/api/v1/jobs", r#"{"endpoint": "term-removal"}"#);
+        assert_eq!(no_request.status, 400);
+
+        let nested = post(
+            "/api/v1/jobs",
+            r#"{"endpoint": "term-removal", "request": {"query": "covid", "k": "x", "doc": 1}}"#,
+        );
+        assert_eq!(nested.status, 400);
+        let v = body_json(&nested);
+        let details = v
+            .get("error")
+            .unwrap()
+            .get("details")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert!(details
+            .iter()
+            .any(|d| d.get("field").unwrap().as_str() == Some("request.k")));
+    }
+
+    #[test]
+    fn job_lookup_and_cancel_handle_bad_ids() {
+        assert_eq!(get("/api/v1/jobs/zebra").status, 400);
+        let missing = get("/api/v1/jobs/job-999999");
+        assert_eq!(missing.status, 404);
+        assert_eq!(error_code(&missing).as_deref(), Some("job_not_found"));
+        let req = Request {
+            method: "DELETE".into(),
+            path: "/api/v1/jobs/job-999999".into(),
+            headers: Default::default(),
+            body: Vec::new(),
+        };
+        assert_eq!(handle_request(state(), &req).status, 404);
     }
 
     #[test]

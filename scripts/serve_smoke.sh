@@ -93,6 +93,47 @@ EVALS=$(echo "$PARTIAL" | sed -n 's/.*"candidates_evaluated":\([0-9]*\).*/\1/p')
     fail "deadline-capped request took ${ELAPSED_MS}ms (> 2x ${DEADLINE_MS}ms budget)" "$PARTIAL"
 echo "serve_smoke: deadline budget tripped after $EVALS evals in ${ELAPSED_MS}ms (budget ${DEADLINE_MS}ms)"
 
+# --- async jobs: submit -> poll -> complete --------------------------------
+SUBMIT=$(curl -sf "$BASE/api/v1/jobs" \
+    -d '{"endpoint": "sentence-removal", "request": {"query": "covid outbreak", "k": 3, "doc": 1, "n": 1}}')
+echo "$SUBMIT" | grep -q '"status":"queued"' || fail "job submit not queued" "$SUBMIT"
+JOB_ID=$(echo "$SUBMIT" | sed -n 's/.*"job_id":"\([^"]*\)".*/\1/p')
+[ -n "$JOB_ID" ] || fail "job submit returned no job_id" "$SUBMIT"
+
+POLL=""
+for _ in $(seq 1 120); do
+    POLL=$(curl -sf "$BASE/api/v1/jobs/$JOB_ID")
+    echo "$POLL" | grep -q '"status":"complete"' && break
+    sleep 0.25
+done
+echo "$POLL" | grep -q '"status":"complete"' || fail "job $JOB_ID never completed" "$POLL"
+echo "$POLL" | grep -q '"result"' || fail "completed job carries no result" "$POLL"
+echo "$POLL" | grep -q '"result_status":200' || fail "completed job result_status != 200" "$POLL"
+echo "serve_smoke: job $JOB_ID completed with a stored result"
+
+# --- async jobs: cancel a running search -----------------------------------
+SLOW_REQ=$(printf '{"endpoint": "sentence-removal", "request": %s}' \
+    "$(printf '{"query": "covid outbreak", "k": 5, "doc": 0, "n": 999, "max_size": 3, "max_candidates": 48, "eval_exact": true, "eval_threads": 1, "deadline_ms": 30000}')")
+SUBMIT=$(curl -sf "$BASE/api/v1/jobs" -d "$SLOW_REQ")
+SLOW_ID=$(echo "$SUBMIT" | sed -n 's/.*"job_id":"\([^"]*\)".*/\1/p')
+[ -n "$SLOW_ID" ] || fail "slow job submit returned no job_id" "$SUBMIT"
+
+# Wait for a worker to claim it, then cancel mid-search.
+for _ in $(seq 1 120); do
+    POLL=$(curl -sf "$BASE/api/v1/jobs/$SLOW_ID")
+    echo "$POLL" | grep -q '"status":"queued"' || break
+    sleep 0.25
+done
+CANCEL=$(curl -sf -X DELETE "$BASE/api/v1/jobs/$SLOW_ID")
+for _ in $(seq 1 120); do
+    POLL=$(curl -sf "$BASE/api/v1/jobs/$SLOW_ID")
+    echo "$POLL" | grep -q '"status":"cancelled"' && break
+    sleep 0.25
+done
+echo "$POLL" | grep -q '"status":"cancelled"' ||
+    fail "slow job $SLOW_ID never observed the cancel (cancel response: $CANCEL)" "$POLL"
+echo "serve_smoke: job $SLOW_ID cancelled mid-search"
+
 # --- /metrics --------------------------------------------------------------
 METRICS=$(curl -sf "$BASE/metrics")
 echo "$METRICS" | grep -q '^# TYPE credence_requests_total counter' ||
@@ -102,6 +143,21 @@ echo "$METRICS" | grep -q 'credence_requests_total{endpoint="rank",status="200"}
 HITS=$(echo "$METRICS" | sed -n 's/^credence_deadline_hits_total \([0-9]*\)$/\1/p')
 [ -n "$HITS" ] && [ "$HITS" -ge 1 ] ||
     fail "expected credence_deadline_hits_total >= 1" "$METRICS"
-echo "serve_smoke: /metrics ok (deadline hits: $HITS)"
+for SERIES in \
+    'credence_jobs_queue_depth' \
+    'credence_jobs_total{state="queued"}' \
+    'credence_jobs_total{state="running"}' \
+    'credence_jobs_total{state="complete"}' \
+    'credence_jobs_total{state="cancelled"}' \
+    'credence_jobs_rejected_total' \
+    'credence_jobs_queue_wait_seconds_count' \
+    'credence_jobs_execution_seconds_count'; do
+    echo "$METRICS" | grep -qF "$SERIES" ||
+        fail "/metrics missing $SERIES" "$METRICS"
+done
+COMPLETED=$(echo "$METRICS" | sed -n 's/^credence_jobs_total{state="complete"} \([0-9]*\)$/\1/p')
+[ -n "$COMPLETED" ] && [ "$COMPLETED" -ge 1 ] ||
+    fail "expected credence_jobs_total{state=\"complete\"} >= 1" "$METRICS"
+echo "serve_smoke: /metrics ok (deadline hits: $HITS, jobs completed: $COMPLETED)"
 
 echo "serve_smoke: all green"

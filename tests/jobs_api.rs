@@ -1,0 +1,367 @@
+//! End-to-end tests for the async explanation job subsystem: submit, poll,
+//! cancel, queue backpressure, TTL expiry, and drain-on-shutdown — all over
+//! real TCP sockets, the way a client of the REST API experiences it.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use credence_core::EngineConfig;
+use credence_index::Document;
+use credence_json::{parse, Value};
+use credence_server::{AppState, JobState, JobsConfig, RankerChoice, Server, ServerHandle};
+
+/// Small corpus whose searches finish in milliseconds.
+fn quick_docs() -> Vec<Document> {
+    vec![
+        Document::new("a", "A", "covid outbreak covid outbreak tonight"),
+        Document::new(
+            "b",
+            "B",
+            "The covid outbreak arrived quietly. Officials downplayed the covid outbreak \
+             for weeks before acting decisively.",
+        ),
+        Document::new("c", "C", "garden fair draws a record crowd"),
+    ]
+}
+
+/// One long query-relevant document: an exact-serial sentence-removal
+/// search over it runs for seconds, long enough to keep a worker busy.
+fn slow_docs() -> Vec<Document> {
+    let mut body = String::new();
+    for i in 0..48 {
+        if i % 4 == 0 {
+            body.push_str(&format!(
+                "The covid outbreak update number n{i} arrives today. "
+            ));
+        } else {
+            body.push_str(&format!(
+                "Filler sentence number n{i} talks about daily life. "
+            ));
+        }
+    }
+    let mut docs = vec![Document::new("long", "Long covid doc", &body)];
+    for i in 0..4 {
+        docs.push(Document::new(
+            &format!("pad-{i}"),
+            "Report",
+            "covid outbreak report with several extra words for normalisation",
+        ));
+    }
+    docs
+}
+
+/// The submission envelope for a slow sentence-removal search (exact
+/// serial evaluation, wide enumeration, deadline as a safety net).
+fn slow_submit_body(deadline_ms: u64) -> String {
+    format!(
+        r#"{{"endpoint": "sentence-removal",
+            "request": {{"query": "covid outbreak", "k": 1, "doc": 0, "n": 999,
+                         "max_size": 3, "max_candidates": 48,
+                         "eval_exact": true, "eval_threads": 1,
+                         "deadline_ms": {deadline_ms}}}}}"#
+    )
+}
+
+struct Harness {
+    state: &'static AppState,
+    handle: ServerHandle,
+}
+
+impl Harness {
+    fn boot(docs: Vec<Document>, jobs: JobsConfig) -> Self {
+        let state = AppState::leak_jobs(docs, EngineConfig::fast(), RankerChoice::Bm25, jobs);
+        let handle = Server::bind("127.0.0.1:0", state).unwrap().spawn().unwrap();
+        Self { state, handle }
+    }
+
+    fn addr(&self) -> SocketAddr {
+        self.handle.addr()
+    }
+
+    fn request(&self, method: &str, path: &str, body: Option<&str>) -> (u16, String, Value) {
+        let (status, headers, body) = raw_request(self.addr(), method, path, body);
+        let json = parse(&body).unwrap_or(Value::Null);
+        (status, headers, json)
+    }
+
+    /// Submit one job, returning its wire id and numeric id.
+    fn submit(&self, body: &str) -> (String, u64) {
+        let (status, _, v) = self.request("POST", "/api/v1/jobs", Some(body));
+        assert_eq!(status, 202, "{v:?}");
+        assert_eq!(v.get("status").unwrap().as_str(), Some("queued"));
+        let wire = v.get("job_id").unwrap().as_str().unwrap().to_string();
+        let numeric = wire.strip_prefix("job-").unwrap().parse().unwrap();
+        (wire, numeric)
+    }
+
+    /// Spin until the job is claimed by a worker (leaves `queued`).
+    fn await_claimed(&self, id: u64) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let view = self.state.jobs().get(id, self.state.metrics()).unwrap();
+            if view.state != JobState::Queued {
+                return;
+            }
+            assert!(Instant::now() < deadline, "worker never claimed job {id}");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+fn raw_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> (u16, String, String) {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    let raw = match body {
+        None => format!("{method} {path} HTTP/1.1\r\nHost: test\r\n\r\n"),
+        Some(b) => format!(
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{b}",
+            b.len()
+        ),
+    };
+    conn.write_all(raw.as_bytes()).unwrap();
+    let mut out = String::new();
+    conn.read_to_string(&mut out).unwrap();
+    let status: u16 = out
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let body_start = out.find("\r\n\r\n").expect("header terminator") + 4;
+    (
+        status,
+        out[..body_start].to_string(),
+        out[body_start..].to_string(),
+    )
+}
+
+#[test]
+fn submit_poll_complete_matches_synchronous_payload() {
+    let h = Harness::boot(quick_docs(), JobsConfig::default());
+    let (wire, numeric) = h.submit(
+        r#"{"endpoint": "sentence-removal",
+            "request": {"query": "covid outbreak", "k": 2, "doc": 1, "n": 1}}"#,
+    );
+    assert_eq!(
+        h.state
+            .jobs()
+            .wait_terminal(numeric, Duration::from_secs(30)),
+        Some(JobState::Complete)
+    );
+
+    let (status, _, v) = h.request("GET", &format!("/api/v1/jobs/{wire}"), None);
+    assert_eq!(status, 200);
+    assert_eq!(v.get("status").unwrap().as_str(), Some("complete"));
+    assert_eq!(v.get("result_status").unwrap().as_u64(), Some(200));
+
+    let (sync_status, _, sync) = h.request(
+        "POST",
+        "/api/v1/explain/sentence-removal",
+        Some(r#"{"query": "covid outbreak", "k": 2, "doc": 1, "n": 1}"#),
+    );
+    assert_eq!(sync_status, 200);
+    assert_eq!(
+        *v.get("result").unwrap(),
+        sync,
+        "job payload must be identical to the synchronous response"
+    );
+    h.handle.stop();
+}
+
+#[test]
+fn cancelling_a_running_job_frees_the_worker() {
+    let h = Harness::boot(
+        slow_docs(),
+        JobsConfig {
+            workers: 1,
+            queue_depth: 8,
+            ..JobsConfig::default()
+        },
+    );
+    let (wire, numeric) = h.submit(&slow_submit_body(30_000));
+    h.await_claimed(numeric);
+
+    let (status, _, v) = h.request("DELETE", &format!("/api/v1/jobs/{wire}"), None);
+    assert_eq!(status, 202, "{v:?}");
+    assert_eq!(v.get("cancel_requested").unwrap().as_bool(), Some(true));
+
+    // The search observes the raised budget flag at its next candidate
+    // batch and stores its partial best-so-far result.
+    assert_eq!(
+        h.state
+            .jobs()
+            .wait_terminal(numeric, Duration::from_secs(10)),
+        Some(JobState::Cancelled)
+    );
+    let (status, _, v) = h.request("GET", &format!("/api/v1/jobs/{wire}"), None);
+    assert_eq!(status, 200);
+    assert_eq!(v.get("status").unwrap().as_str(), Some("cancelled"));
+    assert_eq!(
+        v.get("result").unwrap().get("status").unwrap().as_str(),
+        Some("cancelled"),
+        "partial result carries the search's own status"
+    );
+
+    // The freed worker picks up and completes a fresh quick job.
+    let (_, next) = h.submit(
+        r#"{"endpoint": "term-removal",
+            "request": {"query": "covid outbreak", "k": 2, "doc": 1, "n": 1, "max_evals": 2}}"#,
+    );
+    let state = h
+        .state
+        .jobs()
+        .wait_terminal(next, Duration::from_secs(30))
+        .unwrap();
+    assert!(state.is_terminal(), "worker was freed: {state:?}");
+    h.handle.stop();
+}
+
+#[test]
+fn full_queue_answers_429_with_retry_after() {
+    let h = Harness::boot(
+        slow_docs(),
+        JobsConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..JobsConfig::default()
+        },
+    );
+    let (running_wire, running) = h.submit(&slow_submit_body(20_000));
+    h.await_claimed(running);
+    let (waiting_wire, _) = h.submit(&slow_submit_body(20_000));
+
+    let (status, headers, v) = h.request("POST", "/api/v1/jobs", Some(&slow_submit_body(20_000)));
+    assert_eq!(status, 429, "{v:?}");
+    assert!(
+        headers.to_ascii_lowercase().contains("retry-after"),
+        "{headers}"
+    );
+    assert_eq!(
+        v.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("queue_full")
+    );
+
+    // Unblock the pool so shutdown drains quickly.
+    let _ = h.request("DELETE", &format!("/api/v1/jobs/{running_wire}"), None);
+    let _ = h.request("DELETE", &format!("/api/v1/jobs/{waiting_wire}"), None);
+    h.handle.stop();
+}
+
+#[test]
+fn expired_results_answer_410() {
+    let h = Harness::boot(
+        quick_docs(),
+        JobsConfig {
+            result_ttl_ms: 50,
+            ..JobsConfig::default()
+        },
+    );
+    let (wire, numeric) = h.submit(
+        r#"{"endpoint": "query-reduction",
+            "request": {"query": "covid outbreak", "k": 2, "doc": 1, "n": 1}}"#,
+    );
+    let state = h
+        .state
+        .jobs()
+        .wait_terminal(numeric, Duration::from_secs(30))
+        .unwrap();
+    assert!(state.is_terminal());
+    std::thread::sleep(Duration::from_millis(100));
+
+    let (status, _, v) = h.request("GET", &format!("/api/v1/jobs/{wire}"), None);
+    assert_eq!(status, 410, "{v:?}");
+    assert_eq!(v.get("status").unwrap().as_str(), Some("expired"));
+    assert_eq!(
+        v.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("job_expired")
+    );
+    assert!(v.get("result").is_none(), "the payload was discarded");
+    h.handle.stop();
+}
+
+#[test]
+fn shutdown_drains_without_dropping_jobs() {
+    let h = Harness::boot(
+        slow_docs(),
+        JobsConfig {
+            workers: 1,
+            queue_depth: 4,
+            ..JobsConfig::default()
+        },
+    );
+    // One job running under a budget that ends it within a couple of
+    // seconds, one queued behind it.
+    let (_, running) = h.submit(&slow_submit_body(1_500));
+    h.await_claimed(running);
+    let (_, waiting) = h.submit(&slow_submit_body(1_500));
+
+    let state = h.state;
+    h.handle.stop();
+
+    // After stop() returns, the pool has been joined: the running job
+    // finished under its own budget with a stored result (never dropped
+    // mid-run) and the queued one was cancelled without running.
+    let view = state.jobs().get(running, state.metrics()).unwrap();
+    assert!(
+        view.state.is_terminal(),
+        "running job dropped: {:?}",
+        view.state
+    );
+    assert!(view.result.is_some(), "drained job lost its payload");
+    let view = state.jobs().get(waiting, state.metrics()).unwrap();
+    assert_eq!(view.state, JobState::Cancelled);
+    assert!(view.result.is_none(), "never ran, so no payload");
+
+    // The runner refuses further submissions even in-process.
+    assert!(matches!(
+        state.jobs().submit(
+            credence_server::requests::JobSubmitRequest::parse(
+                &parse(&slow_submit_body(1_000)).unwrap()
+            )
+            .unwrap()
+            .request,
+            state.metrics()
+        ),
+        credence_server::jobs::SubmitOutcome::ShuttingDown
+    ));
+}
+
+#[test]
+fn metrics_expose_the_job_families() {
+    let h = Harness::boot(quick_docs(), JobsConfig::default());
+    let (_, numeric) = h.submit(
+        r#"{"endpoint": "sentence-removal",
+            "request": {"query": "covid outbreak", "k": 2, "doc": 1, "n": 1}}"#,
+    );
+    h.state
+        .jobs()
+        .wait_terminal(numeric, Duration::from_secs(30));
+
+    let (status, _, text) = raw_request(h.addr(), "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert!(text.contains("credence_jobs_queue_depth"), "{text}");
+    assert!(
+        text.contains("credence_jobs_total{state=\"queued\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("credence_jobs_total{state=\"running\"} 1"),
+        "{text}"
+    );
+    assert!(text.contains("credence_jobs_rejected_total"), "{text}");
+    assert!(
+        text.contains("credence_jobs_queue_wait_seconds_count 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("credence_jobs_execution_seconds_count 1"),
+        "{text}"
+    );
+    h.handle.stop();
+}

@@ -959,3 +959,99 @@ prop! {
         prop_assert_eq!(serial, engine);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Async job subsystem: the job path is the synchronous path, verbatim.
+// ---------------------------------------------------------------------------
+
+/// One engine state shared by every job-parity case (index construction is
+/// the expensive part; the property varies the request, not the corpus).
+fn job_state() -> &'static credence_server::AppState {
+    use std::sync::OnceLock;
+    static STATE: OnceLock<&'static credence_server::AppState> = OnceLock::new();
+    STATE.get_or_init(|| {
+        let docs = vec![
+            Document::new("a", "A", "covid outbreak covid outbreak tonight"),
+            Document::new(
+                "b",
+                "B",
+                "The covid outbreak arrived quietly. Officials downplayed the covid \
+                 outbreak for weeks. Hospitals prepared extra capacity regardless.",
+            ),
+            Document::new("c", "C", "vaccine research accelerates during the outbreak"),
+            Document::new("d", "D", "garden fair draws a record crowd"),
+        ];
+        credence_server::AppState::leak_jobs(
+            docs,
+            credence_core::EngineConfig::fast(),
+            credence_server::RankerChoice::Bm25,
+            credence_server::JobsConfig::default(),
+        )
+    })
+}
+
+fn job_post(state: &'static credence_server::AppState, path: &str, body: &str) -> (u16, String) {
+    let req = credence_server::http::Request {
+        method: "POST".into(),
+        path: path.into(),
+        headers: Default::default(),
+        body: body.as_bytes().to_vec(),
+    };
+    let resp = credence_server::handle_request(state, &req);
+    (resp.status, String::from_utf8(resp.body).unwrap())
+}
+
+prop! {
+    /// For any request and any `max_evals` budget, the payload a job stores
+    /// is the exact JSON value the synchronous endpoint returns — complete,
+    /// exhausted, and validation-error outcomes alike.
+    config(cases = 16);
+    fn job_payload_equals_synchronous_payload(
+        endpoint in gens::one_of(vec![
+            gens::just("sentence-removal"),
+            gens::just("query-augmentation"),
+            gens::just("query-reduction"),
+            gens::just("term-removal"),
+        ]),
+        query in gens::one_of(vec![
+            gens::just("covid outbreak"),
+            gens::just("vaccine research"),
+            gens::just("outbreak"),
+        ]),
+        k_doc in gens::pair(gens::usize_range(1..4), gens::usize_range(0..4)),
+        n_evals in gens::pair(gens::usize_range(1..3), gens::usize_range(0..12)),
+    ) {
+        use credence_json::{parse as parse_json, Value};
+        let state = job_state();
+        let (k, doc) = *k_doc;
+        let (n, max_evals) = *n_evals;
+        let request = format!(
+            r#"{{"query": "{query}", "k": {k}, "doc": {doc}, "n": {n}, "max_evals": {max_evals}}}"#
+        );
+
+        let (sync_status, sync_body) =
+            job_post(state, &format!("/api/v1/explain/{endpoint}"), &request);
+        let sync_value = parse_json(&sync_body).unwrap();
+
+        let envelope = format!(r#"{{"endpoint": "{endpoint}", "request": {request}}}"#);
+        let (accepted, submit_body) = job_post(state, "/api/v1/jobs", &envelope);
+        prop_assert_eq!(accepted, 202, "{}", submit_body);
+        let id: u64 = parse_json(&submit_body)
+            .unwrap()
+            .get("job_id")
+            .and_then(Value::as_str)
+            .and_then(|wire| wire.strip_prefix("job-"))
+            .and_then(|n| n.parse().ok())
+            .unwrap();
+        let terminal = state
+            .jobs()
+            .wait_terminal(id, std::time::Duration::from_secs(60))
+            .expect("job reaches a terminal state");
+        prop_assert!(terminal.is_terminal());
+
+        let view = state.jobs().get(id, state.metrics()).unwrap();
+        let (stored_status, stored) = view.result.expect("terminal job stores its result");
+        prop_assert_eq!(stored_status, sync_status);
+        prop_assert_eq!(stored, sync_value);
+    }
+}
