@@ -24,6 +24,14 @@ cargo test -q --offline --workspace
 echo "==> credence-serve smoke (REST /api/v1 + /metrics + deadline budget)"
 ./scripts/serve_smoke.sh
 
+echo "==> router smoke (2-worker scatter-gather, byte parity vs single-node)"
+./scripts/router_smoke.sh
+
+echo "==> loadgen capacity smoke (CREDENCE_BENCH_SMOKE=1)"
+mkdir -p target/credence-bench
+CREDENCE_BENCH_SMOKE=1 ./target/release/loadgen \
+    --out target/credence-bench/BENCH_capacity_smoke.json
+
 echo "==> smoke benches (CREDENCE_BENCH_SMOKE=1)"
 CREDENCE_BENCH_SMOKE=1 cargo bench -p credence-bench --offline
 

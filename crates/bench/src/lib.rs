@@ -8,6 +8,7 @@
 
 pub mod figures;
 pub mod harness;
+pub mod loadgen;
 pub mod tables;
 
 pub use harness::{BenchRecord, Bencher, BenchmarkGroup, BenchmarkId, Criterion, Throughput};

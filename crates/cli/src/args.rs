@@ -38,7 +38,7 @@ pub struct Args {
 }
 
 /// Known boolean switches (everything else expects a value).
-const SWITCHES: &[&str] = &["help", "tsv"];
+const SWITCHES: &[&str] = &["help", "tsv", "router"];
 
 impl Args {
     /// Parse raw arguments (without the program name).

@@ -51,6 +51,8 @@ COMMANDS
   generate  --docs N --out FILE [--topics T] [--seed S] [--tsv]
                                                       synthetic corpus
   serve     [--addr HOST:PORT] [--corpus F]           REST API server
+            [--router --workers A:P,B:P [--partitions N]
+             [--fanout-deadline-ms MS]]               scatter-gather router
   help                                                this text
 ";
 
@@ -503,6 +505,36 @@ fn generate(args: &Args) -> Result<String, CliError> {
 
 fn serve(args: &Args) -> Result<String, CliError> {
     let addr = args.get("addr").unwrap_or("127.0.0.1:8091").to_string();
+    if args.has("router") {
+        let mut workers = Vec::new();
+        for part in args
+            .require("workers")
+            .map_err(|_| CliError::new("--router requires --workers A:P,B:P,..."))?
+            .split(',')
+            .filter(|p| !p.trim().is_empty())
+        {
+            workers.push(
+                part.trim()
+                    .parse()
+                    .map_err(|_| CliError::new(format!("--workers: invalid address {part:?}")))?,
+            );
+        }
+        if workers.is_empty() {
+            return Err(CliError::new("--workers needs at least one address"));
+        }
+        let config = credence_server::RouterConfig {
+            partitions: args.get_usize("partitions", 0)? as u32,
+            fanout_deadline_ms: args.get_usize("fanout-deadline-ms", 2000)? as u64,
+        };
+        let state = credence_server::RouterState::leak(workers, config);
+        let server = credence_server::Server::bind(addr.as_str(), state).map_err(CliError::new)?;
+        eprintln!(
+            "credence router listening on http://{addr} ({} partitions)",
+            state.partitions()
+        );
+        server.run().map_err(CliError::new)?;
+        return Ok(String::new());
+    }
     let docs = load_corpus(args)?;
     let state = credence_server::AppState::leak(docs, EngineConfig::default());
     let server = credence_server::Server::bind(addr.as_str(), state).map_err(CliError::new)?;

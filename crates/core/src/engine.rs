@@ -333,12 +333,22 @@ impl<'a> CredenceEngine<'a> {
 
     /// Cached corpus ranking for `query` with per-request retrieval knobs.
     ///
-    /// The cache is keyed by query alone: every strategy produces
-    /// bit-identical rankings, so a cached entry satisfies any `opts` (the
-    /// knobs only steer *how* a miss is computed).
+    /// The cache is keyed by query alone for whole-corpus requests: every
+    /// strategy produces bit-identical rankings, so a cached entry
+    /// satisfies any `opts` (the knobs only steer *how* a miss is
+    /// computed). A partition filter changes *what* is ranked, so
+    /// partitioned requests (router fanout legs) get a composite key —
+    /// `\u{0}` cannot survive tokenisation, so composite keys cannot
+    /// collide with real queries.
     fn cached_ranking_with(&self, query: &str, opts: &TopKOptions) -> std::sync::Arc<RankedList> {
         use std::sync::atomic::Ordering::Relaxed;
-        self.cache.get_or_insert(query, || {
+        let key = match &opts.partition {
+            Some(p) => {
+                std::borrow::Cow::Owned(format!("{query}\u{0}partition={}/{}", p.index, p.count))
+            }
+            None => std::borrow::Cow::Borrowed(query),
+        };
+        self.cache.get_or_insert(&key, || {
             let n = self.ranker.index().num_docs();
             let fallback_threads =
                 if self.config.parallel_threshold > 0 && n >= self.config.parallel_threshold {

@@ -23,6 +23,7 @@
 pub mod doc;
 pub mod highlight;
 pub mod index;
+pub mod partition;
 pub mod persist;
 pub mod phrase;
 pub mod score;
@@ -34,6 +35,7 @@ pub mod vector;
 pub use doc::{DocId, Document};
 pub use highlight::{best_snippet, highlight_terms, Highlight, Snippet};
 pub use index::{InvertedIndex, Posting, TermBound};
+pub use partition::{doc_partition, PartitionSpec};
 pub use persist::{load_index, read_index, save_index, write_index, PersistError};
 pub use phrase::{analyze_phrase, phrase_freq, search_phrase};
 pub use score::{bm25_idf, bm25_term_upper_bound, Bm25Params};

@@ -25,6 +25,7 @@ use credence_text::TermId;
 
 use crate::doc::DocId;
 use crate::index::InvertedIndex;
+use crate::partition::PartitionSpec;
 use crate::score::{bm25_score_indexed, bm25_term_upper_bound, bm25_term_weight, Bm25Params};
 use crate::search::{sort_hits, SearchHit};
 
@@ -83,6 +84,11 @@ pub struct TopKOptions {
     /// Candidate-postings volume at which a query counts as *dense* — below
     /// this, `Auto` always prunes (parallelism cannot pay for itself).
     pub dense_postings: usize,
+    /// Restrict scoring to one doc-hash partition (cluster fanout). Scores
+    /// of surviving documents are untouched — collection statistics stay
+    /// global — so per-partition top-ks merge bit-identically into the
+    /// unpartitioned ranking. `None` scores the whole corpus.
+    pub partition: Option<PartitionSpec>,
 }
 
 impl Default for TopKOptions {
@@ -91,6 +97,7 @@ impl Default for TopKOptions {
             strategy: SearchStrategy::Auto,
             shards: 0,
             dense_postings: 8192,
+            partition: None,
         }
     }
 }
@@ -223,7 +230,7 @@ pub fn search_weighted_top_k_with(
             .sum()
     };
     if terms.iter().any(|&(_, w)| w < 0.0) {
-        return exhaustive_core(index, &uniq, k, &exact);
+        return exhaustive_core(index, &uniq, k, &exact, opts.partition);
     }
     dispatch(index, params, &uniq, k, &exact, opts)
 }
@@ -241,7 +248,7 @@ pub fn search_top_k_exhaustive(
     }
     let uniq = unique_weighted(query.iter().map(|&t| (t, 1.0)), index);
     let exact = |doc: DocId| bm25_score_indexed(params, index, query, doc);
-    exhaustive_core(index, &uniq, k, &exact)
+    exhaustive_core(index, &uniq, k, &exact, None)
 }
 
 /// Collapse a term sequence into unique `(term, summed weight)` pairs sorted
@@ -299,25 +306,32 @@ fn dispatch<F: Fn(DocId) -> f64 + Sync>(
     exact: &F,
     opts: &TopKOptions,
 ) -> (Vec<SearchHit>, TopKStats) {
+    let part = opts.partition;
     match opts.strategy {
-        SearchStrategy::Exhaustive => exhaustive_core(index, uniq, k, exact),
-        SearchStrategy::Sharded => sharded_core(index, uniq, k, exact, opts.shards),
+        SearchStrategy::Exhaustive => exhaustive_core(index, uniq, k, exact, part),
+        SearchStrategy::Sharded => sharded_core(index, uniq, k, exact, opts.shards, part),
         SearchStrategy::Pruned => match contributions(index, params, uniq) {
-            Some(contribs) => pruned_core(index, &contribs, k, exact),
-            None => exhaustive_core(index, uniq, k, exact),
+            Some(contribs) => pruned_core(index, &contribs, k, exact, part),
+            None => exhaustive_core(index, uniq, k, exact, part),
         },
         SearchStrategy::Auto => {
             let Some(contribs) = contributions(index, params, uniq) else {
-                return exhaustive_core(index, uniq, k, exact);
+                return exhaustive_core(index, uniq, k, exact, part);
             };
             let total: usize = uniq.iter().map(|&(t, _)| index.postings(t).len()).sum();
             if total >= opts.dense_postings && !pruning_favourable(index, &contribs) {
-                sharded_core(index, uniq, k, exact, opts.shards)
+                sharded_core(index, uniq, k, exact, opts.shards, part)
             } else {
-                pruned_core(index, &contribs, k, exact)
+                pruned_core(index, &contribs, k, exact, part)
             }
         }
     }
+}
+
+/// Whether `doc` survives the optional partition filter.
+#[inline]
+fn in_partition(part: Option<PartitionSpec>, doc: DocId) -> bool {
+    part.map_or(true, |p| p.owns(doc))
 }
 
 /// Cost heuristic for `Auto` on dense queries: pruning pays off when most of
@@ -350,6 +364,7 @@ fn exhaustive_core<F: Fn(DocId) -> f64>(
     uniq: &[(TermId, f64)],
     k: usize,
     exact: &F,
+    part: Option<PartitionSpec>,
 ) -> (Vec<SearchHit>, TopKStats) {
     let mut stats = TopKStats::new("exhaustive");
     let total: usize = uniq.iter().map(|&(t, _)| index.postings(t).len()).sum();
@@ -361,6 +376,9 @@ fn exhaustive_core<F: Fn(DocId) -> f64>(
     candidates.dedup();
     let mut top = TopKHeap::new(k);
     for doc in candidates {
+        if !in_partition(part, doc) {
+            continue;
+        }
         let score = exact(doc);
         stats.docs_scored += 1;
         if score > 0.0 {
@@ -376,11 +394,14 @@ fn exhaustive_core<F: Fn(DocId) -> f64>(
 /// strict total order making top-k selection insertion-order independent,
 /// and (c) pruning only on `inflated_bound < threshold` — strictly below —
 /// so no document that could enter (or tie into) the top-k is ever skipped.
+/// A partition filter drops whole documents before scoring, which only
+/// lowers achievable scores — bound soundness is unaffected.
 fn pruned_core<F: Fn(DocId) -> f64>(
     index: &InvertedIndex,
     contribs: &[(TermId, f64)],
     k: usize,
     exact: &F,
+    part: Option<PartitionSpec>,
 ) -> (Vec<SearchHit>, TopKStats) {
     let mut stats = TopKStats::new("pruned");
     let n = contribs.len();
@@ -423,6 +444,9 @@ fn pruned_core<F: Fn(DocId) -> f64>(
                 continue;
             }
             seen[word] |= bit;
+            if !in_partition(part, p.doc) {
+                continue;
+            }
             let score = exact(p.doc);
             stats.docs_scored += 1;
             if score > 0.0 {
@@ -443,6 +467,7 @@ fn sharded_core<F: Fn(DocId) -> f64 + Sync>(
     k: usize,
     exact: &F,
     shards: usize,
+    part: Option<PartitionSpec>,
 ) -> (Vec<SearchHit>, TopKStats) {
     let n = index.num_docs();
     let mut stats = TopKStats::new("sharded");
@@ -475,6 +500,7 @@ fn sharded_core<F: Fn(DocId) -> f64 + Sync>(
                     }
                     candidates.sort_unstable();
                     candidates.dedup();
+                    candidates.retain(|&d| in_partition(part, d));
                     let scored = candidates.len() as u64;
                     let mut top = TopKHeap::new(k);
                     for doc in candidates {
@@ -656,6 +682,70 @@ mod tests {
         assert_eq!(stats.strategy, "sharded");
         assert_eq!(stats.shards_used, 4);
         assert_eq!(stats.docs_pruned, 0);
+    }
+
+    #[test]
+    fn partitioned_topk_merges_to_global_ranking() {
+        // Each partition scores only its owned docs; concatenating the
+        // per-partition top-ks, re-sorting by the total order, and
+        // truncating must reproduce the unpartitioned top-k bit for bit —
+        // the invariant the process-level router merge relies on.
+        let idx = corpus(60);
+        let params = Bm25Params::default();
+        let q = idx.analyze_query("covid outbreak city");
+        for strategy in [
+            SearchStrategy::Auto,
+            SearchStrategy::Exhaustive,
+            SearchStrategy::Pruned,
+            SearchStrategy::Sharded,
+        ] {
+            for count in 1..=8u32 {
+                for k in [1usize, 3, 10, 60] {
+                    let (reference, _) = search_top_k_with(
+                        &idx,
+                        params,
+                        &q,
+                        k,
+                        &TopKOptions {
+                            strategy,
+                            shards: 2,
+                            ..TopKOptions::default()
+                        },
+                    );
+                    let mut merged: Vec<SearchHit> = Vec::new();
+                    for i in 0..count {
+                        let opts = TopKOptions {
+                            strategy,
+                            shards: 2,
+                            partition: PartitionSpec::new(i, count),
+                            ..TopKOptions::default()
+                        };
+                        let (hits, _) = search_top_k_with(&idx, params, &q, k, &opts);
+                        merged.extend(hits);
+                    }
+                    sort_hits(&mut merged);
+                    merged.truncate(k);
+                    assert_bit_identical(&merged, &reference);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_filter_restricts_scoring() {
+        let idx = corpus(60);
+        let params = Bm25Params::default();
+        let q = idx.analyze_query("covid outbreak");
+        let spec = PartitionSpec::new(1, 3).unwrap();
+        let opts = TopKOptions {
+            strategy: SearchStrategy::Exhaustive,
+            partition: Some(spec),
+            ..TopKOptions::default()
+        };
+        let (hits, stats) = search_top_k_with(&idx, params, &q, 60, &opts);
+        assert!(hits.iter().all(|h| spec.owns(h.doc)));
+        let (_, full) = search_top_k_exhaustive(&idx, params, &q, 60);
+        assert!(stats.docs_scored < full.docs_scored);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub use neural::{NeuralSimConfig, NeuralSimRanker};
 pub use ql::{QlSmoothing, QueryLikelihoodRanker};
 pub use ranker::Ranker;
 pub use rerank::{
-    rank_corpus, rank_corpus_parallel, rank_corpus_with, rerank_pool, PoolEntry, RankedList,
+    rank_corpus, rank_corpus_parallel, rank_corpus_partitioned, rank_corpus_with, rerank_pool,
+    PoolEntry, RankedList,
 };
 pub use rm3::{Rm3Config, Rm3Ranker};

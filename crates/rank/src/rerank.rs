@@ -10,7 +10,7 @@
 
 use std::cmp::Ordering;
 
-use credence_index::{DocId, TopKOptions, TopKStats};
+use credence_index::{DocId, PartitionSpec, TopKOptions, TopKStats};
 
 use crate::ranker::Ranker;
 
@@ -107,9 +107,13 @@ pub fn rank_corpus_with(
         let entries: Vec<(DocId, f64)> = hits.into_iter().map(|h| (h.doc, h.score)).collect();
         return (RankedList::from_scores(entries), stats);
     }
-    let list = rank_corpus_parallel(ranker, query, fallback_threads);
+    let list = rank_corpus_partitioned(ranker, query, fallback_threads, opts.partition);
+    let scored = match opts.partition {
+        Some(p) => ranker.index().doc_ids().filter(|&d| p.owns(d)).count(),
+        None => n,
+    };
     let stats = TopKStats {
-        docs_scored: n as u64,
+        docs_scored: scored as u64,
         docs_pruned: 0,
         shards_used: if fallback_threads > 1 {
             fallback_threads.min(n.max(1)) as u64
@@ -127,15 +131,36 @@ pub fn rank_corpus_with(
 /// using from roughly 10k documents upward — below that, thread setup
 /// dominates. `threads = 0` or `1` falls back to the serial path.
 pub fn rank_corpus_parallel(ranker: &dyn Ranker, query: &str, threads: usize) -> RankedList {
-    if threads <= 1 {
-        return rank_corpus(ranker, query);
-    }
+    rank_corpus_partitioned(ranker, query, threads, None)
+}
+
+/// Partition-filtered corpus ranking for cluster fanout: scores only the
+/// documents owned by `part` (all of them when `None`). Each surviving
+/// document's score is computed exactly as in [`rank_corpus`] — the filter
+/// removes whole documents, never perturbs arithmetic — so per-partition
+/// rankings merge bit-identically into the unpartitioned one.
+pub fn rank_corpus_partitioned(
+    ranker: &dyn Ranker,
+    query: &str,
+    threads: usize,
+    part: Option<PartitionSpec>,
+) -> RankedList {
     let index = ranker.index();
     let n = index.num_docs();
     if n == 0 {
         return RankedList::from_scores(Vec::new());
     }
     let drop_zeros = ranker.zero_means_unmatched();
+    let owns = |d: DocId| part.map_or(true, |p| p.owns(d));
+    if threads <= 1 {
+        let entries: Vec<(DocId, f64)> = index
+            .doc_ids()
+            .filter(|&d| owns(d))
+            .map(|d| (d, ranker.score_doc(query, d)))
+            .filter(|&(_, s)| !drop_zeros || s > 0.0)
+            .collect();
+        return RankedList::from_scores(entries);
+    }
     let threads = threads.min(n);
     let chunk = n.div_ceil(threads);
     let mut entries: Vec<(DocId, f64)> = Vec::with_capacity(n);
@@ -146,10 +171,9 @@ pub fn rank_corpus_parallel(ranker: &dyn Ranker, query: &str, threads: usize) ->
                 let hi = ((t + 1) * chunk).min(n);
                 scope.spawn(move || {
                     (lo..hi)
-                        .map(|i| {
-                            let d = DocId(i as u32);
-                            (d, ranker.score_doc(query, d))
-                        })
+                        .map(|i| DocId(i as u32))
+                        .filter(|&d| owns(d))
+                        .map(|d| (d, ranker.score_doc(query, d)))
                         .filter(|&(_, s)| !drop_zeros || s > 0.0)
                         .collect::<Vec<_>>()
                 })

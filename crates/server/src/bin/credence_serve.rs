@@ -1,10 +1,14 @@
 //! The `credence-serve` binary: serve the demo corpus (or a JSONL/TSV corpus)
-//! over the CREDENCE REST API.
+//! over the CREDENCE REST API — or, with `--router`, a scatter-gather
+//! cluster router fanning requests over worker processes.
 //!
 //! ```text
 //! credence-serve [--addr 127.0.0.1:8091] [--corpus path.{jsonl,tsv}]
+//! credence-serve --router --workers 127.0.0.1:8092,127.0.0.1:8093 \
+//!                [--partitions N] [--fanout-deadline-ms MS]
 //! ```
 
+use std::net::SocketAddr;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -12,7 +16,7 @@ use credence_core::{EngineConfig, EvalOptions, SearchStrategy, TopKOptions};
 use credence_corpus::{covid_demo_corpus, load_jsonl, load_tsv};
 use credence_server::server::ServerOptions;
 use credence_server::service::RankerChoice;
-use credence_server::{AppState, JobsConfig, Server};
+use credence_server::{AppState, JobsConfig, RouterConfig, RouterState, Server};
 
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:8091".to_string();
@@ -22,6 +26,9 @@ fn main() -> ExitCode {
     let mut retrieval = TopKOptions::default();
     let mut jobs = JobsConfig::default();
     let mut options = ServerOptions::default();
+    let mut router = false;
+    let mut workers: Vec<SocketAddr> = Vec::new();
+    let mut router_config = RouterConfig::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -29,6 +36,28 @@ fn main() -> ExitCode {
             "--addr" => match args.next() {
                 Some(a) => addr = a,
                 None => return usage("--addr requires a value"),
+            },
+            "--router" => router = true,
+            "--workers" => match args.next() {
+                Some(list) => {
+                    for part in list.split(',').filter(|p| !p.trim().is_empty()) {
+                        match part.trim().parse::<SocketAddr>() {
+                            Ok(a) => workers.push(a),
+                            Err(_) => {
+                                return usage(&format!("--workers: invalid address {part:?}"))
+                            }
+                        }
+                    }
+                }
+                None => return usage("--workers requires a comma-separated address list"),
+            },
+            "--partitions" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(p) => router_config.partitions = p,
+                None => return usage("--partitions requires an integer (0 = one per worker)"),
+            },
+            "--fanout-deadline-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(ms) if ms >= 1 => router_config.fanout_deadline_ms = ms,
+                _ => return usage("--fanout-deadline-ms requires an integer >= 1"),
             },
             "--corpus" => match args.next() {
                 Some(p) => corpus_path = Some(p),
@@ -81,6 +110,8 @@ fn main() -> ExitCode {
                 println!(
                     "credence-serve — CREDENCE REST API\n\n\
                      USAGE: credence-serve [--addr HOST:PORT] [--corpus FILE.jsonl|FILE.tsv]\n\
+                     \x20                     [--router --workers A:P,B:P [--partitions N]\n\
+                     \x20                      [--fanout-deadline-ms MS]]\n\
                      \x20                     [--ranker bm25|ql|ql-jm|rm3|neural]\n\
                      \x20                     [--eval-threads N] [--eval-parallel-threshold N]\n\
                      \x20                     [--eval-exact]\n\
@@ -105,13 +136,44 @@ fn main() -> ExitCode {
                      --job-result-ttl-ms: how long finished job results stay\n\
                      \x20  retrievable (default 300000).\n\
                      --max-connections: concurrent connection threads before new\n\
-                     \x20  sockets are refused with 503 (default 1024).\n\n\
+                     \x20  sockets are refused with 503 (default 1024).\n\
+                     --router: run as a scatter-gather router over --workers instead\n\
+                     \x20  of serving a corpus. Workers are plain credence-serve\n\
+                     \x20  processes over the same corpus; /rank fans out one leg per\n\
+                     \x20  doc-hash partition and merges bit-identically to single-node.\n\
+                     --workers: comma-separated worker addresses (router mode).\n\
+                     --partitions: doc-hash partitions per fanout (0 = one per worker).\n\
+                     --fanout-deadline-ms: per-leg worker deadline (default 2000);\n\
+                     \x20  requests carrying deadline_ms get that budget plus this grace.\n\n\
                      Without --corpus, serves the built-in COVID-19 Articles demo corpus."
                 );
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument: {other}")),
         }
+    }
+
+    if router {
+        if workers.is_empty() {
+            return usage("--router requires --workers with at least one address");
+        }
+        let state = RouterState::leak(workers, router_config);
+        let server = match Server::bind_with(addr.as_str(), state, options) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("failed to bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!(
+            "credence-serve router listening on http://{addr} ({} partitions)",
+            state.partitions()
+        );
+        if let Err(e) = server.run() {
+            eprintln!("server error: {e}");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
     }
 
     let docs = match &corpus_path {

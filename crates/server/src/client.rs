@@ -1,0 +1,289 @@
+//! Minimal blocking HTTP/1.1 client for router→worker fanout.
+//!
+//! Mirrors [`crate::http`] on the other side of the wire: one request per
+//! connection, `Connection: close` responses, `Content-Length` bodies. The
+//! only sophistication is deadline handling — connect and read both run
+//! under the remaining time of an absolute [`Instant`] deadline, so a
+//! fanout leg can never outlive its budget — and failure classification,
+//! which the router's degradation matrix is built on.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Why a fanout leg failed, in the categories the degradation matrix
+/// distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The worker could not be reached at all (refused, unreachable).
+    Unreachable,
+    /// The worker did not answer within the deadline.
+    Deadline,
+    /// The connection died or returned garbage mid-exchange.
+    Protocol,
+}
+
+impl FailureKind {
+    /// Stable label for logs and metrics.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FailureKind::Unreachable => "unreachable",
+            FailureKind::Deadline => "deadline",
+            FailureKind::Protocol => "protocol",
+        }
+    }
+}
+
+/// A failed fanout leg.
+#[derive(Debug, Clone)]
+pub struct FanoutError {
+    /// Failure category.
+    pub kind: FailureKind,
+    /// Human-readable detail for logs.
+    pub detail: String,
+}
+
+impl FanoutError {
+    fn new(kind: FailureKind, detail: impl Into<String>) -> Self {
+        Self {
+            kind,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// A worker's answer to one fanout leg.
+#[derive(Debug, Clone)]
+pub struct WireResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// The `content-type` header, when present.
+    pub content_type: Option<String>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+fn remaining(deadline: Instant) -> Result<Duration, FanoutError> {
+    let left = deadline.saturating_duration_since(Instant::now());
+    if left.is_zero() {
+        Err(FanoutError::new(
+            FailureKind::Deadline,
+            "deadline elapsed before the request completed",
+        ))
+    } else {
+        Ok(left)
+    }
+}
+
+fn classify_io(err: &std::io::Error) -> FailureKind {
+    match err.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => FailureKind::Deadline,
+        _ => FailureKind::Protocol,
+    }
+}
+
+/// Send one HTTP request and read the full response, all under `deadline`.
+///
+/// `body = Some(..)` sends a JSON POST-style body with `Content-Length`;
+/// `None` sends a bare request line + headers.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    deadline: Instant,
+) -> Result<WireResponse, FanoutError> {
+    let stream = TcpStream::connect_timeout(&addr, remaining(deadline)?).map_err(|e| {
+        let kind = match e.kind() {
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => FailureKind::Deadline,
+            _ => FailureKind::Unreachable,
+        };
+        FanoutError::new(kind, format!("connect {addr}: {e}"))
+    })?;
+    write_request(&stream, method, path, body, deadline)
+        .map_err(|e| FanoutError::new(classify_io(&e), format!("send {addr}: {e}")))?;
+    read_response(&stream, addr, deadline)
+}
+
+fn write_request(
+    mut stream: &TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    deadline: Instant,
+) -> std::io::Result<()> {
+    stream.set_write_timeout(Some(
+        deadline
+            .saturating_duration_since(Instant::now())
+            .max(Duration::from_millis(1)),
+    ))?;
+    let body = body.unwrap_or(&[]);
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: worker\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+fn read_response(
+    stream: &TcpStream,
+    addr: SocketAddr,
+    deadline: Instant,
+) -> Result<WireResponse, FanoutError> {
+    // One coarse read timeout from the remaining budget: every blocking
+    // read aborts once the budget is spent. (Re-arming per read would only
+    // tighten the bound; Connection: close responses are single reads in
+    // practice.)
+    stream
+        .set_read_timeout(Some(remaining(deadline)?))
+        .map_err(|e| FanoutError::new(FailureKind::Protocol, e.to_string()))?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| FanoutError::new(classify_io(&e), format!("read {addr}: {e}")))?;
+    if status_line.is_empty() {
+        return Err(FanoutError::new(
+            FailureKind::Protocol,
+            format!("{addr} closed the connection before responding"),
+        ));
+    }
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            FanoutError::new(
+                FailureKind::Protocol,
+                format!("{addr} sent a malformed status line: {status_line:?}"),
+            )
+        })?;
+    let mut content_length: Option<usize> = None;
+    let mut content_type: Option<String> = None;
+    loop {
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| FanoutError::new(classify_io(&e), format!("read {addr}: {e}")))?;
+        if n == 0 {
+            return Err(FanoutError::new(
+                FailureKind::Protocol,
+                format!("{addr} closed the connection mid-headers"),
+            ));
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            } else if name.eq_ignore_ascii_case("content-type") {
+                content_type = Some(value.trim().to_string());
+            }
+        }
+    }
+    let body = match content_length {
+        Some(len) => {
+            let mut buf = vec![0u8; len];
+            reader
+                .read_exact(&mut buf)
+                .map_err(|e| FanoutError::new(classify_io(&e), format!("read {addr}: {e}")))?;
+            buf
+        }
+        // Connection: close without a length: read to EOF.
+        None => {
+            let mut buf = Vec::new();
+            reader
+                .read_to_end(&mut buf)
+                .map_err(|e| FanoutError::new(classify_io(&e), format!("read {addr}: {e}")))?;
+            buf
+        }
+    };
+    Ok(WireResponse {
+        status,
+        content_type,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn serve_once(response: &'static str) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            if let Ok((mut conn, _)) = listener.accept() {
+                let mut buf = [0u8; 4096];
+                let _ = conn.read(&mut buf);
+                let _ = conn.write_all(response.as_bytes());
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn round_trips_a_response() {
+        let addr = serve_once("HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nhi");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let resp = http_request(addr, "GET", "/health", None, deadline).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"hi");
+    }
+
+    #[test]
+    fn reads_to_eof_without_content_length() {
+        let addr = serve_once("HTTP/1.1 200 OK\r\n\r\nstream until close");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let resp = http_request(addr, "GET", "/", None, deadline).unwrap();
+        assert_eq!(resp.body, b"stream until close");
+    }
+
+    #[test]
+    fn refused_connection_is_unreachable() {
+        // Bind-and-drop to find a port with nothing listening.
+        let addr = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(1);
+        let err = http_request(addr, "GET", "/", None, deadline).unwrap_err();
+        assert_eq!(err.kind, FailureKind::Unreachable, "{}", err.detail);
+    }
+
+    #[test]
+    fn silent_server_times_out_as_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Accept but never answer.
+        std::thread::spawn(move || {
+            let conn = listener.accept();
+            std::thread::sleep(Duration::from_secs(3));
+            drop(conn);
+        });
+        let deadline = Instant::now() + Duration::from_millis(150);
+        let err = http_request(addr, "GET", "/", None, deadline).unwrap_err();
+        assert_eq!(err.kind, FailureKind::Deadline, "{}", err.detail);
+    }
+
+    #[test]
+    fn connection_reset_is_protocol() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            if let Ok((conn, _)) = listener.accept() {
+                // Close immediately without writing a byte.
+                drop(conn);
+            }
+        });
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let err = http_request(addr, "GET", "/", None, deadline).unwrap_err();
+        assert_eq!(err.kind, FailureKind::Protocol, "{}", err.detail);
+    }
+}

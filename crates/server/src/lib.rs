@@ -19,7 +19,13 @@
 //!   handle,
 //! * [`jobs`] — the async explanation job subsystem: a bounded submission
 //!   queue, a fixed worker pool executing searches through the same
-//!   handlers as the synchronous endpoints, and a TTL'd result store.
+//!   handlers as the synchronous endpoints, and a TTL'd result store,
+//! * [`client`] — the blocking fanout HTTP client with deadline handling
+//!   and failure classification,
+//! * [`router`] — scatter-gather cluster mode: `/rank` fans out one leg
+//!   per doc-hash partition and merges with the sharded-path tie-break,
+//!   proven byte-identical to single-node; doc-affine endpoints relay to
+//!   the owner worker.
 //!
 //! ## Endpoints (all JSON)
 //!
@@ -58,14 +64,18 @@
 
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod http;
 pub mod jobs;
 pub mod metrics;
 pub mod requests;
+pub mod router;
 pub mod server;
 pub mod service;
 
+pub use client::{FailureKind, FanoutError, WireResponse};
 pub use jobs::{JobRunner, JobState, JobsConfig};
 pub use metrics::Metrics;
-pub use server::{Server, ServerHandle, ServerOptions};
+pub use router::{RouterConfig, RouterState};
+pub use server::{App, Server, ServerHandle, ServerOptions};
 pub use service::{handle_request, AppState, RankerChoice, API_PREFIX};

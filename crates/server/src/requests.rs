@@ -12,6 +12,7 @@
 //! deadline starts ticking at parse time, i.e. from request arrival.
 
 use credence_core::{Budget, EvalOptions, SearchBudget, SearchStrategy};
+use credence_index::PartitionSpec;
 use credence_json::Value;
 
 /// One invalid request field.
@@ -260,6 +261,10 @@ pub struct RankRequest {
     /// Per-request shard-count override for the sharded path (0 = one per
     /// available core).
     pub search_shards: Option<usize>,
+    /// Restrict scoring to one doc-hash partition (`partition_index` +
+    /// `partition_count` in the body). The cluster router sets this on each
+    /// fanout leg; plain clients normally omit both fields.
+    pub partition: Option<PartitionSpec>,
 }
 
 impl RankRequest {
@@ -279,13 +284,46 @@ impl RankRequest {
                 }
             },
         };
+        let partition = match (
+            p.optional_u64("partition_index"),
+            p.optional_u64("partition_count"),
+        ) {
+            (None, None) => None,
+            (Some(index), Some(count)) => {
+                if count == 0 || count > u32::MAX as u64 {
+                    p.reject("partition_count", "must be between 1 and 2^32-1");
+                    None
+                } else if index >= count {
+                    p.reject("partition_index", "must be less than partition_count");
+                    None
+                } else {
+                    PartitionSpec::new(index as u32, count as u32)
+                }
+            }
+            (Some(_), None) => {
+                p.reject("partition_count", "required when partition_index is set");
+                None
+            }
+            (None, Some(_)) => {
+                p.reject("partition_index", "required when partition_count is set");
+                None
+            }
+        };
         let out = Self {
             query: p.require_str("query"),
             k: p.require_usize("k"),
             search_strategy,
             search_shards: p.optional_u64("search_shards").map(|s| s as usize),
+            partition,
         };
-        let errors = p.finish(&["query", "k", "search_strategy", "search_shards"]);
+        let errors = p.finish(&[
+            "query",
+            "k",
+            "search_strategy",
+            "search_shards",
+            "partition_index",
+            "partition_count",
+        ]);
         if errors.is_empty() {
             Ok(out)
         } else {

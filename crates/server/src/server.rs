@@ -16,8 +16,29 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::http::read_request;
-use crate::service::{handle_request, AppState};
+use crate::http::{read_request, Request, Response};
+
+/// What the accept loop serves: a request handler plus shutdown hooks.
+///
+/// [`crate::service::AppState`] (a single-node engine) and
+/// [`crate::router::RouterState`] (a scatter-gather fanout) both implement
+/// this, so one accept loop serves either role. Implementations are
+/// `&'static` — servers are process-lifetime objects, matching the leaked
+/// engine pattern used everywhere else.
+pub trait App: Send + Sync {
+    /// Handle one parsed request.
+    fn handle(&self, request: &Request) -> Response;
+
+    /// Record a request refused at the accept-loop door (saturation 503).
+    fn record_rejected(&self, _status: u16) {}
+
+    /// Shutdown has begun; the accept loop still answers. Stop admitting
+    /// long-lived work here (e.g. drain the job queue).
+    fn begin_shutdown(&self) {}
+
+    /// The accept loop has joined; release remaining background workers.
+    fn finish_shutdown(&self) {}
+}
 
 /// Accept-loop tuning knobs.
 #[derive(Debug, Clone)]
@@ -38,7 +59,7 @@ impl Default for ServerOptions {
 /// A CREDENCE HTTP server bound to an address.
 pub struct Server {
     listener: TcpListener,
-    state: &'static AppState,
+    state: &'static dyn App,
     options: ServerOptions,
 }
 
@@ -47,7 +68,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     join: Option<JoinHandle<()>>,
-    state: &'static AppState,
+    state: &'static dyn App,
 }
 
 impl ServerHandle {
@@ -64,7 +85,7 @@ impl ServerHandle {
         // Stop admitting jobs first, while the accept loop still answers:
         // in-flight submissions observe `shutting_down` instead of racing
         // a closed socket.
-        self.state.jobs().begin_shutdown(self.state.metrics());
+        self.state.begin_shutdown();
         self.stop.store(true, Ordering::SeqCst);
         // Unblock accept() with a dummy connection; the accept thread may
         // already be gone, so a refused/timed-out connect is fine.
@@ -82,21 +103,21 @@ impl ServerHandle {
         }
         // Workers exit once the drained queue is empty; joining them last
         // guarantees every in-flight job stored its result.
-        self.state.jobs().join_workers();
+        self.state.finish_shutdown();
     }
 }
 
 impl Server {
     /// Bind to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) with
     /// default options.
-    pub fn bind(addr: impl ToSocketAddrs, state: &'static AppState) -> io::Result<Self> {
+    pub fn bind(addr: impl ToSocketAddrs, state: &'static dyn App) -> io::Result<Self> {
         Self::bind_with(addr, state, ServerOptions::default())
     }
 
     /// Bind with explicit accept-loop options.
     pub fn bind_with(
         addr: impl ToSocketAddrs,
-        state: &'static AppState,
+        state: &'static dyn App,
         options: ServerOptions,
     ) -> io::Result<Self> {
         Ok(Self {
@@ -149,7 +170,7 @@ impl Drop for SlotGuard {
 
 fn accept_loop(
     listener: TcpListener,
-    state: &'static AppState,
+    state: &'static dyn App,
     stop: Option<Arc<AtomicBool>>,
     options: &ServerOptions,
 ) {
@@ -173,7 +194,7 @@ fn accept_loop(
             .with_header("retry-after", "1");
             let _ = resp.write_to(&stream);
             let _ = stream.shutdown(std::net::Shutdown::Both);
-            state.metrics().record_request("other", 503, 0);
+            state.record_rejected(503);
             continue;
         }
         let guard = SlotGuard(Arc::clone(&active));
@@ -184,13 +205,13 @@ fn accept_loop(
     }
 }
 
-fn handle_connection(state: &'static AppState, stream: TcpStream) {
+fn handle_connection(state: &'static dyn App, stream: TcpStream) {
     let peer_stream = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
     let response = match read_request(peer_stream) {
-        Ok(request) => handle_request(state, &request),
+        Ok(request) => state.handle(&request),
         Err(err) => crate::service::error_envelope(400, "bad_request", err.to_string()),
     };
     let _ = response.write_to(&stream);
@@ -200,6 +221,7 @@ fn handle_connection(state: &'static AppState, stream: TcpStream) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::service::AppState;
     use credence_core::EngineConfig;
     use credence_index::Document;
     use std::io::{Read, Write};

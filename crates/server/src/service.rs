@@ -156,6 +156,24 @@ impl AppState {
     }
 }
 
+impl crate::server::App for AppState {
+    fn handle(&self, request: &Request) -> Response {
+        handle_request(self, request)
+    }
+
+    fn record_rejected(&self, status: u16) {
+        self.metrics.record_request("other", status, 0);
+    }
+
+    fn begin_shutdown(&self) {
+        self.jobs.begin_shutdown(&self.metrics);
+    }
+
+    fn finish_shutdown(&self) {
+        self.jobs.join_workers();
+    }
+}
+
 /// Endpoint labels for the metrics registry — one per route plus the
 /// `"other"` catch-all (unmatched paths, bad methods).
 const ENDPOINT_LABELS: &[&str] = &[
@@ -377,7 +395,7 @@ pub(crate) fn error_envelope(status: u16, code: &str, message: impl Into<String>
 
 /// The envelope for field-validation failures: code `invalid_field`, the
 /// first offending field in `field`, and every failure in `details`.
-fn invalid_fields_response(errors: Vec<FieldError>) -> Response {
+pub(crate) fn invalid_fields_response(errors: Vec<FieldError>) -> Response {
     debug_assert!(!errors.is_empty());
     let message = errors
         .iter()
@@ -418,7 +436,7 @@ fn explain_error_response(err: ExplainError) -> Response {
 }
 
 /// Parse the request body as a JSON object.
-fn json_body(req: &Request) -> Result<Value, Response> {
+pub(crate) fn json_body(req: &Request) -> Result<Value, Response> {
     let text = req
         .body_utf8()
         .ok_or_else(|| error_envelope(400, "invalid_json", "body is not UTF-8"))?;
@@ -446,7 +464,7 @@ fn pool_entry_json(row: &PoolEntry) -> Value {
 }
 
 /// Strip the version prefix: `/api/v1/rank` → (`/rank`, true).
-fn strip_version(path: &str) -> (&str, bool) {
+pub(crate) fn strip_version(path: &str) -> (&str, bool) {
     match path.strip_prefix(API_PREFIX) {
         Some("") => ("/", true),
         Some(rest) if rest.starts_with('/') => (rest, true),
@@ -595,6 +613,7 @@ fn rank(state: &AppState, req: &Request, _tail: &str) -> Response {
     if let Some(shards) = parsed.search_shards {
         opts.shards = shards;
     }
+    opts.partition = parsed.partition;
     let rows: Vec<Value> = state
         .engine
         .rank_with_options(&parsed.query, parsed.k, &opts)

@@ -365,3 +365,117 @@ fn metrics_expose_the_job_families() {
     );
     h.handle.stop();
 }
+
+#[test]
+fn jobs_through_the_router_match_single_node_payloads_bit_for_bit() {
+    use credence_server::{RouterConfig, RouterState};
+
+    // A worker behind a router, and an independent single-node control.
+    // Both index the same documents, and every substrate is seeded, so
+    // the stored result payloads must agree byte for byte.
+    let control = Harness::boot(quick_docs(), JobsConfig::default());
+    let worker = Harness::boot(quick_docs(), JobsConfig::default());
+    let router_state = RouterState::leak(vec![worker.addr()], RouterConfig::default());
+    let router = Server::bind("127.0.0.1:0", router_state)
+        .unwrap()
+        .spawn()
+        .unwrap();
+
+    let submit = r#"{"endpoint": "sentence-removal",
+        "request": {"query": "covid outbreak", "k": 2, "doc": 1, "n": 1}}"#;
+
+    // Submit through the router: the wire id gains the worker tag.
+    let (status, _, v) = raw_request(router.addr(), "POST", "/api/v1/jobs", Some(submit));
+    assert_eq!(status, 202, "{v}");
+    let routed_id = {
+        let v = parse(&v).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("queued"));
+        v.get("job_id").unwrap().as_str().unwrap().to_string()
+    };
+    assert!(
+        routed_id.starts_with("job-0-"),
+        "router ids carry the worker index: {routed_id}"
+    );
+
+    // Poll through the router until the job lands.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let routed_view = loop {
+        let (status, _, body) = raw_request(
+            router.addr(),
+            "GET",
+            &format!("/api/v1/jobs/{routed_id}"),
+            None,
+        );
+        assert_eq!(status, 200, "{body}");
+        let view = parse(&body).unwrap();
+        match view.get("status").unwrap().as_str().unwrap() {
+            "queued" | "running" => {
+                assert!(Instant::now() < deadline, "routed job never finished");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            _ => break view,
+        }
+    };
+    assert_eq!(
+        routed_view.get("status").unwrap().as_str(),
+        Some("complete")
+    );
+    assert_eq!(
+        routed_view.get("result_status").unwrap().as_u64(),
+        Some(200)
+    );
+    assert_eq!(
+        routed_view.get("job_id").unwrap().as_str(),
+        Some(routed_id.as_str()),
+        "polled ids stay router-tagged"
+    );
+
+    // The same job executed single-node.
+    let (wire, numeric) = control.submit(submit);
+    assert_eq!(
+        control
+            .state
+            .jobs()
+            .wait_terminal(numeric, Duration::from_secs(30)),
+        Some(JobState::Complete)
+    );
+    let (status, _, single_view) = control.request("GET", &format!("/api/v1/jobs/{wire}"), None);
+    assert_eq!(status, 200);
+
+    // Bit-identical payloads: compare the serialised result bytes, not
+    // just structural equality.
+    assert_eq!(
+        credence_json::to_string(routed_view.get("result").unwrap()),
+        credence_json::to_string(single_view.get("result").unwrap()),
+        "router job payloads must be bit-identical to single-node jobs"
+    );
+
+    // And both match the synchronous endpoint.
+    let (sync_status, _, sync) = control.request(
+        "POST",
+        "/api/v1/explain/sentence-removal",
+        Some(r#"{"query": "covid outbreak", "k": 2, "doc": 1, "n": 1}"#),
+    );
+    assert_eq!(sync_status, 200);
+    assert_eq!(*single_view.get("result").unwrap(), sync);
+
+    // Cancel routing: a DELETE on the tagged id reaches the owner worker
+    // (already terminal, so the worker reports the terminal state).
+    let (status, _, body) = raw_request(
+        router.addr(),
+        "DELETE",
+        &format!("/api/v1/jobs/{routed_id}"),
+        None,
+    );
+    assert_eq!(status, 200, "{body}");
+
+    // Malformed and out-of-range router ids fail loudly.
+    let (status, _, _) = raw_request(router.addr(), "GET", "/api/v1/jobs/job-9", None);
+    assert_eq!(status, 400, "single-node ids are not valid router ids");
+    let (status, _, _) = raw_request(router.addr(), "GET", "/api/v1/jobs/job-7-1", None);
+    assert_eq!(status, 404, "worker index out of range");
+
+    router.stop();
+    worker.handle.stop();
+    control.handle.stop();
+}

@@ -1055,3 +1055,74 @@ prop! {
         prop_assert_eq!(stored, sync_value);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Scatter-gather router: merged cluster responses are the single-node bytes.
+// ---------------------------------------------------------------------------
+
+/// Drive a router state in-process (its fanout legs still cross real
+/// sockets to the worker).
+fn router_post(
+    state: &'static credence_server::RouterState,
+    path: &str,
+    body: &str,
+) -> (u16, String) {
+    use credence_server::App;
+    let req = credence_server::http::Request {
+        method: "POST".into(),
+        path: path.into(),
+        headers: Default::default(),
+        body: body.as_bytes().to_vec(),
+    };
+    let resp = state.handle(&req);
+    (resp.status, String::from_utf8(resp.body).unwrap())
+}
+
+prop! {
+    /// The router's scatter-gather merge is byte-identical to the
+    /// single-node response for every partition count 1..=8, on corpora
+    /// built from duplicated template bodies — identical BM25 scores
+    /// everywhere, so the (score desc, doc asc) tie-break carries the
+    /// whole ordering and any merge discrepancy surfaces immediately.
+    config(cases = 8);
+    fn router_merge_matches_single_node_bytes(
+        bodies in gens::vec_of(gens::one_of(vec![
+            gens::just("covid outbreak closes the local school"),
+            gens::just("covid outbreak covid outbreak tonight"),
+            gens::just("vaccine research accelerates during the outbreak"),
+            gens::just("garden fair draws a record crowd"),
+        ]), 2..24),
+        k in gens::usize_range(1..30),
+    ) {
+        let docs: Vec<Document> = bodies
+            .iter()
+            .map(|b| Document::from_body(b.to_string()))
+            .collect();
+        let state = credence_server::AppState::leak(docs, credence_core::EngineConfig::fast());
+        let worker = credence_server::Server::bind("127.0.0.1:0", state)
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let body = format!(r#"{{"query": "covid outbreak", "k": {k}}}"#);
+        let (single_status, single) = job_post(state, "/api/v1/rank", &body);
+        prop_assert_eq!(single_status, 200, "{}", single);
+        for count in 1..=8u32 {
+            let router = credence_server::RouterState::leak(
+                vec![worker.addr()],
+                credence_server::RouterConfig {
+                    partitions: count,
+                    fanout_deadline_ms: 10_000,
+                },
+            );
+            let (status, routed) = router_post(router, "/api/v1/rank", &body);
+            prop_assert_eq!(status, 200, "{}", routed);
+            prop_assert_eq!(
+                &routed,
+                &single,
+                "partition count {} must reproduce the single-node bytes",
+                count
+            );
+        }
+        worker.stop();
+    }
+}
