@@ -143,11 +143,30 @@ fn write_baseline(path: &std::path::Path, current: &BTreeMap<String, f64>) -> st
 /// *current* records. Unlike the baseline comparison these are absolute
 /// claims about the code (e.g. "pruning beats the exhaustive scan"), so
 /// they hold on any machine and cannot be washed out by a slow host.
-const RATIO_GATES: &[(&str, &str, f64)] = &[(
-    "ranking/throughput/pruned",
-    "ranking/throughput/exhaustive",
-    3.0,
-)];
+const RATIO_GATES: &[(&str, &str, f64)] = &[
+    (
+        "ranking/throughput/pruned",
+        "ranking/throughput/exhaustive",
+        3.0,
+    ),
+    // Block-Max-WAND must not lose to the flat MaxScore path it supersedes
+    // on the selective fixture query.
+    ("ranking/throughput/bmw", "ranking/throughput/pruned", 1.0),
+    // Sharded runs BMW per shard: even single-core (one shard plus thread
+    // overhead) it must at least match the exhaustive scan.
+    (
+        "ranking/throughput/sharded",
+        "ranking/throughput/exhaustive",
+        1.0,
+    ),
+    // The incremental term-removal scorer must clearly beat re-analysing
+    // the perturbed body from scratch.
+    (
+        "term_removal/throughput/incremental_parallel",
+        "term_removal/throughput/exact_serial",
+        2.0,
+    ),
+];
 
 /// Ratio verdicts: `(fast, slow, required, actual, ok)`. Gates whose
 /// records are missing fail (`actual = None`) — the suite must have run.
@@ -308,12 +327,28 @@ mod tests {
 
     #[test]
     fn ratio_gates_require_the_margin() {
-        let gate = RATIO_GATES[0];
-        let pass = map(&[(gate.0, 4000.0), (gate.1, 1000.0)]);
-        assert!(check_ratios(&pass).iter().all(|v| v.4), "4x must pass");
-        let fail = map(&[(gate.0, 2000.0), (gate.1, 1000.0)]);
+        // A consistent record set satisfying every gate with headroom:
+        // pruned 6x exhaustive, bmw 2x pruned, sharded 4x exhaustive,
+        // incremental_parallel 5x exact_serial.
+        let pass = map(&[
+            ("ranking/throughput/exhaustive", 1000.0),
+            ("ranking/throughput/pruned", 6000.0),
+            ("ranking/throughput/bmw", 12000.0),
+            ("ranking/throughput/sharded", 4000.0),
+            ("term_removal/throughput/exact_serial", 1000.0),
+            ("term_removal/throughput/incremental_parallel", 5000.0),
+        ]);
+        assert!(
+            check_ratios(&pass).iter().all(|v| v.4),
+            "ample margins must pass every gate"
+        );
+
+        let mut fail = pass.clone();
+        fail.insert("ranking/throughput/pruned".to_string(), 2000.0);
         assert!(!check_ratios(&fail)[0].4, "2x must fail a 3x gate");
-        let missing = map(&[(gate.1, 1000.0)]);
+
+        let mut missing = pass.clone();
+        missing.remove("ranking/throughput/pruned");
         let v = &check_ratios(&missing)[0];
         assert!(!v.4 && v.3.is_none(), "missing records must fail");
     }

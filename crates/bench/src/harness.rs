@@ -9,9 +9,10 @@
 //!
 //! Environment knobs:
 //!
-//! - `CREDENCE_BENCH_SMOKE=1` — smoke mode: no warmup, one iteration per
-//!   sample, two samples. Used by `ci.sh` to prove every bench target still
-//!   runs without paying for statistics.
+//! - `CREDENCE_BENCH_SMOKE=1` — smoke mode: one warmup iteration, then
+//!   three single-iteration samples. Used by `ci.sh` to prove every bench
+//!   target still runs (and to feed the `bench_check` ratio gates) without
+//!   paying for statistics.
 //! - `CREDENCE_BENCH_DIR` — where `BENCH_<target>.json` is written
 //!   (default `target/credence-bench`).
 //!
@@ -129,8 +130,13 @@ impl Bencher {
     /// away.
     pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
         if self.smoke {
-            let mut samples = Vec::with_capacity(2);
-            for _ in 0..2 {
+            // One untimed call absorbs cold state (lazy caches, page
+            // faults), then three single-iteration samples: with only two
+            // samples the reported median degenerates to the slower one,
+            // which makes the bench_check ratio gates needlessly noisy.
+            black_box(f());
+            let mut samples = Vec::with_capacity(3);
+            for _ in 0..3 {
                 let start = Instant::now();
                 black_box(f());
                 samples.push(start.elapsed().as_nanos() as f64);
@@ -535,9 +541,12 @@ mod tests {
                 calls
             })
         });
-        assert_eq!(calls, 2, "smoke mode runs exactly two samples of one iter");
+        assert_eq!(
+            calls, 4,
+            "smoke mode runs one warmup plus three samples of one iter"
+        );
         let r = &c.results[0];
-        assert_eq!((r.samples, r.iters_per_sample), (2, 1));
+        assert_eq!((r.samples, r.iters_per_sample), (3, 1));
         assert_eq!(r.name, "counted");
         assert!(r.median_ns > 0.0);
     }

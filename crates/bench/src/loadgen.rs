@@ -98,7 +98,7 @@ pub fn query_pool(index: &InvertedIndex, terms: usize) -> Vec<String> {
     let mut by_df: Vec<(u32, &str)> = index
         .vocabulary()
         .iter()
-        .map(|(id, term)| (index.postings(id).len() as u32, term))
+        .map(|(id, term)| (index.postings_len(id) as u32, term))
         .collect();
     by_df.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(b.1)));
     by_df.truncate(terms);

@@ -33,7 +33,7 @@ USAGE: credence <command> [options]
 
 COMMANDS
   rank      --query Q --k K [--corpus F]              rank the corpus
-            [--search-strategy auto|exhaustive|pruned|sharded] [--search-shards N]
+            [--search-strategy auto|exhaustive|pruned|bmw|sharded] [--search-shards N]
             every command accepts --ranker bm25|ql|ql-jm|rm3|neural (default bm25)
   explain   --type T --query Q --k K --doc ID         generate explanations
             [--n N] [--threshold T] [--samples S] [--corpus F]
@@ -168,7 +168,7 @@ fn rank(args: &Args) -> Result<String, CliError> {
     if let Some(s) = args.get("search-strategy") {
         retrieval.strategy = SearchStrategy::parse(s).ok_or_else(|| {
             CliError::new(format!(
-                "--search-strategy must be auto | exhaustive | pruned | sharded, got {s:?}"
+                "--search-strategy must be auto | exhaustive | pruned | bmw | sharded, got {s:?}"
             ))
         })?;
     }
@@ -581,7 +581,7 @@ mod tests {
     #[test]
     fn rank_search_strategy_flag() {
         let base = run_line("rank --query covid --k 3").unwrap();
-        for strategy in ["exhaustive", "pruned", "sharded", "auto"] {
+        for strategy in ["exhaustive", "pruned", "bmw", "sharded", "auto"] {
             let out = run_line(&format!(
                 "rank --query covid --k 3 --search-strategy {strategy} --search-shards 2"
             ))

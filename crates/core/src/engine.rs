@@ -124,6 +124,10 @@ pub struct RetrievalStats {
     pub docs_pruned: u64,
     /// Shards spawned by the parallel fallback (0 for serial strategies).
     pub shards_used: u64,
+    /// Posting blocks decoded by the block-traversal strategies.
+    pub blocks_decoded: u64,
+    /// Posting blocks skipped undecoded via their block-max metadata.
+    pub blocks_skipped: u64,
     /// Ranking-cache lookups served without recomputation.
     pub cache_hits: u64,
     /// Ranking-cache lookups that had to rank the corpus.
@@ -287,6 +291,8 @@ struct RetrievalCounters {
     docs_scored: std::sync::atomic::AtomicU64,
     docs_pruned: std::sync::atomic::AtomicU64,
     shards_used: std::sync::atomic::AtomicU64,
+    blocks_decoded: std::sync::atomic::AtomicU64,
+    blocks_skipped: std::sync::atomic::AtomicU64,
 }
 
 /// The CREDENCE backend over a black-box ranker.
@@ -368,6 +374,12 @@ impl<'a> CredenceEngine<'a> {
             self.counters
                 .shards_used
                 .fetch_add(stats.shards_used, Relaxed);
+            self.counters
+                .blocks_decoded
+                .fetch_add(stats.blocks_decoded, Relaxed);
+            self.counters
+                .blocks_skipped
+                .fetch_add(stats.blocks_skipped, Relaxed);
             list
         })
     }
@@ -384,6 +396,8 @@ impl<'a> CredenceEngine<'a> {
             docs_scored: self.counters.docs_scored.load(Relaxed),
             docs_pruned: self.counters.docs_pruned.load(Relaxed),
             shards_used: self.counters.shards_used.load(Relaxed),
+            blocks_decoded: self.counters.blocks_decoded.load(Relaxed),
+            blocks_skipped: self.counters.blocks_skipped.load(Relaxed),
             cache_hits: self.cache.hits.load(Relaxed),
             cache_misses: self.cache.misses.load(Relaxed),
         }
@@ -601,11 +615,11 @@ impl<'a> CredenceEngine<'a> {
                 (ranking.top_k(k).into_iter().collect(), Some(ranking))
             }
         };
-        let neighbors = credence_embed::nearest_neighbors(
+        let neighbors = credence_embed::nearest_neighbors_quantized(
             &inferred,
-            (0..index.num_docs())
-                .map(|d| (d, self.doc2vec.doc_vector(d)))
-                .filter(|&(d, _)| !excluded.contains(&DocId(d as u32))),
+            self.doc2vec.quantized(),
+            |d| self.doc2vec.doc_vector(d),
+            (0..index.num_docs()).filter(|&d| !excluded.contains(&DocId(d as u32))),
             n,
         );
         neighbors

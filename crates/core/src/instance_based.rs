@@ -19,7 +19,7 @@
 
 use std::collections::HashSet;
 
-use credence_embed::{nearest_neighbors, Doc2Vec};
+use credence_embed::{nearest_neighbors_quantized, Doc2Vec};
 use credence_index::vector::bm25_doc_vector;
 use credence_index::{cosine_similarity, Bm25Params, DocId};
 use credence_rank::{rank_corpus, RankedList, Ranker};
@@ -111,11 +111,11 @@ pub fn doc2vec_nearest(
     }
     let (ranking, candidates) = non_relevant_candidates(ranker, query, k, doc)?;
     let query_vec = model.doc_vector(doc.index());
-    let neighbors = nearest_neighbors(
+    let neighbors = nearest_neighbors_quantized(
         query_vec,
-        candidates
-            .iter()
-            .map(|d| (d.index(), model.doc_vector(d.index()))),
+        model.quantized(),
+        |d| model.doc_vector(d),
+        candidates.iter().map(|d| d.index()),
         n,
     );
     Ok(neighbors

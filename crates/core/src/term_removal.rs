@@ -13,11 +13,11 @@
 //! match the query (mirroring the sentence-importance heuristic); removing a
 //! term removes *all* of its occurrences.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
 
 use credence_index::DocId;
-use credence_rank::{rank_corpus, rerank_pool, PoolScorer, RankedList, Ranker};
+use credence_rank::{rank_corpus, rerank_pool, PoolScorer, RankedList, Ranker, TermRemovalScorer};
 use credence_text::tokenize;
 
 use crate::budget::{Budget, SearchStatus};
@@ -167,23 +167,31 @@ pub fn explain_term_removal_ranked(
     // but sort last.
     let analyzer = index.analyzer();
     let query_terms: HashSet<String> = analyzer.analyze(query).into_iter().collect();
-    let mut candidates: Vec<(String, f64)> = Vec::new();
-    let mut seen: HashSet<String> = HashSet::new();
-    for tok in tokenize(&document.body) {
-        if !seen.insert(tok.term.clone()) {
-            continue;
-        }
-        let analyzed = analyzer.analyze(&tok.term);
-        let matches_query = analyzed
-            .first()
-            .is_some_and(|t| query_terms.contains(t.as_str()));
-        let occurrences = tokenize(&document.body)
-            .iter()
-            .filter(|t| t.term == tok.term)
-            .count() as f64;
-        let score = if matches_query { occurrences } else { 0.0 };
-        candidates.push((tok.term, score));
+    let tokens = tokenize(&document.body);
+    let mut occurrences: HashMap<&str, f64> = HashMap::new();
+    let mut order: Vec<&str> = Vec::new();
+    for tok in &tokens {
+        let count = occurrences.entry(tok.term.as_str()).or_insert_with(|| {
+            order.push(tok.term.as_str());
+            0.0
+        });
+        *count += 1.0;
     }
+    let mut candidates: Vec<(String, f64)> = order
+        .into_iter()
+        .map(|term| {
+            let analyzed = analyzer.analyze(term);
+            let matches_query = analyzed
+                .first()
+                .is_some_and(|t| query_terms.contains(t.as_str()));
+            let score = if matches_query {
+                occurrences[term]
+            } else {
+                0.0
+            };
+            (term.to_string(), score)
+        })
+        .collect();
     candidates.sort_by(|a, b| {
         b.1.partial_cmp(&a.1)
             .unwrap_or(std::cmp::Ordering::Equal)
@@ -193,13 +201,21 @@ pub fn explain_term_removal_ranked(
         return Err(ExplainError::NoCandidateTerms(doc));
     }
 
-    // Term removal rewrites the body by string surgery, so each candidate
-    // must be re-scored as text; the pool scorer still removes the per-
-    // candidate re-scoring of the other k pool documents.
+    // Fast path: score each candidate set from pre-analysed tf/length
+    // deltas (no string surgery, no re-analysis), then rank it against the
+    // precomputed pool scores. The perturbed body is only materialised for
+    // accepted explanations. Falls back to exact text scoring when the
+    // model is not term-decomposable or `force_exact` is set.
     let pool_scorer = if config.eval.force_exact {
         None
     } else {
         Some(PoolScorer::new(ranker, query, &pool, doc))
+    };
+    let surfaces: Vec<&str> = candidates.iter().map(|c| c.0.as_str()).collect();
+    let removal_scorer = if config.eval.force_exact {
+        None
+    } else {
+        TermRemovalScorer::new(ranker, query, &document.body, &surfaces)
     };
 
     let scores: Vec<f64> = candidates.iter().map(|c| c.1).collect();
@@ -214,6 +230,9 @@ pub fn explain_term_removal_ranked(
             &config.eval,
             &config.lifecycle,
             |combo| {
+                if let (Some(inc), Some(pool_scorer)) = (&removal_scorer, &pool_scorer) {
+                    return (pool_scorer.rank_for(inc.score_without(&combo.items)), None);
+                }
                 let terms: HashSet<String> = combo
                     .items
                     .iter()
@@ -230,7 +249,7 @@ pub fn explain_term_removal_ranked(
                             .expect("substituted doc in pool")
                     }
                 };
-                (new_rank, perturbed)
+                (new_rank, Some(perturbed))
             },
             |combo, (new_rank, perturbed), committed| {
                 total_committed = committed;
@@ -240,6 +259,10 @@ pub fn explain_term_removal_ranked(
                         .iter()
                         .map(|&i| candidates[i].0.clone())
                         .collect();
+                    let perturbed = perturbed.unwrap_or_else(|| {
+                        let terms: HashSet<String> = removed.iter().cloned().collect();
+                        remove_terms(&document.body, &terms)
+                    });
                     removed.sort();
                     explanations.push(TermRemovalExplanation {
                         removed_terms: removed,

@@ -8,9 +8,12 @@
 //! builder perturbation) by freezing the word-output matrix and training only
 //! a fresh document vector, exactly as gensim's `infer_vector` does.
 
+use std::sync::OnceLock;
+
 use credence_rng::rngs::StdRng;
 use credence_rng::{Rng, SeedableRng};
 
+use crate::nn::QuantizedVectors;
 use crate::sampling::UnigramTable;
 use crate::vecmath::cosine;
 use crate::word2vec::sgns_update;
@@ -58,6 +61,9 @@ pub struct Doc2Vec {
     table: Option<UnigramTable>,
     config: Doc2VecConfig,
     num_docs: usize,
+    /// Lazily-built i8 quantisation of `doc_vecs`, shared by the
+    /// shortlist-then-rescore nearest-neighbour path.
+    quantized: OnceLock<QuantizedVectors>,
 }
 
 impl Doc2Vec {
@@ -116,6 +122,7 @@ impl Doc2Vec {
             table,
             config: config.clone(),
             num_docs: docs.len(),
+            quantized: OnceLock::new(),
         }
     }
 
@@ -137,6 +144,16 @@ impl Doc2Vec {
     /// The trained vector of corpus document `doc`.
     pub fn doc_vector(&self, doc: usize) -> &[f32] {
         &self.doc_vecs[doc * self.dim..(doc + 1) * self.dim]
+    }
+
+    /// The i8 quantisation of the document vectors, built on first use and
+    /// cached. Feed it to
+    /// [`nearest_neighbors_quantized`](crate::nn::nearest_neighbors_quantized)
+    /// together with [`Self::doc_vector`] for the exact-rescore pass.
+    pub fn quantized(&self) -> &QuantizedVectors {
+        self.quantized.get_or_init(|| {
+            QuantizedVectors::build(self.num_docs, self.dim, |d| self.doc_vector(d))
+        })
     }
 
     /// Cosine similarity between two trained document vectors.

@@ -25,7 +25,7 @@ pub mod vecmath;
 pub mod word2vec;
 
 pub use doc2vec::{Doc2Vec, Doc2VecConfig};
-pub use nn::{nearest_neighbors, Neighbor};
+pub use nn::{nearest_neighbors, nearest_neighbors_quantized, Neighbor, QuantizedVectors};
 pub use pvdm::{PvDm, PvDmConfig};
 pub use sampling::UnigramTable;
 pub use vecmath::{cosine, dot, norm};

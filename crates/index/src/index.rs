@@ -5,9 +5,11 @@
 //! lengths, and the frozen [`CollectionStats`] snapshot.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use credence_text::{Analyzer, TermId, Vocabulary};
 
+use crate::blocks::{CompressedPostings, DEFAULT_BLOCK_SIZE};
 use crate::doc::{DocId, Document};
 use crate::stats::CollectionStats;
 
@@ -104,7 +106,7 @@ fn derive_bounds(
 pub struct InvertedIndex {
     docs: Vec<Document>,
     vocab: Vocabulary,
-    postings: Vec<Vec<Posting>>,
+    postings: Vec<PostingList>,
     doc_len: Vec<u32>,
     doc_terms: Vec<Vec<(TermId, u32)>>,
     stats: CollectionStats,
@@ -113,9 +115,53 @@ pub struct InvertedIndex {
     analyzer: Analyzer,
 }
 
+/// One term's postings: the block-compressed list (the storage of record,
+/// what the retrieval engines traverse) plus a lazily materialised
+/// uncompressed view for the replay/persistence/phrase paths that want a
+/// plain `&[Posting]` slice. The cache fills at most once per term.
+#[derive(Debug, Clone, Default)]
+struct PostingList {
+    compressed: CompressedPostings,
+    cache: OnceLock<Vec<Posting>>,
+}
+
+impl PostingList {
+    fn materialized(&self) -> &[Posting] {
+        self.cache.get_or_init(|| self.compressed.decode_all())
+    }
+}
+
+/// Compress every term's raw postings into [`CompressedPostings`].
+fn compress_lists(
+    postings: Vec<Vec<Posting>>,
+    block_size: usize,
+    doc_len: &[u32],
+    norm_len: &[f64],
+) -> Vec<PostingList> {
+    postings
+        .into_iter()
+        .map(|list| PostingList {
+            compressed: CompressedPostings::compress(&list, block_size, doc_len, norm_len),
+            cache: OnceLock::new(),
+        })
+        .collect()
+}
+
 impl InvertedIndex {
-    /// Analyse and index `docs` (bodies only, per §II-A of the paper).
+    /// Analyse and index `docs` (bodies only, per §II-A of the paper), with
+    /// the default posting-block size.
     pub fn build(docs: Vec<Document>, analyzer: Analyzer) -> Self {
+        Self::build_with_block_size(docs, analyzer, DEFAULT_BLOCK_SIZE)
+    }
+
+    /// [`InvertedIndex::build`] with an explicit postings-per-block size
+    /// (clamped to at least 1). Smaller blocks give Block-Max-WAND tighter
+    /// bounds and finer skips at the cost of more per-block metadata.
+    pub fn build_with_block_size(
+        docs: Vec<Document>,
+        analyzer: Analyzer,
+        block_size: usize,
+    ) -> Self {
         let mut vocab = Vocabulary::new();
         let mut postings: Vec<Vec<Posting>> = Vec::new();
         let mut doc_len = Vec::with_capacity(docs.len());
@@ -157,6 +203,7 @@ impl InvertedIndex {
             coll_freq,
         };
         let (bounds, norm_len) = derive_bounds(&postings, &doc_len, &stats);
+        let postings = compress_lists(postings, block_size, &doc_len, &norm_len);
 
         Self {
             docs,
@@ -212,6 +259,7 @@ impl InvertedIndex {
             coll_freq,
         };
         let (bounds, norm_len) = derive_bounds(&postings, &doc_len, &stats);
+        let postings = compress_lists(postings, DEFAULT_BLOCK_SIZE, &doc_len, &norm_len);
         Ok(Self {
             docs,
             vocab,
@@ -260,12 +308,31 @@ impl InvertedIndex {
         &self.vocab
     }
 
-    /// Postings list for a term id (empty slice when unknown).
+    /// Postings list for a term id (empty slice when unknown), as an
+    /// uncompressed view. The first call per term decodes and caches the
+    /// whole list; hot retrieval paths that only need lengths or block
+    /// traversal use [`InvertedIndex::postings_len`] /
+    /// [`InvertedIndex::compressed_postings`] instead so they never force
+    /// the materialisation.
     pub fn postings(&self, term: TermId) -> &[Posting] {
         self.postings
             .get(term as usize)
-            .map(Vec::as_slice)
+            .map(PostingList::materialized)
             .unwrap_or(&[])
+    }
+
+    /// Number of postings for a term id (0 when unknown), without decoding.
+    pub fn postings_len(&self, term: TermId) -> usize {
+        self.postings
+            .get(term as usize)
+            .map(|l| l.compressed.len())
+            .unwrap_or(0)
+    }
+
+    /// The block-compressed postings of a term id (`None` when unknown) —
+    /// the storage the Block-Max-WAND cursors traverse.
+    pub fn compressed_postings(&self, term: TermId) -> Option<&CompressedPostings> {
+        self.postings.get(term as usize).map(|l| &l.compressed)
     }
 
     /// Document frequency of an analysed term string.
@@ -445,6 +512,48 @@ mod tests {
             assert_eq!(idx.norm_len(d), expected);
         }
         assert_eq!(idx.norm_len(DocId(99)), 0.0);
+    }
+
+    #[test]
+    fn block_size_never_changes_the_postings_view() {
+        let docs = || {
+            (0..50)
+                .map(|i| {
+                    Document::from_body(match i % 3 {
+                        0 => "covid outbreak covid city",
+                        1 => "city council meets",
+                        _ => "covid vaccines arrive",
+                    })
+                })
+                .collect::<Vec<_>>()
+        };
+        let reference = InvertedIndex::build(docs(), Analyzer::english());
+        for bs in [1usize, 2, 3, 7, 64, 4096] {
+            let idx = InvertedIndex::build_with_block_size(docs(), Analyzer::english(), bs);
+            for (tid, _) in reference.vocabulary().iter() {
+                assert_eq!(idx.postings(tid), reference.postings(tid), "bs={bs}");
+                assert_eq!(idx.postings_len(tid), reference.postings(tid).len());
+                assert_eq!(idx.term_bound(tid), reference.term_bound(tid));
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_postings_expose_block_metadata() {
+        let idx = InvertedIndex::build_with_block_size(
+            (0..10)
+                .map(|_| Document::from_body("covid outbreak"))
+                .collect(),
+            Analyzer::english(),
+            4,
+        );
+        let covid = idx.vocabulary().id("covid").unwrap();
+        let c = idx.compressed_postings(covid).unwrap();
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.blocks().len(), 3);
+        assert_eq!(c.blocks()[2].first_doc, 8);
+        assert_eq!(c.blocks()[2].last_doc, 9);
+        assert!(idx.compressed_postings(9999).is_none());
     }
 
     #[test]

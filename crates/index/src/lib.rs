@@ -7,19 +7,22 @@
 //! surface from scratch:
 //!
 //! * [`doc`] — the document model ([`Document`], [`DocId`]),
+//! * [`blocks`] — block-compressed posting lists (delta-encoded, bit-packed
+//!   doc ids with per-block max-score metadata),
 //! * [`index`] — an in-memory inverted index with postings, document lengths,
 //!   and frequency statistics,
 //! * [`stats`] — collection statistics decoupled from the index so ad-hoc
 //!   (perturbed) documents can be scored against corpus-level statistics,
 //! * [`score`] — BM25 (Lucene variant) and TF-IDF weighting,
 //! * [`search`] — exact top-k retrieval,
-//! * [`topk`] — the pruned (MaxScore-style) / sharded top-k engine behind
-//!   [`search`], bit-identical to the exhaustive scan,
+//! * [`topk`] — the pruned (MaxScore-style) / Block-Max-WAND / sharded top-k
+//!   engine behind [`search`], bit-identical to the exhaustive scan,
 //! * [`vector`] — sparse per-term score vectors + cosine similarity, the
 //!   representation behind the *Cosine Sampled* explainer (§II-E).
 
 #![warn(missing_docs)]
 
+pub mod blocks;
 pub mod doc;
 pub mod highlight;
 pub mod index;
@@ -32,6 +35,7 @@ pub mod stats;
 pub mod topk;
 pub mod vector;
 
+pub use blocks::{BlockMeta, CompressedPostings, DEFAULT_BLOCK_SIZE};
 pub use doc::{DocId, Document};
 pub use highlight::{best_snippet, highlight_terms, Highlight, Snippet};
 pub use index::{InvertedIndex, Posting, TermBound};

@@ -1,7 +1,9 @@
 //! Pruned exact top-k retrieval.
 //!
-//! A MaxScore-style term-at-a-time engine plus a sharded parallel fallback,
-//! both **bit-identical** to the exhaustive scan in [`crate::search`]:
+//! A MaxScore-style term-at-a-time engine, a Block-Max-WAND
+//! document-at-a-time engine over the block-compressed postings, and a
+//! sharded parallel path (each shard runs Block-Max-WAND over its doc-id
+//! range), all **bit-identical** to the exhaustive scan in [`crate::search`]:
 //!
 //! * Every candidate that survives is scored with the *same* float fold the
 //!   exhaustive path uses ([`bm25_score_indexed`] for plain queries, the
@@ -23,10 +25,14 @@ use std::collections::BinaryHeap;
 
 use credence_text::TermId;
 
+use crate::blocks::{BlockMeta, CompressedPostings};
 use crate::doc::DocId;
 use crate::index::InvertedIndex;
 use crate::partition::PartitionSpec;
-use crate::score::{bm25_score_indexed, bm25_term_upper_bound, bm25_term_weight, Bm25Params};
+use crate::score::{
+    bm25_bound_with_idf, bm25_idf, bm25_score_indexed, bm25_term_upper_bound, bm25_term_weight,
+    Bm25Params,
+};
 use crate::search::{sort_hits, SearchHit};
 
 /// Multiplicative slack applied to summed upper bounds.
@@ -40,24 +46,31 @@ const BOUND_SLACK: f64 = 1.0 + 1e-9;
 /// How top-k retrieval traverses the index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SearchStrategy {
-    /// Choose between `Pruned` and `Sharded` with the cost heuristic.
+    /// Choose among `Pruned`, `BlockMax`, and `Sharded` with the cost
+    /// heuristic.
     #[default]
     Auto,
     /// Reference path: gather candidates, score every one serially.
     Exhaustive,
     /// MaxScore-style term-at-a-time pruning.
     Pruned,
-    /// Scored in parallel over doc-id range shards, deterministically merged.
+    /// Block-Max-WAND: document-at-a-time cursors over the compressed
+    /// blocks, with per-block score bounds driving block skips.
+    BlockMax,
+    /// Block-Max-WAND per doc-id range shard on scoped threads,
+    /// deterministically merged.
     Sharded,
 }
 
 impl SearchStrategy {
-    /// Parse a knob value (`auto` | `exhaustive` | `pruned` | `sharded`).
+    /// Parse a knob value (`auto` | `exhaustive` | `pruned` | `bmw` |
+    /// `sharded`).
     pub fn parse(s: &str) -> Option<Self> {
         match s.trim().to_ascii_lowercase().as_str() {
             "auto" => Some(Self::Auto),
             "exhaustive" => Some(Self::Exhaustive),
             "pruned" => Some(Self::Pruned),
+            "bmw" | "blockmax" | "block-max" => Some(Self::BlockMax),
             "sharded" => Some(Self::Sharded),
             _ => None,
         }
@@ -69,6 +82,7 @@ impl SearchStrategy {
             Self::Auto => "auto",
             Self::Exhaustive => "exhaustive",
             Self::Pruned => "pruned",
+            Self::BlockMax => "bmw",
             Self::Sharded => "sharded",
         }
     }
@@ -112,16 +126,25 @@ pub struct TopKStats {
     pub docs_pruned: u64,
     /// Shards used by the parallel path (`0` for serial paths).
     pub shards_used: u64,
-    /// Which path ran (`"pruned"`, `"exhaustive"`, `"sharded"`, `"empty"`).
+    /// Posting blocks decoded by the block-traversal paths (`bmw`,
+    /// `sharded`); `0` for paths reading the materialised view.
+    pub blocks_decoded: u64,
+    /// Posting blocks skipped undecoded via their block-max metadata.
+    pub blocks_skipped: u64,
+    /// Which path ran (`"pruned"`, `"bmw"`, `"exhaustive"`, `"sharded"`,
+    /// `"empty"`).
     pub strategy: &'static str,
 }
 
 impl TopKStats {
-    fn new(strategy: &'static str) -> Self {
+    /// A zeroed counter set labelled with the path that ran.
+    pub fn new(strategy: &'static str) -> Self {
         Self {
             docs_scored: 0,
             docs_pruned: 0,
             shards_used: 0,
+            blocks_decoded: 0,
+            blocks_skipped: 0,
             strategy,
         }
     }
@@ -257,9 +280,7 @@ fn unique_weighted(
     terms: impl Iterator<Item = (TermId, f64)>,
     index: &InvertedIndex,
 ) -> Vec<(TermId, f64)> {
-    let mut v: Vec<(TermId, f64)> = terms
-        .filter(|&(t, _)| !index.postings(t).is_empty())
-        .collect();
+    let mut v: Vec<(TermId, f64)> = terms.filter(|&(t, _)| index.postings_len(t) > 0).collect();
     v.sort_unstable_by_key(|&(t, _)| t);
     v.dedup_by(|a, b| {
         if a.0 == b.0 {
@@ -309,7 +330,14 @@ fn dispatch<F: Fn(DocId) -> f64 + Sync>(
     let part = opts.partition;
     match opts.strategy {
         SearchStrategy::Exhaustive => exhaustive_core(index, uniq, k, exact, part),
-        SearchStrategy::Sharded => sharded_core(index, uniq, k, exact, opts.shards, part),
+        SearchStrategy::BlockMax => match prepare_terms(index, params, uniq) {
+            Some(terms) => bmw_core(index, params, &terms, k, exact, part, (0, u64::MAX)),
+            None => exhaustive_core(index, uniq, k, exact, part),
+        },
+        SearchStrategy::Sharded => match prepare_terms(index, params, uniq) {
+            Some(terms) => sharded_core(index, params, &terms, k, exact, opts.shards, part),
+            None => exhaustive_core(index, uniq, k, exact, part),
+        },
         SearchStrategy::Pruned => match contributions(index, params, uniq) {
             Some(contribs) => pruned_core(index, &contribs, k, exact, part),
             None => exhaustive_core(index, uniq, k, exact, part),
@@ -318,9 +346,23 @@ fn dispatch<F: Fn(DocId) -> f64 + Sync>(
             let Some(contribs) = contributions(index, params, uniq) else {
                 return exhaustive_core(index, uniq, k, exact, part);
             };
-            let total: usize = uniq.iter().map(|&(t, _)| index.postings(t).len()).sum();
+            let total: usize = uniq.iter().map(|&(t, _)| index.postings_len(t)).sum();
             if total >= opts.dense_postings && !pruning_favourable(index, &contribs) {
-                sharded_core(index, uniq, k, exact, opts.shards, part)
+                // Dense query with balanced bounds: term-at-a-time MaxScore
+                // cannot skip lists, but Block-Max-WAND still skips blocks.
+                // Spread the work over threads only when the machine has
+                // more than one core — a single-core shard split is pure
+                // overhead (the embarrassment the PR-4 bench exposed).
+                let Some(terms) = prepare_terms(index, params, uniq) else {
+                    return exhaustive_core(index, uniq, k, exact, part);
+                };
+                let cores = available_cores();
+                let shards = if opts.shards == 0 { cores } else { opts.shards };
+                if shards > 1 && cores > 1 {
+                    sharded_core(index, params, &terms, k, exact, opts.shards, part)
+                } else {
+                    bmw_core(index, params, &terms, k, exact, part, (0, u64::MAX))
+                }
             } else {
                 pruned_core(index, &contribs, k, exact, part)
             }
@@ -332,6 +374,14 @@ fn dispatch<F: Fn(DocId) -> f64 + Sync>(
 #[inline]
 fn in_partition(part: Option<PartitionSpec>, doc: DocId) -> bool {
     part.map_or(true, |p| p.owns(doc))
+}
+
+/// `available_parallelism`, resolved once per process. The std call walks
+/// the cgroup hierarchy on Linux (tens of microseconds) — far too slow to
+/// sit on the per-query dispatch path.
+fn available_cores() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
 }
 
 /// Cost heuristic for `Auto` on dense queries: pruning pays off when most of
@@ -348,7 +398,7 @@ fn pruning_favourable(index: &InvertedIndex, contribs: &[(TermId, f64)]) -> bool
     let mut total = 0usize;
     for (i, &(t, c)) in contribs.iter().enumerate().rev() {
         suffix += c;
-        let len = index.postings(t).len();
+        let len = index.postings_len(t);
         total += len;
         if i > 0 && suffix < best {
             prunable += len;
@@ -367,7 +417,7 @@ fn exhaustive_core<F: Fn(DocId) -> f64>(
     part: Option<PartitionSpec>,
 ) -> (Vec<SearchHit>, TopKStats) {
     let mut stats = TopKStats::new("exhaustive");
-    let total: usize = uniq.iter().map(|&(t, _)| index.postings(t).len()).sum();
+    let total: usize = uniq.iter().map(|&(t, _)| index.postings_len(t)).sum();
     let mut candidates: Vec<DocId> = Vec::with_capacity(total);
     for &(t, _) in uniq {
         candidates.extend(index.postings(t).iter().map(|p| p.doc));
@@ -423,7 +473,7 @@ fn pruned_core<F: Fn(DocId) -> f64>(
         if top.threshold().is_some_and(|th| bound < th) {
             stats.docs_pruned += contribs[i..]
                 .iter()
-                .map(|&(t, _)| index.postings(t).len() as u64)
+                .map(|&(t, _)| index.postings_len(t) as u64)
                 .sum::<u64>();
             break;
         }
@@ -434,7 +484,7 @@ fn pruned_core<F: Fn(DocId) -> f64>(
                 stats.docs_pruned += (postings.len() - pi) as u64;
                 stats.docs_pruned += contribs[i + 1..]
                     .iter()
-                    .map(|&(t, _)| index.postings(t).len() as u64)
+                    .map(|&(t, _)| index.postings_len(t) as u64)
                     .sum::<u64>();
                 return (top.into_sorted(), stats);
             }
@@ -457,13 +507,412 @@ fn pruned_core<F: Fn(DocId) -> f64>(
     (top.into_sorted(), stats)
 }
 
-/// Parallel fallback for dense queries: contiguous doc-id range shards
-/// scored exactly on scoped threads, local top-k per shard, deterministic
-/// merge (concatenate, sort by the total order, truncate). Exact because
-/// the global top-k is contained in the union of per-shard top-ks.
+/// One query term, prepared for Block-Max-WAND: its summed weight, its
+/// weighted global upper bound, and the precomputed idf the per-block
+/// bounds reuse.
+struct PreparedTerm {
+    term: TermId,
+    weight: f64,
+    ub: f64,
+    idf: f64,
+}
+
+/// Prepare `uniq` for the block-max paths; `None` when any global bound is
+/// non-finite (degenerate BM25 parameters — callers fall back to the
+/// exhaustive path, mirroring [`contributions`]).
+fn prepare_terms(
+    index: &InvertedIndex,
+    params: Bm25Params,
+    uniq: &[(TermId, f64)],
+) -> Option<Vec<PreparedTerm>> {
+    let stats = index.stats();
+    let mut out = Vec::with_capacity(uniq.len());
+    for &(t, w) in uniq {
+        let ub = w * bm25_term_upper_bound(params, stats, t, index.term_bound(t));
+        if !ub.is_finite() {
+            return None;
+        }
+        out.push(PreparedTerm {
+            term: t,
+            weight: w,
+            ub,
+            idf: bm25_idf(stats.num_docs, stats.df(t)),
+        });
+    }
+    Some(out)
+}
+
+/// Exhausted-cursor sentinel: sorts after every real document id.
+const CURSOR_DONE: u64 = u64::MAX;
+
+/// A document-at-a-time cursor over one term's compressed blocks.
+///
+/// Only the current block is ever decoded (doc ids only — term frequencies
+/// are not needed, the exact scorer reads the forward index). Skips consult
+/// the block metadata alone.
+struct Cursor<'a> {
+    term: TermId,
+    /// Weighted global upper bound (finite, dominates any posting).
+    ub: f64,
+    weight: f64,
+    idf: f64,
+    list: &'a CompressedPostings,
+    /// Current block (valid while `cur != CURSOR_DONE`).
+    block: usize,
+    /// Position within the decoded block.
+    pos: usize,
+    /// Decoded doc ids of `block`.
+    docs: Vec<u32>,
+    /// Current doc id, [`CURSOR_DONE`] when exhausted.
+    cur: u64,
+    /// Docs `>= limit` count as exhausted (shard range restriction).
+    limit: u64,
+}
+
+impl<'a> Cursor<'a> {
+    /// Position a cursor at the first doc `>= lo` (range-skipped entries are
+    /// not counted as pruned — they belong to other shards).
+    fn new(
+        info: &PreparedTerm,
+        list: &'a CompressedPostings,
+        lo: u64,
+        limit: u64,
+        stats: &mut TopKStats,
+    ) -> Self {
+        let mut c = Self {
+            term: info.term,
+            ub: info.ub,
+            weight: info.weight,
+            idf: info.idf,
+            list,
+            block: 0,
+            pos: 0,
+            docs: Vec::new(),
+            cur: CURSOR_DONE,
+            limit,
+        };
+        let blocks = list.blocks();
+        c.block = blocks.partition_point(|m| (m.last_doc as u64) < lo);
+        if c.block < blocks.len() {
+            c.decode_current(stats);
+            c.pos = c.docs.partition_point(|&x| (x as u64) < lo);
+            c.cur = c.docs[c.pos] as u64;
+            c.clamp();
+        }
+        c
+    }
+
+    fn decode_current(&mut self, stats: &mut TopKStats) {
+        self.list.decode_block_docs(self.block, &mut self.docs);
+        stats.blocks_decoded += 1;
+    }
+
+    /// Apply the shard-range limit to the current position.
+    fn clamp(&mut self) {
+        if self.cur >= self.limit {
+            self.cur = CURSOR_DONE;
+        }
+    }
+
+    /// Global posting position (list length when exhausted).
+    fn gpos(&self) -> u64 {
+        if self.cur == CURSOR_DONE {
+            self.list.len() as u64
+        } else {
+            self.list.blocks()[self.block].start as u64 + self.pos as u64
+        }
+    }
+
+    /// Step to the next posting. `cur` must not be [`CURSOR_DONE`].
+    fn advance(&mut self, stats: &mut TopKStats) {
+        self.pos += 1;
+        if self.pos >= self.docs.len() {
+            self.block += 1;
+            if self.block >= self.list.blocks().len() {
+                self.cur = CURSOR_DONE;
+                return;
+            }
+            self.decode_current(stats);
+            self.pos = 0;
+        }
+        self.cur = self.docs[self.pos] as u64;
+        self.clamp();
+    }
+
+    /// Advance to the first posting with doc `>= d`, skipping whole blocks
+    /// via their metadata. Entries jumped over are counted as pruned.
+    fn next_geq(&mut self, d: u64, stats: &mut TopKStats) {
+        if self.cur == CURSOR_DONE || self.cur >= d {
+            return;
+        }
+        let before = self.gpos();
+        let blocks = self.list.blocks();
+        if (blocks[self.block].last_doc as u64) < d {
+            let jump = blocks[self.block..].partition_point(|m| (m.last_doc as u64) < d);
+            stats.blocks_skipped += jump as u64;
+            self.block += jump;
+            if self.block >= blocks.len() {
+                self.cur = CURSOR_DONE;
+                stats.docs_pruned += self.list.len() as u64 - before;
+                return;
+            }
+            self.decode_current(stats);
+            self.pos = 0;
+        }
+        // The current block's last_doc is >= d, so the search lands in it.
+        self.pos = self.docs.partition_point(|&x| (x as u64) < d);
+        self.cur = self.docs[self.pos] as u64;
+        self.clamp();
+        stats.docs_pruned += self.gpos() - before;
+    }
+
+    /// The first block from the current one that can contain a doc `>= d`,
+    /// without moving or decoding anything.
+    fn shallow_block(&self, d: u64) -> Option<&'a BlockMeta> {
+        let blocks = self.list.blocks();
+        let rel = blocks[self.block..].partition_point(|m| (m.last_doc as u64) < d);
+        blocks.get(self.block + rel)
+    }
+
+    /// Weighted block-max score bound for `m`.
+    fn block_bound(&self, params: Bm25Params, m: &BlockMeta) -> f64 {
+        self.weight * bm25_bound_with_idf(params, self.idf, m.max_tf, m.min_norm_len)
+    }
+}
+
+/// Block-Max-WAND document-at-a-time search over the compressed blocks.
+///
+/// Exact parity with the exhaustive scan follows from the same three facts
+/// as [`pruned_core`]: surviving candidates are scored with the identical
+/// exact fold, top-k selection is over the strict total order, and a
+/// document is skipped only when an *inflated* upper bound on its score —
+/// here the per-step-slack fold of the pivot prefix's global bounds, or of
+/// the block-max bounds of every list that can still contribute to it
+/// (the prefix plus any later cursor already on the pivot document) — is
+/// strictly below the current threshold, so no document that could enter
+/// or tie into the top-k is ever passed over.
+///
+/// Before the cursor loop the heap is primed from the strongest list (the
+/// docs MaxScore would score first): until the heap is full the pivot
+/// cannot skip anything, so seeding the threshold with high-bound documents
+/// up front unlocks skipping orders of magnitude earlier on selective
+/// queries. Primed documents are remembered in a bitset so the main loop
+/// never scores a document twice.
+fn bmw_core<F: Fn(DocId) -> f64>(
+    index: &InvertedIndex,
+    params: Bm25Params,
+    terms: &[PreparedTerm],
+    k: usize,
+    exact: &F,
+    part: Option<PartitionSpec>,
+    range: (u64, u64),
+) -> (Vec<SearchHit>, TopKStats) {
+    let mut stats = TopKStats::new("bmw");
+    let (lo, limit) = range;
+    let mut cursors: Vec<Cursor> = terms
+        .iter()
+        .filter_map(|info| {
+            index
+                .compressed_postings(info.term)
+                .map(|list| Cursor::new(info, list, lo, limit, &mut stats))
+        })
+        .collect();
+    let words = index.num_docs().div_ceil(64);
+    let mut seen = vec![0u64; words];
+    let mut top = TopKHeap::new(k);
+
+    // Prime the heap from the strongest list.
+    if let Some(s) = (0..cursors.len()).max_by(|&a, &b| {
+        cursors[a]
+            .ub
+            .partial_cmp(&cursors[b].ub)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| cursors[b].term.cmp(&cursors[a].term))
+    }) {
+        let c = &mut cursors[s];
+        while c.cur != CURSOR_DONE && top.threshold().is_none() {
+            let doc = DocId(c.cur as u32);
+            seen[doc.index() / 64] |= 1u64 << (doc.index() % 64);
+            if in_partition(part, doc) {
+                let score = exact(doc);
+                stats.docs_scored += 1;
+                if score > 0.0 {
+                    top.offer(SearchHit { doc, score });
+                }
+            }
+            c.advance(&mut stats);
+        }
+    }
+
+    loop {
+        cursors.sort_unstable_by_key(|c| (c.cur, c.term));
+        if cursors.is_empty() || cursors[0].cur == CURSOR_DONE {
+            break;
+        }
+        // Pivot: the first cursor at which the inflated prefix of global
+        // bounds reaches the threshold. Documents confined to lists before
+        // the pivot are bounded strictly below the threshold and skipped.
+        let pivot = match top.threshold() {
+            None => 0,
+            Some(th) => {
+                let mut acc = 0.0f64;
+                let mut pivot = None;
+                for (i, c) in cursors.iter().enumerate() {
+                    if c.cur == CURSOR_DONE {
+                        break;
+                    }
+                    acc = (acc + c.ub) * BOUND_SLACK;
+                    if acc >= th {
+                        pivot = Some(i);
+                        break;
+                    }
+                }
+                match pivot {
+                    Some(p) => p,
+                    // Even the sum of every remaining bound is strictly
+                    // below the threshold: nothing left can enter the top-k.
+                    None => {
+                        for c in &cursors {
+                            let before = c.gpos();
+                            stats.docs_pruned += c.list.len() as u64 - before;
+                            if c.cur != CURSOR_DONE {
+                                stats.blocks_skipped +=
+                                    (c.list.blocks().len() - c.block - 1) as u64;
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+        };
+        // Endgame — the MaxScore essential-list regime. When the pivot is
+        // the *last* live cursor, pivot selection has already proven that
+        // the other lists' global bounds, slack-folded together, sit
+        // strictly below the threshold: no document outside the pivot list
+        // can enter the top-k any more (the threshold only rises). Stream
+        // the pivot list alone — skipping whole blocks whose block-max
+        // bound plus the parked sum stays below the threshold — and never
+        // touch the parked cursors again. This is what makes selective
+        // queries (one strong term over weak ubiquitous ones) as cheap as
+        // the flat MaxScore scan: the dense lists are parked undecoded.
+        let live = cursors.partition_point(|c| c.cur != CURSOR_DONE);
+        if pivot + 1 == live {
+            let parked = cursors[..pivot]
+                .iter()
+                .fold(0.0f64, |acc, c| (acc + c.ub) * BOUND_SLACK);
+            let (rest, tail) = cursors.split_at_mut(pivot);
+            let c = &mut tail[0];
+            while c.cur != CURSOR_DONE {
+                let m = c.list.blocks()[c.block];
+                if let Some(th) = top.threshold() {
+                    if (parked + c.block_bound(params, &m)) * BOUND_SLACK < th {
+                        c.next_geq(m.last_doc as u64 + 1, &mut stats);
+                        continue;
+                    }
+                }
+                let doc = DocId(c.cur as u32);
+                let word = doc.index() / 64;
+                let bit = 1u64 << (doc.index() % 64);
+                if seen[word] & bit == 0 {
+                    seen[word] |= bit;
+                    if in_partition(part, doc) {
+                        let score = exact(doc);
+                        stats.docs_scored += 1;
+                        if score > 0.0 {
+                            top.offer(SearchHit { doc, score });
+                        }
+                    }
+                }
+                c.advance(&mut stats);
+            }
+            for o in rest.iter() {
+                stats.docs_pruned += o.list.len() as u64 - o.gpos();
+                if o.cur != CURSOR_DONE {
+                    stats.blocks_skipped += (o.list.blocks().len() - o.block - 1) as u64;
+                }
+            }
+            break;
+        }
+
+        let d = cursors[pivot].cur;
+        // Every list that can still contribute to d: the prefix up to the
+        // pivot, plus any later cursor already sitting on d (the exact
+        // scorer folds the *full* document, so their contribution counts
+        // toward d's score even though their global bounds sit past the
+        // pivot's prefix sum). Cursors are sorted, so these are contiguous.
+        let mut covered = pivot + 1;
+        while covered < cursors.len() && cursors[covered].cur == d {
+            covered += 1;
+        }
+
+        // Block-max refinement: bound the pivot candidate by the blocks
+        // that actually cover it. Only meaningful once the heap is full.
+        if let Some(th) = top.threshold() {
+            let mut acc = 0.0f64;
+            for c in &cursors[..covered] {
+                if let Some(m) = c.shallow_block(d) {
+                    acc = (acc + c.block_bound(params, m)) * BOUND_SLACK;
+                }
+            }
+            if acc < th {
+                // The covering blocks cannot beat the threshold anywhere up
+                // to their shared boundary: jump past it.
+                let mut next_d = CURSOR_DONE;
+                for c in &cursors[..covered] {
+                    if let Some(m) = c.shallow_block(d) {
+                        next_d = next_d.min(m.last_doc as u64 + 1);
+                    }
+                }
+                if covered < cursors.len() {
+                    next_d = next_d.min(cursors[covered].cur);
+                }
+                let next_d = next_d.max(d + 1);
+                for c in &mut cursors[..covered] {
+                    c.next_geq(next_d, &mut stats);
+                }
+                continue;
+            }
+        }
+
+        if cursors[0].cur == d {
+            // Every cursor before the pivot sits on d: evaluate it.
+            let doc = DocId(d as u32);
+            let word = doc.index() / 64;
+            let bit = 1u64 << (doc.index() % 64);
+            if seen[word] & bit == 0 {
+                seen[word] |= bit;
+                if in_partition(part, doc) {
+                    let score = exact(doc);
+                    stats.docs_scored += 1;
+                    if score > 0.0 {
+                        top.offer(SearchHit { doc, score });
+                    }
+                }
+            }
+            for c in &mut cursors {
+                if c.cur == d {
+                    c.advance(&mut stats);
+                }
+            }
+        } else {
+            // Align the earlier cursors onto the pivot document.
+            for c in &mut cursors[..pivot] {
+                c.next_geq(d, &mut stats);
+            }
+        }
+    }
+    (top.into_sorted(), stats)
+}
+
+/// Parallel path for dense queries: contiguous doc-id range shards, each
+/// traversed with Block-Max-WAND on a scoped thread, local top-k per shard,
+/// deterministic merge (concatenate, sort by the total order, truncate).
+/// Exact because the global top-k is contained in the union of per-shard
+/// top-ks, and each shard is itself exact over its range.
 fn sharded_core<F: Fn(DocId) -> f64 + Sync>(
     index: &InvertedIndex,
-    uniq: &[(TermId, f64)],
+    params: Bm25Params,
+    terms: &[PreparedTerm],
     k: usize,
     exact: &F,
     shards: usize,
@@ -475,49 +924,39 @@ fn sharded_core<F: Fn(DocId) -> f64 + Sync>(
         return (Vec::new(), stats);
     }
     let requested = if shards == 0 {
-        std::thread::available_parallelism().map_or(1, |p| p.get())
+        available_cores()
     } else {
         shards
     };
     let shards = requested.clamp(1, n);
     let chunk = n.div_ceil(shards);
-    let ranges: Vec<(u32, u32)> = (0..shards)
-        .map(|i| ((i * chunk) as u32, ((i + 1) * chunk).min(n) as u32))
+    let ranges: Vec<(u64, u64)> = (0..shards)
+        .map(|i| ((i * chunk) as u64, ((i + 1) * chunk).min(n) as u64))
         .filter(|&(lo, hi)| lo < hi)
         .collect();
     stats.shards_used = ranges.len() as u64;
-    let shard_results: Vec<(Vec<SearchHit>, u64)> = std::thread::scope(|s| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .map(|&(lo, hi)| {
-                s.spawn(move || {
-                    let mut candidates: Vec<DocId> = Vec::new();
-                    for &(t, _) in uniq {
-                        let list = index.postings(t);
-                        let a = list.partition_point(|p| p.doc.0 < lo);
-                        let b = list.partition_point(|p| p.doc.0 < hi);
-                        candidates.extend(list[a..b].iter().map(|p| p.doc));
-                    }
-                    candidates.sort_unstable();
-                    candidates.dedup();
-                    candidates.retain(|&d| in_partition(part, d));
-                    let scored = candidates.len() as u64;
-                    let mut top = TopKHeap::new(k);
-                    for doc in candidates {
-                        let score = exact(doc);
-                        if score > 0.0 {
-                            top.offer(SearchHit { doc, score });
-                        }
-                    }
-                    (top.into_sorted(), scored)
+    // A lone shard gains nothing from a scoped thread — the spawn/join
+    // round-trip would dominate the query on small corpora (and is the
+    // whole cost on a single-core host, where auto resolves to one shard).
+    let shard_results: Vec<(Vec<SearchHit>, TopKStats)> = if ranges.len() == 1 {
+        vec![bmw_core(index, params, terms, k, exact, part, ranges[0])]
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|&range| {
+                    s.spawn(move || bmw_core(index, params, terms, k, exact, part, range))
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    };
     let mut hits: Vec<SearchHit> = Vec::with_capacity(shard_results.len() * k.min(n));
-    for (shard_hits, scored) in shard_results {
-        stats.docs_scored += scored;
+    for (shard_hits, shard_stats) in shard_results {
+        stats.docs_scored += shard_stats.docs_scored;
+        stats.docs_pruned += shard_stats.docs_pruned;
+        stats.blocks_decoded += shard_stats.blocks_decoded;
+        stats.blocks_skipped += shard_stats.blocks_skipped;
         hits.extend(shard_hits);
     }
     sort_hits(&mut hits);
@@ -572,6 +1011,7 @@ mod tests {
                 for strategy in [
                     SearchStrategy::Auto,
                     SearchStrategy::Pruned,
+                    SearchStrategy::BlockMax,
                     SearchStrategy::Sharded,
                 ] {
                     let opts = TopKOptions {
@@ -640,6 +1080,7 @@ mod tests {
             SearchStrategy::Auto,
             SearchStrategy::Exhaustive,
             SearchStrategy::Pruned,
+            SearchStrategy::BlockMax,
             SearchStrategy::Sharded,
         ] {
             let opts = TopKOptions {
@@ -681,7 +1122,36 @@ mod tests {
         let (_, stats) = search_top_k_with(&idx, Bm25Params::default(), &q, 3, &opts);
         assert_eq!(stats.strategy, "sharded");
         assert_eq!(stats.shards_used, 4);
-        assert_eq!(stats.docs_pruned, 0);
+    }
+
+    #[test]
+    fn bmw_skips_blocks_on_selective_queries() {
+        // Same shape as the pruned skip test, but large enough that the
+        // common term's postings span many blocks: once the heap fills from
+        // the rare list, whole blocks of the common list fall below the
+        // threshold and are skipped without being decoded.
+        let mut bodies: Vec<Document> = (0..2000)
+            .map(|_| Document::from_body("common filler words here"))
+            .collect();
+        bodies.push(Document::from_body("rare common filler"));
+        bodies.push(Document::from_body("rare rare common"));
+        let idx = InvertedIndex::build(bodies, Analyzer::english());
+        let q = idx.analyze_query("rare common");
+        let params = Bm25Params::default();
+        let opts = TopKOptions {
+            strategy: SearchStrategy::BlockMax,
+            ..TopKOptions::default()
+        };
+        let (hits, stats) = search_top_k_with(&idx, params, &q, 2, &opts);
+        let (reference, ex_stats) = search_top_k_exhaustive(&idx, params, &q, 2);
+        assert_bit_identical(&hits, &reference);
+        assert_eq!(stats.strategy, "bmw");
+        assert!(
+            stats.blocks_skipped > 0,
+            "expected block skips, got {stats:?}"
+        );
+        assert!(stats.docs_pruned > 0, "expected pruning, got {stats:?}");
+        assert!(stats.docs_scored < ex_stats.docs_scored);
     }
 
     #[test]
@@ -697,6 +1167,7 @@ mod tests {
             SearchStrategy::Auto,
             SearchStrategy::Exhaustive,
             SearchStrategy::Pruned,
+            SearchStrategy::BlockMax,
             SearchStrategy::Sharded,
         ] {
             for count in 1..=8u32 {
@@ -754,10 +1225,15 @@ mod tests {
             SearchStrategy::Auto,
             SearchStrategy::Exhaustive,
             SearchStrategy::Pruned,
+            SearchStrategy::BlockMax,
             SearchStrategy::Sharded,
         ] {
             assert_eq!(SearchStrategy::parse(s.as_str()), Some(s));
         }
+        assert_eq!(
+            SearchStrategy::parse("blockmax"),
+            Some(SearchStrategy::BlockMax)
+        );
         assert_eq!(
             SearchStrategy::parse("PRUNED"),
             Some(SearchStrategy::Pruned)

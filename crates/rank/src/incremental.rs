@@ -16,6 +16,9 @@
 //!   terms' posting lists instead of re-ranking the whole corpus.
 //! * [`SubsetScorer`] — ranks a subset of the query's terms over the union
 //!   of their posting lists (the query-reduction dual of the above).
+//! * [`TermRemovalScorer`] — scores a document with every occurrence of
+//!   chosen surface terms deleted, from per-candidate tf/length deltas
+//!   instead of string surgery plus full re-analysis per candidate.
 //! * [`par_map`] — an ordered scoped-thread map (the `rank_corpus_parallel`
 //!   pattern) used to evaluate candidate batches in parallel.
 //!
@@ -40,7 +43,7 @@
 //! `None` and callers fall back to the exact path.
 
 use credence_index::{DocId, InvertedIndex};
-use credence_text::TermId;
+use credence_text::{tokenize, TermId};
 
 use crate::ranker::Ranker;
 use crate::rerank::RankedList;
@@ -236,6 +239,123 @@ impl<'a> DeltaScorer<'a> {
             let mut tf = self.base_tf[qi];
             for &seg in removed {
                 tf -= self.segments[seg].query_tf[qi];
+            }
+            score += self
+                .ranker
+                .term_weight(term, tf, len)
+                .expect("supports_term_weights checked at construction");
+        }
+        score
+    }
+}
+
+/// Per-candidate removal profile: what one surface term takes with it.
+#[derive(Debug, Clone)]
+struct RemovalProfile {
+    /// tf removed per query-term *position* (aligned with the analysed
+    /// query) when every occurrence of this surface is deleted.
+    query_tf: Vec<u32>,
+    /// Analysed length removed (occurrences × per-occurrence length).
+    len: u32,
+}
+
+/// Incremental scorer for documents perturbed by removing every occurrence
+/// of whole surface terms — the term-removal explainer's fast path.
+///
+/// The exact path rewrites the body by string surgery and re-analyses the
+/// result for every candidate set. This scorer observes that analysis is
+/// per-token independent (tokens are maximal word-character runs, so
+/// deleting one token never merges its neighbours, and the stopword filter
+/// and stemmer see one token at a time): removing all occurrences of a
+/// surface term subtracts `occurrences × its analysed profile` from the
+/// body's term frequencies and analysed length. Scores are then the same
+/// [`Ranker::term_weight`] fold over the analysed query, bit-identical to
+/// `score_text(query, remove_terms(body, removed))`.
+pub struct TermRemovalScorer<'a> {
+    ranker: &'a dyn Ranker,
+    query_ids: Vec<TermId>,
+    /// Profile of each candidate (indexed by candidate position).
+    profiles: Vec<RemovalProfile>,
+    base_tf: Vec<u32>,
+    base_len: u32,
+}
+
+impl<'a> TermRemovalScorer<'a> {
+    /// Pre-analyse `body` and each candidate surface term (the document's
+    /// distinct normalised tokens, as produced by `tokenize`). Returns
+    /// `None` when the model is not term-decomposable or a candidate
+    /// analyses to more than one term.
+    pub fn new(
+        ranker: &'a dyn Ranker,
+        query: &str,
+        body: &str,
+        candidates: &[&str],
+    ) -> Option<Self> {
+        if !ranker.supports_term_weights() {
+            return None;
+        }
+        let index = ranker.index();
+        let analyzer = index.analyzer();
+        let query_ids = index.analyze_query(query);
+        let (base_terms, base_len) = index.analyze_adhoc(body);
+        let base_tf: Vec<u32> = query_ids
+            .iter()
+            .map(|&q| {
+                base_terms
+                    .binary_search_by_key(&q, |&(t, _)| t)
+                    .map(|i| base_terms[i].1)
+                    .unwrap_or(0)
+            })
+            .collect();
+        let mut counts: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
+        for tok in tokenize(body) {
+            *counts.entry(tok.term).or_insert(0) += 1;
+        }
+        let profiles = candidates
+            .iter()
+            .map(|surface| {
+                let occ = counts.get(*surface).copied().unwrap_or(0);
+                let analyzed = analyzer.analyze(surface);
+                let id = match analyzed.as_slice() {
+                    // Stopword: removal shortens nothing analysed.
+                    [] => None,
+                    [term] => index.vocabulary().id(term),
+                    // A surface that re-analyses to several terms breaks the
+                    // per-token independence argument.
+                    _ => return None,
+                };
+                let query_tf = query_ids
+                    .iter()
+                    .map(|&q| if id == Some(q) { occ } else { 0 })
+                    .collect();
+                Some(RemovalProfile {
+                    query_tf,
+                    len: occ * analyzed.len() as u32,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(Self {
+            ranker,
+            query_ids,
+            profiles,
+            base_tf,
+            base_len,
+        })
+    }
+
+    /// Score of the document with every occurrence of the given candidates
+    /// (by candidate index) removed — bit-identical to
+    /// `score_text(query, remove_terms(body, those_surfaces))`.
+    pub fn score_without(&self, removed: &[usize]) -> f64 {
+        let mut len = self.base_len;
+        for &c in removed {
+            len -= self.profiles[c].len;
+        }
+        let mut score = 0.0;
+        for (qi, &term) in self.query_ids.iter().enumerate() {
+            let mut tf = self.base_tf[qi];
+            for &c in removed {
+                tf -= self.profiles[c].query_tf[qi];
             }
             score += self
                 .ranker
@@ -688,6 +808,50 @@ mod tests {
             // The stop flag was raised, so at least one evaluation was skipped
             // on every thread count (5 < 64 and the flag latches).
             assert!(out.iter().any(Option::is_none), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn term_removal_scorer_is_bit_identical_to_score_text() {
+        let idx = index();
+        let body = idx.document(DocId(0)).unwrap().body.clone();
+        let toks = tokenize(&body);
+        let mut seen = std::collections::HashSet::new();
+        let surfaces: Vec<String> = toks
+            .iter()
+            .filter(|t| seen.insert(t.term.clone()))
+            .map(|t| t.term.clone())
+            .collect();
+        let refs: Vec<&str> = surfaces.iter().map(|s| s.as_str()).collect();
+        for ranker in rankers(&idx) {
+            let scorer =
+                TermRemovalScorer::new(ranker.as_ref(), "covid outbreak", &body, &refs).unwrap();
+            // Every subset of the first 8 candidates (stopwords included),
+            // plus the remove-everything set.
+            let m = refs.len().min(8);
+            let mut masks: Vec<u32> = (0..(1u32 << m)).collect();
+            masks.push((1u32 << refs.len()) - 1);
+            for mask in masks {
+                let removed: Vec<usize> =
+                    (0..refs.len()).filter(|i| mask & (1 << i) != 0).collect();
+                let removed_set: std::collections::HashSet<&str> =
+                    removed.iter().map(|&i| refs[i]).collect();
+                // Keeping the surviving raw tokens reproduces the analysed
+                // sequence of the string-surgery removal exactly.
+                let kept: Vec<&str> = toks
+                    .iter()
+                    .filter(|t| !removed_set.contains(t.term.as_str()))
+                    .map(|t| t.raw.as_str())
+                    .collect();
+                let exact = ranker.score_text("covid outbreak", &kept.join(" "));
+                let fast = scorer.score_without(&removed);
+                assert_eq!(
+                    fast.to_bits(),
+                    exact.to_bits(),
+                    "{} mask {mask:#b}",
+                    ranker.name()
+                );
+            }
         }
     }
 

@@ -112,15 +112,12 @@ pub fn rank_corpus_with(
         Some(p) => ranker.index().doc_ids().filter(|&d| p.owns(d)).count(),
         None => n,
     };
-    let stats = TopKStats {
-        docs_scored: scored as u64,
-        docs_pruned: 0,
-        shards_used: if fallback_threads > 1 {
-            fallback_threads.min(n.max(1)) as u64
-        } else {
-            0
-        },
-        strategy: "fallback",
+    let mut stats = TopKStats::new("fallback");
+    stats.docs_scored = scored as u64;
+    stats.shards_used = if fallback_threads > 1 {
+        fallback_threads.min(n.max(1)) as u64
+    } else {
+        0
     };
     (list, stats)
 }
@@ -411,6 +408,7 @@ mod tests {
                 SearchStrategy::Auto,
                 SearchStrategy::Exhaustive,
                 SearchStrategy::Pruned,
+                SearchStrategy::BlockMax,
                 SearchStrategy::Sharded,
             ] {
                 let opts = TopKOptions {

@@ -79,7 +79,9 @@ fn main() -> ExitCode {
             "--search-strategy" => match args.next().as_deref().and_then(SearchStrategy::parse) {
                 Some(s) => retrieval.strategy = s,
                 None => {
-                    return usage("--search-strategy must be auto | exhaustive | pruned | sharded")
+                    return usage(
+                        "--search-strategy must be auto | exhaustive | pruned | bmw | sharded",
+                    )
                 }
             },
             "--search-shards" => match args.next().and_then(|v| v.parse().ok()) {
@@ -115,7 +117,7 @@ fn main() -> ExitCode {
                      \x20                     [--ranker bm25|ql|ql-jm|rm3|neural]\n\
                      \x20                     [--eval-threads N] [--eval-parallel-threshold N]\n\
                      \x20                     [--eval-exact]\n\
-                     \x20                     [--search-strategy auto|exhaustive|pruned|sharded]\n\
+                     \x20                     [--search-strategy auto|exhaustive|pruned|bmw|sharded]\n\
                      \x20                     [--search-shards N] [--search-dense-postings N]\n\
                      \x20                     [--job-workers N] [--job-queue-depth N]\n\
                      \x20                     [--job-result-ttl-ms MS] [--max-connections N]\n\n\
@@ -125,7 +127,7 @@ fn main() -> ExitCode {
                      \x20  to threads.\n\
                      --eval-exact: disable the incremental scorers (reference path).\n\
                      --search-strategy: top-k retrieval path (default auto: MaxScore\n\
-                     \x20  pruning, or sharded parallel scan for dense queries).\n\
+                     \x20  pruning, or Block-Max-WAND / sharded BMW for dense queries).\n\
                      --search-shards: shard count for the sharded path (0 = one per CPU).\n\
                      --search-dense-postings: candidate-postings volume at which a\n\
                      \x20  query counts as dense.\n\

@@ -118,12 +118,18 @@ fn write_request(
             .max(Duration::from_millis(1)),
     ))?;
     let body = body.unwrap_or(&[]);
+    // Assemble the request and send it with one write: formatting straight
+    // into the unbuffered stream issues a syscall per fragment, and a peer
+    // that answers after its first read (small requests fit one segment)
+    // would close the connection under the remaining fragments.
+    let mut request = Vec::with_capacity(160 + body.len());
     write!(
-        stream,
+        request,
         "{method} {path} HTTP/1.1\r\nhost: worker\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
         body.len()
     )?;
-    stream.write_all(body)?;
+    request.extend_from_slice(body);
+    stream.write_all(&request)?;
     stream.flush()
 }
 

@@ -168,6 +168,8 @@ pub struct Metrics {
     retrieval_docs_scored: AtomicU64,
     retrieval_docs_pruned: AtomicU64,
     retrieval_shards_used: AtomicU64,
+    retrieval_blocks_decoded: AtomicU64,
+    retrieval_blocks_skipped: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     jobs_queue_depth: AtomicU64,
@@ -196,6 +198,8 @@ impl Metrics {
             retrieval_docs_scored: AtomicU64::new(0),
             retrieval_docs_pruned: AtomicU64::new(0),
             retrieval_shards_used: AtomicU64::new(0),
+            retrieval_blocks_decoded: AtomicU64::new(0),
+            retrieval_blocks_skipped: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             jobs_queue_depth: AtomicU64::new(0),
@@ -297,6 +301,10 @@ impl Metrics {
             .store(stats.docs_pruned, Ordering::Relaxed);
         self.retrieval_shards_used
             .store(stats.shards_used, Ordering::Relaxed);
+        self.retrieval_blocks_decoded
+            .store(stats.blocks_decoded, Ordering::Relaxed);
+        self.retrieval_blocks_skipped
+            .store(stats.blocks_skipped, Ordering::Relaxed);
         self.cache_hits.store(stats.cache_hits, Ordering::Relaxed);
         self.cache_misses
             .store(stats.cache_misses, Ordering::Relaxed);
@@ -432,6 +440,16 @@ impl Metrics {
                 "credence_retrieval_shards_used_total",
                 "Shards spawned by parallel sharded retrieval.",
                 &self.retrieval_shards_used,
+            ),
+            (
+                "credence_retrieval_blocks_decoded_total",
+                "Posting blocks decoded by block-max retrieval.",
+                &self.retrieval_blocks_decoded,
+            ),
+            (
+                "credence_retrieval_blocks_skipped_total",
+                "Posting blocks skipped undecoded via block-max bounds.",
+                &self.retrieval_blocks_skipped,
             ),
             (
                 "credence_ranking_cache_hits_total",
@@ -591,6 +609,8 @@ mod tests {
             docs_scored: 100,
             docs_pruned: 40,
             shards_used: 8,
+            blocks_decoded: 17,
+            blocks_skipped: 23,
             cache_hits: 5,
             cache_misses: 2,
         };
@@ -600,6 +620,8 @@ mod tests {
         assert!(text.contains("credence_retrieval_docs_scored_total 100"));
         assert!(text.contains("credence_retrieval_docs_pruned_total 40"));
         assert!(text.contains("credence_retrieval_shards_used_total 8"));
+        assert!(text.contains("credence_retrieval_blocks_decoded_total 17"));
+        assert!(text.contains("credence_retrieval_blocks_skipped_total 23"));
         assert!(text.contains("credence_ranking_cache_hits_total 5"));
         assert!(text.contains("credence_ranking_cache_misses_total 2"));
     }

@@ -256,7 +256,7 @@ pub struct RankRequest {
     /// Ranking depth.
     pub k: usize,
     /// Per-request retrieval strategy override
-    /// (`auto` | `exhaustive` | `pruned` | `sharded`).
+    /// (`auto` | `exhaustive` | `pruned` | `bmw` | `sharded`).
     pub search_strategy: Option<SearchStrategy>,
     /// Per-request shard-count override for the sharded path (0 = one per
     /// available core).
@@ -278,7 +278,7 @@ impl RankRequest {
                 None => {
                     p.reject(
                         "search_strategy",
-                        "must be one of: auto, exhaustive, pruned, sharded",
+                        "must be one of: auto, exhaustive, pruned, bmw, sharded",
                     );
                     None
                 }
@@ -820,6 +820,11 @@ mod tests {
         .unwrap();
         assert_eq!(req.search_strategy, Some(SearchStrategy::Pruned));
         assert_eq!(req.search_shards, Some(4));
+        let bmw = RankRequest::parse(&value(
+            r#"{"query": "q", "k": 3, "search_strategy": "bmw"}"#,
+        ))
+        .unwrap();
+        assert_eq!(bmw.search_strategy, Some(SearchStrategy::BlockMax));
         let plain = RankRequest::parse(&value(r#"{"query": "q", "k": 3}"#)).unwrap();
         assert_eq!(plain.search_strategy, None);
         assert_eq!(plain.search_shards, None);

@@ -1630,7 +1630,7 @@ mod tests {
         let base = post("/api/v1/rank", r#"{"query": "covid outbreak", "k": 3}"#);
         let v = body_json(&base);
         let expected = v.get("ranking").unwrap().as_array().unwrap().to_vec();
-        for strategy in ["exhaustive", "pruned", "sharded", "auto"] {
+        for strategy in ["exhaustive", "pruned", "bmw", "sharded", "auto"] {
             let resp = post(
                 "/api/v1/rank",
                 &format!(

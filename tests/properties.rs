@@ -887,7 +887,12 @@ prop! {
         let (reference, _) = search_top_k_exhaustive(&idx, Bm25Params::default(), &q, *k);
         let ref_bits: Vec<(u32, u64)> =
             reference.iter().map(|h| (h.doc.0, h.score.to_bits())).collect();
-        for strategy in [SearchStrategy::Auto, SearchStrategy::Pruned, SearchStrategy::Sharded] {
+        for strategy in [
+            SearchStrategy::Auto,
+            SearchStrategy::Pruned,
+            SearchStrategy::BlockMax,
+            SearchStrategy::Sharded,
+        ] {
             for shards in [0usize, 1, 3] {
                 let opts = TopKOptions { strategy, shards, ..TopKOptions::default() };
                 let (hits, _) = search_top_k_with(&idx, Bm25Params::default(), &q, *k, &opts);
@@ -920,6 +925,7 @@ prop! {
                 SearchStrategy::Auto,
                 SearchStrategy::Exhaustive,
                 SearchStrategy::Pruned,
+                SearchStrategy::BlockMax,
                 SearchStrategy::Sharded,
             ] {
                 let opts = TopKOptions { strategy, ..TopKOptions::default() };
@@ -935,6 +941,190 @@ prop! {
                     prop_assert_eq!(a.1.to_bits(), b.1.to_bits(), "{} under {strategy:?}", ranker.name());
                 }
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block-compressed postings: the compressed representation must be a lossless
+// re-encoding of the raw posting lists at *every* block size — including
+// sizes of 1 (every posting its own block) and sizes that leave a final
+// partial block — and the per-block metadata must describe its contents
+// exactly, since Block-Max-WAND's skipping correctness rests on it.
+// ---------------------------------------------------------------------------
+
+prop! {
+    /// compress → decode is the identity on every term's postings for any
+    /// block size, and block metadata (first/last doc, count, max tf) is
+    /// exact.
+    config(cases = 48);
+    fn block_compression_round_trips(
+        docs in arb_corpus(),
+        block_size in gens::usize_range(1..6),
+    ) {
+        let reference = InvertedIndex::build(docs.clone(), Analyzer::english());
+        let idx = InvertedIndex::build_with_block_size(
+            docs.clone(),
+            Analyzer::english(),
+            *block_size,
+        );
+        for (tid, _) in reference.vocabulary().iter() {
+            let raw = reference.postings(tid);
+            prop_assert_eq!(idx.postings(tid), raw, "materialised view, term {tid}");
+            let list = idx.compressed_postings(tid).unwrap();
+            prop_assert_eq!(list.len(), raw.len());
+            let decoded = list.decode_all();
+            prop_assert_eq!(decoded.as_slice(), raw);
+            let mut docs_buf = Vec::new();
+            let mut tfs_buf = Vec::new();
+            let mut offset = 0usize;
+            for (b, meta) in list.blocks().iter().enumerate() {
+                let chunk = &raw[offset..offset + meta.count as usize];
+                prop_assert_eq!(meta.start as usize, offset);
+                prop_assert_eq!(meta.first_doc, chunk[0].doc.0);
+                prop_assert_eq!(meta.last_doc, chunk[chunk.len() - 1].doc.0);
+                prop_assert_eq!(meta.max_tf, chunk.iter().map(|p| p.tf).max().unwrap());
+                list.decode_block(b, &mut docs_buf, &mut tfs_buf);
+                let got: Vec<(u32, u32)> =
+                    docs_buf.iter().copied().zip(tfs_buf.iter().copied()).collect();
+                let want: Vec<(u32, u32)> =
+                    chunk.iter().map(|p| (p.doc.0, p.tf)).collect();
+                prop_assert_eq!(got, want, "block {b} of term {tid}");
+                offset += meta.count as usize;
+            }
+            prop_assert_eq!(offset, raw.len(), "blocks must cover the whole list");
+        }
+    }
+}
+
+prop! {
+    /// Retrieval parity is independent of block size: a non-default block
+    /// size changes skip granularity, never the `(doc, score)` bits.
+    config(cases = 32);
+    fn block_size_never_changes_retrieval(
+        docs in arb_corpus(),
+        query in arb_query(),
+        k in gens::usize_range(0..13),
+        block_size in gens::usize_range(1..6),
+    ) {
+        use credence_index::{
+            search_top_k_exhaustive, search_top_k_with, SearchStrategy, TopKOptions,
+        };
+        let idx = InvertedIndex::build_with_block_size(
+            docs.clone(),
+            Analyzer::english(),
+            *block_size,
+        );
+        let q = idx.analyze_query(query);
+        let (reference, _) = search_top_k_exhaustive(&idx, Bm25Params::default(), &q, *k);
+        let opts = TopKOptions {
+            strategy: SearchStrategy::BlockMax,
+            ..TopKOptions::default()
+        };
+        let (hits, _) = search_top_k_with(&idx, Bm25Params::default(), &q, *k, &opts);
+        let bits = |hs: &[credence_index::SearchHit]| -> Vec<(u32, u64)> {
+            hs.iter().map(|h| (h.doc.0, h.score.to_bits())).collect()
+        };
+        prop_assert_eq!(bits(&hits), bits(&reference), "block size {block_size}");
+    }
+}
+
+/// Block-boundary regression: document frequencies exactly at, one below,
+/// and one above the default block size, so the final block is full,
+/// one-short, and a singleton respectively. Ties everywhere (duplicate
+/// bodies), so the tie-break order crosses the block boundary too.
+#[test]
+fn default_block_boundary_dfs_are_bit_identical() {
+    use credence_index::{
+        search_top_k_exhaustive, search_top_k_with, SearchStrategy, TopKOptions, DEFAULT_BLOCK_SIZE,
+    };
+    for df in [
+        DEFAULT_BLOCK_SIZE - 1,
+        DEFAULT_BLOCK_SIZE,
+        DEFAULT_BLOCK_SIZE + 1,
+    ] {
+        let mut docs: Vec<Document> = (0..df)
+            .map(|i| {
+                // Varying tf (1..=3) so bit widths differ between blocks.
+                let covid = "covid ".repeat(i % 3 + 1);
+                Document::from_body(format!("{covid}outbreak report"))
+            })
+            .collect();
+        docs.push(Document::from_body("garden fair tonight".to_string()));
+        let idx = InvertedIndex::build(docs, Analyzer::english());
+        let q = idx.analyze_query("covid outbreak");
+        for k in [1usize, 5, DEFAULT_BLOCK_SIZE, DEFAULT_BLOCK_SIZE + 2] {
+            let (reference, _) = search_top_k_exhaustive(&idx, Bm25Params::default(), &q, k);
+            for strategy in [SearchStrategy::BlockMax, SearchStrategy::Sharded] {
+                let opts = TopKOptions {
+                    strategy,
+                    ..TopKOptions::default()
+                };
+                let (hits, _) = search_top_k_with(&idx, Bm25Params::default(), &q, k, &opts);
+                assert_eq!(hits.len(), reference.len(), "df {df}, k {k}, {strategy:?}");
+                for (h, r) in hits.iter().zip(&reference) {
+                    assert_eq!(h.doc, r.doc, "df {df}, k {k}, {strategy:?}");
+                    assert_eq!(
+                        h.score.to_bits(),
+                        r.score.to_bits(),
+                        "df {df}, k {k}, {strategy:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quantised nearest-neighbour search: the i8 shortlist + exact-rescore path
+// must return the plain exact scan's neighbours bit-for-bit (item order and
+// f32 similarity bits), for any vectors — including zero vectors, duplicate
+// vectors (ties), and extreme scales.
+// ---------------------------------------------------------------------------
+
+prop! {
+    /// Shortlist-then-rescore equals the exact scan on arbitrary vector sets.
+    config(cases = 48);
+    fn quantized_nn_matches_exact_scan(
+        rows in gens::vec_of(gens::vec_of(gens::f64_range(-3.0..3.0), 8..9), 1..25),
+        query in gens::vec_of(gens::f64_range(-3.0..3.0), 8..9),
+        n in gens::usize_range(1..30),
+        scale_seed in gens::u64_any(),
+    ) {
+        use credence_embed::{nearest_neighbors, nearest_neighbors_quantized, QuantizedVectors};
+        // Exercise wildly different per-vector scales (the per-vector i8
+        // scale factor is the whole point) plus exact zero vectors.
+        let rows: Vec<Vec<f32>> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let s = match (*scale_seed >> (i % 32)) & 3 {
+                    0 => 0.0f32,
+                    1 => 1e-4,
+                    2 => 1.0,
+                    _ => 250.0,
+                };
+                r.iter().map(|&x| x as f32 * s).collect()
+            })
+            .collect();
+        let query: Vec<f32> = query.iter().map(|&x| x as f32).collect();
+        let quant = QuantizedVectors::build(rows.len(), 8, |i| rows[i].as_slice());
+        let exact = nearest_neighbors(
+            &query,
+            rows.iter().enumerate().map(|(i, r)| (i, r.as_slice())),
+            *n,
+        );
+        let fast = nearest_neighbors_quantized(
+            &query,
+            &quant,
+            |i| rows[i].as_slice(),
+            0..rows.len(),
+            *n,
+        );
+        prop_assert_eq!(fast.len(), exact.len());
+        for (f, e) in fast.iter().zip(&exact) {
+            prop_assert_eq!(f.item, e.item);
+            prop_assert_eq!(f.similarity.to_bits(), e.similarity.to_bits());
         }
     }
 }
