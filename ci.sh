@@ -27,6 +27,9 @@ echo "==> credence-serve smoke (REST /api/v1 + /metrics + deadline budget)"
 echo "==> router smoke (2-worker scatter-gather, byte parity vs single-node)"
 ./scripts/router_smoke.sh
 
+echo "==> corpus smoke (registry lifecycle, generation snapshots, corpus metrics)"
+./scripts/corpus_smoke.sh
+
 echo "==> loadgen capacity smoke (CREDENCE_BENCH_SMOKE=1)"
 mkdir -p target/credence-bench
 CREDENCE_BENCH_SMOKE=1 ./target/release/loadgen \

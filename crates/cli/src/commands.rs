@@ -51,6 +51,7 @@ COMMANDS
   generate  --docs N --out FILE [--topics T] [--seed S] [--tsv]
                                                       synthetic corpus
   serve     [--addr HOST:PORT] [--corpus F]           REST API server
+            [--extra-corpus NAME=FILE ...]            extra named corpora
             [--router --workers A:P,B:P [--partitions N]
              [--fanout-deadline-ms MS]]               scatter-gather router
   help                                                this text
@@ -537,6 +538,33 @@ fn serve(args: &Args) -> Result<String, CliError> {
     }
     let docs = load_corpus(args)?;
     let state = credence_server::AppState::leak(docs, EngineConfig::default());
+    for spec in args.get_all("extra-corpus") {
+        let Some((name, file)) = spec
+            .split_once('=')
+            .filter(|(n, f)| !n.is_empty() && !f.is_empty())
+        else {
+            return Err(CliError::new(
+                "--extra-corpus requires NAME=FILE.jsonl|FILE.tsv",
+            ));
+        };
+        if name == "default" {
+            return Err(CliError::new(
+                "--extra-corpus: the name 'default' is reserved for --corpus",
+            ));
+        }
+        let path = Path::new(file);
+        let extra = if file.ends_with(".tsv") {
+            load_tsv(path)
+        } else {
+            load_jsonl(path)
+        }
+        .map_err(CliError::new)?;
+        eprintln!(
+            "indexing extra corpus '{name}' ({} documents)...",
+            extra.len()
+        );
+        state.register_corpus(name, extra);
+    }
     let server = credence_server::Server::bind(addr.as_str(), state).map_err(CliError::new)?;
     eprintln!("credence listening on http://{addr}");
     server.run().map_err(CliError::new)?;

@@ -57,6 +57,7 @@ pub mod instance_based;
 pub mod metrics;
 pub mod query_augmentation;
 pub mod query_reduction;
+pub mod registry;
 pub mod saliency;
 pub mod sentence_removal;
 pub mod term_removal;
@@ -84,6 +85,9 @@ pub use query_augmentation::{
 pub use query_reduction::{
     explain_query_reduction, explain_query_reduction_ranked, QueryReductionConfig,
     QueryReductionExplanation,
+};
+pub use registry::{
+    bm25_factory, Corpus, CorpusInfo, CorpusRegistry, CorpusSnapshot, RankerFactory, SnapshotError,
 };
 pub use saliency::{explain_saliency, SaliencyExplanation, SaliencyUnit};
 pub use sentence_removal::{

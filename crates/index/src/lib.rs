@@ -9,6 +9,9 @@
 //! * [`doc`] — the document model ([`Document`], [`DocId`]),
 //! * [`blocks`] — block-compressed posting lists (delta-encoded, bit-packed
 //!   doc ids with per-block max-score metadata),
+//! * [`generation`] — generation-snapshot wrapper over [`index`]: a delta
+//!   segment of staged mutations folded into fresh immutable segments by a
+//!   background merge thread, with `Arc`-snapshot lock-free readers,
 //! * [`index`] — an in-memory inverted index with postings, document lengths,
 //!   and frequency statistics,
 //! * [`stats`] — collection statistics decoupled from the index so ad-hoc
@@ -24,6 +27,7 @@
 
 pub mod blocks;
 pub mod doc;
+pub mod generation;
 pub mod highlight;
 pub mod index;
 pub mod partition;
@@ -37,6 +41,9 @@ pub mod vector;
 
 pub use blocks::{BlockMeta, CompressedPostings, DEFAULT_BLOCK_SIZE};
 pub use doc::{DocId, Document};
+pub use generation::{
+    spawn_merger, DeltaOp, DocExists, GenerationIndex, MergeOutcome, MergerHandle,
+};
 pub use highlight::{best_snippet, highlight_terms, Highlight, Snippet};
 pub use index::{InvertedIndex, Posting, TermBound};
 pub use partition::{doc_partition, PartitionSpec};

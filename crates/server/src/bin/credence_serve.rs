@@ -21,6 +21,7 @@ use credence_server::{AppState, JobsConfig, RouterConfig, RouterState, Server};
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:8091".to_string();
     let mut corpus_path: Option<String> = None;
+    let mut extra_corpora: Vec<(String, String)> = Vec::new();
     let mut ranker = RankerChoice::Bm25;
     let mut eval = EvalOptions::default();
     let mut retrieval = TopKOptions::default();
@@ -62,6 +63,15 @@ fn main() -> ExitCode {
             "--corpus" => match args.next() {
                 Some(p) => corpus_path = Some(p),
                 None => return usage("--corpus requires a value"),
+            },
+            "--extra-corpus" => match args.next() {
+                Some(spec) => match spec.split_once('=') {
+                    Some((name, file)) if !name.is_empty() && !file.is_empty() => {
+                        extra_corpora.push((name.to_string(), file.to_string()));
+                    }
+                    _ => return usage("--extra-corpus requires NAME=FILE.jsonl|FILE.tsv"),
+                },
+                None => return usage("--extra-corpus requires NAME=FILE.jsonl|FILE.tsv"),
             },
             "--ranker" => match args.next().as_deref().and_then(RankerChoice::parse) {
                 Some(r) => ranker = r,
@@ -112,6 +122,7 @@ fn main() -> ExitCode {
                 println!(
                     "credence-serve — CREDENCE REST API\n\n\
                      USAGE: credence-serve [--addr HOST:PORT] [--corpus FILE.jsonl|FILE.tsv]\n\
+                     \x20                     [--extra-corpus NAME=FILE ...]\n\
                      \x20                     [--router --workers A:P,B:P [--partitions N]\n\
                      \x20                      [--fanout-deadline-ms MS]]\n\
                      \x20                     [--ranker bm25|ql|ql-jm|rm3|neural]\n\
@@ -121,6 +132,9 @@ fn main() -> ExitCode {
                      \x20                     [--search-shards N] [--search-dense-postings N]\n\
                      \x20                     [--job-workers N] [--job-queue-depth N]\n\
                      \x20                     [--job-result-ttl-ms MS] [--max-connections N]\n\n\
+                     --extra-corpus: register an additional named corpus (repeatable);\n\
+                     \x20  serve it via the 'corpus' request field and manage it live\n\
+                     \x20  through PUT/DELETE /api/v1/corpora/NAME.\n\
                      --eval-threads: worker threads for counterfactual candidate\n\
                      \x20  evaluation (0 = one per CPU, 1 = serial).\n\
                      --eval-parallel-threshold: smallest candidate batch fanned out\n\
@@ -180,21 +194,13 @@ fn main() -> ExitCode {
 
     let docs = match &corpus_path {
         None => covid_demo_corpus().docs,
-        Some(p) => {
-            let path = Path::new(p);
-            let loaded = if p.ends_with(".tsv") {
-                load_tsv(path)
-            } else {
-                load_jsonl(path)
-            };
-            match loaded {
-                Ok(docs) => docs,
-                Err(e) => {
-                    eprintln!("failed to load corpus {p}: {e}");
-                    return ExitCode::FAILURE;
-                }
+        Some(p) => match load_corpus_file(p) {
+            Ok(docs) => docs,
+            Err(e) => {
+                eprintln!("failed to load corpus {p}: {e}");
+                return ExitCode::FAILURE;
             }
-        }
+        },
     };
 
     eprintln!("indexing {} documents and training doc2vec...", docs.len());
@@ -204,6 +210,25 @@ fn main() -> ExitCode {
         ..EngineConfig::default()
     };
     let state = AppState::leak_jobs(docs, config, ranker, jobs);
+    for (name, file) in &extra_corpora {
+        if name == "default" {
+            eprintln!("--extra-corpus: the name 'default' is reserved for --corpus");
+            return ExitCode::FAILURE;
+        }
+        match load_corpus_file(file) {
+            Ok(docs) => {
+                eprintln!(
+                    "indexing extra corpus '{name}' ({} documents)...",
+                    docs.len()
+                );
+                state.register_corpus(name, docs);
+            }
+            Err(e) => {
+                eprintln!("failed to load extra corpus {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     state.enable_request_logging();
     let server = match Server::bind_with(addr.as_str(), state, options) {
         Ok(s) => s,
@@ -219,6 +244,17 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// Load a `.jsonl` or `.tsv` corpus file (shared by `--corpus` and each
+/// `--extra-corpus NAME=FILE`).
+fn load_corpus_file(p: &str) -> Result<Vec<credence_index::Document>, credence_corpus::LoadError> {
+    let path = Path::new(p);
+    if p.ends_with(".tsv") {
+        load_tsv(path)
+    } else {
+        load_jsonl(path)
+    }
 }
 
 fn usage(msg: &str) -> ExitCode {

@@ -195,10 +195,12 @@ impl Response {
     pub fn write_to<W: Write>(&self, mut w: W) -> std::io::Result<()> {
         let reason = match self.status {
             200 => "OK",
+            201 => "Created",
             202 => "Accepted",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            409 => "Conflict",
             410 => "Gone",
             413 => "Payload Too Large",
             422 => "Unprocessable Entity",

@@ -54,6 +54,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use credence_core::CorpusSnapshot;
 use credence_json::{parse, Value};
 
 use crate::http::Response;
@@ -151,6 +152,11 @@ pub struct JobView {
     pub state: JobState,
     /// The endpoint name the job targets (`sentence-removal`, ...).
     pub endpoint: &'static str,
+    /// The corpus the job was pinned to at submission.
+    pub corpus: String,
+    /// The generation the job was pinned to at submission — the one it
+    /// executes against no matter how far the corpus advances.
+    pub generation: u64,
     /// The stored outcome — the HTTP status and JSON payload the
     /// synchronous endpoint would have answered with. `None` while the job
     /// is pending, for jobs cancelled before running, and after expiry.
@@ -189,6 +195,15 @@ struct Job {
     cancel: Arc<AtomicBool>,
     /// Present while queued; taken by the claiming worker.
     request: Option<JobRequest>,
+    /// The pinned snapshot the job will execute against. Held from
+    /// submission until a worker claims it (then held by the worker for
+    /// the duration of the run) — this is what keeps a pinned generation
+    /// alive until every admitted job against it has drained.
+    snapshot: Option<Arc<CorpusSnapshot>>,
+    /// Envelope coordinates of `snapshot`, kept after the snapshot itself
+    /// is released so poll responses can always name the pinned generation.
+    corpus: String,
+    generation: u64,
     /// Present once terminal (except queue-cancelled jobs); dropped at
     /// expiry.
     result: Option<(u16, Value)>,
@@ -266,9 +281,16 @@ impl JobRunner {
         }
     }
 
-    /// Admit one job, installing a cancel flag in its lifecycle budget so
-    /// `DELETE` can always reach the running search.
-    pub fn submit(&self, mut request: JobRequest, metrics: &Metrics) -> SubmitOutcome {
+    /// Admit one job against a pinned snapshot, installing a cancel flag in
+    /// its lifecycle budget so `DELETE` can always reach the running search.
+    /// The snapshot is held (keeping its generation alive) until the job
+    /// finishes running or is cancelled off the queue.
+    pub fn submit(
+        &self,
+        mut request: JobRequest,
+        snapshot: Arc<CorpusSnapshot>,
+        metrics: &Metrics,
+    ) -> SubmitOutcome {
         let mut shared = self.shared.lock().unwrap();
         self.evict(&mut shared, metrics, Instant::now());
         if !shared.accepting {
@@ -283,6 +305,7 @@ impl JobRunner {
         shared.next_id += 1;
         let cancel = request.lifecycle_mut().ensure_cancel();
         let endpoint = request.endpoint();
+        let (corpus, generation) = (snapshot.corpus().to_string(), snapshot.generation());
         shared.jobs.insert(
             id,
             Job {
@@ -290,6 +313,9 @@ impl JobRunner {
                 endpoint,
                 cancel,
                 request: Some(request),
+                snapshot: Some(snapshot),
+                corpus,
+                generation,
                 result: None,
                 submitted_at: Instant::now(),
                 expires_at: None,
@@ -312,6 +338,8 @@ impl JobRunner {
             id,
             state: job.state,
             endpoint: job.endpoint,
+            corpus: job.corpus.clone(),
+            generation: job.generation,
             result: job.result.clone(),
         })
     }
@@ -329,6 +357,7 @@ impl JobRunner {
                 let job = shared.jobs.get_mut(&id).unwrap();
                 job.state = JobState::Cancelled;
                 job.request = None;
+                job.snapshot = None;
                 job.expires_at = Some(expires_at);
                 // The id stays in `queue`; the claim loop skips it.
                 shared.expiry.push_back(id);
@@ -406,6 +435,7 @@ impl JobRunner {
             let job = shared.jobs.get_mut(&id).unwrap();
             job.state = JobState::Cancelled;
             job.request = None;
+            job.snapshot = None;
             job.expires_at = Some(Instant::now() + ttl);
             shared.expiry.push_back(id);
             metrics.record_job_state("cancelled");
@@ -434,8 +464,9 @@ impl JobRunner {
     }
 
     /// Worker side: block for the next queued job, mark it running, and
-    /// hand its request over. `None` once shutdown drained the queue.
-    fn claim(&self, metrics: &Metrics) -> Option<(u64, JobRequest)> {
+    /// hand its request plus pinned snapshot over. `None` once shutdown
+    /// drained the queue.
+    fn claim(&self, metrics: &Metrics) -> Option<(u64, JobRequest, Arc<CorpusSnapshot>)> {
         let mut shared = self.shared.lock().unwrap();
         loop {
             while let Some(id) = shared.queue.pop_front() {
@@ -449,9 +480,13 @@ impl JobRunner {
                 job.state = JobState::Running;
                 let wait_us = job.submitted_at.elapsed().as_micros() as u64;
                 let request = job.request.take().expect("queued job carries its request");
+                let snapshot = job
+                    .snapshot
+                    .take()
+                    .expect("queued job carries its snapshot");
                 metrics.record_job_state("running");
                 metrics.record_job_queue_wait(wait_us);
-                return Some((id, request));
+                return Some((id, request, snapshot));
             }
             if shared.shutdown {
                 return None;
@@ -523,10 +558,13 @@ impl JobRunner {
 fn worker_loop(state: &'static AppState) {
     let runner = state.jobs();
     let metrics = state.metrics();
-    while let Some((id, request)) = runner.claim(metrics) {
+    while let Some((id, request, snapshot)) = runner.claim(metrics) {
         let started = Instant::now();
-        let response = crate::service::execute_job(state, &request);
+        let response = crate::service::execute_job(state, &snapshot, &request);
         let execution_us = started.elapsed().as_micros() as u64;
+        // Release the pinned generation before storing the result: once the
+        // payload is durable the snapshot no longer needs to stay alive.
+        drop(snapshot);
         let (job_state, payload) = job_outcome(&response);
         runner.finish(
             id,
@@ -634,8 +672,12 @@ mod tests {
     fn job_payload_matches_the_synchronous_response() {
         let state = state_with(quick_docs(), JobsConfig::default());
         let request = quick_request(r#"{"query": "covid outbreak", "k": 2, "doc": 1, "n": 1}"#);
-        let sync = crate::service::execute_job(state, &request);
-        let SubmitOutcome::Accepted(id) = state.jobs().submit(request, state.metrics()) else {
+        let sync = crate::service::execute_job(state, &state.default_snapshot(), &request);
+        let SubmitOutcome::Accepted(id) =
+            state
+                .jobs()
+                .submit(request, state.default_snapshot(), state.metrics())
+        else {
             panic!("submission rejected");
         };
         assert_eq!(
@@ -659,7 +701,11 @@ mod tests {
         let capped = quick_request(
             r#"{"query": "covid outbreak", "k": 2, "doc": 1, "n": 5, "max_evals": 1}"#,
         );
-        let SubmitOutcome::Accepted(id) = state.jobs().submit(capped, state.metrics()) else {
+        let SubmitOutcome::Accepted(id) =
+            state
+                .jobs()
+                .submit(capped, state.default_snapshot(), state.metrics())
+        else {
             panic!("submission rejected");
         };
         assert_eq!(
@@ -679,7 +725,11 @@ mod tests {
     fn doc_errors_store_the_envelope_as_a_failed_result() {
         let state = state_with(quick_docs(), JobsConfig::default());
         let request = quick_request(r#"{"query": "covid outbreak", "k": 2, "doc": 99}"#);
-        let SubmitOutcome::Accepted(id) = state.jobs().submit(request, state.metrics()) else {
+        let SubmitOutcome::Accepted(id) =
+            state
+                .jobs()
+                .submit(request, state.default_snapshot(), state.metrics())
+        else {
             panic!("submission rejected");
         };
         assert_eq!(
@@ -711,9 +761,11 @@ mod tests {
                 ..JobsConfig::default()
             },
         );
-        let SubmitOutcome::Accepted(running) =
-            state.jobs().submit(slow_request(10_000), state.metrics())
-        else {
+        let SubmitOutcome::Accepted(running) = state.jobs().submit(
+            slow_request(10_000),
+            state.default_snapshot(),
+            state.metrics(),
+        ) else {
             panic!("first submission rejected");
         };
         // Wait until the worker has actually claimed it.
@@ -725,14 +777,20 @@ mod tests {
             );
             std::thread::sleep(Duration::from_millis(2));
         }
-        let SubmitOutcome::Accepted(waiting) =
-            state.jobs().submit(slow_request(10_000), state.metrics())
-        else {
+        let SubmitOutcome::Accepted(waiting) = state.jobs().submit(
+            slow_request(10_000),
+            state.default_snapshot(),
+            state.metrics(),
+        ) else {
             panic!("second submission rejected");
         };
         assert!(
             matches!(
-                state.jobs().submit(slow_request(10_000), state.metrics()),
+                state.jobs().submit(
+                    slow_request(10_000),
+                    state.default_snapshot(),
+                    state.metrics()
+                ),
                 SubmitOutcome::QueueFull
             ),
             "third submission must bounce off the full queue"
@@ -784,7 +842,11 @@ mod tests {
             },
         );
         let request = quick_request(r#"{"query": "covid outbreak", "k": 2, "doc": 1, "n": 1}"#);
-        let SubmitOutcome::Accepted(id) = state.jobs().submit(request, state.metrics()) else {
+        let SubmitOutcome::Accepted(id) =
+            state
+                .jobs()
+                .submit(request, state.default_snapshot(), state.metrics())
+        else {
             panic!("submission rejected");
         };
         assert_eq!(
@@ -810,7 +872,11 @@ mod tests {
         let mut ids = Vec::new();
         for _ in 0..4 {
             let request = quick_request(r#"{"query": "covid outbreak", "k": 2, "doc": 1}"#);
-            let SubmitOutcome::Accepted(id) = state.jobs().submit(request, state.metrics()) else {
+            let SubmitOutcome::Accepted(id) =
+                state
+                    .jobs()
+                    .submit(request, state.default_snapshot(), state.metrics())
+            else {
                 panic!("submission rejected");
             };
             state.jobs().wait_terminal(id, Duration::from_secs(30));
@@ -834,9 +900,11 @@ mod tests {
         );
         // A running job (generous deadline; finishes via its own budget)
         // and a queued one behind it.
-        let SubmitOutcome::Accepted(running) =
-            state.jobs().submit(slow_request(1_500), state.metrics())
-        else {
+        let SubmitOutcome::Accepted(running) = state.jobs().submit(
+            slow_request(1_500),
+            state.default_snapshot(),
+            state.metrics(),
+        ) else {
             panic!("first submission rejected");
         };
         let t0 = Instant::now();
@@ -847,9 +915,11 @@ mod tests {
             );
             std::thread::sleep(Duration::from_millis(2));
         }
-        let SubmitOutcome::Accepted(waiting) =
-            state.jobs().submit(slow_request(1_500), state.metrics())
-        else {
+        let SubmitOutcome::Accepted(waiting) = state.jobs().submit(
+            slow_request(1_500),
+            state.default_snapshot(),
+            state.metrics(),
+        ) else {
             panic!("second submission rejected");
         };
 
@@ -871,7 +941,11 @@ mod tests {
 
         // New submissions are refused while draining.
         assert!(matches!(
-            state.jobs().submit(slow_request(1_500), state.metrics()),
+            state.jobs().submit(
+                slow_request(1_500),
+                state.default_snapshot(),
+                state.metrics()
+            ),
             SubmitOutcome::ShuttingDown
         ));
     }

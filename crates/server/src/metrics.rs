@@ -48,7 +48,9 @@ use credence_core::RetrievalStats;
 
 /// HTTP status codes tracked with their own counter; anything else lands in
 /// the trailing `"other"` bucket.
-const STATUSES: [u16; 11] = [200, 202, 400, 404, 405, 410, 413, 422, 429, 500, 503];
+const STATUSES: [u16; 13] = [
+    200, 201, 202, 400, 404, 405, 409, 410, 413, 422, 429, 500, 503,
+];
 
 /// Histogram bucket upper bounds, in microseconds (rendered as seconds).
 const BUCKETS_US: [u64; 14] = [

@@ -12,8 +12,13 @@
 //! deadline starts ticking at parse time, i.e. from request arrival.
 
 use credence_core::{Budget, EvalOptions, SearchBudget, SearchStrategy};
-use credence_index::PartitionSpec;
+use credence_index::{Document, PartitionSpec};
 use credence_json::Value;
+
+/// The corpus served when a request does not name one — the corpus built
+/// from the documents the process was started with, preserving the
+/// single-tenant behavior of earlier API versions.
+pub const DEFAULT_CORPUS: &str = "default";
 
 /// One invalid request field.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -237,12 +242,63 @@ impl SearchControls {
     }
 }
 
+/// The corpus-selector fields accepted by every request.
+pub const CORPUS_FIELDS: &[&str] = &["corpus", "generation"];
+
+/// Corpus selector carried by every request: which registered corpus to
+/// serve from, and optionally which pinned generation. Absent fields mean
+/// "the default corpus, at whatever generation is live".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusRef {
+    /// Registered corpus name.
+    pub corpus: String,
+    /// Pinned generation; `None` reads the live snapshot.
+    pub generation: Option<u64>,
+}
+
+impl Default for CorpusRef {
+    fn default() -> Self {
+        Self {
+            corpus: DEFAULT_CORPUS.to_string(),
+            generation: None,
+        }
+    }
+}
+
+impl CorpusRef {
+    /// Read the `corpus` and `generation` fields off `p`.
+    pub fn parse(p: &mut FieldParser<'_>) -> Self {
+        let corpus = match p.optional_str("corpus") {
+            Some(name) if name.is_empty() => {
+                p.reject("corpus", "must be a non-empty string");
+                DEFAULT_CORPUS.to_string()
+            }
+            Some(name) => name,
+            None => DEFAULT_CORPUS.to_string(),
+        };
+        let generation = p.optional_u64("generation");
+        Self { corpus, generation }
+    }
+}
+
 macro_rules! known {
     ($($field:literal),* $(,)?) => {
         {
             const OWN: &[&str] = &[$($field),*];
             let mut all = OWN.to_vec();
             all.extend_from_slice(SEARCH_CONTROL_FIELDS);
+            all.extend_from_slice(CORPUS_FIELDS);
+            all
+        }
+    };
+}
+
+macro_rules! known_with_corpus {
+    ($($field:literal),* $(,)?) => {
+        {
+            const OWN: &[&str] = &[$($field),*];
+            let mut all = OWN.to_vec();
+            all.extend_from_slice(CORPUS_FIELDS);
             all
         }
     };
@@ -265,6 +321,8 @@ pub struct RankRequest {
     /// `partition_count` in the body). The cluster router sets this on each
     /// fanout leg; plain clients normally omit both fields.
     pub partition: Option<PartitionSpec>,
+    /// Corpus selector (`corpus`, optional pinned `generation`).
+    pub corpus: CorpusRef,
 }
 
 impl RankRequest {
@@ -315,8 +373,9 @@ impl RankRequest {
             search_strategy,
             search_shards: p.optional_u64("search_shards").map(|s| s as usize),
             partition,
+            corpus: CorpusRef::parse(&mut p),
         };
-        let errors = p.finish(&[
+        let errors = p.finish(&known_with_corpus![
             "query",
             "k",
             "search_strategy",
@@ -343,6 +402,8 @@ pub struct SentenceRemovalRequest {
     pub doc: usize,
     /// Maximum explanations to return.
     pub n: usize,
+    /// Corpus selector (`corpus`, optional pinned `generation`).
+    pub corpus: CorpusRef,
     /// Shared search controls.
     pub controls: SearchControls,
 }
@@ -356,6 +417,7 @@ impl SentenceRemovalRequest {
             k: p.require_usize("k"),
             doc: p.require_usize("doc"),
             n: p.optional_usize("n", 1),
+            corpus: CorpusRef::parse(&mut p),
             controls: SearchControls::parse(&mut p),
         };
         let errors = p.finish(&known!["query", "k", "doc", "n"]);
@@ -380,6 +442,8 @@ pub struct QueryAugmentationRequest {
     pub n: usize,
     /// Rank the document must reach (`new_rank <= threshold`).
     pub threshold: usize,
+    /// Corpus selector (`corpus`, optional pinned `generation`).
+    pub corpus: CorpusRef,
     /// Shared search controls.
     pub controls: SearchControls,
 }
@@ -394,6 +458,7 @@ impl QueryAugmentationRequest {
             doc: p.require_usize("doc"),
             n: p.optional_usize("n", 1),
             threshold: p.optional_usize("threshold", 1),
+            corpus: CorpusRef::parse(&mut p),
             controls: SearchControls::parse(&mut p),
         };
         let errors = p.finish(&known!["query", "k", "doc", "n", "threshold"]);
@@ -416,6 +481,8 @@ pub struct QueryReductionRequest {
     pub doc: usize,
     /// Maximum explanations to return.
     pub n: usize,
+    /// Corpus selector (`corpus`, optional pinned `generation`).
+    pub corpus: CorpusRef,
     /// Shared search controls.
     pub controls: SearchControls,
 }
@@ -429,6 +496,7 @@ impl QueryReductionRequest {
             k: p.require_usize("k"),
             doc: p.require_usize("doc"),
             n: p.optional_usize("n", 1),
+            corpus: CorpusRef::parse(&mut p),
             controls: SearchControls::parse(&mut p),
         };
         let errors = p.finish(&known!["query", "k", "doc", "n"]);
@@ -451,6 +519,8 @@ pub struct TermRemovalRequest {
     pub doc: usize,
     /// Maximum explanations to return.
     pub n: usize,
+    /// Corpus selector (`corpus`, optional pinned `generation`).
+    pub corpus: CorpusRef,
     /// Shared search controls.
     pub controls: SearchControls,
 }
@@ -464,6 +534,7 @@ impl TermRemovalRequest {
             k: p.require_usize("k"),
             doc: p.require_usize("doc"),
             n: p.optional_usize("n", 1),
+            corpus: CorpusRef::parse(&mut p),
             controls: SearchControls::parse(&mut p),
         };
         let errors = p.finish(&known!["query", "k", "doc", "n"]);
@@ -486,6 +557,8 @@ pub struct Doc2VecNearestRequest {
     pub doc: usize,
     /// Neighbours to return.
     pub n: usize,
+    /// Corpus selector (`corpus`, optional pinned `generation`).
+    pub corpus: CorpusRef,
 }
 
 impl Doc2VecNearestRequest {
@@ -497,8 +570,9 @@ impl Doc2VecNearestRequest {
             k: p.require_usize("k"),
             doc: p.require_usize("doc"),
             n: p.optional_usize("n", 1),
+            corpus: CorpusRef::parse(&mut p),
         };
-        let errors = p.finish(&["query", "k", "doc", "n"]);
+        let errors = p.finish(&known_with_corpus!["query", "k", "doc", "n"]);
         if errors.is_empty() {
             Ok(out)
         } else {
@@ -520,6 +594,8 @@ pub struct CosineSampledRequest {
     pub n: usize,
     /// Score-vector sample override.
     pub samples: Option<usize>,
+    /// Corpus selector (`corpus`, optional pinned `generation`).
+    pub corpus: CorpusRef,
 }
 
 impl CosineSampledRequest {
@@ -532,8 +608,9 @@ impl CosineSampledRequest {
             doc: p.require_usize("doc"),
             n: p.optional_usize("n", 1),
             samples: p.optional_u64("samples").map(|s| s as usize),
+            corpus: CorpusRef::parse(&mut p),
         };
-        let errors = p.finish(&["query", "k", "doc", "n", "samples"]);
+        let errors = p.finish(&known_with_corpus!["query", "k", "doc", "n", "samples"]);
         if errors.is_empty() {
             Ok(out)
         } else {
@@ -551,6 +628,8 @@ pub struct TopicsRequest {
     pub k: usize,
     /// Topics to fit.
     pub num_topics: usize,
+    /// Corpus selector (`corpus`, optional pinned `generation`).
+    pub corpus: CorpusRef,
 }
 
 impl TopicsRequest {
@@ -561,8 +640,9 @@ impl TopicsRequest {
             query: p.require_str("query"),
             k: p.require_usize("k"),
             num_topics: p.optional_usize("num_topics", 3),
+            corpus: CorpusRef::parse(&mut p),
         };
-        let errors = p.finish(&["query", "k", "num_topics"]);
+        let errors = p.finish(&known_with_corpus!["query", "k", "num_topics"]);
         if errors.is_empty() {
             Ok(out)
         } else {
@@ -580,6 +660,8 @@ pub struct SnippetRequest {
     pub doc: usize,
     /// Snippet window, in tokens.
     pub window: usize,
+    /// Corpus selector (`corpus`, optional pinned `generation`).
+    pub corpus: CorpusRef,
 }
 
 impl SnippetRequest {
@@ -590,8 +672,9 @@ impl SnippetRequest {
             query: p.require_str("query"),
             doc: p.require_usize("doc"),
             window: p.optional_usize("window", 24),
+            corpus: CorpusRef::parse(&mut p),
         };
-        let errors = p.finish(&["query", "doc", "window"]);
+        let errors = p.finish(&known_with_corpus!["query", "doc", "window"]);
         if errors.is_empty() {
             Ok(out)
         } else {
@@ -609,6 +692,8 @@ pub struct NearestToTextRequest {
     pub n: usize,
     /// Exclude the top-k for this query (both-or-neither with `k`).
     pub exclude: Option<(String, usize)>,
+    /// Corpus selector (`corpus`, optional pinned `generation`).
+    pub corpus: CorpusRef,
 }
 
 impl NearestToTextRequest {
@@ -633,8 +718,13 @@ impl NearestToTextRequest {
                 None
             }
         };
-        let out = Self { text, n, exclude };
-        let errors = p.finish(&["text", "n", "query", "k"]);
+        let out = Self {
+            text,
+            n,
+            exclude,
+            corpus: CorpusRef::parse(&mut p),
+        };
+        let errors = p.finish(&known_with_corpus!["text", "n", "query", "k"]);
         if errors.is_empty() {
             Ok(out)
         } else {
@@ -657,6 +747,8 @@ pub struct RerankRequest {
     /// Request budget (`deadline_ms`; the builder runs exactly one
     /// evaluation, so `max_evals` does not apply here).
     pub lifecycle: Budget,
+    /// Corpus selector (`corpus`, optional pinned `generation`).
+    pub corpus: CorpusRef,
 }
 
 impl RerankRequest {
@@ -673,8 +765,15 @@ impl RerankRequest {
             doc: p.require_usize("doc"),
             body: p.require_str("body"),
             lifecycle,
+            corpus: CorpusRef::parse(&mut p),
         };
-        let errors = p.finish(&["query", "k", "doc", "body", "deadline_ms"]);
+        let errors = p.finish(&known_with_corpus![
+            "query",
+            "k",
+            "doc",
+            "body",
+            "deadline_ms"
+        ]);
         if errors.is_empty() {
             Ok(out)
         } else {
@@ -726,6 +825,16 @@ impl JobRequest {
             JobRequest::QueryAugmentation(r) => &mut r.controls.lifecycle,
             JobRequest::QueryReduction(r) => &mut r.controls.lifecycle,
             JobRequest::TermRemoval(r) => &mut r.controls.lifecycle,
+        }
+    }
+
+    /// The corpus this job targets, for snapshot pinning at submit time.
+    pub fn corpus_ref(&self) -> &CorpusRef {
+        match self {
+            JobRequest::SentenceRemoval(r) => &r.corpus,
+            JobRequest::QueryAugmentation(r) => &r.corpus,
+            JobRequest::QueryReduction(r) => &r.corpus,
+            JobRequest::TermRemoval(r) => &r.corpus,
         }
     }
 }
@@ -792,6 +901,168 @@ impl JobSubmitRequest {
         match (request, errors.is_empty()) {
             (Some(request), true) => Ok(Self { request }),
             (_, _) => Err(errors),
+        }
+    }
+}
+
+/// Parse one `{name?, title?, body}` document object; errors are reported
+/// against `prefix.<field>`.
+fn parse_doc_object(p: &mut FieldParser<'_>, prefix: &str, item: &Value) -> Option<Document> {
+    if item.as_object().is_none() {
+        p.reject(prefix, "must be a JSON object");
+        return None;
+    }
+    let mut dp = FieldParser::new(item);
+    let doc = Document::new(
+        dp.optional_str("name").unwrap_or_default(),
+        dp.optional_str("title").unwrap_or_default(),
+        dp.require_str("body"),
+    );
+    let errors = dp.finish(&["name", "title", "body"]);
+    if errors.is_empty() {
+        Some(doc)
+    } else {
+        for e in errors {
+            p.reject(&format!("{prefix}.{}", e.field), e.message);
+        }
+        None
+    }
+}
+
+/// `PUT /api/v1/corpora/{name}`: register or hot-swap a corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusPutRequest {
+    /// The documents to index as generation 0.
+    pub docs: Vec<Document>,
+}
+
+impl CorpusPutRequest {
+    /// Parse and fully validate the request body.
+    pub fn parse(body: &Value) -> Result<Self, Vec<FieldError>> {
+        let mut p = FieldParser::new(body);
+        let mut docs = Vec::new();
+        match body.get("docs") {
+            Some(value) => match value.as_array() {
+                Some(items) => {
+                    if items.is_empty() {
+                        p.reject("docs", "must contain at least one document");
+                    }
+                    for (i, item) in items.iter().enumerate() {
+                        if let Some(doc) = parse_doc_object(&mut p, &format!("docs[{i}]"), item) {
+                            docs.push(doc);
+                        }
+                    }
+                    let mut seen = std::collections::BTreeSet::new();
+                    for (i, doc) in docs.iter().enumerate() {
+                        if !doc.name.is_empty() && !seen.insert(doc.name.as_str()) {
+                            p.reject(
+                                &format!("docs[{i}].name"),
+                                "duplicate document name in corpus",
+                            );
+                        }
+                    }
+                }
+                None => p.reject("docs", "must be an array of documents"),
+            },
+            None => p.reject("docs", "missing required array field"),
+        }
+        let errors = p.finish(&["docs"]);
+        if errors.is_empty() {
+            Ok(Self { docs })
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+/// `POST /api/v1/corpora/{name}/docs`: add a new document (409 when the
+/// name already exists).
+#[derive(Debug, Clone)]
+pub struct DocAddRequest {
+    /// The document; `name` is required so the add/exists contract is
+    /// well-defined.
+    pub doc: Document,
+    /// When true, the response waits for the staged op to fold into a
+    /// published generation (read-your-write); otherwise it returns 202
+    /// with the staging ticket.
+    pub refresh: bool,
+}
+
+impl DocAddRequest {
+    /// Parse and fully validate the request body.
+    pub fn parse(body: &Value) -> Result<Self, Vec<FieldError>> {
+        let mut p = FieldParser::new(body);
+        let name = p.require_str("name");
+        if p.has("name") && name.is_empty() {
+            p.reject("name", "must be a non-empty string");
+        }
+        let out = Self {
+            doc: Document::new(
+                name,
+                p.optional_str("title").unwrap_or_default(),
+                p.require_str("body"),
+            ),
+            refresh: p.optional_bool("refresh", false),
+        };
+        let errors = p.finish(&["name", "title", "body", "refresh"]);
+        if errors.is_empty() {
+            Ok(out)
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+/// `PUT /api/v1/corpora/{name}/docs/{id}`: upsert the document named by
+/// the path.
+#[derive(Debug, Clone)]
+pub struct DocPutRequest {
+    /// Display title (not scored).
+    pub title: String,
+    /// The body text.
+    pub body: String,
+    /// Wait for the fold before answering (see [`DocAddRequest::refresh`]).
+    pub refresh: bool,
+}
+
+impl DocPutRequest {
+    /// Parse and fully validate the request body.
+    pub fn parse(body: &Value) -> Result<Self, Vec<FieldError>> {
+        let mut p = FieldParser::new(body);
+        let out = Self {
+            title: p.optional_str("title").unwrap_or_default(),
+            body: p.require_str("body"),
+            refresh: p.optional_bool("refresh", false),
+        };
+        let errors = p.finish(&["title", "body", "refresh"]);
+        if errors.is_empty() {
+            Ok(out)
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+/// Optional `{refresh}` body for `DELETE .../docs/{id}` (an absent or
+/// empty body means `refresh: false`).
+#[derive(Debug, Clone, Default)]
+pub struct RefreshRequest {
+    /// Wait for the fold before answering.
+    pub refresh: bool,
+}
+
+impl RefreshRequest {
+    /// Parse and fully validate the request body.
+    pub fn parse(body: &Value) -> Result<Self, Vec<FieldError>> {
+        let mut p = FieldParser::new(body);
+        let out = Self {
+            refresh: p.optional_bool("refresh", false),
+        };
+        let errors = p.finish(&["refresh"]);
+        if errors.is_empty() {
+            Ok(out)
+        } else {
+            Err(errors)
         }
     }
 }

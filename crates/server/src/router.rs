@@ -237,6 +237,13 @@ impl App for RouterState {
             ("GET" | "DELETE", _) if path.starts_with("/jobs/") => {
                 jobs_relay(self, request, &path["/jobs/".len()..])
             }
+            // Corpus lifecycle mutations change worker state, and the
+            // cluster's correctness rests on workers being replicas — so
+            // they broadcast to every worker instead of picking one.
+            // Reads (`GET /corpora...`) fall through to round-robin.
+            ("PUT" | "DELETE" | "POST", _) if path.starts_with("/corpora") => {
+                corpora_broadcast(self, request, path)
+            }
             _ => forward(self, request, path),
         };
         // Unversioned API aliases get the same deprecation headers the
@@ -317,11 +324,32 @@ fn rank_fanout(state: &RouterState, req: &Request) -> Response {
 
     let mut rows: Vec<MergedRow> = Vec::new();
     let mut missing: Vec<(u32, FailureKind)> = Vec::new();
+    // The (corpus, generation) envelope every surviving leg must agree on.
+    // Workers are replicas, so a disagreement means the cluster is mid-swap
+    // and a merged ranking would mix generations — refuse rather than blend.
+    let mut envelope: Option<(String, u64)> = None;
     for (p, leg) in legs.into_iter().enumerate() {
         let p = p as u32;
         match leg {
             Ok(resp) if resp.status == 200 => match parse_ranking_rows(&resp.body) {
-                Some(mut partition_rows) => rows.append(&mut partition_rows),
+                Some((leg_envelope, mut partition_rows)) => {
+                    match &envelope {
+                        None => envelope = Some(leg_envelope),
+                        Some(seen) if *seen != leg_envelope => {
+                            return error_envelope(
+                                409,
+                                "generation_mismatch",
+                                format!(
+                                    "partition legs answered from different snapshots \
+                                     ({}@{} vs {}@{}); retry once the swap settles",
+                                    seen.0, seen.1, leg_envelope.0, leg_envelope.1
+                                ),
+                            );
+                        }
+                        Some(_) => {}
+                    }
+                    rows.append(&mut partition_rows);
+                }
                 None => {
                     state.metrics.record_failure(FailureKind::Protocol);
                     missing.push((p, FailureKind::Protocol));
@@ -378,8 +406,15 @@ fn rank_fanout(state: &RouterState, req: &Request) -> Response {
         })
         .collect();
 
+    // At least one leg survived (checked above), so the envelope is set.
+    let (corpus, generation) = envelope.expect("surviving legs carry an envelope");
+    let mut fields: Vec<(&str, Value)> = vec![
+        ("corpus", Value::from(corpus)),
+        ("generation", Value::from(generation as usize)),
+    ];
     if missing.is_empty() {
-        return Response::json(200, to_string(&obj([("ranking", Value::Array(ranking))])));
+        fields.push(("ranking", Value::Array(ranking)));
+        return Response::json(200, to_string(&obj(fields)));
     }
     state.metrics.degraded.fetch_add(1, Ordering::Relaxed);
     let status = if missing.iter().any(|&(_, k)| k == FailureKind::Deadline) {
@@ -391,20 +426,19 @@ fn rank_fanout(state: &RouterState, req: &Request) -> Response {
         .iter()
         .map(|&(p, _)| Value::from(p as usize))
         .collect();
-    Response::json(
-        200,
-        to_string(&obj([
-            ("missing_partitions", Value::Array(missing_parts)),
-            ("ranking", Value::Array(ranking)),
-            ("status", Value::from(status)),
-        ])),
-    )
+    fields.push(("missing_partitions", Value::Array(missing_parts)));
+    fields.push(("ranking", Value::Array(ranking)));
+    fields.push(("status", Value::from(status)));
+    Response::json(200, to_string(&obj(fields)))
 }
 
-/// Pull `(doc, score, row)` triples out of one worker's `/rank` body.
-fn parse_ranking_rows(body: &[u8]) -> Option<Vec<MergedRow>> {
+/// Pull the `(corpus, generation)` envelope and the `(doc, score, row)`
+/// triples out of one worker's `/rank` body.
+fn parse_ranking_rows(body: &[u8]) -> Option<((String, u64), Vec<MergedRow>)> {
     let text = std::str::from_utf8(body).ok()?;
     let value = parse(text).ok()?;
+    let corpus = value.get("corpus")?.as_str()?.to_string();
+    let generation = value.get("generation")?.as_u64()?;
     let ranking = value.get("ranking")?.as_array()?;
     let mut rows = Vec::with_capacity(ranking.len());
     for row in ranking {
@@ -416,7 +450,72 @@ fn parse_ranking_rows(body: &[u8]) -> Option<Vec<MergedRow>> {
             row: row.clone(),
         });
     }
-    Some(rows)
+    Some(((corpus, generation), rows))
+}
+
+/// Broadcast a corpus-lifecycle mutation to every worker. Replication is
+/// the cluster's correctness invariant, so the mutation must land on all of
+/// them: any transport failure is `503 worker_unavailable` (the client
+/// retries the idempotent PUT/DELETE), and workers disagreeing on the
+/// outcome status is `503 cluster_inconsistent`. On agreement the first
+/// worker's response is relayed verbatim.
+fn corpora_broadcast(state: &RouterState, req: &Request, path: &str) -> Response {
+    let deadline = state.leg_deadline(None);
+    let canonical = format!("{API_PREFIX}{path}");
+    let body = if req.body.is_empty() {
+        None
+    } else {
+        Some(req.body.as_slice())
+    };
+    let legs: Vec<Result<WireResponse, FanoutError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = state
+            .workers
+            .iter()
+            .map(|&addr| {
+                let canonical = canonical.as_str();
+                scope.spawn(move || http_request(addr, &req.method, canonical, body, deadline))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    state
+        .metrics
+        .fanout_legs
+        .fetch_add(state.workers.len() as u64, Ordering::Relaxed);
+
+    let mut responses = Vec::with_capacity(legs.len());
+    for (w, leg) in legs.into_iter().enumerate() {
+        match leg {
+            Ok(resp) => responses.push(resp),
+            Err(e) => {
+                state.metrics.record_failure(e.kind);
+                state.metrics.unavailable.fetch_add(1, Ordering::Relaxed);
+                return error_envelope(
+                    503,
+                    "worker_unavailable",
+                    format!(
+                        "worker {w} did not apply the corpus mutation ({}): {}; retry",
+                        e.kind.as_str(),
+                        e.detail
+                    ),
+                );
+            }
+        }
+    }
+    let first_status = responses[0].status;
+    if responses.iter().any(|r| r.status != first_status) {
+        let statuses: Vec<String> = responses.iter().map(|r| r.status.to_string()).collect();
+        state.metrics.unavailable.fetch_add(1, Ordering::Relaxed);
+        return error_envelope(
+            503,
+            "cluster_inconsistent",
+            format!(
+                "workers disagreed on the mutation outcome [{}]; inspect worker state",
+                statuses.join(", ")
+            ),
+        );
+    }
+    relay_response(responses.into_iter().next().unwrap())
 }
 
 /// Translate a fanout failure on a whole-request relay into an envelope.

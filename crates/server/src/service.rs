@@ -10,15 +10,24 @@
 //! `{"error": {"code", "message", ...}}` with the stable codes from
 //! [`ExplainError::code`] — and every request is counted and timed in the
 //! [`Metrics`] registry exposed at `GET /metrics`.
+//!
+//! Serving is multi-tenant: requests resolve a [`CorpusSnapshot`] out of
+//! the [`CorpusRegistry`] (by `corpus` name and optional pinned
+//! `generation`) and run entirely against that immutable snapshot. The
+//! corpus-lifecycle routes (`/api/v1/corpora...`) register, mutate, and
+//! remove corpora at runtime, and every 2xx body carries a top-level
+//! `corpus` + `generation` envelope naming the snapshot that answered.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use credence_core::{
-    CredenceEngine, EngineConfig, ExplainError, QueryAugmentationConfig, QueryReductionConfig,
-    SentenceRemovalConfig, TermRemovalConfig,
+    Corpus, CorpusInfo, CorpusRegistry, CorpusSnapshot, EngineConfig, ExplainError,
+    QueryAugmentationConfig, QueryReductionConfig, RankerFactory, SentenceRemovalConfig,
+    SnapshotError, TermRemovalConfig,
 };
-use credence_index::{Bm25Params, DocId, Document, InvertedIndex};
+use credence_index::{Bm25Params, DeltaOp, DocId, Document, InvertedIndex};
 use credence_json::{obj, parse, to_string, Value};
 use credence_rank::{
     Bm25Ranker, NeuralSimConfig, NeuralSimRanker, PoolEntry, QlSmoothing, QueryLikelihoodRanker,
@@ -30,9 +39,10 @@ use crate::http::{Request, Response};
 use crate::jobs::{CancelOutcome, JobRunner, JobView, JobsConfig, SubmitOutcome};
 use crate::metrics::Metrics;
 use crate::requests::{
-    CosineSampledRequest, Doc2VecNearestRequest, FieldError, JobRequest, JobSubmitRequest,
-    NearestToTextRequest, QueryAugmentationRequest, QueryReductionRequest, RankRequest,
-    RerankRequest, SentenceRemovalRequest, SnippetRequest, TermRemovalRequest, TopicsRequest,
+    CorpusPutRequest, CorpusRef, CosineSampledRequest, Doc2VecNearestRequest, DocAddRequest,
+    DocPutRequest, FieldError, JobRequest, JobSubmitRequest, NearestToTextRequest,
+    QueryAugmentationRequest, QueryReductionRequest, RankRequest, RefreshRequest, RerankRequest,
+    SentenceRemovalRequest, SnippetRequest, TermRemovalRequest, TopicsRequest, DEFAULT_CORPUS,
 };
 
 /// The API version prefix canonical routes live under.
@@ -40,11 +50,14 @@ pub const API_PREFIX: &str = "/api/v1";
 
 /// Everything a request handler needs, with `'static` lifetime so worker
 /// threads can share it. Construct via [`AppState::leak`], which builds the
-/// index and ranker once and leaks them (a deliberate one-time allocation
-/// for the lifetime of the process, exactly like the original service
-/// loading its Lucene index at startup).
+/// default corpus once and leaks the state (a deliberate one-time
+/// allocation for the lifetime of the process, exactly like the original
+/// service loading its Lucene index at startup). Further corpora register
+/// and retire at runtime through the registry.
 pub struct AppState {
-    engine: CredenceEngine<'static>,
+    registry: CorpusRegistry,
+    factory: RankerFactory,
+    config: EngineConfig,
     metrics: Metrics,
     jobs: JobRunner,
     log_requests: AtomicBool,
@@ -80,6 +93,28 @@ impl RankerChoice {
     }
 }
 
+/// The per-generation ranker constructor for `choice`. Every corpus in the
+/// registry builds its rankers through this, so hot-swaps and merge-folded
+/// generations all serve the model the process was started with.
+fn ranker_factory(choice: RankerChoice) -> RankerFactory {
+    Arc::new(move |index: &'static InvertedIndex| -> Box<dyn Ranker> {
+        match choice {
+            RankerChoice::Bm25 => Box::new(Bm25Ranker::new(index, Bm25Params::default())),
+            RankerChoice::QlDirichlet => {
+                Box::new(QueryLikelihoodRanker::new(index, QlSmoothing::default()))
+            }
+            RankerChoice::QlJm => Box::new(QueryLikelihoodRanker::new(
+                index,
+                QlSmoothing::JelinekMercer { lambda: 0.5 },
+            )),
+            RankerChoice::Rm3 => Box::new(Rm3Ranker::new(index, Rm3Config::default())),
+            RankerChoice::Neural => {
+                Box::new(NeuralSimRanker::train(index, NeuralSimConfig::default()))
+            }
+        }
+    })
+}
+
 impl AppState {
     /// Build the full backend over `docs` and leak it to `'static`.
     pub fn leak(docs: Vec<Document>, config: EngineConfig) -> &'static AppState {
@@ -96,36 +131,27 @@ impl AppState {
     }
 
     /// Build the backend with explicit ranking model and job-subsystem
-    /// sizing, and start the job worker pool.
+    /// sizing, and start the job worker pool. `docs` becomes generation 0
+    /// of the `"default"` corpus.
     pub fn leak_jobs(
         docs: Vec<Document>,
         config: EngineConfig,
         choice: RankerChoice,
         jobs: JobsConfig,
     ) -> &'static AppState {
-        let index: &'static InvertedIndex =
-            Box::leak(Box::new(InvertedIndex::build(docs, Analyzer::english())));
-        let ranker: &'static dyn Ranker = match choice {
-            RankerChoice::Bm25 => {
-                Box::leak(Box::new(Bm25Ranker::new(index, Bm25Params::default())))
-            }
-            RankerChoice::QlDirichlet => Box::leak(Box::new(QueryLikelihoodRanker::new(
-                index,
-                QlSmoothing::default(),
-            ))),
-            RankerChoice::QlJm => Box::leak(Box::new(QueryLikelihoodRanker::new(
-                index,
-                QlSmoothing::JelinekMercer { lambda: 0.5 },
-            ))),
-            RankerChoice::Rm3 => Box::leak(Box::new(Rm3Ranker::new(index, Rm3Config::default()))),
-            RankerChoice::Neural => Box::leak(Box::new(NeuralSimRanker::train(
-                index,
-                NeuralSimConfig::default(),
-            ))),
-        };
-        let engine = CredenceEngine::new(ranker, config);
+        let factory = ranker_factory(choice);
+        let registry = CorpusRegistry::new();
+        registry.register(
+            DEFAULT_CORPUS,
+            docs,
+            Analyzer::english(),
+            Arc::clone(&factory),
+            config.clone(),
+        );
         let state: &'static AppState = Box::leak(Box::new(AppState {
-            engine,
+            registry,
+            factory,
+            config,
             metrics: Metrics::new(ENDPOINT_LABELS),
             jobs: JobRunner::new(jobs),
             log_requests: AtomicBool::new(false),
@@ -134,9 +160,29 @@ impl AppState {
         state
     }
 
-    /// The engine, for in-process use in tests and experiments.
-    pub fn engine(&self) -> &CredenceEngine<'static> {
-        &self.engine
+    /// The multi-tenant corpus registry.
+    pub fn registry(&self) -> &CorpusRegistry {
+        &self.registry
+    }
+
+    /// Register (or hot-swap) a corpus under `name` with the server's
+    /// configured ranking model and engine config.
+    pub fn register_corpus(&self, name: &str, docs: Vec<Document>) -> Arc<Corpus> {
+        self.registry.register(
+            name,
+            docs,
+            Analyzer::english(),
+            Arc::clone(&self.factory),
+            self.config.clone(),
+        )
+    }
+
+    /// The default corpus's live snapshot, for in-process use in tests and
+    /// experiments.
+    pub fn default_snapshot(&self) -> Arc<CorpusSnapshot> {
+        self.registry
+            .snapshot(DEFAULT_CORPUS, None)
+            .expect("the default corpus is registered at startup")
     }
 
     /// The observability registry (served at `GET /metrics`).
@@ -171,6 +217,7 @@ impl crate::server::App for AppState {
 
     fn finish_shutdown(&self) {
         self.jobs.join_workers();
+        self.registry.shutdown_all();
     }
 }
 
@@ -194,6 +241,8 @@ const ENDPOINT_LABELS: &[&str] = &[
     "snippet",
     "rerank",
     "jobs",
+    "corpora",
+    "api_index",
     "other",
 ];
 
@@ -376,6 +425,46 @@ const ROUTES: &[Route] = &[
         endpoint: "jobs",
         handler: jobs_cancel,
     },
+    Route {
+        method: "GET",
+        path: "/corpora",
+        prefix: false,
+        versioned: true,
+        endpoint: "corpora",
+        handler: corpora_list,
+    },
+    Route {
+        method: "GET",
+        path: "/corpora/",
+        prefix: true,
+        versioned: true,
+        endpoint: "corpora",
+        handler: corpora_get,
+    },
+    Route {
+        method: "PUT",
+        path: "/corpora/",
+        prefix: true,
+        versioned: true,
+        endpoint: "corpora",
+        handler: corpora_put,
+    },
+    Route {
+        method: "DELETE",
+        path: "/corpora/",
+        prefix: true,
+        versioned: true,
+        endpoint: "corpora",
+        handler: corpora_delete,
+    },
+    Route {
+        method: "POST",
+        path: "/corpora/",
+        prefix: true,
+        versioned: true,
+        endpoint: "corpora",
+        handler: corpora_post,
+    },
 ];
 
 /// Build the unified error envelope:
@@ -435,6 +524,45 @@ fn explain_error_response(err: ExplainError) -> Response {
     error_envelope(status, err.code(), err.to_string())
 }
 
+/// Resolve the snapshot a request names, mapping failures to their stable
+/// envelopes: `404 corpus_not_found` and `410 generation_gone`.
+fn resolve(state: &AppState, corpus: &CorpusRef) -> Result<Arc<CorpusSnapshot>, Response> {
+    state
+        .registry
+        .snapshot(&corpus.corpus, corpus.generation)
+        .map_err(|err| match err {
+            SnapshotError::CorpusNotFound => error_envelope(
+                404,
+                "corpus_not_found",
+                format!("no corpus registered under '{}'", corpus.corpus),
+            ),
+            SnapshotError::GenerationGone => error_envelope(
+                410,
+                "generation_gone",
+                format!(
+                    "generation {} of corpus '{}' is no longer live and nothing pins it",
+                    corpus.generation.unwrap_or(0),
+                    corpus.corpus
+                ),
+            ),
+        })
+}
+
+/// Prefix `fields` with the `corpus` + `generation` envelope pair naming
+/// the snapshot that answered — carried by every 2xx body so clients (and
+/// the cluster router) can detect cross-generation skew.
+fn with_corpus(
+    snap: &CorpusSnapshot,
+    fields: Vec<(&'static str, Value)>,
+) -> Vec<(&'static str, Value)> {
+    let mut all = vec![
+        ("corpus", Value::from(snap.corpus().to_string())),
+        ("generation", Value::from(snap.generation() as usize)),
+    ];
+    all.extend(fields);
+    all
+}
+
 /// Parse the request body as a JSON object.
 pub(crate) fn json_body(req: &Request) -> Result<Value, Response> {
     let text = req
@@ -476,6 +604,19 @@ pub(crate) fn strip_version(path: &str) -> (&str, bool) {
 /// metrics) alongside the response.
 fn dispatch(state: &AppState, req: &Request) -> (&'static str, Response) {
     let (path, versioned) = strip_version(&req.path);
+    // `/api/v1` itself is the discovery endpoint. Decided before the table
+    // walk: its stripped path ("/") would otherwise collide with the UI
+    // root row.
+    if versioned && path == "/" {
+        return if req.method == "GET" {
+            ("api_index", api_index(state, req, ""))
+        } else {
+            (
+                "other",
+                error_envelope(405, "method_not_allowed", "method not allowed"),
+            )
+        };
+    }
     let mut path_matched = false;
     for route in ROUTES {
         let tail = if route.prefix {
@@ -547,17 +688,67 @@ fn health(_state: &AppState, _req: &Request, _tail: &str) -> Response {
 }
 
 fn metrics_text(state: &AppState, _req: &Request, _tail: &str) -> Response {
-    // Pull the engine's cumulative retrieval/cache counters into the
-    // registry so every scrape sees the latest totals.
+    // Fold every corpus's cumulative retrieval/cache counters into the
+    // registry so each scrape sees process-wide totals.
     state
         .metrics
-        .record_retrieval(state.engine.retrieval_stats());
-    Response::text(200, state.metrics.render())
+        .record_retrieval(state.registry.total_retrieval_stats());
+    let mut text = state.metrics.render();
+    render_corpus_metrics(&mut text, &state.registry.list());
+    Response::text(200, text)
+}
+
+/// Append the `credence_corpus_*` families to a `/metrics` scrape: the
+/// registry size plus per-corpus generation, doc count, staged-op backlog,
+/// and merge totals. Rendered from live registry state on every scrape, so
+/// removed corpora vanish instead of lingering as stale label sets.
+fn render_corpus_metrics(out: &mut String, infos: &[CorpusInfo]) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "# HELP credence_corpus_count Registered corpora.");
+    let _ = writeln!(out, "# TYPE credence_corpus_count gauge");
+    let _ = writeln!(out, "credence_corpus_count {}", infos.len());
+    let families: [(&str, &str, &str, fn(&CorpusInfo) -> u64); 4] = [
+        (
+            "credence_corpus_generation",
+            "gauge",
+            "Live generation per corpus.",
+            |i| i.generation,
+        ),
+        (
+            "credence_corpus_docs",
+            "gauge",
+            "Documents in the live generation.",
+            |i| i.num_docs as u64,
+        ),
+        (
+            "credence_corpus_pending_ops",
+            "gauge",
+            "Staged mutations not yet folded.",
+            |i| i.pending_ops as u64,
+        ),
+        (
+            "credence_corpus_merges_total",
+            "counter",
+            "Generations published by merges.",
+            |i| i.merges,
+        ),
+    ];
+    for (name, kind, help, value) in families {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        for info in infos {
+            let _ = writeln!(out, "{name}{{corpus=\"{}\"}} {}", info.name, value(info));
+        }
+    }
 }
 
 fn corpus(state: &AppState, _req: &Request, _tail: &str) -> Response {
-    let index = state.engine.ranker().index();
-    let docs: Vec<Value> = index
+    let snap = match resolve(state, &CorpusRef::default()) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let docs: Vec<Value> = snap
+        .index()
         .documents()
         .iter()
         .enumerate()
@@ -571,10 +762,13 @@ fn corpus(state: &AppState, _req: &Request, _tail: &str) -> Response {
         .collect();
     Response::json(
         200,
-        to_string(&obj([
-            ("num_docs", Value::from(index.num_docs())),
-            ("docs", Value::Array(docs)),
-        ])),
+        to_string(&obj(with_corpus(
+            &snap,
+            vec![
+                ("num_docs", Value::from(snap.index().num_docs())),
+                ("docs", Value::Array(docs)),
+            ],
+        ))),
     )
 }
 
@@ -582,17 +776,23 @@ fn doc(state: &AppState, _req: &Request, id: &str) -> Response {
     let Ok(id) = id.parse::<u32>() else {
         return error_envelope(400, "invalid_field", "document id must be an integer");
     };
-    let index = state.engine.ranker().index();
-    match index.document(DocId(id)) {
+    let snap = match resolve(state, &CorpusRef::default()) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    match snap.index().document(DocId(id)) {
         None => error_envelope(404, "doc_not_found", format!("document {id} not found")),
         Some(d) => Response::json(
             200,
-            to_string(&obj([
-                ("doc", Value::from(id)),
-                ("name", Value::from(d.name.as_str())),
-                ("title", Value::from(d.title.as_str())),
-                ("body", Value::from(d.body.as_str())),
-            ])),
+            to_string(&obj(with_corpus(
+                &snap,
+                vec![
+                    ("doc", Value::from(id)),
+                    ("name", Value::from(d.name.as_str())),
+                    ("title", Value::from(d.title.as_str())),
+                    ("body", Value::from(d.body.as_str())),
+                ],
+            ))),
         ),
     }
 }
@@ -606,7 +806,11 @@ fn rank(state: &AppState, req: &Request, _tail: &str) -> Response {
         Ok(p) => p,
         Err(errors) => return invalid_fields_response(errors),
     };
-    let mut opts = state.engine.config().retrieval;
+    let snap = match resolve(state, &parsed.corpus) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let mut opts = snap.engine().config().retrieval;
     if let Some(strategy) = parsed.search_strategy {
         opts.strategy = strategy;
     }
@@ -614,8 +818,8 @@ fn rank(state: &AppState, req: &Request, _tail: &str) -> Response {
         opts.shards = shards;
     }
     opts.partition = parsed.partition;
-    let rows: Vec<Value> = state
-        .engine
+    let rows: Vec<Value> = snap
+        .engine()
         .rank_with_options(&parsed.query, parsed.k, &opts)
         .into_iter()
         .map(|r| {
@@ -628,7 +832,13 @@ fn rank(state: &AppState, req: &Request, _tail: &str) -> Response {
             ])
         })
         .collect();
-    Response::json(200, to_string(&obj([("ranking", Value::Array(rows))])))
+    Response::json(
+        200,
+        to_string(&obj(with_corpus(
+            &snap,
+            vec![("ranking", Value::Array(rows))],
+        ))),
+    )
 }
 
 fn sentence_removal(state: &AppState, req: &Request, _tail: &str) -> Response {
@@ -640,13 +850,21 @@ fn sentence_removal(state: &AppState, req: &Request, _tail: &str) -> Response {
         Ok(p) => p,
         Err(errors) => return invalid_fields_response(errors),
     };
-    run_sentence_removal(state, &parsed)
+    let snap = match resolve(state, &parsed.corpus) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    run_sentence_removal(state, &snap, &parsed)
 }
 
-/// Execute a parsed sentence-removal request. Shared verbatim by the
-/// synchronous endpoint and the job workers, so both produce the same
-/// payload for the same request.
-pub(crate) fn run_sentence_removal(state: &AppState, parsed: &SentenceRemovalRequest) -> Response {
+/// Execute a parsed sentence-removal request against a resolved snapshot.
+/// Shared verbatim by the synchronous endpoint and the job workers, so
+/// both produce the same payload for the same request and generation.
+pub(crate) fn run_sentence_removal(
+    state: &AppState,
+    snap: &CorpusSnapshot,
+    parsed: &SentenceRemovalRequest,
+) -> Response {
     let config = SentenceRemovalConfig {
         n: parsed.n,
         budget: parsed.controls.search,
@@ -655,8 +873,8 @@ pub(crate) fn run_sentence_removal(state: &AppState, parsed: &SentenceRemovalReq
         ..Default::default()
     };
     let started = Instant::now();
-    match state
-        .engine
+    match snap
+        .engine()
         .sentence_removal(&parsed.query, parsed.k, DocId(parsed.doc as u32), &config)
     {
         Err(e) => explain_error_response(e),
@@ -693,15 +911,18 @@ pub(crate) fn run_sentence_removal(state: &AppState, parsed: &SentenceRemovalReq
                 .collect();
             Response::json(
                 200,
-                to_string(&obj([
-                    ("status", Value::from(result.status.as_str())),
-                    ("old_rank", Value::from(result.old_rank)),
-                    (
-                        "candidates_evaluated",
-                        Value::from(result.candidates_evaluated),
-                    ),
-                    ("explanations", Value::Array(explanations)),
-                ])),
+                to_string(&obj(with_corpus(
+                    snap,
+                    vec![
+                        ("status", Value::from(result.status.as_str())),
+                        ("old_rank", Value::from(result.old_rank)),
+                        (
+                            "candidates_evaluated",
+                            Value::from(result.candidates_evaluated),
+                        ),
+                        ("explanations", Value::Array(explanations)),
+                    ],
+                ))),
             )
         }
     }
@@ -716,12 +937,17 @@ fn query_augmentation(state: &AppState, req: &Request, _tail: &str) -> Response 
         Ok(p) => p,
         Err(errors) => return invalid_fields_response(errors),
     };
-    run_query_augmentation(state, &parsed)
+    let snap = match resolve(state, &parsed.corpus) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    run_query_augmentation(state, &snap, &parsed)
 }
 
 /// Execute a parsed query-augmentation request (shared with job workers).
 pub(crate) fn run_query_augmentation(
     state: &AppState,
+    snap: &CorpusSnapshot,
     parsed: &QueryAugmentationRequest,
 ) -> Response {
     let config = QueryAugmentationConfig {
@@ -733,7 +959,7 @@ pub(crate) fn run_query_augmentation(
         ..Default::default()
     };
     let started = Instant::now();
-    match state.engine.query_augmentation(
+    match snap.engine().query_augmentation(
         &parsed.query,
         parsed.k,
         DocId(parsed.doc as u32),
@@ -764,15 +990,18 @@ pub(crate) fn run_query_augmentation(
                 .collect();
             Response::json(
                 200,
-                to_string(&obj([
-                    ("status", Value::from(result.status.as_str())),
-                    ("old_rank", Value::from(result.old_rank)),
-                    (
-                        "candidates_evaluated",
-                        Value::from(result.candidates_evaluated),
-                    ),
-                    ("explanations", Value::Array(explanations)),
-                ])),
+                to_string(&obj(with_corpus(
+                    snap,
+                    vec![
+                        ("status", Value::from(result.status.as_str())),
+                        ("old_rank", Value::from(result.old_rank)),
+                        (
+                            "candidates_evaluated",
+                            Value::from(result.candidates_evaluated),
+                        ),
+                        ("explanations", Value::Array(explanations)),
+                    ],
+                ))),
             )
         }
     }
@@ -787,11 +1016,19 @@ fn query_reduction(state: &AppState, req: &Request, _tail: &str) -> Response {
         Ok(p) => p,
         Err(errors) => return invalid_fields_response(errors),
     };
-    run_query_reduction(state, &parsed)
+    let snap = match resolve(state, &parsed.corpus) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    run_query_reduction(state, &snap, &parsed)
 }
 
 /// Execute a parsed query-reduction request (shared with job workers).
-pub(crate) fn run_query_reduction(state: &AppState, parsed: &QueryReductionRequest) -> Response {
+pub(crate) fn run_query_reduction(
+    state: &AppState,
+    snap: &CorpusSnapshot,
+    parsed: &QueryReductionRequest,
+) -> Response {
     let config = QueryReductionConfig {
         n: parsed.n,
         budget: parsed.controls.search,
@@ -800,8 +1037,8 @@ pub(crate) fn run_query_reduction(state: &AppState, parsed: &QueryReductionReque
         ..Default::default()
     };
     let started = Instant::now();
-    match state
-        .engine
+    match snap
+        .engine()
         .query_reduction(&parsed.query, parsed.k, DocId(parsed.doc as u32), &config)
     {
         Err(e) => explain_error_response(e),
@@ -836,15 +1073,18 @@ pub(crate) fn run_query_reduction(state: &AppState, parsed: &QueryReductionReque
                 .collect();
             Response::json(
                 200,
-                to_string(&obj([
-                    ("status", Value::from(result.status.as_str())),
-                    ("old_rank", Value::from(result.old_rank)),
-                    (
-                        "candidates_evaluated",
-                        Value::from(result.candidates_evaluated),
-                    ),
-                    ("explanations", Value::Array(explanations)),
-                ])),
+                to_string(&obj(with_corpus(
+                    snap,
+                    vec![
+                        ("status", Value::from(result.status.as_str())),
+                        ("old_rank", Value::from(result.old_rank)),
+                        (
+                            "candidates_evaluated",
+                            Value::from(result.candidates_evaluated),
+                        ),
+                        ("explanations", Value::Array(explanations)),
+                    ],
+                ))),
             )
         }
     }
@@ -859,11 +1099,19 @@ fn term_removal(state: &AppState, req: &Request, _tail: &str) -> Response {
         Ok(p) => p,
         Err(errors) => return invalid_fields_response(errors),
     };
-    run_term_removal(state, &parsed)
+    let snap = match resolve(state, &parsed.corpus) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    run_term_removal(state, &snap, &parsed)
 }
 
 /// Execute a parsed term-removal request (shared with job workers).
-pub(crate) fn run_term_removal(state: &AppState, parsed: &TermRemovalRequest) -> Response {
+pub(crate) fn run_term_removal(
+    state: &AppState,
+    snap: &CorpusSnapshot,
+    parsed: &TermRemovalRequest,
+) -> Response {
     let config = TermRemovalConfig {
         n: parsed.n,
         budget: parsed.controls.search,
@@ -872,8 +1120,8 @@ pub(crate) fn run_term_removal(state: &AppState, parsed: &TermRemovalRequest) ->
         ..Default::default()
     };
     let started = Instant::now();
-    match state
-        .engine
+    match snap
+        .engine()
         .term_removal(&parsed.query, parsed.k, DocId(parsed.doc as u32), &config)
     {
         Err(e) => explain_error_response(e),
@@ -906,15 +1154,18 @@ pub(crate) fn run_term_removal(state: &AppState, parsed: &TermRemovalRequest) ->
                 .collect();
             Response::json(
                 200,
-                to_string(&obj([
-                    ("status", Value::from(result.status.as_str())),
-                    ("old_rank", Value::from(result.old_rank)),
-                    (
-                        "candidates_evaluated",
-                        Value::from(result.candidates_evaluated),
-                    ),
-                    ("explanations", Value::Array(explanations)),
-                ])),
+                to_string(&obj(with_corpus(
+                    snap,
+                    vec![
+                        ("status", Value::from(result.status.as_str())),
+                        ("old_rank", Value::from(result.old_rank)),
+                        (
+                            "candidates_evaluated",
+                            Value::from(result.candidates_evaluated),
+                        ),
+                        ("explanations", Value::Array(explanations)),
+                    ],
+                ))),
             )
         }
     }
@@ -944,14 +1195,21 @@ fn doc2vec_nearest(state: &AppState, req: &Request, _tail: &str) -> Response {
         Ok(p) => p,
         Err(errors) => return invalid_fields_response(errors),
     };
-    match state
-        .engine
+    let snap = match resolve(state, &parsed.corpus) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    match snap
+        .engine()
         .doc2vec_nearest(&parsed.query, parsed.k, DocId(parsed.doc as u32), parsed.n)
     {
         Err(e) => explain_error_response(e),
         Ok(out) => Response::json(
             200,
-            to_string(&obj([("explanations", instance_json(&out))])),
+            to_string(&obj(with_corpus(
+                &snap,
+                vec![("explanations", instance_json(&out))],
+            ))),
         ),
     }
 }
@@ -965,7 +1223,11 @@ fn cosine_sampled(state: &AppState, req: &Request, _tail: &str) -> Response {
         Ok(p) => p,
         Err(errors) => return invalid_fields_response(errors),
     };
-    match state.engine.cosine_sampled(
+    let snap = match resolve(state, &parsed.corpus) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    match snap.engine().cosine_sampled(
         &parsed.query,
         parsed.k,
         DocId(parsed.doc as u32),
@@ -975,7 +1237,10 @@ fn cosine_sampled(state: &AppState, req: &Request, _tail: &str) -> Response {
         Err(e) => explain_error_response(e),
         Ok(out) => Response::json(
             200,
-            to_string(&obj([("explanations", instance_json(&out))])),
+            to_string(&obj(with_corpus(
+                &snap,
+                vec![("explanations", instance_json(&out))],
+            ))),
         ),
     }
 }
@@ -989,8 +1254,12 @@ fn topics(state: &AppState, req: &Request, _tail: &str) -> Response {
         Ok(p) => p,
         Err(errors) => return invalid_fields_response(errors),
     };
-    match state
-        .engine
+    let snap = match resolve(state, &parsed.corpus) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    match snap
+        .engine()
         .topics(&parsed.query, parsed.k, parsed.num_topics)
     {
         Err(e) => explain_error_response(e),
@@ -1018,7 +1287,13 @@ fn topics(state: &AppState, req: &Request, _tail: &str) -> Response {
                     ])
                 })
                 .collect();
-            Response::json(200, to_string(&obj([("topics", Value::Array(rows))])))
+            Response::json(
+                200,
+                to_string(&obj(with_corpus(
+                    &snap,
+                    vec![("topics", Value::Array(rows))],
+                ))),
+            )
         }
     }
 }
@@ -1032,8 +1307,12 @@ fn snippet(state: &AppState, req: &Request, _tail: &str) -> Response {
         Ok(p) => p,
         Err(errors) => return invalid_fields_response(errors),
     };
-    match state
-        .engine
+    let snap = match resolve(state, &parsed.corpus) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    match snap
+        .engine()
         .snippet(&parsed.query, DocId(parsed.doc as u32), parsed.window)
     {
         Err(e) => explain_error_response(e),
@@ -1053,10 +1332,13 @@ fn snippet(state: &AppState, req: &Request, _tail: &str) -> Response {
             };
             Response::json(
                 200,
-                to_string(&obj([
-                    ("highlights", Value::Array(spans)),
-                    ("snippet", snippet_json),
-                ])),
+                to_string(&obj(with_corpus(
+                    &snap,
+                    vec![
+                        ("highlights", Value::Array(spans)),
+                        ("snippet", snippet_json),
+                    ],
+                ))),
             )
         }
     }
@@ -1071,11 +1353,21 @@ fn nearest_to_text(state: &AppState, req: &Request, _tail: &str) -> Response {
         Ok(p) => p,
         Err(errors) => return invalid_fields_response(errors),
     };
+    let snap = match resolve(state, &parsed.corpus) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
     let exclude = parsed.exclude.as_ref().map(|(q, k)| (q.as_str(), *k));
-    let out = state
-        .engine
+    let out = snap
+        .engine()
         .nearest_to_text(&parsed.text, parsed.n, exclude);
-    Response::json(200, to_string(&obj([("neighbors", instance_json(&out))])))
+    Response::json(
+        200,
+        to_string(&obj(with_corpus(
+            &snap,
+            vec![("neighbors", instance_json(&out))],
+        ))),
+    )
 }
 
 fn rerank(state: &AppState, req: &Request, _tail: &str) -> Response {
@@ -1087,7 +1379,11 @@ fn rerank(state: &AppState, req: &Request, _tail: &str) -> Response {
         Ok(p) => p,
         Err(errors) => return invalid_fields_response(errors),
     };
-    match state.engine.builder_rerank_budgeted(
+    let snap = match resolve(state, &parsed.corpus) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    match snap.engine().builder_rerank_budgeted(
         &parsed.query,
         parsed.k,
         DocId(parsed.doc as u32),
@@ -1097,39 +1393,50 @@ fn rerank(state: &AppState, req: &Request, _tail: &str) -> Response {
         Err(e) => explain_error_response(e),
         Ok(outcome) => Response::json(
             200,
-            to_string(&obj([
-                ("valid", Value::from(outcome.valid)),
-                ("old_rank", Value::from(outcome.old_rank)),
-                ("new_rank", Value::from(outcome.new_rank)),
-                (
-                    "revealed",
-                    outcome
-                        .revealed
-                        .map(|d| Value::from(d.0))
-                        .unwrap_or(Value::Null),
-                ),
-                (
-                    "rows",
-                    Value::Array(outcome.rows.iter().map(pool_entry_json).collect()),
-                ),
-            ])),
+            to_string(&obj(with_corpus(
+                &snap,
+                vec![
+                    ("valid", Value::from(outcome.valid)),
+                    ("old_rank", Value::from(outcome.old_rank)),
+                    ("new_rank", Value::from(outcome.new_rank)),
+                    (
+                        "revealed",
+                        outcome
+                            .revealed
+                            .map(|d| Value::from(d.0))
+                            .unwrap_or(Value::Null),
+                    ),
+                    (
+                        "rows",
+                        Value::Array(outcome.rows.iter().map(pool_entry_json).collect()),
+                    ),
+                ],
+            ))),
         ),
     }
 }
 
-/// Execute an admitted job request through the same `run_*` path the
-/// synchronous endpoint uses — the single point that guarantees job
-/// payloads are bit-identical to synchronous responses.
-pub(crate) fn execute_job(state: &AppState, request: &JobRequest) -> Response {
+/// Execute an admitted job request against its pinned snapshot through the
+/// same `run_*` path the synchronous endpoint uses — the single point that
+/// guarantees job payloads are bit-identical to synchronous responses for
+/// the same generation.
+pub(crate) fn execute_job(
+    state: &AppState,
+    snap: &CorpusSnapshot,
+    request: &JobRequest,
+) -> Response {
     match request {
-        JobRequest::SentenceRemoval(r) => run_sentence_removal(state, r),
-        JobRequest::QueryAugmentation(r) => run_query_augmentation(state, r),
-        JobRequest::QueryReduction(r) => run_query_reduction(state, r),
-        JobRequest::TermRemoval(r) => run_term_removal(state, r),
+        JobRequest::SentenceRemoval(r) => run_sentence_removal(state, snap, r),
+        JobRequest::QueryAugmentation(r) => run_query_augmentation(state, snap, r),
+        JobRequest::QueryReduction(r) => run_query_reduction(state, snap, r),
+        JobRequest::TermRemoval(r) => run_term_removal(state, snap, r),
     }
 }
 
-/// `POST /api/v1/jobs` — admit an explanation request into the queue.
+/// `POST /api/v1/jobs` — admit an explanation request into the queue,
+/// pinning the snapshot it names so the job executes against that exact
+/// generation no matter how far the corpus advances before a worker gets
+/// to it.
 fn jobs_submit(state: &AppState, req: &Request, _tail: &str) -> Response {
     let body = match json_body(req) {
         Ok(v) => v,
@@ -1139,10 +1446,17 @@ fn jobs_submit(state: &AppState, req: &Request, _tail: &str) -> Response {
         Ok(p) => p,
         Err(errors) => return invalid_fields_response(errors),
     };
-    match state.jobs.submit(parsed.request, &state.metrics) {
+    let snap = match resolve(state, parsed.request.corpus_ref()) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let (corpus, generation) = (snap.corpus().to_string(), snap.generation());
+    match state.jobs.submit(parsed.request, snap, &state.metrics) {
         SubmitOutcome::Accepted(id) => Response::json(
             202,
             to_string(&obj([
+                ("corpus", Value::from(corpus)),
+                ("generation", Value::from(generation as usize)),
                 ("job_id", Value::from(format!("job-{id}"))),
                 ("status", Value::from("queued")),
             ])),
@@ -1178,6 +1492,8 @@ fn job_response(view: &JobView) -> Response {
         return Response::json(
             410,
             to_string(&obj([
+                ("corpus", Value::from(view.corpus.clone())),
+                ("generation", Value::from(view.generation as usize)),
                 ("job_id", id),
                 ("status", Value::from("expired")),
                 ("endpoint", Value::from(view.endpoint)),
@@ -1195,6 +1511,8 @@ fn job_response(view: &JobView) -> Response {
         );
     }
     let mut fields: Vec<(&str, Value)> = vec![
+        ("corpus", Value::from(view.corpus.clone())),
+        ("generation", Value::from(view.generation as usize)),
         ("job_id", id),
         ("status", Value::from(view.state.as_str())),
         ("endpoint", Value::from(view.endpoint)),
@@ -1223,30 +1541,410 @@ fn jobs_cancel(state: &AppState, _req: &Request, tail: &str) -> Response {
         return error_envelope(400, "invalid_field", "job id must look like job-<n>");
     };
     let wire_id = Value::from(format!("job-{id}"));
-    match state.jobs.cancel(id, &state.metrics) {
-        None => error_envelope(404, "job_not_found", format!("no such job: job-{id}")),
-        Some(CancelOutcome::Cancelled) => Response::json(
+    let outcome = match state.jobs.cancel(id, &state.metrics) {
+        None => return error_envelope(404, "job_not_found", format!("no such job: job-{id}")),
+        Some(o) => o,
+    };
+    // Re-fetch the view so the envelope carries the job's pinned corpus
+    // coordinates, mirroring every other 2xx body.
+    let mut fields: Vec<(&str, Value)> = Vec::new();
+    if let Some(view) = state.jobs.get(id, &state.metrics) {
+        fields.push(("corpus", Value::from(view.corpus.clone())));
+        fields.push(("generation", Value::from(view.generation as usize)));
+    }
+    fields.push(("job_id", wire_id));
+    match outcome {
+        CancelOutcome::Cancelled => {
+            fields.push(("status", Value::from("cancelled")));
+            Response::json(200, to_string(&obj(fields)))
+        }
+        CancelOutcome::CancelRequested => {
+            fields.push(("status", Value::from("running")));
+            fields.push(("cancel_requested", Value::from(true)));
+            Response::json(202, to_string(&obj(fields)))
+        }
+        CancelOutcome::AlreadyTerminal(state) => {
+            fields.push(("status", Value::from(state.as_str())));
+            Response::json(200, to_string(&obj(fields)))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corpus lifecycle
+// ---------------------------------------------------------------------------
+
+/// How long a `refresh: true` mutation waits for its seq ticket to fold into
+/// a published generation before giving up with `503 refresh_timeout`.
+const REFRESH_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// `GET /api/v1` — the discovery index. Generated from the dispatcher's own
+/// route table, so the advertised surface can never drift from what actually
+/// serves: each versioned row appears once canonically and once as its
+/// deprecated unversioned alias with a `successor` link.
+fn api_index(state: &AppState, _req: &Request, _tail: &str) -> Response {
+    let mut routes: Vec<Value> = vec![obj([
+        ("method", Value::from("GET")),
+        ("path", Value::from(API_PREFIX)),
+        ("endpoint", Value::from("api_index")),
+        ("deprecated", Value::from(false)),
+    ])];
+    for route in ROUTES {
+        if route.versioned {
+            let canonical = format!("{API_PREFIX}{}", route.path);
+            routes.push(obj([
+                ("method", Value::from(route.method)),
+                ("path", Value::from(canonical.clone())),
+                ("endpoint", Value::from(route.endpoint)),
+                ("deprecated", Value::from(false)),
+            ]));
+            routes.push(obj([
+                ("method", Value::from(route.method)),
+                ("path", Value::from(route.path)),
+                ("endpoint", Value::from(route.endpoint)),
+                ("deprecated", Value::from(true)),
+                ("successor", Value::from(canonical)),
+            ]));
+        } else {
+            routes.push(obj([
+                ("method", Value::from(route.method)),
+                ("path", Value::from(route.path)),
+                ("endpoint", Value::from(route.endpoint)),
+                ("deprecated", Value::from(false)),
+            ]));
+        }
+    }
+    let corpora: Vec<Value> = state
+        .registry
+        .names()
+        .into_iter()
+        .map(Value::from)
+        .collect();
+    Response::json(
+        200,
+        to_string(&obj([
+            ("version", Value::from("v1")),
+            ("corpora", Value::Array(corpora)),
+            ("routes", Value::Array(routes)),
+        ])),
+    )
+}
+
+/// The object a `/corpora/...` tail names.
+enum CorpusTail<'a> {
+    /// `/corpora/{name}` — the corpus itself.
+    Corpus(&'a str),
+    /// `/corpora/{name}/docs` — the document collection.
+    Docs(&'a str),
+    /// `/corpora/{name}/docs/{id}` — one named document.
+    Doc(&'a str, &'a str),
+}
+
+fn parse_corpus_tail(tail: &str) -> Result<CorpusTail<'_>, Response> {
+    let invalid = || error_envelope(404, "not_found", "no such endpoint");
+    match tail.split_once('/') {
+        None if !tail.is_empty() => Ok(CorpusTail::Corpus(tail)),
+        Some((name, rest)) if !name.is_empty() => match rest.split_once('/') {
+            None if rest == "docs" => Ok(CorpusTail::Docs(name)),
+            Some(("docs", id)) if !id.is_empty() => Ok(CorpusTail::Doc(name, id)),
+            _ => Err(invalid()),
+        },
+        _ => Err(invalid()),
+    }
+}
+
+/// Render one corpus summary. Uses the `corpus`/`generation` envelope keys
+/// so the listing rows match every other body's vocabulary.
+fn corpus_info_json(info: &CorpusInfo) -> Value {
+    obj([
+        ("corpus", Value::from(info.name.as_str())),
+        ("generation", Value::from(info.generation as usize)),
+        ("num_docs", Value::from(info.num_docs)),
+        ("pending_ops", Value::from(info.pending_ops)),
+        ("merges", Value::from(info.merges as usize)),
+    ])
+}
+
+/// `GET /api/v1/corpora` — list every registered corpus.
+fn corpora_list(state: &AppState, _req: &Request, _tail: &str) -> Response {
+    let infos: Vec<Value> = state.registry.list().iter().map(corpus_info_json).collect();
+    Response::json(200, to_string(&obj([("corpora", Value::Array(infos))])))
+}
+
+fn corpus_not_found(name: &str) -> Response {
+    error_envelope(
+        404,
+        "corpus_not_found",
+        format!("no corpus registered under '{name}'"),
+    )
+}
+
+/// Build a [`CorpusRef`] naming the live generation of `name`.
+fn live_ref(name: &str) -> CorpusRef {
+    CorpusRef {
+        corpus: name.to_string(),
+        generation: None,
+    }
+}
+
+/// `GET /api/v1/corpora/{name}[/docs[/{id}]]` — corpus info, the document
+/// listing, or one document looked up by external name.
+fn corpora_get(state: &AppState, _req: &Request, tail: &str) -> Response {
+    let tail = match parse_corpus_tail(tail) {
+        Ok(t) => t,
+        Err(r) => return r,
+    };
+    match tail {
+        CorpusTail::Corpus(name) => match state.registry.get(name) {
+            None => corpus_not_found(name),
+            Some(corpus) => Response::json(200, to_string(&corpus_info_json(&corpus.info()))),
+        },
+        CorpusTail::Docs(name) => {
+            let snap = match resolve(state, &live_ref(name)) {
+                Ok(s) => s,
+                Err(r) => return r,
+            };
+            let docs: Vec<Value> = snap
+                .index()
+                .documents()
+                .iter()
+                .enumerate()
+                .map(|(i, d)| {
+                    obj([
+                        ("doc", Value::from(i)),
+                        ("name", Value::from(d.name.as_str())),
+                        ("title", Value::from(d.title.as_str())),
+                    ])
+                })
+                .collect();
+            Response::json(
+                200,
+                to_string(&obj(with_corpus(
+                    &snap,
+                    vec![
+                        ("num_docs", Value::from(snap.index().num_docs())),
+                        ("docs", Value::Array(docs)),
+                    ],
+                ))),
+            )
+        }
+        CorpusTail::Doc(name, id) => {
+            let snap = match resolve(state, &live_ref(name)) {
+                Ok(s) => s,
+                Err(r) => return r,
+            };
+            let found = snap.index().documents().iter().position(|d| d.name == id);
+            match found {
+                None => error_envelope(
+                    404,
+                    "doc_not_found",
+                    format!("no document named '{id}' in corpus '{name}'"),
+                ),
+                Some(i) => {
+                    let d = &snap.index().documents()[i];
+                    Response::json(
+                        200,
+                        to_string(&obj(with_corpus(
+                            &snap,
+                            vec![
+                                ("doc", Value::from(i)),
+                                ("name", Value::from(d.name.as_str())),
+                                ("title", Value::from(d.title.as_str())),
+                                ("body", Value::from(d.body.as_str())),
+                            ],
+                        ))),
+                    )
+                }
+            }
+        }
+    }
+}
+
+/// The shared tail of every staged mutation: `202 staged` with the seq
+/// ticket, or — under `refresh: true` — wait for the ticket to fold and
+/// answer `200 applied` (or `503 refresh_timeout` if the merger can't keep
+/// up within [`REFRESH_TIMEOUT`]).
+fn mutation_response(corpus: &Corpus, doc: &str, seq: u64, refresh: bool) -> Response {
+    if refresh {
+        if !corpus.wait_for_seq(seq, REFRESH_TIMEOUT) {
+            return error_envelope(
+                503,
+                "refresh_timeout",
+                format!(
+                    "staged op {seq} did not fold into a published generation within {}s",
+                    REFRESH_TIMEOUT.as_secs()
+                ),
+            )
+            .with_header("retry-after", "1");
+        }
+        return Response::json(
             200,
             to_string(&obj([
-                ("job_id", wire_id),
-                ("status", Value::from("cancelled")),
+                ("corpus", Value::from(corpus.name())),
+                ("generation", Value::from(corpus.generation() as usize)),
+                ("name", Value::from(doc)),
+                ("status", Value::from("applied")),
             ])),
+        );
+    }
+    Response::json(
+        202,
+        to_string(&obj([
+            ("corpus", Value::from(corpus.name())),
+            ("generation", Value::from(corpus.generation() as usize)),
+            ("name", Value::from(doc)),
+            ("seq", Value::from(seq as usize)),
+            ("status", Value::from("staged")),
+        ])),
+    )
+}
+
+/// `PUT /api/v1/corpora/{name}` (register / hot-swap a corpus) and
+/// `PUT /api/v1/corpora/{name}/docs/{id}` (upsert one document).
+fn corpora_put(state: &AppState, req: &Request, tail: &str) -> Response {
+    let tail = match parse_corpus_tail(tail) {
+        Ok(t) => t,
+        Err(r) => return r,
+    };
+    let body = match json_body(req) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    match tail {
+        CorpusTail::Corpus(name) => {
+            if name == DEFAULT_CORPUS {
+                return error_envelope(
+                    409,
+                    "corpus_protected",
+                    "the default corpus cannot be replaced or removed",
+                );
+            }
+            let parsed = match CorpusPutRequest::parse(&body) {
+                Ok(p) => p,
+                Err(errors) => return invalid_fields_response(errors),
+            };
+            let replaced = state.registry.get(name).is_some();
+            let num_docs = parsed.docs.len();
+            let corpus = state.register_corpus(name, parsed.docs);
+            Response::json(
+                if replaced { 200 } else { 201 },
+                to_string(&obj([
+                    ("corpus", Value::from(name)),
+                    ("generation", Value::from(corpus.generation() as usize)),
+                    ("num_docs", Value::from(num_docs)),
+                    ("replaced", Value::from(replaced)),
+                ])),
+            )
+        }
+        CorpusTail::Doc(name, id) => {
+            let Some(corpus) = state.registry.get(name) else {
+                return corpus_not_found(name);
+            };
+            let parsed = match DocPutRequest::parse(&body) {
+                Ok(p) => p,
+                Err(errors) => return invalid_fields_response(errors),
+            };
+            let seq = corpus.stage(DeltaOp::Upsert(Document::new(
+                id,
+                parsed.title,
+                parsed.body,
+            )));
+            mutation_response(&corpus, id, seq, parsed.refresh)
+        }
+        CorpusTail::Docs(_) => error_envelope(405, "method_not_allowed", "method not allowed"),
+    }
+}
+
+/// `POST /api/v1/corpora/{name}/docs` — add one strictly-new document.
+fn corpora_post(state: &AppState, req: &Request, tail: &str) -> Response {
+    let tail = match parse_corpus_tail(tail) {
+        Ok(t) => t,
+        Err(r) => return r,
+    };
+    let CorpusTail::Docs(name) = tail else {
+        return error_envelope(405, "method_not_allowed", "method not allowed");
+    };
+    let Some(corpus) = state.registry.get(name) else {
+        return corpus_not_found(name);
+    };
+    let body = match json_body(req) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let parsed = match DocAddRequest::parse(&body) {
+        Ok(p) => p,
+        Err(errors) => return invalid_fields_response(errors),
+    };
+    let doc_name = parsed.doc.name.clone();
+    match corpus.stage_insert(parsed.doc) {
+        Err(_) => error_envelope(
+            409,
+            "doc_exists",
+            format!("a document named '{doc_name}' already exists in corpus '{name}'"),
         ),
-        Some(CancelOutcome::CancelRequested) => Response::json(
-            202,
-            to_string(&obj([
-                ("job_id", wire_id),
-                ("status", Value::from("running")),
-                ("cancel_requested", Value::from(true)),
-            ])),
-        ),
-        Some(CancelOutcome::AlreadyTerminal(state)) => Response::json(
-            200,
-            to_string(&obj([
-                ("job_id", wire_id),
-                ("status", Value::from(state.as_str())),
-            ])),
-        ),
+        Ok(seq) => mutation_response(&corpus, &doc_name, seq, parsed.refresh),
+    }
+}
+
+/// `DELETE /api/v1/corpora/{name}` (remove a corpus) and
+/// `DELETE /api/v1/corpora/{name}/docs/{id}` (tombstone one document; the
+/// body is optional and may carry `{"refresh": true}`).
+fn corpora_delete(state: &AppState, req: &Request, tail: &str) -> Response {
+    let tail = match parse_corpus_tail(tail) {
+        Ok(t) => t,
+        Err(r) => return r,
+    };
+    match tail {
+        CorpusTail::Corpus(name) => {
+            if name == DEFAULT_CORPUS {
+                return error_envelope(
+                    409,
+                    "corpus_protected",
+                    "the default corpus cannot be replaced or removed",
+                );
+            }
+            let Some(corpus) = state.registry.get(name) else {
+                return corpus_not_found(name);
+            };
+            let generation = corpus.generation();
+            state.registry.remove(name);
+            Response::json(
+                200,
+                to_string(&obj([
+                    ("corpus", Value::from(name)),
+                    ("generation", Value::from(generation as usize)),
+                    ("status", Value::from("removed")),
+                ])),
+            )
+        }
+        CorpusTail::Doc(name, id) => {
+            let Some(corpus) = state.registry.get(name) else {
+                return corpus_not_found(name);
+            };
+            let refresh = match req.body_utf8() {
+                Some(text) if !text.trim().is_empty() => {
+                    let body = match json_body(req) {
+                        Ok(v) => v,
+                        Err(r) => return r,
+                    };
+                    match RefreshRequest::parse(&body) {
+                        Ok(p) => p.refresh,
+                        Err(errors) => return invalid_fields_response(errors),
+                    }
+                }
+                _ => false,
+            };
+            if !corpus.doc_exists(id) {
+                return error_envelope(
+                    404,
+                    "doc_not_found",
+                    format!("no document named '{id}' in corpus '{name}'"),
+                );
+            }
+            let seq = corpus.stage(DeltaOp::Delete(id.to_string()));
+            mutation_response(&corpus, id, seq, refresh)
+        }
+        CorpusTail::Docs(_) => error_envelope(405, "method_not_allowed", "method not allowed"),
     }
 }
 
@@ -1364,7 +2062,10 @@ mod tests {
         };
         let resp = handle_request(state, &req);
         assert_eq!(resp.status, 200);
-        assert_eq!(state.engine().ranker().name(), "ql-dirichlet");
+        assert_eq!(
+            state.default_snapshot().engine().ranker().name(),
+            "ql-dirichlet"
+        );
     }
 
     #[test]
@@ -1953,5 +2654,372 @@ mod tests {
             post("/rerank", r#"{"query": "covid", "k": 3, "doc": 2}"#).status,
             400
         );
+    }
+
+    /// Issue a request against a specific (non-shared) leaked state.
+    fn request_on(state: &'static AppState, method: &str, path: &str, body: &str) -> Response {
+        let req = Request {
+            method: method.into(),
+            path: path.into(),
+            headers: Default::default(),
+            body: body.as_bytes().to_vec(),
+        };
+        handle_request(state, &req)
+    }
+
+    #[test]
+    fn api_index_reflects_the_route_table() {
+        let resp = get("/api/v1");
+        assert_eq!(resp.status, 200);
+        let v = body_json(&resp);
+        assert_eq!(v.get("version").unwrap().as_str(), Some("v1"));
+        let corpora = v.get("corpora").unwrap().as_array().unwrap();
+        assert!(corpora.iter().any(|c| c.as_str() == Some(DEFAULT_CORPUS)));
+        let routes = v.get("routes").unwrap().as_array().unwrap();
+        let find = |method: &str, path: &str| {
+            routes.iter().find(|r| {
+                r.get("method").unwrap().as_str() == Some(method)
+                    && r.get("path").unwrap().as_str() == Some(path)
+            })
+        };
+        // Every table row shows up canonically and as its deprecated alias.
+        for route in ROUTES {
+            if route.versioned {
+                let canonical = find(route.method, &format!("{API_PREFIX}{}", route.path))
+                    .unwrap_or_else(|| panic!("missing canonical row for {}", route.path));
+                assert_eq!(canonical.get("deprecated").unwrap().as_bool(), Some(false));
+                let alias = find(route.method, route.path)
+                    .unwrap_or_else(|| panic!("missing alias row for {}", route.path));
+                assert_eq!(alias.get("deprecated").unwrap().as_bool(), Some(true));
+                assert_eq!(
+                    alias.get("successor").unwrap().as_str(),
+                    Some(format!("{API_PREFIX}{}", route.path).as_str())
+                );
+            } else {
+                assert!(find(route.method, route.path).is_some());
+            }
+        }
+        // The discovery endpoint lists itself.
+        assert!(find("GET", API_PREFIX).is_some());
+        // Non-GET on the index is a method error, not a UI fallthrough.
+        let req = Request {
+            method: "POST".into(),
+            path: "/api/v1".into(),
+            headers: Default::default(),
+            body: Vec::new(),
+        };
+        assert_eq!(handle_request(state(), &req).status, 405);
+    }
+
+    #[test]
+    fn every_2xx_body_names_its_corpus_and_generation() {
+        let resp = post("/api/v1/rank", r#"{"query": "covid outbreak", "k": 3}"#);
+        assert_eq!(resp.status, 200);
+        let v = body_json(&resp);
+        assert_eq!(v.get("corpus").unwrap().as_str(), Some(DEFAULT_CORPUS));
+        assert_eq!(v.get("generation").unwrap().as_u64(), Some(0));
+
+        let resp = post(
+            "/api/v1/explain/sentence-removal",
+            r#"{"query": "covid outbreak", "k": 2, "doc": 1, "n": 1}"#,
+        );
+        assert_eq!(resp.status, 200);
+        let v = body_json(&resp);
+        assert_eq!(v.get("corpus").unwrap().as_str(), Some(DEFAULT_CORPUS));
+        assert_eq!(v.get("generation").unwrap().as_u64(), Some(0));
+
+        for path in ["/api/v1/corpus", "/api/v1/doc/1"] {
+            let v = body_json(&get(path));
+            assert_eq!(
+                v.get("corpus").unwrap().as_str(),
+                Some(DEFAULT_CORPUS),
+                "{path}"
+            );
+            assert_eq!(v.get("generation").unwrap().as_u64(), Some(0), "{path}");
+        }
+    }
+
+    #[test]
+    fn explicit_corpus_and_generation_fields_resolve() {
+        let ok = post(
+            "/api/v1/rank",
+            r#"{"query": "covid outbreak", "k": 3, "corpus": "default", "generation": 0}"#,
+        );
+        assert_eq!(ok.status, 200);
+        let missing = post(
+            "/api/v1/rank",
+            r#"{"query": "covid outbreak", "k": 3, "corpus": "nope"}"#,
+        );
+        assert_eq!(missing.status, 404);
+        assert_eq!(error_code(&missing).as_deref(), Some("corpus_not_found"));
+        let gone = post(
+            "/api/v1/rank",
+            r#"{"query": "covid outbreak", "k": 3, "generation": 99}"#,
+        );
+        assert_eq!(gone.status, 410);
+        assert_eq!(error_code(&gone).as_deref(), Some("generation_gone"));
+    }
+
+    #[test]
+    fn corpus_lifecycle_register_mutate_and_remove() {
+        let state = AppState::leak(demo_docs(), EngineConfig::fast());
+        let put_body = r#"{"docs": [
+            {"name": "x1", "title": "One", "body": "alpha beta gamma"},
+            {"name": "x2", "title": "Two", "body": "alpha delta epsilon"}
+        ]}"#;
+        let created = request_on(state, "PUT", "/api/v1/corpora/extra", put_body);
+        assert_eq!(created.status, 201);
+        let v = body_json(&created);
+        assert_eq!(v.get("corpus").unwrap().as_str(), Some("extra"));
+        assert_eq!(v.get("replaced").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("num_docs").unwrap().as_u64(), Some(2));
+
+        // Hot-swap answers 200 with replaced=true.
+        let swapped = request_on(state, "PUT", "/api/v1/corpora/extra", put_body);
+        assert_eq!(swapped.status, 200);
+        assert_eq!(
+            body_json(&swapped).get("replaced").unwrap().as_bool(),
+            Some(true)
+        );
+
+        // The listing sees both corpora.
+        let list = body_json(&request_on(state, "GET", "/api/v1/corpora", ""));
+        let names: Vec<String> = list
+            .get("corpora")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|c| c.get("corpus").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["default".to_string(), "extra".to_string()]);
+
+        // Requests route to the named corpus.
+        let ranked = request_on(
+            state,
+            "POST",
+            "/api/v1/rank",
+            r#"{"query": "alpha", "k": 2, "corpus": "extra"}"#,
+        );
+        assert_eq!(ranked.status, 200);
+        assert_eq!(
+            body_json(&ranked).get("corpus").unwrap().as_str(),
+            Some("extra")
+        );
+
+        // A refreshed insert bumps the generation and becomes visible.
+        let added = request_on(
+            state,
+            "POST",
+            "/api/v1/corpora/extra/docs",
+            r#"{"name": "x3", "title": "Three", "body": "alpha zeta", "refresh": true}"#,
+        );
+        assert_eq!(added.status, 200, "{:?}", std::str::from_utf8(&added.body));
+        let v = body_json(&added);
+        assert_eq!(v.get("status").unwrap().as_str(), Some("applied"));
+        assert!(v.get("generation").unwrap().as_u64().unwrap() >= 1);
+        let docs = body_json(&request_on(state, "GET", "/api/v1/corpora/extra/docs", ""));
+        assert_eq!(docs.get("num_docs").unwrap().as_u64(), Some(3));
+
+        // Duplicate insert is a conflict; upsert and delete are not.
+        let dup = request_on(
+            state,
+            "POST",
+            "/api/v1/corpora/extra/docs",
+            r#"{"name": "x3", "body": "again"}"#,
+        );
+        assert_eq!(dup.status, 409);
+        assert_eq!(error_code(&dup).as_deref(), Some("doc_exists"));
+        let upsert = request_on(
+            state,
+            "PUT",
+            "/api/v1/corpora/extra/docs/x3",
+            r#"{"title": "Three v2", "body": "alpha zeta eta", "refresh": true}"#,
+        );
+        assert_eq!(upsert.status, 200);
+        let fetched = body_json(&request_on(
+            state,
+            "GET",
+            "/api/v1/corpora/extra/docs/x3",
+            "",
+        ));
+        assert_eq!(fetched.get("title").unwrap().as_str(), Some("Three v2"));
+        let deleted = request_on(
+            state,
+            "DELETE",
+            "/api/v1/corpora/extra/docs/x3",
+            r#"{"refresh": true}"#,
+        );
+        assert_eq!(deleted.status, 200);
+        let docs = body_json(&request_on(state, "GET", "/api/v1/corpora/extra/docs", ""));
+        assert_eq!(docs.get("num_docs").unwrap().as_u64(), Some(2));
+
+        // The default corpus is protected; removal detaches the rest.
+        for method in ["PUT", "DELETE"] {
+            let resp = request_on(state, method, "/api/v1/corpora/default", r#"{"docs": []}"#);
+            assert_eq!(resp.status, 409, "{method}");
+            assert_eq!(error_code(&resp).as_deref(), Some("corpus_protected"));
+        }
+        let removed = request_on(state, "DELETE", "/api/v1/corpora/extra", "");
+        assert_eq!(removed.status, 200);
+        let gone = request_on(
+            state,
+            "POST",
+            "/api/v1/rank",
+            r#"{"query": "alpha", "k": 2, "corpus": "extra"}"#,
+        );
+        assert_eq!(gone.status, 404);
+        assert_eq!(error_code(&gone).as_deref(), Some("corpus_not_found"));
+    }
+
+    #[test]
+    fn pinned_generation_still_serves_after_mutation() {
+        let state = AppState::leak(demo_docs(), EngineConfig::fast());
+        let pin = state.default_snapshot();
+        let seq = state
+            .registry()
+            .get(DEFAULT_CORPUS)
+            .unwrap()
+            .stage(DeltaOp::Delete("n1".to_string()));
+        assert!(state
+            .registry()
+            .get(DEFAULT_CORPUS)
+            .unwrap()
+            .wait_for_seq(seq, Duration::from_secs(10)));
+        // The live generation advanced past the delete...
+        let live = body_json(&request_on(
+            state,
+            "POST",
+            "/api/v1/rank",
+            r#"{"query": "covid outbreak", "k": 6}"#,
+        ));
+        assert!(live.get("generation").unwrap().as_u64().unwrap() >= 1);
+        // ...but the pinned one still answers with the original corpus.
+        let pinned = body_json(&request_on(
+            state,
+            "POST",
+            "/api/v1/rank",
+            r#"{"query": "covid outbreak", "k": 6, "generation": 0}"#,
+        ));
+        assert_eq!(pinned.get("generation").unwrap().as_u64(), Some(0));
+        let pinned_docs = pinned.get("ranking").unwrap().as_array().unwrap().len();
+        let live_docs = live.get("ranking").unwrap().as_array().unwrap().len();
+        assert!(pinned_docs > live_docs, "{pinned_docs} vs {live_docs}");
+        drop(pin);
+    }
+
+    #[test]
+    fn metrics_expose_corpus_families() {
+        let resp = get("/metrics");
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("credence_corpus_count"), "{text}");
+        assert!(
+            text.contains("credence_corpus_generation{corpus=\"default\"}"),
+            "{text}"
+        );
+        assert!(text.contains("credence_corpus_docs{corpus=\"default\"}"));
+        assert!(text.contains("credence_corpus_pending_ops{corpus=\"default\"}"));
+        assert!(text.contains("credence_corpus_merges_total{corpus=\"default\"}"));
+    }
+
+    /// The error-envelope audit (table-driven): every error path answers
+    /// `{"error": {"code", "message"}}` with its documented status + code.
+    #[test]
+    fn error_envelopes_are_uniform_across_every_path() {
+        let cases: Vec<(&str, Response, u16, &str)> = vec![
+            ("unknown path", get("/nope"), 404, "not_found"),
+            ("bad json", post("/rank", "{nope"), 400, "invalid_json"),
+            (
+                "non-object body",
+                post("/rank", "[1, 2]"),
+                400,
+                "invalid_request",
+            ),
+            (
+                "field validation",
+                post("/rank", r#"{"query": "covid", "k": "three"}"#),
+                400,
+                "invalid_field",
+            ),
+            (
+                "unknown corpus",
+                post("/rank", r#"{"query": "covid", "k": 2, "corpus": "nope"}"#),
+                404,
+                "corpus_not_found",
+            ),
+            (
+                "dead generation",
+                post("/rank", r#"{"query": "covid", "k": 2, "generation": 99}"#),
+                410,
+                "generation_gone",
+            ),
+            (
+                "missing doc",
+                post(
+                    "/explain/sentence-removal",
+                    r#"{"query": "covid", "k": 2, "doc": 999}"#,
+                ),
+                404,
+                "doc_not_found",
+            ),
+            (
+                "protected corpus",
+                request_on(state(), "PUT", "/api/v1/corpora/default", r#"{"docs": []}"#),
+                409,
+                "corpus_protected",
+            ),
+            (
+                "mutating an unknown corpus",
+                request_on(
+                    state(),
+                    "POST",
+                    "/api/v1/corpora/nope/docs",
+                    r#"{"name": "d", "body": "b"}"#,
+                ),
+                404,
+                "corpus_not_found",
+            ),
+            (
+                "deleting an unknown doc",
+                request_on(state(), "DELETE", "/api/v1/corpora/default/docs/zzz", ""),
+                404,
+                "doc_not_found",
+            ),
+            (
+                "malformed job id",
+                get("/api/v1/jobs/zzz"),
+                400,
+                "invalid_field",
+            ),
+            (
+                "unknown job",
+                get("/api/v1/jobs/job-999"),
+                404,
+                "job_not_found",
+            ),
+            (
+                "method mismatch",
+                request_on(state(), "DELETE", "/api/v1/rank", ""),
+                405,
+                "method_not_allowed",
+            ),
+        ];
+        for (name, resp, status, code) in cases {
+            assert_eq!(resp.status, status, "{name}");
+            assert_eq!(resp.content_type, "application/json", "{name}");
+            let v = body_json(&resp);
+            let err = v
+                .get("error")
+                .unwrap_or_else(|| panic!("{name}: no envelope"));
+            assert_eq!(err.get("code").unwrap().as_str(), Some(code), "{name}");
+            assert!(
+                err.get("message")
+                    .unwrap()
+                    .as_str()
+                    .is_some_and(|m| !m.is_empty()),
+                "{name}: message missing"
+            );
+        }
     }
 }

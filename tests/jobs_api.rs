@@ -326,6 +326,7 @@ fn shutdown_drains_without_dropping_jobs() {
             )
             .unwrap()
             .request,
+            state.default_snapshot(),
             state.metrics()
         ),
         credence_server::jobs::SubmitOutcome::ShuttingDown
