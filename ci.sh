@@ -30,10 +30,17 @@ echo "==> router smoke (2-worker scatter-gather, byte parity vs single-node)"
 echo "==> corpus smoke (registry lifecycle, generation snapshots, corpus metrics)"
 ./scripts/corpus_smoke.sh
 
+echo "==> cache smoke (explanation cache hits, bypass, invalidation, /metrics)"
+./scripts/cache_smoke.sh
+
 echo "==> loadgen capacity smoke (CREDENCE_BENCH_SMOKE=1)"
 mkdir -p target/credence-bench
 CREDENCE_BENCH_SMOKE=1 ./target/release/loadgen \
     --out target/credence-bench/BENCH_capacity_smoke.json
+
+echo "==> loadgen repeated-trace smoke (zipfian explain hot set, CREDENCE_BENCH_SMOKE=1)"
+CREDENCE_BENCH_SMOKE=1 ./target/release/loadgen --trace repeated \
+    --out target/credence-bench/BENCH_capacity_repeated_smoke.json
 
 echo "==> smoke benches (CREDENCE_BENCH_SMOKE=1)"
 CREDENCE_BENCH_SMOKE=1 cargo bench -p credence-bench --offline

@@ -166,6 +166,9 @@ const RATIO_GATES: &[(&str, &str, f64)] = &[
         "term_removal/throughput/exact_serial",
         2.0,
     ),
+    // A repeated explanation request answered from the cross-request
+    // cache must dwarf recomputing it (`explain_cache_bypass: true`).
+    ("caching/throughput/warm", "caching/throughput/cold", 10.0),
 ];
 
 /// Ratio verdicts: `(fast, slow, required, actual, ok)`. Gates whose
@@ -329,7 +332,7 @@ mod tests {
     fn ratio_gates_require_the_margin() {
         // A consistent record set satisfying every gate with headroom:
         // pruned 6x exhaustive, bmw 2x pruned, sharded 4x exhaustive,
-        // incremental_parallel 5x exact_serial.
+        // incremental_parallel 5x exact_serial, warm 50x cold.
         let pass = map(&[
             ("ranking/throughput/exhaustive", 1000.0),
             ("ranking/throughput/pruned", 6000.0),
@@ -337,6 +340,8 @@ mod tests {
             ("ranking/throughput/sharded", 4000.0),
             ("term_removal/throughput/exact_serial", 1000.0),
             ("term_removal/throughput/incremental_parallel", 5000.0),
+            ("caching/throughput/cold", 100.0),
+            ("caching/throughput/warm", 5000.0),
         ]);
         assert!(
             check_ratios(&pass).iter().all(|v| v.4),

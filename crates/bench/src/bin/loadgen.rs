@@ -10,7 +10,14 @@
 //! loadgen [--addr HOST:PORT] [--out BENCH_capacity.json]
 //!         [--mode open|closed] [--concurrency N] [--seed S]
 //!         [--qps 100,200,400,...] [--requests N] [--k K] [--zipf S]
+//!         [--trace rank|repeated]
 //! ```
+//!
+//! `--trace rank` (the default) sweeps `/rank` queries. `--trace
+//! repeated` drives a seeded zipfian mix over a small hot set of
+//! explanation requests instead — the workload the cross-request
+//! explanation cache serves — so hit rates and coalescing show up in
+//! `/metrics` under load.
 //!
 //! `CREDENCE_BENCH_SMOKE=1` (or `--smoke`) shrinks the sweep to a
 //! seconds-long sanity pass for CI.
@@ -19,7 +26,9 @@ use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use credence_bench::loadgen::{capacity_json, query_pool, run_point, schedule, LoopMode};
+use credence_bench::loadgen::{
+    capacity_json, query_pool, rank_pool, repeated_explain_pool, run_point, schedule, LoopMode,
+};
 use credence_core::EngineConfig;
 use credence_corpus::covid_demo_corpus;
 use credence_index::InvertedIndex;
@@ -37,6 +46,7 @@ struct Options {
     requests: usize,
     k: usize,
     zipf: f64,
+    repeated: bool,
     smoke: bool,
 }
 
@@ -52,6 +62,7 @@ impl Default for Options {
             requests: 400,
             k: 10,
             zipf: 1.0,
+            repeated: false,
             smoke: std::env::var("CREDENCE_BENCH_SMOKE").map_or(false, |v| v == "1"),
         }
     }
@@ -106,6 +117,11 @@ fn main() -> ExitCode {
                 Some(s) if (0.0..=4.0).contains(&s) => opts.zipf = s,
                 _ => return usage("--zipf requires a number in 0..=4"),
             },
+            "--trace" => match args.next().as_deref() {
+                Some("rank") => opts.repeated = false,
+                Some("repeated") => opts.repeated = true,
+                _ => return usage("--trace must be rank | repeated"),
+            },
             "--smoke" => opts.smoke = true,
             "--help" | "-h" => {
                 println!(
@@ -113,11 +129,15 @@ fn main() -> ExitCode {
                      USAGE: loadgen [--addr HOST:PORT] [--out FILE]\n\
                      \x20              [--mode open|closed] [--concurrency N]\n\
                      \x20              [--seed S] [--qps A,B,C] [--requests N]\n\
-                     \x20              [--k K] [--zipf S] [--smoke]\n\n\
+                     \x20              [--k K] [--zipf S] [--trace rank|repeated]\n\
+                     \x20              [--smoke]\n\n\
                      Without --addr, boots an in-process single-node server on\n\
                      the demo corpus and drives that. --qps defaults to a sweep\n\
-                     that runs past the saturation knee. CREDENCE_BENCH_SMOKE=1\n\
-                     (or --smoke) shrinks the sweep for CI."
+                     that runs past the saturation knee. --trace repeated swaps\n\
+                     the /rank mix for a seeded zipfian hot set of explanation\n\
+                     requests (exercising the explanation cache).\n\
+                     CREDENCE_BENCH_SMOKE=1 (or --smoke) shrinks the sweep\n\
+                     for CI."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -126,19 +146,35 @@ fn main() -> ExitCode {
     }
     if opts.smoke {
         if opts.qps.is_empty() {
-            opts.qps = vec![25.0, 50.0, 100.0, 200.0];
+            opts.qps = if opts.repeated {
+                vec![25.0, 50.0]
+            } else {
+                vec![25.0, 50.0, 100.0, 200.0]
+            };
         }
         opts.requests = opts.requests.min(40);
     } else if opts.qps.is_empty() {
-        opts.qps = vec![250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0];
+        // Explanation requests cost far more than /rank, so the repeated
+        // trace sweeps a lower range; a warm cache pushes the knee well
+        // past what cold misses could sustain.
+        opts.qps = if opts.repeated {
+            vec![50.0, 100.0, 200.0, 400.0, 800.0]
+        } else {
+            vec![250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0]
+        };
     }
 
-    // The query pool is derived from the demo corpus either way: workers
-    // in a cluster serve the same corpus, and an external single-node
-    // target is assumed to as well (queries with no hits still measure
-    // the full request path).
-    let demo_index = InvertedIndex::build(covid_demo_corpus().docs, Analyzer::english());
-    let pool = query_pool(&demo_index, 16);
+    // The request pool is derived from the demo corpus either way:
+    // workers in a cluster serve the same corpus, and an external
+    // single-node target is assumed to as well (queries with no hits
+    // still measure the full request path).
+    let pool = if opts.repeated {
+        let demo = covid_demo_corpus();
+        repeated_explain_pool(demo.query, opts.k.min(demo.docs.len()), 3)
+    } else {
+        let demo_index = InvertedIndex::build(covid_demo_corpus().docs, Analyzer::english());
+        rank_pool(&query_pool(&demo_index, 16), opts.k)
+    };
 
     let (addr, _local) = match opts.addr {
         Some(addr) => (addr, None),
@@ -182,7 +218,7 @@ fn main() -> ExitCode {
             opts.requests,
             qps,
         );
-        let point = run_point(addr, &pool, &sched, qps, opts.k, mode, timeout);
+        let point = run_point(addr, &pool, &sched, qps, mode, timeout);
         eprintln!(
             "loadgen: offered {:>8.1} qps  achieved {:>8.1} qps  p50 {:>8.2}ms  p95 {:>8.2}ms  p99 {:>8.2}ms  errors {}",
             point.offered_qps,

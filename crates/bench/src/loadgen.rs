@@ -38,13 +38,26 @@ use credence_server::API_PREFIX;
 /// Schema tag written into `BENCH_capacity.json`.
 pub const CAPACITY_SCHEMA: &str = "credence-bench-capacity/1";
 
-/// One scheduled request: a query-pool index and its arrival offset.
+/// One scheduled request: a request-pool index and its arrival offset.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScheduledRequest {
-    /// Index into the query pool.
+    /// Index into the request pool.
     pub query: usize,
     /// Arrival offset from the start of the point, in milliseconds.
     pub start_ms: f64,
+}
+
+/// One poolable request: an API path plus a pre-rendered JSON body.
+///
+/// The pool abstraction lets the same zipfian schedule drive any
+/// endpoint mix — `/rank` queries for the capacity sweep, or a small
+/// hot set of explanation requests for the cache-effectiveness trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestSpec {
+    /// Path under the API prefix, e.g. `/rank`.
+    pub path: String,
+    /// JSON request body.
+    pub body: String,
 }
 
 /// Driving discipline for a capacity point.
@@ -112,6 +125,64 @@ pub fn query_pool(index: &InvertedIndex, terms: usize) -> Vec<String> {
     pool
 }
 
+/// Render a query pool into `/rank` request specs.
+pub fn rank_pool(queries: &[String], k: usize) -> Vec<RequestSpec> {
+    queries
+        .iter()
+        .map(|q| RequestSpec {
+            path: "/rank".to_string(),
+            body: format!(
+                "{{\"k\": {k}, \"query\": {}}}",
+                to_string(&Value::from(q.clone()))
+            ),
+        })
+        .collect()
+}
+
+/// The `--trace repeated` hot set: a small pool of explanation requests
+/// over the demo scenario, spread across all four explainer endpoints
+/// and a handful of documents. Zipfian sampling over this pool (via
+/// [`schedule`]) concentrates traffic on a few requests, the regime the
+/// cross-request explanation cache is built for: a cache-enabled server
+/// answers the repeats from memory while a cache-disabled one re-runs
+/// every search.
+///
+/// Deterministic: the pool is a pure function of `(query, k, docs)`, so
+/// a seeded schedule over it replays byte-for-byte.
+pub fn repeated_explain_pool(query: &str, k: usize, docs: usize) -> Vec<RequestSpec> {
+    const ENDPOINTS: [&str; 4] = [
+        "/explain/sentence-removal",
+        "/explain/query-augmentation",
+        "/explain/query-reduction",
+        "/explain/term-removal",
+    ];
+    let query_json = to_string(&Value::from(query.to_string()));
+    let mut pool = Vec::with_capacity(ENDPOINTS.len() * docs.max(1));
+    for rank in 0..docs.max(1) {
+        for endpoint in ENDPOINTS {
+            // Query augmentation promotes a document to rank <= 1, so
+            // the top-ranked document (rank 0) would be rejected with
+            // "already ranks at or above threshold" — shift it one down.
+            let doc = if endpoint.ends_with("query-augmentation") {
+                rank + 1
+            } else {
+                rank
+            };
+            // max_evals bounds each miss to a deterministic slice of
+            // work; it is part of the cache key, so every repeat of a
+            // spec is a hit on a cache-enabled server.
+            pool.push(RequestSpec {
+                path: endpoint.to_string(),
+                body: format!(
+                    "{{\"doc\": {doc}, \"k\": {k}, \"max_evals\": 64, \"n\": 2, \
+                     \"query\": {query_json}}}"
+                ),
+            });
+        }
+    }
+    pool
+}
+
 /// Build the full request schedule for one point: `n` arrivals at
 /// `offered_qps` with exponential (Poisson-process) inter-arrival gaps,
 /// each picking a pool index from a zipfian distribution with exponent
@@ -157,17 +228,13 @@ pub fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
     sorted_ms[idx]
 }
 
-/// POST one `/api/v1/rank` request; returns the completion outcome.
-fn fire(addr: SocketAddr, query: &str, k: usize, timeout: Duration) -> bool {
-    let body = format!(
-        "{{\"query\": {}, \"k\": {k}}}",
-        to_string(&Value::from(query.to_string()))
-    );
+/// POST one pooled request; returns the completion outcome.
+fn fire(addr: SocketAddr, spec: &RequestSpec, timeout: Duration) -> bool {
     match http_request(
         addr,
         "POST",
-        &format!("{API_PREFIX}/rank"),
-        Some(body.as_bytes()),
+        &format!("{API_PREFIX}{}", spec.path),
+        Some(spec.body.as_bytes()),
         Instant::now() + timeout,
     ) {
         Ok(resp) => resp.status == 200,
@@ -178,10 +245,9 @@ fn fire(addr: SocketAddr, query: &str, k: usize, timeout: Duration) -> bool {
 /// Run one offered-QPS point against `addr` and measure it.
 pub fn run_point(
     addr: SocketAddr,
-    pool: &[String],
+    pool: &[RequestSpec],
     sched: &[ScheduledRequest],
     offered_qps: f64,
-    k: usize,
     mode: LoopMode,
     timeout: Duration,
 ) -> CapacityPoint {
@@ -192,13 +258,13 @@ pub fn run_point(
             let mut handles = Vec::with_capacity(sched.len());
             for req in sched {
                 let scheduled = base + Duration::from_secs_f64(req.start_ms / 1000.0);
-                let query = pool[req.query % pool.len()].clone();
+                let spec = pool[req.query % pool.len()].clone();
                 handles.push(std::thread::spawn(move || {
                     let now = Instant::now();
                     if scheduled > now {
                         std::thread::sleep(scheduled - now);
                     }
-                    let ok = fire(addr, &query, k, timeout);
+                    let ok = fire(addr, &spec, timeout);
                     let done = Instant::now();
                     (
                         (done - scheduled).as_secs_f64() * 1e3,
@@ -227,7 +293,7 @@ pub fn run_point(
                                 if scheduled > now {
                                     std::thread::sleep(scheduled - now);
                                 }
-                                let ok = fire(addr, &pool[req.query % pool.len()], k, timeout);
+                                let ok = fire(addr, &pool[req.query % pool.len()], timeout);
                                 let done = Instant::now();
                                 out.push((
                                     (done - scheduled).as_secs_f64() * 1e3,
@@ -394,6 +460,37 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.len(), 12 + 11, "singles plus adjacent pairs");
         assert!(a.iter().all(|q| !q.trim().is_empty()));
+    }
+
+    #[test]
+    fn rank_pool_renders_rank_specs() {
+        let pool = rank_pool(&["covid".to_string(), "news cycle".to_string()], 7);
+        assert_eq!(pool.len(), 2);
+        assert!(pool.iter().all(|s| s.path == "/rank"));
+        assert!(pool[1].body.contains("\"news cycle\""));
+        assert!(pool[0].body.contains("\"k\": 7"));
+    }
+
+    #[test]
+    fn repeated_explain_pool_is_a_deterministic_hot_set() {
+        let a = repeated_explain_pool("covid outbreak", 3, 2);
+        let b = repeated_explain_pool("covid outbreak", 3, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8, "4 endpoints x 2 docs");
+        assert_eq!(
+            a.iter()
+                .filter(|s| s.path == "/explain/term-removal")
+                .count(),
+            2
+        );
+        assert!(a.iter().all(|s| s.body.contains("\"max_evals\": 64")));
+        assert!(a[0].body.contains("\"doc\": 0") && a[4].body.contains("\"doc\": 1"));
+        assert!(
+            a.iter()
+                .filter(|s| s.path == "/explain/query-augmentation")
+                .all(|s| !s.body.contains("\"doc\": 0")),
+            "augmentation never targets the already-top-ranked document"
+        );
     }
 
     #[test]

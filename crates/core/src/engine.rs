@@ -32,10 +32,8 @@ use crate::query_augmentation::{
 use crate::query_reduction::{
     explain_query_reduction_ranked, QueryReductionConfig, QueryReductionResult,
 };
-use crate::sentence_removal::{
-    explain_sentence_removal_ranked, SentenceRemovalConfig, SentenceRemovalResult,
-};
-use crate::term_removal::{explain_term_removal_ranked, TermRemovalConfig, TermRemovalResult};
+use crate::sentence_removal::{SentenceRemovalConfig, SentenceRemovalResult};
+use crate::term_removal::{TermRemovalConfig, TermRemovalResult};
 
 /// Engine-level configuration.
 #[derive(Debug, Clone)]
@@ -132,10 +130,18 @@ pub struct RetrievalStats {
     pub cache_hits: u64,
     /// Ranking-cache lookups that had to rank the corpus.
     pub cache_misses: u64,
+    /// Rankings currently resident in the cache (a gauge, not a counter).
+    pub cache_size: u64,
+    /// Rankings evicted from the cache to make room for newer entries.
+    pub cache_evictions: u64,
 }
 
 /// Sentinel for "no node" in the LRU's intrusive links.
 const NIL: usize = usize::MAX;
+
+/// Per-(query, doc) entries retained by the engine's posting-replay memo
+/// before a wholesale clear (see [`crate::evaluator::ReplayMemo`]).
+const REPLAY_MEMO_CAPACITY: usize = 256;
 
 struct LruNode {
     query: String,
@@ -200,16 +206,25 @@ impl LruState {
         Some(std::sync::Arc::clone(&self.nodes[i].ranking))
     }
 
-    fn insert(&mut self, query: &str, ranking: std::sync::Arc<RankedList>, capacity: usize) {
+    /// Inserts `query`; returns `true` when an older entry was evicted to
+    /// make room.
+    fn insert(
+        &mut self,
+        query: &str,
+        ranking: std::sync::Arc<RankedList>,
+        capacity: usize,
+    ) -> bool {
         if self.map.contains_key(query) {
-            return; // a racing thread inserted first; keep its entry
+            return false; // a racing thread inserted first; keep its entry
         }
+        let mut evicted_one = false;
         if self.map.len() >= capacity {
             let lru = self.tail;
             self.detach(lru);
             let evicted = std::mem::take(&mut self.nodes[lru].query);
             self.map.remove(&evicted);
             self.free.push(lru);
+            evicted_one = true;
         }
         let node = LruNode {
             query: query.to_string(),
@@ -229,6 +244,7 @@ impl LruState {
         };
         self.push_front(i);
         self.map.insert(query.to_string(), i);
+        evicted_one
     }
 }
 
@@ -244,6 +260,7 @@ struct RankingCache {
     state: std::sync::Mutex<LruState>,
     hits: std::sync::atomic::AtomicU64,
     misses: std::sync::atomic::AtomicU64,
+    evictions: std::sync::atomic::AtomicU64,
 }
 
 impl RankingCache {
@@ -253,6 +270,7 @@ impl RankingCache {
             state: std::sync::Mutex::new(LruState::new()),
             hits: std::sync::atomic::AtomicU64::new(0),
             misses: std::sync::atomic::AtomicU64::new(0),
+            evictions: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -276,7 +294,9 @@ impl RankingCache {
         self.misses.fetch_add(1, Relaxed);
         let ranking = std::sync::Arc::new(compute());
         let mut state = self.state.lock().expect("cache lock poisoned");
-        state.insert(query, std::sync::Arc::clone(&ranking), self.capacity);
+        if state.insert(query, std::sync::Arc::clone(&ranking), self.capacity) {
+            self.evictions.fetch_add(1, Relaxed);
+        }
         ranking
     }
 
@@ -302,6 +322,7 @@ pub struct CredenceEngine<'a> {
     config: EngineConfig,
     cache: RankingCache,
     counters: RetrievalCounters,
+    replay: crate::evaluator::ReplayMemo,
 }
 
 impl<'a> CredenceEngine<'a> {
@@ -328,7 +349,16 @@ impl<'a> CredenceEngine<'a> {
             config,
             cache,
             counters: RetrievalCounters::default(),
+            replay: crate::evaluator::ReplayMemo::new(REPLAY_MEMO_CAPACITY),
         }
+    }
+
+    /// The engine's posting-replay memo (exposed for parity tests and
+    /// diagnostics). The memo is scoped to this engine — and therefore to
+    /// one corpus generation — so a corpus publish invalidates it by
+    /// construction.
+    pub fn replay_memo(&self) -> &crate::evaluator::ReplayMemo {
+        &self.replay
     }
 
     /// Cached corpus ranking for `query` using the engine's configured
@@ -400,6 +430,8 @@ impl<'a> CredenceEngine<'a> {
             blocks_skipped: self.counters.blocks_skipped.load(Relaxed),
             cache_hits: self.cache.hits.load(Relaxed),
             cache_misses: self.cache.misses.load(Relaxed),
+            cache_size: self.cache.len() as u64,
+            cache_evictions: self.cache.evictions.load(Relaxed),
         }
     }
 
@@ -474,7 +506,15 @@ impl<'a> CredenceEngine<'a> {
         let ranking = self.cached_ranking(query);
         let mut config = config.clone();
         config.eval = self.effective_eval(config.eval);
-        explain_sentence_removal_ranked(self.ranker, query, k, doc, &config, &ranking)
+        crate::sentence_removal::explain_sentence_removal_memo(
+            self.ranker,
+            query,
+            k,
+            doc,
+            &config,
+            &ranking,
+            Some(&self.replay),
+        )
     }
 
     /// `POST /explain/query-augmentation` (§II-D).
@@ -518,7 +558,15 @@ impl<'a> CredenceEngine<'a> {
         let ranking = self.cached_ranking(query);
         let mut config = config.clone();
         config.eval = self.effective_eval(config.eval);
-        explain_term_removal_ranked(self.ranker, query, k, doc, &config, &ranking)
+        crate::term_removal::explain_term_removal_memo(
+            self.ranker,
+            query,
+            k,
+            doc,
+            &config,
+            &ranking,
+            Some(&self.replay),
+        )
     }
 
     /// `POST /explain/doc2vec-nearest` (§II-E, variant 1).
@@ -825,6 +873,73 @@ mod tests {
                 .unwrap();
             assert!(b.valid);
         });
+    }
+
+    #[test]
+    fn replay_memo_keeps_repeat_explanations_bit_identical() {
+        with_engine(|e| {
+            let k = 3;
+            let doc = DocId(2);
+            let sr_cfg = SentenceRemovalConfig::default();
+            let tr_cfg = TermRemovalConfig::default();
+
+            let sr1 = e
+                .sentence_removal("covid outbreak", k, doc, &sr_cfg)
+                .unwrap();
+            let tr1 = e.term_removal("covid outbreak", k, doc, &tr_cfg).unwrap();
+            assert_eq!(
+                e.replay_memo().hits(),
+                1,
+                "the second explainer reuses the first one's pool scorer"
+            );
+
+            let sr2 = e
+                .sentence_removal("covid outbreak", k, doc, &sr_cfg)
+                .unwrap();
+            let tr2 = e.term_removal("covid outbreak", k, doc, &tr_cfg).unwrap();
+            assert!(
+                e.replay_memo().hits() > 1,
+                "repeat requests hit the replay memo"
+            );
+            assert_eq!(sr1, sr2, "memoised sentence removal is bit-identical");
+            assert_eq!(tr1, tr2, "memoised term removal is bit-identical");
+
+            // And the memoised path agrees with the memo-free library entry
+            // point against the same ranking.
+            let ranking = e.cached_ranking("covid outbreak");
+            let fresh = crate::sentence_removal::explain_sentence_removal_ranked(
+                e.ranker(),
+                "covid outbreak",
+                k,
+                doc,
+                &{
+                    let mut c = sr_cfg.clone();
+                    c.eval = e.config().eval;
+                    c
+                },
+                &ranking,
+            )
+            .unwrap();
+            assert_eq!(sr1, fresh, "memoised path matches the uncached path");
+        });
+    }
+
+    #[test]
+    fn retrieval_stats_report_cache_size_and_evictions() {
+        let idx = InvertedIndex::build(corpus(), Analyzer::english());
+        let ranker = Bm25Ranker::new(&idx, Bm25Params::default());
+        let mut config = EngineConfig::fast();
+        config.ranking_cache = 2;
+        let engine = CredenceEngine::new(&ranker, config);
+        engine.rank("covid outbreak", 3);
+        engine.rank("microchip", 3);
+        let stats = engine.retrieval_stats();
+        assert_eq!(stats.cache_size, 2);
+        assert_eq!(stats.cache_evictions, 0);
+        engine.rank("garden show", 3);
+        let stats = engine.retrieval_stats();
+        assert_eq!(stats.cache_size, 2, "capacity caps resident entries");
+        assert_eq!(stats.cache_evictions, 1, "the LRU entry was evicted");
     }
 
     #[test]

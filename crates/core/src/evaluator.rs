@@ -21,9 +21,13 @@
 //! accepted explanations, their order, and the committed-candidate counts —
 //! is byte-identical to the serial loop for every thread count.
 
+use std::collections::HashMap;
 use std::ops::ControlFlow;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
 
-use credence_rank::{par_map, par_map_until};
+use credence_index::DocId;
+use credence_rank::{par_map, par_map_until, DeltaProfile, PoolScorer, TermRemovalProfile};
 
 use crate::budget::{Budget, SearchStatus};
 use crate::combos::{Combo, ComboSearch};
@@ -181,6 +185,121 @@ pub(crate) fn drive_search<R: Send>(
             }
         }
         batch_size = (batch_size * 2).min(MAX_BATCH);
+    }
+}
+
+/// Cross-request replay memoisation for the candidate-evaluation loops.
+///
+/// The four explainers re-derive the same per-(query, doc) state on every
+/// request: the top-(k+1) pool scores ([`PoolScorer`]), the per-sentence tf
+/// profiles behind the sentence-removal delta replay
+/// ([`DeltaProfile`](credence_rank::DeltaProfile)), and the per-surface
+/// removal profiles behind the term-removal replay
+/// ([`TermRemovalProfile`](credence_rank::TermRemovalProfile)). One
+/// `ReplayMemo` lives on each [`CredenceEngine`](crate::CredenceEngine)
+/// and shares that state across the explainers and across requests — the
+/// engine is per-generation, so a corpus publish swaps the engine and the
+/// memo with it (invalidation by construction, never by sweeping).
+///
+/// Sharing is bit-safe: every memoised value is a pure function of
+/// `(query, k, doc)` over the generation's immutable segment and ranker,
+/// and the rehydrated scorers perform exactly the same folds as freshly
+/// built ones, so responses are byte-identical with or without the memo.
+///
+/// Each map is bounded; at capacity it is cleared wholesale (the maps are
+/// small and rebuilt in one request each, so wholesale reset beats
+/// per-entry bookkeeping on these hot paths).
+pub struct ReplayMemo {
+    capacity: usize,
+    pool: std::sync::Mutex<HashMap<(String, usize, DocId), Arc<PoolScorer>>>,
+    delta: std::sync::Mutex<HashMap<(String, DocId), Arc<DeltaProfile>>>,
+    removal: std::sync::Mutex<HashMap<(String, DocId), Arc<TermRemovalProfile>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ReplayMemo {
+    /// A memo holding up to `capacity` entries per map (0 disables it).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            pool: std::sync::Mutex::new(HashMap::new()),
+            delta: std::sync::Mutex::new(HashMap::new()),
+            removal: std::sync::Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Lookups served from the memo so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Lookups that had to build their value.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn get_or_build<K: std::hash::Hash + Eq + Clone, V>(
+        &self,
+        map: &std::sync::Mutex<HashMap<K, Arc<V>>>,
+        key: K,
+        build: impl FnOnce() -> Option<V>,
+    ) -> Option<Arc<V>> {
+        use std::sync::atomic::Ordering::Relaxed;
+        if self.capacity == 0 {
+            return build().map(Arc::new);
+        }
+        if let Some(found) = map.lock().expect("memo lock poisoned").get(&key) {
+            self.hits.fetch_add(1, Relaxed);
+            return Some(Arc::clone(found));
+        }
+        self.misses.fetch_add(1, Relaxed);
+        let value = Arc::new(build()?);
+        let mut map = map.lock().expect("memo lock poisoned");
+        if map.len() >= self.capacity {
+            map.clear();
+        }
+        map.entry(key).or_insert_with(|| Arc::clone(&value));
+        Some(value)
+    }
+
+    /// The memoised top-(k+1) pool scorer for `(query, k, doc)`; `build`
+    /// runs on a miss. `build` must be the deterministic
+    /// `PoolScorer::new(ranker, query, top_k(k+1), doc)` of the engine's
+    /// cached ranking, so a hit is bit-identical to a rebuild.
+    pub fn pool_scorer(
+        &self,
+        query: &str,
+        k: usize,
+        doc: DocId,
+        build: impl FnOnce() -> PoolScorer,
+    ) -> Arc<PoolScorer> {
+        self.get_or_build(&self.pool, (query.to_string(), k, doc), || Some(build()))
+            .expect("pool build is infallible")
+    }
+
+    /// The memoised sentence-delta profile for `(query, doc)`. `None`
+    /// results (non-decomposable model) are not cached — the decision is a
+    /// single capability check.
+    pub fn delta_profile(
+        &self,
+        query: &str,
+        doc: DocId,
+        build: impl FnOnce() -> Option<DeltaProfile>,
+    ) -> Option<Arc<DeltaProfile>> {
+        self.get_or_build(&self.delta, (query.to_string(), doc), build)
+    }
+
+    /// The memoised term-removal profile for `(query, doc)`.
+    pub fn removal_profile(
+        &self,
+        query: &str,
+        doc: DocId,
+        build: impl FnOnce() -> Option<TermRemovalProfile>,
+    ) -> Option<Arc<TermRemovalProfile>> {
+        self.get_or_build(&self.removal, (query.to_string(), doc), build)
     }
 }
 

@@ -71,7 +71,7 @@ pub use combos::{CandidateOrdering, ComboSearch, SearchBudget};
 pub use credence_index::{SearchStrategy, TopKOptions};
 pub use engine::{CredenceEngine, EngineConfig, RetrievalStats};
 pub use error::ExplainError;
-pub use evaluator::EvalOptions;
+pub use evaluator::{EvalOptions, ReplayMemo};
 pub use explanation::{
     InstanceExplanation, QueryAugmentationExplanation, SentenceRemovalExplanation,
 };
@@ -91,8 +91,10 @@ pub use registry::{
 };
 pub use saliency::{explain_saliency, SaliencyExplanation, SaliencyUnit};
 pub use sentence_removal::{
-    explain_sentence_removal, explain_sentence_removal_ranked, SentenceRemovalConfig,
+    explain_sentence_removal, explain_sentence_removal_memo, explain_sentence_removal_ranked,
+    SentenceRemovalConfig,
 };
 pub use term_removal::{
-    explain_term_removal, explain_term_removal_ranked, TermRemovalConfig, TermRemovalExplanation,
+    explain_term_removal, explain_term_removal_memo, explain_term_removal_ranked,
+    TermRemovalConfig, TermRemovalExplanation,
 };

@@ -151,7 +151,10 @@ impl CorpusSnapshot {
 
 impl Drop for CorpusSnapshot {
     fn drop(&mut self) {
-        let stats = self.engine.retrieval_stats();
+        let mut stats = self.engine.retrieval_stats();
+        // `cache_size` is a gauge over *live* caches; a dead snapshot holds
+        // no cache, so its resident-entry count must not linger in the sink.
+        stats.cache_size = 0;
         add_stats(&mut self.stats_sink.lock().unwrap(), stats);
     }
 }
@@ -174,6 +177,8 @@ fn add_stats(total: &mut RetrievalStats, part: RetrievalStats) {
     total.blocks_skipped += part.blocks_skipped;
     total.cache_hits += part.cache_hits;
     total.cache_misses += part.cache_misses;
+    total.cache_size += part.cache_size;
+    total.cache_evictions += part.cache_evictions;
 }
 
 /// Summary row for listings and metrics.

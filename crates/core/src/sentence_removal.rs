@@ -127,6 +127,24 @@ pub fn explain_sentence_removal_ranked(
     config: &SentenceRemovalConfig,
     ranking: &RankedList,
 ) -> Result<SentenceRemovalResult, ExplainError> {
+    explain_sentence_removal_memo(ranker, query, k, doc, config, ranking, None)
+}
+
+/// [`explain_sentence_removal_ranked`] with an optional posting-replay
+/// memo. When `memo` is `Some`, the per-(query, doc) sentence tf profiles
+/// and the top-(k+1) pool scorer are fetched from (or deposited into) the
+/// memo instead of rebuilt, so repeated requests for the same document
+/// skip the analyse-and-fold setup. Shared state is read-only during
+/// scoring, so the result is bit-identical either way.
+pub fn explain_sentence_removal_memo(
+    ranker: &dyn Ranker,
+    query: &str,
+    k: usize,
+    doc: DocId,
+    config: &SentenceRemovalConfig,
+    ranking: &RankedList,
+    memo: Option<&crate::evaluator::ReplayMemo>,
+) -> Result<SentenceRemovalResult, ExplainError> {
     if k == 0 {
         return Err(ExplainError::InvalidParameter("k must be at least 1"));
     }
@@ -177,9 +195,19 @@ pub fn explain_sentence_removal_ranked(
     let delta = if config.eval.force_exact {
         None
     } else {
-        DeltaScorer::new(ranker, query, &texts)
+        match memo {
+            Some(m) => m
+                .delta_profile(query, doc, || {
+                    credence_rank::DeltaProfile::new(ranker, query, &texts)
+                })
+                .map(|p| DeltaScorer::from_profile(ranker, p)),
+            None => DeltaScorer::new(ranker, query, &texts),
+        }
     };
-    let pool_scorer = PoolScorer::new(ranker, query, &pool, doc);
+    let pool_scorer = match memo {
+        Some(m) => m.pool_scorer(query, k, doc, || PoolScorer::new(ranker, query, &pool, doc)),
+        None => std::sync::Arc::new(PoolScorer::new(ranker, query, &pool, doc)),
+    };
     let perturbed_body_without = |removed: &std::collections::HashSet<usize>| -> String {
         sentences
             .iter()

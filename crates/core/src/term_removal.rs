@@ -138,6 +138,23 @@ pub fn explain_term_removal_ranked(
     config: &TermRemovalConfig,
     ranking: &RankedList,
 ) -> Result<TermRemovalResult, ExplainError> {
+    explain_term_removal_memo(ranker, query, k, doc, config, ranking, None)
+}
+
+/// [`explain_term_removal_ranked`] with an optional posting-replay memo.
+/// When `memo` is `Some`, the per-(query, doc) removal profiles and the
+/// top-(k+1) pool scorer are fetched from (or deposited into) the memo
+/// instead of rebuilt; shared state is read-only during scoring, so the
+/// result is bit-identical either way.
+pub fn explain_term_removal_memo(
+    ranker: &dyn Ranker,
+    query: &str,
+    k: usize,
+    doc: DocId,
+    config: &TermRemovalConfig,
+    ranking: &RankedList,
+    memo: Option<&crate::evaluator::ReplayMemo>,
+) -> Result<TermRemovalResult, ExplainError> {
     if k == 0 {
         return Err(ExplainError::InvalidParameter("k must be at least 1"));
     }
@@ -209,13 +226,23 @@ pub fn explain_term_removal_ranked(
     let pool_scorer = if config.eval.force_exact {
         None
     } else {
-        Some(PoolScorer::new(ranker, query, &pool, doc))
+        Some(match memo {
+            Some(m) => m.pool_scorer(query, k, doc, || PoolScorer::new(ranker, query, &pool, doc)),
+            None => std::sync::Arc::new(PoolScorer::new(ranker, query, &pool, doc)),
+        })
     };
     let surfaces: Vec<&str> = candidates.iter().map(|c| c.0.as_str()).collect();
     let removal_scorer = if config.eval.force_exact {
         None
     } else {
-        TermRemovalScorer::new(ranker, query, &document.body, &surfaces)
+        match memo {
+            Some(m) => m
+                .removal_profile(query, doc, || {
+                    credence_rank::TermRemovalProfile::new(ranker, query, &document.body, &surfaces)
+                })
+                .map(|p| TermRemovalScorer::from_profile(ranker, p)),
+            None => TermRemovalScorer::new(ranker, query, &document.body, &surfaces),
+        }
     };
 
     let scores: Vec<f64> = candidates.iter().map(|c| c.1).collect();

@@ -175,24 +175,23 @@ struct SegmentProfile {
     len: u32,
 }
 
-/// Incremental scorer for documents perturbed by removing whole segments.
-///
-/// Built once per explanation request; each candidate (a set of removed
-/// segment indices) is then scored in O(removed × |query|) without touching
-/// the text again.
-pub struct DeltaScorer<'a> {
-    ranker: &'a dyn Ranker,
+/// The fully-owned analysis state behind a [`DeltaScorer`]: the analysed
+/// query, every segment's per-query-term tf profile, and the whole-body
+/// base fold. Valid for exactly one (ranker, query, segment list) triple —
+/// callers memoising profiles across requests must key them accordingly
+/// (the engine keys by `(query, doc)` within one immutable generation).
+#[derive(Debug, Clone)]
+pub struct DeltaProfile {
     query_ids: Vec<TermId>,
     segments: Vec<SegmentProfile>,
     base_tf: Vec<u32>,
     base_len: u32,
 }
 
-impl<'a> DeltaScorer<'a> {
+impl DeltaProfile {
     /// Pre-analyse `segments` (e.g. the sentences of a document) against
-    /// `query`. Returns `None` when the model is not term-decomposable, in
-    /// which case the caller must score perturbed text exactly.
-    pub fn new(ranker: &'a dyn Ranker, query: &str, segments: &[&str]) -> Option<Self> {
+    /// `query`. Returns `None` when the model is not term-decomposable.
+    pub fn new(ranker: &dyn Ranker, query: &str, segments: &[&str]) -> Option<Self> {
         if !ranker.supports_term_weights() {
             return None;
         }
@@ -219,26 +218,60 @@ impl<'a> DeltaScorer<'a> {
             .collect();
         let base_len = profiles.iter().map(|p| p.len).sum();
         Some(Self {
-            ranker,
             query_ids,
             segments: profiles,
             base_tf,
             base_len,
         })
     }
+}
+
+/// Incremental scorer for documents perturbed by removing whole segments.
+///
+/// Built once per explanation request; each candidate (a set of removed
+/// segment indices) is then scored in O(removed × |query|) without touching
+/// the text again. The owned analysis lives in a shareable
+/// [`DeltaProfile`], so repeated requests for the same (query, doc) can
+/// reuse it via [`DeltaScorer::from_profile`].
+pub struct DeltaScorer<'a> {
+    ranker: &'a dyn Ranker,
+    profile: std::sync::Arc<DeltaProfile>,
+}
+
+impl<'a> DeltaScorer<'a> {
+    /// Pre-analyse `segments` (e.g. the sentences of a document) against
+    /// `query`. Returns `None` when the model is not term-decomposable, in
+    /// which case the caller must score perturbed text exactly.
+    pub fn new(ranker: &'a dyn Ranker, query: &str, segments: &[&str]) -> Option<Self> {
+        DeltaProfile::new(ranker, query, segments)
+            .map(|p| Self::from_profile(ranker, std::sync::Arc::new(p)))
+    }
+
+    /// Rehydrate a scorer from a previously built profile. The profile must
+    /// have been built by [`DeltaProfile::new`] against the same ranker,
+    /// query, and segment list — the scorer trusts it blindly.
+    pub fn from_profile(ranker: &'a dyn Ranker, profile: std::sync::Arc<DeltaProfile>) -> Self {
+        Self { ranker, profile }
+    }
+
+    /// The shareable analysis state (for cross-request memoisation).
+    pub fn profile(&self) -> &std::sync::Arc<DeltaProfile> {
+        &self.profile
+    }
 
     /// Score of the document with the given segments removed — bit-identical
     /// to `score_text(query, join(kept_segments, " "))`.
     pub fn score_without(&self, removed: &[usize]) -> f64 {
-        let mut len = self.base_len;
+        let p = &*self.profile;
+        let mut len = p.base_len;
         for &seg in removed {
-            len -= self.segments[seg].len;
+            len -= p.segments[seg].len;
         }
         let mut score = 0.0;
-        for (qi, &term) in self.query_ids.iter().enumerate() {
-            let mut tf = self.base_tf[qi];
+        for (qi, &term) in p.query_ids.iter().enumerate() {
+            let mut tf = p.base_tf[qi];
             for &seg in removed {
-                tf -= self.segments[seg].query_tf[qi];
+                tf -= p.segments[seg].query_tf[qi];
             }
             score += self
                 .ranker
@@ -273,6 +306,17 @@ struct RemovalProfile {
 /// `score_text(query, remove_terms(body, removed))`.
 pub struct TermRemovalScorer<'a> {
     ranker: &'a dyn Ranker,
+    profile: std::sync::Arc<TermRemovalProfile>,
+}
+
+/// The fully-owned analysis state behind a [`TermRemovalScorer`]: analysed
+/// query, base tf/length fold, and each candidate surface's removal
+/// profile. Valid for one (ranker, query, body, candidate list) tuple;
+/// memoise across requests keyed by `(query, doc)` within an immutable
+/// generation (the candidate list is derived from the body
+/// deterministically).
+#[derive(Debug, Clone)]
+pub struct TermRemovalProfile {
     query_ids: Vec<TermId>,
     /// Profile of each candidate (indexed by candidate position).
     profiles: Vec<RemovalProfile>,
@@ -280,17 +324,11 @@ pub struct TermRemovalScorer<'a> {
     base_len: u32,
 }
 
-impl<'a> TermRemovalScorer<'a> {
-    /// Pre-analyse `body` and each candidate surface term (the document's
-    /// distinct normalised tokens, as produced by `tokenize`). Returns
-    /// `None` when the model is not term-decomposable or a candidate
-    /// analyses to more than one term.
-    pub fn new(
-        ranker: &'a dyn Ranker,
-        query: &str,
-        body: &str,
-        candidates: &[&str],
-    ) -> Option<Self> {
+impl TermRemovalProfile {
+    /// Pre-analyse `body` and each candidate surface term. Returns `None`
+    /// when the model is not term-decomposable or a candidate analyses to
+    /// more than one term.
+    pub fn new(ranker: &dyn Ranker, query: &str, body: &str, candidates: &[&str]) -> Option<Self> {
         if !ranker.supports_term_weights() {
             return None;
         }
@@ -335,27 +373,58 @@ impl<'a> TermRemovalScorer<'a> {
             })
             .collect::<Option<Vec<_>>>()?;
         Some(Self {
-            ranker,
             query_ids,
             profiles,
             base_tf,
             base_len,
         })
     }
+}
+
+impl<'a> TermRemovalScorer<'a> {
+    /// Pre-analyse `body` and each candidate surface term (the document's
+    /// distinct normalised tokens, as produced by `tokenize`). Returns
+    /// `None` when the model is not term-decomposable or a candidate
+    /// analyses to more than one term.
+    pub fn new(
+        ranker: &'a dyn Ranker,
+        query: &str,
+        body: &str,
+        candidates: &[&str],
+    ) -> Option<Self> {
+        TermRemovalProfile::new(ranker, query, body, candidates)
+            .map(|p| Self::from_profile(ranker, std::sync::Arc::new(p)))
+    }
+
+    /// Rehydrate a scorer from a previously built profile. The profile must
+    /// have been built by [`TermRemovalProfile::new`] against the same
+    /// ranker, query, body, and candidate list.
+    pub fn from_profile(
+        ranker: &'a dyn Ranker,
+        profile: std::sync::Arc<TermRemovalProfile>,
+    ) -> Self {
+        Self { ranker, profile }
+    }
+
+    /// The shareable analysis state (for cross-request memoisation).
+    pub fn profile(&self) -> &std::sync::Arc<TermRemovalProfile> {
+        &self.profile
+    }
 
     /// Score of the document with every occurrence of the given candidates
     /// (by candidate index) removed — bit-identical to
     /// `score_text(query, remove_terms(body, those_surfaces))`.
     pub fn score_without(&self, removed: &[usize]) -> f64 {
-        let mut len = self.base_len;
+        let p = &*self.profile;
+        let mut len = p.base_len;
         for &c in removed {
-            len -= self.profiles[c].len;
+            len -= p.profiles[c].len;
         }
         let mut score = 0.0;
-        for (qi, &term) in self.query_ids.iter().enumerate() {
-            let mut tf = self.base_tf[qi];
+        for (qi, &term) in p.query_ids.iter().enumerate() {
+            let mut tf = p.base_tf[qi];
             for &c in removed {
-                tf -= self.profiles[c].query_tf[qi];
+                tf -= p.profiles[c].query_tf[qi];
             }
             score += self
                 .ranker

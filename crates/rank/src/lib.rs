@@ -32,8 +32,8 @@ pub use bm25::Bm25Ranker;
 pub use eval::{average_precision, ndcg_at_k, precision_at_k, Qrels};
 pub use features::{FeatureAwareRanker, FeatureRanker, FeatureSchema};
 pub use incremental::{
-    par_map, par_map_until, AugmentedScorer, DeltaScorer, PoolScorer, SubsetScorer,
-    TermRemovalScorer,
+    par_map, par_map_until, AugmentedScorer, DeltaProfile, DeltaScorer, PoolScorer, SubsetScorer,
+    TermRemovalProfile, TermRemovalScorer,
 };
 pub use neural::{NeuralSimConfig, NeuralSimRanker};
 pub use ql::{QlSmoothing, QueryLikelihoodRanker};

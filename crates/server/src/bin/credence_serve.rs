@@ -16,7 +16,9 @@ use credence_core::{EngineConfig, EvalOptions, SearchStrategy, TopKOptions};
 use credence_corpus::{covid_demo_corpus, load_jsonl, load_tsv};
 use credence_server::server::ServerOptions;
 use credence_server::service::RankerChoice;
-use credence_server::{AppState, JobsConfig, RouterConfig, RouterState, Server};
+use credence_server::{
+    AppState, ExplainCacheConfig, JobsConfig, RouterConfig, RouterState, Server,
+};
 
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:8091".to_string();
@@ -26,6 +28,7 @@ fn main() -> ExitCode {
     let mut eval = EvalOptions::default();
     let mut retrieval = TopKOptions::default();
     let mut jobs = JobsConfig::default();
+    let mut cache = ExplainCacheConfig::default();
     let mut options = ServerOptions::default();
     let mut router = false;
     let mut workers: Vec<SocketAddr> = Vec::new();
@@ -114,6 +117,10 @@ fn main() -> ExitCode {
                 Some(ttl) => jobs.result_ttl_ms = ttl,
                 None => return usage("--job-result-ttl-ms requires an integer"),
             },
+            "--explain-cache-entries" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(entries) => cache.entries = entries,
+                None => return usage("--explain-cache-entries requires an integer (0 = disable)"),
+            },
             "--max-connections" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(m) if m >= 1 => options.max_connections = m,
                 _ => return usage("--max-connections requires an integer >= 1"),
@@ -131,7 +138,8 @@ fn main() -> ExitCode {
                      \x20                     [--search-strategy auto|exhaustive|pruned|bmw|sharded]\n\
                      \x20                     [--search-shards N] [--search-dense-postings N]\n\
                      \x20                     [--job-workers N] [--job-queue-depth N]\n\
-                     \x20                     [--job-result-ttl-ms MS] [--max-connections N]\n\n\
+                     \x20                     [--job-result-ttl-ms MS] [--max-connections N]\n\
+                     \x20                     [--explain-cache-entries N]\n\n\
                      --extra-corpus: register an additional named corpus (repeatable);\n\
                      \x20  serve it via the 'corpus' request field and manage it live\n\
                      \x20  through PUT/DELETE /api/v1/corpora/NAME.\n\
@@ -153,6 +161,10 @@ fn main() -> ExitCode {
                      \x20  retrievable (default 300000).\n\
                      --max-connections: concurrent connection threads before new\n\
                      \x20  sockets are refused with 503 (default 1024).\n\
+                     --explain-cache-entries: responses held by the cross-request\n\
+                     \x20  explanation cache (default 512; 0 disables caching and\n\
+                     \x20  single-flight coalescing). Per-request opt-out via the\n\
+                     \x20  explain_cache_bypass body field.\n\
                      --router: run as a scatter-gather router over --workers instead\n\
                      \x20  of serving a corpus. Workers are plain credence-serve\n\
                      \x20  processes over the same corpus; /rank fans out one leg per\n\
@@ -209,7 +221,7 @@ fn main() -> ExitCode {
         retrieval,
         ..EngineConfig::default()
     };
-    let state = AppState::leak_jobs(docs, config, ranker, jobs);
+    let state = AppState::leak_full(docs, config, ranker, jobs, cache);
     for (name, file) in &extra_corpora {
         if name == "default" {
             eprintln!("--extra-corpus: the name 'default' is reserved for --corpus");

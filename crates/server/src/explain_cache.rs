@@ -1,0 +1,463 @@
+//! Content-addressed explanation cache with single-flight coalescing.
+//!
+//! The four counterfactual explainers are expensive exactly where traffic
+//! is most repetitive: the same (query, document) explanation requests
+//! recur constantly, and every one used to re-run the full candidate
+//! search. This module shares that work across requests:
+//!
+//! * **Content addressing.** Keys are built by the service layer from the
+//!   *parsed* request — `(endpoint, corpus, generation, canonicalized
+//!   fields)` — so semantically identical requests hash equal regardless
+//!   of field order or spelled-out defaults, and a corpus publish bumps
+//!   the generation and thereby invalidates without any sweeping.
+//! * **Single flight.** When N identical requests arrive concurrently,
+//!   one leader computes and N−1 waiters block on its in-flight slot and
+//!   receive a clone of the same payload. A waiter's own deadline bounds
+//!   the wait: if it expires first, the waiter falls through to its own
+//!   compute, which the expired [`credence_core::Budget`] immediately
+//!   resolves to the canonical `status: "deadline"` partial — a coalesced
+//!   request never blocks past its budget.
+//! * **Byte parity.** Only *deterministic* payloads are stored or handed
+//!   to waiters: HTTP 200 with a body `status` of `complete` or
+//!   `exhausted`. Deadline and cancelled partials depend on wall-clock
+//!   time, which is deliberately excluded from the key, so they are
+//!   computed per request and never shared. A cached response is therefore
+//!   bit-identical to what an uncached engine would produce.
+//!
+//! Storage reuses the O(1) LRU idiom from the engine's ranking cache
+//! (`crates/core/src/engine.rs`): a hash map into a slab of nodes threaded
+//! on an intrusive recency list.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::http::Response;
+
+/// Sentinel for "no node" in the LRU's intrusive links.
+const NIL: usize = usize::MAX;
+
+/// Configuration for the server's explanation cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExplainCacheConfig {
+    /// Maximum number of cached responses; `0` disables caching and
+    /// coalescing entirely.
+    pub entries: usize,
+}
+
+impl Default for ExplainCacheConfig {
+    fn default() -> Self {
+        Self { entries: 512 }
+    }
+}
+
+struct CacheNode {
+    key: String,
+    response: Response,
+    prev: usize,
+    next: usize,
+}
+
+/// The mutable interior: map from canonical key to slab slot plus a
+/// doubly-linked recency list. `get` and `insert` are both O(1).
+#[derive(Default)]
+struct CacheState {
+    map: HashMap<String, usize>,
+    nodes: Vec<CacheNode>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl CacheState {
+    fn new() -> Self {
+        Self {
+            head: NIL,
+            tail: NIL,
+            ..Self::default()
+        }
+    }
+
+    fn detach(&mut self, i: usize) {
+        let (prev, next) = (self.nodes[i].prev, self.nodes[i].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = i;
+        } else {
+            self.tail = i;
+        }
+        self.head = i;
+    }
+
+    fn get(&mut self, key: &str) -> Option<Response> {
+        let &i = self.map.get(key)?;
+        if self.head != i {
+            self.detach(i);
+            self.push_front(i);
+        }
+        Some(self.nodes[i].response.clone())
+    }
+
+    /// Inserts `key`; returns `true` when an older entry was evicted.
+    fn insert(&mut self, key: &str, response: Response, capacity: usize) -> bool {
+        if self.map.contains_key(key) {
+            return false; // a racing thread inserted first; keep its entry
+        }
+        let mut evicted_one = false;
+        if self.map.len() >= capacity {
+            let lru = self.tail;
+            self.detach(lru);
+            let evicted = std::mem::take(&mut self.nodes[lru].key);
+            self.map.remove(&evicted);
+            self.free.push(lru);
+            evicted_one = true;
+        }
+        let node = CacheNode {
+            key: key.to_string(),
+            response,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot] = node;
+                slot
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        self.push_front(i);
+        self.map.insert(key.to_string(), i);
+        evicted_one
+    }
+}
+
+/// A single-flight slot: the leader publishes its outcome here and wakes
+/// every waiter. `Some(response)` is a shareable payload; `None` means the
+/// leader's result was request-specific (deadline/cancelled partial or an
+/// error) and each waiter must compute its own.
+struct InFlight {
+    outcome: Mutex<Option<Option<Response>>>,
+    done: Condvar,
+}
+
+impl InFlight {
+    fn new() -> Self {
+        Self {
+            outcome: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+}
+
+/// Content-addressed LRU of explanation responses with single-flight
+/// coalescing of concurrent identical requests.
+pub struct ExplainCache {
+    capacity: usize,
+    state: Mutex<CacheState>,
+    inflight: Mutex<HashMap<String, Arc<InFlight>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ExplainCache {
+    /// Build a cache holding at most `config.entries` responses.
+    pub fn new(config: ExplainCacheConfig) -> Self {
+        Self {
+            capacity: config.entries,
+            state: Mutex::new(CacheState::new()),
+            inflight: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Lookups served from the cache without recomputation.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Relaxed)
+    }
+
+    /// Lookups that ran the underlying search.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Relaxed)
+    }
+
+    /// Requests that joined another request's in-flight computation.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Relaxed)
+    }
+
+    /// Entries evicted to make room for newer responses.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Relaxed)
+    }
+
+    /// Responses currently resident.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("cache lock poisoned").map.len()
+    }
+
+    /// Whether the cache currently holds no responses.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serve `key` from the cache, join an identical in-flight request, or
+    /// compute. `deadline` bounds how long a coalesced waiter may block;
+    /// past it the waiter computes for itself (which an expired budget
+    /// resolves immediately to the canonical deadline partial).
+    pub fn get_or_compute(
+        &self,
+        key: &str,
+        deadline: Option<Instant>,
+        compute: impl FnOnce() -> Response,
+    ) -> Response {
+        // A budget that is already spent resolves instantly to its
+        // canonical `status: "deadline"` partial; consulting the cache
+        // would replace that deterministic payload with a warmth-dependent
+        // one, so expired requests always compute (and are never stored —
+        // partials are not deterministic payloads).
+        let expired = deadline.is_some_and(|d| Instant::now() >= d);
+        if self.capacity == 0 || expired {
+            self.misses.fetch_add(1, Relaxed);
+            return compute();
+        }
+        if let Some(response) = self.state.lock().expect("cache lock poisoned").get(key) {
+            self.hits.fetch_add(1, Relaxed);
+            return response;
+        }
+
+        // Miss: become the leader for this key, or wait on the one in
+        // flight.
+        let (slot, leader) = {
+            let mut inflight = self.inflight.lock().expect("inflight lock poisoned");
+            match inflight.get(key) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot = Arc::new(InFlight::new());
+                    inflight.insert(key.to_string(), Arc::clone(&slot));
+                    (Arc::clone(&slot), true)
+                }
+            }
+        };
+
+        if !leader {
+            self.coalesced.fetch_add(1, Relaxed);
+            if let Some(response) = self.wait_for(&slot, deadline) {
+                return response;
+            }
+            // The leader's payload was not shareable, or our deadline
+            // expired first: compute for ourselves. An expired budget makes
+            // this immediate and canonical.
+            self.misses.fetch_add(1, Relaxed);
+            return compute();
+        }
+
+        self.misses.fetch_add(1, Relaxed);
+        let response = compute();
+        let shareable = is_deterministic(&response);
+        {
+            let mut outcome = slot.outcome.lock().expect("inflight slot poisoned");
+            *outcome = Some(if shareable {
+                Some(response.clone())
+            } else {
+                None
+            });
+            slot.done.notify_all();
+        }
+        self.inflight
+            .lock()
+            .expect("inflight lock poisoned")
+            .remove(key);
+        if shareable {
+            let mut state = self.state.lock().expect("cache lock poisoned");
+            if state.insert(key, response.clone(), self.capacity) {
+                self.evictions.fetch_add(1, Relaxed);
+            }
+        }
+        response
+    }
+
+    /// Block on `slot` until the leader publishes or `deadline` passes.
+    /// Returns the shared payload, or `None` when the waiter must compute
+    /// for itself.
+    fn wait_for(&self, slot: &InFlight, deadline: Option<Instant>) -> Option<Response> {
+        let mut outcome = slot.outcome.lock().expect("inflight slot poisoned");
+        loop {
+            if let Some(published) = outcome.as_ref() {
+                return published.clone();
+            }
+            match deadline {
+                None => {
+                    outcome = slot.done.wait(outcome).expect("inflight slot poisoned");
+                }
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return None;
+                    }
+                    let (guard, _timeout) = slot
+                        .done
+                        .wait_timeout(outcome, d - now)
+                        .expect("inflight slot poisoned");
+                    outcome = guard;
+                }
+            }
+        }
+    }
+}
+
+/// Whether a response is deterministic — reproducible for any request
+/// that hashes to the same canonical key — and therefore safe to store
+/// and to hand to coalesced waiters. Deadline/cancelled partials depend
+/// on wall-clock time (excluded from the key) and errors carry no reusable
+/// work, so only completed or evaluation-capped successes qualify.
+fn is_deterministic(response: &Response) -> bool {
+    if response.status != 200 {
+        return false;
+    }
+    let Ok(body) = std::str::from_utf8(&response.body) else {
+        return false;
+    };
+    let Ok(value) = credence_json::parse(body) else {
+        return false;
+    };
+    matches!(
+        value.get("status").and_then(|s| s.as_str()),
+        Some("complete") | Some("exhausted")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: u64) -> Response {
+        Response::json(200, format!("{{\"status\":\"complete\",\"n\":{n}}}"))
+    }
+
+    #[test]
+    fn repeat_lookup_is_a_hit_with_identical_bytes() {
+        let cache = ExplainCache::new(ExplainCacheConfig { entries: 4 });
+        let first = cache.get_or_compute("k", None, || complete(1));
+        let second = cache.get_or_compute("k", None, || panic!("must not recompute"));
+        assert_eq!(first, second);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ExplainCache::new(ExplainCacheConfig { entries: 0 });
+        cache.get_or_compute("k", None, || complete(1));
+        let again = cache.get_or_compute("k", None, || complete(2));
+        assert_eq!(again, complete(2), "every request recomputes");
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn non_deterministic_payloads_are_never_stored() {
+        let cache = ExplainCache::new(ExplainCacheConfig { entries: 4 });
+        cache.get_or_compute("deadline", None, || {
+            Response::json(200, "{\"status\":\"deadline\"}")
+        });
+        cache.get_or_compute("error", None, || Response::json(422, "{}"));
+        assert_eq!(cache.len(), 0);
+        let recomputed = cache.get_or_compute("deadline", None, || complete(7));
+        assert_eq!(recomputed, complete(7), "partial was not served from cache");
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = ExplainCache::new(ExplainCacheConfig { entries: 2 });
+        cache.get_or_compute("a", None, || complete(1));
+        cache.get_or_compute("b", None, || complete(2));
+        cache.get_or_compute("a", None, || panic!("hit")); // refresh a
+        cache.get_or_compute("c", None, || complete(3)); // evicts b
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+        let a_again = cache.get_or_compute("a", None, || panic!("a was refreshed"));
+        assert_eq!(a_again, complete(1));
+        let b_again = cache.get_or_compute("b", None, || complete(9));
+        assert_eq!(b_again, complete(9), "b was the LRU victim");
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce_to_one_compute() {
+        let cache = Arc::new(ExplainCache::new(ExplainCacheConfig { entries: 4 }));
+        let computes = Arc::new(AtomicU64::new(0));
+        let gate = Arc::new(std::sync::Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let computes = Arc::clone(&computes);
+                let gate = Arc::clone(&gate);
+                std::thread::spawn(move || {
+                    gate.wait();
+                    cache.get_or_compute("k", None, || {
+                        computes.fetch_add(1, Relaxed);
+                        // Hold the flight open long enough for the other
+                        // threads to join it.
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        complete(42)
+                    })
+                })
+            })
+            .collect();
+        let bodies: Vec<Response> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(bodies.iter().all(|b| *b == complete(42)));
+        assert_eq!(computes.load(Relaxed), 1, "one search served all 8 threads");
+        assert_eq!(cache.hits() + cache.coalesced(), 7);
+    }
+
+    #[test]
+    fn waiter_deadline_bounds_the_coalesced_wait() {
+        let cache = Arc::new(ExplainCache::new(ExplainCacheConfig { entries: 4 }));
+        let started = Arc::new(std::sync::Barrier::new(2));
+        let leader = {
+            let cache = Arc::clone(&cache);
+            let started = Arc::clone(&started);
+            std::thread::spawn(move || {
+                cache.get_or_compute("k", None, || {
+                    started.wait();
+                    std::thread::sleep(std::time::Duration::from_millis(300));
+                    complete(1)
+                })
+            })
+        };
+        started.wait(); // the leader is computing
+        let t0 = Instant::now();
+        let deadline = t0 + std::time::Duration::from_millis(30);
+        let waiter = cache.get_or_compute("k", Some(deadline), || {
+            Response::json(200, "{\"status\":\"deadline\"}")
+        });
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(250),
+            "waiter did not block for the leader's full compute"
+        );
+        assert_eq!(waiter, Response::json(200, "{\"status\":\"deadline\"}"));
+        leader.join().unwrap();
+    }
+}

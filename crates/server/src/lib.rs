@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod explain_cache;
 pub mod http;
 pub mod jobs;
 pub mod metrics;
@@ -74,6 +75,7 @@ pub mod server;
 pub mod service;
 
 pub use client::{FailureKind, FanoutError, WireResponse};
+pub use explain_cache::{ExplainCache, ExplainCacheConfig};
 pub use jobs::{JobRunner, JobState, JobsConfig};
 pub use metrics::Metrics;
 pub use router::{RouterConfig, RouterState};

@@ -174,6 +174,8 @@ pub struct Metrics {
     retrieval_blocks_skipped: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    cache_size: AtomicU64,
+    cache_evictions: AtomicU64,
     jobs_queue_depth: AtomicU64,
     jobs_states: [AtomicU64; JOB_STATES.len()],
     jobs_rejected: AtomicU64,
@@ -204,6 +206,8 @@ impl Metrics {
             retrieval_blocks_skipped: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            cache_size: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
             jobs_queue_depth: AtomicU64::new(0),
             jobs_states: std::array::from_fn(|_| AtomicU64::new(0)),
             jobs_rejected: AtomicU64::new(0),
@@ -310,6 +314,9 @@ impl Metrics {
         self.cache_hits.store(stats.cache_hits, Ordering::Relaxed);
         self.cache_misses
             .store(stats.cache_misses, Ordering::Relaxed);
+        self.cache_size.store(stats.cache_size, Ordering::Relaxed);
+        self.cache_evictions
+            .store(stats.cache_evictions, Ordering::Relaxed);
     }
 
     /// Render the registry in the Prometheus text exposition format.
@@ -427,45 +434,64 @@ impl Metrics {
             self.search_us_total.load(Ordering::Relaxed) as f64 / 1e6
         ));
 
-        for (name, help, counter) in [
+        for (name, kind, help, counter) in [
             (
                 "credence_retrieval_docs_scored_total",
+                "counter",
                 "Documents scored by the top-k retrieval engine.",
                 &self.retrieval_docs_scored,
             ),
             (
                 "credence_retrieval_docs_pruned_total",
+                "counter",
                 "Posting entries skipped by MaxScore pruning.",
                 &self.retrieval_docs_pruned,
             ),
             (
                 "credence_retrieval_shards_used_total",
+                "counter",
                 "Shards spawned by parallel sharded retrieval.",
                 &self.retrieval_shards_used,
             ),
             (
                 "credence_retrieval_blocks_decoded_total",
+                "counter",
                 "Posting blocks decoded by block-max retrieval.",
                 &self.retrieval_blocks_decoded,
             ),
             (
                 "credence_retrieval_blocks_skipped_total",
+                "counter",
                 "Posting blocks skipped undecoded via block-max bounds.",
                 &self.retrieval_blocks_skipped,
             ),
             (
                 "credence_ranking_cache_hits_total",
+                "counter",
                 "Query ranking-cache lookups served from cache.",
                 &self.cache_hits,
             ),
             (
                 "credence_ranking_cache_misses_total",
+                "counter",
                 "Query ranking-cache lookups that ranked the corpus.",
                 &self.cache_misses,
             ),
+            (
+                "credence_ranking_cache_size",
+                "gauge",
+                "Rankings currently resident in live ranking caches.",
+                &self.cache_size,
+            ),
+            (
+                "credence_ranking_cache_evictions_total",
+                "counter",
+                "Rankings evicted from the cache to make room.",
+                &self.cache_evictions,
+            ),
         ] {
             out.push_str(&format!("# HELP {name} {help}\n"));
-            out.push_str(&format!("# TYPE {name} counter\n"));
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
             out.push_str(&format!("{name} {}\n", counter.load(Ordering::Relaxed)));
         }
 
@@ -615,6 +641,8 @@ mod tests {
             blocks_skipped: 23,
             cache_hits: 5,
             cache_misses: 2,
+            cache_size: 2,
+            cache_evictions: 1,
         };
         m.record_retrieval(stats);
         m.record_retrieval(stats); // idempotent: stores, not adds
@@ -626,5 +654,22 @@ mod tests {
         assert!(text.contains("credence_retrieval_blocks_skipped_total 23"));
         assert!(text.contains("credence_ranking_cache_hits_total 5"));
         assert!(text.contains("credence_ranking_cache_misses_total 2"));
+        assert!(text.contains("credence_ranking_cache_size 2"));
+        assert!(text.contains("credence_ranking_cache_evictions_total 1"));
+    }
+
+    #[test]
+    fn all_ranking_cache_families_render_with_declared_types() {
+        let m = Metrics::new(LABELS);
+        let text = m.render();
+        for (name, kind) in [
+            ("credence_ranking_cache_hits_total", "counter"),
+            ("credence_ranking_cache_misses_total", "counter"),
+            ("credence_ranking_cache_size", "gauge"),
+            ("credence_ranking_cache_evictions_total", "counter"),
+        ] {
+            assert!(text.contains(&format!("# TYPE {name} {kind}")), "{name}");
+            assert!(text.contains(&format!("\n{name} 0\n")), "{name} value line");
+        }
     }
 }

@@ -188,6 +188,7 @@ pub const SEARCH_CONTROL_FIELDS: &[&str] = &[
     "max_evals",
     "max_size",
     "max_candidates",
+    "explain_cache_bypass",
 ];
 
 /// Parsed search controls: evaluation-engine knobs, enumeration limits,
@@ -203,6 +204,9 @@ pub struct SearchControls {
     /// The request budget (`deadline_ms`, `max_evals`); unlimited when
     /// neither field is present.
     pub lifecycle: Budget,
+    /// Skip the server's explanation cache for this request
+    /// (`explain_cache_bypass`): neither read from it nor populate it.
+    pub cache_bypass: bool,
 }
 
 impl SearchControls {
@@ -234,10 +238,13 @@ impl SearchControls {
             lifecycle = lifecycle.with_max_evals(evals as usize);
         }
 
+        let cache_bypass = p.optional_bool("explain_cache_bypass", false);
+
         Self {
             eval,
             search,
             lifecycle,
+            cache_bypass,
         }
     }
 }

@@ -35,6 +35,7 @@ use credence_rank::{
 };
 use credence_text::Analyzer;
 
+use crate::explain_cache::{ExplainCache, ExplainCacheConfig};
 use crate::http::{Request, Response};
 use crate::jobs::{CancelOutcome, JobRunner, JobView, JobsConfig, SubmitOutcome};
 use crate::metrics::Metrics;
@@ -42,7 +43,8 @@ use crate::requests::{
     CorpusPutRequest, CorpusRef, CosineSampledRequest, Doc2VecNearestRequest, DocAddRequest,
     DocPutRequest, FieldError, JobRequest, JobSubmitRequest, NearestToTextRequest,
     QueryAugmentationRequest, QueryReductionRequest, RankRequest, RefreshRequest, RerankRequest,
-    SentenceRemovalRequest, SnippetRequest, TermRemovalRequest, TopicsRequest, DEFAULT_CORPUS,
+    SearchControls, SentenceRemovalRequest, SnippetRequest, TermRemovalRequest, TopicsRequest,
+    DEFAULT_CORPUS,
 };
 
 /// The API version prefix canonical routes live under.
@@ -60,6 +62,7 @@ pub struct AppState {
     config: EngineConfig,
     metrics: Metrics,
     jobs: JobRunner,
+    explain_cache: ExplainCache,
     log_requests: AtomicBool,
 }
 
@@ -139,6 +142,19 @@ impl AppState {
         choice: RankerChoice,
         jobs: JobsConfig,
     ) -> &'static AppState {
+        Self::leak_full(docs, config, choice, jobs, ExplainCacheConfig::default())
+    }
+
+    /// [`AppState::leak_jobs`] with explicit explanation-cache sizing
+    /// (`cache.entries == 0` disables cross-request caching and
+    /// coalescing).
+    pub fn leak_full(
+        docs: Vec<Document>,
+        config: EngineConfig,
+        choice: RankerChoice,
+        jobs: JobsConfig,
+        cache: ExplainCacheConfig,
+    ) -> &'static AppState {
         let factory = ranker_factory(choice);
         let registry = CorpusRegistry::new();
         registry.register(
@@ -154,6 +170,7 @@ impl AppState {
             config,
             metrics: Metrics::new(ENDPOINT_LABELS),
             jobs: JobRunner::new(jobs),
+            explain_cache: ExplainCache::new(cache),
             log_requests: AtomicBool::new(false),
         }));
         state.jobs.start(state);
@@ -193,6 +210,11 @@ impl AppState {
     /// The async explanation job subsystem.
     pub fn jobs(&self) -> &JobRunner {
         &self.jobs
+    }
+
+    /// The cross-request explanation cache.
+    pub fn explain_cache(&self) -> &ExplainCache {
+        &self.explain_cache
     }
 
     /// Emit one structured log line per request to stderr (off by default
@@ -695,7 +717,51 @@ fn metrics_text(state: &AppState, _req: &Request, _tail: &str) -> Response {
         .record_retrieval(state.registry.total_retrieval_stats());
     let mut text = state.metrics.render();
     render_corpus_metrics(&mut text, &state.registry.list());
+    render_explain_cache_metrics(&mut text, &state.explain_cache);
     Response::text(200, text)
+}
+
+/// Append the `credence_explain_cache_*` families to a `/metrics` scrape,
+/// rendered live from the cache so every scrape sees current values.
+fn render_explain_cache_metrics(out: &mut String, cache: &ExplainCache) {
+    use std::fmt::Write;
+    let families: [(&str, &str, &str, u64); 5] = [
+        (
+            "credence_explain_cache_hits_total",
+            "counter",
+            "Explain requests served from the explanation cache.",
+            cache.hits(),
+        ),
+        (
+            "credence_explain_cache_misses_total",
+            "counter",
+            "Explain requests that ran the underlying search.",
+            cache.misses(),
+        ),
+        (
+            "credence_explain_cache_coalesced_total",
+            "counter",
+            "Explain requests that joined an identical in-flight search.",
+            cache.coalesced(),
+        ),
+        (
+            "credence_explain_cache_evictions_total",
+            "counter",
+            "Cached explanations evicted to make room.",
+            cache.evictions(),
+        ),
+        (
+            "credence_explain_cache_size",
+            "gauge",
+            "Explanations currently cached.",
+            cache.len() as u64,
+        ),
+    ];
+    for (name, kind, help, value) in families {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        let _ = writeln!(out, "{name} {value}");
+    }
 }
 
 /// Append the `credence_corpus_*` families to a `/metrics` scrape: the
@@ -841,6 +907,151 @@ fn rank(state: &AppState, req: &Request, _tail: &str) -> Response {
     )
 }
 
+/// The canonical cache key for an explain request: endpoint, resolved
+/// corpus + generation, and every *payload-determining* parsed field,
+/// joined by `\u{0}` (which cannot survive tokenisation, so keys cannot
+/// collide with query text). Parsing already canonicalizes field order
+/// and spelled-out defaults, so semantically identical bodies key equal.
+///
+/// Deliberately excluded: the eval knobs (`eval_threads`,
+/// `eval_parallel_threshold`, `eval_exact`) — proven payload-invariant —
+/// and `deadline_ms`, which is wall-clock-relative; deadline partials are
+/// never cached (see [`crate::explain_cache`]). `max_evals` *is* included
+/// because evaluation-capped truncation is deterministic.
+fn explain_cache_key(
+    endpoint: &str,
+    snap: &CorpusSnapshot,
+    query: &str,
+    k: usize,
+    doc: usize,
+    n: usize,
+    threshold: Option<usize>,
+    controls: &SearchControls,
+) -> String {
+    let threshold = threshold.map_or_else(|| "-".to_string(), |t| t.to_string());
+    let max_evals = controls
+        .lifecycle
+        .max_evals
+        .map_or_else(|| "none".to_string(), |m| m.to_string());
+    format!(
+        "{endpoint}\u{0}{corpus}\u{0}{generation}\u{0}{query}\u{0}{k}\u{0}{doc}\u{0}{n}\u{0}\
+         {threshold}\u{0}{max_size}\u{0}{max_candidates}\u{0}{max_evals}",
+        corpus = snap.corpus(),
+        generation = snap.generation(),
+        max_size = controls.search.max_size,
+        max_candidates = controls.search.max_candidates,
+    )
+}
+
+/// Serve a sentence-removal request through the explanation cache:
+/// repeated requests hit, concurrent identical requests coalesce, and
+/// `explain_cache_bypass` (or a disabled cache) runs the search directly.
+/// Both the synchronous endpoint and the job workers enter here, so a
+/// finished job's stored payload satisfies a matching synchronous request
+/// and vice versa.
+pub(crate) fn cached_sentence_removal(
+    state: &AppState,
+    snap: &CorpusSnapshot,
+    parsed: &SentenceRemovalRequest,
+) -> Response {
+    if parsed.controls.cache_bypass {
+        return run_sentence_removal(state, snap, parsed);
+    }
+    let key = explain_cache_key(
+        "sentence_removal",
+        snap,
+        &parsed.query,
+        parsed.k,
+        parsed.doc,
+        parsed.n,
+        None,
+        &parsed.controls,
+    );
+    state
+        .explain_cache
+        .get_or_compute(&key, parsed.controls.lifecycle.deadline, || {
+            run_sentence_removal(state, snap, parsed)
+        })
+}
+
+/// Cache-fronted query augmentation (see [`cached_sentence_removal`]).
+pub(crate) fn cached_query_augmentation(
+    state: &AppState,
+    snap: &CorpusSnapshot,
+    parsed: &QueryAugmentationRequest,
+) -> Response {
+    if parsed.controls.cache_bypass {
+        return run_query_augmentation(state, snap, parsed);
+    }
+    let key = explain_cache_key(
+        "query_augmentation",
+        snap,
+        &parsed.query,
+        parsed.k,
+        parsed.doc,
+        parsed.n,
+        Some(parsed.threshold),
+        &parsed.controls,
+    );
+    state
+        .explain_cache
+        .get_or_compute(&key, parsed.controls.lifecycle.deadline, || {
+            run_query_augmentation(state, snap, parsed)
+        })
+}
+
+/// Cache-fronted query reduction (see [`cached_sentence_removal`]).
+pub(crate) fn cached_query_reduction(
+    state: &AppState,
+    snap: &CorpusSnapshot,
+    parsed: &QueryReductionRequest,
+) -> Response {
+    if parsed.controls.cache_bypass {
+        return run_query_reduction(state, snap, parsed);
+    }
+    let key = explain_cache_key(
+        "query_reduction",
+        snap,
+        &parsed.query,
+        parsed.k,
+        parsed.doc,
+        parsed.n,
+        None,
+        &parsed.controls,
+    );
+    state
+        .explain_cache
+        .get_or_compute(&key, parsed.controls.lifecycle.deadline, || {
+            run_query_reduction(state, snap, parsed)
+        })
+}
+
+/// Cache-fronted term removal (see [`cached_sentence_removal`]).
+pub(crate) fn cached_term_removal(
+    state: &AppState,
+    snap: &CorpusSnapshot,
+    parsed: &TermRemovalRequest,
+) -> Response {
+    if parsed.controls.cache_bypass {
+        return run_term_removal(state, snap, parsed);
+    }
+    let key = explain_cache_key(
+        "term_removal",
+        snap,
+        &parsed.query,
+        parsed.k,
+        parsed.doc,
+        parsed.n,
+        None,
+        &parsed.controls,
+    );
+    state
+        .explain_cache
+        .get_or_compute(&key, parsed.controls.lifecycle.deadline, || {
+            run_term_removal(state, snap, parsed)
+        })
+}
+
 fn sentence_removal(state: &AppState, req: &Request, _tail: &str) -> Response {
     let body = match json_body(req) {
         Ok(v) => v,
@@ -854,7 +1065,7 @@ fn sentence_removal(state: &AppState, req: &Request, _tail: &str) -> Response {
         Ok(s) => s,
         Err(r) => return r,
     };
-    run_sentence_removal(state, &snap, &parsed)
+    cached_sentence_removal(state, &snap, &parsed)
 }
 
 /// Execute a parsed sentence-removal request against a resolved snapshot.
@@ -941,7 +1152,7 @@ fn query_augmentation(state: &AppState, req: &Request, _tail: &str) -> Response 
         Ok(s) => s,
         Err(r) => return r,
     };
-    run_query_augmentation(state, &snap, &parsed)
+    cached_query_augmentation(state, &snap, &parsed)
 }
 
 /// Execute a parsed query-augmentation request (shared with job workers).
@@ -1020,7 +1231,7 @@ fn query_reduction(state: &AppState, req: &Request, _tail: &str) -> Response {
         Ok(s) => s,
         Err(r) => return r,
     };
-    run_query_reduction(state, &snap, &parsed)
+    cached_query_reduction(state, &snap, &parsed)
 }
 
 /// Execute a parsed query-reduction request (shared with job workers).
@@ -1103,7 +1314,7 @@ fn term_removal(state: &AppState, req: &Request, _tail: &str) -> Response {
         Ok(s) => s,
         Err(r) => return r,
     };
-    run_term_removal(state, &snap, &parsed)
+    cached_term_removal(state, &snap, &parsed)
 }
 
 /// Execute a parsed term-removal request (shared with job workers).
@@ -1417,19 +1628,23 @@ fn rerank(state: &AppState, req: &Request, _tail: &str) -> Response {
 }
 
 /// Execute an admitted job request against its pinned snapshot through the
-/// same `run_*` path the synchronous endpoint uses — the single point that
-/// guarantees job payloads are bit-identical to synchronous responses for
-/// the same generation.
+/// same cache-fronted `cached_*` path the synchronous endpoint uses — the
+/// single point that guarantees job payloads are bit-identical to
+/// synchronous responses for the same generation, and the unification of
+/// the job result store with the explanation cache: a finished job's
+/// payload is deposited where a matching synchronous request will hit it,
+/// and a cached synchronous payload satisfies a matching job without
+/// re-running the search.
 pub(crate) fn execute_job(
     state: &AppState,
     snap: &CorpusSnapshot,
     request: &JobRequest,
 ) -> Response {
     match request {
-        JobRequest::SentenceRemoval(r) => run_sentence_removal(state, snap, r),
-        JobRequest::QueryAugmentation(r) => run_query_augmentation(state, snap, r),
-        JobRequest::QueryReduction(r) => run_query_reduction(state, snap, r),
-        JobRequest::TermRemoval(r) => run_term_removal(state, snap, r),
+        JobRequest::SentenceRemoval(r) => cached_sentence_removal(state, snap, r),
+        JobRequest::QueryAugmentation(r) => cached_query_augmentation(state, snap, r),
+        JobRequest::QueryReduction(r) => cached_query_reduction(state, snap, r),
+        JobRequest::TermRemoval(r) => cached_term_removal(state, snap, r),
     }
 }
 
@@ -3021,5 +3236,177 @@ mod tests {
                 "{name}: message missing"
             );
         }
+    }
+
+    #[test]
+    fn explain_cache_hit_serves_identical_bytes() {
+        let state = AppState::leak(demo_docs(), EngineConfig::fast());
+        let body = r#"{"query": "covid outbreak", "k": 3, "doc": 2, "n": 1}"#;
+        let baseline = request_on(
+            state,
+            "POST",
+            "/api/v1/explain/sentence-removal",
+            r#"{"query": "covid outbreak", "k": 3, "doc": 2, "n": 1,
+                "explain_cache_bypass": true}"#,
+        );
+        assert_eq!(baseline.status, 200);
+        assert_eq!(state.explain_cache().len(), 0, "bypass does not populate");
+
+        let first = request_on(state, "POST", "/api/v1/explain/sentence-removal", body);
+        let second = request_on(state, "POST", "/api/v1/explain/sentence-removal", body);
+        assert_eq!(state.explain_cache().hits(), 1);
+        assert_eq!(first.body, second.body, "hit is byte-identical");
+        assert_eq!(
+            first.body, baseline.body,
+            "cached payload matches the uncached path"
+        );
+
+        // Field order and spelled-out defaults canonicalize to the same key.
+        let reordered = request_on(
+            state,
+            "POST",
+            "/api/v1/explain/sentence-removal",
+            r#"{"n": 1, "doc": 2, "k": 3, "query": "covid outbreak", "corpus": "default"}"#,
+        );
+        assert_eq!(state.explain_cache().hits(), 2);
+        assert_eq!(reordered.body, first.body);
+    }
+
+    #[test]
+    fn explain_cache_covers_all_four_explainers() {
+        let state = AppState::leak(demo_docs(), EngineConfig::fast());
+        let cases = [
+            (
+                "/api/v1/explain/sentence-removal",
+                r#"{"query": "covid outbreak", "k": 3, "doc": 2, "n": 1}"#,
+            ),
+            (
+                "/api/v1/explain/query-augmentation",
+                r#"{"query": "covid outbreak", "k": 3, "doc": 2, "n": 1, "threshold": 1}"#,
+            ),
+            (
+                "/api/v1/explain/query-reduction",
+                r#"{"query": "covid outbreak", "k": 3, "doc": 2, "n": 1}"#,
+            ),
+            (
+                "/api/v1/explain/term-removal",
+                r#"{"query": "covid outbreak", "k": 3, "doc": 2, "n": 1}"#,
+            ),
+        ];
+        for (i, (path, body)) in cases.iter().enumerate() {
+            let first = request_on(state, "POST", path, body);
+            assert_eq!(first.status, 200, "{path}");
+            let again = request_on(state, "POST", path, body);
+            assert_eq!(again.body, first.body, "{path}");
+            assert_eq!(state.explain_cache().hits(), i as u64 + 1, "{path}");
+        }
+        assert_eq!(state.explain_cache().len(), 4, "one entry per endpoint");
+    }
+
+    #[test]
+    fn generation_publish_invalidates_explain_cache_keys() {
+        let state = AppState::leak(demo_docs(), EngineConfig::fast());
+        let _pin = state.default_snapshot(); // keep generation 0 resolvable
+        let body = r#"{"query": "covid outbreak", "k": 3, "doc": 2, "n": 1}"#;
+        let gen0 = request_on(state, "POST", "/api/v1/explain/sentence-removal", body);
+        assert_eq!(gen0.status, 200);
+        assert_eq!(state.explain_cache().misses(), 1);
+
+        // Publish a new generation (delete an unrelated doc).
+        let corpus = state.registry().get(DEFAULT_CORPUS).unwrap();
+        let seq = corpus.stage(DeltaOp::Delete("n6".to_string()));
+        assert!(corpus.wait_for_seq(seq, Duration::from_secs(10)));
+
+        let gen1 = request_on(state, "POST", "/api/v1/explain/sentence-removal", body);
+        assert_eq!(gen1.status, 200);
+        assert_eq!(
+            state.explain_cache().misses(),
+            2,
+            "the new generation's key misses"
+        );
+        assert_eq!(state.explain_cache().hits(), 0);
+        // The gen-0 entry still serves pinned requests.
+        let pinned = request_on(
+            state,
+            "POST",
+            "/api/v1/explain/sentence-removal",
+            r#"{"query": "covid outbreak", "k": 3, "doc": 2, "n": 1, "generation": 0}"#,
+        );
+        assert_eq!(state.explain_cache().hits(), 1);
+        assert_eq!(pinned.body, gen0.body);
+    }
+
+    #[test]
+    fn finished_job_satisfies_a_matching_synchronous_request() {
+        let state = AppState::leak(demo_docs(), EngineConfig::fast());
+        let submit = request_on(
+            state,
+            "POST",
+            "/api/v1/jobs",
+            r#"{"endpoint": "sentence-removal",
+                "request": {"query": "covid outbreak", "k": 3, "doc": 2, "n": 1}}"#,
+        );
+        assert_eq!(submit.status, 202);
+        let id = body_json(&submit)
+            .get("job_id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .strip_prefix("job-")
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(
+            state.jobs().wait_terminal(id, Duration::from_secs(30)),
+            Some(crate::jobs::JobState::Complete)
+        );
+        let misses_after_job = state.explain_cache().misses();
+        assert!(misses_after_job >= 1, "the job populated the cache");
+
+        let sync = request_on(
+            state,
+            "POST",
+            "/api/v1/explain/sentence-removal",
+            r#"{"query": "covid outbreak", "k": 3, "doc": 2, "n": 1}"#,
+        );
+        assert_eq!(sync.status, 200);
+        assert_eq!(
+            state.explain_cache().misses(),
+            misses_after_job,
+            "the synchronous request did not re-run the search"
+        );
+        assert_eq!(state.explain_cache().hits(), 1);
+        // And the payload is the job's payload, bit for bit.
+        let job_view = state.jobs().get(id, state.metrics()).unwrap();
+        let (status, payload) = job_view.result.unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(payload, body_json(&sync));
+    }
+
+    #[test]
+    fn explain_cache_families_render_in_metrics() {
+        let state = AppState::leak(demo_docs(), EngineConfig::fast());
+        let body = r#"{"query": "covid outbreak", "k": 3, "doc": 2, "n": 1}"#;
+        request_on(state, "POST", "/api/v1/explain/sentence-removal", body);
+        request_on(state, "POST", "/api/v1/explain/sentence-removal", body);
+        let scrape = request_on(state, "GET", "/metrics", "");
+        let text = String::from_utf8(scrape.body).unwrap();
+        for (family, kind) in [
+            ("credence_explain_cache_hits_total", "counter"),
+            ("credence_explain_cache_misses_total", "counter"),
+            ("credence_explain_cache_coalesced_total", "counter"),
+            ("credence_explain_cache_evictions_total", "counter"),
+            ("credence_explain_cache_size", "gauge"),
+            ("credence_ranking_cache_size", "gauge"),
+            ("credence_ranking_cache_evictions_total", "counter"),
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {family} {kind}")),
+                "{family}"
+            );
+        }
+        assert!(text.contains("credence_explain_cache_hits_total 1"));
+        assert!(text.contains("credence_explain_cache_misses_total 1"));
+        assert!(text.contains("credence_explain_cache_size 1"));
     }
 }

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the cross-request explanation cache: boots
+# the release binary and proves the cache contract on the wire:
+#
+#   * a repeated explanation request is answered from the cache
+#     (credence_explain_cache_hits_total advances, bytes identical),
+#   * explain_cache_bypass skips the cache without disturbing it,
+#   * a corpus mutation applied with {"refresh": true} bumps the live
+#     generation and flips the same request back to a miss,
+#   * /metrics renders every explain-cache and ranking-cache family.
+#
+# Usage: ./scripts/cache_smoke.sh   (expects target/release/credence-serve)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/credence-serve
+ADDR=127.0.0.1:18647
+BASE="http://$ADDR"
+WORK=target/cache-smoke
+
+[ -x "$BIN" ] || {
+    echo "cache_smoke: $BIN missing; run cargo build --release first" >&2
+    exit 1
+}
+
+mkdir -p "$WORK"
+
+"$BIN" --addr "$ADDR" >"$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 80); do
+    curl -sf "$BASE/api/v1/health" >/dev/null 2>&1 && break
+    kill -0 "$SERVE_PID" 2>/dev/null || {
+        echo "cache_smoke: server died during startup:" >&2
+        cat "$WORK/serve.log" >&2
+        exit 1
+    }
+    sleep 0.25
+done
+curl -sf "$BASE/api/v1/health" >/dev/null || {
+    echo "cache_smoke: /api/v1/health never came up" >&2
+    exit 1
+}
+
+fail() {
+    echo "cache_smoke: $1" >&2
+    echo "--- response ---" >&2
+    echo "$2" >&2
+    exit 1
+}
+
+# One counter value out of a /metrics scrape.
+metric() {
+    curl -sf "$BASE/metrics" | awk -v name="$1" '$1 == name { print $2 }'
+}
+
+REQ='{"query": "covid outbreak", "k": 3, "doc": 2, "n": 2, "max_evals": 64}'
+EXPLAIN="$BASE/api/v1/explain/sentence-removal"
+
+# --- a repeated request is a hit with identical bytes ------------------------
+R1=$(curl -sf "$EXPLAIN" -d "$REQ")
+echo "$R1" | grep -q '"status":"' || fail "first explanation malformed" "$R1"
+HITS_BEFORE=$(metric credence_explain_cache_hits_total)
+R2=$(curl -sf "$EXPLAIN" -d "$REQ")
+[ "$R1" = "$R2" ] || fail "repeat response is not byte-identical" "$R2"
+HITS_AFTER=$(metric credence_explain_cache_hits_total)
+[ "$HITS_AFTER" -gt "$HITS_BEFORE" ] ||
+    fail "repeat request did not hit the cache (hits $HITS_BEFORE -> $HITS_AFTER)" "$R2"
+MISSES=$(metric credence_explain_cache_misses_total)
+[ "$MISSES" -ge 1 ] || fail "first request did not count as a miss" "$MISSES"
+echo "cache_smoke: repeated request served from cache (hits $HITS_BEFORE -> $HITS_AFTER)"
+
+# --- explain_cache_bypass recomputes without touching the cache --------------
+HITS_BEFORE=$(metric credence_explain_cache_hits_total)
+BYPASS=$(curl -sf "$EXPLAIN" \
+    -d '{"query": "covid outbreak", "k": 3, "doc": 2, "n": 2, "max_evals": 64, "explain_cache_bypass": true}')
+[ "$BYPASS" = "$R1" ] || fail "bypassed recomputation diverged from cached bytes" "$BYPASS"
+HITS_AFTER=$(metric credence_explain_cache_hits_total)
+[ "$HITS_AFTER" -eq "$HITS_BEFORE" ] ||
+    fail "bypass consulted the cache (hits $HITS_BEFORE -> $HITS_AFTER)" "$BYPASS"
+echo "cache_smoke: explain_cache_bypass recomputes identical bytes, cache untouched"
+
+# --- a published mutation flips the same request to a miss -------------------
+MISSES_BEFORE=$(metric credence_explain_cache_misses_total)
+ADD=$(curl -sf "$BASE/api/v1/corpora/default/docs" \
+    -d '{"name": "cache-smoke-extra", "title": "Filler", "body": "spring regatta filler text with no outbreak terms", "refresh": true}')
+echo "$ADD" | grep -q '"status":"applied"' || fail "refresh insert not applied" "$ADD"
+R3=$(curl -sf "$EXPLAIN" -d "$REQ")
+echo "$R3" | grep -q '"status":"' || fail "post-publish explanation malformed" "$R3"
+MISSES_AFTER=$(metric credence_explain_cache_misses_total)
+[ "$MISSES_AFTER" -gt "$MISSES_BEFORE" ] ||
+    fail "generation publish did not invalidate (misses $MISSES_BEFORE -> $MISSES_AFTER)" "$R3"
+echo "cache_smoke: corpus mutation + refresh invalidated the entry (misses $MISSES_BEFORE -> $MISSES_AFTER)"
+
+# --- /metrics: every cache family renders ------------------------------------
+METRICS=$(curl -sf "$BASE/metrics")
+for SERIES in \
+    credence_explain_cache_hits_total \
+    credence_explain_cache_misses_total \
+    credence_explain_cache_coalesced_total \
+    credence_explain_cache_evictions_total \
+    credence_explain_cache_size \
+    credence_ranking_cache_size \
+    credence_ranking_cache_evictions_total; do
+    echo "$METRICS" | grep -q "^$SERIES " ||
+        fail "/metrics missing $SERIES" "$METRICS"
+done
+echo "cache_smoke: /metrics exports the explain-cache and ranking-cache families"
+
+echo "cache_smoke: all green"
