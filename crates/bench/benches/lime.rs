@@ -1,0 +1,127 @@
+//! Bench: Rank-LIME feature-attribution throughput.
+//!
+//! `lime/throughput` measures the two axes the subsystem optimises:
+//!
+//! - `exact_serial` vs `incremental_parallel` — the same 256-sample
+//!   surrogate fit, scoring each perturbed document either by
+//!   re-analysing the masked body from scratch on one thread or through
+//!   the incremental term-removal scorer with batch-parallel evaluation.
+//!   The `parallel >= 2x serial` ratio gate in `bench_check` is the
+//!   reason the sampler routes through `TermRemovalScorer` at all.
+//! - `cold` vs `warm` — the same request posted through the in-process
+//!   REST surface with and without `explain_cache_bypass`, showing what
+//!   the cross-request cache saves on a repeated attribution (the seeded
+//!   payload is a pure function of the cache key, so sharing is safe).
+//!
+//! Elements per iteration is the deterministic evaluation count
+//! (`samples_evaluated`), so throughput ratios are wall-clock ratios.
+
+use std::sync::OnceLock;
+
+use credence_bench::synth_index;
+use credence_bench::{criterion_group, criterion_main, Criterion, Throughput};
+use credence_core::{
+    explain_feature_attribution_ranked, EngineConfig, EvalOptions, FeatureAttributionConfig,
+};
+use credence_corpus::covid_demo_corpus;
+use credence_index::Bm25Params;
+use credence_rank::{rank_corpus, Bm25Ranker};
+use credence_server::http::Request;
+use credence_server::{handle_request, AppState, JobsConfig, RankerChoice};
+
+/// Surrogate-fit throughput on a synthetic corpus: 256 masked variants
+/// of a long topical document, scored serially via exact re-analysis
+/// versus batch-parallel through the incremental removal scorer.
+fn bench_throughput(c: &mut Criterion) {
+    let (corpus, index) = synth_index(1200, 13);
+    let ranker = Bm25Ranker::new(&index, Bm25Params::default());
+    let query = corpus.topic_query(0, 4);
+    let ranking = rank_corpus(&ranker, &query);
+    let doc = ranking.entries()[0].0;
+    let config = |eval: EvalOptions| FeatureAttributionConfig {
+        samples: 256,
+        eval,
+        ..FeatureAttributionConfig::default()
+    };
+    let evals = explain_feature_attribution_ranked(
+        &ranker,
+        &query,
+        10,
+        doc,
+        &config(EvalOptions::default()),
+        &ranking,
+    )
+    .unwrap()
+    .samples_evaluated as u64;
+
+    let mut group = c.benchmark_group("lime/throughput");
+    group.throughput(Throughput::Elements(evals));
+    for (name, eval) in [
+        ("exact_serial", EvalOptions::exact_serial()),
+        ("incremental_parallel", EvalOptions::default()),
+    ] {
+        let config = config(eval);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                explain_feature_attribution_ranked(&ranker, &query, 10, doc, &config, &ranking)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn app_state() -> &'static AppState {
+    static STATE: OnceLock<&'static AppState> = OnceLock::new();
+    STATE.get_or_init(|| {
+        AppState::leak_jobs(
+            covid_demo_corpus().docs,
+            EngineConfig::fast(),
+            RankerChoice::Bm25,
+            JobsConfig::default(),
+        )
+    })
+}
+
+/// The attribution request both cache variants execute on the demo
+/// scenario. Everything that varies is part of the cache key, so the
+/// warm path is a canonical-key build plus an LRU hit.
+fn request_json(extra: &str) -> String {
+    let demo = covid_demo_corpus();
+    format!(
+        r#"{{"query": "{}", "k": {}, "doc": {}, "samples": 128, "seed": 42{extra}}}"#,
+        demo.query, demo.k, demo.fake_news
+    )
+}
+
+fn post(state: &'static AppState, body: &str) -> Vec<u8> {
+    let req = Request {
+        method: "POST".into(),
+        path: "/api/v1/explain/feature_attribution".into(),
+        headers: Default::default(),
+        body: body.as_bytes().to_vec(),
+    };
+    let resp = handle_request(state, &req);
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    resp.body
+}
+
+/// Cold vs warm cache on the in-process REST surface: one element per
+/// iteration (one request), mirroring the `caching/throughput` group.
+fn bench_cache(c: &mut Criterion) {
+    let state = app_state();
+    // Prime the cache so every `warm` iteration is a hit.
+    let warm_body = request_json("");
+    let first = post(state, &warm_body);
+    assert_eq!(first, post(state, &warm_body), "warm repeat must be stable");
+    let cold_body = request_json(r#", "explain_cache_bypass": true"#);
+
+    let mut group = c.benchmark_group("lime/cache");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("warm", |b| b.iter(|| post(state, &warm_body)));
+    group.bench_function("cold", |b| b.iter(|| post(state, &cold_body)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput, bench_cache);
+criterion_main!(benches);

@@ -169,6 +169,17 @@ const RATIO_GATES: &[(&str, &str, f64)] = &[
     // A repeated explanation request answered from the cross-request
     // cache must dwarf recomputing it (`explain_cache_bypass: true`).
     ("caching/throughput/warm", "caching/throughput/cold", 10.0),
+    // The Rank-LIME sampler must clearly beat exact serial re-scoring
+    // when routed through the incremental removal scorer with
+    // batch-parallel evaluation.
+    (
+        "lime/throughput/incremental_parallel",
+        "lime/throughput/exact_serial",
+        2.0,
+    ),
+    // A repeated attribution answered from the explain cache must dwarf
+    // re-fitting the surrogate.
+    ("lime/cache/warm", "lime/cache/cold", 10.0),
 ];
 
 /// Ratio verdicts: `(fast, slow, required, actual, ok)`. Gates whose
@@ -332,7 +343,8 @@ mod tests {
     fn ratio_gates_require_the_margin() {
         // A consistent record set satisfying every gate with headroom:
         // pruned 6x exhaustive, bmw 2x pruned, sharded 4x exhaustive,
-        // incremental_parallel 5x exact_serial, warm 50x cold.
+        // incremental_parallel 5x exact_serial (term-removal and lime),
+        // warm 50x cold (caching and lime).
         let pass = map(&[
             ("ranking/throughput/exhaustive", 1000.0),
             ("ranking/throughput/pruned", 6000.0),
@@ -342,6 +354,10 @@ mod tests {
             ("term_removal/throughput/incremental_parallel", 5000.0),
             ("caching/throughput/cold", 100.0),
             ("caching/throughput/warm", 5000.0),
+            ("lime/throughput/exact_serial", 1000.0),
+            ("lime/throughput/incremental_parallel", 5000.0),
+            ("lime/cache/cold", 100.0),
+            ("lime/cache/warm", 5000.0),
         ]);
         assert!(
             check_ratios(&pass).iter().all(|v| v.4),

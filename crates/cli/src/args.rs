@@ -31,6 +31,9 @@ impl CliError {
 pub struct Args {
     /// The subcommand (first non-flag token).
     pub command: String,
+    /// An optional nested subcommand (second non-flag token), e.g.
+    /// `explain feature-attribution`. Empty when absent.
+    pub subcommand: String,
     /// `--key value` options; repeated keys accumulate in order.
     options: HashMap<String, Vec<String>>,
     /// `--key` switches with no value.
@@ -57,6 +60,8 @@ impl Args {
                 }
             } else if args.command.is_empty() {
                 args.command = tok;
+            } else if args.subcommand.is_empty() {
+                args.subcommand = tok;
             } else {
                 return Err(CliError::new(format!("unexpected argument: {tok}")));
             }
@@ -90,6 +95,16 @@ impl Args {
             Some(v) => v
                 .parse()
                 .map_err(|_| CliError::new(format!("--{key} must be an integer, got {v:?}"))),
+        }
+    }
+
+    /// Optional float with default.
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::new(format!("--{key} must be a number, got {v:?}"))),
         }
     }
 
@@ -143,6 +158,18 @@ mod tests {
         let a = parse("rank --k pony").unwrap();
         assert!(a.get_usize("k", 1).is_err());
         assert!(a.require("query").is_err());
+        let a = parse("explain feature-attribution --lambda pony").unwrap();
+        assert!(a.get_f64("lambda", 0.0).is_err());
+    }
+
+    #[test]
+    fn nested_subcommand_parses() {
+        let a = parse("explain feature-attribution --query covid --lambda 0.5").unwrap();
+        assert_eq!(a.command, "explain");
+        assert_eq!(a.subcommand, "feature-attribution");
+        assert_eq!(a.get("query"), Some("covid"));
+        assert_eq!(a.get_f64("lambda", 0.0).unwrap(), 0.5);
+        assert_eq!(a.get_f64("missing", 0.25).unwrap(), 0.25);
     }
 
     #[test]

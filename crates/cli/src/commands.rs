@@ -11,8 +11,8 @@ use std::path::Path;
 use credence_core::{
     explain_query_augmentation, explain_query_reduction, explain_saliency,
     explain_sentence_removal, explain_term_removal, test_edits, Budget, CredenceEngine, Edit,
-    EngineConfig, QueryAugmentationConfig, QueryReductionConfig, SaliencyUnit, SearchStrategy,
-    SentenceRemovalConfig, TermRemovalConfig, TopKOptions,
+    EngineConfig, FeatureAttributionConfig, QueryAugmentationConfig, QueryReductionConfig,
+    SaliencyUnit, SearchStrategy, SentenceRemovalConfig, TermRemovalConfig, TopKOptions,
 };
 use credence_corpus::{covid_demo_corpus, load_jsonl, load_tsv, save_jsonl, save_tsv};
 use credence_corpus::{SynthConfig, SyntheticCorpus};
@@ -43,7 +43,13 @@ COMMANDS
             the cancel timer is hit and report the partial best-so-far
             result
             types: sentence-removal | query-augmentation | query-reduction |
-                   doc2vec-nearest | cosine-sampled | term-removal | saliency
+                   doc2vec-nearest | cosine-sampled | term-removal | saliency |
+                   feature-attribution
+            the type may also be given as a subcommand, e.g.
+            `credence explain feature-attribution --query Q --doc ID`
+            which prints the same JSON payload as the REST endpoint
+            [--samples S] [--seed S] [--top-m M] [--lambda L] tune the
+            Rank-LIME surrogate (defaults 256 / 42 / 10 / 0.001)
   builder   --query Q --k K --doc ID                  test your own edits
             [--replace from=to]* [--remove term]* [--corpus F]
   topics    --query Q --k K [--topics N] [--corpus F] browse LDA topics
@@ -59,6 +65,12 @@ COMMANDS
 
 /// Run a parsed command, returning its report.
 pub fn run(args: &Args) -> Result<String, CliError> {
+    if !args.subcommand.is_empty() && args.command != "explain" {
+        return Err(CliError::new(format!(
+            "unexpected argument: {}",
+            args.subcommand
+        )));
+    }
     match args.command.as_str() {
         "rank" => rank(args),
         "explain" => explain(args),
@@ -194,7 +206,11 @@ fn rank(args: &Args) -> Result<String, CliError> {
 }
 
 fn explain(args: &Args) -> Result<String, CliError> {
-    let kind = args.require("type")?.to_string();
+    let kind = if args.subcommand.is_empty() {
+        args.require("type")?.to_string()
+    } else {
+        args.subcommand.clone()
+    };
     let query = args.require("query")?.to_string();
     let k = args.get_usize("k", 10)?;
     let doc = doc_id(args)?;
@@ -349,6 +365,29 @@ fn explain(args: &Args) -> Result<String, CliError> {
                 for w in result.weights.iter().take(n.max(5)) {
                     writeln!(out, "  {:+.3}  {}", w.weight, truncate(&w.unit, 70)).unwrap();
                 }
+            }
+            "feature-attribution" => {
+                let config = FeatureAttributionConfig {
+                    samples: args.get_usize("samples", 256)?,
+                    seed: args.get_usize("seed", 42)? as u64,
+                    top_m: args.get_usize("top-m", 10)?,
+                    lambda: args.get_f64("lambda", 1e-3)?,
+                    lifecycle: lifecycle.clone(),
+                    ..Default::default()
+                };
+                let result = engine
+                    .feature_attribution(&query, k, doc, &config)
+                    .map_err(CliError::new)?;
+                // The CLI indexes the default corpus at generation 0, so
+                // printing the shared REST payload keeps the two surfaces
+                // byte-identical for the same request.
+                out.push_str(&credence_server::feature_attribution_payload(
+                    "default",
+                    0,
+                    (config.samples, config.seed, config.top_m, config.lambda),
+                    &result,
+                ));
+                out.push('\n');
             }
             other => {
                 return Err(CliError::new(format!("unknown explanation type {other:?}")));
@@ -664,6 +703,7 @@ mod tests {
             "cosine-sampled",
             "term-removal",
             "saliency",
+            "feature-attribution",
         ] {
             let args = Args::parse(
                 [
@@ -688,6 +728,53 @@ mod tests {
             let out = run(&args).unwrap_or_else(|e| panic!("{kind}: {e}"));
             assert!(!out.is_empty(), "{kind} produced no output");
         }
+    }
+
+    #[test]
+    fn feature_attribution_cli_matches_rest_payload() {
+        let demo = covid_demo_corpus();
+        let args = Args::parse(
+            [
+                "explain",
+                "feature-attribution",
+                "--query",
+                "covid outbreak",
+                "--k",
+                "10",
+                "--doc",
+                &demo.fake_news.to_string(),
+                "--samples",
+                "64",
+                "--seed",
+                "7",
+                "--top-m",
+                "5",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        let cli = run(&args).unwrap();
+        assert!(cli.contains("\"attributions\""), "{cli}");
+
+        let state = credence_server::AppState::leak(covid_demo_corpus().docs, EngineConfig::fast());
+        let body = format!(
+            "{{\"query\": \"covid outbreak\", \"k\": 10, \"doc\": {}, \"samples\": 64, \"seed\": 7, \"top_m\": 5}}",
+            demo.fake_news
+        );
+        let req = credence_server::http::Request {
+            method: "POST".into(),
+            path: "/api/v1/explain/feature_attribution".into(),
+            headers: Default::default(),
+            body: body.into_bytes(),
+        };
+        let resp = credence_server::handle_request(state, &req);
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        assert_eq!(
+            cli.trim_end(),
+            String::from_utf8_lossy(&resp.body),
+            "CLI payload must be byte-identical to the REST endpoint"
+        );
     }
 
     #[test]

@@ -569,6 +569,29 @@ impl<'a> CredenceEngine<'a> {
         )
     }
 
+    /// `POST /explain/feature_attribution` — the Rank-LIME local surrogate
+    /// attribution family ([`crate::lime`]).
+    pub fn feature_attribution(
+        &self,
+        query: &str,
+        k: usize,
+        doc: DocId,
+        config: &crate::lime::FeatureAttributionConfig,
+    ) -> Result<crate::lime::FeatureAttributionResult, ExplainError> {
+        let ranking = self.cached_ranking(query);
+        let mut config = config.clone();
+        config.eval = self.effective_eval(config.eval);
+        crate::lime::explain_feature_attribution_memo(
+            self.ranker,
+            query,
+            k,
+            doc,
+            &config,
+            &ranking,
+            Some(&self.replay),
+        )
+    }
+
     /// `POST /explain/doc2vec-nearest` (§II-E, variant 1).
     pub fn doc2vec_nearest(
         &self,

@@ -54,6 +54,7 @@ pub mod evaluator;
 pub mod explanation;
 pub mod feature_counterfactual;
 pub mod instance_based;
+pub mod lime;
 pub mod metrics;
 pub mod query_augmentation;
 pub mod query_reduction;
@@ -79,6 +80,11 @@ pub use feature_counterfactual::{
     explain_feature_changes, FeatureCfConfig, FeatureCfExplanation, FeatureChange,
 };
 pub use instance_based::{cosine_sampled, doc2vec_nearest, CosineSampledConfig};
+pub use lime::{
+    explain_feature_attribution, explain_feature_attribution_memo,
+    explain_feature_attribution_ranked, FeatureAttribution, FeatureAttributionConfig,
+    FeatureAttributionResult,
+};
 pub use query_augmentation::{
     explain_query_augmentation, explain_query_augmentation_ranked, QueryAugmentationConfig,
 };

@@ -16,7 +16,7 @@
 use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
 
-use credence_index::DocId;
+use credence_index::{DocId, InvertedIndex};
 use credence_rank::{rank_corpus, rerank_pool, PoolScorer, RankedList, Ranker, TermRemovalScorer};
 use credence_text::tokenize;
 
@@ -86,8 +86,9 @@ pub struct TermRemovalResult {
 }
 
 /// Remove every occurrence of the given surface terms (matched on the
-/// normalised token) from `body`, collapsing leftover whitespace.
-fn remove_terms(body: &str, terms: &HashSet<String>) -> String {
+/// normalised token) from `body`, collapsing leftover whitespace. Shared
+/// with the LIME surrogate's exact scoring fallback.
+pub(crate) fn remove_terms(body: &str, terms: &HashSet<String>) -> String {
     let mut out = String::with_capacity(body.len());
     let mut cursor = 0usize;
     for tok in tokenize(body) {
@@ -113,6 +114,59 @@ fn remove_terms(body: &str, terms: &HashSet<String>) -> String {
         }
     }
     collapsed.trim().to_string()
+}
+
+/// Candidate terms for the document-perturbation explainers: the document's
+/// distinct surface (normalised) terms, scored by how many of their
+/// occurrences are query terms (after full analysis) — the term-level
+/// analogue of sentence importance — sorted best first with alphabetical
+/// ties. Terms with zero query affinity are still candidates (the search
+/// may need them), but sort last.
+///
+/// Term removal and the LIME surrogate (`crate::lime`) both derive their
+/// candidate lists through this one function, in this exact order, because
+/// [`ReplayMemo`](crate::evaluator::ReplayMemo) keys term-removal profiles
+/// by `(query, doc)` alone: a profile deposited by either explainer must
+/// replay bit-identically for the other, which requires an identical
+/// surface list.
+pub(crate) fn document_term_candidates(
+    index: &InvertedIndex,
+    query: &str,
+    body: &str,
+) -> Vec<(String, f64)> {
+    let analyzer = index.analyzer();
+    let query_terms: HashSet<String> = analyzer.analyze(query).into_iter().collect();
+    let tokens = tokenize(body);
+    let mut occurrences: HashMap<&str, f64> = HashMap::new();
+    let mut order: Vec<&str> = Vec::new();
+    for tok in &tokens {
+        let count = occurrences.entry(tok.term.as_str()).or_insert_with(|| {
+            order.push(tok.term.as_str());
+            0.0
+        });
+        *count += 1.0;
+    }
+    let mut candidates: Vec<(String, f64)> = order
+        .into_iter()
+        .map(|term| {
+            let analyzed = analyzer.analyze(term);
+            let matches_query = analyzed
+                .first()
+                .is_some_and(|t| query_terms.contains(t.as_str()));
+            let score = if matches_query {
+                occurrences[term]
+            } else {
+                0.0
+            };
+            (term.to_string(), score)
+        })
+        .collect();
+    candidates.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    candidates
 }
 
 /// Generate term-removal counterfactuals for `doc` under `query`.
@@ -177,43 +231,7 @@ pub fn explain_term_removal_memo(
     }
     let pool = ranking.top_k(k + 1);
 
-    // Candidate terms: distinct surface (normalised) terms of the document,
-    // scored by how many of their occurrences are query terms (after full
-    // analysis) — the term-level analogue of sentence importance. Terms with
-    // zero query affinity are still candidates (the search may need them),
-    // but sort last.
-    let analyzer = index.analyzer();
-    let query_terms: HashSet<String> = analyzer.analyze(query).into_iter().collect();
-    let tokens = tokenize(&document.body);
-    let mut occurrences: HashMap<&str, f64> = HashMap::new();
-    let mut order: Vec<&str> = Vec::new();
-    for tok in &tokens {
-        let count = occurrences.entry(tok.term.as_str()).or_insert_with(|| {
-            order.push(tok.term.as_str());
-            0.0
-        });
-        *count += 1.0;
-    }
-    let mut candidates: Vec<(String, f64)> = order
-        .into_iter()
-        .map(|term| {
-            let analyzed = analyzer.analyze(term);
-            let matches_query = analyzed
-                .first()
-                .is_some_and(|t| query_terms.contains(t.as_str()));
-            let score = if matches_query {
-                occurrences[term]
-            } else {
-                0.0
-            };
-            (term.to_string(), score)
-        })
-        .collect();
-    candidates.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.0.cmp(&b.0))
-    });
+    let candidates = document_term_candidates(index, query, &document.body);
     if candidates.is_empty() {
         return Err(ExplainError::NoCandidateTerms(doc));
     }

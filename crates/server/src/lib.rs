@@ -49,6 +49,7 @@
 //! | POST   | `/api/v1/explain/query-augmentation` | `{query, k, doc, n?, threshold?, …knobs}` |
 //! | POST   | `/api/v1/explain/query-reduction`    | `{query, k, doc, n?, …knobs}` |
 //! | POST   | `/api/v1/explain/term-removal`       | `{query, k, doc, n?, …knobs}` |
+//! | POST   | `/api/v1/explain/feature_attribution`| `{query, k, doc, samples?, seed?, top_m?, lambda?, …knobs}` |
 //! | POST   | `/api/v1/explain/doc2vec-nearest`    | `{query, k, doc, n?}` |
 //! | POST   | `/api/v1/explain/cosine-sampled`     | `{query, k, doc, n?, samples?}` |
 //! | POST   | `/api/v1/explain/nearest-to-text`    | `{text, n?, query?, k?}` |
@@ -80,4 +81,6 @@ pub use jobs::{JobRunner, JobState, JobsConfig};
 pub use metrics::Metrics;
 pub use router::{RouterConfig, RouterState};
 pub use server::{App, Server, ServerHandle, ServerOptions};
-pub use service::{handle_request, AppState, RankerChoice, API_PREFIX};
+pub use service::{
+    feature_attribution_payload, handle_request, AppState, RankerChoice, API_PREFIX,
+};

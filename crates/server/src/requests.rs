@@ -125,6 +125,21 @@ impl<'v> FieldParser<'v> {
         }
     }
 
+    /// An optional finite non-negative number field with a default.
+    pub fn optional_f64(&mut self, key: &str, default: f64) -> f64 {
+        match self.body.get(key) {
+            None => default,
+            Some(v) => match v.as_f64() {
+                Some(n) if n.is_finite() && n >= 0.0 => n,
+                _ => {
+                    self.errors
+                        .push(FieldError::new(key, "must be a finite non-negative number"));
+                    default
+                }
+            },
+        }
+    }
+
     /// An optional boolean field with a default.
     pub fn optional_bool(&mut self, key: &str, default: bool) -> bool {
         match self.body.get(key) {
@@ -553,6 +568,56 @@ impl TermRemovalRequest {
     }
 }
 
+/// `POST /api/v1/explain/feature_attribution`.
+#[derive(Debug, Clone)]
+pub struct FeatureAttributionRequest {
+    /// The query.
+    pub query: String,
+    /// Ranking depth.
+    pub k: usize,
+    /// The instance document id.
+    pub doc: usize,
+    /// Perturbed document variants to draw and score.
+    pub samples: usize,
+    /// Mask-sampler seed; the payload is byte-identical per seed.
+    pub seed: u64,
+    /// Maximum attributions returned.
+    pub top_m: usize,
+    /// Ridge regularisation strength for the surrogate fit.
+    pub lambda: f64,
+    /// Corpus selector (`corpus`, optional pinned `generation`).
+    pub corpus: CorpusRef,
+    /// Shared search controls.
+    pub controls: SearchControls,
+}
+
+impl FeatureAttributionRequest {
+    /// Parse and fully validate the request body. Defaults mirror
+    /// `credence_core::lime::FeatureAttributionConfig::default()`.
+    pub fn parse(body: &Value) -> Result<Self, Vec<FieldError>> {
+        let mut p = FieldParser::new(body);
+        let out = Self {
+            query: p.require_str("query"),
+            k: p.require_usize("k"),
+            doc: p.require_usize("doc"),
+            samples: p.optional_usize("samples", 256),
+            seed: p.optional_u64("seed").unwrap_or(42),
+            top_m: p.optional_usize("top_m", 10),
+            lambda: p.optional_f64("lambda", 1e-3),
+            corpus: CorpusRef::parse(&mut p),
+            controls: SearchControls::parse(&mut p),
+        };
+        let errors = p.finish(&known![
+            "query", "k", "doc", "samples", "seed", "top_m", "lambda"
+        ]);
+        if errors.is_empty() {
+            Ok(out)
+        } else {
+            Err(errors)
+        }
+    }
+}
+
 /// `POST /api/v1/explain/doc2vec-nearest`.
 #[derive(Debug, Clone)]
 pub struct Doc2VecNearestRequest {
@@ -790,9 +855,9 @@ impl RerankRequest {
 }
 
 /// An explanation request admitted into the async job queue: one of the
-/// four counterfactual explainers, wrapping the exact request struct the
-/// synchronous endpoint parses. Executing a `JobRequest` therefore goes
-/// through the same handler and produces the same payload bit-for-bit.
+/// five explainers, wrapping the exact request struct the synchronous
+/// endpoint parses. Executing a `JobRequest` therefore goes through the
+/// same handler and produces the same payload bit-for-bit.
 #[derive(Debug, Clone)]
 pub enum JobRequest {
     /// An `explain/sentence-removal` search.
@@ -803,15 +868,18 @@ pub enum JobRequest {
     QueryReduction(QueryReductionRequest),
     /// An `explain/term-removal` search.
     TermRemoval(TermRemovalRequest),
+    /// An `explain/feature_attribution` surrogate fit.
+    FeatureAttribution(FeatureAttributionRequest),
 }
 
 impl JobRequest {
     /// The endpoint names accepted in a job submission's `endpoint` field.
-    pub const ENDPOINTS: [&'static str; 4] = [
+    pub const ENDPOINTS: [&'static str; 5] = [
         "sentence-removal",
         "query-augmentation",
         "query-reduction",
         "term-removal",
+        "feature_attribution",
     ];
 
     /// The endpoint name this job targets.
@@ -821,6 +889,7 @@ impl JobRequest {
             JobRequest::QueryAugmentation(_) => "query-augmentation",
             JobRequest::QueryReduction(_) => "query-reduction",
             JobRequest::TermRemoval(_) => "term-removal",
+            JobRequest::FeatureAttribution(_) => "feature_attribution",
         }
     }
 
@@ -832,6 +901,7 @@ impl JobRequest {
             JobRequest::QueryAugmentation(r) => &mut r.controls.lifecycle,
             JobRequest::QueryReduction(r) => &mut r.controls.lifecycle,
             JobRequest::TermRemoval(r) => &mut r.controls.lifecycle,
+            JobRequest::FeatureAttribution(r) => &mut r.controls.lifecycle,
         }
     }
 
@@ -842,6 +912,7 @@ impl JobRequest {
             JobRequest::QueryAugmentation(r) => &r.corpus,
             JobRequest::QueryReduction(r) => &r.corpus,
             JobRequest::TermRemoval(r) => &r.corpus,
+            JobRequest::FeatureAttribution(r) => &r.corpus,
         }
     }
 }
@@ -880,18 +951,20 @@ impl JobSubmitRequest {
         };
         let request = match (known, inner) {
             (true, Some(inner)) => {
-                let parsed = match endpoint.as_str() {
-                    "sentence-removal" => {
-                        SentenceRemovalRequest::parse(inner).map(JobRequest::SentenceRemoval)
-                    }
-                    "query-augmentation" => {
-                        QueryAugmentationRequest::parse(inner).map(JobRequest::QueryAugmentation)
-                    }
-                    "query-reduction" => {
-                        QueryReductionRequest::parse(inner).map(JobRequest::QueryReduction)
-                    }
-                    _ => TermRemovalRequest::parse(inner).map(JobRequest::TermRemoval),
-                };
+                let parsed =
+                    match endpoint.as_str() {
+                        "sentence-removal" => {
+                            SentenceRemovalRequest::parse(inner).map(JobRequest::SentenceRemoval)
+                        }
+                        "query-augmentation" => QueryAugmentationRequest::parse(inner)
+                            .map(JobRequest::QueryAugmentation),
+                        "query-reduction" => {
+                            QueryReductionRequest::parse(inner).map(JobRequest::QueryReduction)
+                        }
+                        "feature_attribution" => FeatureAttributionRequest::parse(inner)
+                            .map(JobRequest::FeatureAttribution),
+                        _ => TermRemovalRequest::parse(inner).map(JobRequest::TermRemoval),
+                    };
                 match parsed {
                     Ok(request) => Some(request),
                     Err(errors) => {

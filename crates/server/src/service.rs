@@ -24,8 +24,8 @@ use std::time::{Duration, Instant};
 
 use credence_core::{
     Corpus, CorpusInfo, CorpusRegistry, CorpusSnapshot, EngineConfig, ExplainError,
-    QueryAugmentationConfig, QueryReductionConfig, RankerFactory, SentenceRemovalConfig,
-    SnapshotError, TermRemovalConfig,
+    FeatureAttributionConfig, FeatureAttributionResult, QueryAugmentationConfig,
+    QueryReductionConfig, RankerFactory, SentenceRemovalConfig, SnapshotError, TermRemovalConfig,
 };
 use credence_index::{Bm25Params, DeltaOp, DocId, Document, InvertedIndex};
 use credence_json::{obj, parse, to_string, Value};
@@ -41,10 +41,10 @@ use crate::jobs::{CancelOutcome, JobRunner, JobView, JobsConfig, SubmitOutcome};
 use crate::metrics::Metrics;
 use crate::requests::{
     CorpusPutRequest, CorpusRef, CosineSampledRequest, Doc2VecNearestRequest, DocAddRequest,
-    DocPutRequest, FieldError, JobRequest, JobSubmitRequest, NearestToTextRequest,
-    QueryAugmentationRequest, QueryReductionRequest, RankRequest, RefreshRequest, RerankRequest,
-    SearchControls, SentenceRemovalRequest, SnippetRequest, TermRemovalRequest, TopicsRequest,
-    DEFAULT_CORPUS,
+    DocPutRequest, FeatureAttributionRequest, FieldError, JobRequest, JobSubmitRequest,
+    NearestToTextRequest, QueryAugmentationRequest, QueryReductionRequest, RankRequest,
+    RefreshRequest, RerankRequest, SearchControls, SentenceRemovalRequest, SnippetRequest,
+    TermRemovalRequest, TopicsRequest, DEFAULT_CORPUS,
 };
 
 /// The API version prefix canonical routes live under.
@@ -63,7 +63,37 @@ pub struct AppState {
     metrics: Metrics,
     jobs: JobRunner,
     explain_cache: ExplainCache,
+    lime: LimeStats,
     log_requests: AtomicBool,
+}
+
+/// Live counters behind the `credence_explain_lime_*` metric families:
+/// surrogate fits actually run (cache hits are served without re-fitting
+/// and therefore do not count), the perturbed variants they scored, the
+/// attributions they returned, budget-limited partial fits, and the summed
+/// fidelity (in millionths, for the average gauge).
+#[derive(Default)]
+struct LimeStats {
+    fits: std::sync::atomic::AtomicU64,
+    samples: std::sync::atomic::AtomicU64,
+    attributions: std::sync::atomic::AtomicU64,
+    partials: std::sync::atomic::AtomicU64,
+    fidelity_micros: std::sync::atomic::AtomicU64,
+}
+
+impl LimeStats {
+    fn record(&self, result: &FeatureAttributionResult) {
+        self.fits.fetch_add(1, Ordering::Relaxed);
+        self.samples
+            .fetch_add(result.samples_evaluated as u64, Ordering::Relaxed);
+        self.attributions
+            .fetch_add(result.attributions.len() as u64, Ordering::Relaxed);
+        if result.status.is_partial() {
+            self.partials.fetch_add(1, Ordering::Relaxed);
+        }
+        self.fidelity_micros
+            .fetch_add((result.fidelity * 1e6).round() as u64, Ordering::Relaxed);
+    }
 }
 
 /// Which ranking model the server explains.
@@ -171,6 +201,7 @@ impl AppState {
             metrics: Metrics::new(ENDPOINT_LABELS),
             jobs: JobRunner::new(jobs),
             explain_cache: ExplainCache::new(cache),
+            lime: LimeStats::default(),
             log_requests: AtomicBool::new(false),
         }));
         state.jobs.start(state);
@@ -256,6 +287,7 @@ const ENDPOINT_LABELS: &[&str] = &[
     "query_augmentation",
     "query_reduction",
     "term_removal",
+    "feature_attribution",
     "doc2vec_nearest",
     "cosine_sampled",
     "nearest_to_text",
@@ -374,6 +406,14 @@ const ROUTES: &[Route] = &[
         versioned: true,
         endpoint: "term_removal",
         handler: term_removal,
+    },
+    Route {
+        method: "POST",
+        path: "/explain/feature_attribution",
+        prefix: false,
+        versioned: true,
+        endpoint: "feature_attribution",
+        handler: feature_attribution,
     },
     Route {
         method: "POST",
@@ -718,7 +758,58 @@ fn metrics_text(state: &AppState, _req: &Request, _tail: &str) -> Response {
     let mut text = state.metrics.render();
     render_corpus_metrics(&mut text, &state.registry.list());
     render_explain_cache_metrics(&mut text, &state.explain_cache);
+    render_lime_metrics(&mut text, &state.lime);
     Response::text(200, text)
+}
+
+/// Append the `credence_explain_lime_*` families to a `/metrics` scrape,
+/// rendered live from the counters the surrogate fits bump.
+fn render_lime_metrics(out: &mut String, lime: &LimeStats) {
+    use std::fmt::Write;
+    let fits = lime.fits.load(Ordering::Relaxed);
+    let families: [(&str, &str, &str, u64); 4] = [
+        (
+            "credence_explain_lime_fits_total",
+            "counter",
+            "Feature-attribution surrogate fits run (cache hits excluded).",
+            fits,
+        ),
+        (
+            "credence_explain_lime_samples_total",
+            "counter",
+            "Perturbed document variants scored for surrogate fits.",
+            lime.samples.load(Ordering::Relaxed),
+        ),
+        (
+            "credence_explain_lime_attributions_total",
+            "counter",
+            "Per-term attributions returned by surrogate fits.",
+            lime.attributions.load(Ordering::Relaxed),
+        ),
+        (
+            "credence_explain_lime_partials_total",
+            "counter",
+            "Surrogate fits truncated by a deadline, eval cap, or cancel.",
+            lime.partials.load(Ordering::Relaxed),
+        ),
+    ];
+    for (name, kind, help, value) in families {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    let avg = if fits == 0 {
+        0.0
+    } else {
+        lime.fidelity_micros.load(Ordering::Relaxed) as f64 / 1e6 / fits as f64
+    };
+    let name = "credence_explain_lime_fidelity_avg";
+    let _ = writeln!(
+        out,
+        "# HELP {name} Mean surrogate fidelity (weighted R²) across fits."
+    );
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {avg}");
 }
 
 /// Append the `credence_explain_cache_*` families to a `/metrics` scrape,
@@ -1050,6 +1141,154 @@ pub(crate) fn cached_term_removal(
         .get_or_compute(&key, parsed.controls.lifecycle.deadline, || {
             run_term_removal(state, snap, parsed)
         })
+}
+
+/// The cache key for a feature-attribution request. The shared
+/// [`explain_cache_key`] layout does not fit (no `n`/`threshold`, but four
+/// sampler fields that change the payload), so the endpoint keys itself:
+/// `samples`, `seed`, `top_m`, and the ridge `lambda` are all included, as
+/// is `max_candidates` (which caps the surrogate features) and `max_evals`
+/// (deterministic truncation). The eval knobs and `deadline_ms` stay
+/// excluded for the same reasons as the other explainers.
+fn lime_cache_key(snap: &CorpusSnapshot, parsed: &FeatureAttributionRequest) -> String {
+    let max_evals = parsed
+        .controls
+        .lifecycle
+        .max_evals
+        .map_or_else(|| "none".to_string(), |m| m.to_string());
+    format!(
+        "feature_attribution\u{0}{corpus}\u{0}{generation}\u{0}{query}\u{0}{k}\u{0}{doc}\u{0}\
+         {samples}\u{0}{seed}\u{0}{top_m}\u{0}{lambda}\u{0}{max_candidates}\u{0}{max_evals}",
+        corpus = snap.corpus(),
+        generation = snap.generation(),
+        query = parsed.query,
+        k = parsed.k,
+        doc = parsed.doc,
+        samples = parsed.samples,
+        seed = parsed.seed,
+        top_m = parsed.top_m,
+        lambda = parsed.lambda,
+        max_candidates = parsed.controls.search.max_candidates,
+    )
+}
+
+/// Cache-fronted feature attribution (see [`cached_sentence_removal`]).
+/// Safe to cache despite being sampled: the payload is a pure function of
+/// the key — the seed pins the mask stream and the generation pins the
+/// corpus — so a hit is byte-identical to a recompute.
+pub(crate) fn cached_feature_attribution(
+    state: &AppState,
+    snap: &CorpusSnapshot,
+    parsed: &FeatureAttributionRequest,
+) -> Response {
+    if parsed.controls.cache_bypass {
+        return run_feature_attribution(state, snap, parsed);
+    }
+    let key = lime_cache_key(snap, parsed);
+    state
+        .explain_cache
+        .get_or_compute(&key, parsed.controls.lifecycle.deadline, || {
+            run_feature_attribution(state, snap, parsed)
+        })
+}
+
+fn feature_attribution(state: &AppState, req: &Request, _tail: &str) -> Response {
+    let body = match json_body(req) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let parsed = match FeatureAttributionRequest::parse(&body) {
+        Ok(p) => p,
+        Err(errors) => return invalid_fields_response(errors),
+    };
+    let snap = match resolve(state, &parsed.corpus) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    cached_feature_attribution(state, &snap, &parsed)
+}
+
+/// Serialise a finished feature-attribution run into the REST payload.
+/// Public because the CLI prints exactly this body for its local engine —
+/// one serialisation point keeps the two surfaces byte-identical.
+pub fn feature_attribution_payload(
+    corpus: &str,
+    generation: u64,
+    request: (usize, u64, usize, f64),
+    result: &FeatureAttributionResult,
+) -> String {
+    let (samples, seed, top_m, lambda) = request;
+    let attributions: Vec<Value> = result
+        .attributions
+        .iter()
+        .map(|a| {
+            obj([
+                ("term", Value::from(a.term.as_str())),
+                ("weight", Value::from(a.weight)),
+            ])
+        })
+        .collect();
+    to_string(&obj([
+        ("corpus", Value::from(corpus.to_string())),
+        ("generation", Value::from(generation as usize)),
+        ("status", Value::from(result.status.as_str())),
+        ("old_rank", Value::from(result.old_rank)),
+        (
+            "candidates_evaluated",
+            Value::from(result.samples_evaluated),
+        ),
+        ("samples", Value::from(samples)),
+        ("seed", Value::from(seed as usize)),
+        ("top_m", Value::from(top_m)),
+        ("lambda", Value::from(lambda)),
+        ("features", Value::from(result.features)),
+        ("intercept", Value::from(result.intercept)),
+        ("fidelity", Value::from(result.fidelity)),
+        ("attributions", Value::Array(attributions)),
+    ]))
+}
+
+/// Execute a parsed feature-attribution request (shared with job workers).
+pub(crate) fn run_feature_attribution(
+    state: &AppState,
+    snap: &CorpusSnapshot,
+    parsed: &FeatureAttributionRequest,
+) -> Response {
+    let config = FeatureAttributionConfig {
+        samples: parsed.samples,
+        seed: parsed.seed,
+        top_m: parsed.top_m,
+        lambda: parsed.lambda,
+        max_features: parsed.controls.search.max_candidates,
+        eval: parsed.controls.eval,
+        lifecycle: parsed.controls.lifecycle.clone(),
+    };
+    let started = Instant::now();
+    match snap.engine().feature_attribution(
+        &parsed.query,
+        parsed.k,
+        DocId(parsed.doc as u32),
+        &config,
+    ) {
+        Err(e) => explain_error_response(e),
+        Ok(result) => {
+            state.metrics.record_search(
+                result.status.as_str(),
+                result.samples_evaluated as u64,
+                started.elapsed().as_micros() as u64,
+            );
+            state.lime.record(&result);
+            Response::json(
+                200,
+                feature_attribution_payload(
+                    snap.corpus(),
+                    snap.generation(),
+                    (parsed.samples, parsed.seed, parsed.top_m, parsed.lambda),
+                    &result,
+                ),
+            )
+        }
+    }
 }
 
 fn sentence_removal(state: &AppState, req: &Request, _tail: &str) -> Response {
@@ -1645,6 +1884,7 @@ pub(crate) fn execute_job(
         JobRequest::QueryAugmentation(r) => cached_query_augmentation(state, snap, r),
         JobRequest::QueryReduction(r) => cached_query_reduction(state, snap, r),
         JobRequest::TermRemoval(r) => cached_term_removal(state, snap, r),
+        JobRequest::FeatureAttribution(r) => cached_feature_attribution(state, snap, r),
     }
 }
 

@@ -111,6 +111,33 @@ echo "$POLL" | grep -q '"result"' || fail "completed job carries no result" "$PO
 echo "$POLL" | grep -q '"result_status":200' || fail "completed job result_status != 200" "$POLL"
 echo "serve_smoke: job $JOB_ID completed with a stored result"
 
+# --- feature attribution: sync, async job, cache-hit repeat ----------------
+FA_REQ='{"query": "covid outbreak", "k": 5, "doc": 0, "samples": 64, "seed": 11, "top_m": 6}'
+FA=$(curl -sf "$BASE/api/v1/explain/feature_attribution" -d "$FA_REQ")
+echo "$FA" | grep -q '"attributions"' || fail "feature_attribution missing attributions" "$FA"
+echo "$FA" | grep -q '"fidelity"' || fail "feature_attribution missing fidelity" "$FA"
+echo "$FA" | grep -q '"status":"complete"' || fail "feature_attribution not complete" "$FA"
+
+FA_SUBMIT=$(curl -sf "$BASE/api/v1/jobs" \
+    -d "$(printf '{"endpoint": "feature_attribution", "request": %s}' "$FA_REQ")")
+FA_JOB=$(echo "$FA_SUBMIT" | sed -n 's/.*"job_id":"\([^"]*\)".*/\1/p')
+[ -n "$FA_JOB" ] || fail "feature_attribution job submit returned no job_id" "$FA_SUBMIT"
+POLL=""
+for _ in $(seq 1 120); do
+    POLL=$(curl -sf "$BASE/api/v1/jobs/$FA_JOB")
+    echo "$POLL" | grep -q '"status":"complete"' && break
+    sleep 0.25
+done
+echo "$POLL" | grep -q '"status":"complete"' ||
+    fail "feature_attribution job $FA_JOB never completed" "$POLL"
+echo "$POLL" | grep -qF "$(echo "$FA" | sed 's/^{//; s/}$//')" ||
+    fail "feature_attribution job result differs from the synchronous payload" "$POLL"
+
+# The repeat is answered from the explanation cache with identical bytes.
+FA2=$(curl -sf "$BASE/api/v1/explain/feature_attribution" -d "$FA_REQ")
+[ "$FA" = "$FA2" ] || fail "cached feature_attribution repeat is not byte-identical" "$FA2"
+echo "serve_smoke: feature_attribution sync + job + cached repeat ok"
+
 # --- async jobs: cancel a running search -----------------------------------
 SLOW_REQ=$(printf '{"endpoint": "sentence-removal", "request": %s}' \
     "$(printf '{"query": "covid outbreak", "k": 5, "doc": 0, "n": 999, "max_size": 3, "max_candidates": 48, "eval_exact": true, "eval_threads": 1, "deadline_ms": 30000}')")
@@ -158,6 +185,18 @@ done
 COMPLETED=$(echo "$METRICS" | sed -n 's/^credence_jobs_total{state="complete"} \([0-9]*\)$/\1/p')
 [ -n "$COMPLETED" ] && [ "$COMPLETED" -ge 1 ] ||
     fail "expected credence_jobs_total{state=\"complete\"} >= 1" "$METRICS"
-echo "serve_smoke: /metrics ok (deadline hits: $HITS, jobs completed: $COMPLETED)"
+for SERIES in \
+    'credence_explain_lime_fits_total' \
+    'credence_explain_lime_samples_total' \
+    'credence_explain_lime_attributions_total' \
+    'credence_explain_lime_partials_total' \
+    'credence_explain_lime_fidelity_avg'; do
+    echo "$METRICS" | grep -qF "$SERIES" ||
+        fail "/metrics missing $SERIES" "$METRICS"
+done
+FITS=$(echo "$METRICS" | sed -n 's/^credence_explain_lime_fits_total \([0-9]*\)$/\1/p')
+[ -n "$FITS" ] && [ "$FITS" -ge 1 ] ||
+    fail "expected credence_explain_lime_fits_total >= 1" "$METRICS"
+echo "serve_smoke: /metrics ok (deadline hits: $HITS, jobs completed: $COMPLETED, lime fits: $FITS)"
 
 echo "serve_smoke: all green"

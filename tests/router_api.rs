@@ -130,6 +130,32 @@ fn router_explainer_is_byte_identical_to_single_node() {
 }
 
 #[test]
+fn router_feature_attribution_is_byte_identical_to_single_node() {
+    let c = cluster();
+    // Seeded sampling keeps the payload deterministic, so the relayed
+    // response must match single-node byte-for-byte, not approximately.
+    let body = r#"{"query": "covid outbreak", "k": 10, "doc": 0, "samples": 64, "seed": 3}"#;
+    let (ss, _, single) = raw_request(
+        c.single.addr(),
+        "POST",
+        "/api/v1/explain/feature_attribution",
+        Some(body),
+    );
+    let (rs, _, routed) = raw_request(
+        c.router.addr(),
+        "POST",
+        "/api/v1/explain/feature_attribution",
+        Some(body),
+    );
+    assert_eq!(ss, 200, "{single}");
+    assert_eq!(rs, 200, "{routed}");
+    assert_eq!(
+        single, routed,
+        "feature attribution relays byte-identically through the router"
+    );
+}
+
+#[test]
 fn router_rejects_client_supplied_partition_fields() {
     let c = cluster();
     let (status, _, body) = raw_request(
